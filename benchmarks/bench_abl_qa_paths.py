@@ -1,0 +1,119 @@
+"""ABL-QA (§3.6 design choice): coherence-guided search vs baselines.
+
+The paper augments path ranking with an LDA-based coherence metric and
+a per-hop look-ahead.  This bench plants coherent and incoherent routes
+in a topic-labelled graph and compares: answer coherence, and search
+cost (edges considered) of guided beam search vs BFS and exhaustive
+enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.qa import CoherentPathSearch, bfs_path_ranker, unguided_top_k
+from repro.qa.topics import TOPIC_PROP
+
+
+def planted_graph(n_branches=25, depth=3, seed=3):
+    """Source/target in topic A; one on-topic route; many off-topic
+    branches that BFS/DFS must wade through."""
+    rng = np.random.default_rng(seed)
+    g = PropertyGraph()
+    on = np.array([0.85, 0.1, 0.05])
+    off = np.array([0.05, 0.85, 0.10])
+    g.add_vertex("s", **{TOPIC_PROP: on})
+    g.add_vertex("t", **{TOPIC_PROP: on})
+    previous = "s"
+    for i in range(depth - 1):
+        node = f"on_{i}"
+        g.add_vertex(node, **{TOPIC_PROP: on + rng.normal(0, 0.01, 3).clip(-0.04, 0.04)})
+        g.add_edge(previous, node, "rel")
+        previous = node
+    g.add_edge(previous, "t", "rel")
+    for b in range(n_branches):
+        node = f"off_{b}"
+        g.add_vertex(node, **{TOPIC_PROP: off})
+        g.add_edge("s", node, "rel")
+        for d in range(depth):
+            child = f"off_{b}_{d}"
+            g.add_vertex(child, **{TOPIC_PROP: off})
+            g.add_edge(node, child, "rel")
+            node = child
+        # off-topic branches also reach the target (incoherent answers)
+        g.add_edge(node, "t", "rel")
+    return g
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_graph()
+
+
+def test_guided_answer_is_coherent(graph):
+    search = CoherentPathSearch(graph, max_hops=4, beam_width=4)
+    paths = search.top_k_paths("s", "t", k=3)
+    assert paths
+    best = paths[0]
+    print(f"\nguided best: coherence={best.coherence:.3f} {best.describe()}")
+    assert all(node.startswith(("s", "on_", "t")) for node in best.nodes), (
+        "guided search must stay on the coherent route"
+    )
+
+
+def test_guided_cost_below_exhaustive(graph):
+    search = CoherentPathSearch(graph, max_hops=4, beam_width=4)
+    guided_paths = search.top_k_paths("s", "t", k=1)
+    guided_cost = search.stats.edges_considered
+    exhaustive_paths, ex_stats = unguided_top_k(graph, "s", "t", k=1, max_hops=4)
+    bfs_paths, bfs_stats = bfs_path_ranker(graph, "s", "t", k=1, max_hops=4)
+    print(f"\nedges considered: guided={guided_cost}, "
+          f"bfs={bfs_stats.edges_considered}, "
+          f"exhaustive={ex_stats.edges_considered}")
+    assert guided_paths and exhaustive_paths and bfs_paths
+    assert guided_cost < ex_stats.edges_considered / 2
+    # and the guided answer is at least as coherent as BFS's
+    assert guided_paths[0].coherence <= bfs_paths[0].coherence + 1e-9
+
+
+def test_lookahead_ablation(graph):
+    """Look-ahead should not hurt answer coherence."""
+    with_la = CoherentPathSearch(graph, max_hops=4, beam_width=3, look_ahead=True)
+    without_la = CoherentPathSearch(graph, max_hops=4, beam_width=3, look_ahead=False)
+    p_with = with_la.top_k_paths("s", "t", k=1)
+    p_without = without_la.top_k_paths("s", "t", k=1)
+    assert p_with
+    print(f"\ncoherence with look-ahead:    {p_with[0].coherence:.3f}")
+    if p_without:
+        print(f"coherence without look-ahead: {p_without[0].coherence:.3f}")
+        assert p_with[0].coherence <= p_without[0].coherence + 0.05
+
+
+def test_beam_width_sweep(graph):
+    """Wider beams cost more but never return worse answers."""
+    rows = []
+    for width in (2, 4, 8, 16):
+        search = CoherentPathSearch(graph, max_hops=4, beam_width=width)
+        paths = search.top_k_paths("s", "t", k=1)
+        rows.append((width, search.stats.edges_considered,
+                     paths[0].coherence if paths else float("nan")))
+    print("\nbeam width sweep (width, edges, coherence):")
+    for row in rows:
+        print(f"  {row[0]:3d} {row[1]:6d} {row[2]:.3f}")
+    costs = [r[1] for r in rows]
+    assert costs == sorted(costs), "cost should grow with beam width"
+
+
+def test_benchmark_guided_search(benchmark, graph):
+    search = CoherentPathSearch(graph, max_hops=4, beam_width=4)
+    paths = benchmark(lambda: search.top_k_paths("s", "t", k=3))
+    assert paths
+
+
+def test_benchmark_exhaustive_search(benchmark, graph):
+    paths_and_stats = benchmark(
+        lambda: unguided_top_k(graph, "s", "t", k=3, max_hops=4)
+    )
+    assert paths_and_stats[0]

@@ -1,0 +1,63 @@
+"""FIG5: the five NL-like query classes, each translated to a graph
+algorithm and measured.
+
+Figure 5 of the paper lists five classes of natural-language-like
+queries "transparently translated to execute distributed algorithms for
+subgraph pattern mining, entity-based queries or complex graph
+queries".  One benchmark per class regenerates the artifact: query text
+in, algorithm out, with per-class latency (pytest-benchmark's table is
+the figure's quantitative counterpart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import QueryEngine, parse_query
+from repro.query.model import (
+    EntityQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    RelationshipQuery,
+    TrendingQuery,
+)
+
+QUERIES = {
+    "trending": ("show trending patterns", TrendingQuery),
+    "entity": ("tell me about DJI", EntityQuery),
+    "relationship": ("how is DJI related to Amazon", RelationshipQuery),
+    "explanatory": ("why does Windermere use drones", ExplanatoryQuery),
+    "pattern": ("match (?a:Company)-[acquired]->(?b:Company)", PatternQuery),
+}
+
+
+@pytest.fixture(scope="module")
+def engine(built_system):
+    return QueryEngine(built_system)
+
+
+def test_all_classes_parse_to_distinct_types():
+    seen = set()
+    for text, expected in QUERIES.values():
+        query = parse_query(text)
+        assert isinstance(query, expected)
+        seen.add(type(query))
+    assert len(seen) == 5
+
+
+def test_all_classes_return_results(engine):
+    print()
+    for name, (text, _expected) in QUERIES.items():
+        result = engine.execute_text(text)
+        print(f"{name:13s} {result.elapsed_ms:8.1f} ms  "
+              f"{result.result_count:4d} results   {text!r}")
+        assert result.kind in name or name in result.kind
+        assert result.result_count >= 1, f"{name} query returned nothing"
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_benchmark_query_class(benchmark, engine, name):
+    text, _expected = QUERIES[name]
+    query = parse_query(text)
+    result = benchmark(lambda: engine.execute(query))
+    assert result.result_count >= 1

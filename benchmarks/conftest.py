@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive artifacts (built systems, corpora) are session-scoped so each
+bench module measures only its own experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CorpusConfig,
+    Nous,
+    NousConfig,
+    build_drone_kb,
+    generate_corpus,
+    generate_descriptions,
+)
+
+BENCH_SEED = 7
+BENCH_ARTICLES = 120
+
+
+@pytest.fixture(scope="session")
+def bench_corpus_kb():
+    """(kb, articles) pair for construction-oriented benches."""
+    kb = build_drone_kb()
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=BENCH_ARTICLES, seed=BENCH_SEED)
+    )
+    generate_descriptions(kb, seed=BENCH_SEED)
+    return kb, articles
+
+
+@pytest.fixture(scope="session")
+def built_system(bench_corpus_kb):
+    """A fully-ingested Nous system for query-oriented benches."""
+    kb, articles = bench_corpus_kb
+    nous = Nous(
+        kb=kb,
+        config=NousConfig(window_size=300, min_support=3,
+                          lda_iterations=40, seed=BENCH_SEED),
+    )
+    nous.ingest_corpus(articles)
+    # warm the topic graph so query benches measure queries, not LDA
+    nous._topic_annotated_graph()
+    return nous

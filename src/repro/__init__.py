@@ -1,0 +1,50 @@
+"""repro — a from-scratch reproduction of NOUS (ICDE 2017).
+
+NOUS: Construction and Querying of Dynamic Knowledge Graphs
+(Choudhury et al., ICDE 2017, arXiv:1606.02314).
+
+Quickstart::
+
+    from repro import Nous, build_drone_kb, generate_corpus, CorpusConfig
+
+    kb = build_drone_kb()
+    articles = generate_corpus(kb, CorpusConfig(n_articles=100))
+    nous = Nous(kb=kb)
+    nous.ingest_corpus(articles)
+    print(nous.entity_summary("DJI").render())
+    for pattern, support in nous.trending().closed_frequent[:5]:
+        print(support, pattern.describe())
+"""
+
+from repro.core.pipeline import IngestResult, Nous, NousConfig
+from repro.core.statistics import GraphStatistics, compute_statistics
+from repro.data.corpus import CorpusConfig, generate_corpus, stream_corpus
+from repro.data.descriptions import generate_descriptions
+from repro.kb.drone_kb import build_drone_kb
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.ontology import Ontology
+from repro.kb.triples import Triple
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Nous",
+    "NousConfig",
+    "IngestResult",
+    "GraphStatistics",
+    "compute_statistics",
+    "KnowledgeBase",
+    "Ontology",
+    "Triple",
+    "build_drone_kb",
+    "CorpusConfig",
+    "generate_corpus",
+    "stream_corpus",
+    "generate_descriptions",
+    "QueryEngine",
+    "QueryResult",
+    "parse_query",
+    "__version__",
+]

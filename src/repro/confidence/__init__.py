@@ -1,0 +1,18 @@
+"""Confidence estimation via link prediction (paper §3.4).
+
+Extracted triples are noisy; NOUS scores each one against the *prior
+state of the knowledge graph* with a per-predicate latent-feature model
+trained under the Bayesian Personalized Ranking criterion (Zhang et al.
+2016, the paper's [16]), blended with source-level trust.
+"""
+
+from repro.confidence.bpr import BprLinkPredictor, PredicateModel
+from repro.confidence.trust import SourceTrust
+from repro.confidence.estimator import ConfidenceEstimator
+
+__all__ = [
+    "BprLinkPredictor",
+    "PredicateModel",
+    "SourceTrust",
+    "ConfidenceEstimator",
+]

@@ -1,0 +1,225 @@
+"""Bayesian Personalized Ranking link prediction.
+
+One latent-factor model per predicate: ``score(s, o) = σ(uₛ · vₒ + bₒ)``
+where subject factors U and object factors V are trained so observed
+(s, o) pairs rank above corrupted pairs (s, o′) — the BPR criterion:
+maximise ``ln σ(x_so − x_so′)`` with L2 regularisation, by SGD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.triples import Triple
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + np.exp(-x))
+    z = np.exp(x)
+    return z / (1.0 + z)
+
+
+@dataclass
+class PredicateModel:
+    """Trained factors for one predicate.
+
+    Attributes:
+        predicate: Predicate name.
+        subject_index / object_index: entity -> row maps.
+        U / V: Factor matrices (n_subjects x k, n_objects x k).
+        object_bias: Per-object bias vector.
+        trained_pairs: The (s, o) pairs the model was fit on.
+    """
+
+    predicate: str
+    subject_index: Dict[str, int]
+    object_index: Dict[str, int]
+    U: np.ndarray
+    V: np.ndarray
+    object_bias: np.ndarray
+    trained_pairs: Set[Tuple[str, str]]
+
+    def raw_score(self, subject: str, object_: str) -> Optional[float]:
+        """Dot-product score, or None when either side is unseen."""
+        si = self.subject_index.get(subject)
+        oi = self.object_index.get(object_)
+        if si is None or oi is None:
+            return None
+        return float(self.U[si] @ self.V[oi] + self.object_bias[oi])
+
+    def probability(self, subject: str, object_: str) -> Optional[float]:
+        """σ(raw score) in (0, 1), or None for unseen entities."""
+        raw = self.raw_score(subject, object_)
+        return None if raw is None else _sigmoid(raw)
+
+
+class BprLinkPredictor:
+    """Per-predicate BPR models over a set of KG triples.
+
+    Args:
+        n_factors: Latent dimensionality k.
+        n_epochs: SGD epochs per predicate.
+        learning_rate: SGD step size.
+        regularization: L2 coefficient.
+        seed: RNG seed (training is deterministic given it).
+        default_score: Returned for pairs the model cannot score
+            (unseen predicate/entity) — the neutral prior.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 16,
+        n_epochs: int = 60,
+        learning_rate: float = 0.05,
+        regularization: float = 0.01,
+        seed: int = 17,
+        default_score: float = 0.5,
+    ) -> None:
+        if n_factors < 1:
+            raise ConfigError("n_factors must be >= 1")
+        if n_epochs < 1:
+            raise ConfigError("n_epochs must be >= 1")
+        self.n_factors = n_factors
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.regularization = regularization
+        self.seed = seed
+        self.default_score = default_score
+        self.models: Dict[str, PredicateModel] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, triples: Iterable[Triple]) -> "BprLinkPredictor":
+        """Train one model per predicate present in ``triples``.
+
+        Predicates with fewer than 2 distinct objects cannot rank and are
+        skipped (scored at ``default_score``).
+        """
+        by_predicate: Dict[str, List[Tuple[str, str]]] = {}
+        for triple in triples:
+            by_predicate.setdefault(triple.predicate, []).append(
+                (triple.subject, triple.object)
+            )
+        for offset, (predicate, pairs) in enumerate(sorted(by_predicate.items())):
+            model = self._fit_predicate(predicate, pairs, seed=self.seed + offset)
+            if model is not None:
+                self.models[predicate] = model
+        return self
+
+    def _fit_predicate(
+        self, predicate: str, pairs: Sequence[Tuple[str, str]], seed: int
+    ) -> Optional[PredicateModel]:
+        subjects = sorted({s for s, _ in pairs})
+        objects = sorted({o for _, o in pairs})
+        if len(objects) < 2 or not subjects:
+            return None
+        rng = np.random.default_rng(seed)
+        subject_index = {s: i for i, s in enumerate(subjects)}
+        object_index = {o: i for i, o in enumerate(objects)}
+        k = self.n_factors
+        U = rng.normal(0.0, 0.1, size=(len(subjects), k))
+        V = rng.normal(0.0, 0.1, size=(len(objects), k))
+        bias = np.zeros(len(objects))
+        positives = [(subject_index[s], object_index[o]) for s, o in pairs]
+        positive_set = set(positives)
+        lr = self.learning_rate
+        reg = self.regularization
+
+        for _ in range(self.n_epochs):
+            order = rng.permutation(len(positives))
+            for idx in order:
+                si, oi = positives[idx]
+                # sample a corrupted object not observed with this subject
+                for _attempt in range(10):
+                    ni = int(rng.integers(len(objects)))
+                    if (si, ni) not in positive_set:
+                        break
+                else:
+                    continue
+                x = U[si] @ (V[oi] - V[ni]) + bias[oi] - bias[ni]
+                g = 1.0 - _sigmoid(x)  # d/dx ln σ(x)
+                u = U[si].copy()
+                U[si] += lr * (g * (V[oi] - V[ni]) - reg * U[si])
+                V[oi] += lr * (g * u - reg * V[oi])
+                V[ni] += lr * (-g * u - reg * V[ni])
+                bias[oi] += lr * (g - reg * bias[oi])
+                bias[ni] += lr * (-g - reg * bias[ni])
+
+        return PredicateModel(
+            predicate=predicate,
+            subject_index=subject_index,
+            object_index=object_index,
+            U=U,
+            V=V,
+            object_bias=bias,
+            trained_pairs={(s, o) for s, o in pairs},
+        )
+
+    # ------------------------------------------------------------------
+    def score(self, subject: str, predicate: str, object_: str) -> float:
+        """Probability-like confidence for the triple, in (0, 1)."""
+        model = self.models.get(predicate)
+        if model is None:
+            return self.default_score
+        probability = model.probability(subject, object_)
+        return self.default_score if probability is None else probability
+
+    def can_score(self, subject: str, predicate: str, object_: str) -> bool:
+        """Whether a trained model covers this triple's predicate/entities."""
+        model = self.models.get(predicate)
+        return model is not None and model.raw_score(subject, object_) is not None
+
+    # ------------------------------------------------------------------
+    def auc(
+        self,
+        positives: Sequence[Triple],
+        negatives: Sequence[Triple],
+    ) -> float:
+        """Ranking AUC of positives over negatives (0.5 = chance)."""
+        if not positives or not negatives:
+            raise ConfigError("auc needs non-empty positives and negatives")
+        pos = [self.score(t.subject, t.predicate, t.object) for t in positives]
+        neg = [self.score(t.subject, t.predicate, t.object) for t in negatives]
+        wins = ties = 0
+        for p in pos:
+            for n in neg:
+                if p > n:
+                    wins += 1
+                elif p == n:
+                    ties += 1
+        return (wins + 0.5 * ties) / (len(pos) * len(neg))
+
+    def corrupt(
+        self, triples: Sequence[Triple], rng: np.random.Generator
+    ) -> List[Triple]:
+        """Corrupt each triple's object within the predicate's object pool,
+        avoiding observed pairs — the standard link-prediction negative set."""
+        out: List[Triple] = []
+        for triple in triples:
+            model = self.models.get(triple.predicate)
+            if model is None:
+                continue
+            objects = list(model.object_index)
+            if len(objects) < 2:
+                continue
+            for _ in range(20):
+                candidate = objects[int(rng.integers(len(objects)))]
+                if (
+                    candidate != triple.object
+                    and (triple.subject, candidate) not in model.trained_pairs
+                ):
+                    out.append(
+                        Triple(
+                            triple.subject,
+                            triple.predicate,
+                            candidate,
+                            confidence=0.0,
+                            curated=False,
+                        )
+                    )
+                    break
+        return out

@@ -1,0 +1,109 @@
+"""Final triple confidence: extraction x linking x link-prediction x trust.
+
+The estimator produces the probability-like value shown on every edge of
+Figure 2 ("each fact is assigned a probability value of it being true,
+learned using the Link Prediction module").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.confidence.bpr import BprLinkPredictor
+from repro.confidence.trust import SourceTrust
+from repro.errors import ConfigError
+from repro.kb.triples import Triple
+from repro.linking.mapper import MappedTriple
+
+
+@dataclass
+class ConfidenceBreakdown:
+    """Per-component confidence for one triple (for the dashboard)."""
+
+    prior: float            # extraction x linking x mapping
+    link_prediction: float  # BPR score against the prior KG state
+    source_trust: float
+    final: float
+
+
+class ConfidenceEstimator:
+    """Blend the §3.4 signals into one confidence value.
+
+    The blend is a weighted geometric mean — any near-zero component
+    drags the result down, matching the intuition that a fact needs
+    *all* of plausible extraction, confident linking and KG support.
+
+    Args:
+        link_predictor: Trained BPR models (retrained periodically by the
+            pipeline as the KG grows).
+        source_trust: Source trust tracker.
+        prior_weight / lp_weight / trust_weight: Geometric-mean exponents
+            (normalised internally).
+        accept_threshold: Facts below this final confidence should not
+            enter the KG (callers enforce it).
+    """
+
+    def __init__(
+        self,
+        link_predictor: Optional[BprLinkPredictor] = None,
+        source_trust: Optional[SourceTrust] = None,
+        prior_weight: float = 1.0,
+        lp_weight: float = 1.0,
+        trust_weight: float = 1.0,
+        accept_threshold: float = 0.25,
+    ) -> None:
+        if min(prior_weight, lp_weight, trust_weight) < 0:
+            raise ConfigError("weights must be non-negative")
+        total = prior_weight + lp_weight + trust_weight
+        if total == 0:
+            raise ConfigError("at least one weight must be positive")
+        self.link_predictor = link_predictor or BprLinkPredictor()
+        self.source_trust = source_trust or SourceTrust()
+        self.prior_weight = prior_weight / total
+        self.lp_weight = lp_weight / total
+        self.trust_weight = trust_weight / total
+        self.accept_threshold = accept_threshold
+
+    def retrain(self, triples: Iterable[Triple]) -> None:
+        """Refit the BPR models on the current KG state."""
+        self.link_predictor = BprLinkPredictor(
+            n_factors=self.link_predictor.n_factors,
+            n_epochs=self.link_predictor.n_epochs,
+            learning_rate=self.link_predictor.learning_rate,
+            regularization=self.link_predictor.regularization,
+            seed=self.link_predictor.seed,
+            default_score=self.link_predictor.default_score,
+        ).fit(triples)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, mapped: MappedTriple) -> ConfidenceBreakdown:
+        """Score one mapped triple with full component detail."""
+        prior = max(1e-6, min(1.0, mapped.prior_confidence()))
+        lp = self.link_predictor.score(mapped.subject, mapped.predicate, mapped.object)
+        trust = self.source_trust.trust(mapped.source or "unknown")
+        final = (
+            prior ** self.prior_weight
+            * lp ** self.lp_weight
+            * trust ** self.trust_weight
+        )
+        return ConfidenceBreakdown(
+            prior=prior, link_prediction=lp, source_trust=trust, final=final
+        )
+
+    def confidence(self, mapped: MappedTriple) -> float:
+        """Final confidence in (0, 1) for one mapped triple."""
+        return self.breakdown(mapped).final
+
+    def accepts(self, mapped: MappedTriple) -> bool:
+        """Whether the triple clears the acceptance threshold."""
+        return self.confidence(mapped) >= self.accept_threshold
+
+    # ------------------------------------------------------------------
+    def update_trust_from_kb(self, mapped: MappedTriple, in_kb: bool) -> None:
+        """Feed agreement/contradiction evidence back into source trust."""
+        source = mapped.source or "unknown"
+        if in_kb:
+            self.source_trust.record_agreement(source)
+        else:
+            self.source_trust.record_contradiction(source, weight=0.25)

@@ -1,0 +1,76 @@
+"""Source-level trust tracking (paper §3.4: "in addition to tracking
+source level trust...").
+
+Trust is a Beta-Bernoulli estimate per source: agreements with the
+curated KB (or later-confirmed facts) are successes, contradictions and
+rejected extractions are failures.  The mean of the posterior Beta is
+the trust score; priors encode that the WSJ starts more trusted than an
+anonymous crawl site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class _BetaCounts:
+    alpha: float
+    beta: float
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+
+class SourceTrust:
+    """Per-source Beta trust model.
+
+    Args:
+        default_prior: ``(alpha, beta)`` used for unknown sources.
+        priors: Optional per-source starting pseudo-counts.
+    """
+
+    DEFAULT_PRIORS: Dict[str, Tuple[float, float]] = {
+        "wsj": (8.0, 2.0),
+        "yago": (19.0, 1.0),
+        "curated": (19.0, 1.0),
+    }
+
+    def __init__(
+        self,
+        default_prior: Tuple[float, float] = (2.0, 2.0),
+        priors: Dict[str, Tuple[float, float]] = None,
+    ) -> None:
+        if min(default_prior) <= 0:
+            raise ConfigError("Beta prior parameters must be positive")
+        self._default_prior = default_prior
+        self._counts: Dict[str, _BetaCounts] = {}
+        for source, (alpha, beta) in {**self.DEFAULT_PRIORS, **(priors or {})}.items():
+            self._counts[source] = _BetaCounts(alpha, beta)
+
+    def _get(self, source: str) -> _BetaCounts:
+        counts = self._counts.get(source)
+        if counts is None:
+            alpha, beta = self._default_prior
+            counts = _BetaCounts(alpha, beta)
+            self._counts[source] = counts
+        return counts
+
+    def trust(self, source: str) -> float:
+        """Posterior-mean trust for a source, in (0, 1)."""
+        return self._get(source).mean()
+
+    def record_agreement(self, source: str, weight: float = 1.0) -> None:
+        """The source produced a fact confirmed elsewhere."""
+        self._get(source).alpha += weight
+
+    def record_contradiction(self, source: str, weight: float = 1.0) -> None:
+        """The source produced a fact later contradicted or rejected."""
+        self._get(source).beta += weight
+
+    def known_sources(self) -> Dict[str, float]:
+        """All tracked sources with their current trust."""
+        return {source: counts.mean() for source, counts in self._counts.items()}

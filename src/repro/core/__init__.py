@@ -1,0 +1,21 @@
+"""The NOUS system core: dynamic KG, construction pipeline, statistics.
+
+:class:`~repro.core.pipeline.Nous` is the public facade a downstream
+user instantiates: it wires every substrate together (Figure 1 of the
+paper) — NLP extraction, entity/predicate mapping, confidence
+estimation, the sliding-window dynamic graph feeding the streaming
+miner, and the question-answering machinery.
+"""
+
+from repro.core.dynamic_kg import DynamicKnowledgeGraph
+from repro.core.pipeline import IngestResult, Nous, NousConfig
+from repro.core.statistics import GraphStatistics, compute_statistics
+
+__all__ = [
+    "DynamicKnowledgeGraph",
+    "Nous",
+    "NousConfig",
+    "IngestResult",
+    "GraphStatistics",
+    "compute_statistics",
+]

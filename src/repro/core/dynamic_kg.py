@@ -1,0 +1,115 @@
+"""The dynamic knowledge graph: curated base + streaming extracted facts.
+
+Two coordinated views:
+
+- the **accumulated KB** (:class:`~repro.kb.knowledge_base.KnowledgeBase`)
+  holds everything accepted so far — entity/relationship queries and the
+  QA path search run here;
+- the **sliding window** (:class:`~repro.graph.temporal.DynamicGraph`)
+  holds only recent extracted facts and feeds the streaming miner —
+  trending queries run here.
+
+Every accepted fact is therefore simultaneously persisted and streamed,
+matching the paper's "queries are executed on a dynamically updated
+Knowledge Graph".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graph.temporal import CountWindow, DynamicGraph, TimeWindow
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.ontology import Ontology
+from repro.linking.mapper import MappedTriple
+from repro.mining.patterns import InstanceEdge
+from repro.mining.streaming import StreamingPatternMiner, WindowReport
+
+
+class DynamicKnowledgeGraph:
+    """KB + sliding window + incremental miner, kept in lock-step.
+
+    Args:
+        kb: The curated knowledge base to grow.
+        window: Window policy for the trending view (default: last
+            500 extracted facts).
+        min_support / max_pattern_edges: Miner parameters.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        window=None,
+        min_support: int = 3,
+        max_pattern_edges: int = 2,
+    ) -> None:
+        self.kb = kb
+        self.window = DynamicGraph(window=window or CountWindow(size=500))
+        self.miner = StreamingPatternMiner(
+            min_support=min_support, max_edges=max_pattern_edges
+        )
+        self._live_miner_edges: Dict = {}  # TimedEdge -> miner edge id
+        self.window.on_add(self._on_window_add)
+        self.window.on_evict(self._on_window_evict)
+        self.facts_streamed = 0
+
+    # ------------------------------------------------------------------
+    def accept_fact(
+        self, mapped: MappedTriple, confidence: float, timestamp: float
+    ) -> None:
+        """Persist an accepted extracted fact and stream it to the miner."""
+        self.kb.add_fact(
+            mapped.subject,
+            mapped.predicate,
+            mapped.object,
+            confidence=confidence,
+            source=mapped.source or "extracted",
+            date=mapped.date,
+            curated=False,
+        )
+        self.window.add_edge(
+            mapped.subject,
+            mapped.object,
+            mapped.predicate,
+            timestamp=timestamp,
+            confidence=confidence,
+            source=mapped.source,
+        )
+        self.facts_streamed += 1
+
+    def advance_time(self, timestamp: float) -> int:
+        """Expire window content up to ``timestamp`` (time windows)."""
+        return self.window.advance_time(timestamp)
+
+    # ------------------------------------------------------------------
+    # miner wiring
+    # ------------------------------------------------------------------
+    def _type_label(self, entity: str) -> str:
+        return self.kb.entity_type(entity) or Ontology.ROOT
+
+    def _to_instance_edge(self, timed) -> InstanceEdge:
+        return InstanceEdge(
+            src=timed.src,
+            dst=timed.dst,
+            src_label=self._type_label(timed.src),
+            dst_label=self._type_label(timed.dst),
+            predicate=timed.label,
+        )
+
+    def _on_window_add(self, timed) -> None:
+        eid = self.miner.add_edge(self._to_instance_edge(timed))
+        self._live_miner_edges[timed] = eid
+
+    def _on_window_evict(self, timed) -> None:
+        eid = self._live_miner_edges.pop(timed, None)
+        if eid is not None:
+            self.miner.remove_edge(eid)
+
+    # ------------------------------------------------------------------
+    def trending_report(self, timestamp: float = 0.0) -> WindowReport:
+        """Current closed frequent patterns with transition events."""
+        return self.miner.report(timestamp=timestamp)
+
+    def graph_view(self, min_confidence: float = 0.0):
+        """Property-graph view of the full accumulated KG."""
+        return self.kb.to_property_graph(min_confidence=min_confidence)

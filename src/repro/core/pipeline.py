@@ -1,0 +1,389 @@
+"""The NOUS facade: end-to-end construction + querying (Figure 1).
+
+``Nous`` owns every stage: document in → sentences → raw triples →
+entity linking + predicate mapping → confidence estimation → dynamic KG
+update → (on demand) trending reports, entity summaries and explanatory
+path answers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.confidence.estimator import ConfidenceEstimator
+from repro.core.dynamic_kg import DynamicKnowledgeGraph
+from repro.core.statistics import GraphStatistics, compute_statistics
+from repro.errors import ConfigError, QAError
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.temporal import CountWindow
+from repro.kb.drone_kb import build_drone_kb
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.linking.mapper import MappedTriple, RejectedTriple, TripleMapper
+from repro.mining.streaming import WindowReport
+from repro.nlp.dates import SimpleDate
+from repro.nlp.pipeline import NlpPipeline, RawTriple
+from repro.qa.lda import LdaModel, LdaTopics
+from repro.qa.pathsearch import CoherentPathSearch, RankedPath
+from repro.qa.topics import assign_topic_vectors
+
+
+@dataclass
+class NousConfig:
+    """Pipeline configuration.
+
+    Attributes:
+        window_size: Sliding-window size (extracted facts) for trending.
+        min_support / max_pattern_edges: Streaming miner parameters.
+        accept_threshold: Final-confidence gate for KG insertion.
+        retrain_every: Retrain the BPR models after this many accepted
+            facts (0 disables periodic retraining).
+        n_topics / lda_iterations: LDA settings for the QA topic space.
+        max_hops / beam_width: Path-search settings.
+        seed: Master seed for the stochastic components.
+    """
+
+    window_size: int = 500
+    min_support: int = 3
+    max_pattern_edges: int = 2
+    accept_threshold: float = 0.25
+    retrain_every: int = 200
+    n_topics: int = 6
+    lda_iterations: int = 60
+    max_hops: int = 4
+    beam_width: int = 8
+    seed: int = 29
+
+    def validate(self) -> None:
+        if self.window_size < 1:
+            raise ConfigError("window_size must be >= 1")
+        if not 0.0 <= self.accept_threshold <= 1.0:
+            raise ConfigError("accept_threshold must be in [0, 1]")
+
+
+@dataclass
+class IngestResult:
+    """Outcome of ingesting one document."""
+
+    doc_id: str
+    raw_triples: int = 0
+    accepted: int = 0
+    rejected_mapping: Counter = field(default_factory=Counter)
+    rejected_confidence: int = 0
+    accepted_triples: List[Tuple[str, str, str, float]] = field(default_factory=list)
+
+
+@dataclass
+class EntitySummary:
+    """Answer payload for "Tell me about X" (Figure 6)."""
+
+    entity: str
+    entity_type: str
+    description: str
+    facts: List[Tuple[str, str, str, float, bool]]  # s, p, o, conf, curated
+    recent_dates: List[str]
+    neighbors: List[str]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.entity} ({self.entity_type})",
+            self.description or "(no description)",
+            f"facts ({len(self.facts)}):",
+        ]
+        for s, p, o, conf, curated in self.facts[:25]:
+            origin = "curated" if curated else "extracted"
+            lines.append(f"  ({s}, {p}, {o})  conf={conf:.2f} [{origin}]")
+        if self.recent_dates:
+            lines.append("recent mentions: " + ", ".join(self.recent_dates[:8]))
+        return "\n".join(lines)
+
+
+class Nous:
+    """End-to-end dynamic knowledge-graph system.
+
+    Args:
+        kb: Starting curated KB; the bundled drone KB when omitted.
+        config: Pipeline settings.
+    """
+
+    def __init__(
+        self,
+        kb: Optional[KnowledgeBase] = None,
+        config: Optional[NousConfig] = None,
+    ) -> None:
+        self.config = config or NousConfig()
+        self.config.validate()
+        self.kb = kb if kb is not None else build_drone_kb()
+        self.dynamic = DynamicKnowledgeGraph(
+            self.kb,
+            window=CountWindow(size=self.config.window_size),
+            min_support=self.config.min_support,
+            max_pattern_edges=self.config.max_pattern_edges,
+        )
+        self.mapper = TripleMapper(self.kb)
+        self.nlp = NlpPipeline(
+            gazetteer=self.kb.gazetteer(), kb_aliases=self.kb.kb_alias_index()
+        )
+        self.estimator = ConfidenceEstimator(
+            accept_threshold=self.config.accept_threshold
+        )
+        self.estimator.retrain(self.kb.store)
+        self._accepted_since_retrain = 0
+        self._last_timestamp = 0.0
+        self._topic_state: Optional[LdaTopics] = None
+        self._topic_graph: Optional[PropertyGraph] = None
+        self._facts_at_topic_fit = -1
+        self.documents_ingested = 0
+        # Raw extraction buffer feeding §3.3's semi-supervised pattern
+        # expansion (bounded: only recent evidence matters).
+        self._raw_buffer: Deque[RawTriple] = deque(maxlen=2000)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        text: str,
+        doc_id: str = "",
+        date: Optional[SimpleDate] = None,
+        source: str = "unknown",
+    ) -> IngestResult:
+        """Run the full §3.2-§3.4 pipeline on one document."""
+        result = IngestResult(doc_id=doc_id)
+        document = self.nlp.process(text, doc_id=doc_id, doc_date=date, source=source)
+        result.raw_triples = len(document.triples)
+        if not document.triples:
+            self.documents_ingested += 1
+            return result
+
+        context_words = [w for s in document.sentences for w in s.sentence.words()]
+        self._raw_buffer.extend(document.triples)
+        mapped, rejected = self.mapper.map_document(
+            document.triples, context_words=context_words
+        )
+        for rej in rejected:
+            result.rejected_mapping[rej.reason] += 1
+
+        timestamp = self._timestamp_for(date)
+        for triple in mapped:
+            confidence = self.estimator.confidence(triple)
+            if confidence < self.config.accept_threshold:
+                result.rejected_confidence += 1
+                self.estimator.update_trust_from_kb(triple, in_kb=False)
+                continue
+            already_known = (
+                self.kb.store.get(triple.subject, triple.predicate, triple.object)
+                is not None
+            )
+            self.estimator.update_trust_from_kb(triple, in_kb=already_known)
+            self.dynamic.accept_fact(triple, confidence, timestamp)
+            result.accepted += 1
+            result.accepted_triples.append(
+                (triple.subject, triple.predicate, triple.object, confidence)
+            )
+            self._accepted_since_retrain += 1
+
+        if (
+            self.config.retrain_every
+            and self._accepted_since_retrain >= self.config.retrain_every
+        ):
+            self.estimator.retrain(self.kb.store)
+            self.mapper.linker.invalidate_cache()
+            self._accepted_since_retrain = 0
+        self.documents_ingested += 1
+        return result
+
+    def ingest_corpus(self, articles: Sequence) -> List[IngestResult]:
+        """Ingest a sequence of :class:`repro.data.articles.Article`."""
+        return [
+            self.ingest(a.text, doc_id=a.doc_id, date=a.date, source=a.source)
+            for a in articles
+        ]
+
+    def ingest_facts(
+        self,
+        facts: Sequence[Tuple[str, str, str]],
+        date: Optional[SimpleDate] = None,
+        source: str = "structured",
+        confidence: float = 0.9,
+    ) -> int:
+        """Ingest *structured* facts, skipping the NLP stage.
+
+        §3.1's non-text domains (insider-threat logs, bibliography
+        databases) feed the dynamic KG directly with triples; they still
+        flow through the sliding window so trending queries see them.
+
+        Args:
+            facts: ``(subject, predicate, object)`` triples with
+                canonical entity ids.
+            date: Fact date (stream time derives from it).
+            source: Provenance tag for trust tracking.
+            confidence: Confidence recorded on the facts.
+
+        Returns:
+            Number of facts accepted (all of them; structured sources
+            are not gated).
+        """
+        timestamp = self._timestamp_for(date)
+        for subject, predicate, object_ in facts:
+            raw = RawTriple(
+                subject=subject, relation=predicate, object=object_,
+                date=date, source=source, confidence=confidence,
+            )
+            mapped = MappedTriple(
+                subject=subject,
+                predicate=predicate,
+                object=object_,
+                object_is_literal=False,
+                extraction_confidence=confidence,
+                link_confidence=1.0,
+                mapping_confidence=1.0,
+                date=date,
+                doc_id="",
+                source=source,
+                raw=raw,
+            )
+            self.dynamic.accept_fact(mapped, confidence, timestamp)
+        return len(facts)
+
+    def _timestamp_for(self, date: Optional[SimpleDate]) -> float:
+        if date is not None:
+            ts = float(date.ordinal())
+            if ts < self._last_timestamp:
+                ts = self._last_timestamp  # keep stream time monotone
+        else:
+            ts = self._last_timestamp + 1.0
+        self._last_timestamp = ts
+        return ts
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def trending(self) -> WindowReport:
+        """Closed frequent patterns over the current window (Fig. 7)."""
+        return self.dynamic.trending_report(timestamp=self._last_timestamp)
+
+    def entity_summary(self, mention: str) -> EntitySummary:
+        """"Tell me about X" (Fig. 6)."""
+        decision = self.mapper.linker.link(mention)
+        entity = decision.entity
+        facts = []
+        dates = []
+        for triple in self.kb.facts_about(entity):
+            facts.append(
+                (
+                    triple.subject,
+                    triple.predicate,
+                    triple.object,
+                    triple.confidence,
+                    triple.curated,
+                )
+            )
+            if triple.date is not None and not triple.curated:
+                dates.append(str(triple.date))
+        facts.sort(key=lambda f: (-f[3], f[1]))
+        return EntitySummary(
+            entity=entity,
+            entity_type=self.kb.entity_type(entity) or "Thing",
+            description=self.kb.description(entity),
+            facts=facts,
+            recent_dates=sorted(set(dates), reverse=True),
+            neighbors=sorted(self.kb.store.neighbors(entity)),
+        )
+
+    def entity_trend(self, mention: str, limit: int = 20) -> List[Tuple]:
+        """"What's new about X": recent windowed facts touching the entity.
+
+        Returns:
+            ``(timestamp, subject, predicate, object, confidence)`` tuples,
+            newest first.
+        """
+        entity = self.mapper.linker.link(mention).entity
+        rows = []
+        for timed in self.dynamic.window.window_edges():
+            if entity in (timed.src, timed.dst):
+                props = timed.prop_dict()
+                rows.append(
+                    (
+                        timed.timestamp,
+                        timed.src,
+                        timed.label,
+                        timed.dst,
+                        props.get("confidence", 0.0),
+                    )
+                )
+        rows.sort(key=lambda r: -r[0])
+        return rows[:limit]
+
+    def explain(
+        self,
+        source_mention: str,
+        target_mention: str,
+        relationship: Optional[str] = None,
+        k: int = 3,
+    ) -> List[RankedPath]:
+        """"Why is X related to Y?" — coherence-ranked paths (§3.6)."""
+        source = self.mapper.linker.link(source_mention).entity
+        target = self.mapper.linker.link(target_mention).entity
+        graph = self._topic_annotated_graph()
+        if not graph.has_vertex(source) or not graph.has_vertex(target):
+            raise QAError(
+                f"no graph vertices for {source_mention!r} / {target_mention!r}"
+            )
+        search = CoherentPathSearch(
+            graph,
+            max_hops=self.config.max_hops,
+            beam_width=self.config.beam_width,
+        )
+        return search.top_k_paths(source, target, k=k, relationship=relationship)
+
+    def statistics(self) -> GraphStatistics:
+        """Quality dashboard payload (§4 demo feature 2)."""
+        return compute_statistics(self.kb)
+
+    # ------------------------------------------------------------------
+    # refinement (§3.3 "still an active area of refinement")
+    # ------------------------------------------------------------------
+    def learn_predicate_patterns(self) -> Dict[str, List[str]]:
+        """Semi-supervised predicate-pattern expansion over the recent
+        extraction buffer, aligned against the current KG via distant
+        supervision.
+
+        Returns:
+            predicate -> newly adopted relation patterns.
+        """
+        adopted = self.mapper.predicate_mapper.expand_from_corpus(
+            list(self._raw_buffer), self.mapper.mention_index
+        )
+        return adopted
+
+    # ------------------------------------------------------------------
+    def _topic_annotated_graph(self) -> PropertyGraph:
+        """KG property graph with LDA topic vectors, cached until the KB
+        grows measurably."""
+        if (
+            self._topic_graph is not None
+            and self._facts_at_topic_fit == self.kb.num_facts
+        ):
+            return self._topic_graph
+        documents = {
+            entity: self.kb.description(entity) or entity.replace("_", " ")
+            for entity in self.kb.entities()
+        }
+        model = LdaModel(
+            n_topics=self.config.n_topics,
+            n_iterations=self.config.lda_iterations,
+            seed=self.config.seed,
+        )
+        self._topic_state = model.fit(documents)
+        graph = self.kb.to_property_graph()
+        assign_topic_vectors(graph, self._topic_state)
+        self._topic_graph = graph
+        self._facts_at_topic_fit = self.kb.num_facts
+        return graph
+
+    @property
+    def topics(self) -> Optional[LdaTopics]:
+        """The last fitted LDA state (None before any QA query)."""
+        return self._topic_state

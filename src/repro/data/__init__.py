@@ -1,0 +1,27 @@
+"""Synthetic data substrate (paper §3.1's data sources).
+
+The paper streams Wall Street Journal articles and web crawls; neither
+corpus is redistributable, so this package generates an equivalent:
+a seeded world model emits a dated event timeline over the domain KB,
+each event is rendered into WSJ-style article text (with known gold
+triples), and noisier "web crawl" variants exercise source-trust
+handling.  Because gold facts are known, extraction/linking quality can
+be *measured*, which the original demo paper never did.
+"""
+
+from repro.data.world import Event, WorldModel
+from repro.data.articles import Article, ArticleRenderer
+from repro.data.corpus import CorpusConfig, generate_corpus, stream_corpus
+from repro.data.descriptions import generate_descriptions, topic_lexicons
+
+__all__ = [
+    "WorldModel",
+    "Event",
+    "Article",
+    "ArticleRenderer",
+    "CorpusConfig",
+    "generate_corpus",
+    "stream_corpus",
+    "generate_descriptions",
+    "topic_lexicons",
+]

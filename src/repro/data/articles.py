@@ -1,0 +1,233 @@
+"""Render world events into WSJ-style article text.
+
+Each article carries its gold triples so extraction quality is
+measurable.  Template variety exercises different extractor paths
+(active/passive voice, appositives, pronoun follow-ups); "web crawl"
+rendering adds the noise the paper attributes to lower-trust sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.world import Event
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.dates import SimpleDate
+
+
+@dataclass
+class Article:
+    """A generated document.
+
+    Attributes:
+        doc_id: Stable document id.
+        date: Publication date (== event date).
+        source: Source name ("wsj" or a crawl site).
+        title: Headline.
+        text: Body text.
+        gold_triples: Canonical ``(s, p, o)`` facts expressed in the text.
+        event_type: The generating event's type.
+    """
+
+    doc_id: str
+    date: SimpleDate
+    source: str
+    title: str
+    text: str
+    gold_triples: List[Tuple[str, str, str]] = field(default_factory=list)
+    event_type: str = ""
+
+
+def _display(kb: KnowledgeBase, entity: str) -> str:
+    """Human-readable surface form for an entity id."""
+    del kb
+    return entity.replace("_", " ")
+
+
+def _month_name(date: SimpleDate) -> str:
+    names = ["January", "February", "March", "April", "May", "June", "July",
+             "August", "September", "October", "November", "December"]
+    return names[(date.month or 1) - 1]
+
+
+def _date_phrase(date: SimpleDate) -> str:
+    if date.day is not None and date.month is not None:
+        return f"{_month_name(date)} {date.day}, {date.year}"
+    if date.month is not None:
+        return f"{_month_name(date)} {date.year}"
+    return str(date.year)
+
+
+class ArticleRenderer:
+    """Turn :class:`Event` objects into :class:`Article` text.
+
+    Args:
+        kb: KB used for display names and context sentences.
+        seed: RNG seed for template choice.
+        crawl_noise: Probability (for crawl sources) of injecting filler
+            and clause-heavy phrasing that depresses extraction quality.
+    """
+
+    CRAWL_SITES = ["dronewire.example", "uavdaily.example", "techbuzz.example"]
+
+    def __init__(self, kb: KnowledgeBase, seed: int = 11, crawl_noise: float = 0.5) -> None:
+        self.kb = kb
+        self.rng = np.random.default_rng(seed)
+        self.crawl_noise = crawl_noise
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def render(self, event: Event, source: str = "wsj") -> Article:
+        """Render one event as an article from the given source."""
+        self._counter += 1
+        lead, title = self._lead_sentence(event)
+        sentences = [lead]
+        sentences.extend(self._context_sentences(event))
+        if source != "wsj" and self.rng.random() < self.crawl_noise:
+            sentences.insert(0, self._filler_sentence())
+            sentences.append(self._filler_sentence())
+        text = " ".join(sentences)
+        return Article(
+            doc_id=f"{source}-{self._counter:06d}",
+            date=event.date,
+            source=source,
+            title=title,
+            text=text,
+            gold_triples=list(event.triples),
+            event_type=event.event_type,
+        )
+
+    # ------------------------------------------------------------------
+    def _pick(self, options: List[str]) -> str:
+        return options[int(self.rng.integers(len(options)))]
+
+    def _lead_sentence(self, event: Event) -> Tuple[str, str]:
+        maker = getattr(self, f"_lead_{event.event_type}")
+        return maker(event)
+
+    def _lead_funding(self, event: Event) -> Tuple[str, str]:
+        company = _display(self.kb, event.participants["company"])
+        investor = _display(self.kb, event.participants["investor"])
+        amount = event.participants["amount"]
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{company} raised {amount} from {investor} in {when}.",
+            f"{company} secured {amount} in funding from {investor} in {when}.",
+            f"In {when}, {company} raised {amount} from {investor}.",
+        ])
+        return sentence, f"{company} raises {amount}"
+
+    def _lead_acquisition(self, event: Event) -> Tuple[str, str]:
+        acquirer = _display(self.kb, event.participants["acquirer"])
+        target = _display(self.kb, event.participants["target"])
+        price = event.participants["price"]
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{acquirer} acquired {target} for {price} in {when}.",
+            f"{acquirer} bought {target} for {price} in {when}.",
+            f"In {when}, {acquirer} acquired {target} in a deal valued at {price}.",
+        ])
+        return sentence, f"{acquirer} acquires {target}"
+
+    def _lead_launch(self, event: Event) -> Tuple[str, str]:
+        company = _display(self.kb, event.participants["company"])
+        product = _display(self.kb, event.participants["product"])
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{company} launched the {product} in {when}.",
+            f"{company} unveiled the {product} in {when}.",
+            f"{company} released the {product} in {when}.",
+        ])
+        return sentence, f"{company} launches {product}"
+
+    def _lead_deployment(self, event: Event) -> Tuple[str, str]:
+        org = _display(self.kb, event.participants["org"])
+        technology = _display(self.kb, event.participants["technology"]).lower()
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{org} uses {technology} in its operations.",
+            f"{org} deployed {technology} across its operations in {when}.",
+            f"{org} employs {technology} to support its business.",
+        ])
+        return sentence, f"{org} adopts {technology}"
+
+    def _lead_partnership(self, event: Event) -> Tuple[str, str]:
+        a = _display(self.kb, event.participants["a"])
+        b = _display(self.kb, event.participants["b"])
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{a} partnered with {b} in {when}.",
+            f"{a} signed an agreement with {b} in {when}.",
+        ])
+        return sentence, f"{a} partners with {b}"
+
+    def _lead_regulation(self, event: Event) -> Tuple[str, str]:
+        agency = _display(self.kb, event.participants["agency"])
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"The {agency} approved new rules for commercial drones in {when}.",
+            f"The {agency} proposed new safety regulations for drones in {when}.",
+        ])
+        return sentence, f"{agency} updates drone rules"
+
+    def _lead_incident(self, event: Event) -> Tuple[str, str]:
+        product = _display(self.kb, event.participants["product"])
+        location = _display(self.kb, event.participants["location"])
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"A {product} crashed near {location} in {when}.",
+            f"Officials banned the {product} in {location} after an incident in {when}.",
+        ])
+        return sentence, f"{product} incident in {location}"
+
+    def _lead_expansion(self, event: Event) -> Tuple[str, str]:
+        company = _display(self.kb, event.participants["company"])
+        industry = _display(self.kb, event.participants["industry"]).lower()
+        when = _date_phrase(event.date)
+        sentence = self._pick([
+            f"{company} expanded into {industry} in {when}.",
+            f"{company} entered the {industry} market in {when}.",
+        ])
+        return sentence, f"{company} expands"
+
+    # ------------------------------------------------------------------
+    def _context_sentences(self, event: Event) -> List[str]:
+        """1-2 true background sentences about a participant from the KB."""
+        sentences: List[str] = []
+        participants = [
+            v for v in event.participants.values() if self.kb.has_entity(v)
+        ]
+        if not participants:
+            return sentences
+        entity = participants[0]
+        name = _display(self.kb, entity)
+        facts = self.kb.store.match(subject=entity)
+        renderers: Dict[str, str] = {
+            "headquarteredIn": "{s} is headquartered in {o}.",
+            "foundedBy": "{s} was founded by {o}.",
+            "manufactures": "{s} manufactures the {o}.",
+            "operatesIn": "{s} operates in the {o}.",
+            "regulates": "The {s} regulates the {o}.",
+        }
+        candidates = [t for t in facts if t.predicate in renderers and t.curated]
+        if candidates:
+            fact = candidates[int(self.rng.integers(len(candidates)))]
+            sentences.append(
+                renderers[fact.predicate].format(
+                    s=name, o=_display(self.kb, fact.object).lower()
+                    if fact.predicate == "operatesIn"
+                    else _display(self.kb, fact.object),
+                )
+            )
+        return sentences
+
+    def _filler_sentence(self) -> str:
+        return self._pick([
+            "Click here to subscribe to our newsletter for weekly drone news.",
+            "Many readers asked us about this story on social media.",
+            "This is the kind of story that everyone seems to be talking about.",
+            "Experts however remained divided about what it might eventually mean.",
+        ])

@@ -1,0 +1,192 @@
+"""Citation-analytics domain (paper §3.1, data source 3).
+
+NOUS's algorithms "are being used for developing custom knowledge graphs
+for diverse domains", the third being "citation analytics from
+bibliography databases".  Bibliography data is *structured* — it enters
+the dynamic KG directly as dated triples without the NLP stage.  This
+module generates a synthetic bibliography world: authors with topical
+communities, venues, papers over a timeline, and citations with
+preferential attachment plus a topical "hot topic" burst late in the
+timeline, so trending queries have a real signal to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.ontology import Ontology
+from repro.nlp.dates import SimpleDate
+
+CITATION_TYPES = [
+    ("Agent", Ontology.ROOT),
+    ("Person", "Agent"),
+    ("Author", "Person"),
+    ("Publication", Ontology.ROOT),
+    ("Venue", Ontology.ROOT),
+    ("ResearchTopic", Ontology.ROOT),
+    ("Institution", Ontology.ROOT),
+]
+
+CITATION_PREDICATES = [
+    ("authoredBy", "Publication", "Author"),
+    ("publishedIn", "Publication", "Venue"),
+    ("cites", "Publication", "Publication"),
+    ("hasTopic", "Publication", "ResearchTopic"),
+    ("affiliatedWith", "Author", "Institution"),
+    ("worksOn", "Author", "ResearchTopic"),
+]
+
+TOPICS = ["graph_mining", "stream_processing", "knowledge_graphs",
+          "entity_linking", "query_languages"]
+VENUES = ["ICDE", "VLDB", "SIGMOD", "KDD", "WWW"]
+INSTITUTIONS = ["PNNL", "Purdue", "ETH", "MPI", "Tsinghua"]
+
+
+def build_citation_ontology() -> Ontology:
+    """Ontology for the bibliography domain."""
+    ontology = Ontology()
+    ontology.bulk_add_types(CITATION_TYPES)
+    for name, domain, range_ in CITATION_PREDICATES:
+        ontology.add_predicate(name, domain=domain, range_=range_)
+    return ontology
+
+
+@dataclass
+class FactBatch:
+    """One dated batch of structured facts (a bibliography update)."""
+
+    date: SimpleDate
+    facts: List[Tuple[str, str, str]] = field(default_factory=list)
+    source: str = "dblp-like"
+
+
+class CitationWorld:
+    """Synthetic bibliography generator.
+
+    Args:
+        n_authors / n_papers: World size.
+        seed: RNG seed; generation is deterministic given it.
+        start_year / end_year: Publication timeline.
+        hot_topic: Topic whose citation rate bursts in the last third of
+            the timeline (the trend for the miner to discover).
+    """
+
+    def __init__(
+        self,
+        n_authors: int = 40,
+        n_papers: int = 120,
+        seed: int = 37,
+        start_year: int = 2008,
+        end_year: int = 2016,
+        hot_topic: str = "knowledge_graphs",
+    ) -> None:
+        if n_authors < 2 or n_papers < 2:
+            raise ConfigError("need at least 2 authors and 2 papers")
+        if hot_topic not in TOPICS:
+            raise ConfigError(f"hot_topic must be one of {TOPICS}")
+        self.rng = np.random.default_rng(seed)
+        self.n_authors = n_authors
+        self.n_papers = n_papers
+        self.start_year = start_year
+        self.end_year = end_year
+        self.hot_topic = hot_topic
+        self.authors: List[str] = []
+        self.papers: List[str] = []
+        self._paper_topic: Dict[str, str] = {}
+        self._paper_year: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def populate_kb(self, kb: KnowledgeBase) -> None:
+        """Register authors, venues, topics and institutions in the KB."""
+        for topic in TOPICS:
+            kb.add_entity(
+                f"topic_{topic}", "ResearchTopic", aliases=[topic.replace("_", " ")],
+                description=f"Research on {topic.replace('_', ' ')}.",
+            )
+        for venue in VENUES:
+            kb.add_entity(f"venue_{venue}", "Venue", aliases=[venue],
+                          description=f"The {venue} conference.")
+        for institution in INSTITUTIONS:
+            kb.add_entity(f"inst_{institution}", "Institution",
+                          aliases=[institution])
+        for i in range(self.n_authors):
+            author = f"author_{i:03d}"
+            topic = TOPICS[int(self.rng.integers(len(TOPICS)))]
+            institution = INSTITUTIONS[int(self.rng.integers(len(INSTITUTIONS)))]
+            kb.add_entity(author, "Author", aliases=[f"Author {i}"],
+                          description=f"Researcher working on {topic}.")
+            kb.add_fact(author, "worksOn", f"topic_{topic}")
+            kb.add_fact(author, "affiliatedWith", f"inst_{institution}")
+            self.authors.append(author)
+
+    def generate_batches(self, kb: KnowledgeBase) -> List[FactBatch]:
+        """Generate dated publication/citation fact batches in order."""
+        if not self.authors:
+            self.populate_kb(kb)
+        batches: List[FactBatch] = []
+        total_months = (self.end_year - self.start_year + 1) * 12
+        for index in range(self.n_papers):
+            progress = index / self.n_papers
+            month_index = int(progress * total_months)
+            year = self.start_year + month_index // 12
+            month = month_index % 12 + 1
+            date = SimpleDate(year=year, month=month)
+            paper = f"paper_{index:04d}"
+            topic = self._choose_topic(progress)
+            venue = VENUES[int(self.rng.integers(len(VENUES)))]
+            kb.add_entity(paper, "Publication", aliases=[f"Paper {index}"],
+                          description=f"A paper about {topic.replace('_', ' ')}.")
+            facts: List[Tuple[str, str, str]] = [
+                (paper, "hasTopic", f"topic_{topic}"),
+                (paper, "publishedIn", f"venue_{venue}"),
+            ]
+            for author in self._pick_authors():
+                facts.append((paper, "authoredBy", author))
+            facts.extend(
+                (paper, "cites", cited) for cited in self._pick_citations(topic, progress)
+            )
+            self.papers.append(paper)
+            self._paper_topic[paper] = topic
+            self._paper_year[paper] = year
+            batches.append(FactBatch(date=date, facts=facts))
+        return batches
+
+    # ------------------------------------------------------------------
+    def _choose_topic(self, progress: float) -> str:
+        if progress > 0.66 and self.rng.random() < 0.6:
+            return self.hot_topic  # the late burst
+        return TOPICS[int(self.rng.integers(len(TOPICS)))]
+
+    def _pick_authors(self) -> List[str]:
+        count = 1 + int(self.rng.integers(3))
+        picks = self.rng.choice(len(self.authors), size=min(count, len(self.authors)),
+                                replace=False)
+        return [self.authors[int(i)] for i in picks]
+
+    def _pick_citations(self, topic: str, progress: float) -> List[str]:
+        if not self.papers:
+            return []
+        count = min(len(self.papers), 1 + int(self.rng.integers(4)))
+        # Preferential attachment by recency + topical affinity; the hot
+        # topic attracts extra citations late in the timeline.
+        weights = []
+        for paper in self.papers:
+            weight = 1.0
+            if self._paper_topic[paper] == topic:
+                weight += 2.0
+            if (
+                progress > 0.66
+                and self._paper_topic[paper] == self.hot_topic
+            ):
+                weight += 3.0
+            weights.append(weight)
+        probabilities = np.asarray(weights) / sum(weights)
+        picks = self.rng.choice(
+            len(self.papers), size=count, replace=False, p=probabilities
+        )
+        return [self.papers[int(i)] for i in picks]

@@ -1,0 +1,88 @@
+"""Corpus assembly: dated article streams over the world model.
+
+``generate_corpus`` produces the whole corpus eagerly (for tests and
+benches); ``stream_corpus`` yields articles in date order, which is how
+the NOUS pipeline consumes them (§1: "data arrives in streaming
+fashion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.data.articles import Article, ArticleRenderer
+from repro.data.world import WorldModel
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for synthetic corpus generation.
+
+    Attributes:
+        n_articles: Number of articles (== events).
+        seed: Master seed; world population, events and rendering all
+            derive from it.
+        n_extra_companies: Synthetic companies to add to the KB.
+        start_year / end_year: Timeline bounds.
+        crawl_fraction: Fraction of articles attributed to noisy crawl
+            sources instead of the WSJ.
+        crawl_noise: Noise level inside crawl articles.
+    """
+
+    n_articles: int = 200
+    seed: int = 7
+    n_extra_companies: int = 12
+    start_year: int = 2010
+    end_year: int = 2015
+    crawl_fraction: float = 0.3
+    crawl_noise: float = 0.5
+
+    def validate(self) -> None:
+        if self.n_articles < 1:
+            raise ConfigError("n_articles must be >= 1")
+        if not 0.0 <= self.crawl_fraction <= 1.0:
+            raise ConfigError("crawl_fraction must be in [0, 1]")
+
+
+def generate_corpus(
+    kb: KnowledgeBase, config: Optional[CorpusConfig] = None
+) -> List[Article]:
+    """Generate a dated, sorted synthetic corpus over ``kb``.
+
+    The KB is extended in place with the world model's synthetic
+    entities (they are part of the "curated" world the articles assume).
+    """
+    config = config or CorpusConfig()
+    config.validate()
+    world = WorldModel(
+        kb,
+        seed=config.seed,
+        n_extra_companies=config.n_extra_companies,
+        start_year=config.start_year,
+        end_year=config.end_year,
+    )
+    renderer = ArticleRenderer(kb, seed=config.seed + 1, crawl_noise=config.crawl_noise)
+    rng = np.random.default_rng(config.seed + 2)
+    articles: List[Article] = []
+    for event in world.generate_events(config.n_articles):
+        if rng.random() < config.crawl_fraction:
+            source = renderer.CRAWL_SITES[
+                int(rng.integers(len(renderer.CRAWL_SITES)))
+            ]
+        else:
+            source = "wsj"
+        articles.append(renderer.render(event, source=source))
+    articles.sort(key=lambda a: (a.date.ordinal(), a.doc_id))
+    return articles
+
+
+def stream_corpus(
+    kb: KnowledgeBase, config: Optional[CorpusConfig] = None
+) -> Iterator[Article]:
+    """Yield the corpus article by article in date order."""
+    yield from generate_corpus(kb, config)

@@ -1,0 +1,176 @@
+"""Insider-threat domain (paper §3.1, data source 2).
+
+NOUS's second named application is "insider threat detection using
+various log data sources from enterprises".  Like bibliography data,
+logs are structured: events become dated triples ingested directly via
+``Nous.ingest_facts``.  The generator models an enterprise (users,
+hosts, resources with sensitivity levels) under normal behaviour, then
+plants an exfiltration campaign late in the timeline — a small set of
+users logging into unusual hosts and bulk-accessing sensitive resources
+— which surfaces as new frequent patterns in the sliding window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.ontology import Ontology
+from repro.nlp.dates import SimpleDate
+
+LOG_TYPES = [
+    ("Agent", Ontology.ROOT),
+    ("User", "Agent"),
+    ("Host", Ontology.ROOT),
+    ("Resource", Ontology.ROOT),
+    ("SensitiveResource", "Resource"),
+    ("Department", Ontology.ROOT),
+]
+
+LOG_PREDICATES = [
+    ("loggedInto", "User", "Host"),
+    ("accessed", "User", "Resource"),
+    ("downloaded", "User", "Resource"),
+    ("escalatedOn", "User", "Host"),
+    ("memberOf", "User", "Department"),
+    ("hostedOn", "Resource", "Host"),
+]
+
+DEPARTMENTS = ["engineering", "finance", "sales", "hr"]
+
+
+def build_log_ontology() -> Ontology:
+    """Ontology for the enterprise-log domain."""
+    ontology = Ontology()
+    ontology.bulk_add_types(LOG_TYPES)
+    for name, domain, range_ in LOG_PREDICATES:
+        ontology.add_predicate(name, domain=domain, range_=range_)
+    return ontology
+
+
+@dataclass
+class LogBatch:
+    """One day of log events as dated triples."""
+
+    date: SimpleDate
+    facts: List[Tuple[str, str, str]] = field(default_factory=list)
+    source: str = "auth-logs"
+
+
+class EnterpriseLogWorld:
+    """Synthetic enterprise log generator with a planted insider campaign.
+
+    Args:
+        n_users / n_hosts / n_resources: World size.
+        n_days: Length of the log timeline.
+        seed: RNG seed.
+        campaign_start: Fraction of the timeline after which the insider
+            campaign runs (default: last 30%).
+        n_insiders: Users participating in the campaign.
+    """
+
+    def __init__(
+        self,
+        n_users: int = 25,
+        n_hosts: int = 8,
+        n_resources: int = 15,
+        n_days: int = 60,
+        seed: int = 41,
+        campaign_start: float = 0.7,
+        n_insiders: int = 3,
+    ) -> None:
+        if n_users < 2 or n_hosts < 2 or n_resources < 2:
+            raise ConfigError("need at least 2 users/hosts/resources")
+        if not 0.0 < campaign_start < 1.0:
+            raise ConfigError("campaign_start must be in (0, 1)")
+        if n_insiders >= n_users:
+            raise ConfigError("n_insiders must be < n_users")
+        self.rng = np.random.default_rng(seed)
+        self.n_users = n_users
+        self.n_hosts = n_hosts
+        self.n_resources = n_resources
+        self.n_days = n_days
+        self.campaign_start = campaign_start
+        self.n_insiders = n_insiders
+        self.users: List[str] = []
+        self.hosts: List[str] = []
+        self.resources: List[str] = []
+        self.sensitive: List[str] = []
+        self.insiders: List[str] = []
+        self._home_host: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def populate_kb(self, kb: KnowledgeBase) -> None:
+        """Register users, hosts, resources and static facts."""
+        for d in DEPARTMENTS:
+            kb.add_entity(f"dept_{d}", "Department", aliases=[d])
+        for i in range(self.n_hosts):
+            host = f"host_{i:02d}"
+            kb.add_entity(host, "Host", aliases=[host])
+            self.hosts.append(host)
+        for i in range(self.n_resources):
+            sensitive = i < self.n_resources // 3
+            resource = f"res_{i:02d}"
+            kb.add_entity(
+                resource,
+                "SensitiveResource" if sensitive else "Resource",
+                aliases=[resource],
+            )
+            host = self.hosts[int(self.rng.integers(self.n_hosts))]
+            kb.add_fact(resource, "hostedOn", host)
+            self.resources.append(resource)
+            if sensitive:
+                self.sensitive.append(resource)
+        for i in range(self.n_users):
+            user = f"user_{i:03d}"
+            kb.add_entity(user, "User", aliases=[user])
+            department = DEPARTMENTS[int(self.rng.integers(len(DEPARTMENTS)))]
+            kb.add_fact(user, "memberOf", f"dept_{department}")
+            self._home_host[user] = self.hosts[int(self.rng.integers(self.n_hosts))]
+            self.users.append(user)
+        picks = self.rng.choice(self.n_users, size=self.n_insiders, replace=False)
+        self.insiders = [self.users[int(i)] for i in picks]
+
+    def generate_batches(self, kb: KnowledgeBase) -> List[LogBatch]:
+        """One batch per day, campaign active in the late phase."""
+        if not self.users:
+            self.populate_kb(kb)
+        batches: List[LogBatch] = []
+        for day in range(self.n_days):
+            date = SimpleDate(2016, 1 + day // 28, day % 28 + 1)
+            facts: List[Tuple[str, str, str]] = []
+            for user in self.users:
+                facts.extend(self._normal_activity(user))
+            if day / self.n_days >= self.campaign_start:
+                for insider in self.insiders:
+                    facts.extend(self._campaign_activity(insider))
+            batches.append(LogBatch(date=date, facts=facts))
+        return batches
+
+    # ------------------------------------------------------------------
+    def _normal_activity(self, user: str) -> List[Tuple[str, str, str]]:
+        facts = [(user, "loggedInto", self._home_host[user])]
+        if self.rng.random() < 0.6:
+            resource = self.resources[int(self.rng.integers(self.n_resources))]
+            facts.append((user, "accessed", resource))
+        if self.rng.random() < 0.15:
+            resource = self.resources[int(self.rng.integers(self.n_resources))]
+            facts.append((user, "downloaded", resource))
+        return facts
+
+    def _campaign_activity(self, insider: str) -> List[Tuple[str, str, str]]:
+        # Unusual host + sensitive access + bulk download + escalation:
+        # the 2-edge patterns (accessed+downloaded on SensitiveResource)
+        # become window-frequent only during the campaign.
+        foreign_hosts = [h for h in self.hosts if h != self._home_host[insider]]
+        host = foreign_hosts[int(self.rng.integers(len(foreign_hosts)))]
+        facts = [(insider, "loggedInto", host), (insider, "escalatedOn", host)]
+        for _ in range(2):
+            resource = self.sensitive[int(self.rng.integers(len(self.sensitive)))]
+            facts.append((insider, "accessed", resource))
+            facts.append((insider, "downloaded", resource))
+        return facts

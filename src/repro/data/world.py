@@ -1,0 +1,340 @@
+"""Generative world model: a dated event timeline over the domain KB.
+
+Events are the ground truth.  Each event knows the canonical triples it
+implies; the article renderer turns events into text, and evaluation
+compares pipeline output against the event triples.
+
+Regimes make streams *non-stationary* (the paper's motivation for
+streaming mining): different phases of the timeline favour different
+event types, so window-level frequent patterns change over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.dates import SimpleDate
+
+EVENT_TYPES = (
+    "funding",
+    "acquisition",
+    "launch",
+    "deployment",
+    "partnership",
+    "regulation",
+    "incident",
+    "expansion",
+)
+
+# Default regime schedule: fractions of the timeline with their event-type
+# weight profiles.  Early period: funding/launch heavy (startup boom);
+# middle: deployments and partnerships; late: acquisitions + regulation
+# (consolidation).  This produces the pattern drift Figure 7 shows.
+DEFAULT_REGIMES: List[Tuple[float, Dict[str, float]]] = [
+    (0.35, {"funding": 4, "launch": 3, "deployment": 1, "partnership": 1,
+            "regulation": 0.5, "acquisition": 0.5, "incident": 0.5, "expansion": 1}),
+    (0.35, {"funding": 1, "launch": 1, "deployment": 4, "partnership": 3,
+            "regulation": 1, "acquisition": 1, "incident": 1, "expansion": 1}),
+    (0.30, {"funding": 0.5, "launch": 0.5, "deployment": 1, "partnership": 1,
+            "regulation": 3, "acquisition": 4, "incident": 2, "expansion": 1}),
+]
+
+
+@dataclass
+class Event:
+    """One world event with its canonical consequence triples.
+
+    Attributes:
+        event_type: One of :data:`EVENT_TYPES`.
+        date: Event date.
+        participants: Role name -> canonical entity id (or literal).
+        triples: Gold ``(subject, predicate, object)`` triples implied.
+    """
+
+    event_type: str
+    date: SimpleDate
+    participants: Dict[str, str]
+    triples: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    def key(self) -> Tuple:
+        return (self.event_type, str(self.date), tuple(sorted(self.participants.items())))
+
+
+class WorldModel:
+    """Seeded generator of entities and events over a knowledge base.
+
+    Args:
+        kb: The curated KB to extend (typically :func:`build_drone_kb`).
+        seed: RNG seed; everything downstream is deterministic in it.
+        n_extra_companies: Synthetic companies added beyond the curated
+            set, to scale workloads.
+        start_year / end_year: Timeline bounds (inclusive).
+    """
+
+    FIRST_NAMES = ["Alex", "Jordan", "Morgan", "Riley", "Casey", "Taylor",
+                   "Avery", "Quinn", "Dana", "Reese", "Kai", "Rowan"]
+    LAST_NAMES = ["Chen", "Patel", "Novak", "Garcia", "Kim", "Okafor",
+                  "Silva", "Mueller", "Rossi", "Tanaka", "Larsen", "Dubois"]
+    COMPANY_STEMS = ["Aero", "Sky", "Hover", "Flight", "Cloud", "Drone",
+                     "Air", "Nimbus", "Falcon", "Swift", "Zephyr", "Orbit"]
+    COMPANY_SUFFIXES = ["Tech", "Works", "Labs", "Dynamics", "Systems",
+                        "Robotics", "Aviation", "Industries"]
+    PRODUCT_STEMS = ["Raptor", "Condor", "Swallow", "Kestrel", "Osprey",
+                     "Harrier", "Merlin", "Heron", "Swift", "Eagle"]
+    CITY_POOL = ["Seattle", "Berkeley", "Shenzhen", "Paris", "Danvers"]
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        seed: int = 7,
+        n_extra_companies: int = 12,
+        start_year: int = 2010,
+        end_year: int = 2015,
+    ) -> None:
+        if end_year < start_year:
+            raise ConfigError("end_year must be >= start_year")
+        self.kb = kb
+        self.rng = np.random.default_rng(seed)
+        self.start_year = start_year
+        self.end_year = end_year
+        self.synthetic_companies: List[str] = []
+        self.synthetic_people: List[str] = []
+        self.synthetic_products: List[str] = []
+        self._populate(n_extra_companies)
+
+    # ------------------------------------------------------------------
+    # synthetic population
+    # ------------------------------------------------------------------
+    def _populate(self, n_extra_companies: int) -> None:
+        for i in range(n_extra_companies):
+            stem = self.COMPANY_STEMS[int(self.rng.integers(len(self.COMPANY_STEMS)))]
+            suffix = self.COMPANY_SUFFIXES[
+                int(self.rng.integers(len(self.COMPANY_SUFFIXES)))
+            ]
+            company = f"{stem}{suffix}_{i}"
+            display = f"{stem}{suffix}"
+            self.kb.add_entity(
+                company,
+                "Company",
+                aliases=[display, f"{display} {i}"],
+                description=(
+                    f"{display} is a startup in the drone industry developing "
+                    f"unmanned aircraft and aerial data services."
+                ),
+            )
+            self.kb.add_fact(company, "operatesIn", "Drone_Industry")
+            city = self.CITY_POOL[int(self.rng.integers(len(self.CITY_POOL)))]
+            self.kb.add_fact(company, "headquarteredIn", city)
+            self.synthetic_companies.append(company)
+
+            founder = self._make_person(i)
+            self.kb.add_fact(company, "foundedBy", founder)
+            self.kb.add_fact(founder, "ceoOf", company)
+
+            product = self._make_product(i, company)
+            self.kb.add_fact(company, "manufactures", product)
+            self.kb.add_fact(product, "productOf", company)
+
+    def _make_person(self, i: int) -> str:
+        first = self.FIRST_NAMES[int(self.rng.integers(len(self.FIRST_NAMES)))]
+        last = self.LAST_NAMES[int(self.rng.integers(len(self.LAST_NAMES)))]
+        person = f"{first}_{last}_{i}"
+        self.kb.add_entity(
+            person, "Person", aliases=[f"{first} {last}"],
+            description=f"{first} {last} is an entrepreneur in the drone industry.",
+        )
+        self.synthetic_people.append(person)
+        return person
+
+    def _make_product(self, i: int, company: str) -> str:
+        stem = self.PRODUCT_STEMS[int(self.rng.integers(len(self.PRODUCT_STEMS)))]
+        product = f"{stem}_{i}"
+        self.kb.add_entity(
+            product, "Product", aliases=[stem, f"{stem} {i}"],
+            description=f"{stem} is a drone model made by {company.replace('_', ' ')}.",
+        )
+        self.synthetic_products.append(product)
+        return product
+
+    # ------------------------------------------------------------------
+    # event timeline
+    # ------------------------------------------------------------------
+    def generate_events(
+        self,
+        n_events: int,
+        regimes: Optional[List[Tuple[float, Dict[str, float]]]] = None,
+    ) -> List[Event]:
+        """Sample a dated, sorted event timeline.
+
+        Args:
+            n_events: Number of events.
+            regimes: ``(fraction, weights)`` phases; defaults to
+                :data:`DEFAULT_REGIMES`.
+        """
+        regimes = regimes if regimes is not None else DEFAULT_REGIMES
+        total_fraction = sum(f for f, _ in regimes)
+        if not 0.99 <= total_fraction <= 1.01:
+            raise ConfigError("regime fractions must sum to 1.0")
+
+        events: List[Event] = []
+        dates = self._sorted_dates(n_events)
+        position = 0
+        for fraction, weights in regimes:
+            count = int(round(fraction * n_events))
+            count = min(count, n_events - position)
+            profile = self._normalise(weights)
+            for _ in range(count):
+                event_type = self._choose(list(profile), list(profile.values()))
+                events.append(self._make_event(event_type, dates[position]))
+                position += 1
+        while position < n_events:  # rounding remainder -> last regime
+            profile = self._normalise(regimes[-1][1])
+            event_type = self._choose(list(profile), list(profile.values()))
+            events.append(self._make_event(event_type, dates[position]))
+            position += 1
+        return events
+
+    def _sorted_dates(self, n: int) -> List[SimpleDate]:
+        span_days = (self.end_year - self.start_year + 1) * 360
+        offsets = np.sort(self.rng.integers(0, span_days, size=n))
+        dates = []
+        for offset in offsets:
+            year = self.start_year + int(offset) // 360
+            month = (int(offset) % 360) // 30 + 1
+            day = (int(offset) % 30) + 1
+            dates.append(SimpleDate(year=year, month=min(month, 12), day=min(day, 28)))
+        return dates
+
+    def _normalise(self, weights: Dict[str, float]) -> Dict[str, float]:
+        total = sum(weights.values())
+        return {k: v / total for k, v in weights.items()}
+
+    def _choose(self, items: Sequence, probabilities: Sequence[float]):
+        index = int(self.rng.choice(len(items), p=np.asarray(probabilities)))
+        return items[index]
+
+    # ------------------------------------------------------------------
+    def _companies(self) -> List[str]:
+        return sorted(self.kb.entities_of_type("Company"))
+
+    def _make_event(self, event_type: str, date: SimpleDate) -> Event:
+        maker = getattr(self, f"_event_{event_type}")
+        return maker(date)
+
+    def _pick_company(self, exclude: Tuple[str, ...] = ()) -> str:
+        companies = [c for c in self._companies() if c not in exclude]
+        return companies[int(self.rng.integers(len(companies)))]
+
+    def _event_funding(self, date: SimpleDate) -> Event:
+        company = self._pick_company()
+        investors = sorted(
+            self.kb.entities_of_type("Company")
+            & {"Accel_Partners", "Sequoia_Capital", "Kleiner_Perkins", "Intel"}
+        )
+        investor = investors[int(self.rng.integers(len(investors)))]
+        amount = int(self.rng.choice([10, 25, 30, 50, 75, 100, 150]))
+        amount_text = f"${amount} million"
+        return Event(
+            event_type="funding",
+            date=date,
+            participants={"company": company, "investor": investor, "amount": amount_text},
+            triples=[
+                (company, "raisedFunding", amount_text),
+                (company, "fundedBy", investor),
+                (investor, "investsIn", company),
+            ],
+        )
+
+    def _event_acquisition(self, date: SimpleDate) -> Event:
+        acquirer = self._pick_company()
+        target = self._pick_company(exclude=(acquirer,))
+        price = int(self.rng.choice([120, 250, 400, 775, 1000]))
+        return Event(
+            event_type="acquisition",
+            date=date,
+            participants={"acquirer": acquirer, "target": target,
+                          "price": f"${price} million"},
+            triples=[
+                (acquirer, "acquired", target),
+                (target, "subsidiaryOf", acquirer),
+            ],
+        )
+
+    def _event_launch(self, date: SimpleDate) -> Event:
+        products = self.kb.entities_of_type("Product")
+        companies_with_products = [
+            (c, p)
+            for p in sorted(products)
+            for c in [t.object for t in self.kb.store.match(subject=p, predicate="productOf")]
+        ]
+        company, product = companies_with_products[
+            int(self.rng.integers(len(companies_with_products)))
+        ]
+        return Event(
+            event_type="launch",
+            date=date,
+            participants={"company": company, "product": product},
+            triples=[
+                (company, "launched", product),
+                (product, "productOf", company),
+            ],
+        )
+
+    def _event_deployment(self, date: SimpleDate) -> Event:
+        org = self._pick_company()
+        technologies = sorted(self.kb.entities_of_type("Technology"))
+        technology = technologies[int(self.rng.integers(len(technologies)))]
+        return Event(
+            event_type="deployment",
+            date=date,
+            participants={"org": org, "technology": technology},
+            triples=[(org, "usesTechnology", technology)],
+        )
+
+    def _event_partnership(self, date: SimpleDate) -> Event:
+        a = self._pick_company()
+        b = self._pick_company(exclude=(a,))
+        return Event(
+            event_type="partnership",
+            date=date,
+            participants={"a": a, "b": b},
+            triples=[(a, "partnerOf", b), (b, "partnerOf", a)],
+        )
+
+    def _event_regulation(self, date: SimpleDate) -> Event:
+        agencies = sorted(self.kb.entities_of_type("Agency")) or ["FAA"]
+        agency = agencies[int(self.rng.integers(len(agencies)))]
+        return Event(
+            event_type="regulation",
+            date=date,
+            participants={"agency": agency, "industry": "Drone_Industry"},
+            triples=[(agency, "regulates", "Drone_Industry")],
+        )
+
+    def _event_incident(self, date: SimpleDate) -> Event:
+        products = sorted(self.kb.entities_of_type("Product"))
+        product = products[int(self.rng.integers(len(products)))]
+        cities = sorted(self.kb.entities_of_type("City"))
+        city = cities[int(self.rng.integers(len(cities)))]
+        return Event(
+            event_type="incident",
+            date=date,
+            participants={"product": product, "location": city},
+            triples=[(product, "bannedIn", city)],
+        )
+
+    def _event_expansion(self, date: SimpleDate) -> Event:
+        company = self._pick_company()
+        industries = sorted(self.kb.entities_of_type("Industry"))
+        industry = industries[int(self.rng.integers(len(industries)))]
+        return Event(
+            event_type="expansion",
+            date=date,
+            participants={"company": company, "industry": industry},
+            triples=[(company, "operatesIn", industry)],
+        )

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the NOUS reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for property-graph errors."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex not found: {vertex_id!r}")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge id was referenced that is not present in the graph."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"edge not found: {edge_id!r}")
+        self.edge_id = edge_id
+
+
+class DuplicateVertexError(GraphError):
+    """A vertex id was added twice with ``strict=True``."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex already exists: {vertex_id!r}")
+        self.vertex_id = vertex_id
+
+
+class KBError(ReproError):
+    """Base class for knowledge-base errors."""
+
+
+class UnknownPredicateError(KBError):
+    """A predicate was used that the ontology does not define."""
+
+    def __init__(self, predicate: str) -> None:
+        super().__init__(f"unknown predicate: {predicate!r}")
+        self.predicate = predicate
+
+
+class UnknownTypeError(KBError):
+    """An entity type was used that the taxonomy does not define."""
+
+    def __init__(self, type_name: str) -> None:
+        super().__init__(f"unknown type: {type_name!r}")
+        self.type_name = type_name
+
+
+class NLPError(ReproError):
+    """Base class for NLP-pipeline errors."""
+
+
+class LinkingError(ReproError):
+    """Base class for entity-linking / predicate-mapping errors."""
+
+
+class MiningError(ReproError):
+    """Base class for frequent-graph-mining errors."""
+
+
+class PatternError(MiningError):
+    """A malformed pattern (disconnected, too large, bad variables)."""
+
+
+class QAError(ReproError):
+    """Base class for question-answering errors."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors."""
+
+
+class QueryParseError(QueryError):
+    """The NL-like query string could not be parsed into a query class."""
+
+    def __init__(self, text: str, reason: str) -> None:
+        super().__init__(f"cannot parse query {text!r}: {reason}")
+        self.text = text
+        self.reason = reason
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value supplied to a component."""

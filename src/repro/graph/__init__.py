@@ -1,0 +1,49 @@
+"""Property-graph substrate.
+
+This package replaces the role Apache Spark GraphX plays in the original
+NOUS implementation: a property graph that stores arbitrary key/value
+properties on vertices and edges, graph-parallel primitives
+(:func:`~repro.graph.pregel.pregel` and
+:func:`~repro.graph.pregel.aggregate_messages`), classic graph algorithms
+built on those primitives, and a temporal :class:`~repro.graph.temporal.DynamicGraph`
+that maintains a sliding window over a stream of timestamped edges.
+
+The graph is logically partitioned (see :mod:`repro.graph.partition`) the
+way a distributed edge-cut graph would be; partitioning is simulated
+in-process but exercised by the same code paths so that statistics such as
+edge cuts and per-partition load remain meaningful.
+"""
+
+from repro.graph.partition import HashPartitioner, PartitionStats
+from repro.graph.property_graph import Edge, PropertyGraph, Triplet
+from repro.graph.pregel import PregelResult, aggregate_messages, pregel
+from repro.graph.temporal import CountWindow, DynamicGraph, TimeWindow, TimedEdge
+from repro.graph.algorithms import (
+    bfs_distances,
+    connected_components,
+    k_hop_neighborhood,
+    pagerank,
+    shortest_path,
+    triangle_count,
+)
+
+__all__ = [
+    "Edge",
+    "PropertyGraph",
+    "Triplet",
+    "HashPartitioner",
+    "PartitionStats",
+    "pregel",
+    "PregelResult",
+    "aggregate_messages",
+    "DynamicGraph",
+    "TimedEdge",
+    "CountWindow",
+    "TimeWindow",
+    "connected_components",
+    "pagerank",
+    "bfs_distances",
+    "shortest_path",
+    "k_hop_neighborhood",
+    "triangle_count",
+]

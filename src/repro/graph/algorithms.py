@@ -1,0 +1,209 @@
+"""Classic graph algorithms on :class:`~repro.graph.property_graph.PropertyGraph`.
+
+Connected components and PageRank are expressed through the Pregel
+primitive (as GraphX implements them); traversals that are naturally
+sequential (BFS, Dijkstra-style weighted search, k-hop expansion) use
+direct adjacency access for clarity and speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import VertexNotFoundError
+from repro.graph.pregel import pregel
+from repro.graph.property_graph import Edge, PropertyGraph
+
+VertexId = Hashable
+
+
+def connected_components(graph: PropertyGraph) -> Dict[VertexId, VertexId]:
+    """Label each vertex with the minimum vertex id in its weak component.
+
+    Implemented as min-label propagation under Pregel, as in GraphX's
+    ``ConnectedComponents``.
+
+    Returns:
+        Map from vertex id to component label.
+    """
+
+    def init(vid: VertexId, _props: dict) -> VertexId:
+        return vid
+
+    def vprog(_vid: VertexId, state: VertexId, message: VertexId) -> VertexId:
+        return min(state, message, key=_order_key)
+
+    def send(edge: Edge, src_state: VertexId, dst_state: VertexId):
+        if _order_key(src_state) < _order_key(dst_state):
+            yield (edge.dst, src_state)
+        elif _order_key(dst_state) < _order_key(src_state):
+            yield (edge.src, dst_state)
+
+    def merge(a: VertexId, b: VertexId) -> VertexId:
+        return min(a, b, key=_order_key)
+
+    result = pregel(
+        graph,
+        initial_state=init,
+        vertex_program=vprog,
+        send=send,
+        merge=merge,
+        max_iterations=max(graph.num_vertices, 1),
+    )
+    return result.states
+
+
+def _order_key(vid: VertexId) -> Tuple[str, str]:
+    """Total order over heterogeneous vertex ids (type name, then repr)."""
+    return (type(vid).__name__, repr(vid))
+
+
+def pagerank(
+    graph: PropertyGraph,
+    damping: float = 0.85,
+    max_iterations: int = 30,
+    tol: float = 1.0e-6,
+) -> Dict[VertexId, float]:
+    """Power-iteration PageRank over directed edges.
+
+    Dangling mass is redistributed uniformly so ranks sum to ~1.0.
+
+    Returns:
+        Map from vertex id to rank.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return {}
+    ranks = {vid: 1.0 / n for vid in graph.vertices()}
+    out_deg = {vid: graph.out_degree(vid) for vid in graph.vertices()}
+    for _ in range(max_iterations):
+        contrib: Dict[VertexId, float] = {vid: 0.0 for vid in ranks}
+        dangling = 0.0
+        for vid, rank in ranks.items():
+            if out_deg[vid] == 0:
+                dangling += rank
+                continue
+            share = rank / out_deg[vid]
+            for edge in graph.out_edges(vid):
+                contrib[edge.dst] += share
+        base = (1.0 - damping) / n + damping * dangling / n
+        new_ranks = {vid: base + damping * contrib[vid] for vid in ranks}
+        delta = sum(abs(new_ranks[v] - ranks[v]) for v in ranks)
+        ranks = new_ranks
+        if delta < tol:
+            break
+    return ranks
+
+
+def bfs_distances(
+    graph: PropertyGraph,
+    source: VertexId,
+    directed: bool = False,
+    max_depth: Optional[int] = None,
+) -> Dict[VertexId, int]:
+    """Hop distances from ``source`` (ignoring edge direction by default).
+
+    Args:
+        graph: The graph.
+        source: Start vertex.
+        directed: Follow out-edges only when true.
+        max_depth: Stop expanding past this depth when given.
+
+    Returns:
+        Map from reached vertex id to hop count (source included at 0).
+
+    Raises:
+        VertexNotFoundError: if ``source`` is absent.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    dist: Dict[VertexId, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        depth = dist[current]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        nbrs = graph.successors(current) if directed else graph.neighbors(current)
+        for nbr in nbrs:
+            if nbr not in dist:
+                dist[nbr] = depth + 1
+                queue.append(nbr)
+    return dist
+
+
+def shortest_path(
+    graph: PropertyGraph,
+    source: VertexId,
+    target: VertexId,
+    weight: Optional[Callable[[Edge], float]] = None,
+    directed: bool = False,
+) -> Optional[List[VertexId]]:
+    """Dijkstra shortest path as a vertex list, or ``None`` if unreachable.
+
+    Args:
+        weight: Edge-cost function; defaults to 1 per hop.
+        directed: Follow edge direction when true.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    cost = {source: 0.0}
+    parent: Dict[VertexId, Optional[VertexId]] = {source: None}
+    heap: List[Tuple[float, int, VertexId]] = [(0.0, 0, source)]
+    counter = 1
+    visited: Set[VertexId] = set()
+    while heap:
+        d, _, current = heapq.heappop(heap)
+        if current in visited:
+            continue
+        visited.add(current)
+        if current == target:
+            break
+        edges = graph.out_edges(current)
+        if not directed:
+            edges = edges + graph.in_edges(current)
+        for edge in edges:
+            nbr = edge.dst if edge.src == current else edge.src
+            w = weight(edge) if weight is not None else 1.0
+            nd = d + w
+            if nbr not in cost or nd < cost[nbr]:
+                cost[nbr] = nd
+                parent[nbr] = current
+                heapq.heappush(heap, (nd, counter, nbr))
+                counter += 1
+    if target not in parent:
+        return None
+    path = [target]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def k_hop_neighborhood(
+    graph: PropertyGraph, source: VertexId, k: int, directed: bool = False
+) -> Set[VertexId]:
+    """Vertices within ``k`` hops of ``source`` (source excluded)."""
+    dist = bfs_distances(graph, source, directed=directed, max_depth=k)
+    return {vid for vid, d in dist.items() if 0 < d <= k}
+
+
+def triangle_count(graph: PropertyGraph) -> int:
+    """Number of undirected triangles (direction and labels ignored)."""
+    adjacency: Dict[VertexId, Set[VertexId]] = {
+        vid: graph.neighbors(vid) - {vid} for vid in graph.vertices()
+    }
+    count = 0
+    for vid, nbrs in adjacency.items():
+        for u in nbrs:
+            if _order_key(u) <= _order_key(vid):
+                continue
+            common = nbrs & adjacency[u]
+            for w in common:
+                if _order_key(w) > _order_key(u):
+                    count += 1
+    return count

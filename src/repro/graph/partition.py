@@ -1,0 +1,95 @@
+"""Logical partitioning of the property graph.
+
+NOUS runs on Spark/GraphX where the graph is split across executors; here a
+:class:`HashPartitioner` assigns vertices to logical partitions and
+:class:`PartitionStats` measures the placement quality (balance, edge cut)
+so that the same design concerns remain observable in a single process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.property_graph import PropertyGraph
+
+
+def _stable_hash(value: Hashable) -> int:
+    """Deterministic hash across processes (``hash()`` is salted for str)."""
+    if isinstance(value, int):
+        return value
+    text = value if isinstance(value, str) else repr(value)
+    # FNV-1a, 64-bit: simple, fast, deterministic.
+    acc = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+class HashPartitioner:
+    """Assign hashable ids to ``num_partitions`` buckets deterministically."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Hashable) -> int:
+        """Return the partition index for ``key`` in ``[0, num_partitions)``."""
+        return _stable_hash(key) % self.num_partitions
+
+
+@dataclass
+class PartitionStats:
+    """Placement statistics for a partitioned graph.
+
+    Attributes:
+        vertex_counts: Vertices per partition.
+        edge_counts: Edges per partition (edges live with their source).
+        cut_edges: Number of edges whose endpoints live on different
+            partitions — the communication cost proxy for Pregel supersteps.
+    """
+
+    vertex_counts: List[int]
+    edge_counts: List[int]
+    cut_edges: int
+
+    @property
+    def total_edges(self) -> int:
+        return sum(self.edge_counts)
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of edges crossing partitions (0 when the graph is empty)."""
+        total = self.total_edges
+        return self.cut_edges / total if total else 0.0
+
+    @property
+    def vertex_balance(self) -> float:
+        """Max/mean vertex load ratio; 1.0 is perfectly balanced."""
+        nonzero = [c for c in self.vertex_counts]
+        if not nonzero or sum(nonzero) == 0:
+            return 1.0
+        mean = sum(nonzero) / len(nonzero)
+        return max(nonzero) / mean if mean else 1.0
+
+
+def compute_partition_stats(graph: "PropertyGraph") -> PartitionStats:
+    """Measure the current placement of ``graph`` under its partitioner."""
+    n = graph.partitioner.num_partitions
+    vertex_counts = [0] * n
+    edge_counts = [0] * n
+    cut = 0
+    for vid in graph.vertices():
+        vertex_counts[graph.partition_of_vertex(vid)] += 1
+    for edge in graph.edges():
+        edge_counts[graph.partition_of_edge(edge)] += 1
+        if graph.partition_of_vertex(edge.src) != graph.partition_of_vertex(edge.dst):
+            cut += 1
+    return PartitionStats(
+        vertex_counts=vertex_counts, edge_counts=edge_counts, cut_edges=cut
+    )

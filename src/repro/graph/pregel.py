@@ -1,0 +1,181 @@
+"""Graph-parallel primitives in the style of GraphX.
+
+Two entry points:
+
+- :func:`aggregate_messages` — one round of "send a message along every
+  triplet, merge messages per destination vertex".
+- :func:`pregel` — iterated bulk-synchronous message passing with vertex
+  programs and convergence detection, matching ``GraphX.Pregel``.
+
+Both operate on :class:`~repro.graph.property_graph.PropertyGraph` without
+mutating it: vertex state lives in plain dictionaries owned by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.graph.property_graph import Edge, PropertyGraph
+
+VertexId = Hashable
+State = Any
+Message = Any
+
+# send_message receives (edge, src_state, dst_state) and yields
+# (destination vertex id, message) pairs; it may message either endpoint.
+SendFn = Callable[[Edge, State, State], Iterable[Tuple[VertexId, Message]]]
+MergeFn = Callable[[Message, Message], Message]
+VertexProgram = Callable[[VertexId, State, Message], State]
+
+
+@dataclass
+class PregelResult:
+    """Outcome of a Pregel run.
+
+    Attributes:
+        states: Final vertex state map.
+        supersteps: Number of supersteps executed (0 if it converged
+            immediately).
+        messages_per_step: Messages generated in each superstep; useful as
+            a communication-cost proxy in benchmarks.
+        cross_partition_messages: Messages whose source and destination
+            vertices live on different logical partitions, per superstep.
+        converged: True if the run stopped because no messages were
+            produced (rather than hitting ``max_iterations``).
+    """
+
+    states: Dict[VertexId, State]
+    supersteps: int
+    messages_per_step: List[int] = field(default_factory=list)
+    cross_partition_messages: List[int] = field(default_factory=list)
+    converged: bool = True
+
+
+def aggregate_messages(
+    graph: PropertyGraph,
+    send: SendFn,
+    merge: MergeFn,
+    states: Optional[Dict[VertexId, State]] = None,
+) -> Dict[VertexId, Message]:
+    """Run one send/merge round over every edge of ``graph``.
+
+    Args:
+        graph: The graph to traverse.
+        send: Called once per edge with ``(edge, src_state, dst_state)``;
+            yields ``(vertex_id, message)`` pairs.
+        merge: Commutative/associative combiner for messages addressed to
+            the same vertex.
+        states: Optional vertex-state map handed to ``send``; missing
+            vertices see ``None``.
+
+    Returns:
+        Map from vertex id to its merged message (vertices that received
+        no message are absent).
+    """
+    states = states or {}
+    inbox: Dict[VertexId, Message] = {}
+    for edge in graph.edges():
+        src_state = states.get(edge.src)
+        dst_state = states.get(edge.dst)
+        for target, message in send(edge, src_state, dst_state):
+            if target in inbox:
+                inbox[target] = merge(inbox[target], message)
+            else:
+                inbox[target] = message
+    return inbox
+
+
+def pregel(
+    graph: PropertyGraph,
+    initial_state: Callable[[VertexId, Dict[str, Any]], State],
+    vertex_program: VertexProgram,
+    send: SendFn,
+    merge: MergeFn,
+    initial_message: Optional[Message] = None,
+    max_iterations: int = 50,
+) -> PregelResult:
+    """Bulk-synchronous vertex-centric computation.
+
+    Semantics follow GraphX: every vertex first runs ``vertex_program``
+    on ``initial_message`` (when provided), then supersteps alternate
+    message generation (only edges incident to *active* vertices fire)
+    and vertex-program application (only vertices that received mail run;
+    the rest stay inactive).  The run stops when no messages flow or after
+    ``max_iterations`` supersteps.
+
+    Args:
+        graph: Input graph (not mutated).
+        initial_state: Builds each vertex's starting state from its id and
+            property map.
+        vertex_program: ``(vertex_id, state, merged_message) -> new state``.
+        send: Yields ``(target, message)`` pairs per edge; the edge fires
+            when either endpoint changed state in the previous step.
+        merge: Message combiner.
+        initial_message: Message delivered to every vertex before the
+            first superstep; ``None`` skips that phase.
+        max_iterations: Superstep cap.
+
+    Returns:
+        A :class:`PregelResult`.
+    """
+    if max_iterations < 1:
+        raise ConfigError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    states: Dict[VertexId, State] = {
+        vid: initial_state(vid, graph.vertex_props(vid)) for vid in graph.vertices()
+    }
+    active = set(states)
+    if initial_message is not None:
+        for vid in states:
+            states[vid] = vertex_program(vid, states[vid], initial_message)
+
+    messages_per_step: List[int] = []
+    cross_per_step: List[int] = []
+    supersteps = 0
+    converged = False
+
+    for _ in range(max_iterations):
+        inbox: Dict[VertexId, Message] = {}
+        message_count = 0
+        cross_count = 0
+        for edge in graph.edges():
+            if edge.src not in active and edge.dst not in active:
+                continue
+            for target, message in send(edge, states.get(edge.src), states.get(edge.dst)):
+                message_count += 1
+                if graph.partition_of_vertex(edge.src) != graph.partition_of_vertex(
+                    target
+                ):
+                    cross_count += 1
+                if target in inbox:
+                    inbox[target] = merge(inbox[target], message)
+                else:
+                    inbox[target] = message
+        if not inbox:
+            converged = True
+            break
+        supersteps += 1
+        messages_per_step.append(message_count)
+        cross_per_step.append(cross_count)
+        next_active = set()
+        for vid, message in inbox.items():
+            if vid not in states:
+                continue
+            new_state = vertex_program(vid, states[vid], message)
+            if new_state != states[vid]:
+                next_active.add(vid)
+            states[vid] = new_state
+        active = next_active
+        if not active:
+            converged = True
+            break
+
+    return PregelResult(
+        states=states,
+        supersteps=supersteps,
+        messages_per_step=messages_per_step,
+        cross_partition_messages=cross_per_step,
+        converged=converged,
+    )

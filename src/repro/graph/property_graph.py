@@ -1,0 +1,394 @@
+"""In-memory directed property multigraph.
+
+The data model mirrors GraphX's ``Graph[VD, ED]``: every vertex and every
+edge carries an arbitrary dictionary of properties, edges are directed and
+labelled, and parallel edges between the same pair of vertices are allowed
+(they receive distinct edge ids).  On top of the raw storage the class
+exposes the *triplet view* (``(src properties, edge, dst properties)``)
+that GraphX programs are written against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    VertexNotFoundError,
+)
+from repro.graph.partition import HashPartitioner
+
+VertexId = Hashable
+
+
+@dataclass
+class Edge:
+    """A directed, labelled edge with a property map.
+
+    Attributes:
+        eid: Unique integer id assigned by the owning graph.
+        src: Source vertex id.
+        dst: Destination vertex id.
+        label: Edge label (the predicate, for knowledge-graph edges).
+        props: Arbitrary key/value properties.
+    """
+
+    eid: int
+    src: VertexId
+    dst: VertexId
+    label: str
+    props: Dict[str, Any] = field(default_factory=dict)
+
+    def endpoints(self) -> Tuple[VertexId, VertexId]:
+        """Return ``(src, dst)``."""
+        return (self.src, self.dst)
+
+    def other(self, vertex: VertexId) -> VertexId:
+        """Return the endpoint that is not ``vertex``.
+
+        Raises:
+            ValueError: if ``vertex`` is not an endpoint of this edge.
+        """
+        if vertex == self.src:
+            return self.dst
+        if vertex == self.dst:
+            return self.src
+        raise ValueError(f"{vertex!r} is not an endpoint of edge {self.eid}")
+
+
+@dataclass
+class Triplet:
+    """GraphX-style triplet view: an edge together with endpoint properties."""
+
+    edge: Edge
+    src_props: Dict[str, Any]
+    dst_props: Dict[str, Any]
+
+    @property
+    def src(self) -> VertexId:
+        return self.edge.src
+
+    @property
+    def dst(self) -> VertexId:
+        return self.edge.dst
+
+    @property
+    def label(self) -> str:
+        return self.edge.label
+
+
+class PropertyGraph:
+    """Directed property multigraph with hash partitioning.
+
+    Args:
+        num_partitions: Number of logical partitions used to simulate a
+            distributed edge-cut placement.  Affects only bookkeeping and
+            statistics, never results.
+    """
+
+    def __init__(self, num_partitions: int = 4) -> None:
+        self._vertices: Dict[VertexId, Dict[str, Any]] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._out: Dict[VertexId, Set[int]] = {}
+        self._in: Dict[VertexId, Set[int]] = {}
+        self._eid_counter = itertools.count()
+        self.partitioner = HashPartitioner(num_partitions)
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self, vertex_id: VertexId, strict: bool = False, **props: Any
+    ) -> VertexId:
+        """Add a vertex, merging properties if it already exists.
+
+        Args:
+            vertex_id: Any hashable id.
+            strict: If true, raise :class:`DuplicateVertexError` when the
+                vertex already exists instead of merging properties.
+            **props: Properties to set on the vertex.
+
+        Returns:
+            The vertex id, for chaining.
+        """
+        if vertex_id in self._vertices:
+            if strict:
+                raise DuplicateVertexError(vertex_id)
+            self._vertices[vertex_id].update(props)
+            return vertex_id
+        self._vertices[vertex_id] = dict(props)
+        self._out[vertex_id] = set()
+        self._in[vertex_id] = set()
+        return vertex_id
+
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        """Return whether ``vertex_id`` is present."""
+        return vertex_id in self._vertices
+
+    def vertex_props(self, vertex_id: VertexId) -> Dict[str, Any]:
+        """Return the (live) property dict of a vertex.
+
+        Raises:
+            VertexNotFoundError: if the vertex does not exist.
+        """
+        try:
+            return self._vertices[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def set_vertex_prop(self, vertex_id: VertexId, key: str, value: Any) -> None:
+        """Set one property on a vertex."""
+        self.vertex_props(vertex_id)[key] = value
+
+    def remove_vertex(self, vertex_id: VertexId) -> None:
+        """Remove a vertex and all incident edges.
+
+        Raises:
+            VertexNotFoundError: if the vertex does not exist.
+        """
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        for eid in list(self._out[vertex_id] | self._in[vertex_id]):
+            self.remove_edge(eid)
+        del self._vertices[vertex_id]
+        del self._out[vertex_id]
+        del self._in[vertex_id]
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex ids."""
+        return iter(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(
+        self, src: VertexId, dst: VertexId, label: str, **props: Any
+    ) -> int:
+        """Add a directed edge, creating missing endpoints implicitly.
+
+        Returns:
+            The new edge id.
+        """
+        if src not in self._vertices:
+            self.add_vertex(src)
+        if dst not in self._vertices:
+            self.add_vertex(dst)
+        eid = next(self._eid_counter)
+        edge = Edge(eid=eid, src=src, dst=dst, label=label, props=dict(props))
+        self._edges[eid] = edge
+        self._out[src].add(eid)
+        self._in[dst].add(eid)
+        return eid
+
+    def edge(self, eid: int) -> Edge:
+        """Return the edge with id ``eid``.
+
+        Raises:
+            EdgeNotFoundError: if no such edge exists.
+        """
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise EdgeNotFoundError(eid) from None
+
+    def has_edge(self, eid: int) -> bool:
+        return eid in self._edges
+
+    def remove_edge(self, eid: int) -> Edge:
+        """Remove and return the edge with id ``eid``.
+
+        Raises:
+            EdgeNotFoundError: if no such edge exists.
+        """
+        if eid not in self._edges:
+            raise EdgeNotFoundError(eid)
+        edge = self._edges.pop(eid)
+        self._out[edge.src].discard(eid)
+        self._in[edge.dst].discard(eid)
+        return edge
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def out_edges(self, vertex_id: VertexId) -> List[Edge]:
+        """Edges leaving ``vertex_id``."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [self._edges[eid] for eid in self._out[vertex_id]]
+
+    def in_edges(self, vertex_id: VertexId) -> List[Edge]:
+        """Edges entering ``vertex_id``."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return [self._edges[eid] for eid in self._in[vertex_id]]
+
+    def incident_edges(self, vertex_id: VertexId) -> List[Edge]:
+        """All edges touching ``vertex_id`` (in either direction)."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        eids = self._out[vertex_id] | self._in[vertex_id]
+        return [self._edges[eid] for eid in eids]
+
+    def edges_between(self, src: VertexId, dst: VertexId) -> List[Edge]:
+        """All directed edges from ``src`` to ``dst`` (parallel edges kept)."""
+        if src not in self._vertices or dst not in self._vertices:
+            return []
+        return [
+            self._edges[eid] for eid in self._out[src] if self._edges[eid].dst == dst
+        ]
+
+    def find_edges(
+        self,
+        label: Optional[str] = None,
+        predicate: Optional[Callable[[Edge], bool]] = None,
+    ) -> Iterator[Edge]:
+        """Iterate over edges filtered by label and/or an arbitrary predicate."""
+        for edge in self._edges.values():
+            if label is not None and edge.label != label:
+                continue
+            if predicate is not None and not predicate(edge):
+                continue
+            yield edge
+
+    # ------------------------------------------------------------------
+    # degrees / neighbours
+    # ------------------------------------------------------------------
+    def out_degree(self, vertex_id: VertexId) -> int:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._out[vertex_id])
+
+    def in_degree(self, vertex_id: VertexId) -> int:
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._in[vertex_id])
+
+    def degree(self, vertex_id: VertexId) -> int:
+        return self.out_degree(vertex_id) + self.in_degree(vertex_id)
+
+    def successors(self, vertex_id: VertexId) -> Set[VertexId]:
+        """Distinct vertices reachable over one out-edge."""
+        return {e.dst for e in self.out_edges(vertex_id)}
+
+    def predecessors(self, vertex_id: VertexId) -> Set[VertexId]:
+        """Distinct vertices with an edge into ``vertex_id``."""
+        return {e.src for e in self.in_edges(vertex_id)}
+
+    def neighbors(self, vertex_id: VertexId) -> Set[VertexId]:
+        """Distinct adjacent vertices, ignoring direction."""
+        return self.successors(vertex_id) | self.predecessors(vertex_id)
+
+    # ------------------------------------------------------------------
+    # views / transforms
+    # ------------------------------------------------------------------
+    def triplets(self) -> Iterator[Triplet]:
+        """Iterate over the GraphX-style triplet view."""
+        for edge in self._edges.values():
+            yield Triplet(
+                edge=edge,
+                src_props=self._vertices[edge.src],
+                dst_props=self._vertices[edge.dst],
+            )
+
+    def subgraph(
+        self,
+        vertex_filter: Optional[Callable[[VertexId, Dict[str, Any]], bool]] = None,
+        edge_filter: Optional[Callable[[Edge], bool]] = None,
+    ) -> "PropertyGraph":
+        """Return a new graph restricted by vertex and edge predicates.
+
+        As in GraphX, an edge survives only if both endpoints survive *and*
+        the edge predicate holds.  Properties are (shallow-)copied.
+        """
+        sub = PropertyGraph(num_partitions=self.partitioner.num_partitions)
+        for vid, props in self._vertices.items():
+            if vertex_filter is None or vertex_filter(vid, props):
+                sub.add_vertex(vid, **props)
+        for edge in self._edges.values():
+            if not (sub.has_vertex(edge.src) and sub.has_vertex(edge.dst)):
+                continue
+            if edge_filter is None or edge_filter(edge):
+                sub.add_edge(edge.src, edge.dst, edge.label, **edge.props)
+        return sub
+
+    def map_vertices(
+        self, fn: Callable[[VertexId, Dict[str, Any]], Dict[str, Any]]
+    ) -> "PropertyGraph":
+        """Return a copy with vertex properties replaced by ``fn``'s output."""
+        out = PropertyGraph(num_partitions=self.partitioner.num_partitions)
+        for vid, props in self._vertices.items():
+            out.add_vertex(vid, **fn(vid, props))
+        for edge in self._edges.values():
+            out.add_edge(edge.src, edge.dst, edge.label, **edge.props)
+        return out
+
+    def copy(self) -> "PropertyGraph":
+        """Deep-enough copy: containers are fresh, property values shared."""
+        out = PropertyGraph(num_partitions=self.partitioner.num_partitions)
+        for vid, props in self._vertices.items():
+            out.add_vertex(vid, **props)
+        for edge in self._edges.values():
+            out.add_edge(edge.src, edge.dst, edge.label, **edge.props)
+        return out
+
+    def reverse(self) -> "PropertyGraph":
+        """Return a copy with every edge direction flipped."""
+        out = PropertyGraph(num_partitions=self.partitioner.num_partitions)
+        for vid, props in self._vertices.items():
+            out.add_vertex(vid, **props)
+        for edge in self._edges.values():
+            out.add_edge(edge.dst, edge.src, edge.label, **edge.props)
+        return out
+
+    # ------------------------------------------------------------------
+    # partitioning / misc
+    # ------------------------------------------------------------------
+    def partition_of_vertex(self, vertex_id: VertexId) -> int:
+        """Logical partition this vertex is assigned to."""
+        return self.partitioner.partition(vertex_id)
+
+    def partition_of_edge(self, edge: Edge) -> int:
+        """Edges are co-located with their source vertex (edge-cut model)."""
+        return self.partitioner.partition(edge.src)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map degree -> number of vertices with that degree."""
+        hist: Dict[int, int] = {}
+        for vid in self._vertices:
+            d = self.degree(vid)
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def __contains__(self, vertex_id: VertexId) -> bool:
+        return vertex_id in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PropertyGraph(vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, partitions={self.partitioner.num_partitions})"
+        )
+
+
+def from_edge_list(
+    edges: Iterable[Tuple[VertexId, str, VertexId]], num_partitions: int = 4
+) -> PropertyGraph:
+    """Build a graph from ``(src, label, dst)`` triples."""
+    graph = PropertyGraph(num_partitions=num_partitions)
+    for src, label, dst in edges:
+        graph.add_edge(src, dst, label)
+    return graph

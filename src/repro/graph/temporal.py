@@ -1,0 +1,241 @@
+"""Dynamic (temporal) graph with sliding-window semantics.
+
+NOUS's construction pipeline produces a *stream* of timestamped triples;
+both the streaming miner (§3.5) and the trending queries operate on a
+sliding window over that stream.  :class:`DynamicGraph` owns the window:
+edges are appended with a timestamp, evicted when they fall out of the
+window, and both events are published to subscribers so downstream
+components (the miner, statistics) can maintain incremental state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Hashable, Iterator, List, Optional
+
+from repro.errors import ConfigError
+from repro.graph.property_graph import PropertyGraph
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class TimedEdge:
+    """A timestamped, labelled edge as it travels through the window."""
+
+    src: VertexId
+    dst: VertexId
+    label: str
+    timestamp: float
+    props: tuple = ()  # immutable (key, value) pairs
+
+    def prop_dict(self) -> Dict[str, Any]:
+        return dict(self.props)
+
+
+class CountWindow:
+    """Keep the most recent ``size`` edges."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigError(f"count window size must be >= 1, got {size}")
+        self.size = size
+
+    def expired(self, window: Deque[TimedEdge], _now: float) -> List[TimedEdge]:
+        """Edges that must be evicted (oldest first)."""
+        overflow = len(window) - self.size
+        return list(window)[:overflow] if overflow > 0 else []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CountWindow(size={self.size})"
+
+
+class TimeWindow:
+    """Keep edges whose timestamp is within ``span`` of the newest edge."""
+
+    def __init__(self, span: float) -> None:
+        if span <= 0:
+            raise ConfigError(f"time window span must be > 0, got {span}")
+        self.span = span
+
+    def expired(self, window: Deque[TimedEdge], now: float) -> List[TimedEdge]:
+        cutoff = now - self.span
+        out = []
+        for edge in window:
+            if edge.timestamp < cutoff:
+                out.append(edge)
+            else:
+                break  # edges arrive in timestamp order
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TimeWindow(span={self.span})"
+
+
+# Subscriber callbacks: on_add(edge), on_evict(edge).
+AddListener = Callable[[TimedEdge], None]
+EvictListener = Callable[[TimedEdge], None]
+
+
+class DynamicGraph:
+    """A property graph maintained over a sliding window of timed edges.
+
+    The materialised :class:`PropertyGraph` always reflects exactly the
+    edges currently inside the window; vertices are reference-counted and
+    dropped once their last windowed edge is evicted (vertex properties —
+    entity types, topic vectors — are re-appliable on re-entry because the
+    caller supplies them per edge via ``vertex_props``).
+
+    Args:
+        window: A :class:`CountWindow` or :class:`TimeWindow` policy.
+        num_partitions: Forwarded to the underlying property graph.
+    """
+
+    def __init__(self, window=None, num_partitions: int = 4) -> None:
+        self.window = window or CountWindow(size=10_000)
+        self.graph = PropertyGraph(num_partitions=num_partitions)
+        self._window: Deque[TimedEdge] = deque()
+        self._edge_ids: Dict[TimedEdge, List[int]] = {}
+        self._vertex_refcount: Dict[VertexId, int] = {}
+        self._add_listeners: List[AddListener] = []
+        self._evict_listeners: List[EvictListener] = []
+        self._last_timestamp: Optional[float] = None
+        self.total_added = 0
+        self.total_evicted = 0
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def on_add(self, listener: AddListener) -> None:
+        """Subscribe to edge-arrival events."""
+        self._add_listeners.append(listener)
+
+    def on_evict(self, listener: EvictListener) -> None:
+        """Subscribe to edge-eviction events."""
+        self._evict_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # stream ingestion
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        src: VertexId,
+        dst: VertexId,
+        label: str,
+        timestamp: float,
+        vertex_props: Optional[Dict[VertexId, Dict[str, Any]]] = None,
+        **props: Any,
+    ) -> TimedEdge:
+        """Append one edge to the stream and evict anything now expired.
+
+        Args:
+            src: Subject vertex id.
+            dst: Object vertex id.
+            label: Edge label / predicate.
+            timestamp: Monotonically non-decreasing stream time.
+            vertex_props: Optional per-endpoint property maps applied when
+                the endpoints (re-)enter the window.
+            **props: Edge properties (confidence, source, ...).
+
+        Returns:
+            The stored :class:`TimedEdge`.
+
+        Raises:
+            ConfigError: if ``timestamp`` goes backwards.
+        """
+        if self._last_timestamp is not None and timestamp < self._last_timestamp:
+            raise ConfigError(
+                f"timestamps must be non-decreasing: {timestamp} < {self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        timed = TimedEdge(
+            src=src,
+            dst=dst,
+            label=label,
+            timestamp=timestamp,
+            props=tuple(sorted(props.items())),
+        )
+        self._window.append(timed)
+        self._retain_vertex(src, (vertex_props or {}).get(src))
+        self._retain_vertex(dst, (vertex_props or {}).get(dst))
+        eid = self.graph.add_edge(src, dst, label, timestamp=timestamp, **props)
+        self._edge_ids.setdefault(timed, []).append(eid)
+        self.total_added += 1
+        for listener in self._add_listeners:
+            listener(timed)
+        self._evict_expired(timestamp)
+        return timed
+
+    def advance_time(self, now: float) -> int:
+        """Advance stream time without adding an edge (time windows only).
+
+        Returns:
+            Number of edges evicted.
+        """
+        if self._last_timestamp is not None and now < self._last_timestamp:
+            raise ConfigError(
+                f"timestamps must be non-decreasing: {now} < {self._last_timestamp}"
+            )
+        self._last_timestamp = now
+        return self._evict_expired(now)
+
+    def _evict_expired(self, now: float) -> int:
+        expired = self.window.expired(self._window, now)
+        for timed in expired:
+            self._window.popleft()
+            eids = self._edge_ids.get(timed)
+            if eids:
+                eid = eids.pop()
+                if not eids:
+                    del self._edge_ids[timed]
+                if self.graph.has_edge(eid):
+                    self.graph.remove_edge(eid)
+            self._release_vertex(timed.src)
+            self._release_vertex(timed.dst)
+            self.total_evicted += 1
+            for listener in self._evict_listeners:
+                listener(timed)
+        return len(expired)
+
+    def _retain_vertex(self, vid: VertexId, props: Optional[Dict[str, Any]]) -> None:
+        self._vertex_refcount[vid] = self._vertex_refcount.get(vid, 0) + 1
+        if props:
+            self.graph.add_vertex(vid, **props)
+        elif not self.graph.has_vertex(vid):
+            self.graph.add_vertex(vid)
+
+    def _release_vertex(self, vid: VertexId) -> None:
+        count = self._vertex_refcount.get(vid, 0) - 1
+        if count <= 0:
+            self._vertex_refcount.pop(vid, None)
+            if self.graph.has_vertex(vid):
+                self.graph.remove_vertex(vid)
+        else:
+            self._vertex_refcount[vid] = count
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def window_edges(self) -> Iterator[TimedEdge]:
+        """Iterate edges currently inside the window (oldest first)."""
+        return iter(self._window)
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    @property
+    def now(self) -> Optional[float]:
+        """Latest stream timestamp seen so far."""
+        return self._last_timestamp
+
+    def snapshot(self) -> PropertyGraph:
+        """An independent copy of the current windowed graph."""
+        return self.graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DynamicGraph(window={self.window!r}, live_edges={self.window_size}, "
+            f"added={self.total_added}, evicted={self.total_evicted})"
+        )

@@ -1,0 +1,22 @@
+"""Curated knowledge-base substrate (the YAGO2/Freebase role, paper §3.3).
+
+Provides the typed triple store, ontology (type taxonomy + predicate
+signatures), alias dictionary, and a bundled drone/technology domain KB
+matching the entities in Figures 2 and 4 of the paper.
+"""
+
+from repro.kb.triples import Triple, TripleStore
+from repro.kb.ontology import Ontology, PredicateSignature
+from repro.kb.aliases import AliasDictionary
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.drone_kb import build_drone_kb
+
+__all__ = [
+    "Triple",
+    "TripleStore",
+    "Ontology",
+    "PredicateSignature",
+    "AliasDictionary",
+    "KnowledgeBase",
+    "build_drone_kb",
+]

@@ -1,0 +1,283 @@
+"""Bundled curated domain KB: the drone/technology world of Figures 2 & 4.
+
+This plays the role of the YAGO2 slice NOUS fuses with extracted
+knowledge in the demonstration: typed entities (companies, people,
+products, places, agencies), alias tables (including the ambiguous
+aliases that make disambiguation non-trivial: "Phantom", "Parrot",
+"Amazon"), Wikipedia-like descriptions, and curated facts.
+"""
+
+from __future__ import annotations
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.ontology import Ontology
+
+# (type, parent) pairs, topologically ordered.
+TYPE_TAXONOMY = [
+    ("Agent", Ontology.ROOT),
+    ("Organization", "Agent"),
+    ("Company", "Organization"),
+    ("Agency", "Organization"),
+    ("University", "Organization"),
+    ("Person", "Agent"),
+    ("Location", Ontology.ROOT),
+    ("City", "Location"),
+    ("Country", "Location"),
+    ("Region", "Location"),
+    ("Artifact", Ontology.ROOT),
+    ("Product", "Artifact"),
+    ("Technology", Ontology.ROOT),
+    ("Industry", Ontology.ROOT),
+    ("Event", Ontology.ROOT),
+    ("Literal", Ontology.ROOT),
+]
+
+# (name, domain, range, symmetric, description)
+PREDICATES = [
+    ("headquarteredIn", "Organization", "Location", False, "org seated in place"),
+    ("locatedIn", "Location", "Location", False, "geographic containment"),
+    ("foundedBy", "Company", "Person", False, "company founded by person"),
+    ("founded", "Person", "Company", False, "person founded company"),
+    ("worksAt", "Person", "Organization", False, "employment"),
+    ("ceoOf", "Person", "Company", False, "chief executive"),
+    ("manufactures", "Company", "Product", False, "company makes product"),
+    ("develops", "Company", "Technology", False, "company develops technology"),
+    ("usesTechnology", "Agent", "Technology", False, "agent applies technology"),
+    ("uses", "Agent", "Product", False, "agent uses product"),
+    ("acquired", "Company", "Company", False, "corporate acquisition"),
+    ("investsIn", "Company", "Company", False, "investment relation"),
+    ("raisedFunding", "Company", "Literal", False, "funding amount raised"),
+    ("fundedBy", "Company", "Company", False, "startup funded by investor"),
+    ("competitorOf", "Company", "Company", True, "market competition"),
+    ("partnerOf", "Organization", "Organization", True, "business partnership"),
+    ("regulates", "Agency", "Industry", False, "agency regulates industry"),
+    ("operatesIn", "Company", "Industry", False, "company active in industry"),
+    ("sells", "Company", "Product", False, "company sells product"),
+    ("suppliesTo", "Company", "Company", False, "supplier relation"),
+    ("productOf", "Product", "Company", False, "product made by company"),
+    ("basedOn", "Product", "Technology", False, "product embodies technology"),
+    ("citizenOf", "Person", "Country", False, "citizenship"),
+    ("memberOf", "Agent", "Organization", False, "membership"),
+    ("launched", "Company", "Product", False, "product launch"),
+    ("bannedIn", "Product", "Location", False, "product banned in place"),
+    ("approvedBy", "Agent", "Agency", False, "regulatory approval"),
+    ("studiedAt", "Person", "University", False, "education"),
+    ("subsidiaryOf", "Company", "Company", False, "corporate ownership"),
+]
+
+# entity id, type, aliases, description
+ENTITIES = [
+    ("DJI", "Company", ["DJI", "Da-Jiang Innovations", "DJI Technology"],
+     "Chinese technology company headquartered in Shenzhen, the world's "
+     "largest manufacturer of consumer drones including the Phantom series."),
+    ("Parrot_SA", "Company", ["Parrot", "Parrot SA"],
+     "French wireless products company known for consumer drones such as "
+     "the Bebop and AR.Drone quadcopters."),
+    ("3D_Robotics", "Company", ["3D Robotics", "3DR"],
+     "American drone manufacturer based in Berkeley California, maker of "
+     "the Solo smart drone and open autopilot hardware."),
+    ("CyPhy_Works", "Company", ["CyPhy Works", "CyPhy"],
+     "American drone startup founded by Helen Greiner developing tethered "
+     "surveillance drones for security and defense."),
+    ("PrecisionHawk", "Company", ["PrecisionHawk"],
+     "Drone analytics company applying aerial imagery to agriculture and "
+     "insurance inspection workflows."),
+    ("Amazon", "Company", ["Amazon", "Amazon.com"],
+     "American electronic commerce company investing in drone based "
+     "package delivery through its Prime Air program."),
+    ("Google", "Company", ["Google", "Alphabet"],
+     "American technology company with autonomous systems research "
+     "including the Wing drone delivery project."),
+    ("GoPro", "Company", ["GoPro"],
+     "American camera maker known for action cameras and the Karma drone."),
+    ("Intel", "Company", ["Intel"],
+     "American semiconductor company investing in drone light shows and "
+     "computer vision chips for autonomous flight."),
+    ("Qualcomm", "Company", ["Qualcomm"],
+     "American chip maker supplying flight controller platforms for "
+     "consumer drones."),
+    ("Windermere", "Company", ["Windermere", "Windermere Real Estate"],
+     "American real estate company using drones to capture aerial "
+     "photography of property listings."),
+    ("Kiva_Systems", "Company", ["Kiva Systems", "Kiva"],
+     "Warehouse robotics company acquired by Amazon and renamed Amazon "
+     "Robotics."),
+    ("Accel_Partners", "Company", ["Accel Partners", "Accel"],
+     "Venture capital firm in Palo Alto that led funding rounds for DJI."),
+    ("Sequoia_Capital", "Company", ["Sequoia Capital", "Sequoia"],
+     "Venture capital firm backing technology startups."),
+    ("Kleiner_Perkins", "Company", ["Kleiner Perkins", "KPCB"],
+     "Venture capital firm investing in green technology and drones."),
+    ("AeroVironment", "Company", ["AeroVironment"],
+     "American defense contractor manufacturing small unmanned aircraft."),
+    ("Boeing", "Company", ["Boeing"],
+     "American aerospace corporation building commercial and military "
+     "aircraft."),
+    ("Wall_Street_Journal", "Company", ["Wall Street Journal", "WSJ"],
+     "American business newspaper published by Dow Jones."),
+    ("FAA", "Agency", ["FAA", "Federal Aviation Administration"],
+     "United States agency regulating civil aviation including commercial "
+     "drone flight rules."),
+    ("NASA", "Agency", ["NASA"],
+     "United States space agency researching unmanned traffic management."),
+    ("Frank_Wang", "Person", ["Frank Wang", "Wang Tao"],
+     "Chinese engineer who founded DJI while studying in Hong Kong."),
+    ("Helen_Greiner", "Person", ["Helen Greiner"],
+     "American roboticist, co-founder of iRobot and founder of CyPhy Works."),
+    ("Chris_Anderson", "Person", ["Chris Anderson"],
+     "American entrepreneur, former Wired editor and CEO of 3D Robotics."),
+    ("Jeff_Bezos", "Person", ["Jeff Bezos"],
+     "American businessman, founder and chief executive of Amazon."),
+    ("Henri_Seydoux", "Person", ["Henri Seydoux"],
+     "French entrepreneur, founder and chief executive of Parrot."),
+    ("Shenzhen", "City", ["Shenzhen"],
+     "Chinese technology manufacturing hub in Guangdong province."),
+    ("Berkeley", "City", ["Berkeley"],
+     "City in California home to technology startups."),
+    ("Seattle", "City", ["Seattle"],
+     "City in Washington state, headquarters of Amazon."),
+    ("Paris", "City", ["Paris"],
+     "Capital of France, headquarters of Parrot."),
+    ("Danvers", "City", ["Danvers"],
+     "Town in Massachusetts, headquarters of CyPhy Works."),
+    ("China", "Country", ["China"], "Country in East Asia."),
+    ("United_States", "Country", ["United States", "U.S.", "USA", "America"],
+     "Country in North America."),
+    ("France", "Country", ["France"], "Country in Western Europe."),
+    ("Phantom_3", "Product", ["Phantom 3", "Phantom"],
+     "Consumer camera quadcopter manufactured by DJI."),
+    ("Inspire_1", "Product", ["Inspire 1", "Inspire"],
+     "Professional camera drone manufactured by DJI."),
+    ("Bebop_Drone", "Product", ["Bebop Drone", "Bebop"],
+     "Lightweight consumer quadcopter manufactured by Parrot."),
+    ("Solo_Drone", "Product", ["Solo", "Solo smart drone"],
+     "Smart consumer drone manufactured by 3D Robotics."),
+    ("Karma_Drone", "Product", ["Karma", "Karma drone"],
+     "Foldable camera drone manufactured by GoPro."),
+    ("PARC_System", "Product", ["PARC", "PARC system"],
+     "Tethered persistent aerial reconnaissance drone by CyPhy Works."),
+    ("Prime_Air", "Product", ["Prime Air", "Amazon Prime Air"],
+     "Drone based package delivery service developed by Amazon."),
+    ("Aerial_Photography", "Technology", ["aerial photography", "aerial photos"],
+     "Capturing imagery from airborne platforms."),
+    ("Computer_Vision", "Technology", ["computer vision"],
+     "Algorithms that extract information from digital images."),
+    ("Autonomous_Flight", "Technology", ["autonomous flight", "autopilot"],
+     "Self-piloting flight control technology."),
+    ("Package_Delivery", "Technology", ["package delivery", "drone delivery"],
+     "Delivering parcels with unmanned aircraft."),
+    ("Precision_Agriculture", "Technology", ["precision agriculture"],
+     "Data driven crop management using remote sensing."),
+    ("Drone_Industry", "Industry", ["drone industry", "drones", "UAV industry"],
+     "The unmanned aerial vehicle market."),
+    ("Real_Estate_Industry", "Industry", ["real estate", "real estate industry"],
+     "Property sales and management market."),
+    ("Ecommerce_Industry", "Industry", ["e-commerce", "online retail"],
+     "Online retail market."),
+]
+
+# (subject, predicate, object)
+FACTS = [
+    ("DJI", "headquarteredIn", "Shenzhen"),
+    ("DJI", "manufactures", "Phantom_3"),
+    ("DJI", "manufactures", "Inspire_1"),
+    ("DJI", "launched", "Phantom_3"),
+    ("DJI", "foundedBy", "Frank_Wang"),
+    ("DJI", "operatesIn", "Drone_Industry"),
+    ("DJI", "develops", "Autonomous_Flight"),
+    ("DJI", "usesTechnology", "Computer_Vision"),
+    ("DJI", "competitorOf", "Parrot_SA"),
+    ("DJI", "competitorOf", "3D_Robotics"),
+    ("DJI", "fundedBy", "Accel_Partners"),
+    ("DJI", "fundedBy", "Sequoia_Capital"),
+    ("Frank_Wang", "ceoOf", "DJI"),
+    ("Frank_Wang", "citizenOf", "China"),
+    ("Parrot_SA", "headquarteredIn", "Paris"),
+    ("Parrot_SA", "manufactures", "Bebop_Drone"),
+    ("Parrot_SA", "foundedBy", "Henri_Seydoux"),
+    ("Parrot_SA", "operatesIn", "Drone_Industry"),
+    ("Henri_Seydoux", "ceoOf", "Parrot_SA"),
+    ("Henri_Seydoux", "citizenOf", "France"),
+    ("3D_Robotics", "headquarteredIn", "Berkeley"),
+    ("3D_Robotics", "manufactures", "Solo_Drone"),
+    ("3D_Robotics", "foundedBy", "Chris_Anderson"),
+    ("3D_Robotics", "operatesIn", "Drone_Industry"),
+    ("Chris_Anderson", "ceoOf", "3D_Robotics"),
+    ("CyPhy_Works", "headquarteredIn", "Danvers"),
+    ("CyPhy_Works", "manufactures", "PARC_System"),
+    ("CyPhy_Works", "foundedBy", "Helen_Greiner"),
+    ("CyPhy_Works", "operatesIn", "Drone_Industry"),
+    ("Helen_Greiner", "ceoOf", "CyPhy_Works"),
+    ("Helen_Greiner", "citizenOf", "United_States"),
+    ("PrecisionHawk", "operatesIn", "Drone_Industry"),
+    ("PrecisionHawk", "usesTechnology", "Precision_Agriculture"),
+    ("PrecisionHawk", "usesTechnology", "Aerial_Photography"),
+    ("Amazon", "headquarteredIn", "Seattle"),
+    ("Amazon", "acquired", "Kiva_Systems"),
+    ("Amazon", "develops", "Package_Delivery"),
+    ("Amazon", "launched", "Prime_Air"),
+    ("Amazon", "operatesIn", "Ecommerce_Industry"),
+    ("Amazon", "foundedBy", "Jeff_Bezos"),
+    ("Jeff_Bezos", "ceoOf", "Amazon"),
+    ("Jeff_Bezos", "citizenOf", "United_States"),
+    ("Prime_Air", "basedOn", "Package_Delivery"),
+    ("Prime_Air", "productOf", "Amazon"),
+    ("Google", "develops", "Package_Delivery"),
+    ("Google", "competitorOf", "Amazon"),
+    ("GoPro", "manufactures", "Karma_Drone"),
+    ("GoPro", "operatesIn", "Drone_Industry"),
+    ("GoPro", "competitorOf", "DJI"),
+    ("Intel", "investsIn", "PrecisionHawk"),
+    ("Intel", "develops", "Computer_Vision"),
+    ("Qualcomm", "suppliesTo", "DJI"),
+    ("Qualcomm", "develops", "Autonomous_Flight"),
+    ("Windermere", "operatesIn", "Real_Estate_Industry"),
+    ("Windermere", "usesTechnology", "Aerial_Photography"),
+    ("Windermere", "headquarteredIn", "Seattle"),
+    ("Kiva_Systems", "subsidiaryOf", "Amazon"),
+    ("Accel_Partners", "investsIn", "DJI"),
+    ("Sequoia_Capital", "investsIn", "DJI"),
+    ("Kleiner_Perkins", "investsIn", "CyPhy_Works"),
+    ("FAA", "regulates", "Drone_Industry"),
+    ("FAA", "headquarteredIn", "United_States"),
+    ("NASA", "partnerOf", "FAA"),
+    ("AeroVironment", "operatesIn", "Drone_Industry"),
+    ("AeroVironment", "headquarteredIn", "United_States"),
+    ("Boeing", "operatesIn", "Drone_Industry"),
+    ("Phantom_3", "productOf", "DJI"),
+    ("Phantom_3", "basedOn", "Aerial_Photography"),
+    ("Inspire_1", "productOf", "DJI"),
+    ("Inspire_1", "basedOn", "Aerial_Photography"),
+    ("Bebop_Drone", "productOf", "Parrot_SA"),
+    ("Solo_Drone", "productOf", "3D_Robotics"),
+    ("Solo_Drone", "basedOn", "Autonomous_Flight"),
+    ("Karma_Drone", "productOf", "GoPro"),
+    ("PARC_System", "productOf", "CyPhy_Works"),
+    ("Shenzhen", "locatedIn", "China"),
+    ("Berkeley", "locatedIn", "United_States"),
+    ("Seattle", "locatedIn", "United_States"),
+    ("Danvers", "locatedIn", "United_States"),
+    ("Paris", "locatedIn", "France"),
+]
+
+
+def build_ontology() -> Ontology:
+    """The drone-domain target ontology."""
+    ontology = Ontology()
+    ontology.bulk_add_types(TYPE_TAXONOMY)
+    for name, domain, range_, symmetric, description in PREDICATES:
+        ontology.add_predicate(
+            name, domain=domain, range_=range_, symmetric=symmetric,
+            description=description,
+        )
+    return ontology
+
+
+def build_drone_kb() -> KnowledgeBase:
+    """Construct the curated drone-domain KB used across examples/benches."""
+    kb = KnowledgeBase(ontology=build_ontology())
+    for entity_id, type_name, aliases, description in ENTITIES:
+        kb.add_entity(entity_id, type_name, aliases=aliases, description=description)
+    for subject, predicate, object_ in FACTS:
+        kb.add_fact(subject, predicate, object_, confidence=1.0, source="yago")
+    return kb

@@ -1,0 +1,295 @@
+"""The knowledge base facade: store + ontology + aliases + descriptions.
+
+This is the "curated KB" interface the rest of NOUS consumes (and also
+the container the *dynamic* KG grows in — extracted facts are added with
+``curated=False`` and a confidence score).
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import KBError
+from repro.graph.property_graph import PropertyGraph
+from repro.kb.aliases import AliasDictionary, normalize_alias
+from repro.kb.ontology import Ontology
+from repro.kb.triples import Triple, TripleStore
+from repro.nlp.dates import SimpleDate, parse_date
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "and", "or", "in", "on", "to", "for", "is",
+    "was", "are", "were", "by", "with", "at", "as", "its", "it", "that",
+    "this", "from", "be", "has", "have",
+}
+
+
+class KnowledgeBase:
+    """A typed, aliased, documented knowledge graph.
+
+    Args:
+        ontology: Target ontology; a fresh one is created if omitted.
+    """
+
+    def __init__(self, ontology: Optional[Ontology] = None) -> None:
+        self.ontology = ontology or Ontology()
+        self.store = TripleStore()
+        self.aliases = AliasDictionary()
+        self._types: Dict[str, str] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # entities
+    # ------------------------------------------------------------------
+    def add_entity(
+        self,
+        entity_id: str,
+        type_name: str = Ontology.ROOT,
+        aliases: Iterable[str] = (),
+        description: str = "",
+    ) -> str:
+        """Register an entity with its type, aliases and description.
+
+        The entity id itself is always registered as an alias.
+        """
+        if not self.ontology.has_type(type_name):
+            self.ontology.add_type(type_name)
+        self._types[entity_id] = type_name
+        self.aliases.add(entity_id.replace("_", " "), entity_id)
+        for alias in aliases:
+            self.aliases.add(alias, entity_id)
+        if description:
+            self._descriptions[entity_id] = description
+        return entity_id
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._types
+
+    def entity_type(self, entity_id: str) -> Optional[str]:
+        """Declared type of the entity (None when unregistered)."""
+        return self._types.get(entity_id)
+
+    def entities(self) -> Set[str]:
+        return set(self._types)
+
+    def entities_of_type(self, type_name: str) -> Set[str]:
+        """Entities whose type equals or descends from ``type_name``."""
+        return {
+            e
+            for e, t in self._types.items()
+            if self.ontology.has_type(t) and self.ontology.is_a(t, type_name)
+        }
+
+    def description(self, entity_id: str) -> str:
+        return self._descriptions.get(entity_id, "")
+
+    def set_description(self, entity_id: str, text: str) -> None:
+        self._descriptions[entity_id] = text
+
+    # ------------------------------------------------------------------
+    # facts
+    # ------------------------------------------------------------------
+    def add_fact(
+        self,
+        subject: str,
+        predicate: str,
+        object: str,
+        confidence: float = 1.0,
+        source: str = "curated",
+        date: Optional[SimpleDate] = None,
+        curated: bool = True,
+    ) -> Triple:
+        """Add a fact; auto-registers the predicate when unknown."""
+        if not self.ontology.has_predicate(predicate):
+            self.ontology.add_predicate(predicate)
+        triple = Triple(
+            subject=subject,
+            predicate=predicate,
+            object=object,
+            confidence=confidence,
+            source=source,
+            date=date,
+            curated=curated,
+        )
+        self.store.add(triple)
+        for endpoint in (subject, object):
+            if endpoint not in self._types:
+                self._types[endpoint] = Ontology.ROOT
+                self.aliases.add(endpoint.replace("_", " "), endpoint)
+        return triple
+
+    def facts_about(self, entity_id: str) -> List[Triple]:
+        return self.store.about(entity_id)
+
+    @property
+    def num_facts(self) -> int:
+        return len(self.store)
+
+    # ------------------------------------------------------------------
+    # context construction (for AIDA-style similarity and LDA)
+    # ------------------------------------------------------------------
+    def entity_context(self, entity_id: str, use_description: bool = True) -> Counter:
+        """Bag of words describing the entity.
+
+        Built from the KG neighbourhood (predicate names, neighbour names
+        and types) — the paper's adaptation of AIDA, which replaces
+        Wikipedia-article context with KG-neighbourhood context — plus
+        the stored description when available.
+        """
+        words: Counter = Counter()
+        for triple in self.store.about(entity_id):
+            other = triple.object if triple.subject == entity_id else triple.subject
+            for token in _name_tokens(other):
+                words[token] += 2
+            for token in _name_tokens(triple.predicate):
+                words[token] += 1
+            other_type = self._types.get(other)
+            if other_type:
+                words[other_type.lower()] += 1
+        own_type = self._types.get(entity_id)
+        if own_type:
+            words[own_type.lower()] += 3
+        if use_description:
+            for token in self._descriptions.get(entity_id, "").lower().split():
+                token = token.strip(".,()\"'")
+                if token and token not in _STOPWORDS:
+                    words[token] += 1
+        return words
+
+    # ------------------------------------------------------------------
+    # graph view
+    # ------------------------------------------------------------------
+    def to_property_graph(
+        self,
+        min_confidence: float = 0.0,
+        include_extracted: bool = True,
+        num_partitions: int = 4,
+    ) -> PropertyGraph:
+        """Materialise the KB as a property graph.
+
+        Vertex properties carry ``type`` and ``name``; edge properties
+        carry confidence/source/date/curated.
+        """
+        graph = PropertyGraph(num_partitions=num_partitions)
+        for triple in self.store:
+            if triple.confidence < min_confidence:
+                continue
+            if not include_extracted and not triple.curated:
+                continue
+            for endpoint in (triple.subject, triple.object):
+                if not graph.has_vertex(endpoint):
+                    graph.add_vertex(
+                        endpoint,
+                        type=self._types.get(endpoint, Ontology.ROOT),
+                        name=endpoint.replace("_", " "),
+                    )
+            graph.add_edge(
+                triple.subject,
+                triple.object,
+                triple.predicate,
+                confidence=triple.confidence,
+                source=triple.source,
+                date=triple.date,
+                curated=triple.curated,
+            )
+        return graph
+
+    # ------------------------------------------------------------------
+    # serialization (TSV, one fact per line)
+    # ------------------------------------------------------------------
+    def dump_tsv(self) -> str:
+        """Serialise entities and facts to a TSV string."""
+        out = io.StringIO()
+        for entity, type_name in sorted(self._types.items()):
+            aliases = ",".join(sorted(self.aliases.aliases_of(entity)))
+            description = self._descriptions.get(entity, "").replace("\t", " ").replace("\n", " ")
+            out.write(f"E\t{entity}\t{type_name}\t{aliases}\t{description}\n")
+        for triple in sorted(self.store, key=lambda t: t.key()):
+            date = str(triple.date) if triple.date else ""
+            out.write(
+                "T\t{s}\t{p}\t{o}\t{c:.6f}\t{src}\t{d}\t{cur}\n".format(
+                    s=triple.subject,
+                    p=triple.predicate,
+                    o=triple.object,
+                    c=triple.confidence,
+                    src=triple.source,
+                    d=date,
+                    cur=int(triple.curated),
+                )
+            )
+        return out.getvalue()
+
+    @classmethod
+    def load_tsv(cls, text: str, ontology: Optional[Ontology] = None) -> "KnowledgeBase":
+        """Parse a KB from :meth:`dump_tsv` output."""
+        kb = cls(ontology=ontology)
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            fields = line.split("\t")
+            kind = fields[0]
+            if kind == "E" and len(fields) >= 3:
+                entity, type_name = fields[1], fields[2]
+                aliases = fields[3].split(",") if len(fields) > 3 and fields[3] else []
+                description = fields[4] if len(fields) > 4 else ""
+                kb.add_entity(entity, type_name, aliases=aliases, description=description)
+            elif kind == "T" and len(fields) >= 4:
+                date = parse_date(fields[6]) if len(fields) > 6 and fields[6] else None
+                kb.add_fact(
+                    fields[1],
+                    fields[2],
+                    fields[3],
+                    confidence=float(fields[4]) if len(fields) > 4 else 1.0,
+                    source=fields[5] if len(fields) > 5 else "curated",
+                    date=date,
+                    curated=bool(int(fields[7])) if len(fields) > 7 else True,
+                )
+            else:
+                raise KBError(f"malformed KB line {line_no}: {line!r}")
+        return kb
+
+    # ------------------------------------------------------------------
+    def gazetteer(self) -> Dict[str, str]:
+        """alias -> NER label map derived from entity types."""
+        label_map = {
+            "Company": "ORG", "Organization": "ORG", "Agency": "ORG",
+            "University": "ORG", "Person": "PERSON", "City": "LOCATION",
+            "Country": "LOCATION", "Location": "LOCATION", "Region": "LOCATION",
+            "Product": "PRODUCT", "Technology": "MISC",
+        }
+        out: Dict[str, str] = {}
+        for entity, type_name in self._types.items():
+            label = None
+            current: Optional[str] = type_name
+            while current is not None and label is None:
+                label = label_map.get(current)
+                current = (
+                    self.ontology.parent(current)
+                    if self.ontology.has_type(current)
+                    else None
+                )
+            if label is None:
+                continue
+            for alias in self.aliases.aliases_of(entity):
+                out[alias] = label
+        return out
+
+    def kb_alias_index(self) -> Dict[str, str]:
+        """alias -> entity id for unambiguous aliases only."""
+        out: Dict[str, str] = {}
+        for entity in self._types:
+            for alias in self.aliases.aliases_of(entity):
+                candidates = self.aliases.candidates(alias)
+                if len(candidates) == 1:
+                    out[alias] = entity
+        return out
+
+
+def _name_tokens(name: str) -> List[str]:
+    tokens = []
+    for raw in name.replace("_", " ").lower().split():
+        token = raw.strip(".,()\"'")
+        if token and token not in _STOPWORDS:
+            tokens.append(token)
+    return tokens

@@ -1,0 +1,149 @@
+"""Target ontology: type taxonomy and predicate signatures.
+
+Raw OpenIE relations are mapped onto this closed predicate vocabulary in
+§3.3; the taxonomy supports the type-level generalisation the miner uses
+(an edge (DJI, acquired, Kiva) generalises to (Company, acquired,
+Company)) and domain/range checks used as a mapping sanity filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import UnknownPredicateError, UnknownTypeError
+
+
+@dataclass(frozen=True)
+class PredicateSignature:
+    """Domain/range constraint for one predicate.
+
+    ``domain``/``range_`` name types in the taxonomy; ``ANY`` disables
+    the check (literals such as money amounts use ``Literal``).
+    """
+
+    name: str
+    domain: str = "ANY"
+    range_: str = "ANY"
+    symmetric: bool = False
+    description: str = ""
+
+
+class Ontology:
+    """Type taxonomy (single-parent) plus predicate signatures."""
+
+    ROOT = "Thing"
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {self.ROOT: None}
+        self._predicates: Dict[str, PredicateSignature] = {}
+
+    # ------------------------------------------------------------------
+    # taxonomy
+    # ------------------------------------------------------------------
+    def add_type(self, type_name: str, parent: str = ROOT) -> None:
+        """Register a type under ``parent`` (which must already exist)."""
+        if parent not in self._parent:
+            raise UnknownTypeError(parent)
+        self._parent.setdefault(type_name, parent)
+
+    def has_type(self, type_name: str) -> bool:
+        return type_name in self._parent
+
+    def types(self) -> Set[str]:
+        return set(self._parent)
+
+    def parent(self, type_name: str) -> Optional[str]:
+        """Immediate supertype, or None for the root."""
+        if type_name not in self._parent:
+            raise UnknownTypeError(type_name)
+        return self._parent[type_name]
+
+    def ancestors(self, type_name: str) -> List[str]:
+        """Chain of supertypes from ``type_name`` (exclusive) to the root."""
+        if type_name not in self._parent:
+            raise UnknownTypeError(type_name)
+        chain = []
+        current = self._parent[type_name]
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        return chain
+
+    def is_a(self, type_name: str, candidate_ancestor: str) -> bool:
+        """True when ``type_name`` equals or descends from the ancestor."""
+        if type_name == candidate_ancestor:
+            return True
+        return candidate_ancestor in self.ancestors(type_name)
+
+    def least_common_ancestor(self, a: str, b: str) -> str:
+        """Most specific shared supertype (possibly the root)."""
+        chain_a = [a] + self.ancestors(a)
+        chain_b = set([b] + self.ancestors(b))
+        for t in chain_a:
+            if t in chain_b:
+                return t
+        return self.ROOT
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def add_predicate(
+        self,
+        name: str,
+        domain: str = "ANY",
+        range_: str = "ANY",
+        symmetric: bool = False,
+        description: str = "",
+    ) -> None:
+        """Register a predicate with optional domain/range types."""
+        for t in (domain, range_):
+            if t not in ("ANY", "Literal") and t not in self._parent:
+                raise UnknownTypeError(t)
+        self._predicates[name] = PredicateSignature(
+            name=name,
+            domain=domain,
+            range_=range_,
+            symmetric=symmetric,
+            description=description,
+        )
+
+    def has_predicate(self, name: str) -> bool:
+        return name in self._predicates
+
+    def predicate(self, name: str) -> PredicateSignature:
+        if name not in self._predicates:
+            raise UnknownPredicateError(name)
+        return self._predicates[name]
+
+    def predicates(self) -> Set[str]:
+        return set(self._predicates)
+
+    def signature_allows(
+        self, predicate: str, subject_type: Optional[str], object_type: Optional[str]
+    ) -> bool:
+        """Check a typed pair against the predicate's domain/range.
+
+        Unknown argument types (``None``) pass — extraction often cannot
+        type literals, and the paper treats the signature as a filter,
+        not a hard gate.
+        """
+        sig = self.predicate(predicate)
+        if sig.domain not in ("ANY", "Literal") and subject_type is not None:
+            if not self._known_and_is_a(subject_type, sig.domain):
+                return False
+        if sig.range_ not in ("ANY", "Literal") and object_type is not None:
+            if not self._known_and_is_a(object_type, sig.range_):
+                return False
+        return True
+
+    def _known_and_is_a(self, type_name: str, ancestor: str) -> bool:
+        if type_name not in self._parent:
+            return False
+        return self.is_a(type_name, ancestor)
+
+    # ------------------------------------------------------------------
+    def bulk_add_types(self, pairs: Iterable[tuple]) -> None:
+        """Add many ``(type, parent)`` pairs in order."""
+        for type_name, parent in pairs:
+            self.add_type(type_name, parent)

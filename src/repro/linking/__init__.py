@@ -1,0 +1,29 @@
+"""Mapping raw triples into the knowledge graph (paper §3.3).
+
+Two halves:
+
+- :mod:`repro.linking.disambiguation` — the AIDA-variant entity linker
+  (popularity prior + KG-neighbourhood context similarity + collective
+  coherence with greedy candidate pruning).
+- :mod:`repro.linking.predicate_mapping` — distant-supervision predicate
+  mapper bootstrapped from 5-10 seed patterns per target predicate and
+  expanded semi-supervised, following Freedman et al.'s Extreme
+  Extraction recipe cited by the paper.
+
+:class:`~repro.linking.mapper.TripleMapper` chains both and enforces
+ontology signatures, emitting canonical triples (or typed rejections).
+"""
+
+from repro.linking.disambiguation import EntityLinker, LinkDecision
+from repro.linking.predicate_mapping import PredicateMapper, SEED_PATTERNS
+from repro.linking.mapper import MappedTriple, RejectedTriple, TripleMapper
+
+__all__ = [
+    "EntityLinker",
+    "LinkDecision",
+    "PredicateMapper",
+    "SEED_PATTERNS",
+    "TripleMapper",
+    "MappedTriple",
+    "RejectedTriple",
+]

@@ -1,0 +1,279 @@
+"""AIDA-variant entity disambiguation (paper §3.3, Hoffart et al. 2011).
+
+Score of mention m -> candidate entity e combines:
+
+- popularity prior  p(e | m)  from the alias dictionary,
+- local context similarity between the words around the mention and the
+  entity's *KG-neighbourhood* bag of words (the paper's adaptation:
+  "we use only the entity neighborhood in the knowledge graph to
+  calculate contextual similarity"),
+- collective coherence: entity-entity relatedness (Milne-Witten style
+  over shared KG neighbours) with AIDA's greedy pruning — repeatedly
+  drop the globally weakest candidate while every mention keeps one.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Canonical entity id for a brand-new mention."""
+    return _SLUG_RE.sub("_", text.strip()).strip("_") or "unknown"
+
+
+def cosine(a: Counter, b: Counter) -> float:
+    """Cosine similarity of two bags of words."""
+    if not a or not b:
+        return 0.0
+    common = set(a) & set(b)
+    dot = sum(a[w] * b[w] for w in common)
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+@dataclass
+class LinkDecision:
+    """Outcome of linking one mention.
+
+    Attributes:
+        mention: Original surface form.
+        entity: Chosen canonical entity id (possibly newly created).
+        score: Combined linking score in [0, 1].
+        created: True when no candidate existed and a new entity id was
+            minted (the paper's "create a new node").
+        candidates: The scored candidate list ``(entity, score)`` that
+            was considered, for diagnostics.
+    """
+
+    mention: str
+    entity: str
+    score: float
+    created: bool = False
+    candidates: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class EntityLinker:
+    """Collective entity linker over a knowledge base.
+
+    Args:
+        kb: The knowledge base supplying aliases, neighbourhood context
+            and relatedness.
+        prior_weight / context_weight / coherence_weight: Mixture weights
+            (normalised internally).
+        create_missing: Mint a new entity for unlinkable mentions.
+        min_score: Below this combined score the linker prefers creating
+            a new entity (when allowed) over a dubious link.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        prior_weight: float = 0.2,
+        context_weight: float = 0.4,
+        coherence_weight: float = 0.4,
+        create_missing: bool = True,
+        min_score: float = 0.05,
+        max_candidates: int = 8,
+    ) -> None:
+        self.kb = kb
+        total = prior_weight + context_weight + coherence_weight
+        self.prior_weight = prior_weight / total
+        self.context_weight = context_weight / total
+        self.coherence_weight = coherence_weight / total
+        self.create_missing = create_missing
+        self.min_score = min_score
+        self.max_candidates = max_candidates
+        self._context_cache: Dict[str, Counter] = {}
+
+    # ------------------------------------------------------------------
+    def link(
+        self,
+        mention: str,
+        context_words: Optional[Sequence[str]] = None,
+        ner_label: Optional[str] = None,
+    ) -> LinkDecision:
+        """Link a single mention (no collective coherence)."""
+        return self.link_all([mention], context_words, [ner_label])[0]
+
+    def link_all(
+        self,
+        mentions: Sequence[str],
+        context_words: Optional[Sequence[str]] = None,
+        ner_labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[LinkDecision]:
+        """Collectively link all mentions from one document.
+
+        Args:
+            mentions: Surface forms, document order.
+            context_words: Bag of words of the surrounding document.
+            ner_labels: Optional NER label per mention (guides the type
+                of newly created entities).
+        """
+        context = Counter(w.lower() for w in (context_words or []))
+        ner_labels = list(ner_labels or [None] * len(mentions))
+
+        # Stage 1: local scores (prior + context) per mention.  Context
+        # similarities are normalised within each candidate set (AIDA
+        # normalises its similarity component the same way) so a strong
+        # relative match can overcome a popularity prior.
+        local: List[List[Tuple[str, float]]] = []
+        for mention in mentions:
+            candidates = self.kb.aliases.candidates(mention)[: self.max_candidates]
+            sims = [
+                cosine(context, self._entity_context(entity))
+                for entity, _ in candidates
+            ]
+            max_sim = max(sims, default=0.0)
+            scored = []
+            for (entity, prior), sim in zip(candidates, sims):
+                rel_sim = sim / max_sim if max_sim > 0 else 0.0
+                score = self.prior_weight * prior + self.context_weight * rel_sim
+                scored.append((entity, score))
+            local.append(scored)
+
+        # Stage 2: AIDA-style greedy pruning on the coherence graph.
+        surviving = self._greedy_coherence(local)
+
+        decisions: List[LinkDecision] = []
+        for mention, candidates, label in zip(mentions, surviving, ner_labels):
+            if candidates:
+                best_entity, best_score = max(candidates, key=lambda kv: kv[1])
+                if best_score >= self.min_score or not self.create_missing:
+                    decisions.append(
+                        LinkDecision(
+                            mention=mention,
+                            entity=best_entity,
+                            score=min(1.0, best_score),
+                            candidates=sorted(candidates, key=lambda kv: -kv[1]),
+                        )
+                    )
+                    continue
+            decisions.append(self._create(mention, label, candidates))
+        return decisions
+
+    # ------------------------------------------------------------------
+    def _entity_context(self, entity: str) -> Counter:
+        cached = self._context_cache.get(entity)
+        if cached is None:
+            cached = self.kb.entity_context(entity)
+            self._context_cache[entity] = cached
+        return cached
+
+    def invalidate_cache(self, entity: Optional[str] = None) -> None:
+        """Drop cached contexts (call after KG updates)."""
+        if entity is None:
+            self._context_cache.clear()
+        else:
+            self._context_cache.pop(entity, None)
+
+    def relatedness(self, a: str, b: str) -> float:
+        """Milne-Witten-flavoured KG relatedness in [0, 1]."""
+        if a == b:
+            return 1.0
+        na = self.kb.store.neighbors(a)
+        nb = self.kb.store.neighbors(b)
+        if b in na or a in nb:
+            return 1.0
+        if not na or not nb:
+            return 0.0
+        inter = len(na & nb)
+        if inter == 0:
+            return 0.0
+        total = len(self.kb.entities()) or 1
+        score = 1.0 - (
+            math.log(max(len(na), len(nb))) - math.log(inter)
+        ) / (math.log(total) - math.log(min(len(na), len(nb))) + 1e-9)
+        return max(0.0, min(1.0, score))
+
+    def _greedy_coherence(
+        self, local: List[List[Tuple[str, float]]]
+    ) -> List[List[Tuple[str, float]]]:
+        """Add coherence mass, then greedily drop weakest candidates."""
+        if self.coherence_weight == 0.0 or sum(1 for c in local if c) < 2:
+            return local
+
+        # Working copies: mention index -> {entity: local score}.
+        pools: List[Dict[str, float]] = [dict(c) for c in local]
+
+        def coherence_of(index: int, entity: str) -> float:
+            scores = []
+            for j, pool in enumerate(pools):
+                if j == index or not pool:
+                    continue
+                scores.append(max(self.relatedness(entity, other) for other in pool))
+            return sum(scores) / len(scores) if scores else 0.0
+
+        # Iteratively remove the globally weakest candidate where the
+        # owning mention still has >1 option.
+        improved = True
+        while improved:
+            improved = False
+            worst: Optional[Tuple[float, int, str]] = None
+            for i, pool in enumerate(pools):
+                if len(pool) <= 1:
+                    continue
+                for entity, local_score in pool.items():
+                    combined = local_score + self.coherence_weight * coherence_of(i, entity)
+                    if worst is None or combined < worst[0]:
+                        worst = (combined, i, entity)
+            if worst is not None:
+                _, i, entity = worst
+                del pools[i][entity]
+                improved = any(len(pool) > 1 for pool in pools)
+
+        # Final scores: local + coherence for the survivors.
+        out: List[List[Tuple[str, float]]] = []
+        for i, pool in enumerate(pools):
+            out.append(
+                [
+                    (
+                        entity,
+                        min(
+                            1.0,
+                            score + self.coherence_weight * coherence_of(i, entity),
+                        ),
+                    )
+                    for entity, score in pool.items()
+                ]
+            )
+        return out
+
+    def _create(
+        self,
+        mention: str,
+        ner_label: Optional[str],
+        candidates: List[Tuple[str, float]],
+    ) -> LinkDecision:
+        type_map = {
+            "ORG": "Company",
+            "PERSON": "Person",
+            "LOCATION": "Location",
+            "PRODUCT": "Product",
+        }
+        entity_id = slugify(mention)
+        if not self.kb.has_entity(entity_id):
+            type_name = type_map.get(ner_label or "", "Thing")
+            if not self.kb.ontology.has_type(type_name):
+                type_name = "Thing"
+            self.kb.add_entity(entity_id, type_name, aliases=[mention])
+        else:
+            self.kb.aliases.add(mention, entity_id)
+        return LinkDecision(
+            mention=mention,
+            entity=entity_id,
+            score=0.3,
+            created=True,
+            candidates=candidates,
+        )

@@ -1,0 +1,218 @@
+"""Distant-supervision predicate mapping (paper §3.3).
+
+OpenIE produces far too many relation phrases; NOUS learns a rule-based
+model per *target ontology predicate*, bootstrapped from 5-10 seed
+patterns ("Extreme Extraction", Freedman et al. 2011) and expanded
+semi-supervised: raw triples whose (subject, object) pair already exists
+in the KB under predicate p are distant-supervision positives for p, and
+their relation phrases become new patterns when precise enough.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.lexicon import verb_lemma
+from repro.nlp.pipeline import RawTriple
+
+# Seed patterns: target predicate -> 5-10 normalised relation patterns.
+# A pattern is the lemmatised relation phrase ("raise from" etc.).
+SEED_PATTERNS: Dict[str, List[str]] = {
+    "acquired": ["acquire", "buy", "purchase", "take over", "acquire:a1", "buy:a1"],
+    "raisedFunding": ["raise", "secure", "raise:a1", "secure:a1", "close round of"],
+    "fundedBy": ["raise from", "secure from", "raise:a2-source", "secure:a2-source",
+                 "receive funding from", "be fund by"],
+    "investsIn": ["invest in", "invest:a1", "back", "lead round in", "fund"],
+    "launched": ["launch", "unveil", "release", "introduce", "launch:a1",
+                 "unveil:a1", "release:a1", "introduce:a1", "debut"],
+    "usesTechnology": ["use", "employ", "deploy", "use:a1", "employ:a1",
+                       "deploy:a1", "adopt", "apply"],
+    "partnerOf": ["partner with", "sign with", "partner:a1", "sign:a1",
+                  "team with", "sign agreement with", "merge with", "merge:a1"],
+    "headquarteredIn": ["be headquarter in", "be base in", "headquarter in",
+                        "base in", "based in", "is headquartered in"],
+    "manufactures": ["manufacture", "make", "produce", "build",
+                     "manufacture:a1", "produce:a1", "build:a1"],
+    "regulates": ["regulate", "regulate:a1", "approve rules for",
+                  "propose rules for", "oversee"],
+    "operatesIn": ["expand into", "enter", "expand:a2-scope", "enter:a1",
+                   "operate in", "compete in"],
+    "acquiredFor": ["acquire for", "buy for", "acquire:am-price", "buy:am-price",
+                    "purchase for"],
+    "bannedIn": ["ban in", "ban:am-loc", "be ban in", "prohibit in"],
+    "foundedBy": ["be found by", "founded by", "be founded by"],
+    "sells": ["sell", "sell:a1", "offer", "market"],
+    "develops": ["develop", "develop:a1", "design", "engineer"],
+}
+
+# Predicates whose object is a literal (money, dates) rather than an entity.
+LITERAL_OBJECT_PREDICATES = {"raisedFunding", "acquiredFor"}
+
+
+def normalize_relation(relation: str) -> str:
+    """Lemmatise the verb of a relation phrase, lowercase the rest.
+
+    "raised from" -> "raise from"; SRL relations ("raise:a2-source")
+    pass through lowercased.
+    """
+    relation = relation.strip().lower()
+    if ":" in relation:
+        head, _, role = relation.partition(":")
+        return f"{verb_lemma(head)}:{role}"
+    words = relation.split()
+    if not words:
+        return relation
+    words[0] = verb_lemma(words[0])
+    return " ".join(words)
+
+
+@dataclass
+class PredicateModel:
+    """Learned rule model for one target predicate."""
+
+    predicate: str
+    patterns: Dict[str, float] = field(default_factory=dict)  # pattern -> weight
+
+    def score(self, pattern: str) -> float:
+        return self.patterns.get(pattern, 0.0)
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping one raw relation phrase."""
+
+    predicate: str
+    score: float
+    pattern: str
+
+
+class PredicateMapper:
+    """Seeded + distantly-supervised relation phrase -> predicate model.
+
+    Args:
+        kb: KB whose ontology defines the target predicates and whose
+            facts provide distant supervision.
+        seeds: Predicate -> seed patterns (defaults to
+            :data:`SEED_PATTERNS` filtered to the ontology).
+        min_pattern_count: Occurrences required before a mined pattern
+            is adopted.
+        min_pattern_precision: Fraction of a pattern's distant matches
+            that must agree on one predicate.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        seeds: Optional[Dict[str, List[str]]] = None,
+        min_pattern_count: int = 3,
+        min_pattern_precision: float = 0.7,
+    ) -> None:
+        self.kb = kb
+        self.min_pattern_count = min_pattern_count
+        self.min_pattern_precision = min_pattern_precision
+        self.models: Dict[str, PredicateModel] = {}
+        self._pattern_index: Dict[str, List[Tuple[str, float]]] = {}
+        seeds = seeds if seeds is not None else SEED_PATTERNS
+        for predicate, patterns in seeds.items():
+            model = PredicateModel(predicate=predicate)
+            for pattern in patterns:
+                model.patterns[normalize_relation(pattern)] = 1.0
+            self.models[predicate] = model
+            if not kb.ontology.has_predicate(predicate):
+                kb.ontology.add_predicate(predicate)
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    def _rebuild_index(self) -> None:
+        index: Dict[str, List[Tuple[str, float]]] = defaultdict(list)
+        for model in self.models.values():
+            for pattern, weight in model.patterns.items():
+                index[pattern].append((model.predicate, weight))
+        self._pattern_index = dict(index)
+
+    def map_relation(
+        self,
+        relation: str,
+        subject_type: Optional[str] = None,
+        object_type: Optional[str] = None,
+    ) -> Optional[MappingResult]:
+        """Map a raw relation phrase to an ontology predicate.
+
+        Signature checking: among pattern matches, predicates whose
+        domain/range conflict with the argument types are skipped.
+        """
+        pattern = normalize_relation(relation)
+        matches = self._pattern_index.get(pattern, [])
+        best: Optional[MappingResult] = None
+        for predicate, weight in matches:
+            if not self.kb.ontology.has_predicate(predicate):
+                continue
+            if not self.kb.ontology.signature_allows(predicate, subject_type, object_type):
+                continue
+            if best is None or weight > best.score:
+                best = MappingResult(predicate=predicate, score=weight, pattern=pattern)
+        return best
+
+    # ------------------------------------------------------------------
+    # semi-supervised expansion via distant supervision
+    # ------------------------------------------------------------------
+    def expand_from_corpus(
+        self,
+        raw_triples: Iterable[RawTriple],
+        entity_of: Dict[str, str],
+    ) -> Dict[str, List[str]]:
+        """Mine new patterns from raw triples aligned against KB facts.
+
+        Args:
+            raw_triples: Extraction output over a corpus.
+            entity_of: Map surface form -> canonical entity id (as
+                produced by the entity linker) used for alignment.
+
+        Returns:
+            predicate -> newly adopted patterns.
+        """
+        # pattern -> Counter(predicate -> votes)
+        votes: Dict[str, Counter] = defaultdict(Counter)
+        totals: Counter = Counter()
+        for raw in raw_triples:
+            subject = entity_of.get(raw.subject)
+            object_ = entity_of.get(raw.object)
+            if subject is None or object_ is None:
+                continue
+            pattern = normalize_relation(raw.relation)
+            totals[pattern] += 1
+            for fact in self.kb.store.match(subject=subject, object=object_):
+                votes[pattern][fact.predicate] += 1
+
+        adopted: Dict[str, List[str]] = defaultdict(list)
+        for pattern, counter in votes.items():
+            if totals[pattern] < self.min_pattern_count:
+                continue
+            predicate, count = counter.most_common(1)[0]
+            support = sum(counter.values())
+            precision = count / support
+            if precision < self.min_pattern_precision:
+                continue
+            model = self.models.setdefault(predicate, PredicateModel(predicate=predicate))
+            if pattern not in model.patterns:
+                model.patterns[pattern] = round(precision, 3)
+                adopted[predicate].append(pattern)
+        if adopted:
+            self._rebuild_index()
+        return dict(adopted)
+
+    def known_patterns(self, predicate: str) -> List[str]:
+        """Patterns currently attached to a predicate."""
+        model = self.models.get(predicate)
+        return sorted(model.patterns) if model else []
+
+    def coverage(self, relations: Iterable[str]) -> float:
+        """Fraction of relation phrases that map to some predicate."""
+        relations = list(relations)
+        if not relations:
+            return 0.0
+        mapped = sum(1 for r in relations if self.map_relation(r) is not None)
+        return mapped / len(relations)

@@ -1,0 +1,215 @@
+"""Pattern algebra: typed-edge patterns with exact canonicalisation.
+
+A *pattern* abstracts instance edges to the type level: the instance
+edge ``(DJI:Company) -acquired-> (Kiva:Company)`` becomes the pattern
+edge ``(?0:Company) -acquired-> (?1:Company)``.  Patterns are small
+connected directed multigraphs over variables; NOUS mines them with at
+most ``max_edges`` (default 3) edges, so exact canonicalisation by
+minimisation over variable bijections is cheap and sound (no
+gSpan-style DFS-code machinery needed at this size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import PatternError
+
+
+@dataclass(frozen=True)
+class InstanceEdge:
+    """A concrete KG edge with endpoint type labels.
+
+    Attributes:
+        src / dst: Instance vertex ids.
+        src_label / dst_label: Type labels (pattern vocabulary).
+        predicate: Edge label.
+    """
+
+    src: Hashable
+    dst: Hashable
+    src_label: str
+    dst_label: str
+    predicate: str
+
+
+@dataclass(frozen=True, order=True)
+class PatternEdge:
+    """One edge of a pattern, over integer variables."""
+
+    src: int
+    dst: int
+    src_label: str
+    dst_label: str
+    predicate: str
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A canonical pattern: a sorted tuple of :class:`PatternEdge`.
+
+    Construct only through :func:`canonicalize`; direct construction is
+    for internal use and tests.
+    """
+
+    edges: Tuple[PatternEdge, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    def variables(self) -> Set[int]:
+        out: Set[int] = set()
+        for edge in self.edges:
+            out.add(edge.src)
+            out.add(edge.dst)
+        return out
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables())
+
+    def describe(self) -> str:
+        """Human-readable form: (?0:Company)-[acquired]->(?1:Company) ..."""
+        parts = [
+            f"(?{e.src}:{e.src_label})-[{e.predicate}]->(?{e.dst}:{e.dst_label})"
+            for e in self.edges
+        ]
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.describe()
+
+
+def _labels_consistent(
+    edges: Sequence[Tuple[Hashable, Hashable, str, str, str]]
+) -> Dict[Hashable, str]:
+    """Collect node labels, rejecting contradictions."""
+    labels: Dict[Hashable, str] = {}
+    for src, dst, src_label, dst_label, _pred in edges:
+        for node, label in ((src, src_label), (dst, dst_label)):
+            if labels.setdefault(node, label) != label:
+                raise PatternError(
+                    f"node {node!r} labelled both {labels[node]!r} and {label!r}"
+                )
+    return labels
+
+
+def is_connected(edges: Iterable[InstanceEdge]) -> bool:
+    """True when the edges form one weakly-connected component."""
+    edges = list(edges)
+    if not edges:
+        return False
+    adjacency: Dict[Hashable, Set[Hashable]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.src, set()).add(edge.dst)
+        adjacency.setdefault(edge.dst, set()).add(edge.src)
+    start = edges[0].src
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for nbr in adjacency[node]:
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    return seen == set(adjacency)
+
+
+def canonicalize(
+    edges: Sequence[InstanceEdge],
+) -> Tuple[Pattern, Dict[Hashable, int]]:
+    """Canonical pattern of a set of instance edges.
+
+    Tries every bijection from instance nodes to variable ids and keeps
+    the lexicographically smallest edge tuple — exact graph
+    canonicalisation, exponential only in the (small, bounded) number of
+    pattern nodes.
+
+    Returns:
+        ``(pattern, node_to_variable)`` where the mapping realises the
+        canonical form.
+
+    Raises:
+        PatternError: on empty, disconnected or label-contradictory input.
+    """
+    edges = list(edges)
+    if not edges:
+        raise PatternError("cannot canonicalize an empty edge set")
+    if not is_connected(edges):
+        raise PatternError("pattern edges must be connected")
+    raw = [(e.src, e.dst, e.src_label, e.dst_label, e.predicate) for e in edges]
+    _labels_consistent(raw)
+
+    nodes = sorted({n for e in edges for n in (e.src, e.dst)}, key=repr)
+    best: Tuple[PatternEdge, ...] = ()
+    best_mapping: Dict[Hashable, int] = {}
+    for perm in permutations(range(len(nodes))):
+        mapping = {node: var for node, var in zip(nodes, perm)}
+        candidate = tuple(
+            sorted(
+                PatternEdge(
+                    src=mapping[e.src],
+                    dst=mapping[e.dst],
+                    src_label=e.src_label,
+                    dst_label=e.dst_label,
+                    predicate=e.predicate,
+                )
+                for e in edges
+            )
+        )
+        if not best or candidate < best:
+            best = candidate
+            best_mapping = mapping
+    return Pattern(edges=best), best_mapping
+
+
+def sub_patterns(pattern: Pattern) -> List[Pattern]:
+    """All connected (size-1) sub-patterns obtained by dropping one edge.
+
+    This is the lattice "parent" relation used for closedness checks and
+    for the paper's reconstruction of smaller patterns when a larger one
+    turns infrequent.
+    """
+    if pattern.size <= 1:
+        return []
+    out: Set[Pattern] = set()
+    for skip in range(pattern.size):
+        remaining = [e for i, e in enumerate(pattern.edges) if i != skip]
+        instance_edges = [
+            InstanceEdge(
+                src=e.src, dst=e.dst, src_label=e.src_label,
+                dst_label=e.dst_label, predicate=e.predicate,
+            )
+            for e in remaining
+        ]
+        if is_connected(instance_edges):
+            sub, _ = canonicalize(instance_edges)
+            out.add(sub)
+    return sorted(out, key=lambda p: p.edges)
+
+
+def is_super_pattern(candidate: Pattern, sub: Pattern) -> bool:
+    """True when ``sub`` is a (proper or equal) sub-pattern of ``candidate``.
+
+    Checked by recursive edge-dropping — exact for the bounded sizes NOUS
+    mines.
+    """
+    if candidate == sub:
+        return True
+    if candidate.size <= sub.size:
+        return False
+    frontier = {candidate}
+    while frontier:
+        next_frontier: Set[Pattern] = set()
+        for pattern in frontier:
+            for smaller in sub_patterns(pattern):
+                if smaller == sub:
+                    return True
+                if smaller.size > sub.size:
+                    next_frontier.add(smaller)
+        frontier = next_frontier
+    return False

@@ -1,0 +1,221 @@
+"""The streaming closed-frequent-pattern miner (paper §3.5).
+
+State is maintained *incrementally*: when an edge enters the sliding
+window, exactly the embeddings that contain it are discovered (a local
+enumeration around the new edge) and added to each pattern's support;
+when an edge expires, the same local enumeration retracts them.  No
+global recomputation ever happens — this asymmetry versus from-scratch
+systems (Arabesque re-mines the whole window) is the source of the
+paper's reported ~3x speedup.
+
+When a pattern's support falls below the threshold, its maximal still-
+frequent sub-patterns are already present in the maintained lattice, so
+the paper's "reconstruction of smaller frequent patterns from larger
+patterns that just turned infrequent" is a constant-time lookup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.mining.patterns import (
+    InstanceEdge,
+    Pattern,
+    canonicalize,
+    sub_patterns,
+)
+from repro.mining.support import PatternStats, closed_patterns
+
+
+@dataclass
+class WindowReport:
+    """Snapshot of mining state, emitted on demand (Figure 7's payload).
+
+    Attributes:
+        timestamp: Stream time of the snapshot.
+        closed_frequent: ``(pattern, support)`` list.
+        newly_frequent: Patterns frequent now but not at last snapshot.
+        newly_infrequent: Patterns that lost frequent status, each with
+            its maximal still-frequent sub-patterns (the reconstruction).
+        window_edges: Edges currently in the window.
+    """
+
+    timestamp: float
+    closed_frequent: List[Tuple[Pattern, int]]
+    newly_frequent: List[Pattern] = field(default_factory=list)
+    newly_infrequent: List[Tuple[Pattern, List[Pattern]]] = field(default_factory=list)
+    window_edges: int = 0
+
+
+class StreamingPatternMiner:
+    """Incremental sliding-window miner over typed instance edges.
+
+    Args:
+        min_support: MNI support threshold for "frequent".
+        max_edges: Pattern size cap (the paper mines small rules; 3 keeps
+            exact canonicalisation cheap).
+        max_embeddings_per_edge: Safety valve against degree blow-up; the
+            local enumeration stops after this many subsets per update
+            (counts then become lower bounds — disabled by default).
+    """
+
+    def __init__(
+        self,
+        min_support: int = 3,
+        max_edges: int = 3,
+        max_embeddings_per_edge: Optional[int] = None,
+    ) -> None:
+        if min_support < 1:
+            raise ConfigError("min_support must be >= 1")
+        if max_edges < 1:
+            raise ConfigError("max_edges must be >= 1")
+        self.min_support = min_support
+        self.max_edges = max_edges
+        self.max_embeddings_per_edge = max_embeddings_per_edge
+        self._edges: Dict[int, InstanceEdge] = {}
+        self._incident: Dict[Hashable, Set[int]] = {}
+        self._stats: Dict[Pattern, PatternStats] = {}
+        self._eid = itertools.count()
+        self._previous_frequent: Set[Pattern] = set()
+        self.updates_processed = 0
+        self.embeddings_touched = 0
+
+    # ------------------------------------------------------------------
+    # stream interface
+    # ------------------------------------------------------------------
+    def add_edge(self, edge: InstanceEdge) -> int:
+        """Insert one instance edge; returns its id (needed to remove)."""
+        eid = next(self._eid)
+        self._edges[eid] = edge
+        self._incident.setdefault(edge.src, set()).add(eid)
+        self._incident.setdefault(edge.dst, set()).add(eid)
+        self._apply_local_embeddings(eid, delta=+1)
+        self.updates_processed += 1
+        return eid
+
+    def remove_edge(self, eid: int) -> None:
+        """Retract an edge previously added (window expiry)."""
+        if eid not in self._edges:
+            raise ConfigError(f"unknown edge id {eid}")
+        self._apply_local_embeddings(eid, delta=-1)
+        edge = self._edges.pop(eid)
+        for node in {edge.src, edge.dst}:
+            incident = self._incident.get(node)
+            if incident is None:
+                continue
+            incident.discard(eid)
+            if not incident:
+                del self._incident[node]
+        self.updates_processed += 1
+
+    @property
+    def window_size(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def supports(self) -> Dict[Pattern, int]:
+        """Current MNI support of every tracked pattern."""
+        return {
+            pattern: stats.mni_support
+            for pattern, stats in self._stats.items()
+            if stats.embedding_count > 0
+        }
+
+    def frequent_patterns(self) -> Dict[Pattern, int]:
+        """Patterns at or above ``min_support``."""
+        return {
+            p: s for p, s in self.supports().items() if s >= self.min_support
+        }
+
+    def closed_frequent_patterns(self) -> List[Tuple[Pattern, int]]:
+        """Closed frequent patterns of the current window."""
+        return closed_patterns(self.supports(), self.min_support)
+
+    def report(self, timestamp: float = 0.0) -> WindowReport:
+        """Snapshot with frequency-transition events since the last call."""
+        frequent_now = set(self.frequent_patterns())
+        newly_frequent = sorted(
+            frequent_now - self._previous_frequent, key=lambda p: p.edges
+        )
+        newly_infrequent: List[Tuple[Pattern, List[Pattern]]] = []
+        for lost in sorted(self._previous_frequent - frequent_now, key=lambda p: p.edges):
+            # Reconstruction: maximal still-frequent sub-patterns.
+            survivors = [
+                sub for sub in sub_patterns(lost) if sub in frequent_now
+            ]
+            newly_infrequent.append((lost, survivors))
+        self._previous_frequent = frequent_now
+        return WindowReport(
+            timestamp=timestamp,
+            closed_frequent=self.closed_frequent_patterns(),
+            newly_frequent=newly_frequent,
+            newly_infrequent=newly_infrequent,
+            window_edges=self.window_size,
+        )
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def _apply_local_embeddings(self, seed_eid: int, delta: int) -> None:
+        """Add/retract every connected edge subset containing ``seed_eid``."""
+        for subset in self._connected_subsets(seed_eid):
+            edges = [self._edges[eid] for eid in subset]
+            pattern, mapping = canonicalize(edges)
+            stats = self._stats.get(pattern)
+            if stats is None:
+                if delta < 0:
+                    continue  # retracting something never counted
+                stats = PatternStats(pattern=pattern)
+                self._stats[pattern] = stats
+            if delta > 0:
+                stats.add_embedding(mapping)
+            else:
+                stats.remove_embedding(mapping)
+                if stats.is_dead():
+                    del self._stats[pattern]
+            self.embeddings_touched += 1
+
+    def _connected_subsets(self, seed_eid: int) -> List[FrozenSet[int]]:
+        """All connected subsets of window edges containing the seed,
+        with at most ``max_edges`` edges."""
+        seed_edge = self._edges[seed_eid]
+        results: List[FrozenSet[int]] = []
+        seen: Set[FrozenSet[int]] = set()
+        start = frozenset([seed_eid])
+        stack: List[Tuple[FrozenSet[int], Set[Hashable]]] = [
+            (start, {seed_edge.src, seed_edge.dst})
+        ]
+        seen.add(start)
+        budget = self.max_embeddings_per_edge
+        while stack:
+            subset, nodes = stack.pop()
+            results.append(subset)
+            if budget is not None and len(results) >= budget:
+                break
+            if len(subset) >= self.max_edges:
+                continue
+            # candidate extensions: edges incident to the subset's nodes
+            facts = {
+                (self._edges[e].src, self._edges[e].dst, self._edges[e].predicate)
+                for e in subset
+            }
+            for node in nodes:
+                for eid in self._incident.get(node, ()):
+                    if eid in subset:
+                        continue
+                    edge = self._edges[eid]
+                    # A pattern ranges over *distinct facts*: two window
+                    # instances of the same (s, p, o) must not pair up.
+                    if (edge.src, edge.dst, edge.predicate) in facts:
+                        continue
+                    extended = subset | {eid}
+                    if extended in seen:
+                        continue
+                    seen.add(extended)
+                    stack.append((extended, nodes | {edge.src, edge.dst}))
+        return results

@@ -1,0 +1,96 @@
+"""Support accounting: embeddings and MNI (minimum node image).
+
+MNI support of a pattern is the minimum, over pattern variables, of the
+number of distinct graph vertices that appear in that variable position
+across all embeddings.  MNI is anti-monotone (a super-pattern never has
+higher support), which the level-wise and streaming miners both rely on
+for pruning/maintenance — the same measure Arabesque and GraMi use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.mining.patterns import Pattern
+
+
+@dataclass
+class PatternStats:
+    """Incrementally maintained support state for one pattern.
+
+    Attributes:
+        pattern: The canonical pattern.
+        embedding_count: Number of live (edge-induced) embeddings.
+        var_images: Per canonical variable, a multiset of instance
+            vertices filling that position across live embeddings.
+    """
+
+    pattern: Pattern
+    embedding_count: int = 0
+    var_images: Dict[int, Counter] = field(default_factory=dict)
+
+    def add_embedding(self, assignment: Dict[Hashable, int]) -> None:
+        """Record one embedding via its node -> canonical-variable map."""
+        self.embedding_count += 1
+        for node, var in assignment.items():
+            self.var_images.setdefault(var, Counter())[node] += 1
+
+    def remove_embedding(self, assignment: Dict[Hashable, int]) -> None:
+        """Retract one embedding previously added with the same map."""
+        self.embedding_count -= 1
+        for node, var in assignment.items():
+            images = self.var_images.get(var)
+            if images is None:
+                continue
+            images[node] -= 1
+            if images[node] <= 0:
+                del images[node]
+
+    @property
+    def mni_support(self) -> int:
+        """Minimum node image support over the pattern's variables."""
+        if self.embedding_count <= 0:
+            return 0
+        variables = self.pattern.variables()
+        if not variables:
+            return 0
+        return min(len(self.var_images.get(var, ())) for var in variables)
+
+    def is_dead(self) -> bool:
+        return self.embedding_count <= 0
+
+
+def closed_patterns(
+    supports: Dict[Pattern, int], min_support: int
+) -> List[Tuple[Pattern, int]]:
+    """Closed frequent patterns from a support table.
+
+    A frequent pattern is closed when no frequent *super*-pattern has the
+    same support.  Because every mined pattern's sub-patterns are also in
+    the table (the miners enumerate bottom-up), the check only needs the
+    one-edge-larger patterns' sub-pattern links.
+
+    Returns:
+        ``(pattern, support)`` sorted by (-support, size, edges).
+    """
+    from repro.mining.patterns import sub_patterns  # local to avoid cycle
+
+    frequent = {p: s for p, s in supports.items() if s >= min_support}
+    # For each frequent pattern, record the best support among its
+    # immediate frequent super-patterns.
+    best_super: Dict[Pattern, int] = {}
+    for pattern, support in frequent.items():
+        if pattern.size < 2:
+            continue
+        for sub in sub_patterns(pattern):
+            if sub in frequent:
+                best_super[sub] = max(best_super.get(sub, 0), support)
+    out = [
+        (pattern, support)
+        for pattern, support in frequent.items()
+        if best_super.get(pattern, -1) != support
+    ]
+    out.sort(key=lambda item: (-item[1], item[0].size, item[0].edges))
+    return out

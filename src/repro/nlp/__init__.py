@@ -1,0 +1,41 @@
+"""Lightweight NLP stack for triple extraction (paper §3.2).
+
+The original NOUS uses off-the-shelf OpenIE, named-entity recognition,
+co-reference resolution and semantic role labelling.  None of those are
+available offline, so this package implements the whole chain from
+scratch: a rule/lexicon tagger-chunker front end and two complementary
+extractors (ReVerb-style OpenIE and verb-frame SRL) that emit the dated
+raw triples shown in Figure 3 of the paper.
+"""
+
+from repro.nlp.tokenizer import Sentence, Token, sentence_split, tokenize
+from repro.nlp.pos import PosTagger
+from repro.nlp.chunker import Chunk, chunk_sentence
+from repro.nlp.ner import EntityMention, NamedEntityRecognizer
+from repro.nlp.coref import CorefResolver
+from repro.nlp.dates import SimpleDate, extract_dates, parse_date
+from repro.nlp.openie import OpenIEExtractor
+from repro.nlp.srl import SrlExtractor
+from repro.nlp.pipeline import AnnotatedSentence, Document, NlpPipeline, RawTriple
+
+__all__ = [
+    "Token",
+    "Sentence",
+    "tokenize",
+    "sentence_split",
+    "PosTagger",
+    "Chunk",
+    "chunk_sentence",
+    "NamedEntityRecognizer",
+    "EntityMention",
+    "CorefResolver",
+    "SimpleDate",
+    "parse_date",
+    "extract_dates",
+    "OpenIEExtractor",
+    "SrlExtractor",
+    "NlpPipeline",
+    "Document",
+    "AnnotatedSentence",
+    "RawTriple",
+]

@@ -1,0 +1,148 @@
+"""Shallow chunking: noun phrases and verb groups from POS tags.
+
+The OpenIE extractor consumes these chunks: noun phrases become candidate
+arguments, verb groups anchor ReVerb-style relation phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nlp.pos import NOUN_TAGS, VERB_TAGS
+from repro.nlp.tokenizer import Token
+
+
+@dataclass
+class Chunk:
+    """A contiguous span of tokens with a phrase label.
+
+    Attributes:
+        label: ``"NP"`` or ``"VG"`` (verb group).
+        start: Index of the first token (inclusive).
+        end: Index one past the last token.
+        tokens: The covered tokens.
+        tags: POS tags of the covered tokens.
+    """
+
+    label: str
+    start: int
+    end: int
+    tokens: List[Token]
+    tags: List[str]
+
+    @property
+    def text(self) -> str:
+        return " ".join(t.text for t in self.tokens)
+
+    @property
+    def head(self) -> Token:
+        """Head token: last noun for NPs, main verb for verb groups."""
+        if self.label == "NP":
+            for token, tag in zip(reversed(self.tokens), reversed(self.tags)):
+                if tag in NOUN_TAGS or tag == "CD" or tag == "SYM":
+                    return token
+            return self.tokens[-1]
+        for token, tag in zip(reversed(self.tokens), reversed(self.tags)):
+            if tag in VERB_TAGS:
+                return token
+        return self.tokens[-1]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+# Tags allowed inside a noun phrase, besides nouns.
+_NP_MODIFIERS = {"DT", "JJ", "JJR", "JJS", "CD", "PRP$", "POS", "SYM"}
+_NP_CORE = NOUN_TAGS | {"PRP", "CD", "SYM"}
+# Tags allowed inside a verb group.
+_VG_TAGS = VERB_TAGS | {"MD", "RB", "TO"}
+
+
+def chunk_sentence(tokens: Sequence[Token], tags: Sequence[str]) -> List[Chunk]:
+    """Extract non-overlapping NP and VG chunks left-to-right.
+
+    NPs follow ``(DT|JJ|CD|PRP$|POS|SYM)* (NN|NNS|NNP|NNPS|PRP|CD|SYM)+``
+    (with internal possessives allowed: "DJI 's drones").  Verb groups
+    follow ``(MD|RB)* V+ (RP)?`` where trailing ``TO`` is kept only when
+    followed by another verb ("plans to launch" forms one group).
+    """
+    chunks: List[Chunk] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tag = tags[i]
+        if tag in _NP_CORE or (tag in _NP_MODIFIERS and _starts_np(tags, i)):
+            j = _scan_np(tags, i)
+            if j > i and any(tags[k] in _NP_CORE for k in range(i, j)):
+                chunks.append(_make_chunk("NP", i, j, tokens, tags))
+                i = j
+                continue
+        if tag in _VG_TAGS and tag != "RB" and tag != "TO":
+            j = _scan_vg(tags, tokens, i)
+            if j > i and any(tags[k] in VERB_TAGS for k in range(i, j)):
+                chunks.append(_make_chunk("VG", i, j, tokens, tags))
+                i = j
+                continue
+        i += 1
+    return chunks
+
+
+def _starts_np(tags: Sequence[str], i: int) -> bool:
+    """A modifier starts an NP only if a noun core follows before a verb."""
+    for k in range(i + 1, min(i + 6, len(tags))):
+        if tags[k] in _NP_CORE:
+            return True
+        if tags[k] not in _NP_MODIFIERS:
+            return False
+    return False
+
+
+def _scan_np(tags: Sequence[str], i: int) -> int:
+    j = i
+    n = len(tags)
+    seen_core = False
+    while j < n:
+        tag = tags[j]
+        if tag in _NP_CORE:
+            seen_core = True
+            j += 1
+        elif tag in _NP_MODIFIERS:
+            # POS ('s) continues an NP only between nouns: "DJI 's drones".
+            if tag == "POS" and not seen_core:
+                break
+            j += 1
+        else:
+            break
+    # Trim trailing modifiers that aren't part of the noun core.
+    while j > i and tags[j - 1] in {"DT", "POS"}:
+        j -= 1
+    return j
+
+
+def _scan_vg(tags: Sequence[str], tokens: Sequence[Token], i: int) -> int:
+    j = i
+    n = len(tags)
+    while j < n:
+        tag = tags[j]
+        if tag in VERB_TAGS or tag == "MD":
+            j += 1
+        elif tag == "RB" and j + 1 < n and tags[j + 1] in (VERB_TAGS | {"MD", "TO"}):
+            j += 1  # adverb inside the group: "officially announced"
+        elif tag == "TO" and j + 1 < n and tags[j + 1] in VERB_TAGS:
+            j += 1  # "plans to launch"
+        else:
+            break
+    return j
+
+
+def _make_chunk(
+    label: str, start: int, end: int, tokens: Sequence[Token], tags: Sequence[str]
+) -> Chunk:
+    return Chunk(
+        label=label,
+        start=start,
+        end=end,
+        tokens=list(tokens[start:end]),
+        tags=list(tags[start:end]),
+    )

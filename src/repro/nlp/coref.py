@@ -1,0 +1,163 @@
+"""Rule-based co-reference resolution.
+
+Resolves pronouns ("it", "they", "he") and definite nominals ("the
+company", "the startup") to the most salient compatible entity mention
+earlier in the document.  The paper uses coreference output as a triple-
+extraction heuristic: resolving arguments to named entities before
+emitting triples; this module provides exactly that substitution map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.ner import EntityMention
+
+# Pronoun -> compatible entity labels.
+_PRONOUN_COMPAT = {
+    "it": {"ORG", "PRODUCT", "LOCATION", "MISC"},
+    "its": {"ORG", "PRODUCT", "LOCATION", "MISC"},
+    "itself": {"ORG", "PRODUCT", "LOCATION", "MISC"},
+    "he": {"PERSON"},
+    "him": {"PERSON"},
+    "his": {"PERSON"},
+    "she": {"PERSON"},
+    "her": {"PERSON"},
+    "they": {"ORG", "PERSON"},
+    "them": {"ORG", "PERSON"},
+    "their": {"ORG", "PERSON"},
+}
+
+# Definite nominal head -> compatible entity labels.
+_NOMINAL_COMPAT = {
+    "company": {"ORG"},
+    "firm": {"ORG"},
+    "startup": {"ORG"},
+    "manufacturer": {"ORG"},
+    "maker": {"ORG"},
+    "agency": {"ORG"},
+    "organization": {"ORG"},
+    "group": {"ORG"},
+    "corporation": {"ORG"},
+    "city": {"LOCATION"},
+    "country": {"LOCATION"},
+    "state": {"LOCATION"},
+    "executive": {"PERSON"},
+    "founder": {"PERSON"},
+    "ceo": {"PERSON"},
+    "analyst": {"PERSON"},
+    "spokesman": {"PERSON"},
+    "device": {"PRODUCT"},
+    "product": {"PRODUCT"},
+    "drone": {"PRODUCT"},
+}
+
+
+@dataclass
+class CorefChain:
+    """One resolved chain: a representative entity and its mentions."""
+
+    representative: str
+    label: str
+    mentions: List[Tuple[int, int, int]] = field(default_factory=list)
+    # each mention is (sentence_index, token_start, token_end)
+
+
+class CorefResolver:
+    """Salience-stack resolver over per-sentence NER output.
+
+    Usage: call :meth:`observe_sentence` for each sentence in document
+    order; it returns a substitution map from token index to the
+    representative entity text for any pronoun/nominal it resolved.
+    """
+
+    def __init__(self, max_distance: int = 3) -> None:
+        # Only antecedents from the last ``max_distance`` sentences are
+        # considered (news text rarely needs more).
+        self.max_distance = max_distance
+        self._salience: List[Tuple[int, EntityMention]] = []  # (sentence idx, mention)
+        self.chains: Dict[str, CorefChain] = {}
+
+    def observe_sentence(
+        self,
+        sentence_index: int,
+        tokens: Sequence,
+        tags: Sequence[str],
+        mentions: Sequence[EntityMention],
+    ) -> Dict[int, str]:
+        """Record entities and resolve anaphora in one sentence.
+
+        Returns:
+            Map ``token_index -> representative text`` for resolved spans.
+        """
+        substitutions: Dict[int, str] = {}
+        mention_starts = {m.start for m in mentions}
+        covered = set()
+        for m in mentions:
+            covered.update(m.span())
+
+        for i, token in enumerate(tokens):
+            if i in covered:
+                continue
+            lower = token.lower
+
+            compat = _PRONOUN_COMPAT.get(lower)
+            if compat and tags[i] in {"PRP", "PRP$"}:
+                antecedent = self._find_antecedent(sentence_index, compat)
+                if antecedent is not None:
+                    substitutions[i] = antecedent.text
+                    self._record_chain(antecedent, sentence_index, i, i + 1)
+                continue
+
+            # Definite nominal: "the company", "the French manufacturer".
+            if lower in _NOMINAL_COMPAT and i >= 1 and tokens[i - 1].lower == "the":
+                compat = _NOMINAL_COMPAT[lower]
+                antecedent = self._find_antecedent(
+                    sentence_index, compat, allow_same_sentence=True
+                )
+                if antecedent is not None:
+                    substitutions[i] = antecedent.text
+                    substitutions[i - 1] = ""  # drop the determiner
+                    self._record_chain(antecedent, sentence_index, i - 1, i + 1)
+
+        # Update salience *after* resolution so cataphora doesn't trigger.
+        for m in mentions:
+            if m.label in {"ORG", "PERSON", "LOCATION", "PRODUCT", "MISC"}:
+                self._salience.append((sentence_index, m))
+                self._record_chain(m, sentence_index, m.start, m.end)
+        self._prune(sentence_index)
+        del mention_starts
+        return substitutions
+
+    # ------------------------------------------------------------------
+    def _find_antecedent(
+        self,
+        sentence_index: int,
+        compatible_labels: set,
+        allow_same_sentence: bool = False,
+    ) -> Optional[EntityMention]:
+        for sent_idx, mention in reversed(self._salience):
+            if not allow_same_sentence and sent_idx == sentence_index:
+                continue
+            if sentence_index - sent_idx > self.max_distance:
+                break
+            if mention.label in compatible_labels:
+                return mention
+        return None
+
+    def _record_chain(
+        self, mention: EntityMention, sentence_index: int, start: int, end: int
+    ) -> None:
+        chain = self.chains.setdefault(
+            mention.text, CorefChain(representative=mention.text, label=mention.label)
+        )
+        entry = (sentence_index, start, end)
+        if entry not in chain.mentions:
+            chain.mentions.append(entry)
+
+    def _prune(self, sentence_index: int) -> None:
+        cutoff = sentence_index - self.max_distance
+        self._salience = [
+            (idx, m) for idx, m in self._salience if idx >= cutoff
+        ]

@@ -1,0 +1,159 @@
+"""Temporal expression extraction and a minimal date type.
+
+Figure 3 of the paper shows triples stamped with publication dates; NOUS
+also pulls dates out of sentence text ("in May 2015").  ``SimpleDate``
+supports partial dates (year only, year+month) and total ordering, which
+the dynamic graph uses as stream time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nlp.tokenizer import Token
+
+_MONTHS = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5,
+    "june": 6, "july": 7, "august": 8, "september": 9, "october": 10,
+    "november": 11, "december": 12,
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "jun": 6, "jul": 7, "aug": 8,
+    "sep": 9, "sept": 9, "oct": 10, "nov": 11, "dec": 12,
+    "jan.": 1, "feb.": 2, "mar.": 3, "apr.": 4, "jun.": 6, "jul.": 7,
+    "aug.": 8, "sep.": 9, "sept.": 9, "oct.": 10, "nov.": 11, "dec.": 12,
+}
+
+_ISO_RE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_SLASH_RE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
+_YEAR_RE = re.compile(r"^(19|20)\d{2}$")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SimpleDate:
+    """A possibly-partial calendar date.
+
+    Missing components default for ordering purposes to month 1 / day 1,
+    so ``SimpleDate(2015)`` sorts before ``SimpleDate(2015, 3)``... only
+    via the ordinal; equality still distinguishes them.
+    """
+
+    year: int
+    month: Optional[int] = None
+    day: Optional[int] = None
+
+    def ordinal(self) -> int:
+        """Days-since-epoch-ish integer usable as stream time."""
+        return (self.year * 372) + ((self.month or 1) - 1) * 31 + ((self.day or 1) - 1)
+
+    def __lt__(self, other: "SimpleDate") -> bool:
+        return self.ordinal() < other.ordinal()
+
+    def __str__(self) -> str:
+        if self.month is None:
+            return f"{self.year}"
+        if self.day is None:
+            return f"{self.year}-{self.month:02d}"
+        return f"{self.year}-{self.month:02d}-{self.day:02d}"
+
+
+def parse_date(text: str) -> Optional[SimpleDate]:
+    """Parse a single date string (ISO, slash, 'May 2015', '2015')."""
+    text = text.strip()
+    match = _ISO_RE.match(text)
+    if match:
+        y, m, d = (int(g) for g in match.groups())
+        return _checked(y, m, d)
+    match = _SLASH_RE.match(text)
+    if match:
+        m, d, y = (int(g) for g in match.groups())
+        return _checked(y, m, d)
+    if _YEAR_RE.match(text):
+        return SimpleDate(year=int(text))
+    parts = text.replace(",", " ").split()
+    if not parts:
+        return None
+    month = _MONTHS.get(parts[0].lower())
+    if month is not None:
+        if len(parts) == 2 and parts[1].isdigit():
+            value = int(parts[1])
+            if value > 31:
+                return SimpleDate(year=value, month=month)
+            return None
+        if len(parts) == 3 and parts[1].isdigit() and parts[2].isdigit():
+            return _checked(int(parts[2]), month, int(parts[1]))
+    return None
+
+
+def _checked(year: int, month: int, day: int) -> Optional[SimpleDate]:
+    if not (1 <= month <= 12 and 1 <= day <= 31 and 1800 <= year <= 2200):
+        return None
+    return SimpleDate(year=year, month=month, day=day)
+
+
+def extract_dates(
+    tokens: Sequence[Token],
+) -> List[Tuple[SimpleDate, int, int]]:
+    """Find date mentions in a token sequence.
+
+    Returns:
+        List of ``(date, start_index, end_index)`` spans (end exclusive).
+        Handles "June 7, 2016", "May 2015", "in 2015", ISO tokens.
+    """
+    out: List[Tuple[SimpleDate, int, int]] = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        text = tokens[i].text
+        lower = text.lower()
+        # ISO / slash dates arrive as single tokens.
+        single = None
+        if _ISO_RE.match(text) or _SLASH_RE.match(text):
+            single = parse_date(text)
+        if single is not None:
+            out.append((single, i, i + 1))
+            i += 1
+            continue
+        if lower in _MONTHS:
+            month = _MONTHS[lower]
+            # Month DD , YYYY
+            if (
+                i + 3 < n
+                and tokens[i + 1].text.isdigit()
+                and tokens[i + 2].text == ","
+                and _YEAR_RE.match(tokens[i + 3].text)
+            ):
+                date = _checked(int(tokens[i + 3].text), month, int(tokens[i + 1].text))
+                if date:
+                    out.append((date, i, i + 4))
+                    i += 4
+                    continue
+            # Month DD YYYY
+            if (
+                i + 2 < n
+                and tokens[i + 1].text.isdigit()
+                and _YEAR_RE.match(tokens[i + 2].text)
+            ):
+                date = _checked(int(tokens[i + 2].text), month, int(tokens[i + 1].text))
+                if date:
+                    out.append((date, i, i + 3))
+                    i += 3
+                    continue
+            # Month YYYY
+            if i + 1 < n and _YEAR_RE.match(tokens[i + 1].text):
+                out.append(
+                    (SimpleDate(year=int(tokens[i + 1].text), month=month), i, i + 2)
+                )
+                i += 2
+                continue
+        # Bare year preceded by a preposition ("in 2015", "since 2012").
+        if (
+            _YEAR_RE.match(text)
+            and i > 0
+            and tokens[i - 1].lower in {"in", "since", "by", "during", "until", "of"}
+        ):
+            out.append((SimpleDate(year=int(text)), i, i + 1))
+        i += 1
+    return out

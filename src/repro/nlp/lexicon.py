@@ -1,0 +1,243 @@
+"""Embedded part-of-speech lexicon.
+
+A compact lexicon of closed-class words plus the open-class vocabulary
+that dominates business/technology news (the domain of the paper's WSJ
+corpus and drone use case).  Words absent from the lexicon are tagged by
+suffix/shape heuristics in :mod:`repro.nlp.pos`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+# ---------------------------------------------------------------------------
+# Closed classes
+# ---------------------------------------------------------------------------
+DETERMINERS: Set[str] = {
+    "the", "a", "an", "this", "that", "these", "those", "each", "every",
+    "some", "any", "no", "all", "both", "another", "such",
+}
+
+PREPOSITIONS: Set[str] = {
+    "in", "on", "at", "by", "for", "with", "about", "against", "between",
+    "into", "through", "during", "before", "after", "above", "below",
+    "from", "up", "down", "of", "off", "over", "under", "near", "since",
+    "until", "within", "without", "across", "behind", "around", "among",
+    "amid", "despite", "toward", "towards", "via", "per", "as", "like",
+    "including",
+}
+
+PRONOUNS: Set[str] = {
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her",
+    "us", "them", "itself", "himself", "herself", "themselves", "who",
+    "whom",
+}
+
+POSSESSIVE_PRONOUNS: Set[str] = {"my", "your", "his", "its", "our", "their", "hers"}
+
+CONJUNCTIONS: Set[str] = {"and", "or", "but", "nor", "yet", "so", "plus"}
+
+SUBORDINATORS: Set[str] = {
+    "because", "although", "though", "while", "whereas", "if", "unless",
+    "that", "which", "when", "where", "whether",
+}
+
+MODALS: Set[str] = {
+    "can", "could", "may", "might", "must", "shall", "should", "will",
+    "would",
+}
+
+AUXILIARIES: Dict[str, str] = {
+    "is": "VBZ", "are": "VBP", "was": "VBD", "were": "VBD", "be": "VB",
+    "been": "VBN", "being": "VBG", "am": "VBP",
+    "has": "VBZ", "have": "VBP", "had": "VBD", "having": "VBG",
+    "does": "VBZ", "do": "VBP", "did": "VBD", "doing": "VBG", "done": "VBN",
+}
+
+# ---------------------------------------------------------------------------
+# Open classes: verbs (base, -s, -ed, -ing irregulars included explicitly)
+# ---------------------------------------------------------------------------
+VERB_BASE: Set[str] = {
+    "acquire", "announce", "approve", "ban", "begin", "build", "buy",
+    "capture", "carry", "close", "come", "compete", "confirm", "crash",
+    "create", "deliver", "demonstrate", "deploy", "design", "develop",
+    "employ", "expand", "expect", "face", "fall", "file", "fly", "fund",
+    "get", "give", "go", "grow", "hire", "hold", "include", "inspect",
+    "introduce", "invest", "join", "launch", "lead", "leave", "license",
+    "make", "manufacture", "monitor", "move", "offer", "open", "operate",
+    "order", "partner", "pay", "plan", "produce", "propose", "provide",
+    "purchase", "raise", "reach", "receive", "regulate", "release",
+    "report", "require", "rise", "say", "secure", "see", "sell", "serve",
+    "ship", "show", "sign", "start", "state", "sue", "supply", "support",
+    "survey", "take", "test", "track", "trade", "unveil", "use", "value",
+    "win", "work", "agree", "aim", "allow", "become", "call", "consider",
+    "continue", "cut", "decline", "drop", "earn", "enter", "exceed",
+    "fail", "focus", "gain", "help", "increase", "intend", "issue",
+    "know", "list", "lose", "market", "merge", "name", "need", "note",
+    "obtain", "own", "post", "prepare", "present", "push", "put", "quote",
+    "rank", "rate", "reduce", "remain", "reveal", "review", "run", "seek",
+    "set", "settle", "spend", "spin", "submit", "target", "tell", "think",
+    "threaten", "total", "turn", "want", "warn", "write",
+}
+
+IRREGULAR_PAST: Dict[str, str] = {
+    "acquired": "acquire", "announced": "announce", "began": "begin",
+    "built": "build", "bought": "buy", "came": "come", "crashed": "crash",
+    "fell": "fall", "flew": "fly", "got": "get", "gave": "give",
+    "went": "go", "grew": "grow", "held": "hold", "led": "lead",
+    "left": "leave", "made": "make", "paid": "pay", "raised": "raise",
+    "reached": "reach", "rose": "rise", "said": "say", "saw": "see",
+    "sold": "sell", "shipped": "ship", "showed": "show", "signed": "sign",
+    "sued": "sue", "took": "take", "won": "win", "became": "become",
+    "cut": "cut", "entered": "enter", "knew": "know", "lost": "lose",
+    "ran": "run", "set": "set", "spent": "spend", "spun": "spin",
+    "told": "tell", "thought": "think", "wrote": "write", "put": "put",
+}
+
+IRREGULAR_PARTICIPLE: Dict[str, str] = {
+    "acquired": "acquire", "begun": "begin", "built": "build",
+    "bought": "buy", "come": "come", "fallen": "fall", "flown": "fly",
+    "gotten": "get", "given": "give", "gone": "go", "grown": "grow",
+    "held": "hold", "led": "lead", "left": "leave", "made": "make",
+    "paid": "pay", "risen": "rise", "seen": "see", "sold": "sell",
+    "shown": "show", "taken": "take", "won": "win", "become": "become",
+    "known": "know", "lost": "lose", "run": "run", "written": "write",
+}
+
+# ---------------------------------------------------------------------------
+# Open classes: common nouns / adjectives / adverbs seen in business news
+# ---------------------------------------------------------------------------
+COMMON_NOUNS: Set[str] = {
+    "acquisition", "agency", "agreement", "aircraft", "analyst", "article",
+    "billion", "board", "business", "camera", "capital", "ceo", "chief",
+    "city", "commerce", "company", "competitor", "consumer", "contract",
+    "corporation", "country", "customer", "deal", "delivery", "demand",
+    "development", "device", "director", "dollar", "drone", "drones",
+    "economy", "employee", "enterprise", "executive", "farm", "firm",
+    "flight", "founder", "fund", "funding", "government", "group",
+    "growth", "hardware", "headquarters", "helicopter", "incident",
+    "industry", "insurance", "investment", "investor", "lawsuit",
+    "leader", "maker", "manufacturer", "market", "marketing", "media",
+    "million", "model", "money", "month", "network", "news", "office",
+    "operation", "operations", "opportunity", "partner", "partnership",
+    "patent", "percent", "permit", "photo", "photos", "pilot", "plan",
+    "platform", "police", "price", "product", "production", "profit",
+    "program", "project", "property", "prototype", "quarter", "real",
+    "regulation", "regulator", "report", "research", "revenue", "risk",
+    "robot", "rule", "safety", "sale", "sales", "security", "sensor",
+    "service", "share", "shares", "software", "spokesman", "spokesperson",
+    "startup", "startups", "state", "statement", "stock", "strategy",
+    "subsidiary", "supplier", "system", "technology", "test", "trend",
+    "unit", "use", "valuation", "value", "vehicle", "venture", "video",
+    "week", "year", "years", "estate", "application", "applications",
+    "approval", "quadcopter", "aerial", "airspace", "fleet", "range",
+    "battery", "deliveries", "listing", "listings", "surveillance",
+    "inspection", "mapping", "imagery", "footage", "crops", "field",
+    "site", "sites", "mission", "equipment",
+}
+
+ADJECTIVES: Set[str] = {
+    "aerial", "agricultural", "american", "annual", "big", "chinese",
+    "civilian", "commercial", "common", "consumer-grade", "corporate",
+    "current", "digital", "domestic", "early", "emerging", "federal",
+    "financial", "first", "foreign", "former", "french", "global", "good",
+    "high", "industrial", "international", "large", "largest", "last",
+    "late", "latest", "leading", "local", "low", "major", "military",
+    "national", "new", "next", "novel", "official", "online", "popular",
+    "previous", "private", "public", "quarterly", "recent", "regulatory",
+    "remote", "residential", "rural", "safe", "second", "senior", "small",
+    "strategic", "strong", "top", "total", "unmanned", "urban", "weekly",
+    "autonomous", "key", "potential", "profitable", "rapid", "several",
+    "significant", "third", "japanese", "german", "european", "british",
+    "israeli", "canadian",
+}
+
+ADVERBS: Set[str] = {
+    "also", "already", "always", "approximately", "currently", "early",
+    "eventually", "finally", "further", "here", "however", "immediately",
+    "initially", "just", "largely", "later", "meanwhile", "more", "most",
+    "nearly", "never", "not", "now", "often", "only", "previously",
+    "publicly", "quickly", "rapidly", "recently", "reportedly", "roughly",
+    "sharply", "significantly", "soon", "still", "strongly", "then",
+    "there", "today", "together", "tomorrow", "widely", "yesterday",
+    "n't", "up", "well", "again", "abroad", "ahead", "far", "fast",
+}
+
+MONTHS: Set[str] = {
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+}
+
+ORG_SUFFIXES: Set[str] = {
+    "inc", "inc.", "corp", "corp.", "co", "co.", "ltd", "ltd.", "llc",
+    "llc.", "group", "holdings", "technologies", "systems", "robotics",
+    "labs", "ventures", "partners", "capital", "aviation", "aerospace",
+    "industries", "enterprises", "solutions", "networks", "dynamics",
+}
+
+PERSON_TITLES: Set[str] = {
+    "mr.", "mrs.", "ms.", "dr.", "prof.", "sen.", "gov.", "president",
+    "ceo", "chairman", "founder", "director", "analyst", "secretary",
+}
+
+
+def build_lexicon() -> Dict[str, str]:
+    """Compile the word -> tag lookup used by the tagger.
+
+    Later entries do not override earlier ones, so ordering encodes
+    priority (closed classes win over open classes).
+    """
+    lexicon: Dict[str, str] = {}
+
+    def put(words, tag) -> None:
+        for word in words:
+            lexicon.setdefault(word, tag)
+
+    put(MODALS, "MD")
+    for word, tag in AUXILIARIES.items():
+        lexicon.setdefault(word, tag)
+    put(DETERMINERS, "DT")
+    put(POSSESSIVE_PRONOUNS, "PRP$")
+    put(PRONOUNS, "PRP")
+    put(CONJUNCTIONS, "CC")
+    put(PREPOSITIONS, "IN")
+    put(SUBORDINATORS, "IN")
+    lexicon["to"] = "TO"
+    lexicon["there"] = "EX"
+    put(ADVERBS, "RB")
+    put(MONTHS, "NNP")
+    put(VERB_BASE, "VB")
+    for past in IRREGULAR_PAST:
+        lexicon.setdefault(past, "VBD")
+    for participle in IRREGULAR_PARTICIPLE:
+        lexicon.setdefault(participle, "VBN")
+    put(ADJECTIVES, "JJ")
+    put(COMMON_NOUNS, "NN")
+    return lexicon
+
+
+def verb_lemma(word: str) -> str:
+    """Best-effort lemma for a verb surface form."""
+    lower = word.lower()
+    if lower in IRREGULAR_PAST:
+        return IRREGULAR_PAST[lower]
+    if lower in IRREGULAR_PARTICIPLE:
+        return IRREGULAR_PARTICIPLE[lower]
+    if lower in VERB_BASE:
+        return lower
+    for suffix, replacement in (
+        ("ies", "y"), ("ied", "y"), ("ying", "y"),
+        ("sses", "ss"), ("ches", "ch"), ("shes", "sh"),
+        ("ing", ""), ("ed", ""), ("es", ""), ("s", ""),
+    ):
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 1:
+            candidate = lower[: -len(suffix)] + replacement
+            if candidate in VERB_BASE:
+                return candidate
+            # handle doubled consonants: planned -> plan
+            if candidate and candidate[-1:] * 2 == candidate[-2:] and candidate[:-1] in VERB_BASE:
+                return candidate[:-1]
+            # handle e-drop: acquiring -> acquire
+            if candidate + "e" in VERB_BASE:
+                return candidate + "e"
+    return lower

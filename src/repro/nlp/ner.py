@@ -1,0 +1,205 @@
+"""Named-entity recognition: gazetteer plus shape/cue rules.
+
+The recogniser accepts an optional gazetteer (alias -> entity type) which
+NOUS wires to the curated KB's alias dictionary — the paper's pipeline
+similarly grounds NER in YAGO's entity inventory.  Unknown proper-noun
+spans are classified by suffix cues (Inc., Robotics → ORG), honorifics
+(Mr. → PERSON), and an embedded location list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.nlp.dates import extract_dates
+from repro.nlp.lexicon import ORG_SUFFIXES, PERSON_TITLES
+from repro.nlp.tokenizer import Token
+
+# A small embedded location gazetteer (countries + major cities in the
+# business-news domain).
+_LOCATIONS = {
+    "china", "united states", "u.s.", "france", "germany", "japan",
+    "canada", "israel", "india", "russia", "brazil", "mexico",
+    "united kingdom", "u.k.", "california", "texas", "washington",
+    "new york", "seattle", "shenzhen", "beijing", "paris", "berlin",
+    "london", "tokyo", "san francisco", "boston", "chicago", "austin",
+    "richland", "europe", "asia", "africa", "silicon valley",
+}
+
+_MAGNITUDES = {"million", "billion", "trillion", "thousand"}
+
+
+@dataclass
+class EntityMention:
+    """A typed entity mention with its token span (end exclusive)."""
+
+    text: str
+    label: str  # ORG | PERSON | LOCATION | PRODUCT | MONEY | DATE | PERCENT | MISC
+    start: int
+    end: int
+    kb_hint: Optional[str] = None  # gazetteer-provided canonical id, if any
+
+    def span(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class NamedEntityRecognizer:
+    """Rule/gazetteer NER over tagged tokens.
+
+    Args:
+        gazetteer: Optional map from lowercase alias to entity type
+            (``"ORG"``, ``"PERSON"``, ...).
+        kb_aliases: Optional map from lowercase alias to canonical KB
+            entity id; matches annotate mentions with ``kb_hint``.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Optional[Dict[str, str]] = None,
+        kb_aliases: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.gazetteer = {k.lower(): v for k, v in (gazetteer or {}).items()}
+        self.kb_aliases = {k.lower(): v for k, v in (kb_aliases or {}).items()}
+        self._max_gazetteer_len = max(
+            (len(k.split()) for k in self.gazetteer), default=1
+        )
+
+    def recognize(
+        self, tokens: Sequence[Token], tags: Sequence[str]
+    ) -> List[EntityMention]:
+        """Return non-overlapping entity mentions, leftmost-longest."""
+        mentions: List[EntityMention] = []
+        claimed = [False] * len(tokens)
+
+        for date, start, end in extract_dates(tokens):
+            mentions.append(
+                EntityMention(
+                    text=" ".join(t.text for t in tokens[start:end]),
+                    label="DATE",
+                    start=start,
+                    end=end,
+                )
+            )
+            for k in range(start, end):
+                claimed[k] = True
+
+        self._recognize_money(tokens, claimed, mentions)
+        self._recognize_gazetteer(tokens, claimed, mentions)
+        self._recognize_proper_spans(tokens, tags, claimed, mentions)
+        mentions.sort(key=lambda m: m.start)
+        return mentions
+
+    # ------------------------------------------------------------------
+    def _recognize_money(self, tokens, claimed, mentions) -> None:
+        i = 0
+        n = len(tokens)
+        while i < n:
+            if claimed[i]:
+                i += 1
+                continue
+            token = tokens[i]
+            if token.is_currency():
+                end = i + 1
+                if end < n and tokens[end].lower in _MAGNITUDES:
+                    end += 1
+                self._claim(tokens, claimed, mentions, i, end, "MONEY")
+                i = end
+                continue
+            if token.text == "$" and i + 1 < n and tokens[i + 1].is_numeric():
+                end = i + 2
+                if end < n and tokens[end].lower in _MAGNITUDES:
+                    end += 1
+                self._claim(tokens, claimed, mentions, i, end, "MONEY")
+                i = end
+                continue
+            if token.is_numeric() and token.text.endswith("%"):
+                self._claim(tokens, claimed, mentions, i, i + 1, "PERCENT")
+            elif (
+                token.is_numeric()
+                and i + 1 < n
+                and tokens[i + 1].lower in {"percent", "%"}
+            ):
+                self._claim(tokens, claimed, mentions, i, i + 2, "PERCENT")
+                i += 2
+                continue
+            i += 1
+
+    def _recognize_gazetteer(self, tokens, claimed, mentions) -> None:
+        n = len(tokens)
+        max_len = min(self._max_gazetteer_len, 6)
+        i = 0
+        while i < n:
+            if claimed[i]:
+                i += 1
+                continue
+            matched = False
+            for length in range(max_len, 0, -1):
+                if i + length > n or any(claimed[i : i + length]):
+                    continue
+                phrase = " ".join(t.text for t in tokens[i : i + length]).lower()
+                label = self.gazetteer.get(phrase)
+                if label:
+                    mention = self._claim(
+                        tokens, claimed, mentions, i, i + length, label
+                    )
+                    mention.kb_hint = self.kb_aliases.get(phrase)
+                    i += length
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+
+    def _recognize_proper_spans(self, tokens, tags, claimed, mentions) -> None:
+        n = len(tokens)
+        i = 0
+        while i < n:
+            if claimed[i] or tags[i] not in {"NNP", "NNPS"}:
+                i += 1
+                continue
+            j = i
+            while j < n and not claimed[j] and tags[j] in {"NNP", "NNPS", "CD"}:
+                j += 1
+            # Trim trailing CDs that aren't part of a name.
+            while j > i and tags[j - 1] == "CD":
+                j -= 1
+            if j > i:
+                label = self._classify_span(tokens, i, j)
+                self._claim(tokens, claimed, mentions, i, j, label)
+                i = j
+            else:
+                i += 1
+
+    def _classify_span(self, tokens, start, end) -> str:
+        words = [tokens[k].lower for k in range(start, end)]
+        phrase = " ".join(words)
+        if phrase in _LOCATIONS or words[-1] in _LOCATIONS:
+            return "LOCATION"
+        if words[-1].rstrip(".") in {s.rstrip(".") for s in ORG_SUFFIXES}:
+            return "ORG"
+        if words[0] in PERSON_TITLES:
+            return "PERSON"
+        # Single all-caps token (DJI, FAA) -> ORG.
+        if end - start == 1 and tokens[start].text.isupper() and len(tokens[start].text) >= 2:
+            return "ORG"
+        # Two capitalised alpha words, neither an org cue -> PERSON-ish,
+        # but default multiword names in business text to ORG when a
+        # known org-word appears.
+        if end - start >= 2 and all(w.isalpha() for w in words):
+            return "ORG" if any(w in ORG_SUFFIXES for w in words) else "PERSON"
+        return "ORG"
+
+    def _claim(self, tokens, claimed, mentions, start, end, label) -> EntityMention:
+        mention = EntityMention(
+            text=" ".join(t.text for t in tokens[start:end]),
+            label=label,
+            start=start,
+            end=end,
+        )
+        for k in range(start, end):
+            claimed[k] = True
+        mentions.append(mention)
+        return mention

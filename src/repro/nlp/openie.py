@@ -1,0 +1,271 @@
+"""ReVerb-style Open Information Extraction.
+
+Extracts ``(argument1, relation phrase, argument2)`` tuples anchored on
+verb groups, plus n-ary prepositional extensions — the same behaviour
+(including the characteristic noise: over-specific relation phrases)
+that the paper's §3.3 predicate-mapping stage is designed to clean up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nlp.chunker import Chunk, chunk_sentence
+from repro.nlp.lexicon import verb_lemma
+from repro.nlp.ner import EntityMention
+from repro.nlp.pos import VERB_TAGS
+from repro.nlp.tokenizer import Token
+
+_BE_FORMS = {"is", "are", "was", "were", "be", "been", "being", "am"}
+_NEGATIONS = {"not", "never", "n't", "no"}
+_SUBORDINATORS = {"because", "although", "though", "while", "if", "that", "which", "whereas"}
+
+
+@dataclass
+class Extraction:
+    """One OpenIE tuple.
+
+    Attributes:
+        arg1: Subject argument text.
+        relation: Relation phrase (normalised, lowercase).
+        arg2: Object argument text.
+        verb: Lemma of the main verb.
+        extra_args: Additional ``(preposition, argument text)`` pairs.
+        negated: True when the verb group is negated.
+        confidence: Heuristic extraction confidence in (0, 1).
+        arg1_span: ``(start, end)`` token span of arg1.
+        arg2_span: ``(start, end)`` token span of arg2.
+    """
+
+    arg1: str
+    relation: str
+    arg2: str
+    verb: str
+    extra_args: List[Tuple[str, str]] = field(default_factory=list)
+    negated: bool = False
+    confidence: float = 0.5
+    arg1_span: Tuple[int, int] = (0, 0)
+    arg2_span: Tuple[int, int] = (0, 0)
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.arg1, self.relation, self.arg2)
+
+
+class OpenIEExtractor:
+    """Chunk-pattern OpenIE extractor.
+
+    For each verb group the extractor takes the nearest preceding noun
+    phrase as ``arg1``, the nearest following noun phrase as ``arg2``,
+    and then walks further prepositional attachments into n-ary extras:
+    "DJI raised $75 million from Accel in May 2015" yields
+    ``(DJI, raised, $75 million)`` with extras ``[(from, Accel),
+    (in, May 2015)]`` — and one flattened binary triple per extra.
+    """
+
+    def __init__(self, emit_nary_binaries: bool = True, min_confidence: float = 0.0) -> None:
+        self.emit_nary_binaries = emit_nary_binaries
+        self.min_confidence = min_confidence
+
+    def extract(
+        self,
+        tokens: Sequence[Token],
+        tags: Sequence[str],
+        mentions: Sequence[EntityMention] = (),
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> List[Extraction]:
+        """Run extraction over one tagged sentence."""
+        if chunks is None:
+            chunks = chunk_sentence(tokens, tags)
+        nps = [c for c in chunks if c.label == "NP"]
+        vgs = [c for c in chunks if c.label == "VG"]
+        entity_spans = [(m.start, m.end) for m in mentions]
+
+        extractions: List[Extraction] = []
+        for vg in vgs:
+            arg1 = self._nearest_np_before(nps, vg.start)
+            if arg1 is None:
+                continue
+            main_verb, negated = self._analyse_verb_group(vg)
+            if main_verb is None:
+                continue
+            arg2, relation_suffix, after = self._find_object(tokens, tags, nps, vg)
+            if arg2 is None:
+                continue
+            relation = self._relation_text(vg, relation_suffix)
+            extras = self._collect_extras(tokens, tags, nps, after)
+            confidence = self._score(
+                tokens, tags, vg, arg1, arg2, relation, entity_spans, negated
+            )
+            if confidence < self.min_confidence:
+                continue
+            extraction = Extraction(
+                arg1=arg1.text,
+                relation=relation,
+                arg2=arg2.text,
+                verb=verb_lemma(main_verb.text),
+                extra_args=extras,
+                negated=negated,
+                confidence=confidence,
+                arg1_span=(arg1.start, arg1.end),
+                arg2_span=(arg2.start, arg2.end),
+            )
+            extractions.append(extraction)
+            if self.emit_nary_binaries:
+                verb = verb_lemma(main_verb.text)
+                for prep, (arg_text, span) in self._extras_with_spans(
+                    tokens, tags, nps, after
+                ):
+                    flat_conf = max(0.05, confidence - 0.1)
+                    extractions.append(
+                        Extraction(
+                            arg1=arg1.text,
+                            relation=f"{verb} {prep}",
+                            arg2=arg_text,
+                            verb=verb,
+                            negated=negated,
+                            confidence=flat_conf,
+                            arg1_span=(arg1.start, arg1.end),
+                            arg2_span=span,
+                        )
+                    )
+        return extractions
+
+    # ------------------------------------------------------------------
+    def _nearest_np_before(self, nps: Sequence[Chunk], position: int) -> Optional[Chunk]:
+        best = None
+        for np in nps:
+            if np.end <= position:
+                best = np
+            else:
+                break
+        return best
+
+    def _analyse_verb_group(self, vg: Chunk) -> Tuple[Optional[Token], bool]:
+        negated = any(t.lower in _NEGATIONS for t in vg.tokens)
+        main = None
+        for token, tag in zip(vg.tokens, vg.tags):
+            if tag in VERB_TAGS and token.lower not in _BE_FORMS:
+                main = token  # last non-auxiliary verb wins
+        if main is None:
+            for token, tag in zip(vg.tokens, vg.tags):
+                if tag in VERB_TAGS:
+                    main = token
+        return main, negated
+
+    def _find_object(
+        self,
+        tokens: Sequence[Token],
+        tags: Sequence[str],
+        nps: Sequence[Chunk],
+        vg: Chunk,
+    ) -> Tuple[Optional[Chunk], str, int]:
+        """Find arg2 right after the verb group.
+
+        Returns:
+            ``(arg2 chunk, relation suffix text, scan position after arg2)``.
+            The suffix is a preposition folded into the relation when the
+            verb is immediately followed by one ("invest in", "partner with").
+        """
+        i = vg.end
+        n = len(tokens)
+        suffix = ""
+        # Optional adverb then optional preposition directly after verb.
+        while i < n and tags[i] == "RB":
+            i += 1
+        if i < n and tags[i] in {"IN", "TO"} and tokens[i].lower != "that":
+            suffix = tokens[i].lower
+            i += 1
+        np = self._np_starting_at(nps, i)
+        if np is None:
+            return None, "", i
+        return np, suffix, np.end
+
+    def _np_starting_at(self, nps: Sequence[Chunk], position: int) -> Optional[Chunk]:
+        for np in nps:
+            if np.start == position:
+                return np
+            if np.start > position:
+                return None
+        return None
+
+    def _relation_text(self, vg: Chunk, suffix: str) -> str:
+        words = [
+            t.lower
+            for t, tag in zip(vg.tokens, vg.tags)
+            if t.lower not in _NEGATIONS
+        ]
+        relation = " ".join(words)
+        if suffix:
+            relation = f"{relation} {suffix}"
+        return relation
+
+    def _collect_extras(
+        self,
+        tokens: Sequence[Token],
+        tags: Sequence[str],
+        nps: Sequence[Chunk],
+        start: int,
+    ) -> List[Tuple[str, str]]:
+        return [
+            (prep, text)
+            for prep, (text, _span) in self._extras_with_spans(tokens, tags, nps, start)
+        ]
+
+    def _extras_with_spans(
+        self,
+        tokens: Sequence[Token],
+        tags: Sequence[str],
+        nps: Sequence[Chunk],
+        start: int,
+    ):
+        """Yield ``(prep, (text, span))`` for trailing PP attachments."""
+        i = start
+        n = len(tokens)
+        while i < n:
+            if tags[i] == "PUNCT" and tokens[i].text in {",", ";"}:
+                i += 1
+                continue
+            if tags[i] not in {"IN", "TO"}:
+                break
+            prep = tokens[i].lower
+            np = self._np_starting_at(nps, i + 1)
+            if np is None:
+                break
+            yield (prep, (np.text, (np.start, np.end)))
+            i = np.end
+
+    def _score(
+        self,
+        tokens: Sequence[Token],
+        tags: Sequence[str],
+        vg: Chunk,
+        arg1: Chunk,
+        arg2: Chunk,
+        relation: str,
+        entity_spans: Sequence[Tuple[int, int]],
+        negated: bool,
+    ) -> float:
+        confidence = 0.5
+        if self._covered_by_entity(arg1, entity_spans):
+            confidence += 0.12
+        if self._covered_by_entity(arg2, entity_spans):
+            confidence += 0.12
+        if len(relation.split()) <= 2:
+            confidence += 0.1
+        if any(t.lower in _SUBORDINATORS for t in tokens[: vg.start]):
+            confidence -= 0.15
+        if any(tag in {"PRP", "PRP$"} for tag in arg1.tags):
+            confidence -= 0.1
+        if negated:
+            confidence -= 0.05
+        # Distance between arg1 and the verb: long gaps are risky.
+        if vg.start - arg1.end > 3:
+            confidence -= 0.1
+        return max(0.05, min(0.95, confidence))
+
+    def _covered_by_entity(
+        self, np: Chunk, entity_spans: Sequence[Tuple[int, int]]
+    ) -> bool:
+        head_index = np.head.index
+        return any(start <= head_index < end for start, end in entity_spans)

@@ -1,0 +1,259 @@
+"""End-to-end NLP pipeline: text in, dated raw triples out (paper §3.2).
+
+``NlpPipeline`` chains sentence splitting, tagging, chunking, NER,
+coreference and the two extractors, applying the paper's heuristics:
+pronoun/nominal arguments are replaced by their representative entity
+before triples are emitted, and each triple is stamped with the most
+specific date available (sentence-level mention, else document date).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.chunker import Chunk, chunk_sentence
+from repro.nlp.coref import CorefResolver
+from repro.nlp.dates import SimpleDate, extract_dates
+from repro.nlp.ner import EntityMention, NamedEntityRecognizer
+from repro.nlp.openie import Extraction, OpenIEExtractor
+from repro.nlp.pos import PosTagger
+from repro.nlp.srl import SrlExtractor, SrlFrame
+from repro.nlp.tokenizer import Sentence, sentence_split
+from repro.nlp.tokenizer import Token
+
+
+@dataclass
+class RawTriple:
+    """A dated, provenance-carrying triple straight out of extraction.
+
+    This is the unit that flows into §3.3's mapping stage.
+
+    Attributes:
+        subject: Resolved subject text.
+        relation: Raw relation phrase (OpenIE) or frame relation (SRL).
+        object: Resolved object text.
+        date: Best-known date for the fact (sentence date, else document
+            date, else ``None``).
+        doc_id: Source document id.
+        sentence_index: Sentence position inside the document.
+        confidence: Extractor confidence in (0, 1).
+        extractor: ``"openie"`` or ``"srl"``.
+        subject_label: NER label covering the subject head, if any.
+        object_label: NER label covering the object head, if any.
+        negated: Negation flag.
+        source: Source name (newspaper/site), carried for trust tracking.
+    """
+
+    subject: str
+    relation: str
+    object: str
+    date: Optional[SimpleDate] = None
+    doc_id: str = ""
+    sentence_index: int = 0
+    confidence: float = 0.5
+    extractor: str = "openie"
+    subject_label: Optional[str] = None
+    object_label: Optional[str] = None
+    negated: bool = False
+    source: str = ""
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.subject, self.relation, self.object)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        date = f"[{self.date}] " if self.date else ""
+        return f"{date}({self.subject}; {self.relation}; {self.object})"
+
+
+@dataclass
+class AnnotatedSentence:
+    """All annotations for one sentence."""
+
+    sentence: Sentence
+    tags: List[str]
+    chunks: List[Chunk]
+    mentions: List[EntityMention]
+    substitutions: Dict[int, str]
+    dates: List[Tuple[SimpleDate, int, int]]
+    extractions: List[Extraction] = field(default_factory=list)
+    frames: List[SrlFrame] = field(default_factory=list)
+
+
+@dataclass
+class Document:
+    """A processed document."""
+
+    doc_id: str
+    text: str
+    date: Optional[SimpleDate]
+    source: str
+    sentences: List[AnnotatedSentence] = field(default_factory=list)
+    triples: List[RawTriple] = field(default_factory=list)
+
+
+class NlpPipeline:
+    """Configurable extraction pipeline.
+
+    Args:
+        gazetteer: alias (lowercase) -> NER label, typically from the KB.
+        kb_aliases: alias (lowercase) -> canonical entity id.
+        use_srl: Also run the frame-lexicon SRL extractor.
+        use_coref: Resolve pronouns/nominals before emitting triples.
+        min_confidence: Drop triples scored below this.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Optional[Dict[str, str]] = None,
+        kb_aliases: Optional[Dict[str, str]] = None,
+        use_srl: bool = True,
+        use_coref: bool = True,
+        min_confidence: float = 0.0,
+    ) -> None:
+        self.tagger = PosTagger()
+        self.ner = NamedEntityRecognizer(gazetteer=gazetteer, kb_aliases=kb_aliases)
+        self.openie = OpenIEExtractor()
+        self.srl = SrlExtractor() if use_srl else None
+        self.use_coref = use_coref
+        self.min_confidence = min_confidence
+
+    def process(
+        self,
+        text: str,
+        doc_id: str = "",
+        doc_date: Optional[SimpleDate] = None,
+        source: str = "",
+    ) -> Document:
+        """Annotate a document and extract its triples."""
+        document = Document(doc_id=doc_id, text=text, date=doc_date, source=source)
+        resolver = CorefResolver() if self.use_coref else None
+
+        for sentence in sentence_split(text):
+            tags = self.tagger.tag(sentence.tokens)
+            chunks = chunk_sentence(sentence.tokens, tags)
+            mentions = self.ner.recognize(sentence.tokens, tags)
+            substitutions: Dict[int, str] = {}
+            if resolver is not None:
+                substitutions = resolver.observe_sentence(
+                    sentence.index, sentence.tokens, tags, mentions
+                )
+            dates = extract_dates(sentence.tokens)
+            annotated = AnnotatedSentence(
+                sentence=sentence,
+                tags=tags,
+                chunks=chunks,
+                mentions=mentions,
+                substitutions=substitutions,
+                dates=dates,
+            )
+            annotated.extractions = self.openie.extract(
+                sentence.tokens, tags, mentions, chunks
+            )
+            if self.srl is not None:
+                annotated.frames = self.srl.extract(
+                    sentence.tokens, tags, mentions, chunks
+                )
+            document.sentences.append(annotated)
+            self._emit_triples(document, annotated)
+        return document
+
+    def extract_triples(
+        self,
+        text: str,
+        doc_id: str = "",
+        doc_date: Optional[SimpleDate] = None,
+        source: str = "",
+    ) -> List[RawTriple]:
+        """Convenience wrapper returning only the triples."""
+        return self.process(text, doc_id, doc_date, source).triples
+
+    # ------------------------------------------------------------------
+    def _emit_triples(self, document: Document, annotated: AnnotatedSentence) -> None:
+        sentence_date = annotated.dates[0][0] if annotated.dates else None
+        date = sentence_date or document.date
+        seen: set = set()
+
+        for extraction in annotated.extractions:
+            subject = self._resolve_span(annotated, extraction.arg1_span, extraction.arg1)
+            obj = self._resolve_span(annotated, extraction.arg2_span, extraction.arg2)
+            triple = RawTriple(
+                subject=subject,
+                relation=extraction.relation,
+                object=obj,
+                date=date,
+                doc_id=document.doc_id,
+                sentence_index=annotated.sentence.index,
+                confidence=extraction.confidence,
+                extractor="openie",
+                subject_label=self._label_for_span(annotated, extraction.arg1_span),
+                object_label=self._label_for_span(annotated, extraction.arg2_span),
+                negated=extraction.negated,
+                source=document.source,
+            )
+            if triple.confidence >= self.min_confidence:
+                key = (triple.subject, triple.relation, triple.object)
+                if key not in seen:
+                    seen.add(key)
+                    document.triples.append(triple)
+
+        for frame in annotated.frames:
+            subject = self._resolve_text(annotated, frame.roles.get("A0", ""))
+            for agent, relation, argument in frame.triples():
+                del agent  # A0 resolved above; frame.triples repeats it
+                triple = RawTriple(
+                    subject=subject,
+                    relation=relation,
+                    object=self._resolve_text(annotated, argument),
+                    date=date,
+                    doc_id=document.doc_id,
+                    sentence_index=annotated.sentence.index,
+                    confidence=frame.confidence,
+                    extractor="srl",
+                    negated=frame.negated,
+                    source=document.source,
+                )
+                if triple.confidence >= self.min_confidence:
+                    key = (triple.subject, triple.relation, triple.object, "srl")
+                    if key not in seen:
+                        seen.add(key)
+                        document.triples.append(triple)
+
+    def _resolve_span(
+        self, annotated: AnnotatedSentence, span: Tuple[int, int], fallback: str
+    ) -> str:
+        """Apply coref substitutions to an argument span."""
+        if not annotated.substitutions:
+            return fallback
+        start, end = span
+        words: List[str] = []
+        changed = False
+        for i in range(start, end):
+            if i in annotated.substitutions:
+                replacement = annotated.substitutions[i]
+                changed = True
+                if replacement:
+                    words.append(replacement)
+            else:
+                words.append(annotated.sentence.tokens[i].text)
+        return " ".join(w for w in words if w) if changed else fallback
+
+    def _resolve_text(self, annotated: AnnotatedSentence, text: str) -> str:
+        """Resolve a free-text argument via substitutions on exact match."""
+        if not annotated.substitutions or not text:
+            return text
+        tokens = annotated.sentence.tokens
+        words = text.split()
+        for i in range(len(tokens) - len(words) + 1):
+            if [t.text for t in tokens[i : i + len(words)]] == words:
+                return self._resolve_span(annotated, (i, i + len(words)), text)
+        return text
+
+    def _label_for_span(
+        self, annotated: AnnotatedSentence, span: Tuple[int, int]
+    ) -> Optional[str]:
+        start, end = span
+        for mention in annotated.mentions:
+            if mention.start < end and start < mention.end:
+                return mention.label
+        return None

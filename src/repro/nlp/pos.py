@@ -1,0 +1,158 @@
+"""Part-of-speech tagging: lexicon lookup, suffix/shape guessing, and a
+small set of Brill-style contextual repair rules.
+
+The tagset is the Penn Treebank subset that the chunker and extractors
+need: ``DT NN NNS NNP NNPS PRP PRP$ VB VBD VBG VBN VBP VBZ MD IN TO CC
+JJ JJR JJS RB CD POS EX SYM PUNCT``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.nlp.lexicon import build_lexicon
+from repro.nlp.tokenizer import Token
+
+_PUNCT_RE = re.compile(r"[^\w$%]")
+
+NOUN_TAGS = {"NN", "NNS", "NNP", "NNPS"}
+VERB_TAGS = {"VB", "VBD", "VBG", "VBN", "VBP", "VBZ"}
+
+
+class PosTagger:
+    """Deterministic POS tagger.
+
+    Three stages: (1) lexicon lookup on the lowercased form, (2) shape
+    and suffix heuristics for unknown words, (3) contextual repair rules
+    that fix the classic noun/verb ambiguities using neighbouring tags.
+    """
+
+    def __init__(self) -> None:
+        self._lexicon = build_lexicon()
+
+    def tag(self, tokens: Sequence[Token]) -> List[str]:
+        """Return one tag per token."""
+        tags = [self._initial_tag(token, i, tokens) for i, token in enumerate(tokens)]
+        self._apply_context_rules(tokens, tags)
+        return tags
+
+    # ------------------------------------------------------------------
+    # stage 1 + 2
+    # ------------------------------------------------------------------
+    def _initial_tag(self, token: Token, index: int, tokens: Sequence[Token]) -> str:
+        text = token.text
+        lower = token.lower
+
+        if text == "'s":
+            return "POS"
+        if token.is_currency() or text in "$€£":
+            return "SYM"
+        if token.is_numeric():
+            return "CD"
+        if _PUNCT_RE.fullmatch(text[0]) and len(text.strip(".-!?,;:()'\"")) == 0:
+            return "PUNCT"
+
+        known = self._lexicon.get(lower)
+        if known is not None:
+            # Capitalised mid-sentence words keep proper-noun status even
+            # when the lowercase form is in the lexicon ("May", "Apple").
+            if token.is_capitalized() and index > 0 and known not in {"NNP"}:
+                prev = tokens[index - 1].text
+                if prev not in {'"', "("} and known in {"NN", "JJ", "VB"}:
+                    return "NNP"
+            return known
+
+        return self._guess_tag(token, index)
+
+    def _guess_tag(self, token: Token, index: int) -> str:
+        text = token.text
+        lower = token.lower
+        if token.is_capitalized():
+            # Unknown capitalised words in news text are overwhelmingly
+            # proper nouns, sentence-initially too (known common words were
+            # caught by the lexicon already).
+            return "NNP"
+        if text[0].isdigit() and any(c.isalpha() for c in text):
+            return "NNP"  # 3D, 747s, 5G
+        if lower.endswith("ly"):
+            return "RB"
+        if lower.endswith(("ing",)):
+            return "VBG"
+        if lower.endswith(("ed",)):
+            return "VBD"
+        if lower.endswith(("tion", "sion", "ment", "ness", "ity", "ship", "ism", "ance", "ence", "er", "or", "ist")):
+            return "NN"
+        if lower.endswith(("ous", "ful", "ive", "able", "ible", "al", "ic", "ish")):
+            return "JJ"
+        if lower.endswith("est"):
+            return "JJS"
+        if lower.endswith("s") and not lower.endswith("ss"):
+            return "NNS"
+        return "NN"
+
+    # ------------------------------------------------------------------
+    # stage 3: contextual repairs
+    # ------------------------------------------------------------------
+    def _apply_context_rules(self, tokens: Sequence[Token], tags: List[str]) -> None:
+        n = len(tags)
+        for i in range(n):
+            lower = tokens[i].lower
+            prev_tag = tags[i - 1] if i > 0 else None
+            prev_lower = tokens[i - 1].lower if i > 0 else ""
+
+            # "May"/"March" as months: capitalised modal/verb followed by a
+            # number or preceded by a preposition is a month name.
+            if (
+                lower in {"may", "march"}
+                and tokens[i].is_capitalized()
+                and (
+                    (i + 1 < n and tags[i + 1] == "CD")
+                    or prev_tag in {"IN", "TO"}
+                )
+            ):
+                tags[i] = "NNP"
+                continue
+
+            # DT/JJ/PRP$ + verb-tagged word -> noun ("the use", "its plan").
+            if tags[i] in {"VB", "VBP"} and prev_tag in {"DT", "JJ", "PRP$", "POS"}:
+                tags[i] = "NN"
+            # MD + noun-tagged base verb -> verb ("will launch").
+            elif tags[i] == "NN" and prev_tag == "MD" and lower in self._lexicon and self._lexicon[lower] == "VB":
+                tags[i] = "VB"
+            # TO + ambiguous -> base verb ("to test", "to market").
+            elif prev_tag == "TO" and tags[i] in {"NN", "VBP"}:
+                if lower in self._lexicon and self._lexicon[lower] in {"VB", "NN"}:
+                    tags[i] = "VB"
+            # has/have/had + VBD -> VBN ("has acquired").
+            elif tags[i] == "VBD" and prev_lower in {"has", "have", "had"}:
+                tags[i] = "VBN"
+            # be-form + VBD -> VBN (passive: "was acquired").
+            elif tags[i] == "VBD" and prev_lower in {"is", "are", "was", "were", "been", "be"}:
+                tags[i] = "VBN"
+
+            # Regular -s verb after a subject-ish tag: "DJI manufactures
+            # drones" — NNS right after NNP/PRP where the stem is a verb.
+            if (
+                tags[i] == "NNS"
+                and prev_tag in {"NNP", "NNPS", "PRP"}
+                and self._stem_is_verb(lower)
+            ):
+                tags[i] = "VBZ"
+            # VB directly after a 3rd-person-singular subject -> VBP/VBZ.
+            if tags[i] == "VB" and prev_tag in {"NNP", "PRP", "NN"}:
+                tags[i] = "VBZ" if lower.endswith("s") else "VBP"
+
+        # "that/which" after noun introduces a clause: keep IN (no change
+        # needed); but sentence-initial "that" before a noun is DT.
+        if n >= 2 and tokens[0].lower == "that" and tags[1] in NOUN_TAGS:
+            tags[0] = "DT"
+
+    def _stem_is_verb(self, lower: str) -> bool:
+        if not lower.endswith("s"):
+            return False
+        for stem in (lower[:-1], lower[:-2] if lower.endswith("es") else None,
+                     lower[:-3] + "y" if lower.endswith("ies") else None):
+            if stem and self._lexicon.get(stem) == "VB":
+                return True
+        return False

@@ -1,0 +1,181 @@
+"""Sentence splitting and word tokenisation.
+
+Regex-based, tuned for news-style English: it keeps abbreviations
+(``Inc.``, ``Mr.``, ``U.S.``) intact, treats money amounts (``$50
+million``) as token sequences the NER can re-assemble, and records
+character offsets so downstream annotations can refer back to the source
+text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List
+
+# Abbreviations that end with '.' but do not terminate a sentence.
+_ABBREVIATIONS = {
+    "inc.", "corp.", "ltd.", "llc.", "co.", "mr.", "mrs.", "ms.", "dr.",
+    "prof.", "sen.", "rep.", "gov.", "gen.", "st.", "jr.", "sr.", "vs.",
+    "etc.", "e.g.", "i.e.", "u.s.", "u.k.", "u.n.", "a.m.", "p.m.",
+    "jan.", "feb.", "mar.", "apr.", "jun.", "jul.", "aug.", "sep.",
+    "sept.", "oct.", "nov.", "dec.", "no.", "vol.", "fig.", "approx.",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      \$[\d][\d,]*(?:\.\d+)?      # currency amounts: $50, $1,200.50
+    | \d{4}-\d{1,2}-\d{1,2}       # ISO dates: 2016-06-07
+    | \d+/\d+/\d+                 # slash dates: 06/07/2016
+    | \d+[A-Za-z][A-Za-z0-9]*     # alphanumerics starting with a digit: 3D, 747s
+    | \d+(?:[.,]\d+)*%?           # numbers, possibly with separators / percent
+    | [A-Za-z]+(?:\.[A-Za-z]+)+\.?  # dotted acronyms: U.S., U.S.A.
+    | n't                         # negation clitic
+    | '(?:s|S|re|ve|ll|d|m)\b     # possessive / contraction clitics
+    | [A-Za-z][A-Za-z\-]*\.?      # words, hyphenated words, trailing period
+    | [\$&%€£]                    # stray symbols
+    | --+ | \.\.\.                # dashes / ellipsis
+    | [^\sA-Za-z0-9]              # single punctuation
+    """,
+    re.VERBOSE,
+)
+
+_SENT_BOUNDARY_RE = re.compile(r"[.!?]")
+
+
+@dataclass
+class Token:
+    """A single token with its source-character span.
+
+    Attributes:
+        text: Surface form.
+        start: Character offset of the first character in the sentence.
+        end: Offset one past the last character.
+        index: Position of the token within its sentence.
+    """
+
+    text: str
+    start: int
+    end: int
+    index: int = 0
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def is_capitalized(self) -> bool:
+        """True for tokens that start with an uppercase letter."""
+        return bool(self.text) and self.text[0].isupper()
+
+    def is_numeric(self) -> bool:
+        """True for plain numbers (commas/periods allowed)."""
+        return bool(re.fullmatch(r"\d+(?:[.,]\d+)*%?", self.text))
+
+    def is_currency(self) -> bool:
+        """True for ``$``-prefixed amounts."""
+        return self.text.startswith("$") and len(self.text) > 1
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.text
+
+
+@dataclass
+class Sentence:
+    """A tokenised sentence."""
+
+    text: str
+    tokens: List[Token] = field(default_factory=list)
+    index: int = 0
+
+    def words(self) -> List[str]:
+        """Surface forms of all tokens."""
+        return [t.text for t in self.tokens]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise one sentence, keeping character offsets.
+
+    Trailing sentence periods are split off words, but abbreviation
+    periods are kept attached (``Inc.`` stays one token).
+    """
+    tokens: List[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        surface = match.group(0)
+        start = match.start()
+        if (
+            surface.endswith(".")
+            and len(surface) > 1
+            and surface.lower() not in _ABBREVIATIONS
+            and "." not in surface[:-1]  # keep dotted acronyms whole
+        ):
+            tokens.append(Token(text=surface[:-1], start=start, end=start + len(surface) - 1))
+            tokens.append(
+                Token(text=".", start=start + len(surface) - 1, end=start + len(surface))
+            )
+        else:
+            tokens.append(Token(text=surface, start=start, end=match.end()))
+    for i, token in enumerate(tokens):
+        token.index = i
+    return tokens
+
+
+def sentence_split(text: str) -> List[Sentence]:
+    """Split raw text into :class:`Sentence` objects.
+
+    A period ends a sentence unless it belongs to a known abbreviation,
+    a dotted acronym, or a number; ``!`` and ``?`` always end one.
+    """
+    sentences: List[Sentence] = []
+    start = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "!?":
+            _flush_sentence(text, start, i + 1, sentences)
+            start = i + 1
+        elif ch == ".":
+            if _is_sentence_period(text, i):
+                _flush_sentence(text, start, i + 1, sentences)
+                start = i + 1
+        elif ch == "\n" and i + 1 < n and text[i + 1] == "\n":
+            _flush_sentence(text, start, i, sentences)
+            start = i + 1
+        i += 1
+    _flush_sentence(text, start, n, sentences)
+    for index, sentence in enumerate(sentences):
+        sentence.index = index
+    return sentences
+
+
+def _flush_sentence(text: str, start: int, end: int, out: List[Sentence]) -> None:
+    chunk = text[start:end].strip()
+    if chunk:
+        out.append(Sentence(text=chunk, tokens=tokenize(chunk)))
+
+
+def _is_sentence_period(text: str, i: int) -> bool:
+    """Decide whether the period at index ``i`` terminates a sentence."""
+    # Walk back to the start of the word containing this period.
+    j = i - 1
+    while j >= 0 and not text[j].isspace():
+        j -= 1
+    word = text[j + 1 : i + 1].lower()
+    if word in _ABBREVIATIONS:
+        return False
+    # Dotted acronym (u.s.) or decimal number (3.14)?
+    if re.fullmatch(r"[a-z](?:\.[a-z])+\.", word):
+        return False
+    if re.fullmatch(r"\d+(?:[.,]\d+)*\.", word):
+        # A number followed by period: sentence end only if next char is
+        # whitespace + capital.
+        rest = text[i + 1 :].lstrip()
+        return bool(rest) and rest[0].isupper()
+    # Next non-space char lowercase -> probably not a boundary.
+    rest = text[i + 1 :].lstrip()
+    if rest and rest[0].islower():
+        return False
+    return True

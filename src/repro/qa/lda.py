@@ -1,0 +1,165 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+Small, dependency-free (numpy only) LDA suited to the per-entity
+description documents: a few hundred documents with a vocabulary of a
+few hundred terms.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class LdaTopics:
+    """Fitted topic state.
+
+    Attributes:
+        vocabulary: term -> column index.
+        topic_word: (n_topics x vocab) count matrix.
+        doc_topic: (n_docs x n_topics) count matrix.
+        doc_ids: Row order of ``doc_topic``.
+    """
+
+    vocabulary: Dict[str, int]
+    topic_word: np.ndarray
+    doc_topic: np.ndarray
+    doc_ids: List[str]
+    alpha: float
+    beta: float
+
+    def theta(self) -> np.ndarray:
+        """Posterior-mean document-topic distributions (rows sum to 1)."""
+        smoothed = self.doc_topic + self.alpha
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def phi(self) -> np.ndarray:
+        """Posterior-mean topic-word distributions (rows sum to 1)."""
+        smoothed = self.topic_word + self.beta
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def doc_distribution(self, doc_id: str) -> np.ndarray:
+        """Topic distribution of one document."""
+        index = self.doc_ids.index(doc_id)
+        return self.theta()[index]
+
+    def top_words(self, topic: int, n: int = 8) -> List[str]:
+        """Most probable words of a topic."""
+        phi = self.phi()[topic]
+        reverse = {i: w for w, i in self.vocabulary.items()}
+        order = np.argsort(-phi)[:n]
+        return [reverse[int(i)] for i in order]
+
+
+class LdaModel:
+    """Collapsed-Gibbs LDA trainer.
+
+    Args:
+        n_topics: Number of topics K.
+        alpha: Document-topic Dirichlet prior.
+        beta: Topic-word Dirichlet prior.
+        n_iterations: Gibbs sweeps.
+        seed: RNG seed (training is deterministic given it).
+        min_word_length: Tokens shorter than this are dropped.
+    """
+
+    def __init__(
+        self,
+        n_topics: int = 6,
+        alpha: float = 0.5,
+        beta: float = 0.05,
+        n_iterations: int = 150,
+        seed: int = 23,
+        min_word_length: int = 3,
+    ) -> None:
+        if n_topics < 2:
+            raise ConfigError("n_topics must be >= 2")
+        if n_iterations < 1:
+            raise ConfigError("n_iterations must be >= 1")
+        self.n_topics = n_topics
+        self.alpha = alpha
+        self.beta = beta
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self.min_word_length = min_word_length
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Dict[str, str]) -> LdaTopics:
+        """Fit on ``doc_id -> text`` and return the topic state.
+
+        Raises:
+            ConfigError: when no usable tokens survive preprocessing.
+        """
+        doc_ids = sorted(documents)
+        tokenized = [self._tokenize(documents[d]) for d in doc_ids]
+        vocabulary: Dict[str, int] = {}
+        for tokens in tokenized:
+            for token in tokens:
+                vocabulary.setdefault(token, len(vocabulary))
+        if not vocabulary:
+            raise ConfigError("no tokens to fit LDA on")
+
+        rng = np.random.default_rng(self.seed)
+        K, V, D = self.n_topics, len(vocabulary), len(doc_ids)
+        topic_word = np.zeros((K, V), dtype=np.int64)
+        doc_topic = np.zeros((D, K), dtype=np.int64)
+        topic_totals = np.zeros(K, dtype=np.int64)
+
+        # token assignment state
+        doc_tokens: List[np.ndarray] = []
+        assignments: List[np.ndarray] = []
+        for d, tokens in enumerate(tokenized):
+            ids = np.array([vocabulary[t] for t in tokens], dtype=np.int64)
+            z = rng.integers(0, K, size=len(ids))
+            doc_tokens.append(ids)
+            assignments.append(z)
+            for w, topic in zip(ids, z):
+                topic_word[topic, w] += 1
+                doc_topic[d, topic] += 1
+                topic_totals[topic] += 1
+
+        alpha, beta = self.alpha, self.beta
+        v_beta = V * beta
+        for _sweep in range(self.n_iterations):
+            for d in range(D):
+                ids = doc_tokens[d]
+                z = assignments[d]
+                for n in range(len(ids)):
+                    w, old = ids[n], z[n]
+                    topic_word[old, w] -= 1
+                    doc_topic[d, old] -= 1
+                    topic_totals[old] -= 1
+                    weights = (
+                        (topic_word[:, w] + beta)
+                        / (topic_totals + v_beta)
+                        * (doc_topic[d] + alpha)
+                    )
+                    weights = weights / weights.sum()
+                    new = int(rng.choice(K, p=weights))
+                    z[n] = new
+                    topic_word[new, w] += 1
+                    doc_topic[d, new] += 1
+                    topic_totals[new] += 1
+
+        return LdaTopics(
+            vocabulary=vocabulary,
+            topic_word=topic_word,
+            doc_topic=doc_topic,
+            doc_ids=doc_ids,
+            alpha=alpha,
+            beta=beta,
+        )
+
+    # ------------------------------------------------------------------
+    def _tokenize(self, text: str) -> List[str]:
+        out = []
+        for raw in text.lower().split():
+            token = raw.strip(".,()\"'!?;:")
+            if len(token) >= self.min_word_length and token.isalpha():
+                out.append(token)
+        return out

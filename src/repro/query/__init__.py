@@ -1,0 +1,38 @@
+"""Query classes and interfaces (Figure 5 / Figure 6 of the paper).
+
+Five classes of natural-language-like queries are transparently
+translated to graph algorithms:
+
+1. **Trending** — "show trending patterns" → streaming miner report.
+2. **Entity** — "tell me about DJI" → entity summary.
+3. **Relationship** — "how is X related to Y" → top-K path search.
+4. **Explanatory** — "why does X use drones" → constrained path search.
+5. **Pattern** — "match (?a:Company)-[acquired]->(?b:Company)" →
+   subgraph pattern matching.
+"""
+
+from repro.query.model import (
+    EntityQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    Query,
+    RelationshipQuery,
+    TrendingQuery,
+)
+from repro.query.parser import parse_query
+from repro.query.pattern_match import PatternMatcher, parse_pattern
+from repro.query.engine import QueryEngine, QueryResult
+
+__all__ = [
+    "Query",
+    "TrendingQuery",
+    "EntityQuery",
+    "RelationshipQuery",
+    "ExplanatoryQuery",
+    "PatternQuery",
+    "parse_query",
+    "parse_pattern",
+    "PatternMatcher",
+    "QueryEngine",
+    "QueryResult",
+]

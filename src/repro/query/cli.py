@@ -1,0 +1,117 @@
+"""Command-line interface (§4 demo feature 4: "Execute queries ... using
+both web and command line interface" — this is the command line half).
+
+Usage::
+
+    nous demo                 # build the drone KG from a synthetic stream
+    nous demo --articles 300  # bigger stream
+    nous query "tell me about DJI"        (after demo, in one session: REPL)
+    nous repl                 # interactive query loop
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.pipeline import Nous, NousConfig
+from repro.data.corpus import CorpusConfig, generate_corpus
+from repro.data.descriptions import generate_descriptions
+from repro.errors import ReproError
+from repro.kb.drone_kb import build_drone_kb
+from repro.query.engine import QueryEngine
+
+
+def build_demo_system(
+    n_articles: int = 120, seed: int = 7, window_size: int = 400
+) -> Nous:
+    """Construct a Nous instance and ingest a synthetic news stream."""
+    kb = build_drone_kb()
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=n_articles, seed=seed)
+    )
+    generate_descriptions(kb, seed=seed)
+    nous = Nous(kb=kb, config=NousConfig(window_size=window_size, seed=seed))
+    nous.ingest_corpus(articles)
+    return nous
+
+
+def _run_queries(engine: QueryEngine, queries) -> int:
+    status = 0
+    for text in queries:
+        try:
+            result = engine.execute_text(text)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"# {text}  [{result.kind}, {result.elapsed_ms:.1f} ms]")
+        print(result.rendered)
+        print()
+    return status
+
+
+def _repl(engine: QueryEngine) -> int:
+    print("NOUS query REPL. Empty line or Ctrl-D to exit.")
+    print('Try: "tell me about DJI", "show trending patterns",')
+    print('     "why does Windermere use drones",')
+    print('     "match (?a:Company)-[acquired]->(?b:Company)"')
+    while True:
+        try:
+            line = input("nous> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            return 0
+        _run_queries(engine, [line])
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="nous",
+        description="NOUS: construction and querying of dynamic knowledge graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build the drone demo KG and show stats")
+    demo.add_argument("--articles", type=int, default=120)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--query", action="append", default=[],
+        help="query to run after building (repeatable)",
+    )
+
+    query = sub.add_parser("query", help="build demo KG then run queries")
+    query.add_argument("text", nargs="+", help="query strings")
+    query.add_argument("--articles", type=int, default=120)
+    query.add_argument("--seed", type=int, default=7)
+
+    repl = sub.add_parser("repl", help="interactive query loop on the demo KG")
+    repl.add_argument("--articles", type=int, default=120)
+    repl.add_argument("--seed", type=int, default=7)
+
+    args = parser.parse_args(argv)
+
+    print(
+        f"building demo knowledge graph ({args.articles} articles)...",
+        file=sys.stderr,
+    )
+    nous = build_demo_system(n_articles=args.articles, seed=args.seed)
+    engine = QueryEngine(nous)
+
+    if args.command == "demo":
+        print(nous.statistics().render())
+        if args.query:
+            print()
+            return _run_queries(engine, args.query)
+        return 0
+    if args.command == "query":
+        return _run_queries(engine, args.text)
+    return _repl(engine)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Query execution: parsed query -> graph algorithm -> rendered result."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.pipeline import Nous
+from repro.errors import QueryError
+from repro.query.model import (
+    EntityQuery,
+    EntityTrendQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    Query,
+    RelationshipQuery,
+    TrendingQuery,
+)
+from repro.query.parser import parse_query
+from repro.query.pattern_match import PatternMatcher, parse_pattern
+
+
+@dataclass
+class QueryResult:
+    """Uniform result wrapper for all five query classes.
+
+    Attributes:
+        query: The parsed query object.
+        kind: Query class name ("trending", "entity", ...).
+        payload: Class-specific result object.
+        rendered: Plain-text rendering for CLI display.
+        elapsed_ms: Execution time.
+    """
+
+    query: Query
+    kind: str
+    payload: Any
+    rendered: str
+    elapsed_ms: float = 0.0
+    result_count: int = 0
+
+
+class QueryEngine:
+    """Execute NL-like queries against a :class:`~repro.core.pipeline.Nous`."""
+
+    def __init__(self, nous: Nous) -> None:
+        self.nous = nous
+
+    def execute_text(self, text: str) -> QueryResult:
+        """Parse and execute one query string."""
+        return self.execute(parse_query(text))
+
+    def execute(self, query: Query) -> QueryResult:
+        """Execute a parsed query."""
+        start = time.perf_counter()
+        if isinstance(query, TrendingQuery):
+            result = self._trending(query)
+        elif isinstance(query, EntityTrendQuery):
+            result = self._entity_trend(query)
+        elif isinstance(query, EntityQuery):
+            result = self._entity(query)
+        elif isinstance(query, ExplanatoryQuery):
+            result = self._paths(query, query.relationship, kind="explanatory")
+        elif isinstance(query, RelationshipQuery):
+            result = self._paths(query, query.relationship, kind="relationship")
+        elif isinstance(query, PatternQuery):
+            result = self._pattern(query)
+        else:  # pragma: no cover - future query classes
+            raise QueryError(f"unsupported query type: {type(query).__name__}")
+        result.elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return result
+
+    # ------------------------------------------------------------------
+    def _trending(self, query: TrendingQuery) -> QueryResult:
+        report = self.nous.trending()
+        lines = [f"window edges: {report.window_edges}", "closed frequent patterns:"]
+        for pattern, support in report.closed_frequent[:15]:
+            lines.append(f"  support={support:3d}  {pattern.describe()}")
+        if report.newly_frequent:
+            lines.append("newly frequent:")
+            for pattern in report.newly_frequent[:10]:
+                lines.append(f"  + {pattern.describe()}")
+        if report.newly_infrequent:
+            lines.append("no longer frequent (with surviving sub-patterns):")
+            for pattern, survivors in report.newly_infrequent[:10]:
+                lines.append(f"  - {pattern.describe()}  -> {len(survivors)} survivors")
+        return QueryResult(
+            query=query,
+            kind="trending",
+            payload=report,
+            rendered="\n".join(lines),
+            result_count=len(report.closed_frequent),
+        )
+
+    def _entity_trend(self, query: EntityTrendQuery) -> QueryResult:
+        rows = self.nous.entity_trend(query.entity)
+        if rows:
+            lines = [f"recent facts about {query.entity}:"]
+            for _ts, s, p, o, conf in rows:
+                lines.append(f"  ({s}, {p}, {o})  conf={conf:.2f}")
+        else:
+            lines = [f"nothing new about {query.entity} in the current window"]
+        return QueryResult(
+            query=query,
+            kind="entity-trend",
+            payload=rows,
+            rendered="\n".join(lines),
+            result_count=len(rows),
+        )
+
+    def _entity(self, query: EntityQuery) -> QueryResult:
+        summary = self.nous.entity_summary(query.entity)
+        return QueryResult(
+            query=query,
+            kind="entity",
+            payload=summary,
+            rendered=summary.render(),
+            result_count=len(summary.facts),
+        )
+
+    def _paths(self, query, relationship: Optional[str], kind: str) -> QueryResult:
+        paths = self.nous.explain(
+            query.source, query.target, relationship=relationship, k=3
+        )
+        relaxed = False
+        if not paths and relationship is not None:
+            # The predicate constraint is a preference, not a hard gate:
+            # fall back to unconstrained explanation rather than nothing.
+            paths = self.nous.explain(query.source, query.target, k=3)
+            relaxed = True
+        if paths:
+            lines = [
+                f"{i + 1}. coherence={p.coherence:.3f}  {p.describe()}"
+                for i, p in enumerate(paths)
+            ]
+            if relaxed:
+                lines.insert(
+                    0, f"(no path via '{relationship}'; showing unconstrained paths)"
+                )
+        else:
+            lines = ["no connecting path found"]
+        return QueryResult(
+            query=query,
+            kind=kind,
+            payload=paths,
+            rendered="\n".join(lines),
+            result_count=len(paths),
+        )
+
+    def _pattern(self, query: PatternQuery) -> QueryResult:
+        pattern = parse_pattern(query.pattern_text)
+        graph = self.nous.dynamic.graph_view()
+        matcher = PatternMatcher(graph, ontology=self.nous.kb.ontology)
+        matches = matcher.match(pattern, limit=50)
+        lines = [f"{len(matches)} match(es):"]
+        for bindings in matches[:20]:
+            rendered = ", ".join(f"?{k}={v}" for k, v in sorted(bindings.items()))
+            lines.append(f"  {rendered}")
+        return QueryResult(
+            query=query,
+            kind="pattern",
+            payload=matches,
+            rendered="\n".join(lines),
+            result_count=len(matches),
+        )

@@ -1,0 +1,58 @@
+"""Query dataclasses: the five classes of Figure 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class for parsed queries."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class TrendingQuery(Query):
+    """"Show trending patterns" — streaming-miner report."""
+
+
+@dataclass(frozen=True)
+class EntityQuery(Query):
+    """"Tell me about DJI" — entity summary."""
+
+    entity: str = ""
+
+
+@dataclass(frozen=True)
+class RelationshipQuery(Query):
+    """"How is X related to Y [via P]" — top-K coherent paths."""
+
+    source: str = ""
+    target: str = ""
+    relationship: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExplanatoryQuery(Query):
+    """"Why does X use drones" — constrained explanatory path search."""
+
+    source: str = ""
+    target: str = ""
+    relationship: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PatternQuery(Query):
+    """"match (?a:Company)-[acquired]->(?b:Company)" — subgraph match."""
+
+    pattern_text: str = ""
+
+
+@dataclass(frozen=True)
+class EntityTrendQuery(Query):
+    """"what's new about DJI" — recent extracted facts for one entity
+    (the Trending tab of Figure 6's interface, scoped to an entity)."""
+
+    entity: str = ""

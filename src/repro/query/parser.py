@@ -1,0 +1,147 @@
+"""NL-like query parsing: surface templates -> query objects.
+
+The paper's Figure 5 shows "natural language like queries that are
+transparently translated" to graph algorithms.  The parser is template
+based (this is a query language, not open-domain NLU): each query class
+has a small family of accepted phrasings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import QueryParseError
+from repro.linking.predicate_mapping import normalize_relation
+from repro.query.model import (
+    EntityQuery,
+    EntityTrendQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    Query,
+    RelationshipQuery,
+    TrendingQuery,
+)
+
+_TRENDING_RE = re.compile(
+    r"^(show\s+)?(what('s| is)\s+)?trending(\s+patterns?)?\??$"
+    r"|^show\s+trending.*$|^what\s+is\s+trending\??$",
+    re.IGNORECASE,
+)
+
+_ENTITY_RES = [
+    re.compile(r"^tell\s+me\s+about\s+(?P<e>.+?)\??$", re.IGNORECASE),
+    re.compile(r"^who\s+is\s+(?P<e>.+?)\??$", re.IGNORECASE),
+    re.compile(r"^what\s+is\s+(?P<e>.+?)\??$", re.IGNORECASE),
+    re.compile(r"^summar(y|ize)\s+(of\s+)?(?P<e>.+?)\??$", re.IGNORECASE),
+]
+
+_RELATED_RES = [
+    re.compile(
+        r"^how\s+(is|are)\s+(?P<s>.+?)\s+(related|connected)\s+to\s+(?P<t>.+?)"
+        r"(\s+via\s+(?P<p>\w+))?\??$",
+        re.IGNORECASE,
+    ),
+    re.compile(
+        r"^(find\s+)?paths?\s+from\s+(?P<s>.+?)\s+to\s+(?P<t>.+?)"
+        r"(\s+via\s+(?P<p>\w+))?\??$",
+        re.IGNORECASE,
+    ),
+    re.compile(
+        r"^connect\s+(?P<s>.+?)\s+(and|with|to)\s+(?P<t>.+?)\??$", re.IGNORECASE
+    ),
+]
+
+_WHY_RES = [
+    # "why does Windermere use drones"
+    re.compile(
+        r"^why\s+(does|do|did|would|may|might)\s+(?P<s>.+?)\s+"
+        r"(?P<v>\w+)\s+(?P<t>.+?)\??$",
+        re.IGNORECASE,
+    ),
+    # "why is DJI related to Accel Partners"
+    re.compile(
+        r"^why\s+(is|are|was|were)\s+(?P<s>.+?)\s+"
+        r"(related|connected|linked)\s+to\s+(?P<t>.+?)\??$",
+        re.IGNORECASE,
+    ),
+]
+
+_PATTERN_RE = re.compile(r"^(match|find\s+pattern)\s+(?P<p>\(.+)$", re.IGNORECASE)
+
+_ENTITY_TREND_RES = [
+    re.compile(r"^what('s| is)\s+new\s+(about|with)\s+(?P<e>.+?)\??$", re.IGNORECASE),
+    re.compile(r"^recent\s+news\s+(about|on)\s+(?P<e>.+?)\??$", re.IGNORECASE),
+]
+
+# Verb -> ontology predicate hints for explanatory queries.
+_VERB_PREDICATES = {
+    "use": "usesTechnology",
+    "uses": "usesTechnology",
+    "employ": "usesTechnology",
+    "acquire": "acquired",
+    "acquired": "acquired",
+    "buy": "acquired",
+    "fund": "fundedBy",
+    "invest": "investsIn",
+    "partner": "partnerOf",
+    "regulate": "regulates",
+    "manufacture": "manufactures",
+    "make": "manufactures",
+}
+
+
+def parse_query(text: str) -> Query:
+    """Parse one query string into a :class:`Query` object.
+
+    Raises:
+        QueryParseError: when no template matches.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise QueryParseError(text, "empty query")
+
+    if _TRENDING_RE.match(stripped):
+        return TrendingQuery(text=stripped)
+
+    for regex in _ENTITY_TREND_RES:
+        match = regex.match(stripped)
+        if match:
+            return EntityTrendQuery(text=stripped, entity=match.group("e").strip())
+
+    match = _PATTERN_RE.match(stripped)
+    if match:
+        return PatternQuery(text=stripped, pattern_text=match.group("p").strip())
+
+    for regex in _WHY_RES:
+        match = regex.match(stripped)
+        if match:
+            groups = match.groupdict()
+            verb = groups.get("v")
+            relationship = _VERB_PREDICATES.get(
+                normalize_relation(verb) if verb else "", None
+            )
+            return ExplanatoryQuery(
+                text=stripped,
+                source=groups["s"].strip(),
+                target=groups["t"].strip(),
+                relationship=relationship,
+            )
+
+    for regex in _RELATED_RES:
+        match = regex.match(stripped)
+        if match:
+            groups = match.groupdict()
+            return RelationshipQuery(
+                text=stripped,
+                source=groups["s"].strip(),
+                target=groups["t"].strip(),
+                relationship=groups.get("p"),
+            )
+
+    for regex in _ENTITY_RES:
+        match = regex.match(stripped)
+        if match:
+            return EntityQuery(text=stripped, entity=match.group("e").strip())
+
+    raise QueryParseError(text, "no query template matched")

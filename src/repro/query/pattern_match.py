@@ -1,0 +1,166 @@
+"""Subgraph pattern matching over the knowledge graph.
+
+Executes Figure 5's pattern queries: a pattern like
+``(?a:Company)-[acquired]->(?b:Company)`` is parsed into typed pattern
+edges and matched against the KG property graph by backtracking, with
+type checks resolved through the ontology's taxonomy (a ``Company``
+variable matches entities of any subtype).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryParseError
+from repro.graph.property_graph import PropertyGraph
+from repro.kb.ontology import Ontology
+
+_EDGE_RE = re.compile(
+    r"\(\?(?P<src>\w+)(:(?P<src_type>\w+))?\)"
+    r"\s*-\[(?P<pred>\w+)\]->\s*"
+    r"\(\?(?P<dst>\w+)(:(?P<dst_type>\w+))?\)"
+)
+
+
+@dataclass(frozen=True)
+class QueryPatternEdge:
+    """One parsed pattern edge with optional variable types."""
+
+    src: str
+    dst: str
+    predicate: str
+    src_type: Optional[str] = None
+    dst_type: Optional[str] = None
+
+
+def parse_pattern(text: str) -> List[QueryPatternEdge]:
+    """Parse a pattern expression into edges.
+
+    Raises:
+        QueryParseError: when nothing parses or leftovers remain.
+    """
+    edges = []
+    consumed = 0
+    for match in _EDGE_RE.finditer(text):
+        edges.append(
+            QueryPatternEdge(
+                src=match.group("src"),
+                dst=match.group("dst"),
+                predicate=match.group("pred"),
+                src_type=match.group("src_type"),
+                dst_type=match.group("dst_type"),
+            )
+        )
+        consumed += len(match.group(0))
+    if not edges:
+        raise QueryParseError(text, "no pattern edges found")
+    stripped = _EDGE_RE.sub("", text).replace(",", "").strip()
+    if stripped:
+        raise QueryParseError(text, f"unparsed pattern remainder: {stripped!r}")
+    return edges
+
+
+class PatternMatcher:
+    """Backtracking matcher for parsed patterns.
+
+    Args:
+        graph: KG property graph (vertices must carry ``type``).
+        ontology: Taxonomy for subtype-aware type checks.
+    """
+
+    def __init__(self, graph: PropertyGraph, ontology: Optional[Ontology] = None) -> None:
+        self.graph = graph
+        self.ontology = ontology
+
+    def match(
+        self, pattern: Sequence[QueryPatternEdge], limit: int = 100
+    ) -> List[Dict[str, Hashable]]:
+        """All variable bindings satisfying the pattern (up to ``limit``)."""
+        results: List[Dict[str, Hashable]] = []
+        self._extend(list(pattern), {}, results, limit)
+        return results
+
+    # ------------------------------------------------------------------
+    def _extend(
+        self,
+        remaining: List[QueryPatternEdge],
+        bindings: Dict[str, Hashable],
+        results: List[Dict[str, Hashable]],
+        limit: int,
+    ) -> None:
+        if len(results) >= limit:
+            return
+        if not remaining:
+            results.append(dict(bindings))
+            return
+        # Choose the most-bound edge next (cheap join ordering).
+        remaining = sorted(
+            remaining,
+            key=lambda e: (e.src not in bindings) + (e.dst not in bindings),
+        )
+        edge_pattern, rest = remaining[0], remaining[1:]
+        for src, dst in self._candidate_pairs(edge_pattern, bindings):
+            new_bindings = dict(bindings)
+            if not self._bind(new_bindings, edge_pattern.src, src):
+                continue
+            if not self._bind(new_bindings, edge_pattern.dst, dst):
+                continue
+            self._extend(rest, new_bindings, results, limit)
+            if len(results) >= limit:
+                return
+
+    def _candidate_pairs(
+        self, edge: QueryPatternEdge, bindings: Dict[str, Hashable]
+    ) -> List[Tuple[Hashable, Hashable]]:
+        src_bound = bindings.get(edge.src)
+        dst_bound = bindings.get(edge.dst)
+        pairs: List[Tuple[Hashable, Hashable]] = []
+        if src_bound is not None:
+            graph_edges = (
+                e for e in self.graph.out_edges(src_bound) if e.label == edge.predicate
+            )
+        elif dst_bound is not None:
+            graph_edges = (
+                e for e in self.graph.in_edges(dst_bound) if e.label == edge.predicate
+            )
+        else:
+            graph_edges = self.graph.find_edges(label=edge.predicate)
+        for graph_edge in graph_edges:
+            if dst_bound is not None and graph_edge.dst != dst_bound:
+                continue
+            if src_bound is not None and graph_edge.src != src_bound:
+                continue
+            if not self._type_ok(graph_edge.src, edge.src_type):
+                continue
+            if not self._type_ok(graph_edge.dst, edge.dst_type):
+                continue
+            pairs.append((graph_edge.src, graph_edge.dst))
+        return pairs
+
+    def _type_ok(self, vertex: Hashable, required: Optional[str]) -> bool:
+        if required is None:
+            return True
+        vertex_type = self.graph.vertex_props(vertex).get("type")
+        if vertex_type is None:
+            return False
+        if vertex_type == required:
+            return True
+        if self.ontology is not None and self.ontology.has_type(vertex_type):
+            if not self.ontology.has_type(required):
+                return False
+            return self.ontology.is_a(vertex_type, required)
+        return False
+
+    def _bind(
+        self, bindings: Dict[str, Hashable], variable: str, value: Hashable
+    ) -> bool:
+        existing = bindings.get(variable)
+        if existing is None:
+            # Injectivity: two variables must not share a vertex.
+            if value in bindings.values():
+                return False
+            bindings[variable] = value
+            return True
+        return existing == value

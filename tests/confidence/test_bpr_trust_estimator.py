@@ -1,0 +1,226 @@
+"""BPR link prediction, source trust and the combined estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import BprLinkPredictor, ConfidenceEstimator, SourceTrust
+from repro.errors import ConfigError
+from repro.kb import Triple, build_drone_kb
+from repro.linking.mapper import MappedTriple
+from repro.nlp.pipeline import RawTriple
+
+
+def make_block_split(n_groups=4, size=6, train_fraction=0.7, seed=42):
+    """Bipartite block structure: subjects in group g link to objects in
+    group g.  A random subset trains; held-out in-block pairs must rank
+    above cross-block corruptions."""
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (g, i, j)
+        for g in range(n_groups)
+        for i in range(size)
+        for j in range(size)
+    ]
+    mask = rng.random(len(pairs)) < train_fraction
+    train = [
+        Triple(f"s{g}_{i}", "rel", f"o{g}_{j}")
+        for (g, i, j), m in zip(pairs, mask) if m
+    ]
+    test_pos = [
+        Triple(f"s{g}_{i}", "rel", f"o{g}_{j}")
+        for (g, i, j), m in zip(pairs, mask) if not m
+    ]
+    test_neg = [
+        Triple(f"s{g}_{i}", "rel", f"o{(g + 2) % n_groups}_{j}")
+        for (g, i, j), m in zip(pairs, mask) if not m
+    ]
+    return train, test_pos, test_neg
+
+
+def make_block_triples(n_groups=4, size=6):
+    """All in-block pairs (for tests that only need training data)."""
+    train, test_pos, _ = make_block_split(n_groups, size, train_fraction=1.1)
+    return train + test_pos
+
+
+def make_mapped(subject="DJI", predicate="manufactures", object_="Phantom_3",
+                source="wsj", extraction=0.8, link=0.9, mapping=1.0):
+    raw = RawTriple(subject=subject, relation=predicate, object=object_)
+    return MappedTriple(
+        subject=subject, predicate=predicate, object=object_,
+        object_is_literal=False, extraction_confidence=extraction,
+        link_confidence=link, mapping_confidence=mapping, date=None,
+        doc_id="d", source=source, raw=raw,
+    )
+
+
+class TestBprTraining:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return make_block_split()
+
+    @pytest.fixture(scope="class")
+    def model(self, split):
+        train, _, _ = split
+        return BprLinkPredictor(n_factors=8, n_epochs=40, seed=3).fit(train)
+
+    def test_scores_bounded(self, model):
+        score = model.score("s0_0", "rel", "o0_1")
+        assert 0.0 < score < 1.0
+
+    def test_in_block_beats_cross_block(self, model, split):
+        """Held-out in-block pairs should outscore cross-block pairs."""
+        _, test_pos, test_neg = split
+        in_block = np.mean([model.score(t.subject, "rel", t.object) for t in test_pos])
+        cross = np.mean([model.score(t.subject, "rel", t.object) for t in test_neg])
+        assert in_block > cross + 0.1
+
+    def test_auc_separates_true_from_corrupted(self, model, split):
+        _, test_pos, test_neg = split
+        auc = model.auc(test_pos, test_neg)
+        assert auc > 0.9
+
+    def test_unseen_predicate_default(self, model):
+        assert model.score("a", "nope", "b") == 0.5
+        assert not model.can_score("a", "nope", "b")
+
+    def test_unseen_entity_default(self, model):
+        assert model.score("brand_new", "rel", "o0_0") == 0.5
+
+    def test_deterministic_given_seed(self):
+        triples = make_block_triples(n_groups=2, size=4)
+        a = BprLinkPredictor(n_factors=4, n_epochs=10, seed=9).fit(triples)
+        b = BprLinkPredictor(n_factors=4, n_epochs=10, seed=9).fit(triples)
+        assert a.score("s0_0", "rel", "o0_0") == b.score("s0_0", "rel", "o0_0")
+
+    def test_corrupt_avoids_observed(self):
+        triples = make_block_triples(n_groups=2, size=4)
+        model = BprLinkPredictor(n_epochs=5, seed=1).fit(triples)
+        rng = np.random.default_rng(0)
+        observed = {(t.subject, t.object) for t in triples}
+        for fake in model.corrupt(triples[:20], rng):
+            assert (fake.subject, fake.object) not in observed
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BprLinkPredictor(n_factors=0)
+        with pytest.raises(ConfigError):
+            BprLinkPredictor(n_epochs=0)
+
+    def test_auc_requires_data(self):
+        model = BprLinkPredictor(n_epochs=1).fit(make_block_triples(2, 3))
+        with pytest.raises(ConfigError):
+            model.auc([], [])
+
+    def test_skips_tiny_predicates(self):
+        model = BprLinkPredictor(n_epochs=1).fit(
+            [Triple("a", "solo", "b")]  # single object -> unrankable
+        )
+        assert "solo" not in model.models
+        assert model.score("a", "solo", "b") == 0.5
+
+    def test_on_drone_kb(self):
+        kb = build_drone_kb()
+        model = BprLinkPredictor(n_factors=8, n_epochs=30, seed=2).fit(kb.store)
+        # manufactures has enough data to be modelled
+        assert "manufactures" in model.models
+        score = model.score("DJI", "manufactures", "Phantom_3")
+        assert 0.0 < score < 1.0
+
+
+class TestSourceTrust:
+    def test_priors(self):
+        trust = SourceTrust()
+        assert trust.trust("wsj") > trust.trust("random-blog.example")
+        assert trust.trust("yago") > trust.trust("wsj")
+
+    def test_agreement_raises_trust(self):
+        trust = SourceTrust()
+        before = trust.trust("blog.example")
+        for _ in range(5):
+            trust.record_agreement("blog.example")
+        assert trust.trust("blog.example") > before
+
+    def test_contradiction_lowers_trust(self):
+        trust = SourceTrust()
+        before = trust.trust("blog.example")
+        for _ in range(5):
+            trust.record_contradiction("blog.example")
+        assert trust.trust("blog.example") < before
+
+    def test_bounded(self):
+        trust = SourceTrust()
+        for _ in range(100):
+            trust.record_agreement("x")
+            trust.record_contradiction("y")
+        assert 0.0 < trust.trust("x") < 1.0
+        assert 0.0 < trust.trust("y") < 1.0
+
+    def test_known_sources(self):
+        trust = SourceTrust()
+        trust.trust("somesite")
+        assert "somesite" in trust.known_sources()
+
+    def test_invalid_prior(self):
+        with pytest.raises(ConfigError):
+            SourceTrust(default_prior=(0.0, 1.0))
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_trust_monotone_in_evidence(self, agreements, contradictions):
+        trust = SourceTrust()
+        for _ in range(agreements):
+            trust.record_agreement("s")
+        low = trust.trust("s")
+        for _ in range(contradictions):
+            trust.record_contradiction("s")
+        assert trust.trust("s") <= low
+
+
+class TestConfidenceEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        kb = build_drone_kb()
+        predictor = BprLinkPredictor(n_factors=8, n_epochs=30, seed=2).fit(kb.store)
+        return ConfidenceEstimator(link_predictor=predictor)
+
+    def test_breakdown_components(self, estimator):
+        breakdown = estimator.breakdown(make_mapped())
+        assert 0 < breakdown.prior <= 1
+        assert 0 < breakdown.link_prediction < 1
+        assert 0 < breakdown.source_trust < 1
+        assert 0 < breakdown.final < 1
+
+    def test_trusted_source_scores_higher(self, estimator):
+        wsj = estimator.confidence(make_mapped(source="wsj"))
+        blog = estimator.confidence(make_mapped(source="sketchy.example"))
+        assert wsj > blog
+
+    def test_weak_extraction_drags_final_down(self, estimator):
+        strong = estimator.confidence(make_mapped(extraction=0.9))
+        weak = estimator.confidence(make_mapped(extraction=0.1))
+        assert strong > weak
+
+    def test_accepts_threshold(self):
+        estimator = ConfidenceEstimator(accept_threshold=0.99)
+        assert not estimator.accepts(make_mapped())
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigError):
+            ConfidenceEstimator(prior_weight=0, lp_weight=0, trust_weight=0)
+        with pytest.raises(ConfigError):
+            ConfidenceEstimator(prior_weight=-1)
+
+    def test_trust_feedback_loop(self, estimator):
+        mapped = make_mapped(source="feedback.example")
+        before = estimator.source_trust.trust("feedback.example")
+        estimator.update_trust_from_kb(mapped, in_kb=True)
+        assert estimator.source_trust.trust("feedback.example") > before
+
+    def test_retrain_replaces_models(self):
+        estimator = ConfidenceEstimator()
+        kb = build_drone_kb()
+        estimator.retrain(kb.store)
+        assert estimator.link_predictor.models

@@ -1,0 +1,193 @@
+"""Nous facade: ingestion, dynamic KG coupling, queries, statistics."""
+
+import pytest
+
+from repro import Nous, NousConfig, build_drone_kb, compute_statistics
+from repro.core.dynamic_kg import DynamicKnowledgeGraph
+from repro.errors import ConfigError
+from repro.graph.temporal import CountWindow
+from repro.linking.mapper import MappedTriple
+from repro.nlp.dates import parse_date
+from repro.nlp.pipeline import RawTriple
+
+
+def make_mapped(s, p, o, source="wsj", date=None):
+    return MappedTriple(
+        subject=s, predicate=p, object=o, object_is_literal=False,
+        extraction_confidence=0.8, link_confidence=0.9,
+        mapping_confidence=1.0, date=date, doc_id="d", source=source,
+        raw=RawTriple(subject=s, relation=p, object=o),
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return NousConfig(
+        window_size=100, min_support=2, lda_iterations=15, retrain_every=0
+    )
+
+
+@pytest.fixture(scope="module")
+def built_nous(fast_config):
+    """One Nous instance with a few documents ingested (module-scoped —
+    read-only tests share it)."""
+    nous = Nous(config=fast_config)
+    docs = [
+        ("Amazon acquired Kiva Systems for $775 million in 2012.", "2012-03-19"),
+        ("DJI raised $75 million from Accel Partners in May 2015.", "2015-05-06"),
+        ("Windermere uses drones to capture aerial photos.", "2015-06-01"),
+        ("GoPro partnered with DJI in June 2015.", "2015-06-10"),
+        ("Intel partnered with PrecisionHawk in July 2015.", "2015-07-02"),
+    ]
+    for i, (text, date) in enumerate(docs):
+        nous.ingest(text, doc_id=f"wsj-{i}", date=parse_date(date), source="wsj")
+    return nous
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NousConfig(window_size=0).validate()
+        with pytest.raises(ConfigError):
+            NousConfig(accept_threshold=2.0).validate()
+
+
+class TestIngestion:
+    def test_accepts_facts(self, built_nous):
+        assert built_nous.documents_ingested == 5
+        # (Amazon, acquired, Kiva_Systems) is already curated: the store
+        # keeps the higher-confidence curated version.
+        curated = built_nous.kb.store.get("Amazon", "acquired", "Kiva_Systems")
+        assert curated is not None and curated.curated
+        # A genuinely novel fact enters as extracted.
+        novel = built_nous.kb.store.get("GoPro", "partnerOf", "DJI")
+        assert novel is not None
+        assert not novel.curated
+        assert novel.source == "wsj"
+
+    def test_fact_date_recorded(self, built_nous):
+        fact = built_nous.kb.store.get("GoPro", "partnerOf", "DJI")
+        assert str(fact.date) == "2015-06"  # sentence date wins
+
+    def test_ingest_returns_breakdown(self, fast_config):
+        nous = Nous(config=fast_config)
+        result = nous.ingest(
+            "DJI raised $75 million from Accel Partners in May 2015.",
+            doc_id="x", date=parse_date("2015-05-06"), source="wsj",
+        )
+        assert result.raw_triples > 0
+        assert result.accepted > 0
+        assert result.accepted_triples
+        subjects = {t[0] for t in result.accepted_triples}
+        assert "DJI" in subjects
+
+    def test_empty_document(self, fast_config):
+        nous = Nous(config=fast_config)
+        result = nous.ingest("", doc_id="empty")
+        assert result.raw_triples == 0
+        assert result.accepted == 0
+
+    def test_window_tracks_accepted_facts(self, built_nous):
+        assert built_nous.dynamic.window.window_size > 0
+        assert built_nous.dynamic.miner.window_size == (
+            built_nous.dynamic.window.window_size
+        )
+
+    def test_timestamps_monotone_even_with_old_dates(self, fast_config):
+        nous = Nous(config=fast_config)
+        nous.ingest("DJI launched the Phantom 3 in 2015.",
+                    date=parse_date("2015-04-08"))
+        # an article about an *older* event must not move time backwards
+        nous.ingest("Amazon acquired Kiva Systems in 2012.",
+                    date=parse_date("2012-03-19"))
+        assert nous.dynamic.window.window_size >= 0  # no ConfigError raised
+
+
+class TestQueries:
+    def test_entity_summary(self, built_nous):
+        summary = built_nous.entity_summary("DJI")
+        assert summary.entity == "DJI"
+        assert summary.entity_type == "Company"
+        assert any(p == "fundedBy" for _, p, _, _, _ in summary.facts)
+        rendered = summary.render()
+        assert "DJI" in rendered and "conf=" in rendered
+
+    def test_trending_patterns(self, built_nous):
+        report = built_nous.trending()
+        assert report.window_edges > 0
+        # two partnerships with distinct endpoint pairs -> MNI support 2
+        supports = {p.describe(): s for p, s in report.closed_frequent}
+        assert any("partnerOf" in desc for desc in supports)
+
+    def test_explain_paths(self, built_nous):
+        paths = built_nous.explain("GoPro", "Accel Partners", k=2)
+        assert paths
+        assert paths[0].nodes[0] == "GoPro"
+        assert paths[0].nodes[-1] == "Accel_Partners"
+
+    def test_explain_unknown_entity_creates_then_fails_gracefully(self, built_nous):
+        from repro.errors import QAError
+        with pytest.raises(QAError):
+            built_nous.explain("Completely Unknown Thing 42", "DJI")
+
+    def test_statistics(self, built_nous):
+        stats = built_nous.statistics()
+        assert stats.extracted_facts > 0
+        assert stats.curated_facts > 0
+        assert sum(stats.confidence_histogram) == stats.num_facts
+        assert "wsj" in stats.facts_per_source
+        rendered = stats.render()
+        assert "confidence histogram" in rendered
+
+    def test_topics_cached_until_growth(self, built_nous):
+        g1 = built_nous._topic_annotated_graph()
+        g2 = built_nous._topic_annotated_graph()
+        assert g1 is g2
+        built_nous.kb.add_fact("DJI", "partnerOf", "GoPro", curated=False,
+                               confidence=0.5, source="test")
+        g3 = built_nous._topic_annotated_graph()
+        assert g3 is not g1
+
+
+class TestDynamicKnowledgeGraph:
+    def test_accept_fact_updates_both_views(self):
+        kb = build_drone_kb()
+        dkg = DynamicKnowledgeGraph(kb, window=CountWindow(size=10), min_support=1)
+        dkg.accept_fact(make_mapped("DJI", "partnerOf", "GoPro"), 0.7, timestamp=1.0)
+        assert kb.store.get("DJI", "partnerOf", "GoPro") is not None
+        assert dkg.window.window_size == 1
+        assert dkg.miner.window_size == 1
+
+    def test_window_eviction_updates_miner(self):
+        kb = build_drone_kb()
+        dkg = DynamicKnowledgeGraph(kb, window=CountWindow(size=2), min_support=1)
+        for i, t in enumerate(["GoPro", "Parrot_SA", "Intel"]):
+            dkg.accept_fact(make_mapped("DJI", "partnerOf", t), 0.7, float(i))
+        assert dkg.window.window_size == 2
+        assert dkg.miner.window_size == 2
+        # KB keeps everything (facts are persistent)
+        assert len(kb.store.match(subject="DJI", predicate="partnerOf")) == 3
+
+    def test_miner_sees_types(self):
+        kb = build_drone_kb()
+        dkg = DynamicKnowledgeGraph(kb, min_support=1)
+        dkg.accept_fact(make_mapped("DJI", "partnerOf", "GoPro"), 0.7, 1.0)
+        patterns = list(dkg.miner.supports())
+        assert any("Company" in p.describe() for p in patterns)
+
+    def test_trending_report(self):
+        kb = build_drone_kb()
+        dkg = DynamicKnowledgeGraph(kb, min_support=1)
+        dkg.accept_fact(make_mapped("DJI", "partnerOf", "GoPro"), 0.7, 1.0)
+        report = dkg.trending_report(timestamp=1.0)
+        assert report.window_edges == 1
+        assert report.closed_frequent
+
+
+class TestStatisticsHelpers:
+    def test_empty_kb(self):
+        from repro.kb import KnowledgeBase
+        stats = compute_statistics(KnowledgeBase())
+        assert stats.num_facts == 0
+        assert stats.mean_extracted_confidence == 0.0
+        assert stats.render()  # must not crash on empty histogram

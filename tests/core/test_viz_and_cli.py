@@ -1,0 +1,108 @@
+"""Visualisation exports and the command-line interface."""
+
+import pytest
+
+from repro.core.viz import ego_subgraph, subgraph_to_dot, subgraph_to_text
+from repro.graph import PropertyGraph
+from repro.query import cli
+
+
+@pytest.fixture
+def small_kg_graph():
+    g = PropertyGraph()
+    g.add_vertex("DJI", type="Company", name="DJI")
+    g.add_vertex("Phantom_3", type="Product", name="Phantom 3")
+    g.add_vertex("Shenzhen", type="City", name="Shenzhen")
+    g.add_vertex("Far_Away", type="Company", name="Far Away")
+    g.add_edge("DJI", "Phantom_3", "manufactures", curated=True, confidence=1.0)
+    g.add_edge("DJI", "Shenzhen", "headquarteredIn", curated=False, confidence=0.6)
+    g.add_edge("Shenzhen", "Far_Away", "near", curated=True, confidence=1.0)
+    return g
+
+
+class TestEgoSubgraph:
+    def test_radius_one(self, small_kg_graph):
+        ego = ego_subgraph(small_kg_graph, "DJI", hops=1)
+        assert ego.has_vertex("Phantom_3")
+        assert not ego.has_vertex("Far_Away")
+
+    def test_radius_two_reaches_everything(self, small_kg_graph):
+        ego = ego_subgraph(small_kg_graph, "DJI", hops=2)
+        assert ego.num_vertices == 4
+
+
+class TestDotExport:
+    def test_structure(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph, center="DJI", hops=1)
+        assert dot.startswith("digraph KG {")
+        assert dot.rstrip().endswith("}")
+        assert '"DJI" -> "Phantom_3"' in dot
+
+    def test_provenance_colors(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph, center="DJI", hops=1)
+        assert 'color="red"' in dot    # curated
+        assert 'color="blue"' in dot   # extracted
+
+    def test_extracted_edge_shows_confidence(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph, center="DJI", hops=1)
+        assert "(0.60)" in dot
+
+    def test_type_colors(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph, center="DJI", hops=1)
+        assert 'fillcolor="lightblue"' in dot   # Company
+        assert 'fillcolor="lightgreen"' in dot  # Product
+
+    def test_edge_truncation(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph, center="DJI", hops=2, max_edges=1)
+        assert "truncated" in dot
+
+    def test_whole_graph_without_center(self, small_kg_graph):
+        dot = subgraph_to_dot(small_kg_graph)
+        assert '"Far_Away"' in dot
+
+
+class TestTextExport:
+    def test_indented_levels(self, small_kg_graph):
+        text = subgraph_to_text(small_kg_graph, "DJI", hops=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("DJI")
+        assert any(line.startswith("  ") for line in lines)
+        assert "-[manufactures]->" in text
+
+
+class TestCli:
+    def test_demo_command(self, capsys):
+        status = cli.main(["demo", "--articles", "12", "--seed", "3"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Knowledge Graph statistics" in out
+
+    def test_query_command(self, capsys):
+        status = cli.main([
+            "query", "tell me about DJI", "--articles", "12", "--seed", "3",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "DJI" in out
+        assert "[entity" in out
+
+    def test_demo_with_inline_query(self, capsys):
+        status = cli.main([
+            "demo", "--articles", "12", "--seed", "3",
+            "--query", "show trending patterns",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "window edges" in out
+
+    def test_bad_query_reports_error(self, capsys):
+        status = cli.main([
+            "query", "gibberish blargh", "--articles", "12", "--seed", "3",
+        ])
+        assert status == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_build_demo_system_reusable(self):
+        nous = cli.build_demo_system(n_articles=10, seed=5)
+        assert nous.documents_ingested == 10

@@ -1,0 +1,137 @@
+"""Citation-domain generator and structured ingestion tests."""
+
+import pytest
+
+from repro import Nous, NousConfig
+from repro.data.citations import (
+    TOPICS,
+    CitationWorld,
+    build_citation_ontology,
+)
+from repro.errors import ConfigError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.dates import SimpleDate
+
+
+@pytest.fixture
+def world_and_kb():
+    kb = KnowledgeBase(ontology=build_citation_ontology())
+    world = CitationWorld(n_authors=12, n_papers=40, seed=5)
+    batches = world.generate_batches(kb)
+    return world, kb, batches
+
+
+class TestCitationWorld:
+    def test_ontology_types(self):
+        ontology = build_citation_ontology()
+        assert ontology.is_a("Author", "Person")
+        assert ontology.has_predicate("cites")
+        sig = ontology.predicate("authoredBy")
+        assert sig.domain == "Publication"
+
+    def test_population(self, world_and_kb):
+        world, kb, _batches = world_and_kb
+        assert len(world.authors) == 12
+        assert kb.entities_of_type("Author")
+        assert kb.entities_of_type("Venue")
+
+    def test_batches_sorted_and_typed(self, world_and_kb):
+        world, kb, batches = world_and_kb
+        assert len(batches) == 40
+        ordinals = [b.date.ordinal() for b in batches]
+        assert ordinals == sorted(ordinals)
+        predicates = {p for b in batches for _, p, _ in b.facts}
+        assert {"authoredBy", "publishedIn", "hasTopic"} <= predicates
+
+    def test_citations_reference_existing_papers(self, world_and_kb):
+        world, _kb, batches = world_and_kb
+        seen = set()
+        for batch in batches:
+            papers_in_batch = {s for s, p, _ in batch.facts if p == "hasTopic"}
+            for s, p, o in batch.facts:
+                if p == "cites":
+                    assert o in seen, "cited paper must already exist"
+            seen.update(papers_in_batch)
+
+    def test_hot_topic_bursts_late(self):
+        kb = KnowledgeBase(ontology=build_citation_ontology())
+        world = CitationWorld(n_authors=15, n_papers=90, seed=11,
+                              hot_topic="knowledge_graphs")
+        batches = world.generate_batches(kb)
+        def hot_fraction(subset):
+            hot = sum(
+                1 for b in subset for _, p, o in b.facts
+                if p == "hasTopic" and o == "topic_knowledge_graphs"
+            )
+            total = sum(
+                1 for b in subset for _, p, _ in b.facts if p == "hasTopic"
+            )
+            return hot / max(total, 1)
+        early = hot_fraction(batches[: len(batches) // 3])
+        late = hot_fraction(batches[-len(batches) // 3 :])
+        assert late > early
+
+    def test_deterministic(self):
+        def build():
+            kb = KnowledgeBase(ontology=build_citation_ontology())
+            return [
+                b.facts for b in CitationWorld(n_authors=8, n_papers=20,
+                                               seed=3).generate_batches(kb)
+            ]
+        assert build() == build()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CitationWorld(n_authors=1)
+        with pytest.raises(ConfigError):
+            CitationWorld(hot_topic="nonexistent")
+
+    def test_all_topics_valid(self, world_and_kb):
+        _world, kb, batches = world_and_kb
+        topic_ids = {f"topic_{t}" for t in TOPICS}
+        for batch in batches:
+            for _, p, o in batch.facts:
+                if p == "hasTopic":
+                    assert o in topic_ids
+
+
+class TestStructuredIngestion:
+    def test_ingest_facts_reaches_kb_and_window(self):
+        kb = KnowledgeBase(ontology=build_citation_ontology())
+        nous = Nous(kb=kb, config=NousConfig(retrain_every=0, lda_iterations=5))
+        count = nous.ingest_facts(
+            [("paper_1", "cites", "paper_0"),
+             ("paper_1", "authoredBy", "author_X")],
+            date=SimpleDate(2015, 3), source="dblp-like",
+        )
+        assert count == 2
+        assert kb.store.get("paper_1", "cites", "paper_0") is not None
+        assert nous.dynamic.window.window_size == 2
+        fact = kb.store.get("paper_1", "cites", "paper_0")
+        assert not fact.curated
+        assert fact.source == "dblp-like"
+
+    def test_structured_facts_feed_miner(self):
+        kb = KnowledgeBase(ontology=build_citation_ontology())
+        world = CitationWorld(n_authors=10, n_papers=50, seed=9)
+        batches = world.generate_batches(kb)
+        nous = Nous(kb=kb, config=NousConfig(window_size=150, min_support=4,
+                                             retrain_every=0, lda_iterations=5))
+        for batch in batches:
+            nous.ingest_facts(batch.facts, date=batch.date, source=batch.source)
+        report = nous.trending()
+        assert report.closed_frequent
+        descriptions = " ".join(p.describe() for p, _ in report.closed_frequent)
+        assert "Publication" in descriptions
+
+    def test_mixed_text_and_structured(self):
+        """Both ingestion paths coexist on one dynamic KG."""
+        from repro import build_drone_kb
+        nous = Nous(kb=build_drone_kb(),
+                    config=NousConfig(retrain_every=0, lda_iterations=5))
+        nous.ingest("GoPro partnered with DJI in June 2015.",
+                    doc_id="t", source="wsj")
+        nous.ingest_facts([("DJI", "partnerOf", "Qualcomm")],
+                          source="logs")
+        sources = {t.source for t in nous.kb.store if not t.curated}
+        assert {"wsj", "logs"} <= sources

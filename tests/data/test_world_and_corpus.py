@@ -1,0 +1,187 @@
+"""World model, article rendering and corpus generation tests."""
+
+import pytest
+
+from repro.data import (
+    ArticleRenderer,
+    CorpusConfig,
+    WorldModel,
+    generate_corpus,
+    generate_descriptions,
+    stream_corpus,
+    topic_lexicons,
+)
+from repro.data.world import DEFAULT_REGIMES, EVENT_TYPES
+from repro.errors import ConfigError
+from repro.kb import build_drone_kb
+from repro.nlp import NlpPipeline
+
+
+class TestWorldModel:
+    def test_population_deterministic(self):
+        world_a = WorldModel(build_drone_kb(), seed=3, n_extra_companies=5)
+        world_b = WorldModel(build_drone_kb(), seed=3, n_extra_companies=5)
+        assert world_a.synthetic_companies == world_b.synthetic_companies
+        assert world_a.synthetic_people == world_b.synthetic_people
+
+    def test_population_adds_typed_entities(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=3, n_extra_companies=4)
+        for company in world.synthetic_companies:
+            assert kb.entity_type(company) == "Company"
+            assert kb.store.match(subject=company, predicate="headquarteredIn")
+
+    def test_events_sorted_and_typed(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=4)
+        events = world.generate_events(100)
+        assert len(events) == 100
+        dates = [e.date.ordinal() for e in events]
+        assert dates == sorted(dates)
+        assert {e.event_type for e in events} <= set(EVENT_TYPES)
+
+    def test_every_event_has_triples(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=4)
+        for event in world.generate_events(60):
+            assert event.triples
+            for s, p, o in event.triples:
+                assert isinstance(s, str) and isinstance(p, str) and isinstance(o, str)
+
+    def test_regime_shift_changes_mix(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=4)
+        events = world.generate_events(300)
+        first = [e.event_type for e in events[:100]]
+        last = [e.event_type for e in events[-90:]]
+        assert first.count("funding") > last.count("funding")
+        assert last.count("acquisition") > first.count("acquisition")
+
+    def test_bad_regimes_rejected(self):
+        world = WorldModel(build_drone_kb(), seed=1, n_extra_companies=2)
+        with pytest.raises(ConfigError):
+            world.generate_events(10, regimes=[(0.5, {"funding": 1})])
+
+    def test_bad_years_rejected(self):
+        with pytest.raises(ConfigError):
+            WorldModel(build_drone_kb(), start_year=2015, end_year=2010)
+
+
+class TestArticleRenderer:
+    def test_render_funding_event(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=2)
+        events = [e for e in world.generate_events(50) if e.event_type == "funding"]
+        article = ArticleRenderer(kb, seed=1).render(events[0])
+        assert "raised" in article.text or "secured" in article.text
+        assert article.gold_triples
+        assert article.source == "wsj"
+        assert article.date == events[0].date
+
+    def test_crawl_rendering_adds_filler(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=2)
+        event = world.generate_events(10)[0]
+        renderer = ArticleRenderer(kb, seed=2, crawl_noise=1.0)
+        article = renderer.render(event, source="dronewire.example")
+        assert article.source == "dronewire.example"
+        assert len(article.text) > 0
+
+    def test_doc_ids_unique(self):
+        kb = build_drone_kb()
+        world = WorldModel(kb, seed=5, n_extra_companies=2)
+        renderer = ArticleRenderer(kb, seed=2)
+        ids = {renderer.render(e).doc_id for e in world.generate_events(20)}
+        assert len(ids) == 20
+
+
+class TestCorpus:
+    def test_generate_corpus_sorted_dates(self):
+        kb = build_drone_kb()
+        articles = generate_corpus(kb, CorpusConfig(n_articles=50, seed=9))
+        ordinals = [a.date.ordinal() for a in articles]
+        assert ordinals == sorted(ordinals)
+
+    def test_corpus_deterministic(self):
+        texts_a = [a.text for a in generate_corpus(build_drone_kb(), CorpusConfig(n_articles=30, seed=4))]
+        texts_b = [a.text for a in generate_corpus(build_drone_kb(), CorpusConfig(n_articles=30, seed=4))]
+        assert texts_a == texts_b
+
+    def test_crawl_fraction_respected(self):
+        kb = build_drone_kb()
+        articles = generate_corpus(
+            kb, CorpusConfig(n_articles=100, seed=4, crawl_fraction=0.4)
+        )
+        crawl = sum(1 for a in articles if a.source != "wsj")
+        assert 20 <= crawl <= 60
+
+    def test_stream_matches_generate(self):
+        config = CorpusConfig(n_articles=20, seed=4)
+        eager = [a.doc_id for a in generate_corpus(build_drone_kb(), config)]
+        lazy = [a.doc_id for a in stream_corpus(build_drone_kb(), config)]
+        assert eager == lazy
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_corpus(build_drone_kb(), CorpusConfig(n_articles=0))
+        with pytest.raises(ConfigError):
+            generate_corpus(build_drone_kb(), CorpusConfig(crawl_fraction=2.0))
+
+    def test_extraction_recovers_gold_facts(self):
+        """End-to-end sanity: the NLP pipeline should recover a decent
+        fraction of gold subject/object pairs from WSJ-style articles."""
+        kb = build_drone_kb()
+        articles = generate_corpus(kb, CorpusConfig(n_articles=40, seed=6, crawl_fraction=0.0))
+        pipeline = NlpPipeline(gazetteer=kb.gazetteer())
+        hits = 0
+        total = 0
+        for article in articles:
+            triples = pipeline.extract_triples(
+                article.text, doc_id=article.doc_id, doc_date=article.date
+            )
+            extracted_pairs = {
+                (t.subject.lower(), t.object.lower()) for t in triples
+            }
+            for s, p, o in article.gold_triples:
+                total += 1
+                s_name = s.replace("_", " ").lower()
+                o_name = o.replace("_", " ").lower()
+                if any(
+                    s_name in es and (o_name in eo or eo in o_name)
+                    for es, eo in extracted_pairs
+                    if eo
+                ):
+                    hits += 1
+        assert total > 0
+        assert hits / total > 0.4, f"recall too low: {hits}/{total}"
+
+
+class TestDescriptions:
+    def test_descriptions_generated_for_all_entities(self):
+        kb = build_drone_kb()
+        docs = generate_descriptions(kb, words_per_doc=40, seed=2)
+        assert set(docs) == kb.entities()
+        assert all(len(text.split()) >= 40 for text in docs.values())
+
+    def test_descriptions_topical(self):
+        kb = build_drone_kb()
+        docs = generate_descriptions(kb, words_per_doc=200, seed=2)
+        lexicons = topic_lexicons()
+        faa_words = set(docs["FAA"].split())
+        assert len(faa_words & set(lexicons["regulation"])) >= 5
+        windermere_words = set(docs["Windermere"].split())
+        assert len(windermere_words & set(lexicons["realestate"])) >= 3
+
+    def test_deterministic(self):
+        kb1, kb2 = build_drone_kb(), build_drone_kb()
+        d1 = generate_descriptions(kb1, seed=5)
+        d2 = generate_descriptions(kb2, seed=5)
+        assert d1 == d2
+
+    def test_appends_to_existing_description(self):
+        kb = build_drone_kb()
+        before = kb.description("DJI")
+        generate_descriptions(kb, seed=5)
+        after = kb.description("DJI")
+        assert after.startswith(before)
+        assert len(after) > len(before)

@@ -1,0 +1,273 @@
+"""Pregel primitives and graph algorithms, checked against networkx oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    PropertyGraph,
+    aggregate_messages,
+    bfs_distances,
+    connected_components,
+    k_hop_neighborhood,
+    pagerank,
+    pregel,
+    shortest_path,
+    triangle_count,
+)
+from repro.errors import ConfigError, VertexNotFoundError
+
+
+def chain_graph(n):
+    g = PropertyGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "next")
+    return g
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=0, max_value=24))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(m)
+    ]
+    return n, edges
+
+
+def build_pair(n, edges):
+    """Build the same graph as a PropertyGraph and a networkx MultiDiGraph."""
+    pg = PropertyGraph()
+    xg = nx.MultiDiGraph()
+    for i in range(n):
+        pg.add_vertex(i)
+        xg.add_node(i)
+    for src, dst in edges:
+        pg.add_edge(src, dst, "e")
+        xg.add_edge(src, dst)
+    return pg, xg
+
+
+class TestAggregateMessages:
+    def test_in_degree_via_messages(self):
+        g = chain_graph(4)
+        inbox = aggregate_messages(
+            g,
+            send=lambda e, s, d: [(e.dst, 1)],
+            merge=lambda a, b: a + b,
+        )
+        assert inbox == {1: 1, 2: 1, 3: 1}
+
+    def test_messages_merge(self):
+        g = PropertyGraph()
+        g.add_edge("a", "c", "e")
+        g.add_edge("b", "c", "e")
+        inbox = aggregate_messages(
+            g, send=lambda e, s, d: [(e.dst, 1)], merge=lambda a, b: a + b
+        )
+        assert inbox == {"c": 2}
+
+    def test_states_are_passed_to_send(self):
+        g = chain_graph(3)
+        states = {0: 10, 1: 20, 2: 30}
+        inbox = aggregate_messages(
+            g,
+            send=lambda e, s, d: [(e.dst, s)],
+            merge=lambda a, b: a + b,
+            states=states,
+        )
+        assert inbox == {1: 10, 2: 20}
+
+
+class TestPregel:
+    def test_max_iterations_validated(self):
+        g = chain_graph(2)
+        with pytest.raises(ConfigError):
+            pregel(
+                g,
+                initial_state=lambda v, p: 0,
+                vertex_program=lambda v, s, m: s,
+                send=lambda e, s, d: [],
+                merge=lambda a, b: a,
+                max_iterations=0,
+            )
+
+    def test_converges_without_messages(self):
+        g = chain_graph(3)
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0,
+            vertex_program=lambda v, s, m: s,
+            send=lambda e, s, d: [],
+            merge=lambda a, b: a,
+        )
+        assert result.converged
+        assert result.supersteps == 0
+
+    def test_distance_propagation(self):
+        g = chain_graph(5)
+        inf = float("inf")
+
+        def send(edge, src_state, dst_state):
+            if src_state + 1 < dst_state:
+                yield (edge.dst, src_state + 1)
+
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0 if v == 0 else inf,
+            vertex_program=lambda v, s, m: min(s, m),
+            send=send,
+            merge=min,
+        )
+        assert result.states == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert result.converged
+
+    def test_message_accounting(self):
+        g = chain_graph(4)
+        inf = float("inf")
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0 if v == 0 else inf,
+            vertex_program=lambda v, s, m: min(s, m),
+            send=lambda e, s, d: [(e.dst, s + 1)] if s + 1 < d else [],
+            merge=min,
+        )
+        assert len(result.messages_per_step) == result.supersteps
+        assert all(count >= 1 for count in result.messages_per_step)
+        assert len(result.cross_partition_messages) == result.supersteps
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", "e")
+        g.add_edge("c", "d", "e")
+        labels = connected_components(g)
+        assert labels["a"] == labels["b"]
+        assert labels["c"] == labels["d"]
+        assert labels["a"] != labels["c"]
+
+    def test_isolated_vertex_is_own_component(self):
+        g = PropertyGraph()
+        g.add_vertex("solo")
+        g.add_edge("a", "b", "e")
+        labels = connected_components(g)
+        assert labels["solo"] == "solo"
+
+    @given(random_edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, data):
+        n, edges = data
+        pg, xg = build_pair(n, edges)
+        ours = connected_components(pg)
+        theirs = list(nx.connected_components(xg.to_undirected()))
+        # same partition: two nodes share our label iff they share a nx component
+        for comp in theirs:
+            labels = {ours[v] for v in comp}
+            assert len(labels) == 1
+        assert len({frozenset(c) for c in theirs}) == len(set(ours.values()))
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        g = chain_graph(6)
+        ranks = pagerank(g)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_sink_handled(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", "e")  # b is a sink
+        ranks = pagerank(g)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert ranks["b"] > ranks["a"]
+
+    def test_empty_graph(self):
+        assert pagerank(PropertyGraph()) == {}
+
+    @given(random_edge_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, data):
+        n, edges = data
+        pg, xg = build_pair(n, edges)
+        ours = pagerank(pg, max_iterations=100, tol=1e-10)
+        # MultiDiGraph keeps parallel-edge multiplicity, matching our semantics.
+        theirs = nx.pagerank(xg, alpha=0.85, max_iter=200, tol=1e-10)
+        for node in theirs:
+            assert ours[node] == pytest.approx(theirs[node], abs=5e-4)
+
+
+class TestTraversals:
+    def test_bfs_distances_undirected(self):
+        g = chain_graph(4)
+        assert bfs_distances(g, 2) == {2: 0, 1: 1, 3: 1, 0: 2}
+
+    def test_bfs_directed(self):
+        g = chain_graph(4)
+        assert bfs_distances(g, 2, directed=True) == {2: 0, 3: 1}
+
+    def test_bfs_max_depth(self):
+        g = chain_graph(10)
+        dist = bfs_distances(g, 0, max_depth=2)
+        assert max(dist.values()) == 2
+
+    def test_bfs_missing_source(self):
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(chain_graph(3), 99)
+
+    def test_shortest_path_simple(self):
+        g = chain_graph(5)
+        assert shortest_path(g, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_unreachable(self):
+        g = PropertyGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        assert shortest_path(g, "a", "b") is None
+
+    def test_shortest_path_weighted_prefers_cheap_route(self):
+        g = PropertyGraph()
+        g.add_edge("s", "t", "e", w=10.0)
+        g.add_edge("s", "m", "e", w=1.0)
+        g.add_edge("m", "t", "e", w=1.0)
+        path = shortest_path(g, "s", "t", weight=lambda e: e.props["w"])
+        assert path == ["s", "m", "t"]
+
+    def test_k_hop(self):
+        g = chain_graph(6)
+        assert k_hop_neighborhood(g, 0, 2) == {1, 2}
+
+    @given(random_edge_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_bfs_matches_networkx(self, data):
+        n, edges = data
+        pg, xg = build_pair(n, edges)
+        ours = bfs_distances(pg, 0)
+        theirs = nx.single_source_shortest_path_length(xg.to_undirected(), 0)
+        assert ours == dict(theirs)
+
+
+class TestTriangles:
+    def test_triangle(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", "e")
+        g.add_edge("b", "c", "e")
+        g.add_edge("c", "a", "e")
+        assert triangle_count(g) == 1
+
+    def test_no_triangle_in_chain(self):
+        assert triangle_count(chain_graph(5)) == 0
+
+    @given(random_edge_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, data):
+        n, edges = data
+        pg, xg = build_pair(n, edges)
+        simple = nx.Graph(xg.to_undirected())
+        simple.remove_edges_from(nx.selfloop_edges(simple))
+        expected = sum(nx.triangles(simple).values()) // 3
+        assert triangle_count(pg) == expected

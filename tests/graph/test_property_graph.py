@@ -1,0 +1,172 @@
+"""Unit tests for the property-graph core."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    VertexNotFoundError,
+)
+from repro.graph import PropertyGraph
+from repro.graph.property_graph import from_edge_list
+
+
+@pytest.fixture
+def small_graph():
+    g = PropertyGraph()
+    g.add_vertex("dji", type="Company", name="DJI")
+    g.add_vertex("drone", type="Product")
+    g.add_vertex("shenzhen", type="City")
+    g.add_edge("dji", "drone", "manufactures", confidence=0.9)
+    g.add_edge("dji", "shenzhen", "headquarteredIn")
+    return g
+
+
+class TestVertices:
+    def test_add_and_lookup(self, small_graph):
+        assert small_graph.has_vertex("dji")
+        assert small_graph.vertex_props("dji")["type"] == "Company"
+
+    def test_add_merges_properties(self, small_graph):
+        small_graph.add_vertex("dji", founded=2006)
+        props = small_graph.vertex_props("dji")
+        assert props["founded"] == 2006
+        assert props["name"] == "DJI"
+
+    def test_strict_add_raises_on_duplicate(self, small_graph):
+        with pytest.raises(DuplicateVertexError):
+            small_graph.add_vertex("dji", strict=True)
+
+    def test_missing_vertex_raises(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.vertex_props("missing")
+
+    def test_set_vertex_prop(self, small_graph):
+        small_graph.set_vertex_prop("drone", "category", "uav")
+        assert small_graph.vertex_props("drone")["category"] == "uav"
+
+    def test_remove_vertex_drops_incident_edges(self, small_graph):
+        small_graph.remove_vertex("dji")
+        assert small_graph.num_edges == 0
+        assert not small_graph.has_vertex("dji")
+
+    def test_remove_missing_vertex_raises(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.remove_vertex("nope")
+
+    def test_contains_and_len(self, small_graph):
+        assert "dji" in small_graph
+        assert len(small_graph) == 3
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = PropertyGraph()
+        g.add_edge("a", "b", "rel")
+        assert g.has_vertex("a") and g.has_vertex("b")
+
+    def test_parallel_edges_allowed(self):
+        g = PropertyGraph()
+        e1 = g.add_edge("a", "b", "rel")
+        e2 = g.add_edge("a", "b", "rel")
+        assert e1 != e2
+        assert len(g.edges_between("a", "b")) == 2
+
+    def test_edge_properties(self, small_graph):
+        edges = small_graph.edges_between("dji", "drone")
+        assert edges[0].props["confidence"] == 0.9
+
+    def test_remove_edge(self, small_graph):
+        eid = small_graph.add_edge("drone", "dji", "madeBy")
+        removed = small_graph.remove_edge(eid)
+        assert removed.label == "madeBy"
+        assert not small_graph.has_edge(eid)
+
+    def test_remove_missing_edge_raises(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.remove_edge(999)
+
+    def test_edge_lookup_raises(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.edge(999)
+
+    def test_find_edges_by_label(self, small_graph):
+        found = list(small_graph.find_edges(label="manufactures"))
+        assert len(found) == 1
+        assert found[0].dst == "drone"
+
+    def test_find_edges_by_predicate(self, small_graph):
+        found = list(
+            small_graph.find_edges(predicate=lambda e: e.props.get("confidence", 0) > 0.5)
+        )
+        assert len(found) == 1
+
+    def test_edge_other_endpoint(self, small_graph):
+        edge = small_graph.edges_between("dji", "drone")[0]
+        assert edge.other("dji") == "drone"
+        assert edge.other("drone") == "dji"
+        with pytest.raises(ValueError):
+            edge.other("shenzhen")
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree("dji") == 2
+        assert small_graph.in_degree("drone") == 1
+        assert small_graph.degree("dji") == 2
+
+    def test_successors_predecessors(self, small_graph):
+        assert small_graph.successors("dji") == {"drone", "shenzhen"}
+        assert small_graph.predecessors("drone") == {"dji"}
+
+    def test_neighbors_ignore_direction(self, small_graph):
+        assert small_graph.neighbors("drone") == {"dji"}
+
+    def test_degree_on_missing_vertex_raises(self, small_graph):
+        with pytest.raises(VertexNotFoundError):
+            small_graph.out_degree("ghost")
+
+
+class TestViewsAndTransforms:
+    def test_triplets_expose_props(self, small_graph):
+        triplets = {t.label: t for t in small_graph.triplets()}
+        t = triplets["manufactures"]
+        assert t.src_props["type"] == "Company"
+        assert t.dst_props["type"] == "Product"
+        assert t.src == "dji" and t.dst == "drone"
+
+    def test_subgraph_vertex_filter(self, small_graph):
+        sub = small_graph.subgraph(
+            vertex_filter=lambda vid, p: p.get("type") != "City"
+        )
+        assert not sub.has_vertex("shenzhen")
+        assert sub.num_edges == 1  # headquarteredIn edge lost its endpoint
+
+    def test_subgraph_edge_filter(self, small_graph):
+        sub = small_graph.subgraph(edge_filter=lambda e: e.label == "manufactures")
+        assert sub.num_edges == 1
+        assert sub.num_vertices == 3  # vertices all survive
+
+    def test_map_vertices(self, small_graph):
+        mapped = small_graph.map_vertices(lambda vid, p: {"t": p.get("type")})
+        assert mapped.vertex_props("dji") == {"t": "Company"}
+        assert mapped.num_edges == small_graph.num_edges
+
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add_edge("drone", "shenzhen", "testedIn")
+        assert clone.num_edges == small_graph.num_edges + 1
+
+    def test_reverse_flips_direction(self, small_graph):
+        rev = small_graph.reverse()
+        assert rev.successors("drone") == {"dji"}
+        assert rev.out_degree("dji") == 0
+
+    def test_from_edge_list(self):
+        g = from_edge_list([("a", "r", "b"), ("b", "r", "c")])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_degree_histogram(self, small_graph):
+        hist = small_graph.degree_histogram()
+        assert hist == {2: 1, 1: 2}

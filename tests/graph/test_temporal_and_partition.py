@@ -1,0 +1,177 @@
+"""Sliding-window dynamic graph and partition statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import CountWindow, DynamicGraph, HashPartitioner, TimeWindow
+from repro.graph.partition import compute_partition_stats
+from repro.graph.property_graph import PropertyGraph
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        p = HashPartitioner(8)
+        assert p.partition("dji") == p.partition("dji")
+
+    def test_range(self):
+        p = HashPartitioner(4)
+        for key in ["a", "b", 42, ("x", 1)]:
+            assert 0 <= p.partition(key) < 4
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            HashPartitioner(0)
+
+    @given(st.lists(st.text(min_size=1, max_size=12), min_size=50, max_size=50, unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_reasonable_spread(self, keys):
+        p = HashPartitioner(4)
+        buckets = [0] * 4
+        for key in keys:
+            buckets[p.partition(key)] += 1
+        assert sum(1 for b in buckets if b > 0) >= 2
+
+
+class TestPartitionStats:
+    def test_counts_and_cut(self):
+        g = PropertyGraph(num_partitions=2)
+        g.add_edge("a", "b", "e")
+        g.add_edge("b", "c", "e")
+        stats = compute_partition_stats(g)
+        assert sum(stats.vertex_counts) == 3
+        assert sum(stats.edge_counts) == 2
+        assert 0 <= stats.cut_edges <= 2
+        assert 0.0 <= stats.cut_fraction <= 1.0
+        assert stats.vertex_balance >= 1.0
+
+    def test_empty_graph(self):
+        stats = compute_partition_stats(PropertyGraph(num_partitions=3))
+        assert stats.cut_fraction == 0.0
+        assert stats.vertex_balance == 1.0
+
+
+class TestCountWindow:
+    def test_keeps_last_n(self):
+        dyn = DynamicGraph(window=CountWindow(size=3))
+        for i in range(5):
+            dyn.add_edge(f"s{i}", f"o{i}", "rel", timestamp=float(i))
+        assert dyn.window_size == 3
+        labels = [(e.src, e.dst) for e in dyn.window_edges()]
+        assert labels == [("s2", "o2"), ("s3", "o3"), ("s4", "o4")]
+
+    def test_graph_tracks_window(self):
+        dyn = DynamicGraph(window=CountWindow(size=2))
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        dyn.add_edge("c", "d", "r", timestamp=1.0)
+        dyn.add_edge("e", "f", "r", timestamp=2.0)
+        assert dyn.graph.num_edges == 2
+        assert not dyn.graph.has_vertex("a")
+        assert dyn.graph.has_vertex("e")
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            CountWindow(0)
+
+
+class TestTimeWindow:
+    def test_expires_by_span(self):
+        dyn = DynamicGraph(window=TimeWindow(span=10.0))
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        dyn.add_edge("c", "d", "r", timestamp=5.0)
+        dyn.add_edge("e", "f", "r", timestamp=12.0)
+        assert dyn.window_size == 2  # t=0 expired (12 - 10 = 2 > 0)
+
+    def test_advance_time_evicts(self):
+        dyn = DynamicGraph(window=TimeWindow(span=5.0))
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        evicted = dyn.advance_time(100.0)
+        assert evicted == 1
+        assert dyn.window_size == 0
+        assert dyn.graph.num_edges == 0
+
+    def test_invalid_span(self):
+        with pytest.raises(ConfigError):
+            TimeWindow(0.0)
+
+
+class TestDynamicGraphSemantics:
+    def test_timestamps_must_not_go_backwards(self):
+        dyn = DynamicGraph()
+        dyn.add_edge("a", "b", "r", timestamp=5.0)
+        with pytest.raises(ConfigError):
+            dyn.add_edge("c", "d", "r", timestamp=4.0)
+
+    def test_listeners_fire(self):
+        added, evicted = [], []
+        dyn = DynamicGraph(window=CountWindow(size=1))
+        dyn.on_add(added.append)
+        dyn.on_evict(evicted.append)
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        dyn.add_edge("c", "d", "r", timestamp=1.0)
+        assert len(added) == 2
+        assert len(evicted) == 1
+        assert evicted[0].src == "a"
+
+    def test_vertex_refcount_with_shared_vertices(self):
+        dyn = DynamicGraph(window=CountWindow(size=2))
+        dyn.add_edge("hub", "a", "r", timestamp=0.0)
+        dyn.add_edge("hub", "b", "r", timestamp=1.0)
+        dyn.add_edge("hub", "c", "r", timestamp=2.0)  # evicts hub->a
+        assert dyn.graph.has_vertex("hub")
+        assert not dyn.graph.has_vertex("a")
+        dyn.add_edge("x", "y", "r", timestamp=3.0)
+        dyn.add_edge("x", "z", "r", timestamp=4.0)  # hub fully evicted now
+        assert not dyn.graph.has_vertex("hub")
+
+    def test_vertex_props_applied(self):
+        dyn = DynamicGraph()
+        dyn.add_edge(
+            "dji", "drone", "makes", timestamp=0.0,
+            vertex_props={"dji": {"type": "Company"}},
+        )
+        assert dyn.graph.vertex_props("dji")["type"] == "Company"
+
+    def test_edge_props_stored(self):
+        dyn = DynamicGraph()
+        timed = dyn.add_edge("a", "b", "r", timestamp=0.0, confidence=0.7)
+        assert timed.prop_dict() == {"confidence": 0.7}
+        edge = next(dyn.graph.edges())
+        assert edge.props["confidence"] == 0.7
+
+    def test_counters(self):
+        dyn = DynamicGraph(window=CountWindow(size=1))
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        dyn.add_edge("c", "d", "r", timestamp=1.0)
+        assert dyn.total_added == 2
+        assert dyn.total_evicted == 1
+
+    def test_snapshot_is_independent(self):
+        dyn = DynamicGraph()
+        dyn.add_edge("a", "b", "r", timestamp=0.0)
+        snap = dyn.snapshot()
+        dyn.add_edge("c", "d", "r", timestamp=1.0)
+        assert snap.num_edges == 1
+        assert dyn.graph.num_edges == 2
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_window_invariant_holds(self, size, n_edges):
+        """Graph edge count always equals min(window size, edges added)."""
+        dyn = DynamicGraph(window=CountWindow(size=size))
+        for i in range(n_edges):
+            dyn.add_edge(f"s{i}", f"o{i}", "rel", timestamp=float(i))
+            assert dyn.graph.num_edges == dyn.window_size
+            assert dyn.window_size <= size
+        assert dyn.window_size == min(size, n_edges)
+        assert dyn.total_added - dyn.total_evicted == dyn.window_size
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_edges_window_consistency(self, pairs):
+        """Repeated identical triples must not corrupt eviction bookkeeping."""
+        dyn = DynamicGraph(window=CountWindow(size=4))
+        for t, (a, b) in enumerate(pairs):
+            dyn.add_edge(f"v{a}", f"v{b}", "rel", timestamp=float(t))
+        assert dyn.graph.num_edges == dyn.window_size == min(4, len(pairs))

@@ -1,0 +1,146 @@
+"""Triple store index and pattern-query tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb import Triple, TripleStore
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(Triple("DJI", "manufactures", "Phantom_3"))
+    s.add(Triple("DJI", "headquarteredIn", "Shenzhen"))
+    s.add(Triple("Amazon", "acquired", "Kiva_Systems"))
+    s.add(Triple("Accel", "investsIn", "DJI"))
+    return s
+
+
+class TestAddRemove:
+    def test_add_and_contains(self, store):
+        assert ("DJI", "manufactures", "Phantom_3") in store
+        assert len(store) == 4
+
+    def test_duplicate_add_no_change(self, store):
+        assert not store.add(Triple("DJI", "manufactures", "Phantom_3", confidence=1.0))
+        assert len(store) == 4
+
+    def test_higher_confidence_wins(self):
+        s = TripleStore()
+        s.add(Triple("a", "p", "b", confidence=0.4, curated=False))
+        assert s.add(Triple("a", "p", "b", confidence=0.9, curated=False))
+        assert s.get("a", "p", "b").confidence == 0.9
+
+    def test_lower_confidence_rejected(self):
+        s = TripleStore()
+        s.add(Triple("a", "p", "b", confidence=0.9))
+        assert not s.add(Triple("a", "p", "b", confidence=0.1))
+        assert s.get("a", "p", "b").confidence == 0.9
+
+    def test_remove(self, store):
+        assert store.remove("DJI", "manufactures", "Phantom_3")
+        assert ("DJI", "manufactures", "Phantom_3") not in store
+        assert store.match(subject="DJI", predicate="manufactures") == []
+
+    def test_remove_missing_returns_false(self, store):
+        assert not store.remove("x", "y", "z")
+
+
+class TestPatternQueries:
+    def test_match_subject(self, store):
+        facts = store.match(subject="DJI")
+        assert {t.predicate for t in facts} == {"manufactures", "headquarteredIn"}
+
+    def test_match_predicate(self, store):
+        facts = store.match(predicate="acquired")
+        assert len(facts) == 1
+        assert facts[0].subject == "Amazon"
+
+    def test_match_object(self, store):
+        facts = store.match(object="DJI")
+        assert facts[0].subject == "Accel"
+
+    def test_match_subject_predicate(self, store):
+        facts = store.match(subject="DJI", predicate="headquarteredIn")
+        assert facts[0].object == "Shenzhen"
+
+    def test_match_predicate_object(self, store):
+        facts = store.match(predicate="investsIn", object="DJI")
+        assert facts[0].subject == "Accel"
+
+    def test_match_subject_object(self, store):
+        facts = store.match(subject="Amazon", object="Kiva_Systems")
+        assert facts[0].predicate == "acquired"
+
+    def test_match_exact(self, store):
+        assert len(store.match("DJI", "manufactures", "Phantom_3")) == 1
+        assert store.match("DJI", "manufactures", "nope") == []
+
+    def test_match_all(self, store):
+        assert len(store.match()) == 4
+
+    def test_objects_subjects_helpers(self, store):
+        assert store.objects("DJI", "manufactures") == {"Phantom_3"}
+        assert store.subjects("investsIn", "DJI") == {"Accel"}
+
+    def test_about_and_neighbors(self, store):
+        about = store.about("DJI")
+        assert len(about) == 3  # 2 outgoing + 1 incoming
+        assert store.neighbors("DJI") == {"Phantom_3", "Shenzhen", "Accel"}
+
+    def test_degree(self, store):
+        assert store.degree("DJI") == 3
+        assert store.degree("unknown") == 0
+
+    def test_entities_predicates(self, store):
+        assert "DJI" in store.entities()
+        assert "acquired" in store.predicates()
+
+
+class TestStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.sampled_from(["p", "q"]),
+                st.sampled_from(["a", "b", "c", "d"]),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_match_consistent_with_membership(self, keys):
+        store = TripleStore()
+        for s, p, o in keys:
+            store.add(Triple(s, p, o))
+        unique = set(keys)
+        assert len(store) == len(unique)
+        for s, p, o in unique:
+            assert (s, p, o) in store
+            assert len(store.match(s, p, o)) == 1
+        # index consistency: every indexed answer is a stored fact
+        for s, p, o in unique:
+            assert o in store.objects(s, p)
+            assert s in store.subjects(p, o)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from(["p", "q"]),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_remove_restores_emptiness(self, keys):
+        store = TripleStore()
+        for s, p, o in keys:
+            store.add(Triple(s, p, o))
+        for s, p, o in set(keys):
+            store.remove(s, p, o)
+        assert len(store) == 0
+        assert store.match() == []

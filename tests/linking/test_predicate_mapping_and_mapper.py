@@ -1,0 +1,182 @@
+"""Predicate mapping (distant supervision) and full triple mapper tests."""
+
+import pytest
+
+from repro.kb import build_drone_kb
+from repro.linking import PredicateMapper, TripleMapper
+from repro.linking.predicate_mapping import normalize_relation
+from repro.nlp import NlpPipeline
+from repro.nlp.pipeline import RawTriple
+
+
+@pytest.fixture
+def kb():
+    return build_drone_kb()
+
+
+class TestNormalizeRelation:
+    def test_lemmatises_verb(self):
+        assert normalize_relation("raised from") == "raise from"
+        assert normalize_relation("acquired") == "acquire"
+
+    def test_srl_relation_passthrough(self):
+        assert normalize_relation("raise:A2-SOURCE") == "raise:a2-source"
+        assert normalize_relation("acquired:AM-PRICE") == "acquire:am-price"
+
+    def test_empty(self):
+        assert normalize_relation("") == ""
+
+
+class TestSeedMapping:
+    def test_acquire_maps(self, kb):
+        mapper = PredicateMapper(kb)
+        result = mapper.map_relation("acquired", "Company", "Company")
+        assert result.predicate == "acquired"
+
+    def test_srl_source_role_maps_to_fundedby(self, kb):
+        mapper = PredicateMapper(kb)
+        result = mapper.map_relation("raise:a2-source", "Company", "Company")
+        assert result.predicate == "fundedBy"
+
+    def test_signature_filters(self, kb):
+        mapper = PredicateMapper(kb)
+        # "acquired" demands Company x Company; a City object must not map.
+        assert mapper.map_relation("acquired", "Company", "City") is None
+
+    def test_unknown_relation(self, kb):
+        mapper = PredicateMapper(kb)
+        assert mapper.map_relation("hovered above") is None
+
+    def test_use_maps_to_uses_technology(self, kb):
+        mapper = PredicateMapper(kb)
+        result = mapper.map_relation("uses", "Company", "Technology")
+        assert result.predicate == "usesTechnology"
+
+    def test_coverage_metric(self, kb):
+        mapper = PredicateMapper(kb)
+        coverage = mapper.coverage(["acquired", "hovered above", "launch"])
+        assert coverage == pytest.approx(2 / 3)
+
+
+class TestDistantSupervisionExpansion:
+    def test_expansion_adopts_precise_pattern(self, kb):
+        mapper = PredicateMapper(kb, min_pattern_count=3, min_pattern_precision=0.6)
+        # "snapped up" is not a seed; create raw triples whose pairs are
+        # known acquisitions in the KB.
+        kb.add_fact("Google", "acquired", "Kiva_Systems")  # extra alignment
+        raws = [
+            RawTriple("Amazon", "snapped up", "Kiva Systems", confidence=0.8),
+            RawTriple("Amazon", "snapped up", "Kiva Systems", confidence=0.8),
+            RawTriple("Google", "snapped up", "Kiva Systems", confidence=0.8),
+        ]
+        entity_of = {"Amazon": "Amazon", "Kiva Systems": "Kiva_Systems",
+                     "Google": "Google"}
+        adopted = mapper.expand_from_corpus(raws, entity_of)
+        assert "snap up" in [p for ps in adopted.values() for p in ps] or \
+               "snapped up" in [p for ps in adopted.values() for p in ps]
+        assert mapper.map_relation("snapped up", "Company", "Company") is not None
+
+    def test_expansion_respects_min_count(self, kb):
+        mapper = PredicateMapper(kb, min_pattern_count=5)
+        raws = [RawTriple("Amazon", "gobbled", "Kiva Systems", confidence=0.8)]
+        adopted = mapper.expand_from_corpus(
+            raws, {"Amazon": "Amazon", "Kiva Systems": "Kiva_Systems"}
+        )
+        assert adopted == {}
+
+    def test_expansion_ignores_unaligned(self, kb):
+        mapper = PredicateMapper(kb, min_pattern_count=1)
+        raws = [RawTriple("Nobody", "vaporized", "Nothing", confidence=0.8)] * 4
+        assert mapper.expand_from_corpus(raws, {}) == {}
+
+
+class TestTripleMapper:
+    def make_raw(self, s, r, o, s_label="ORG", o_label=None, negated=False,
+                 confidence=0.8):
+        return RawTriple(
+            subject=s, relation=r, object=o, confidence=confidence,
+            subject_label=s_label, object_label=o_label, negated=negated,
+        )
+
+    def test_maps_acquisition(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("Amazon", "acquired", "Kiva Systems", o_label="ORG")]
+        )
+        assert not rejected
+        triple = mapped[0]
+        assert triple.subject == "Amazon"
+        assert triple.predicate == "acquired"
+        assert triple.object == "Kiva_Systems"
+        assert 0 < triple.prior_confidence() <= 1
+
+    def test_money_object_stays_literal(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("DJI", "raised", "$75 million", o_label="MONEY")]
+        )
+        assert not rejected
+        assert mapped[0].predicate == "raisedFunding"
+        assert mapped[0].object == "$75 million"
+        assert mapped[0].object_is_literal
+
+    def test_negated_rejected(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("Amazon", "acquired", "Kiva Systems",
+                           o_label="ORG", negated=True)]
+        )
+        assert not mapped
+        assert rejected[0].reason == "negated"
+
+    def test_unmapped_relation_rejected(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("Amazon", "pondered about", "Kiva Systems", o_label="ORG")]
+        )
+        assert rejected[0].reason == "unmapped-relation"
+
+    def test_literal_object_for_entity_predicate_rejected(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("Amazon", "acquired", "$775 million", o_label="MONEY")]
+        )
+        assert rejected and rejected[0].reason == "signature"
+
+    def test_self_loop_rejected(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, rejected = mapper.map_document(
+            [self.make_raw("DJI", "acquired", "Da-Jiang Innovations", o_label="ORG")]
+        )
+        assert rejected and rejected[0].reason == "self-loop"
+
+    def test_new_entity_created_for_unknown_org(self, kb):
+        mapper = TripleMapper(kb)
+        mapped, _ = mapper.map_document(
+            [self.make_raw("SkyLift Cargo", "partnered with", "DJI", o_label="ORG")]
+        )
+        assert mapped
+        assert kb.has_entity(mapped[0].subject)
+        assert mapper.stats.created_entities >= 1
+
+    def test_stats_counted(self, kb):
+        mapper = TripleMapper(kb)
+        mapper.map_document([
+            self.make_raw("Amazon", "acquired", "Kiva Systems", o_label="ORG"),
+            self.make_raw("Amazon", "hovered", "Kiva Systems", o_label="ORG"),
+        ])
+        assert mapper.stats.mapped == 1
+        assert mapper.stats.rejected["unmapped-relation"] == 1
+        assert mapper.stats.total() == 2
+
+    def test_end_to_end_with_nlp(self, kb):
+        """Sentence -> raw triples -> mapped canonical triples."""
+        pipeline = NlpPipeline(gazetteer=kb.gazetteer())
+        raws = pipeline.extract_triples(
+            "Amazon acquired Kiva Systems for $775 million in 2012."
+        )
+        mapper = TripleMapper(kb)
+        mapped, _ = mapper.map_document(raws, context_words=["acquisition"])
+        keys = {(m.subject, m.predicate, m.object) for m in mapped}
+        assert ("Amazon", "acquired", "Kiva_Systems") in keys
+        assert any(p == "acquiredFor" for _, p, _ in keys)

@@ -1,0 +1,324 @@
+"""Streaming miner, Arabesque baseline, transaction miner — including the
+streaming == from-scratch equivalence property that validates the paper's
+incremental-maintenance claim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mining import (
+    ArabesqueMiner,
+    InstanceEdge,
+    StreamingPatternMiner,
+    TransactionMiner,
+    canonicalize,
+)
+from repro.mining.support import PatternStats, closed_patterns
+
+
+def edge(src, dst, pred="rel", src_label="T", dst_label="T"):
+    return InstanceEdge(
+        src=src, dst=dst, src_label=src_label, dst_label=dst_label, predicate=pred
+    )
+
+
+def funding_edges(n, investor=None):
+    """n funding edges; distinct investors by default so the single-edge
+    pattern has MNI support n.  Pass a fixed ``investor`` for a hub star
+    (whose MNI support is 1 — distinct images on the hub variable)."""
+    return [
+        edge(f"co{i}", investor or f"inv{i}", "fundedBy", "Company", "Investor")
+        for i in range(n)
+    ]
+
+
+@st.composite
+def random_edge_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    edges = []
+    for _ in range(n):
+        s = draw(st.integers(0, 4))
+        d = draw(st.integers(0, 4))
+        pred = draw(st.sampled_from(["p", "q"]))
+        label_s = "A" if s % 2 == 0 else "B"
+        label_d = "A" if d % 2 == 0 else "B"
+        edges.append(edge(f"v{s}", f"v{d}", pred, label_s, label_d))
+    return edges
+
+
+class TestPatternStats:
+    def test_mni_counts_distinct_images(self):
+        pattern, mapping1 = canonicalize([edge("a", "x", "fundedBy")])
+        stats = PatternStats(pattern=pattern)
+        stats.add_embedding(mapping1)
+        _, mapping2 = canonicalize([edge("b", "x", "fundedBy")])
+        stats.add_embedding(mapping2)
+        # two subjects, one object -> MNI = min(2, 1) = 1
+        assert stats.embedding_count == 2
+        assert stats.mni_support == 1
+
+    def test_remove_restores(self):
+        pattern, mapping = canonicalize([edge("a", "b")])
+        stats = PatternStats(pattern=pattern)
+        stats.add_embedding(mapping)
+        stats.remove_embedding(mapping)
+        assert stats.is_dead()
+        assert stats.mni_support == 0
+
+
+class TestStreamingBasics:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            StreamingPatternMiner(min_support=0)
+        with pytest.raises(ConfigError):
+            StreamingPatternMiner(max_edges=0)
+
+    def test_single_pattern_becomes_frequent(self):
+        miner = StreamingPatternMiner(min_support=3, max_edges=2)
+        for e in funding_edges(3):
+            miner.add_edge(e)
+        frequent = miner.frequent_patterns()
+        assert len(frequent) >= 1
+        (pattern, support), = [
+            (p, s) for p, s in frequent.items() if p.size == 1
+        ]
+        assert support == 3
+        assert "fundedBy" in pattern.describe()
+
+    def test_mni_not_embedding_count(self):
+        """10 edges into one hub: embeddings=10 but MNI=1 on the hub var."""
+        miner = StreamingPatternMiner(min_support=2, max_edges=1)
+        for e in funding_edges(10, investor="accel"):
+            miner.add_edge(e)
+        supports = miner.supports()
+        assert list(supports.values()) == [1]
+
+    def test_eviction_reverses_addition(self):
+        miner = StreamingPatternMiner(min_support=1, max_edges=3)
+        eids = [miner.add_edge(e) for e in funding_edges(4)]
+        assert miner.supports()
+        for eid in eids:
+            miner.remove_edge(eid)
+        assert miner.supports() == {}
+        assert miner.window_size == 0
+
+    def test_remove_unknown_edge_raises(self):
+        with pytest.raises(ConfigError):
+            StreamingPatternMiner().remove_edge(99)
+
+    def test_two_edge_patterns_found(self):
+        miner = StreamingPatternMiner(min_support=2, max_edges=2)
+        # company -fundedBy-> investor, company -acquired-> target (x2)
+        for i in range(2):
+            miner.add_edge(edge(f"co{i}", f"inv{i}", "fundedBy", "Company", "Investor"))
+            miner.add_edge(edge(f"co{i}", f"t{i}", "acquired", "Company", "Company"))
+        frequent = miner.frequent_patterns()
+        assert any(p.size == 2 for p in frequent)
+
+    def test_window_report_transitions(self):
+        miner = StreamingPatternMiner(min_support=3, max_edges=1)
+        eids = [miner.add_edge(e) for e in funding_edges(3)]
+        report1 = miner.report(timestamp=1.0)
+        assert len(report1.newly_frequent) == 1
+        assert report1.window_edges == 3
+        miner.remove_edge(eids[0])
+        report2 = miner.report(timestamp=2.0)
+        assert len(report2.newly_infrequent) == 1
+        lost, survivors = report2.newly_infrequent[0]
+        assert lost in [p for p in report1.newly_frequent]
+        assert survivors == []  # size-1 pattern has no sub-patterns
+
+    def test_reconstruction_lists_frequent_subs(self):
+        miner = StreamingPatternMiner(min_support=3, max_edges=2)
+        # 3 x (company -fundedBy-> inv_i, company_i -acquired-> target_i)
+        pairs = []
+        for i in range(3):
+            pairs.append(miner.add_edge(
+                edge(f"co{i}", f"inv{i}", "fundedBy", "Company", "Investor")))
+            pairs.append(miner.add_edge(
+                edge(f"co{i}", f"t{i}", "acquired", "Company", "Company")))
+        miner.report(timestamp=0.0)
+        # evict one acquired edge: the 2-edge pattern drops below support,
+        # but fundedBy single-edge pattern stays frequent.
+        miner.remove_edge(pairs[1])
+        report = miner.report(timestamp=1.0)
+        twos = [item for item in report.newly_infrequent if item[0].size == 2]
+        assert twos
+        lost, survivors = twos[0]
+        assert survivors, "reconstruction should surface frequent sub-patterns"
+        assert all(s.size == 1 for s in survivors)
+
+    def test_closed_patterns_exclude_non_closed(self):
+        miner = StreamingPatternMiner(min_support=2, max_edges=2)
+        # every fundedBy co-occurs with acquired from the same subject;
+        # make both single patterns have the same support as the pair
+        for i in range(3):
+            miner.add_edge(edge(f"co{i}", f"inv{i}", "fundedBy", "Company", "Investor"))
+            miner.add_edge(edge(f"co{i}", f"t{i}", "acquired", "Company", "Company"))
+        closed = dict(miner.closed_frequent_patterns())
+        all_frequent = miner.frequent_patterns()
+        # the two single-edge patterns have support 3 == the pair's support
+        singles = [p for p in all_frequent if p.size == 1]
+        pair = [p for p in all_frequent if p.size == 2]
+        assert pair and singles
+        for p in singles:
+            assert p not in closed, "non-closed sub-pattern must be pruned"
+        assert pair[0] in closed
+
+
+class TestEquivalence:
+    """The streaming miner's incremental state must match a from-scratch
+    Arabesque run on every window — the core correctness property."""
+
+    @given(random_edge_streams(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_matches_arabesque_after_adds(self, edges, max_edges):
+        streaming = StreamingPatternMiner(min_support=1, max_edges=max_edges)
+        for e in edges:
+            streaming.add_edge(e)
+        scratch = ArabesqueMiner(min_support=1, max_edges=max_edges).mine(edges)
+        assert streaming.supports() == scratch.supports
+
+    @given(random_edge_streams(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_matches_arabesque_with_sliding(self, edges, window):
+        streaming = StreamingPatternMiner(min_support=1, max_edges=2)
+        live = []
+        for e in edges:
+            eid = streaming.add_edge(e)
+            live.append((eid, e))
+            if len(live) > window:
+                old_eid, _ = live.pop(0)
+                streaming.remove_edge(old_eid)
+        window_edges = [e for _, e in live]
+        scratch = ArabesqueMiner(min_support=1, max_edges=2).mine(window_edges)
+        assert streaming.supports() == scratch.supports
+
+    def test_closed_sets_match_on_example(self):
+        edges = funding_edges(4) + [
+            edge(f"co{i}", f"t{i}", "acquired", "Company", "Company")
+            for i in range(3)
+        ]
+        streaming = StreamingPatternMiner(min_support=2, max_edges=2)
+        for e in edges:
+            streaming.add_edge(e)
+        scratch = ArabesqueMiner(min_support=2, max_edges=2).mine(edges)
+        assert streaming.closed_frequent_patterns() == scratch.closed_frequent
+
+    def test_streaming_cheaper_than_recompute_on_slides(self):
+        """Cost proxy: embeddings touched by streaming updates should be
+        far fewer than Arabesque re-exploration over many slides."""
+        window, slides = 60, 20
+        stream = [
+            edge(f"c{i % 30}", f"i{i % 5}", "fundedBy", "Company", "Investor")
+            for i in range(window + slides)
+        ]
+        streaming = StreamingPatternMiner(min_support=3, max_edges=2)
+        live = []
+        for e in stream[:window]:
+            live.append((streaming.add_edge(e), e))
+        streaming.embeddings_touched = 0
+        arabesque_cost = 0
+        for e in stream[window:]:
+            live.append((streaming.add_edge(e), e))
+            old, _ = live.pop(0)
+            streaming.remove_edge(old)
+            result = ArabesqueMiner(min_support=3, max_edges=2).mine(
+                [x for _, x in live]
+            )
+            arabesque_cost += result.embeddings_explored
+        assert streaming.embeddings_touched * 2 < arabesque_cost
+
+
+class TestArabesque:
+    def test_prunes_infrequent_extensions(self):
+        from repro.mining import sub_patterns
+
+        edges = funding_edges(5) + [edge("co0", "x", "oneoff", "Company", "T")]
+        result = ArabesqueMiner(min_support=3, max_edges=3).mine(edges)
+        # Embedding-centric anti-monotone pruning: every explored size-k
+        # pattern (k >= 2) must extend at least one frequent sub-pattern.
+        for pattern, _support in result.supports.items():
+            if pattern.size < 2:
+                continue
+            subs = sub_patterns(pattern)
+            assert any(
+                result.supports.get(sub, 0) >= 3 for sub in subs
+            ), f"unpruned orphan pattern: {pattern.describe()}"
+
+    def test_worker_accounting(self):
+        result = ArabesqueMiner(min_support=1, max_edges=2, n_workers=3).mine(
+            funding_edges(6)
+        )
+        assert sum(result.per_worker_embeddings) == result.embeddings_explored
+        assert len(result.per_worker_embeddings) == 3
+
+    def test_empty_input(self):
+        result = ArabesqueMiner().mine([])
+        assert result.supports == {}
+        assert result.closed_frequent == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ArabesqueMiner(min_support=0)
+        with pytest.raises(ConfigError):
+            ArabesqueMiner(n_workers=0)
+
+
+class TestTransactionMiner:
+    def make_transactions(self):
+        t1 = [edge("dji", "accel", "fundedBy", "Company", "Investor"),
+              edge("dji", "phantom", "makes", "Company", "Product")]
+        t2 = [edge("parrot", "seq", "fundedBy", "Company", "Investor"),
+              edge("parrot", "bebop", "makes", "Company", "Product")]
+        t3 = [edge("gopro", "karma", "makes", "Company", "Product")]
+        return [t1, t2, t3]
+
+    def test_transaction_support(self):
+        result = TransactionMiner(min_support=2, max_edges=2).mine(
+            self.make_transactions()
+        )
+        makes, _ = canonicalize([edge("c", "p", "makes", "Company", "Product")])
+        funded, _ = canonicalize([edge("c", "i", "fundedBy", "Company", "Investor")])
+        assert result.supports[makes] == 3
+        assert result.supports[funded] == 2
+
+    def test_two_edge_pattern_counted_once_per_transaction(self):
+        result = TransactionMiner(min_support=2, max_edges=2).mine(
+            self.make_transactions()
+        )
+        pair, _ = canonicalize([
+            edge("c", "i", "fundedBy", "Company", "Investor"),
+            edge("c", "p", "makes", "Company", "Product"),
+        ])
+        assert result.supports[pair] == 2
+
+    def test_closed_output(self):
+        result = TransactionMiner(min_support=2, max_edges=2).mine(
+            self.make_transactions()
+        )
+        closed = dict(result.closed_frequent)
+        funded, _ = canonicalize([edge("c", "i", "fundedBy", "Company", "Investor")])
+        # fundedBy (support 2) always co-occurs with the pair (support 2):
+        # not closed.
+        assert funded not in closed
+
+    def test_empty(self):
+        result = TransactionMiner().mine([])
+        assert result.supports == {}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TransactionMiner(min_support=0)
+
+
+class TestClosedPatternsHelper:
+    def test_empty_table(self):
+        assert closed_patterns({}, min_support=1) == []
+
+    def test_sorted_by_support_then_size(self):
+        p1, _ = canonicalize([edge("a", "b", "p")])
+        p2, _ = canonicalize([edge("a", "b", "q")])
+        out = closed_patterns({p1: 5, p2: 9}, min_support=1)
+        assert out[0][1] == 9

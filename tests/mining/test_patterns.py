@@ -1,0 +1,167 @@
+"""Pattern algebra tests: canonicalisation, connectivity, lattice."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.mining import (
+    InstanceEdge,
+    canonicalize,
+    is_connected,
+    sub_patterns,
+)
+from repro.mining.patterns import is_super_pattern
+
+
+def edge(src, dst, pred="rel", src_label="T", dst_label="T"):
+    return InstanceEdge(
+        src=src, dst=dst, src_label=src_label, dst_label=dst_label, predicate=pred
+    )
+
+
+class TestConnectivity:
+    def test_single_edge_connected(self):
+        assert is_connected([edge("a", "b")])
+
+    def test_chain_connected(self):
+        assert is_connected([edge("a", "b"), edge("b", "c")])
+
+    def test_disconnected(self):
+        assert not is_connected([edge("a", "b"), edge("c", "d")])
+
+    def test_empty_not_connected(self):
+        assert not is_connected([])
+
+    def test_direction_ignored_for_connectivity(self):
+        assert is_connected([edge("a", "b"), edge("c", "b")])
+
+
+class TestCanonicalize:
+    def test_isomorphic_edge_sets_same_pattern(self):
+        p1, _ = canonicalize([edge("a", "b", "acq"), edge("b", "c", "fund")])
+        p2, _ = canonicalize([edge("x", "y", "acq"), edge("y", "z", "fund")])
+        assert p1 == p2
+
+    def test_node_identity_irrelevant_but_structure_kept(self):
+        # a->b, a->c (fan-out) vs a->b, c->b (fan-in) differ
+        fan_out, _ = canonicalize([edge("a", "b"), edge("a", "c")])
+        fan_in, _ = canonicalize([edge("a", "b"), edge("c", "b")])
+        assert fan_out != fan_in
+
+    def test_labels_distinguish(self):
+        p1, _ = canonicalize([edge("a", "b", src_label="Company")])
+        p2, _ = canonicalize([edge("a", "b", src_label="Person")])
+        assert p1 != p2
+
+    def test_predicates_distinguish(self):
+        p1, _ = canonicalize([edge("a", "b", "acquired")])
+        p2, _ = canonicalize([edge("a", "b", "fundedBy")])
+        assert p1 != p2
+
+    def test_mapping_realises_pattern(self):
+        edges = [edge("dji", "kiva", "acq"), edge("kiva", "sf", "loc")]
+        pattern, mapping = canonicalize(edges)
+        rebuilt = {
+            (mapping[e.src], e.predicate, mapping[e.dst]) for e in edges
+        }
+        expected = {(pe.src, pe.predicate, pe.dst) for pe in pattern.edges}
+        assert rebuilt == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            canonicalize([])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(PatternError):
+            canonicalize([edge("a", "b"), edge("c", "d")])
+
+    def test_rejects_label_contradiction(self):
+        with pytest.raises(PatternError):
+            canonicalize([
+                edge("a", "b", src_label="Company"),
+                edge("a", "c", src_label="Person"),
+            ])
+
+    def test_self_loop_supported(self):
+        pattern, _ = canonicalize([edge("a", "a")])
+        assert pattern.size == 1
+        assert pattern.num_variables == 1
+
+    def test_parallel_edges_supported(self):
+        pattern, _ = canonicalize([edge("a", "b", "p"), edge("a", "b", "q")])
+        assert pattern.size == 2
+        assert pattern.num_variables == 2
+
+    def test_describe_readable(self):
+        pattern, _ = canonicalize([edge("a", "b", "acq", "Company", "Company")])
+        assert "acq" in pattern.describe()
+        assert "?0" in str(pattern)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3),
+                      st.sampled_from(["p", "q"])),
+            min_size=1, max_size=3,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_invariant_under_renaming(self, raw):
+        """Renaming instance nodes never changes the canonical pattern."""
+        edges = [edge(f"n{s}", f"n{d}", p) for s, d, p in raw]
+        if not is_connected(edges):
+            return
+        renamed = [edge(f"X{s}", f"X{d}", p) for s, d, p in raw]
+        p1, _ = canonicalize(edges)
+        p2, _ = canonicalize(renamed)
+        assert p1 == p2
+
+    @given(st.permutations(list(range(3))))
+    @settings(max_examples=20, deadline=None)
+    def test_canonical_invariant_under_edge_order(self, order):
+        base = [edge("a", "b", "p"), edge("b", "c", "q"), edge("c", "a", "r")]
+        shuffled = [base[i] for i in order]
+        assert canonicalize(base)[0] == canonicalize(shuffled)[0]
+
+
+class TestLattice:
+    def test_sub_patterns_of_chain(self):
+        pattern, _ = canonicalize([edge("a", "b", "p"), edge("b", "c", "q")])
+        subs = sub_patterns(pattern)
+        assert len(subs) == 2
+        assert all(s.size == 1 for s in subs)
+
+    def test_sub_patterns_keep_connectivity(self):
+        # star: a->b, a->c, a->d ; dropping any edge keeps it connected
+        pattern, _ = canonicalize([
+            edge("a", "b", "p"), edge("a", "c", "p"), edge("a", "d", "p")
+        ])
+        subs = sub_patterns(pattern)
+        assert all(s.size == 2 for s in subs)
+        # all three 2-edge subs are isomorphic fans
+        assert len(subs) == 1
+
+    def test_chain_middle_drop_excluded(self):
+        # chain a->b->c->d: dropping the middle edge disconnects
+        pattern, _ = canonicalize([
+            edge("a", "b", "p"), edge("b", "c", "q"), edge("c", "d", "r")
+        ])
+        subs = sub_patterns(pattern)
+        assert all(s.size == 2 for s in subs)
+        assert len(subs) == 2  # only end drops allowed
+
+    def test_single_edge_has_no_subs(self):
+        pattern, _ = canonicalize([edge("a", "b")])
+        assert sub_patterns(pattern) == []
+
+    def test_is_super_pattern(self):
+        small, _ = canonicalize([edge("a", "b", "p")])
+        big, _ = canonicalize([edge("a", "b", "p"), edge("b", "c", "q")])
+        assert is_super_pattern(big, small)
+        assert not is_super_pattern(small, big)
+        assert is_super_pattern(small, small)
+
+    def test_not_super_when_unrelated(self):
+        p1, _ = canonicalize([edge("a", "b", "p")])
+        p2, _ = canonicalize([edge("a", "b", "x"), edge("b", "c", "y")])
+        assert not is_super_pattern(p2, p1)

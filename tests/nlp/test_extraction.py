@@ -1,0 +1,241 @@
+"""OpenIE, SRL, coreference and full-pipeline extraction tests.
+
+The assertions mirror Figure 3 of the paper: dated (subject, relation,
+object) rows from WSJ-style sentences.
+"""
+
+import pytest
+
+from repro.nlp import NlpPipeline, OpenIEExtractor, PosTagger, SrlExtractor, parse_date, tokenize
+from repro.nlp.srl import frame_for
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return NlpPipeline(
+        gazetteer={
+            "dji": "ORG",
+            "accel partners": "ORG",
+            "amazon": "ORG",
+            "kiva systems": "ORG",
+            "windermere": "ORG",
+            "3d robotics": "ORG",
+            "faa": "ORG",
+        }
+    )
+
+
+def triple_set(doc):
+    return {(t.subject, t.relation, t.object) for t in doc.triples}
+
+
+class TestOpenIE:
+    def extract(self, text):
+        tagger = PosTagger()
+        tokens = tokenize(text)
+        tags = tagger.tag(tokens)
+        return OpenIEExtractor().extract(tokens, tags)
+
+    def test_simple_svo(self):
+        extractions = self.extract("DJI manufactures drones")
+        assert ("DJI", "manufactures", "drones") in {
+            e.as_tuple() for e in extractions
+        }
+
+    def test_verb_plus_preposition(self):
+        extractions = self.extract("DJI invested in camera technology")
+        tuples = {e.as_tuple() for e in extractions}
+        assert ("DJI", "invested in", "camera technology") in tuples
+
+    def test_nary_extras(self):
+        extractions = self.extract(
+            "DJI raised $75 million from Accel Partners in May 2015"
+        )
+        primary = extractions[0]
+        assert primary.as_tuple() == ("DJI", "raised", "$75 million")
+        preps = dict(primary.extra_args)
+        assert preps["from"] == "Accel Partners"
+        assert preps["in"] == "May 2015"
+
+    def test_nary_flattened_binaries(self):
+        extractions = self.extract("Amazon acquired Kiva Systems for $775 million")
+        tuples = {e.as_tuple() for e in extractions}
+        assert ("Amazon", "acquire for", "$775 million") in tuples
+
+    def test_copular(self):
+        extractions = self.extract("DJI is a Chinese company")
+        tuples = {e.as_tuple() for e in extractions}
+        assert ("DJI", "is", "a Chinese company") in tuples
+
+    def test_negation_detected(self):
+        extractions = self.extract("The FAA did not approve the flights")
+        assert any(e.negated for e in extractions)
+
+    def test_no_subject_no_extraction(self):
+        extractions = self.extract("Raised $50 million quickly")
+        assert all(e.arg1 != "" for e in extractions)
+
+    def test_confidence_bounds(self):
+        for text in [
+            "DJI raised $75 million from Accel Partners in May 2015",
+            "It said that they might consider an offer",
+        ]:
+            for e in self.extract(text):
+                assert 0.05 <= e.confidence <= 0.95
+
+    def test_entity_args_boost_confidence(self):
+        tagger = PosTagger()
+        tokens = tokenize("DJI acquired Parrot")
+        tags = tagger.tag(tokens)
+        from repro.nlp import NamedEntityRecognizer
+
+        ner = NamedEntityRecognizer(gazetteer={"dji": "ORG", "parrot": "ORG"})
+        mentions = ner.recognize(tokens, tags)
+        with_entities = OpenIEExtractor().extract(tokens, tags, mentions)
+        without = OpenIEExtractor().extract(tokens, tags)
+        assert with_entities[0].confidence > without[0].confidence
+
+
+class TestSRL:
+    def extract(self, text):
+        tagger = PosTagger()
+        tokens = tokenize(text)
+        tags = tagger.tag(tokens)
+        return SrlExtractor().extract(tokens, tags)
+
+    def test_acquire_frame(self):
+        frames = self.extract("Amazon acquired Kiva Systems for $775 million")
+        frame = frames[0]
+        assert frame.verb == "acquire"
+        assert frame.roles["A0"] == "Amazon"
+        assert frame.roles["A1"] == "Kiva Systems"
+        assert frame.roles["AM-PRICE"] == "$775 million"
+
+    def test_raise_frame_with_source(self):
+        frames = self.extract("DJI raised $75 million from Accel Partners")
+        roles = frames[0].roles
+        assert roles["A1"] == "$75 million"
+        assert roles["A2-SOURCE"] == "Accel Partners"
+
+    def test_invest_prep_object(self):
+        frames = self.extract("GoPro invested in drone technology")
+        roles = frames[0].roles
+        assert roles["A1"] == "drone technology"
+
+    def test_purpose_clause(self):
+        frames = self.extract("Windermere uses drones to capture aerial photos")
+        roles = frames[0].roles
+        assert roles["A1"] == "drones"
+        assert "capture aerial photos" in roles["AM-PNC"]
+
+    def test_unknown_verb_produces_nothing(self):
+        frames = self.extract("The drone hovered above the field")
+        assert frames == []
+
+    def test_frames_to_triples(self):
+        frames = self.extract("Amazon acquired Kiva Systems for $775 million")
+        triples = frames[0].triples()
+        assert ("Amazon", "acquire", "Kiva Systems") in triples
+        assert ("Amazon", "acquire:am-price", "$775 million") in triples
+
+    def test_frame_lookup_lemmatizes(self):
+        assert frame_for("acquired") is not None
+        assert frame_for("raises") is not None
+        assert frame_for("zzzzz") is None
+
+
+class TestCorefInPipeline:
+    def test_pronoun_resolution(self, pipeline):
+        doc = pipeline.process(
+            "DJI unveiled a new drone. It raised $75 million afterwards."
+        )
+        assert any(
+            t.subject == "DJI" and "raised" in t.relation or t.relation == "raise"
+            for t in doc.triples
+            if t.sentence_index == 1
+        )
+
+    def test_nominal_resolution(self, pipeline):
+        doc = pipeline.process(
+            "3D Robotics unveiled a new drone. The company raised $50 million."
+        )
+        second = [t for t in doc.triples if t.sentence_index == 1]
+        assert any(t.subject == "3D Robotics" for t in second)
+
+    def test_no_resolution_without_antecedent(self, pipeline):
+        doc = pipeline.process("It raised $50 million.")
+        assert all(t.subject != "" for t in doc.triples)
+
+    def test_person_pronoun(self, pipeline):
+        doc = pipeline.process(
+            "Mr. Frank Wang founded DJI. He raised $75 million in 2015."
+        )
+        second = [t for t in doc.triples if t.sentence_index == 1]
+        assert any("Wang" in t.subject for t in second)
+
+
+class TestPipelineEndToEnd:
+    def test_figure3_style_rows(self, pipeline):
+        """Dated rows like the paper's Figure 3 appendix."""
+        doc = pipeline.process(
+            "DJI raised $75 million from Accel Partners in May 2015.",
+            doc_id="wsj-1",
+            doc_date=parse_date("2015-05-10"),
+            source="wsj",
+        )
+        dated = [t for t in doc.triples if t.date is not None]
+        assert dated
+        assert str(dated[0].date).startswith("2015-05")
+        assert dated[0].doc_id == "wsj-1"
+        assert dated[0].source == "wsj"
+
+    def test_sentence_date_overrides_doc_date(self, pipeline):
+        doc = pipeline.process(
+            "Amazon acquired Kiva Systems in 2012.",
+            doc_date=parse_date("2016-01-01"),
+        )
+        assert any(str(t.date) == "2012" for t in doc.triples)
+
+    def test_doc_date_used_when_no_sentence_date(self, pipeline):
+        doc = pipeline.process(
+            "DJI manufactures drones.", doc_date=parse_date("2016-06-07")
+        )
+        assert all(str(t.date) == "2016-06-07" for t in doc.triples)
+
+    def test_min_confidence_filter(self):
+        strict = NlpPipeline(min_confidence=0.99)
+        doc = strict.process("DJI raised $75 million from Accel Partners.")
+        assert doc.triples == []
+
+    def test_multi_sentence_document(self, pipeline):
+        text = (
+            "DJI is the world leader in consumer drones. "
+            "The company raised $75 million from Accel Partners in May 2015. "
+            "Amazon acquired Kiva Systems for $775 million in 2012."
+        )
+        doc = pipeline.process(text)
+        assert len(doc.sentences) == 3
+        subjects = {t.subject for t in doc.triples}
+        assert "DJI" in subjects
+        assert "Amazon" in subjects
+
+    def test_extract_triples_convenience(self, pipeline):
+        triples = pipeline.extract_triples("DJI manufactures drones.")
+        assert triples
+        assert triples[0].as_tuple() == ("DJI", "manufactures", "drones")
+
+    def test_no_duplicate_triples(self, pipeline):
+        doc = pipeline.process("DJI manufactures drones.")
+        keys = [(t.subject, t.relation, t.object, t.extractor) for t in doc.triples]
+        assert len(keys) == len(set(keys))
+
+    def test_srl_disabled(self):
+        no_srl = NlpPipeline(use_srl=False)
+        doc = no_srl.process("Amazon acquired Kiva Systems for $775 million.")
+        assert all(t.extractor == "openie" for t in doc.triples)
+
+    def test_subject_label_propagated(self, pipeline):
+        doc = pipeline.process("DJI raised $75 million.")
+        openie = [t for t in doc.triples if t.extractor == "openie"]
+        assert openie[0].subject_label == "ORG"
+        assert openie[0].object_label == "MONEY"

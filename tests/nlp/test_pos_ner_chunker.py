@@ -1,0 +1,210 @@
+"""POS tagger, chunker and NER tests."""
+
+import pytest
+
+from repro.nlp import NamedEntityRecognizer, PosTagger, chunk_sentence, tokenize
+
+
+@pytest.fixture(scope="module")
+def tagger():
+    return PosTagger()
+
+
+def tag_pairs(tagger, text):
+    tokens = tokenize(text)
+    return list(zip([t.text for t in tokens], tagger.tag(tokens)))
+
+
+class TestPosTagger:
+    def test_basic_sentence(self, tagger):
+        pairs = dict(tag_pairs(tagger, "The company raised money ."))
+        assert pairs["The"] == "DT"
+        assert pairs["company"] == "NN"
+        assert pairs["raised"] == "VBD"
+        assert pairs["."] == "PUNCT"
+
+    def test_proper_nouns(self, tagger):
+        pairs = dict(tag_pairs(tagger, "DJI competes with Parrot"))
+        assert pairs["DJI"] == "NNP"
+        assert pairs["Parrot"] == "NNP"
+
+    def test_modal_plus_verb(self, tagger):
+        pairs = dict(tag_pairs(tagger, "DJI will launch a new drone"))
+        assert pairs["will"] == "MD"
+        assert pairs["launch"] == "VB"
+
+    def test_determiner_noun_disambiguation(self, tagger):
+        # "use" is a verb in the lexicon but must become a noun after "the".
+        pairs = dict(tag_pairs(tagger, "the use of drones"))
+        assert pairs["use"] == "NN"
+
+    def test_third_person_verb(self, tagger):
+        pairs = dict(tag_pairs(tagger, "Windermere uses drones"))
+        assert pairs["uses"] == "VBZ"
+
+    def test_passive_participle(self, tagger):
+        pairs = dict(tag_pairs(tagger, "Kiva was acquired by Amazon"))
+        assert pairs["acquired"] == "VBN"
+
+    def test_perfect_participle(self, tagger):
+        pairs = dict(tag_pairs(tagger, "DJI has raised new funding"))
+        assert pairs["raised"] == "VBN"
+
+    def test_may_as_month(self, tagger):
+        pairs = dict(tag_pairs(tagger, "funding closed in May 2015"))
+        assert pairs["May"] == "NNP"
+
+    def test_may_as_modal(self, tagger):
+        pairs = dict(tag_pairs(tagger, "regulators may approve the rule"))
+        assert pairs["may"] == "MD"
+
+    def test_currency_and_numbers(self, tagger):
+        pairs = dict(tag_pairs(tagger, "raised $75 million in 2015"))
+        assert pairs["$75"] == "SYM"
+        assert pairs["2015"] == "CD"
+
+    def test_adverb_suffix(self, tagger):
+        pairs = dict(tag_pairs(tagger, "sales grew dramatically"))
+        assert pairs["dramatically"] == "RB"
+
+    def test_to_infinitive(self, tagger):
+        pairs = dict(tag_pairs(tagger, "plans to test drones"))
+        assert pairs["to"] == "TO"
+        assert pairs["test"] == "VB"
+
+    def test_possessive(self, tagger):
+        pairs = dict(tag_pairs(tagger, "DJI 's drones sell well"))
+        assert pairs["'s"] == "POS"
+
+    def test_unknown_capitalized_is_nnp(self, tagger):
+        pairs = dict(tag_pairs(tagger, "Windermere expanded operations"))
+        assert pairs["Windermere"] == "NNP"
+
+
+class TestChunker:
+    def chunks_for(self, tagger, text):
+        tokens = tokenize(text)
+        tags = tagger.tag(tokens)
+        return chunk_sentence(tokens, tags)
+
+    def test_np_and_vg(self, tagger):
+        chunks = self.chunks_for(tagger, "DJI raised $75 million")
+        labels = [(c.label, c.text) for c in chunks]
+        assert ("NP", "DJI") in labels
+        assert any(label == "VG" and "raised" in text for label, text in labels)
+        assert ("NP", "$75 million") in labels
+
+    def test_np_with_modifiers(self, tagger):
+        chunks = self.chunks_for(tagger, "The French drone manufacturer expanded")
+        nps = [c for c in chunks if c.label == "NP"]
+        assert nps[0].text == "The French drone manufacturer"
+        assert nps[0].head.text == "manufacturer"
+
+    def test_verb_group_with_modal(self, tagger):
+        chunks = self.chunks_for(tagger, "DJI will officially launch a drone")
+        vgs = [c for c in chunks if c.label == "VG"]
+        assert vgs[0].text == "will officially launch"
+        assert vgs[0].head.text == "launch"
+
+    def test_infinitive_group(self, tagger):
+        chunks = self.chunks_for(tagger, "Amazon plans to deliver packages")
+        vgs = [c for c in chunks if c.label == "VG"]
+        assert vgs[0].text == "plans to deliver"
+
+    def test_possessive_np(self, tagger):
+        chunks = self.chunks_for(tagger, "DJI 's drones sell well")
+        nps = [c for c in chunks if c.label == "NP"]
+        assert nps[0].text == "DJI 's drones"
+
+    def test_chunks_non_overlapping(self, tagger):
+        chunks = self.chunks_for(
+            tagger, "The FAA approved commercial drone flights in June"
+        )
+        spans = sorted((c.start, c.end) for c in chunks)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class TestNer:
+    def test_gazetteer_match(self):
+        ner = NamedEntityRecognizer(
+            gazetteer={"dji": "ORG", "accel partners": "ORG"},
+            kb_aliases={"dji": "Q101", "accel partners": "Q202"},
+        )
+        tagger = PosTagger()
+        tokens = tokenize("DJI raised money from Accel Partners")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        by_text = {m.text: m for m in mentions}
+        assert by_text["DJI"].label == "ORG"
+        assert by_text["DJI"].kb_hint == "Q101"
+        assert by_text["Accel Partners"].kb_hint == "Q202"
+
+    def test_money(self):
+        ner = NamedEntityRecognizer()
+        tokens = tokenize("Amazon paid $775 million for Kiva")
+        tagger = PosTagger()
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        money = [m for m in mentions if m.label == "MONEY"]
+        assert money[0].text == "$775 million"
+
+    def test_date_mention(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("The deal closed in May 2015")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "DATE" and m.text == "May 2015" for m in mentions)
+
+    def test_org_suffix_rule(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("Kiva Systems was acquired")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "ORG" and m.text == "Kiva Systems" for m in mentions)
+
+    def test_all_caps_is_org(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("The FAA issued new rules")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "ORG" and m.text == "FAA" for m in mentions)
+
+    def test_location(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("DJI is based in Shenzhen")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "LOCATION" and m.text == "Shenzhen" for m in mentions)
+
+    def test_person_title(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("Mr. Frank Wang founded the company")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "PERSON" for m in mentions)
+
+    def test_percent(self):
+        ner = NamedEntityRecognizer()
+        tagger = PosTagger()
+        tokens = tokenize("Sales rose 12 percent last year")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.label == "PERCENT" for m in mentions)
+
+    def test_mentions_non_overlapping(self):
+        ner = NamedEntityRecognizer(gazetteer={"dji": "ORG"})
+        tagger = PosTagger()
+        tokens = tokenize("DJI of Shenzhen raised $75 million in May 2015")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        claimed = set()
+        for m in mentions:
+            assert not (claimed & set(m.span()))
+            claimed.update(m.span())
+
+    def test_gazetteer_longest_match_wins(self):
+        ner = NamedEntityRecognizer(
+            gazetteer={"kiva": "ORG", "kiva systems": "ORG"}
+        )
+        tagger = PosTagger()
+        tokens = tokenize("Amazon acquired Kiva Systems")
+        mentions = ner.recognize(tokens, tagger.tag(tokens))
+        assert any(m.text == "Kiva Systems" for m in mentions)
+        assert not any(m.text == "Kiva" for m in mentions)

@@ -1,0 +1,154 @@
+"""Tokeniser, sentence splitter and temporal expression tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import SimpleDate, extract_dates, parse_date, sentence_split, tokenize
+
+
+class TestTokenizer:
+    def test_simple_sentence(self):
+        tokens = tokenize("DJI makes drones.")
+        assert [t.text for t in tokens] == ["DJI", "makes", "drones", "."]
+
+    def test_currency_kept_whole(self):
+        tokens = tokenize("raised $50 million")
+        assert "$50" in [t.text for t in tokens]
+
+    def test_currency_with_commas(self):
+        tokens = tokenize("worth $1,200.50 today")
+        assert "$1,200.50" in [t.text for t in tokens]
+
+    def test_abbreviation_period_attached(self):
+        tokens = tokenize("Kiva Systems Inc. was acquired")
+        assert "Inc." in [t.text for t in tokens]
+
+    def test_final_period_split(self):
+        tokens = tokenize("The deal closed.")
+        assert [t.text for t in tokens][-1] == "."
+
+    def test_dotted_acronym(self):
+        tokens = tokenize("the U.S. government")
+        assert "U.S." in [t.text for t in tokens]
+
+    def test_alphanumeric_token(self):
+        tokens = tokenize("3D Robotics builds drones")
+        assert [t.text for t in tokens][0] == "3D"
+
+    def test_iso_date_single_token(self):
+        tokens = tokenize("published 2016-06-07 online")
+        assert "2016-06-07" in [t.text for t in tokens]
+
+    def test_offsets_roundtrip(self):
+        text = "DJI raised $75 million."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_indices_sequential(self):
+        tokens = tokenize("a b c d")
+        assert [t.index for t in tokens] == [0, 1, 2, 3]
+
+    def test_hyphenated_word(self):
+        tokens = tokenize("consumer-grade drones")
+        assert [t.text for t in tokens][0] == "consumer-grade"
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_never_crashes_and_offsets_valid(self, text):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+
+class TestSentenceSplit:
+    def test_two_sentences(self):
+        sentences = sentence_split("DJI makes drones. The FAA regulates them.")
+        assert len(sentences) == 2
+        assert sentences[0].text.startswith("DJI")
+        assert sentences[1].index == 1
+
+    def test_abbreviation_not_boundary(self):
+        sentences = sentence_split("Kiva Systems Inc. was acquired by Amazon.")
+        assert len(sentences) == 1
+
+    def test_question_and_exclamation(self):
+        sentences = sentence_split("Why drones? They are cheap!")
+        assert len(sentences) == 2
+
+    def test_decimal_not_boundary(self):
+        sentences = sentence_split("Shares rose 3.5 percent on Monday.")
+        assert len(sentences) == 1
+
+    def test_blank_line_boundary(self):
+        sentences = sentence_split("First paragraph\n\nSecond paragraph")
+        assert len(sentences) == 2
+
+    def test_empty_text(self):
+        assert sentence_split("") == []
+
+    def test_lowercase_continuation_not_boundary(self):
+        sentences = sentence_split("He works at Acme Corp. and lives in Austin.")
+        assert len(sentences) == 1
+
+
+class TestParseDate:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("2016-06-07", SimpleDate(2016, 6, 7)),
+            ("06/07/2016", SimpleDate(2016, 6, 7)),
+            ("May 2015", SimpleDate(2015, 5)),
+            ("June 7, 2016", SimpleDate(2016, 6, 7)),
+            ("2015", SimpleDate(2015)),
+            ("February 3 2015", SimpleDate(2015, 2, 3)),
+        ],
+    )
+    def test_formats(self, text, expected):
+        assert parse_date(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "hello", "13/45/2016", "2016-13-40", "May"])
+    def test_rejects_garbage(self, bad):
+        assert parse_date(bad) is None
+
+    def test_ordering(self):
+        assert SimpleDate(2015, 5) < SimpleDate(2015, 6)
+        assert SimpleDate(2014) < SimpleDate(2015)
+        assert SimpleDate(2015, 5, 1) < SimpleDate(2015, 5, 2)
+
+    def test_str_forms(self):
+        assert str(SimpleDate(2015)) == "2015"
+        assert str(SimpleDate(2015, 5)) == "2015-05"
+        assert str(SimpleDate(2015, 5, 9)) == "2015-05-09"
+
+    def test_ordinal_monotone_in_year(self):
+        assert SimpleDate(2016).ordinal() > SimpleDate(2015, 12, 31).ordinal()
+
+
+class TestExtractDates:
+    def test_month_day_comma_year(self):
+        tokens = tokenize("The launch happened on June 7, 2016 in Paris")
+        dates = extract_dates(tokens)
+        assert dates[0][0] == SimpleDate(2016, 6, 7)
+
+    def test_month_year(self):
+        tokens = tokenize("DJI raised money in May 2015.")
+        dates = extract_dates(tokens)
+        assert dates[0][0] == SimpleDate(2015, 5)
+
+    def test_bare_year_needs_preposition(self):
+        with_prep = extract_dates(tokenize("founded in 2006"))
+        assert with_prep[0][0] == SimpleDate(2006)
+        without = extract_dates(tokenize("the 2006 report"))
+        assert without == []
+
+    def test_iso_token(self):
+        dates = extract_dates(tokenize("dated 2016-06-07 it says"))
+        assert dates[0][0] == SimpleDate(2016, 6, 7)
+
+    def test_multiple_dates(self):
+        tokens = tokenize("From May 2015 until June 2016 sales doubled.")
+        dates = extract_dates(tokens)
+        assert [d[0] for d in dates] == [SimpleDate(2015, 5), SimpleDate(2016, 6)]
+
+    def test_no_dates(self):
+        assert extract_dates(tokenize("Drones are popular.")) == []

@@ -1,0 +1,246 @@
+"""LDA, topic assignment and coherence-guided path search tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, QAError, VertexNotFoundError
+from repro.graph import PropertyGraph
+from repro.qa import (
+    CoherentPathSearch,
+    LdaModel,
+    assign_topic_vectors,
+    bfs_path_ranker,
+    js_divergence,
+    unguided_top_k,
+)
+from repro.qa.topics import TOPIC_PROP, vertex_topics
+
+
+def two_topic_corpus(n_per_group=8, words=40, seed=1):
+    rng = np.random.default_rng(seed)
+    drones = "drone flight rotor pilot airspace altitude gimbal uav".split()
+    finance = "funding venture capital investor equity valuation round ipo".split()
+    docs = {}
+    for i in range(n_per_group):
+        docs[f"drone_{i}"] = " ".join(rng.choice(drones, size=words))
+        docs[f"fin_{i}"] = " ".join(rng.choice(finance, size=words))
+    return docs
+
+
+class TestLda:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        docs = two_topic_corpus()
+        return LdaModel(n_topics=2, n_iterations=80, seed=5).fit(docs), docs
+
+    def test_theta_rows_sum_to_one(self, fitted):
+        topics, _ = fitted
+        theta = topics.theta()
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_phi_rows_sum_to_one(self, fitted):
+        topics, _ = fitted
+        phi = topics.phi()
+        np.testing.assert_allclose(phi.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_groups_separate(self, fitted):
+        """Docs with disjoint vocabularies must land on different topics."""
+        topics, docs = fitted
+        theta = topics.theta()
+        drone_rows = [i for i, d in enumerate(topics.doc_ids) if d.startswith("drone")]
+        fin_rows = [i for i, d in enumerate(topics.doc_ids) if d.startswith("fin")]
+        drone_major = {int(np.argmax(theta[i])) for i in drone_rows}
+        fin_major = {int(np.argmax(theta[i])) for i in fin_rows}
+        assert len(drone_major) == 1
+        assert len(fin_major) == 1
+        assert drone_major != fin_major
+
+    def test_top_words_topical(self, fitted):
+        topics, _ = fitted
+        all_top = set(topics.top_words(0, 5)) | set(topics.top_words(1, 5))
+        assert "drone" in all_top or "flight" in all_top
+        assert "funding" in all_top or "capital" in all_top
+
+    def test_deterministic(self):
+        docs = two_topic_corpus()
+        t1 = LdaModel(n_topics=2, n_iterations=20, seed=9).fit(docs)
+        t2 = LdaModel(n_topics=2, n_iterations=20, seed=9).fit(docs)
+        np.testing.assert_array_equal(t1.doc_topic, t2.doc_topic)
+
+    def test_doc_distribution_lookup(self, fitted):
+        topics, _ = fitted
+        dist = topics.doc_distribution("drone_0")
+        assert dist.shape == (2,)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            LdaModel(n_topics=1)
+        with pytest.raises(ConfigError):
+            LdaModel(n_iterations=0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigError):
+            LdaModel().fit({"d": "a b"})  # all tokens shorter than 3 chars
+
+
+class TestTopicAssignment:
+    def test_assign_vectors(self):
+        docs = two_topic_corpus(n_per_group=4)
+        topics = LdaModel(n_topics=2, n_iterations=30, seed=3).fit(docs)
+        graph = PropertyGraph()
+        graph.add_vertex("drone_0")
+        graph.add_vertex("not_fitted")
+        fitted = assign_topic_vectors(graph, topics)
+        assert fitted == 1
+        assert vertex_topics(graph, "drone_0").shape == (2,)
+        uniform = vertex_topics(graph, "not_fitted")
+        np.testing.assert_allclose(uniform, [0.5, 0.5])
+
+    def test_js_divergence_properties(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.1, 0.9])
+        assert js_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+        assert js_divergence(p, q) == js_divergence(q, p)
+        assert 0.0 <= js_divergence(p, q) <= 1.0
+
+    def test_js_handles_zeros(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert js_divergence(p, q) == pytest.approx(1.0)
+
+
+def topic_vec(*values):
+    return np.asarray(values, dtype=float)
+
+
+def build_two_route_graph():
+    """source -> target via a topically-coherent intermediate (drone) and
+    via an incoherent one (celebrity gossip).  Both length 2."""
+    g = PropertyGraph()
+    drone = topic_vec(0.9, 0.05, 0.05)
+    gossip = topic_vec(0.05, 0.9, 0.05)
+    g.add_vertex("Windermere", **{TOPIC_PROP: topic_vec(0.7, 0.1, 0.2)})
+    g.add_vertex("Drones", **{TOPIC_PROP: drone})
+    g.add_vertex("Celebrity", **{TOPIC_PROP: gossip})
+    g.add_vertex("AerialPhotos", **{TOPIC_PROP: topic_vec(0.8, 0.1, 0.1)})
+    g.add_edge("Windermere", "Drones", "uses")
+    g.add_edge("Drones", "AerialPhotos", "enables")
+    g.add_edge("Windermere", "Celebrity", "mentionedWith")
+    g.add_edge("Celebrity", "AerialPhotos", "photographedBy")
+    return g
+
+
+class TestCoherentPathSearch:
+    def test_prefers_coherent_route(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g, max_hops=3, beam_width=4)
+        paths = search.top_k_paths("Windermere", "AerialPhotos", k=2)
+        assert paths
+        assert paths[0].nodes == ["Windermere", "Drones", "AerialPhotos"]
+        assert paths[0].coherence < paths[-1].coherence or len(paths) == 1
+
+    def test_relationship_constraint(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g, max_hops=3)
+        paths = search.top_k_paths(
+            "Windermere", "AerialPhotos", k=3, relationship="mentionedWith"
+        )
+        assert paths
+        assert all(
+            any(e.label == "mentionedWith" for e in p.edges) for p in paths
+        )
+
+    def test_k_limits_results(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g, max_hops=3)
+        paths = search.top_k_paths("Windermere", "AerialPhotos", k=1)
+        assert len(paths) == 1
+
+    def test_max_hops_respected(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g, max_hops=1)
+        assert search.top_k_paths("Windermere", "AerialPhotos", k=3) == []
+
+    def test_unknown_vertices_raise(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g)
+        with pytest.raises(VertexNotFoundError):
+            search.top_k_paths("Windermere", "Mars")
+
+    def test_same_source_target_rejected(self):
+        g = build_two_route_graph()
+        with pytest.raises(QAError):
+            CoherentPathSearch(g).top_k_paths("Drones", "Drones")
+
+    def test_config_validation(self):
+        g = build_two_route_graph()
+        with pytest.raises(QAError):
+            CoherentPathSearch(g, max_hops=0)
+        with pytest.raises(QAError):
+            CoherentPathSearch(g, beam_width=0)
+
+    def test_stats_populated(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g)
+        search.top_k_paths("Windermere", "AerialPhotos")
+        assert search.stats.nodes_expanded > 0
+        assert search.stats.paths_completed >= 1
+
+    def test_describe_renders_directions(self):
+        g = build_two_route_graph()
+        search = CoherentPathSearch(g)
+        paths = search.top_k_paths("Windermere", "AerialPhotos", k=1)
+        text = paths[0].describe()
+        assert "Windermere" in text and "uses" in text
+
+    def test_paths_are_simple(self):
+        g = build_two_route_graph()
+        g.add_edge("AerialPhotos", "Windermere", "backlink")
+        search = CoherentPathSearch(g, max_hops=4)
+        for path in search.top_k_paths("Windermere", "AerialPhotos", k=5):
+            assert len(set(path.nodes)) == len(path.nodes)
+
+
+class TestBaselines:
+    def test_bfs_finds_shortest(self):
+        g = build_two_route_graph()
+        paths, stats = bfs_path_ranker(g, "Windermere", "AerialPhotos", k=2)
+        assert paths
+        assert all(p.length == 2 for p in paths)
+        assert stats.nodes_expanded > 0
+
+    def test_unguided_ranks_by_coherence(self):
+        g = build_two_route_graph()
+        paths, _ = unguided_top_k(g, "Windermere", "AerialPhotos", k=2)
+        assert paths[0].nodes == ["Windermere", "Drones", "AerialPhotos"]
+
+    def test_guided_cheaper_than_unguided_on_wide_graph(self):
+        """On a bushy graph the beam should touch far fewer edges."""
+        g = PropertyGraph()
+        on_topic = topic_vec(0.9, 0.1)
+        off_topic = topic_vec(0.1, 0.9)
+        g.add_vertex("s", **{TOPIC_PROP: on_topic})
+        g.add_vertex("t", **{TOPIC_PROP: on_topic})
+        # one coherent 2-hop route
+        g.add_vertex("mid", **{TOPIC_PROP: on_topic})
+        g.add_edge("s", "mid", "r")
+        g.add_edge("mid", "t", "r")
+        # many incoherent distractor branches
+        for i in range(30):
+            g.add_vertex(f"noise{i}", **{TOPIC_PROP: off_topic})
+            g.add_edge("s", f"noise{i}", "r")
+            for j in range(5):
+                g.add_vertex(f"noise{i}_{j}", **{TOPIC_PROP: off_topic})
+                g.add_edge(f"noise{i}", f"noise{i}_{j}", "r")
+        search = CoherentPathSearch(g, max_hops=3, beam_width=3)
+        guided = search.top_k_paths("s", "t", k=1)
+        assert guided and guided[0].nodes == ["s", "mid", "t"]
+        _, unguided_stats = unguided_top_k(g, "s", "t", k=1, max_hops=3)
+        assert search.stats.edges_considered < unguided_stats.edges_considered
+
+    def test_baselines_validate_vertices(self):
+        g = build_two_route_graph()
+        with pytest.raises(VertexNotFoundError):
+            bfs_path_ranker(g, "nope", "AerialPhotos")
+        with pytest.raises(QAError):
+            unguided_top_k(g, "Drones", "Drones")

@@ -1,0 +1,72 @@
+"""Entity-trend query ("what's new about X") and central-entity stats."""
+
+import pytest
+
+from repro import Nous, NousConfig, QueryEngine
+from repro.nlp.dates import parse_date
+from repro.query import parse_query
+from repro.query.model import EntityTrendQuery
+
+
+@pytest.fixture(scope="module")
+def system():
+    nous = Nous(config=NousConfig(retrain_every=0, lda_iterations=5))
+    nous.ingest("GoPro partnered with DJI in June 2015.",
+                doc_id="a", date=parse_date("2015-06-10"), source="wsj")
+    nous.ingest("DJI raised $75 million from Accel Partners in July 2015.",
+                doc_id="b", date=parse_date("2015-07-06"), source="wsj")
+    return nous
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,entity", [
+        ("what's new about DJI", "DJI"),
+        ("what is new about DJI?", "DJI"),
+        ("recent news about Parrot", "Parrot"),
+    ])
+    def test_parses(self, text, entity):
+        query = parse_query(text)
+        assert isinstance(query, EntityTrendQuery)
+        assert query.entity == entity
+
+    def test_does_not_shadow_trending(self):
+        from repro.query.model import TrendingQuery
+        assert isinstance(parse_query("what is trending"), TrendingQuery)
+
+
+class TestExecution:
+    def test_returns_recent_facts_newest_first(self, system):
+        rows = system.entity_trend("DJI")
+        assert rows
+        timestamps = [r[0] for r in rows]
+        assert timestamps == sorted(timestamps, reverse=True)
+        triples = {(s, p, o) for _, s, p, o, _ in rows}
+        assert any(p == "fundedBy" for _, p, _ in triples)
+
+    def test_unknown_entity_empty(self, system):
+        assert system.entity_trend("Quux Nonexistent Corp") == []
+
+    def test_engine_renders(self, system):
+        engine = QueryEngine(system)
+        result = engine.execute_text("what's new about DJI")
+        assert result.kind == "entity-trend"
+        assert result.result_count >= 1
+        assert "fundedBy" in result.rendered or "partnerOf" in result.rendered
+
+    def test_limit(self, system):
+        assert len(system.entity_trend("DJI", limit=1)) == 1
+
+
+class TestCentralEntities:
+    def test_pagerank_in_statistics(self, system):
+        stats = system.statistics()
+        assert stats.central_entities
+        names = [e for e, _ in stats.central_entities]
+        assert "Drone_Industry" in names or "DJI" in names
+        rendered = stats.render()
+        assert "most central entities" in rendered
+
+    def test_skippable(self, system):
+        from repro.core.statistics import compute_statistics
+        stats = compute_statistics(system.kb, top_central=0)
+        assert stats.central_entities == []

@@ -1,0 +1,217 @@
+"""Query parsing, pattern matching and engine execution."""
+
+import pytest
+
+from repro import Nous, NousConfig
+from repro.errors import QueryParseError
+from repro.kb import build_drone_kb
+from repro.nlp.dates import parse_date
+from repro.query import (
+    EntityQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    PatternMatcher,
+    QueryEngine,
+    RelationshipQuery,
+    TrendingQuery,
+    parse_pattern,
+    parse_query,
+)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text", [
+        "show trending patterns",
+        "what is trending",
+        "trending",
+        "show trending patterns in the last week",
+    ])
+    def test_trending(self, text):
+        assert isinstance(parse_query(text), TrendingQuery)
+
+    @pytest.mark.parametrize("text,entity", [
+        ("tell me about DJI", "DJI"),
+        ("Tell me about DJI?", "DJI"),
+        ("who is Frank Wang", "Frank Wang"),
+        ("summary of Parrot", "Parrot"),
+    ])
+    def test_entity(self, text, entity):
+        query = parse_query(text)
+        assert isinstance(query, EntityQuery)
+        assert query.entity == entity
+
+    def test_relationship(self):
+        query = parse_query("how is DJI related to Amazon?")
+        assert isinstance(query, RelationshipQuery)
+        assert query.source == "DJI"
+        assert query.target == "Amazon"
+        assert query.relationship is None
+
+    def test_relationship_with_predicate(self):
+        query = parse_query("find path from DJI to Amazon via acquired")
+        assert isinstance(query, RelationshipQuery)
+        assert query.relationship == "acquired"
+
+    def test_explanatory_with_verb(self):
+        query = parse_query("why does Windermere use drones?")
+        assert isinstance(query, ExplanatoryQuery)
+        assert query.source == "Windermere"
+        assert query.target == "drones"
+        assert query.relationship == "usesTechnology"
+
+    def test_explanatory_related(self):
+        query = parse_query("why is DJI related to Accel Partners")
+        assert isinstance(query, ExplanatoryQuery)
+        assert query.relationship is None
+
+    def test_pattern(self):
+        query = parse_query("match (?a:Company)-[acquired]->(?b:Company)")
+        assert isinstance(query, PatternQuery)
+        assert query.pattern_text.startswith("(?a")
+
+    @pytest.mark.parametrize("bad", ["", "   ", "fnord gleep", "42"])
+    def test_unparseable(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_entity_does_not_swallow_why(self):
+        # "what is trending" must parse as trending, not entity "trending"
+        assert isinstance(parse_query("what is trending"), TrendingQuery)
+
+
+class TestParsePattern:
+    def test_single_edge(self):
+        edges = parse_pattern("(?a:Company)-[acquired]->(?b:Company)")
+        assert len(edges) == 1
+        assert edges[0].predicate == "acquired"
+        assert edges[0].src_type == "Company"
+
+    def test_untyped_variables(self):
+        edges = parse_pattern("(?x)-[rel]->(?y)")
+        assert edges[0].src_type is None
+
+    def test_multi_edge(self):
+        edges = parse_pattern(
+            "(?a:Company)-[fundedBy]->(?b:Company), (?a:Company)-[acquired]->(?c:Company)"
+        )
+        assert len(edges) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_pattern("this is not a pattern")
+        with pytest.raises(QueryParseError):
+            parse_pattern("(?a)-[p]->(?b) leftover junk")
+
+
+class TestPatternMatcher:
+    @pytest.fixture(scope="class")
+    def graph_and_ontology(self):
+        kb = build_drone_kb()
+        return kb.to_property_graph(), kb.ontology
+
+    def test_simple_match(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        matches = matcher.match(parse_pattern("(?a:Company)-[acquired]->(?b:Company)"))
+        assert {"a": "Amazon", "b": "Kiva_Systems"} in matches
+
+    def test_type_filtering_via_taxonomy(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        # Organization matches Company subtypes through the taxonomy
+        matches = matcher.match(
+            parse_pattern("(?a:Organization)-[acquired]->(?b:Company)")
+        )
+        assert matches
+
+    def test_wrong_type_no_match(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        matches = matcher.match(parse_pattern("(?a:City)-[acquired]->(?b:Company)"))
+        assert matches == []
+
+    def test_join_across_edges(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        matches = matcher.match(parse_pattern(
+            "(?c:Company)-[foundedBy]->(?p:Person), (?c:Company)-[headquarteredIn]->(?l:Location)"
+        ))
+        assert any(m["c"] == "DJI" and m["p"] == "Frank_Wang" for m in matches)
+
+    def test_injective_bindings(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        matches = matcher.match(parse_pattern(
+            "(?a:Company)-[competitorOf]->(?b:Company)"
+        ))
+        assert all(m["a"] != m["b"] for m in matches)
+
+    def test_limit_respected(self, graph_and_ontology):
+        graph, ontology = graph_and_ontology
+        matcher = PatternMatcher(graph, ontology)
+        matches = matcher.match(
+            parse_pattern("(?a)-[productOf]->(?b)"), limit=2
+        )
+        assert len(matches) == 2
+
+
+class TestQueryEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        nous = Nous(config=NousConfig(
+            window_size=100, min_support=2, lda_iterations=10, retrain_every=0
+        ))
+        nous.ingest(
+            "GoPro partnered with DJI in June 2015.",
+            doc_id="a", date=parse_date("2015-06-10"), source="wsj",
+        )
+        nous.ingest(
+            "Intel partnered with PrecisionHawk in July 2015.",
+            doc_id="b", date=parse_date("2015-07-02"), source="wsj",
+        )
+        return QueryEngine(nous)
+
+    def test_entity_query(self, engine):
+        result = engine.execute_text("tell me about DJI")
+        assert result.kind == "entity"
+        assert result.result_count > 0
+        assert "DJI" in result.rendered
+        assert result.elapsed_ms >= 0
+
+    def test_trending_query(self, engine):
+        result = engine.execute_text("show trending patterns")
+        assert result.kind == "trending"
+        assert "window edges" in result.rendered
+
+    def test_relationship_query(self, engine):
+        result = engine.execute_text("how is GoPro related to DJI")
+        assert result.kind == "relationship"
+        assert result.result_count >= 1
+        assert "coherence" in result.rendered
+
+    def test_explanatory_query(self, engine):
+        result = engine.execute_text("why does Windermere use drones")
+        assert result.kind == "explanatory"
+        # Path exists via usesTechnology edges in the curated KB
+        assert result.result_count >= 1
+
+    def test_pattern_query(self, engine):
+        result = engine.execute_text(
+            "match (?a:Company)-[partnerOf]->(?b:Company)"
+        )
+        assert result.kind == "pattern"
+        assert result.result_count >= 1
+
+    def test_all_five_classes_covered(self, engine):
+        kinds = set()
+        for text in [
+            "show trending patterns",
+            "tell me about DJI",
+            "how is GoPro related to DJI",
+            "why does Windermere use drones",
+            "match (?a:Company)-[partnerOf]->(?b:Company)",
+        ]:
+            kinds.add(engine.execute_text(text).kind)
+        assert kinds == {
+            "trending", "entity", "relationship", "explanatory", "pattern"
+        }

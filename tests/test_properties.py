@@ -1,0 +1,183 @@
+"""Cross-cutting property-based tests with brute-force oracles."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryParseError
+from repro.graph import PropertyGraph
+from repro.kb.aliases import AliasDictionary, normalize_alias
+from repro.nlp.dates import SimpleDate
+from repro.query.parser import parse_query
+from repro.query.pattern_match import PatternMatcher, QueryPatternEdge
+
+
+class TestAliasProperties:
+    @given(st.text(max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_idempotent(self, text):
+        once = normalize_alias(text)
+        assert normalize_alias(once) == once
+
+    @given(st.text(min_size=1, max_size=20), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_priors_always_normalised(self, alias, n_entities):
+        d = AliasDictionary()
+        for i in range(n_entities):
+            d.add(alias, f"e{i}", count=i + 1)
+        candidates = d.candidates(alias)
+        if candidates:
+            assert sum(p for _, p in candidates) == pytest.approx(1.0)
+            priors = [p for _, p in candidates]
+            assert priors == sorted(priors, reverse=True)
+
+
+class TestDateProperties:
+    @given(
+        st.integers(1900, 2100),
+        st.one_of(st.none(), st.integers(1, 12)),
+        st.one_of(st.none(), st.integers(1, 28)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ordinal_consistent_with_ordering(self, year, month, day):
+        if month is None:
+            day = None
+        a = SimpleDate(year, month, day)
+        b = SimpleDate(year + 1, month, day)
+        assert a < b
+        assert a.ordinal() < b.ordinal()
+
+    @given(st.integers(1900, 2100), st.integers(1, 11), st.integers(1, 27))
+    @settings(max_examples=60, deadline=None)
+    def test_ordinal_monotone_within_year(self, year, month, day):
+        assert SimpleDate(year, month, day) < SimpleDate(year, month + 1, day)
+        assert SimpleDate(year, month, day) < SimpleDate(year, month, day + 1)
+
+
+class TestParserNeverCrashes:
+    @given(st.text(max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_parse_total_function(self, text):
+        """Any input either parses into a query or raises QueryParseError."""
+        try:
+            query = parse_query(text)
+        except QueryParseError:
+            return
+        assert query.text == text.strip()
+
+
+def brute_force_match(graph, pattern, ontology=None):
+    """Oracle: try every injective assignment of vertices to variables."""
+    variables = sorted({v for e in pattern for v in (e.src, e.dst)})
+    vertices = list(graph.vertices())
+    results = []
+    if len(vertices) < len(variables):
+        return results
+    for assignment in permutations(vertices, len(variables)):
+        binding = dict(zip(variables, assignment))
+        ok = True
+        for edge in pattern:
+            src, dst = binding[edge.src], binding[edge.dst]
+            edges = [
+                e for e in graph.edges_between(src, dst)
+                if e.label == edge.predicate
+            ]
+            if not edges:
+                ok = False
+                break
+            for var, vertex, required in (
+                (edge.src, src, edge.src_type),
+                (edge.dst, dst, edge.dst_type),
+            ):
+                del var
+                if required is not None and graph.vertex_props(vertex).get("type") != required:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            results.append(binding)
+    return results
+
+
+@st.composite
+def small_typed_graphs(draw):
+    g = PropertyGraph()
+    n = draw(st.integers(2, 5))
+    for i in range(n):
+        g.add_vertex(f"v{i}", type=draw(st.sampled_from(["A", "B"])))
+    m = draw(st.integers(1, 8))
+    for _ in range(m):
+        s = draw(st.integers(0, n - 1))
+        d = draw(st.integers(0, n - 1))
+        g.add_edge(f"v{s}", f"v{d}", draw(st.sampled_from(["p", "q"])))
+    return g
+
+
+@st.composite
+def small_patterns(draw):
+    n_edges = draw(st.integers(1, 2))
+    variables = ["x", "y", "z"]
+    edges = []
+    for i in range(n_edges):
+        src = variables[draw(st.integers(0, 2))]
+        dst = variables[draw(st.integers(0, 2))]
+        if src == dst:
+            dst = variables[(variables.index(src) + 1) % 3]
+        edges.append(
+            QueryPatternEdge(
+                src=src,
+                dst=dst,
+                predicate=draw(st.sampled_from(["p", "q"])),
+                src_type=draw(st.sampled_from([None, "A", "B"])),
+                dst_type=draw(st.sampled_from([None, "A", "B"])),
+            )
+        )
+    return edges
+
+
+class TestPatternMatcherAgainstOracle:
+    @given(small_typed_graphs(), small_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_equal_brute_force(self, graph, pattern):
+        matcher = PatternMatcher(graph)
+        ours = matcher.match(pattern, limit=10_000)
+        oracle = brute_force_match(graph, pattern)
+
+        def canon(bindings):
+            return frozenset(
+                frozenset(b.items()) for b in bindings
+            )
+
+        assert canon(ours) == canon(oracle)
+
+
+class TestGraphInvariants:
+    @given(small_typed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, graph):
+        out_total = sum(graph.out_degree(v) for v in graph.vertices())
+        in_total = sum(graph.in_degree(v) for v in graph.vertices())
+        assert out_total == in_total == graph.num_edges
+
+    @given(small_typed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_is_involution(self, graph):
+        double = graph.reverse().reverse()
+        assert double.num_vertices == graph.num_vertices
+        assert double.num_edges == graph.num_edges
+        original = sorted((e.src, e.label, e.dst) for e in graph.edges())
+        rebuilt = sorted((e.src, e.label, e.dst) for e in double.edges())
+        assert original == rebuilt
+
+    @given(small_typed_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_subgraph_never_grows(self, graph):
+        sub = graph.subgraph(vertex_filter=lambda vid, p: p.get("type") == "A")
+        assert sub.num_vertices <= graph.num_vertices
+        assert sub.num_edges <= graph.num_edges
+        for edge in sub.edges():
+            assert sub.vertex_props(edge.src).get("type") == "A"
+            assert sub.vertex_props(edge.dst).get("type") == "A"
