@@ -1,0 +1,215 @@
+"""BATCH: batched ingestion + incremental indexes vs the seed hot path.
+
+Three experiments on the synthetic world corpus, each asserting the >=2x
+speedup this PR claims:
+
+1. **Batched ingestion** — ``Nous.ingest_batch`` (one collective linking
+   pass, one end-of-batch retrain, doomed window facts skip the miner)
+   against the seed per-document ``ingest`` loop, same corpus and
+   config.  Result equivalence is asserted alongside the timing.
+2. **Indexed pattern queries** — the shared incremental graph view plus
+   label/(vertex, label) indexes against the seed path, which rebuilt
+   the full property graph per query and scanned the edge list for every
+   candidate predicate.
+3. **Query-result cache** — repeated queries on an unchanged KG served
+   from the version-stamped cache against recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Hashable, List, Tuple
+
+from repro import (
+    CorpusConfig,
+    Nous,
+    NousConfig,
+    build_drone_kb,
+    generate_corpus,
+)
+from repro.query import PatternMatcher, QueryEngine, parse_pattern
+from repro.query.pattern_match import QueryPatternEdge
+
+BATCH_SEED = 7
+N_ARTICLES = 120
+# The PR's acceptance gate is >=2x.  Shared CI runners are noisy, so the
+# CI smoke step relaxes the gate via this env var (result-equivalence
+# checks stay strict there); local/nightly runs keep the full 2.0.
+SPEEDUP_GATE = float(os.environ.get("BENCH_SPEEDUP_GATE", "2.0"))
+CONFIG = dict(
+    window_size=100,
+    min_support=2,
+    lda_iterations=10,
+    retrain_every=40,
+    seed=BATCH_SEED,
+)
+
+PATTERN_TEXTS = [
+    "(?a:Company)-[acquired]->(?b:Company)",
+    "(?a:Company)-[partnerOf]->(?b:Company)",
+    "(?c:Company)-[foundedBy]->(?p:Person), (?c:Company)-[headquarteredIn]->(?l:Location)",
+    "(?a:Company)-[raisedFunding]->(?m)",
+    "(?x)-[usesTechnology]->(?y)",
+]
+
+
+def _fresh_corpus():
+    kb = build_drone_kb()
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=N_ARTICLES, seed=BATCH_SEED)
+    )
+    return kb, articles
+
+
+class _SeedScanMatcher(PatternMatcher):
+    """The seed's candidate generation: label-filtered edge-list scans."""
+
+    def _candidate_pairs(
+        self, edge: QueryPatternEdge, bindings: Dict[str, Hashable]
+    ) -> List[Tuple[Hashable, Hashable]]:
+        src_bound = bindings.get(edge.src)
+        dst_bound = bindings.get(edge.dst)
+        pairs: List[Tuple[Hashable, Hashable]] = []
+        if src_bound is not None:
+            graph_edges = (
+                e for e in self.graph.out_edges(src_bound)
+                if e.label == edge.predicate
+            )
+        elif dst_bound is not None:
+            graph_edges = (
+                e for e in self.graph.in_edges(dst_bound)
+                if e.label == edge.predicate
+            )
+        else:
+            # seed find_edges: scan every edge in the graph
+            graph_edges = (
+                e for e in self.graph.edges() if e.label == edge.predicate
+            )
+        for graph_edge in graph_edges:
+            if dst_bound is not None and graph_edge.dst != dst_bound:
+                continue
+            if src_bound is not None and graph_edge.src != src_bound:
+                continue
+            if not self._type_ok(graph_edge.src, edge.src_type):
+                continue
+            if not self._type_ok(graph_edge.dst, edge.dst_type):
+                continue
+            pairs.append((graph_edge.src, graph_edge.dst))
+        return pairs
+
+
+def _timed_ingest(batched: bool):
+    """Build a fresh system, ingest the corpus, return (seconds, nous, results)."""
+    kb, articles = _fresh_corpus()
+    nous = Nous(kb=kb, config=NousConfig(**CONFIG))
+    ingest = nous.ingest_batch if batched else nous.ingest_corpus
+    t0 = time.perf_counter()
+    results = ingest(articles)
+    return time.perf_counter() - t0, nous, results
+
+
+def test_batched_ingestion_speedup():
+    # Best-of-2 fresh runs per path: ingestion mutates state, so each
+    # run needs its own system; the min damps scheduler noise on shared
+    # CI runners.
+    runs_seq = [_timed_ingest(batched=False) for _ in range(2)]
+    runs_bat = [_timed_ingest(batched=True) for _ in range(2)]
+    t_sequential, nous_seq, results_seq = min(runs_seq, key=lambda r: r[0])
+    t_batched, nous_bat, results_bat = min(runs_bat, key=lambda r: r[0])
+
+    speedup = t_sequential / t_batched
+    print(
+        f"\ningestion ({N_ARTICLES} articles): sequential {t_sequential * 1000:.0f} ms"
+        f"  batched {t_batched * 1000:.0f} ms  speedup {speedup:.1f}x"
+    )
+
+    # Equivalence of outcomes, not just speed.
+    assert len(results_bat) == len(results_seq)
+    assert sum(r.raw_triples for r in results_bat) == sum(
+        r.raw_triples for r in results_seq
+    )
+    assert nous_bat.kb.num_facts == nous_seq.kb.num_facts
+    assert nous_bat.dynamic.window.window_size == nous_seq.dynamic.window.window_size
+    assert nous_bat.dynamic.miner.window_size == nous_seq.dynamic.miner.window_size
+    accepted_seq = sum(r.accepted for r in results_seq)
+    accepted_bat = sum(r.accepted for r in results_bat)
+    # Mid-stream retrains may shift a handful of borderline confidences.
+    assert abs(accepted_bat - accepted_seq) <= max(3, accepted_seq // 20)
+
+    assert speedup >= SPEEDUP_GATE, f"batched ingestion only {speedup:.2f}x faster"
+
+
+def test_indexed_pattern_query_speedup():
+    kb, articles = _fresh_corpus()
+    nous = Nous(kb=kb, config=NousConfig(**CONFIG))
+    nous.ingest_batch(articles)
+    patterns = [parse_pattern(text) for text in PATTERN_TEXTS]
+    rounds = 10
+
+    # Seed path: materialise the full KB property graph per query, then
+    # match via edge-list scans.
+    t0 = time.perf_counter()
+    seed_counts = []
+    for _ in range(rounds):
+        for pattern in patterns:
+            graph = nous.kb.to_property_graph()
+            matcher = _SeedScanMatcher(graph, ontology=nous.kb.ontology)
+            seed_counts.append(len(matcher.match(pattern, limit=50)))
+    t_seed = time.perf_counter() - t0
+
+    # Indexed path: shared incremental view + label indexes (result cache
+    # off, so the measurement is the lookup itself).
+    engine = QueryEngine(nous, enable_cache=False)
+    t0 = time.perf_counter()
+    indexed_counts = []
+    for _ in range(rounds):
+        for text in PATTERN_TEXTS:
+            result = engine.execute_text(f"match {text}")
+            indexed_counts.append(result.result_count)
+    t_indexed = time.perf_counter() - t0
+
+    speedup = t_seed / t_indexed
+    print(
+        f"\npattern queries ({rounds}x{len(patterns)}): seed {t_seed * 1000:.0f} ms"
+        f"  indexed {t_indexed * 1000:.0f} ms  speedup {speedup:.1f}x"
+    )
+    assert indexed_counts == seed_counts, "indexed path changed results"
+    assert any(count > 0 for count in indexed_counts)
+    assert speedup >= SPEEDUP_GATE, f"indexed pattern lookups only {speedup:.2f}x faster"
+
+
+def test_query_result_cache_speedup():
+    kb, articles = _fresh_corpus()
+    nous = Nous(kb=kb, config=NousConfig(**CONFIG))
+    nous.ingest_batch(articles)
+    nous._topic_annotated_graph()  # warm LDA so both passes measure queries
+    texts = [
+        "tell me about DJI",
+        "tell me about Amazon",
+        "what's new about DJI",
+        "match (?a:Company)-[acquired]->(?b:Company)",
+        "how is GoPro related to DJI",
+    ]
+    engine = QueryEngine(nous, enable_cache=True)
+    rounds = 5
+
+    t0 = time.perf_counter()
+    cold = [engine.execute_text(t) for t in texts]
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = [engine.execute_text(t) for t in texts * rounds]
+    t_warm_per_round = (time.perf_counter() - t0) / rounds
+
+    speedup = t_cold / t_warm_per_round
+    print(
+        f"\nquery cache ({len(texts)} queries): cold {t_cold * 1000:.1f} ms"
+        f"  warm {t_warm_per_round * 1000:.1f} ms/round  speedup {speedup:.1f}x"
+    )
+    assert all(not r.cached for r in cold)
+    assert all(r.cached for r in warm)
+    for cold_result, warm_result in zip(cold, warm):
+        assert warm_result.rendered == cold_result.rendered
+        assert warm_result.result_count == cold_result.result_count
+    assert speedup >= SPEEDUP_GATE, f"cache hits only {speedup:.2f}x faster"

@@ -12,11 +12,17 @@ Two coordinated views:
 Every accepted fact is therefore simultaneously persisted and streamed,
 matching the paper's "queries are executed on a dynamically updated
 Knowledge Graph".
+
+A monotonic :attr:`DynamicKnowledgeGraph.version` stamp moves forward on
+every observable change (persisted facts, window adds and evictions);
+the query-result cache keys on it.  :meth:`accept_batch` is the batched
+counterpart of :meth:`accept_fact` — identical final state, with
+window-doomed facts never streamed to the miner.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.graph.temporal import CountWindow, DynamicGraph, TimeWindow
 from repro.kb.knowledge_base import KnowledgeBase
@@ -77,9 +83,83 @@ class DynamicKnowledgeGraph:
         )
         self.facts_streamed += 1
 
+    def accept_batch(
+        self, facts: Sequence[Tuple[MappedTriple, float, float]]
+    ) -> int:
+        """Persist a batch of accepted facts, amortising miner updates.
+
+        A fact that enters the sliding window and is evicted again before
+        the batch ends (batch longer than the window capacity) is a *net
+        no-op* for both the window and the incremental miner: its
+        add-then-remove embedding updates cancel exactly, and no query
+        can observe the intermediate state.  The batch path persists such
+        facts to the KB but skips streaming them, so the final KB, window
+        content and miner supports are identical to the sequential path
+        while the doomed stream updates are never paid.  (Only the
+        ``total_added`` / ``total_evicted`` window counters differ.)
+
+        Args:
+            facts: ``(mapped, confidence, timestamp)`` tuples in
+                non-decreasing timestamp order.
+
+        Returns:
+            Number of facts that were actually streamed to the window.
+        """
+        doomed = self._doomed_indices(facts)
+        streamed = 0
+        for index, (mapped, confidence, timestamp) in enumerate(facts):
+            self.kb.add_fact(
+                mapped.subject,
+                mapped.predicate,
+                mapped.object,
+                confidence=confidence,
+                source=mapped.source or "extracted",
+                date=mapped.date,
+                curated=False,
+            )
+            if index not in doomed:
+                self.window.add_edge(
+                    mapped.subject,
+                    mapped.object,
+                    mapped.predicate,
+                    timestamp=timestamp,
+                    confidence=confidence,
+                    source=mapped.source,
+                )
+                streamed += 1
+            self.facts_streamed += 1
+        return streamed
+
+    def _doomed_indices(
+        self, facts: Sequence[Tuple[MappedTriple, float, float]]
+    ) -> Set[int]:
+        """Batch positions guaranteed to be evicted before the batch ends."""
+        policy = self.window.window
+        if not facts:
+            return set()
+        if isinstance(policy, CountWindow):
+            overflow = len(facts) - policy.size
+            return set(range(overflow)) if overflow > 0 else set()
+        if isinstance(policy, TimeWindow):
+            cutoff = facts[-1][2] - policy.span
+            return {i for i, (_, _, ts) in enumerate(facts) if ts < cutoff}
+        return set()  # unknown policy: stream everything
+
     def advance_time(self, timestamp: float) -> int:
         """Expire window content up to ``timestamp`` (time windows)."""
         return self.window.advance_time(timestamp)
+
+    @property
+    def version(self) -> int:
+        """Monotonic stamp of observable KG state.
+
+        Combines the accumulated-KB version (bumped on every fact or
+        entity mutation) with the window version (bumped on every stream
+        add *and* eviction), so any change that could alter a query
+        result — persisted facts, trending window content — moves the
+        stamp forward.  Query-result caches key on this.
+        """
+        return self.kb.version + self.window.version
 
     # ------------------------------------------------------------------
     # miner wiring
@@ -111,5 +191,11 @@ class DynamicKnowledgeGraph:
         return self.miner.report(timestamp=timestamp)
 
     def graph_view(self, min_confidence: float = 0.0):
-        """Property-graph view of the full accumulated KG."""
+        """Property-graph view of the full accumulated KG.
+
+        The unfiltered view is the KB's shared incremental mirror (no
+        rebuild); confidence-filtered views are materialised on demand.
+        """
+        if min_confidence <= 0.0:
+            return self.kb.graph_view()
         return self.kb.to_property_graph(min_confidence=min_confidence)

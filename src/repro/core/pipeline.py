@@ -4,6 +4,12 @@
 entity linking + predicate mapping → confidence estimation → dynamic KG
 update → (on demand) trending reports, entity summaries and explanatory
 path answers.
+
+Two ingestion paths share that machinery: :meth:`Nous.ingest` processes
+one document at a time (the streaming case), while
+:meth:`Nous.ingest_batch` amortises the per-document fixed costs —
+collective entity linking, confidence retraining and window-doomed miner
+updates — across a whole batch (the catch-up / bulk-load case).
 """
 
 from __future__ import annotations
@@ -133,7 +139,7 @@ class Nous:
         self._last_timestamp = 0.0
         self._topic_state: Optional[LdaTopics] = None
         self._topic_graph: Optional[PropertyGraph] = None
-        self._facts_at_topic_fit = -1
+        self._kb_version_at_topic_fit = -1
         self.documents_ingested = 0
         # Raw extraction buffer feeding §3.3's semi-supervised pattern
         # expansion (bounded: only recent evidence matters).
@@ -167,23 +173,50 @@ class Nous:
 
         timestamp = self._timestamp_for(date)
         for triple in mapped:
-            confidence = self.estimator.confidence(triple)
-            if confidence < self.config.accept_threshold:
-                result.rejected_confidence += 1
-                self.estimator.update_trust_from_kb(triple, in_kb=False)
+            confidence = self._score_and_gate(triple, result)
+            if confidence is None:
                 continue
-            already_known = (
-                self.kb.store.get(triple.subject, triple.predicate, triple.object)
-                is not None
-            )
-            self.estimator.update_trust_from_kb(triple, in_kb=already_known)
             self.dynamic.accept_fact(triple, confidence, timestamp)
-            result.accepted += 1
-            result.accepted_triples.append(
-                (triple.subject, triple.predicate, triple.object, confidence)
-            )
-            self._accepted_since_retrain += 1
 
+        self._maybe_retrain()
+        self.documents_ingested += 1
+        return result
+
+    def _score_and_gate(
+        self,
+        triple: MappedTriple,
+        result: IngestResult,
+        batch_keys: Optional[set] = None,
+    ) -> Optional[float]:
+        """Confidence-gate one mapped triple: score it, update source
+        trust, and record the outcome on ``result``.
+
+        Shared by the sequential and batch paths so acceptance semantics
+        cannot drift between them.  ``batch_keys`` holds the (s, p, o)
+        keys accepted earlier in the current batch but not yet persisted,
+        so the agreement/contradiction signal matches the sequential path
+        (which persists each fact before scoring the next).
+
+        Returns:
+            The final confidence when accepted, ``None`` when rejected.
+        """
+        confidence = self.estimator.confidence(triple)
+        if confidence < self.config.accept_threshold:
+            result.rejected_confidence += 1
+            self.estimator.update_trust_from_kb(triple, in_kb=False)
+            return None
+        key = (triple.subject, triple.predicate, triple.object)
+        already_known = (
+            batch_keys is not None and key in batch_keys
+        ) or self.kb.store.get(*key) is not None
+        self.estimator.update_trust_from_kb(triple, in_kb=already_known)
+        result.accepted += 1
+        result.accepted_triples.append((*key, confidence))
+        self._accepted_since_retrain += 1
+        return confidence
+
+    def _maybe_retrain(self) -> None:
+        """Retrain the BPR models once the periodic budget is reached."""
         if (
             self.config.retrain_every
             and self._accepted_since_retrain >= self.config.retrain_every
@@ -191,8 +224,6 @@ class Nous:
             self.estimator.retrain(self.kb.store)
             self.mapper.linker.invalidate_cache()
             self._accepted_since_retrain = 0
-        self.documents_ingested += 1
-        return result
 
     def ingest_corpus(self, articles: Sequence) -> List[IngestResult]:
         """Ingest a sequence of :class:`repro.data.articles.Article`."""
@@ -200,6 +231,87 @@ class Nous:
             self.ingest(a.text, doc_id=a.doc_id, date=a.date, source=a.source)
             for a in articles
         ]
+
+    def ingest_batch(self, articles: Sequence) -> List[IngestResult]:
+        """Ingest a batch of articles through the amortised hot path.
+
+        Functionally equivalent to calling :meth:`ingest` per article,
+        but the per-document fixed costs are shared across the batch:
+
+        - **entity linking** runs once, collectively, over the batch's
+          unique mentions (instead of once per document);
+        - **confidence retraining** happens at most once, after the
+          whole batch (instead of every ``retrain_every`` accepted facts
+          mid-stream), so batch members are scored against one model;
+        - **miner updates** for facts that would be evicted from the
+          sliding window before the batch ends are skipped entirely —
+          their add/remove embedding updates are exact no-ops (see
+          :meth:`DynamicKnowledgeGraph.accept_batch`).
+
+        NLP extraction still runs per document; acceptance gating, trust
+        updates and stream timestamps follow the same order as the
+        sequential path.
+
+        Args:
+            articles: :class:`repro.data.articles.Article`-like objects
+                (``text`` / ``doc_id`` / ``date`` / ``source``), in
+                stream (date) order.
+
+        Returns:
+            One :class:`IngestResult` per article, in input order.
+        """
+        results: List[IngestResult] = []
+        doc_triples: List[List[RawTriple]] = []
+        doc_contexts: List[Optional[List[str]]] = []
+        for article in articles:
+            result = IngestResult(doc_id=article.doc_id)
+            document = self.nlp.process(
+                article.text,
+                doc_id=article.doc_id,
+                doc_date=article.date,
+                source=article.source,
+            )
+            result.raw_triples = len(document.triples)
+            results.append(result)
+            doc_triples.append(list(document.triples))
+            doc_contexts.append(
+                [w for s in document.sentences for w in s.sentence.words()]
+                if document.triples
+                else None
+            )
+            self._raw_buffer.extend(document.triples)
+
+        mapped_per_doc = self.mapper.map_batch(doc_triples, doc_contexts)
+
+        accepted_facts: List[Tuple[MappedTriple, float, float]] = []
+        batch_keys: set = set()
+        for article, result, (mapped, rejected) in zip(
+            articles, results, mapped_per_doc
+        ):
+            for rej in rejected:
+                result.rejected_mapping[rej.reason] += 1
+            if not result.raw_triples:
+                # Sequential ingest returns before consuming a stream
+                # timestamp for triple-less documents; mirror that, or
+                # every later fact would carry a shifted timestamp.
+                self.documents_ingested += 1
+                continue
+            timestamp = self._timestamp_for(article.date)
+            for triple in mapped:
+                confidence = self._score_and_gate(
+                    triple, result, batch_keys=batch_keys
+                )
+                if confidence is None:
+                    continue
+                accepted_facts.append((triple, confidence, timestamp))
+                batch_keys.add(
+                    (triple.subject, triple.predicate, triple.object)
+                )
+            self.documents_ingested += 1
+
+        self.dynamic.accept_batch(accepted_facts)
+        self._maybe_retrain()
+        return results
 
     def ingest_facts(
         self,
@@ -360,11 +472,11 @@ class Nous:
 
     # ------------------------------------------------------------------
     def _topic_annotated_graph(self) -> PropertyGraph:
-        """KG property graph with LDA topic vectors, cached until the KB
-        grows measurably."""
+        """KG property graph with LDA topic vectors, cached on the KB's
+        monotonic version stamp (any fact/entity mutation invalidates)."""
         if (
             self._topic_graph is not None
-            and self._facts_at_topic_fit == self.kb.num_facts
+            and self._kb_version_at_topic_fit == self.kb.version
         ):
             return self._topic_graph
         documents = {
@@ -380,7 +492,7 @@ class Nous:
         graph = self.kb.to_property_graph()
         assign_topic_vectors(graph, self._topic_state)
         self._topic_graph = graph
-        self._facts_at_topic_fit = self.kb.num_facts
+        self._kb_version_at_topic_fit = self.kb.version
         return graph
 
     @property

@@ -1,4 +1,4 @@
-"""In-memory directed property multigraph.
+"""In-memory directed property multigraph with incremental indexes.
 
 The data model mirrors GraphX's ``Graph[VD, ED]``: every vertex and every
 edge carries an arbitrary dictionary of properties, edges are directed and
@@ -6,6 +6,20 @@ labelled, and parallel edges between the same pair of vertices are allowed
 (they receive distinct edge ids).  On top of the raw storage the class
 exposes the *triplet view* (``(src properties, edge, dst properties)``)
 that GraphX programs are written against.
+
+Every secondary access path is backed by an index that is maintained
+incrementally on ``add_edge`` / ``remove_edge`` — never by rescanning the
+edge list:
+
+- **label index**: label -> edge ids (``edges_with_label``, ``find_edges``);
+- **per-vertex label adjacency**: (vertex, label) -> out/in edge ids
+  (``out_edges(v, label=...)`` / ``in_edges(v, label=...)``);
+- **pair index**: (src, dst) -> edge ids (``edges_between``);
+- **refcounted neighbour maps**: ``successors`` / ``predecessors`` /
+  ``neighbors`` without materialising edge objects.
+
+A monotonic :attr:`version` counter is bumped on every mutation so callers
+(materialised views, query-result caches) can cheaply detect staleness.
 """
 
 from __future__ import annotations
@@ -94,8 +108,16 @@ class PropertyGraph:
         self._edges: Dict[int, Edge] = {}
         self._out: Dict[VertexId, Set[int]] = {}
         self._in: Dict[VertexId, Set[int]] = {}
+        # incremental secondary indexes (see module docstring)
+        self._label_index: Dict[str, Set[int]] = {}
+        self._out_by_label: Dict[VertexId, Dict[str, Set[int]]] = {}
+        self._in_by_label: Dict[VertexId, Dict[str, Set[int]]] = {}
+        self._pair_index: Dict[Tuple[VertexId, VertexId], Set[int]] = {}
+        self._succ: Dict[VertexId, Dict[VertexId, int]] = {}  # refcounts
+        self._pred: Dict[VertexId, Dict[VertexId, int]] = {}
         self._eid_counter = itertools.count()
         self.partitioner = HashPartitioner(num_partitions)
+        self.version = 0
 
     # ------------------------------------------------------------------
     # vertices
@@ -118,10 +140,16 @@ class PropertyGraph:
             if strict:
                 raise DuplicateVertexError(vertex_id)
             self._vertices[vertex_id].update(props)
+            self.version += 1
             return vertex_id
         self._vertices[vertex_id] = dict(props)
         self._out[vertex_id] = set()
         self._in[vertex_id] = set()
+        self._out_by_label[vertex_id] = {}
+        self._in_by_label[vertex_id] = {}
+        self._succ[vertex_id] = {}
+        self._pred[vertex_id] = {}
+        self.version += 1
         return vertex_id
 
     def has_vertex(self, vertex_id: VertexId) -> bool:
@@ -130,6 +158,10 @@ class PropertyGraph:
 
     def vertex_props(self, vertex_id: VertexId) -> Dict[str, Any]:
         """Return the (live) property dict of a vertex.
+
+        Note: mutating the returned dict directly does not bump
+        :attr:`version`; use :meth:`set_vertex_prop` when staleness
+        detection matters.
 
         Raises:
             VertexNotFoundError: if the vertex does not exist.
@@ -142,6 +174,7 @@ class PropertyGraph:
     def set_vertex_prop(self, vertex_id: VertexId, key: str, value: Any) -> None:
         """Set one property on a vertex."""
         self.vertex_props(vertex_id)[key] = value
+        self.version += 1
 
     def remove_vertex(self, vertex_id: VertexId) -> None:
         """Remove a vertex and all incident edges.
@@ -156,6 +189,11 @@ class PropertyGraph:
         del self._vertices[vertex_id]
         del self._out[vertex_id]
         del self._in[vertex_id]
+        del self._out_by_label[vertex_id]
+        del self._in_by_label[vertex_id]
+        del self._succ[vertex_id]
+        del self._pred[vertex_id]
+        self.version += 1
 
     def vertices(self) -> Iterator[VertexId]:
         """Iterate over vertex ids."""
@@ -185,6 +223,13 @@ class PropertyGraph:
         self._edges[eid] = edge
         self._out[src].add(eid)
         self._in[dst].add(eid)
+        self._label_index.setdefault(label, set()).add(eid)
+        self._out_by_label[src].setdefault(label, set()).add(eid)
+        self._in_by_label[dst].setdefault(label, set()).add(eid)
+        self._pair_index.setdefault((src, dst), set()).add(eid)
+        self._succ[src][dst] = self._succ[src].get(dst, 0) + 1
+        self._pred[dst][src] = self._pred[dst].get(src, 0) + 1
+        self.version += 1
         return eid
 
     def edge(self, eid: int) -> Edge:
@@ -212,7 +257,49 @@ class PropertyGraph:
         edge = self._edges.pop(eid)
         self._out[edge.src].discard(eid)
         self._in[edge.dst].discard(eid)
+        label_eids = self._label_index[edge.label]
+        label_eids.discard(eid)
+        if not label_eids:
+            del self._label_index[edge.label]
+        self._discard_labelled(self._out_by_label[edge.src], edge.label, eid)
+        self._discard_labelled(self._in_by_label[edge.dst], edge.label, eid)
+        pair = (edge.src, edge.dst)
+        pair_eids = self._pair_index[pair]
+        pair_eids.discard(eid)
+        if not pair_eids:
+            del self._pair_index[pair]
+        self._decref(self._succ[edge.src], edge.dst)
+        self._decref(self._pred[edge.dst], edge.src)
+        self.version += 1
         return edge
+
+    def update_edge_props(self, eid: int, **props: Any) -> None:
+        """Merge properties onto an existing edge (version-stamped).
+
+        Raises:
+            EdgeNotFoundError: if no such edge exists.
+        """
+        self.edge(eid).props.update(props)
+        self.version += 1
+
+    @staticmethod
+    def _discard_labelled(
+        by_label: Dict[str, Set[int]], label: str, eid: int
+    ) -> None:
+        eids = by_label.get(label)
+        if eids is None:
+            return
+        eids.discard(eid)
+        if not eids:
+            del by_label[label]
+
+    @staticmethod
+    def _decref(counts: Dict[VertexId, int], key: VertexId) -> None:
+        remaining = counts.get(key, 0) - 1
+        if remaining <= 0:
+            counts.pop(key, None)
+        else:
+            counts[key] = remaining
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges."""
@@ -222,17 +309,27 @@ class PropertyGraph:
     def num_edges(self) -> int:
         return len(self._edges)
 
-    def out_edges(self, vertex_id: VertexId) -> List[Edge]:
-        """Edges leaving ``vertex_id``."""
+    def out_edges(
+        self, vertex_id: VertexId, label: Optional[str] = None
+    ) -> List[Edge]:
+        """Edges leaving ``vertex_id``, optionally restricted to a label."""
         if vertex_id not in self._vertices:
             raise VertexNotFoundError(vertex_id)
-        return [self._edges[eid] for eid in self._out[vertex_id]]
+        if label is None:
+            return [self._edges[eid] for eid in self._out[vertex_id]]
+        eids = self._out_by_label[vertex_id].get(label, ())
+        return [self._edges[eid] for eid in eids]
 
-    def in_edges(self, vertex_id: VertexId) -> List[Edge]:
-        """Edges entering ``vertex_id``."""
+    def in_edges(
+        self, vertex_id: VertexId, label: Optional[str] = None
+    ) -> List[Edge]:
+        """Edges entering ``vertex_id``, optionally restricted to a label."""
         if vertex_id not in self._vertices:
             raise VertexNotFoundError(vertex_id)
-        return [self._edges[eid] for eid in self._in[vertex_id]]
+        if label is None:
+            return [self._edges[eid] for eid in self._in[vertex_id]]
+        eids = self._in_by_label[vertex_id].get(label, ())
+        return [self._edges[eid] for eid in eids]
 
     def incident_edges(self, vertex_id: VertexId) -> List[Edge]:
         """All edges touching ``vertex_id`` (in either direction)."""
@@ -243,21 +340,37 @@ class PropertyGraph:
 
     def edges_between(self, src: VertexId, dst: VertexId) -> List[Edge]:
         """All directed edges from ``src`` to ``dst`` (parallel edges kept)."""
-        if src not in self._vertices or dst not in self._vertices:
-            return []
-        return [
-            self._edges[eid] for eid in self._out[src] if self._edges[eid].dst == dst
-        ]
+        return [self._edges[eid] for eid in self._pair_index.get((src, dst), ())]
+
+    def edges_with_label(self, label: str) -> List[Edge]:
+        """All edges carrying ``label`` (index lookup, no scan)."""
+        return [self._edges[eid] for eid in self._label_index.get(label, ())]
+
+    def labels(self) -> Set[str]:
+        """Distinct edge labels currently present."""
+        return set(self._label_index)
+
+    def label_count(self, label: str) -> int:
+        """Number of edges carrying ``label`` (O(1))."""
+        return len(self._label_index.get(label, ()))
 
     def find_edges(
         self,
         label: Optional[str] = None,
         predicate: Optional[Callable[[Edge], bool]] = None,
     ) -> Iterator[Edge]:
-        """Iterate over edges filtered by label and/or an arbitrary predicate."""
-        for edge in self._edges.values():
-            if label is not None and edge.label != label:
-                continue
+        """Iterate over edges filtered by label and/or an arbitrary predicate.
+
+        A label filter is answered from the label index; only the arbitrary
+        ``predicate`` requires touching candidate edges.
+        """
+        if label is not None:
+            candidates: Iterable[Edge] = (
+                self._edges[eid] for eid in self._label_index.get(label, ())
+            )
+        else:
+            candidates = self._edges.values()
+        for edge in candidates:
             if predicate is not None and not predicate(edge):
                 continue
             yield edge
@@ -280,15 +393,23 @@ class PropertyGraph:
 
     def successors(self, vertex_id: VertexId) -> Set[VertexId]:
         """Distinct vertices reachable over one out-edge."""
-        return {e.dst for e in self.out_edges(vertex_id)}
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return set(self._succ[vertex_id])
 
     def predecessors(self, vertex_id: VertexId) -> Set[VertexId]:
         """Distinct vertices with an edge into ``vertex_id``."""
-        return {e.src for e in self.in_edges(vertex_id)}
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return set(self._pred[vertex_id])
 
     def neighbors(self, vertex_id: VertexId) -> Set[VertexId]:
         """Distinct adjacent vertices, ignoring direction."""
-        return self.successors(vertex_id) | self.predecessors(vertex_id)
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        out = set(self._succ[vertex_id])
+        out.update(self._pred[vertex_id])
+        return out
 
     # ------------------------------------------------------------------
     # views / transforms
@@ -370,6 +491,57 @@ class PropertyGraph:
             d = self.degree(vid)
             hist[d] = hist.get(d, 0) + 1
         return hist
+
+    # ------------------------------------------------------------------
+    # invariants (debug / property-test hook)
+    # ------------------------------------------------------------------
+    def check_index_invariants(self) -> None:
+        """Verify every secondary index against the raw edge list.
+
+        Recomputes each index from scratch and compares; O(V + E), meant
+        for tests and debugging, never for the hot path.
+
+        Raises:
+            AssertionError: on any index / edge-list inconsistency.
+        """
+        expected_label: Dict[str, Set[int]] = {}
+        expected_pair: Dict[Tuple[VertexId, VertexId], Set[int]] = {}
+        expected_out: Dict[VertexId, Set[int]] = {v: set() for v in self._vertices}
+        expected_in: Dict[VertexId, Set[int]] = {v: set() for v in self._vertices}
+        expected_out_label: Dict[VertexId, Dict[str, Set[int]]] = {
+            v: {} for v in self._vertices
+        }
+        expected_in_label: Dict[VertexId, Dict[str, Set[int]]] = {
+            v: {} for v in self._vertices
+        }
+        expected_succ: Dict[VertexId, Dict[VertexId, int]] = {
+            v: {} for v in self._vertices
+        }
+        expected_pred: Dict[VertexId, Dict[VertexId, int]] = {
+            v: {} for v in self._vertices
+        }
+        for eid, edge in self._edges.items():
+            assert edge.eid == eid, f"edge id mismatch: {edge.eid} != {eid}"
+            assert edge.src in self._vertices, f"dangling src {edge.src!r}"
+            assert edge.dst in self._vertices, f"dangling dst {edge.dst!r}"
+            expected_label.setdefault(edge.label, set()).add(eid)
+            expected_pair.setdefault((edge.src, edge.dst), set()).add(eid)
+            expected_out[edge.src].add(eid)
+            expected_in[edge.dst].add(eid)
+            expected_out_label[edge.src].setdefault(edge.label, set()).add(eid)
+            expected_in_label[edge.dst].setdefault(edge.label, set()).add(eid)
+            succ = expected_succ[edge.src]
+            succ[edge.dst] = succ.get(edge.dst, 0) + 1
+            pred = expected_pred[edge.dst]
+            pred[edge.src] = pred.get(edge.src, 0) + 1
+        assert self._out == expected_out, "out-edge sets diverge from edge list"
+        assert self._in == expected_in, "in-edge sets diverge from edge list"
+        assert self._label_index == expected_label, "label index diverges"
+        assert self._pair_index == expected_pair, "pair index diverges"
+        assert self._out_by_label == expected_out_label, "out-by-label diverges"
+        assert self._in_by_label == expected_in_label, "in-by-label diverges"
+        assert self._succ == expected_succ, "successor refcounts diverge"
+        assert self._pred == expected_pred, "predecessor refcounts diverge"
 
     def __contains__(self, vertex_id: VertexId) -> bool:
         return vertex_id in self._vertices

@@ -226,6 +226,12 @@ class DynamicGraph:
         return len(self._window)
 
     @property
+    def version(self) -> int:
+        """Monotonic stamp of window state: bumps on every add *and*
+        every eviction (evictions change trending results too)."""
+        return self.total_added + self.total_evicted
+
+    @property
     def now(self) -> Optional[float]:
         """Latest stream timestamp seen so far."""
         return self._last_timestamp

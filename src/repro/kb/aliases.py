@@ -29,6 +29,9 @@ class AliasDictionary:
     def __init__(self) -> None:
         self._alias_to_entities: Dict[str, Dict[str, int]] = {}
         self._entity_to_aliases: Dict[str, Set[str]] = {}
+        # Monotonic mutation stamp, folded into KnowledgeBase.version so
+        # alias changes invalidate query-result caches.
+        self.version = 0
 
     def add(self, alias: str, entity: str, count: int = 1) -> None:
         """Register (or reinforce) an alias for an entity."""
@@ -38,6 +41,7 @@ class AliasDictionary:
         slots = self._alias_to_entities.setdefault(key, {})
         slots[entity] = slots.get(entity, 0) + count
         self._entity_to_aliases.setdefault(entity, set()).add(key)
+        self.version += 1
 
     def candidates(self, mention: str) -> List[Tuple[str, float]]:
         """Candidate entities for a mention with normalised priors.

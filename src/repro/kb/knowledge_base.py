@@ -3,6 +3,19 @@
 This is the "curated KB" interface the rest of NOUS consumes (and also
 the container the *dynamic* KG grows in — extracted facts are added with
 ``curated=False`` and a confidence score).
+
+Query-efficiency layer (maintained incrementally, never by rescans):
+
+- a monotonic :attr:`KnowledgeBase.version` stamp, bumped on every
+  mutation, which downstream caches (query results, topic graphs) key on;
+- an exact-type index behind :meth:`entities_of_type`, so taxonomy-aware
+  entity lookups no longer scan every entity;
+- a shared, incrementally-maintained property-graph mirror behind
+  :meth:`graph_view`: every accepted fact is applied to the mirror as it
+  arrives, so pattern matching and visualisation never pay a full KB
+  materialisation.  The mirror is a *read* view — callers must not add or
+  remove vertices/edges on it (annotating vertex properties, e.g. topic
+  vectors, is fine).
 """
 
 from __future__ import annotations
@@ -38,6 +51,20 @@ class KnowledgeBase:
         self.aliases = AliasDictionary()
         self._types: Dict[str, str] = {}
         self._descriptions: Dict[str, str] = {}
+        self._by_exact_type: Dict[str, Set[str]] = {}
+        self._graph_view: Optional[PropertyGraph] = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic stamp of every cache-relevant KB mutation.
+
+        Sums the KB's own counter (facts, entities, descriptions) with
+        the alias-dictionary and ontology counters, so linking and
+        taxonomy changes — which alter query results without touching the
+        triple store — also invalidate downstream caches.
+        """
+        return self._version + self.aliases.version + self.ontology.version
 
     # ------------------------------------------------------------------
     # entities
@@ -55,13 +82,30 @@ class KnowledgeBase:
         """
         if not self.ontology.has_type(type_name):
             self.ontology.add_type(type_name)
-        self._types[entity_id] = type_name
+        self._set_type(entity_id, type_name)
         self.aliases.add(entity_id.replace("_", " "), entity_id)
         for alias in aliases:
             self.aliases.add(alias, entity_id)
         if description:
             self._descriptions[entity_id] = description
+        if self._graph_view is not None and self._graph_view.has_vertex(entity_id):
+            self._graph_view.set_vertex_prop(entity_id, "type", type_name)
+        self._version += 1
         return entity_id
+
+    def _set_type(self, entity_id: str, type_name: str) -> None:
+        """Update the type map and the exact-type index together."""
+        previous = self._types.get(entity_id)
+        if previous == type_name:
+            return
+        if previous is not None:
+            members = self._by_exact_type.get(previous)
+            if members is not None:
+                members.discard(entity_id)
+                if not members:
+                    del self._by_exact_type[previous]
+        self._types[entity_id] = type_name
+        self._by_exact_type.setdefault(type_name, set()).add(entity_id)
 
     def has_entity(self, entity_id: str) -> bool:
         return entity_id in self._types
@@ -74,18 +118,25 @@ class KnowledgeBase:
         return set(self._types)
 
     def entities_of_type(self, type_name: str) -> Set[str]:
-        """Entities whose type equals or descends from ``type_name``."""
-        return {
-            e
-            for e, t in self._types.items()
-            if self.ontology.has_type(t) and self.ontology.is_a(t, type_name)
-        }
+        """Entities whose type equals or descends from ``type_name``.
+
+        Answered from the exact-type index: only the (few) distinct type
+        names are tested against the taxonomy, never every entity.
+        """
+        out: Set[str] = set()
+        for exact_type, members in self._by_exact_type.items():
+            if self.ontology.has_type(exact_type) and self.ontology.is_a(
+                exact_type, type_name
+            ):
+                out.update(members)
+        return out
 
     def description(self, entity_id: str) -> str:
         return self._descriptions.get(entity_id, "")
 
     def set_description(self, entity_id: str, text: str) -> None:
         self._descriptions[entity_id] = text
+        self._version += 1
 
     # ------------------------------------------------------------------
     # facts
@@ -112,12 +163,39 @@ class KnowledgeBase:
             date=date,
             curated=curated,
         )
-        self.store.add(triple)
+        changed = self.store.add(triple)
         for endpoint in (subject, object):
             if endpoint not in self._types:
-                self._types[endpoint] = Ontology.ROOT
+                self._set_type(endpoint, Ontology.ROOT)
                 self.aliases.add(endpoint.replace("_", " "), endpoint)
+        if changed:
+            self._mirror_fact(triple)
+            self._version += 1
         return triple
+
+    def remove_fact(self, subject: str, predicate: str, object: str) -> bool:
+        """Delete a fact, keeping the graph mirror in sync.
+
+        Returns:
+            True if the fact was present.
+        """
+        if not self.store.remove(subject, predicate, object):
+            return False
+        if self._graph_view is not None:
+            for edge in list(self._graph_view.edges_between(subject, object)):
+                if edge.label == predicate:
+                    self._graph_view.remove_edge(edge.eid)
+            for endpoint in (subject, object):
+                # A fresh materialisation only contains entities that
+                # appear in stored triples; drop endpoints the removal
+                # orphaned so the mirror never shows ghost vertices.
+                if (
+                    self._graph_view.has_vertex(endpoint)
+                    and self._graph_view.degree(endpoint) == 0
+                ):
+                    self._graph_view.remove_vertex(endpoint)
+        self._version += 1
+        return True
 
     def facts_about(self, entity_id: str) -> List[Triple]:
         return self.store.about(entity_id)
@@ -160,6 +238,47 @@ class KnowledgeBase:
     # ------------------------------------------------------------------
     # graph view
     # ------------------------------------------------------------------
+    def graph_view(self) -> PropertyGraph:
+        """The shared, incrementally-maintained property-graph mirror.
+
+        The first call materialises the full KB; afterwards every
+        :meth:`add_fact` / :meth:`remove_fact` / :meth:`add_entity` is
+        applied to the mirror in O(1), so repeated callers (pattern
+        queries, visualisation) never pay a rebuild.  Treat the result as
+        read-only structure: annotating vertex *properties* is fine,
+        adding or removing vertices/edges is not.
+        """
+        if self._graph_view is None:
+            self._graph_view = self.to_property_graph()
+        return self._graph_view
+
+    def _mirror_fact(self, triple: Triple) -> None:
+        """Apply one stored fact to the graph mirror (no-op before the
+        mirror exists; upgrades in place when the key is already there)."""
+        graph = self._graph_view
+        if graph is None:
+            return
+        for endpoint in (triple.subject, triple.object):
+            if not graph.has_vertex(endpoint):
+                graph.add_vertex(
+                    endpoint,
+                    type=self._types.get(endpoint, Ontology.ROOT),
+                    name=endpoint.replace("_", " "),
+                )
+        edge_props = dict(
+            confidence=triple.confidence,
+            source=triple.source,
+            date=triple.date,
+            curated=triple.curated,
+        )
+        for edge in graph.edges_between(triple.subject, triple.object):
+            if edge.label == triple.predicate:
+                graph.update_edge_props(edge.eid, **edge_props)  # upgrade
+                return
+        graph.add_edge(
+            triple.subject, triple.object, triple.predicate, **edge_props
+        )
+
     def to_property_graph(
         self,
         min_confidence: float = 0.0,

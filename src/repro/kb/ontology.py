@@ -37,6 +37,9 @@ class Ontology:
     def __init__(self) -> None:
         self._parent: Dict[str, Optional[str]] = {self.ROOT: None}
         self._predicates: Dict[str, PredicateSignature] = {}
+        # Monotonic mutation stamp, folded into KnowledgeBase.version so
+        # taxonomy changes invalidate query-result caches.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # taxonomy
@@ -45,7 +48,9 @@ class Ontology:
         """Register a type under ``parent`` (which must already exist)."""
         if parent not in self._parent:
             raise UnknownTypeError(parent)
-        self._parent.setdefault(type_name, parent)
+        if type_name not in self._parent:
+            self._parent[type_name] = parent
+            self.version += 1
 
     def has_type(self, type_name: str) -> bool:
         return type_name in self._parent
@@ -107,6 +112,7 @@ class Ontology:
             symmetric=symmetric,
             description=description,
         )
+        self.version += 1
 
     def has_predicate(self, name: str) -> bool:
         return name in self._predicates

@@ -77,6 +77,10 @@ class StreamingPatternMiner:
         self.max_embeddings_per_edge = max_embeddings_per_edge
         self._edges: Dict[int, InstanceEdge] = {}
         self._incident: Dict[Hashable, Set[int]] = {}
+        # eid -> (src, dst, predicate), maintained incrementally so the
+        # distinct-fact check in the local enumeration never rebuilds keys
+        # from edge objects.
+        self._fact_of: Dict[int, Tuple[Hashable, Hashable, str]] = {}
         self._stats: Dict[Pattern, PatternStats] = {}
         self._eid = itertools.count()
         self._previous_frequent: Set[Pattern] = set()
@@ -92,6 +96,7 @@ class StreamingPatternMiner:
         self._edges[eid] = edge
         self._incident.setdefault(edge.src, set()).add(eid)
         self._incident.setdefault(edge.dst, set()).add(eid)
+        self._fact_of[eid] = (edge.src, edge.dst, edge.predicate)
         self._apply_local_embeddings(eid, delta=+1)
         self.updates_processed += 1
         return eid
@@ -102,6 +107,7 @@ class StreamingPatternMiner:
             raise ConfigError(f"unknown edge id {eid}")
         self._apply_local_embeddings(eid, delta=-1)
         edge = self._edges.pop(eid)
+        del self._fact_of[eid]
         for node in {edge.src, edge.dst}:
             incident = self._incident.get(node)
             if incident is None:
@@ -200,19 +206,16 @@ class StreamingPatternMiner:
             if len(subset) >= self.max_edges:
                 continue
             # candidate extensions: edges incident to the subset's nodes
-            facts = {
-                (self._edges[e].src, self._edges[e].dst, self._edges[e].predicate)
-                for e in subset
-            }
+            facts = {self._fact_of[e] for e in subset}
             for node in nodes:
                 for eid in self._incident.get(node, ()):
                     if eid in subset:
                         continue
-                    edge = self._edges[eid]
                     # A pattern ranges over *distinct facts*: two window
                     # instances of the same (s, p, o) must not pair up.
-                    if (edge.src, edge.dst, edge.predicate) in facts:
+                    if self._fact_of[eid] in facts:
                         continue
+                    edge = self._edges[eid]
                     extended = subset | {eid}
                     if extended in seen:
                         continue

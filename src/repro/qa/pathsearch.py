@@ -12,7 +12,7 @@ explanation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -88,6 +88,11 @@ class CoherentPathSearch:
         self.beam_width = beam_width
         self.look_ahead = look_ahead
         self.stats = SearchStats()
+        # Per-search memos: the graph is fixed for the duration of one
+        # top_k_paths call, and the beam revisits the same vertices many
+        # times, so guidance scores and topic vectors are cached per call.
+        self._topic_memo: Dict[Hashable, Optional[np.ndarray]] = {}
+        self._score_memo: Dict[Hashable, float] = {}
 
     # ------------------------------------------------------------------
     def top_k_paths(
@@ -110,7 +115,9 @@ class CoherentPathSearch:
             raise QAError("source and target must differ")
 
         self.stats = SearchStats()
-        target_vec = vertex_topics(self.graph, target)
+        self._topic_memo = {}
+        self._score_memo = {}
+        target_vec = self._topics(target)
         completed: List[RankedPath] = []
         # beam entries: (nodes, edges, visited set)
         beam: List[Tuple[List[Hashable], List[Edge], Set[Hashable]]] = [
@@ -151,25 +158,43 @@ class CoherentPathSearch:
         return completed[:k]
 
     # ------------------------------------------------------------------
+    def _topics(self, node: Hashable) -> Optional[np.ndarray]:
+        """Memoised vertex topic vector for the current search."""
+        if node not in self._topic_memo:
+            self._topic_memo[node] = vertex_topics(self.graph, node)
+        return self._topic_memo[node]
+
     def _guidance_score(
         self, node: Hashable, target_vec: Optional[np.ndarray]
     ) -> float:
-        """Divergence-to-target with optional one-hop look-ahead."""
+        """Divergence-to-target with optional one-hop look-ahead.
+
+        Memoised per search: the beam reaches the same vertex along many
+        partial paths, and the graph (hence the score) is fixed while one
+        ``top_k_paths`` call runs.  Neighbour enumeration hits the graph's
+        refcounted adjacency index rather than materialising edge lists.
+        """
         if target_vec is None:
             return 0.0
-        own = vertex_topics(self.graph, node)
+        cached = self._score_memo.get(node)
+        if cached is not None:
+            return cached
+        own = self._topics(node)
         own_div = js_divergence(own, target_vec) if own is not None else 1.0
         if not self.look_ahead:
+            self._score_memo[node] = own_div
             return own_div
         best_neighbor = own_div
         for nbr in self.graph.neighbors(node):
-            vec = vertex_topics(self.graph, nbr)
+            vec = self._topics(nbr)
             if vec is None:
                 continue
             div = js_divergence(vec, target_vec)
             if div < best_neighbor:
                 best_neighbor = div
-        return 0.6 * own_div + 0.4 * best_neighbor
+        score = 0.6 * own_div + 0.4 * best_neighbor
+        self._score_memo[node] = score
+        return score
 
     def _finish(
         self,
@@ -177,7 +202,7 @@ class CoherentPathSearch:
         edges: Sequence[Edge],
         target_vec: Optional[np.ndarray],
     ) -> RankedPath:
-        vectors = [vertex_topics(self.graph, n) for n in nodes]
+        vectors = [self._topics(n) for n in nodes]
         steps = [
             js_divergence(a, b)
             for a, b in zip(vectors, vectors[1:])

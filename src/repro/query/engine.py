@@ -1,10 +1,24 @@
-"""Query execution: parsed query -> graph algorithm -> rendered result."""
+"""Query execution: parsed query -> graph algorithm -> rendered result.
+
+The engine carries a **query-result cache** keyed on
+``(query, KG version)``: results are reused verbatim while the
+:class:`~repro.core.dynamic_kg.DynamicKnowledgeGraph` version stamp is
+unchanged, and invalidated the moment any fact is persisted or any
+window edge is added/evicted (both bump the monotonic stamp).  Trending
+queries are never cached because their payload contains *stateful
+transition deltas* (newly-frequent / newly-infrequent since the last
+report) — replaying an old delta would differ from re-running the
+report.  Entity, entity-trend, relationship, explanatory and pattern
+queries are pure functions of KG state and cache safely.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.pipeline import Nous
 from repro.errors import QueryError
@@ -21,6 +35,29 @@ from repro.query.parser import parse_query
 from repro.query.pattern_match import PatternMatcher, parse_pattern
 
 
+def _guard_payload(payload: Any) -> Any:
+    """Copy a payload's top-level mutable containers.
+
+    Cache entries and the results handed to callers must not alias each
+    other's containers, or a caller's ``payload.clear()`` / ``.sort()``
+    would silently poison the cache.  Lists are shallow-copied; dataclass
+    payloads (e.g. ``EntitySummary``) get their list fields shallow-
+    copied via ``replace``.  Element objects remain shared and are
+    treated as read-only.
+    """
+    if isinstance(payload, list):
+        return list(payload)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        updates = {
+            f.name: list(value)
+            for f in dataclasses.fields(payload)
+            if isinstance(value := getattr(payload, f.name), list)
+        }
+        if updates:
+            return dataclasses.replace(payload, **updates)
+    return payload
+
+
 @dataclass
 class QueryResult:
     """Uniform result wrapper for all five query classes.
@@ -30,7 +67,12 @@ class QueryResult:
         kind: Query class name ("trending", "entity", ...).
         payload: Class-specific result object.
         rendered: Plain-text rendering for CLI display.
-        elapsed_ms: Execution time.
+        elapsed_ms: Execution time (cache lookup time on a cache hit).
+        result_count: Number of result items (facts, rows, paths,
+            matches, or closed frequent patterns depending on ``kind``);
+            populated for every query class.
+        cached: True when this result was served from the result cache.
+        kg_version: KG version stamp the result was computed against.
     """
 
     query: Query
@@ -39,37 +81,93 @@ class QueryResult:
     rendered: str
     elapsed_ms: float = 0.0
     result_count: int = 0
+    cached: bool = False
+    kg_version: int = -1
 
 
 class QueryEngine:
-    """Execute NL-like queries against a :class:`~repro.core.pipeline.Nous`."""
+    """Execute NL-like queries against a :class:`~repro.core.pipeline.Nous`.
 
-    def __init__(self, nous: Nous) -> None:
+    Args:
+        nous: The system to query.
+        cache_size: Maximum cached results (LRU eviction); 0 disables
+            the cache.
+        enable_cache: Master switch for result caching.
+    """
+
+    def __init__(
+        self, nous: Nous, cache_size: int = 256, enable_cache: bool = True
+    ) -> None:
         self.nous = nous
+        self.cache_size = cache_size
+        self.enable_cache = enable_cache and cache_size > 0
+        # query -> (kg_version, result); LRU via OrderedDict move_to_end
+        self._cache: "OrderedDict[Query, Tuple[int, QueryResult]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def execute_text(self, text: str) -> QueryResult:
         """Parse and execute one query string."""
         return self.execute(parse_query(text))
 
     def execute(self, query: Query) -> QueryResult:
-        """Execute a parsed query."""
+        """Execute a parsed query, consulting the result cache first."""
         start = time.perf_counter()
-        if isinstance(query, TrendingQuery):
-            result = self._trending(query)
-        elif isinstance(query, EntityTrendQuery):
-            result = self._entity_trend(query)
-        elif isinstance(query, EntityQuery):
-            result = self._entity(query)
-        elif isinstance(query, ExplanatoryQuery):
-            result = self._paths(query, query.relationship, kind="explanatory")
-        elif isinstance(query, RelationshipQuery):
-            result = self._paths(query, query.relationship, kind="relationship")
-        elif isinstance(query, PatternQuery):
-            result = self._pattern(query)
-        else:  # pragma: no cover - future query classes
-            raise QueryError(f"unsupported query type: {type(query).__name__}")
+        cacheable = self.enable_cache and not isinstance(query, TrendingQuery)
+        version = self.nous.dynamic.version
+        if cacheable:
+            entry = self._cache.get(query)
+            if entry is not None and entry[0] == version:
+                self._cache.move_to_end(query)
+                self.cache_hits += 1
+                return replace(
+                    entry[1],
+                    payload=_guard_payload(entry[1].payload),
+                    cached=True,
+                    elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                )
+        result = self._dispatch(query)
         result.elapsed_ms = (time.perf_counter() - start) * 1000.0
+        # Dispatch itself can move the KG version (linking may mint an
+        # entity for an unknown mention); stamp and cache under the
+        # post-dispatch version or the entry could never hit.
+        version = self.nous.dynamic.version
+        result.kg_version = version
+        if cacheable:
+            self.cache_misses += 1
+            # Same container guard on the stored side: the caller of the
+            # miss holds `result`, which must not alias the cache.
+            stored = replace(result, payload=_guard_payload(result.payload))
+            self._cache[query] = (version, stored)
+            self._cache.move_to_end(query)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return result
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (stats are kept)."""
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    def _dispatch(self, query: Query) -> QueryResult:
+        if isinstance(query, TrendingQuery):
+            return self._trending(query)
+        if isinstance(query, EntityTrendQuery):
+            return self._entity_trend(query)
+        if isinstance(query, EntityQuery):
+            return self._entity(query)
+        if isinstance(query, ExplanatoryQuery):
+            return self._paths(query, query.relationship, kind="explanatory")
+        if isinstance(query, RelationshipQuery):
+            return self._paths(query, query.relationship, kind="relationship")
+        if isinstance(query, PatternQuery):
+            return self._pattern(query)
+        raise QueryError(  # pragma: no cover - future query classes
+            f"unsupported query type: {type(query).__name__}"
+        )
 
     # ------------------------------------------------------------------
     def _trending(self, query: TrendingQuery) -> QueryResult:
@@ -150,6 +248,7 @@ class QueryEngine:
 
     def _pattern(self, query: PatternQuery) -> QueryResult:
         pattern = parse_pattern(query.pattern_text)
+        # Shared incremental graph view: no per-query KB materialisation.
         graph = self.nous.dynamic.graph_view()
         matcher = PatternMatcher(graph, ontology=self.nous.kb.ontology)
         matches = matcher.match(pattern, limit=50)

@@ -5,6 +5,10 @@ Executes Figure 5's pattern queries: a pattern like
 edges and matched against the KG property graph by backtracking, with
 type checks resolved through the ontology's taxonomy (a ``Company``
 variable matches entities of any subtype).
+
+Candidate edges come from the graph's incremental label and
+(vertex, label) adjacency indexes, and join ordering uses the O(1)
+label-count index for selectivity — no step scans the full edge list.
 """
 
 from __future__ import annotations
@@ -95,10 +99,14 @@ class PatternMatcher:
         if not remaining:
             results.append(dict(bindings))
             return
-        # Choose the most-bound edge next (cheap join ordering).
+        # Choose the most-bound edge next, breaking ties towards the most
+        # selective predicate (O(1) via the label-count index).
         remaining = sorted(
             remaining,
-            key=lambda e: (e.src not in bindings) + (e.dst not in bindings),
+            key=lambda e: (
+                (e.src not in bindings) + (e.dst not in bindings),
+                self.graph.label_count(e.predicate),
+            ),
         )
         edge_pattern, rest = remaining[0], remaining[1:]
         for src, dst in self._candidate_pairs(edge_pattern, bindings):
@@ -117,16 +125,15 @@ class PatternMatcher:
         src_bound = bindings.get(edge.src)
         dst_bound = bindings.get(edge.dst)
         pairs: List[Tuple[Hashable, Hashable]] = []
+        # All three cases are answered from incremental indexes: the
+        # (vertex, label) adjacency indexes when an endpoint is bound,
+        # the global label index otherwise — never an edge-list scan.
         if src_bound is not None:
-            graph_edges = (
-                e for e in self.graph.out_edges(src_bound) if e.label == edge.predicate
-            )
+            graph_edges = self.graph.out_edges(src_bound, label=edge.predicate)
         elif dst_bound is not None:
-            graph_edges = (
-                e for e in self.graph.in_edges(dst_bound) if e.label == edge.predicate
-            )
+            graph_edges = self.graph.in_edges(dst_bound, label=edge.predicate)
         else:
-            graph_edges = self.graph.find_edges(label=edge.predicate)
+            graph_edges = self.graph.edges_with_label(edge.predicate)
         for graph_edge in graph_edges:
             if dst_bound is not None and graph_edge.dst != dst_bound:
                 continue

@@ -5,7 +5,7 @@ import pytest
 from repro import Nous, NousConfig, build_drone_kb, compute_statistics
 from repro.core.dynamic_kg import DynamicKnowledgeGraph
 from repro.errors import ConfigError
-from repro.graph.temporal import CountWindow
+from repro.graph.temporal import CountWindow, TimeWindow
 from repro.linking.mapper import MappedTriple
 from repro.nlp.dates import parse_date
 from repro.nlp.pipeline import RawTriple
@@ -183,6 +183,48 @@ class TestDynamicKnowledgeGraph:
         assert report.window_edges == 1
         assert report.closed_frequent
 
+    @pytest.mark.parametrize("window_factory", [
+        lambda: CountWindow(size=3),
+        lambda: TimeWindow(span=2.5),
+    ])
+    def test_accept_batch_matches_sequential(self, window_factory):
+        """Doomed-fact skipping must leave window content, miner supports
+        and trending identical to the sequential path — for both window
+        policies, including facts expiring mid-batch."""
+        targets = ["GoPro", "Parrot_SA", "Intel", "Amazon", "Qualcomm", "Google"]
+        facts = [
+            (make_mapped("DJI", "partnerOf", t), 0.7, float(i))
+            for i, t in enumerate(targets)
+        ]
+        seq = DynamicKnowledgeGraph(
+            build_drone_kb(), window=window_factory(), min_support=1
+        )
+        for mapped, conf, ts in facts:
+            seq.accept_fact(mapped, conf, ts)
+        bat = DynamicKnowledgeGraph(
+            build_drone_kb(), window=window_factory(), min_support=1
+        )
+        streamed = bat.accept_batch(facts)
+        assert streamed < len(facts), "batch should skip doomed facts"
+
+        assert bat.kb.num_facts == seq.kb.num_facts
+        assert sorted(
+            (t.timestamp, t.src, t.label, t.dst)
+            for t in bat.window.window_edges()
+        ) == sorted(
+            (t.timestamp, t.src, t.label, t.dst)
+            for t in seq.window.window_edges()
+        )
+        assert {
+            p.describe(): s for p, s in bat.miner.supports().items()
+        } == {p.describe(): s for p, s in seq.miner.supports().items()}
+        bat_report = bat.trending_report(timestamp=5.0)
+        seq_report = seq.trending_report(timestamp=5.0)
+        assert bat_report.window_edges == seq_report.window_edges
+        assert [
+            (p.describe(), s) for p, s in bat_report.closed_frequent
+        ] == [(p.describe(), s) for p, s in seq_report.closed_frequent]
+
 
 class TestStatisticsHelpers:
     def test_empty_kb(self):
@@ -191,3 +233,78 @@ class TestStatisticsHelpers:
         assert stats.num_facts == 0
         assert stats.mean_extracted_confidence == 0.0
         assert stats.render()  # must not crash on empty histogram
+
+
+class TestBatchIngestion:
+    """ingest_batch must match the sequential path's observable state."""
+
+    def _articles(self):
+        from types import SimpleNamespace
+
+        return [
+            SimpleNamespace(
+                text="GoPro partnered with DJI in June 2015.",
+                doc_id="a", date=parse_date("2015-06-10"), source="wsj",
+            ),
+            SimpleNamespace(  # no extractable triples
+                text="And furthermore, the weather was pleasant.",
+                doc_id="b", date=None, source="wsj",
+            ),
+            SimpleNamespace(
+                text="Intel partnered with PrecisionHawk in July 2015.",
+                doc_id="c", date=parse_date("2015-07-02"), source="wsj",
+            ),
+        ]
+
+    def _config(self):
+        return NousConfig(
+            window_size=50, min_support=2, lda_iterations=5, retrain_every=0
+        )
+
+    def test_batch_matches_sequential_including_empty_docs(self):
+        seq = Nous(config=self._config())
+        for a in self._articles():
+            seq.ingest(a.text, doc_id=a.doc_id, date=a.date, source=a.source)
+        bat = Nous(config=self._config())
+        results = bat.ingest_batch(self._articles())
+
+        assert [r.doc_id for r in results] == ["a", "b", "c"]
+        assert bat.documents_ingested == seq.documents_ingested == 3
+        assert bat.kb.num_facts == seq.kb.num_facts
+        # Triple-less documents must not consume a stream timestamp:
+        # windowed facts carry identical timestamps on both paths.
+        seq_rows = sorted(
+            (t.timestamp, t.src, t.label, t.dst)
+            for t in seq.dynamic.window.window_edges()
+        )
+        bat_rows = sorted(
+            (t.timestamp, t.src, t.label, t.dst)
+            for t in bat.dynamic.window.window_edges()
+        )
+        assert bat_rows == seq_rows
+
+    def test_empty_batch_is_a_noop(self):
+        nous = Nous(config=self._config())
+        assert nous.ingest_batch([]) == []
+        assert nous.documents_ingested == 0
+
+    def test_batch_repeated_fact_counts_as_known(self):
+        """A fact accepted earlier in the same batch feeds the agreement
+        (not contradiction) trust signal, as in the sequential path."""
+        from types import SimpleNamespace
+
+        doubled = [
+            SimpleNamespace(
+                text="GoPro partnered with DJI in June 2015.",
+                doc_id=f"d{i}", date=parse_date("2015-06-10"), source="wsj",
+            )
+            for i in range(2)
+        ]
+        seq = Nous(config=self._config())
+        for a in doubled:
+            seq.ingest(a.text, doc_id=a.doc_id, date=a.date, source=a.source)
+        bat = Nous(config=self._config())
+        bat.ingest_batch(doubled)
+        assert bat.estimator.source_trust.trust("wsj") == pytest.approx(
+            seq.estimator.source_trust.trust("wsj")
+        )

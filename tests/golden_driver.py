@@ -1,0 +1,100 @@
+"""Golden-pipeline driver: ingest a fixed seeded corpus, print metrics.
+
+Run as a subprocess by ``tests/test_golden_pipeline.py`` with
+``PYTHONHASHSEED=0`` so that set/dict hash iteration order — which can
+break ties in linking and beam search — is identical on every run.  Not
+a test module itself (pytest ignores the filename).
+
+Prints one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro import (
+    CorpusConfig,
+    Nous,
+    NousConfig,
+    build_drone_kb,
+    generate_corpus,
+    generate_descriptions,
+)
+from repro.query import QueryEngine
+
+GOLDEN_SEED = 11
+N_ARTICLES = 40
+
+QUERY_TEXTS = [
+    "tell me about DJI",
+    "how is GoPro related to DJI",
+    "why does Windermere use drones",
+    "match (?a:Company)-[acquired]->(?b:Company)",
+    "what's new about DJI",
+]
+
+
+def build_system() -> Nous:
+    kb = build_drone_kb()
+    generate_descriptions(kb, seed=GOLDEN_SEED)
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=N_ARTICLES, seed=GOLDEN_SEED)
+    )
+    nous = Nous(
+        kb=kb,
+        config=NousConfig(
+            window_size=120,
+            min_support=2,
+            lda_iterations=20,
+            retrain_every=60,
+            seed=GOLDEN_SEED,
+        ),
+    )
+    nous._ingest_results = nous.ingest_corpus(articles)  # type: ignore[attr-defined]
+    return nous
+
+
+def main() -> None:
+    nous = build_system()
+    results = nous._ingest_results  # type: ignore[attr-defined]
+
+    trending = nous.trending()
+    top_patterns = sorted(
+        f"{pattern.describe()}|{support}"
+        for pattern, support in trending.closed_frequent
+    )[:5]
+
+    paths = nous.explain("Windermere", "drones", k=3)
+
+    # Cache consistency: the same queries through a cache-enabled and a
+    # cache-disabled engine, twice each, must render identically.
+    cached_engine = QueryEngine(nous, enable_cache=True)
+    plain_engine = QueryEngine(nous, enable_cache=False)
+    cache_consistent = True
+    for text in QUERY_TEXTS * 2:
+        a = cached_engine.execute_text(text)
+        b = plain_engine.execute_text(text)
+        if a.rendered != b.rendered or a.result_count != b.result_count:
+            cache_consistent = False
+
+    metrics = {
+        "accepted_total": sum(r.accepted for r in results),
+        "rejected_confidence_total": sum(r.rejected_confidence for r in results),
+        "raw_triples_total": sum(r.raw_triples for r in results),
+        "num_facts": nous.kb.num_facts,
+        "num_entities": len(nous.kb.entities()),
+        "window_edges": trending.window_edges,
+        "closed_frequent_count": len(trending.closed_frequent),
+        "top_patterns": top_patterns,
+        "top_path_nodes": [str(n) for n in paths[0].nodes] if paths else [],
+        "top_path_coherence": round(paths[0].coherence, 6) if paths else None,
+        "cache_consistent": cache_consistent,
+        "cache_hits": cached_engine.cache_hits,
+    }
+    json.dump(metrics, sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""Property-based tests: index/edge-list consistency of PropertyGraph.
+
+Random interleavings of add/remove operations (vertices and edges) must
+leave every incremental secondary index — label, (vertex, label)
+adjacency, pair, successor/predecessor refcounts — exactly equal to what
+a from-scratch recomputation over the raw edge list produces.  The same
+must hold for the graph a DynamicGraph maintains through its
+window-eviction path (both count and time windows).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import PropertyGraph
+from repro.graph.temporal import CountWindow, DynamicGraph, TimeWindow
+
+VERTICES = ["a", "b", "c", "d", "e", "f"]
+LABELS = ["likes", "knows", "sells", "near"]
+
+# Operation encodings (interpreted against live graph state, so every
+# generated sequence is valid):
+#   ("add_vertex", v)
+#   ("add_edge", src, dst, label)
+#   ("remove_edge", k)    -> remove k-th live edge (mod), no-op when empty
+#   ("remove_vertex", k)  -> remove k-th live vertex (mod), no-op when empty
+_op = st.one_of(
+    st.tuples(st.just("add_vertex"), st.sampled_from(VERTICES)),
+    st.tuples(
+        st.just("add_edge"),
+        st.sampled_from(VERTICES),
+        st.sampled_from(VERTICES),
+        st.sampled_from(LABELS),
+    ),
+    st.tuples(st.just("remove_edge"), st.integers(min_value=0, max_value=200)),
+    st.tuples(st.just("remove_vertex"), st.integers(min_value=0, max_value=200)),
+)
+
+
+def _apply(graph: PropertyGraph, op) -> None:
+    kind = op[0]
+    if kind == "add_vertex":
+        graph.add_vertex(op[1], tag=len(graph))
+    elif kind == "add_edge":
+        graph.add_edge(op[1], op[2], op[3], weight=1.0)
+    elif kind == "remove_edge":
+        eids = sorted(e.eid for e in graph.edges())
+        if eids:
+            graph.remove_edge(eids[op[1] % len(eids)])
+    elif kind == "remove_vertex":
+        vids = sorted(graph.vertices(), key=str)
+        if vids:
+            graph.remove_vertex(vids[op[1] % len(vids)])
+
+
+def _check_semantic_views(graph: PropertyGraph) -> None:
+    """Indexed lookups must agree with brute-force scans of the edge list."""
+    all_edges = list(graph.edges())
+    for label in LABELS:
+        expected = {e.eid for e in all_edges if e.label == label}
+        assert {e.eid for e in graph.edges_with_label(label)} == expected
+        assert graph.label_count(label) == len(expected)
+        assert {e.eid for e in graph.find_edges(label=label)} == expected
+    for vid in graph.vertices():
+        out_scan = [e for e in all_edges if e.src == vid]
+        in_scan = [e for e in all_edges if e.dst == vid]
+        assert {e.eid for e in graph.out_edges(vid)} == {e.eid for e in out_scan}
+        assert {e.eid for e in graph.in_edges(vid)} == {e.eid for e in in_scan}
+        assert graph.successors(vid) == {e.dst for e in out_scan}
+        assert graph.predecessors(vid) == {e.src for e in in_scan}
+        assert graph.neighbors(vid) == (
+            {e.dst for e in out_scan} | {e.src for e in in_scan}
+        )
+        for label in LABELS:
+            assert {e.eid for e in graph.out_edges(vid, label=label)} == {
+                e.eid for e in out_scan if e.label == label
+            }
+            assert {e.eid for e in graph.in_edges(vid, label=label)} == {
+                e.eid for e in in_scan if e.label == label
+            }
+    for src in VERTICES:
+        for dst in VERTICES:
+            expected = {e.eid for e in all_edges if e.src == src and e.dst == dst}
+            assert {e.eid for e in graph.edges_between(src, dst)} == expected
+
+
+class TestPropertyGraphIndexInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(_op, max_size=40))
+    def test_random_interleavings_keep_indexes_consistent(self, ops):
+        graph = PropertyGraph()
+        version = graph.version
+        for op in ops:
+            _apply(graph, op)
+            graph.check_index_invariants()
+            assert graph.version >= version, "version must be monotonic"
+            version = graph.version
+        _check_semantic_views(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(_op, min_size=1, max_size=30))
+    def test_mutations_bump_version(self, ops):
+        graph = PropertyGraph()
+        for op in ops:
+            before = graph.version
+            edges_before = graph.num_edges
+            vertices_before = graph.num_vertices
+            _apply(graph, op)
+            if (graph.num_edges, graph.num_vertices) != (
+                edges_before,
+                vertices_before,
+            ) or op[0] == "add_vertex":
+                assert graph.version > before
+
+
+_timed_edge = st.tuples(
+    st.sampled_from(VERTICES),
+    st.sampled_from(VERTICES),
+    st.sampled_from(LABELS),
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),  # timestamp delta
+)
+
+
+class TestDynamicGraphEvictionInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        edges=st.lists(_timed_edge, max_size=40),
+        size=st.integers(min_value=1, max_value=8),
+    )
+    def test_count_window_eviction_keeps_graph_and_indexes_in_sync(
+        self, edges, size
+    ):
+        dyn = DynamicGraph(window=CountWindow(size=size))
+        now = 0.0
+        for src, dst, label, delta in edges:
+            now += delta
+            dyn.add_edge(src, dst, label, timestamp=now, confidence=0.5)
+            dyn.graph.check_index_invariants()
+            assert dyn.window_size <= size
+            # The materialised graph must mirror the window exactly.
+            window_facts = sorted(
+                (t.src, t.dst, t.label) for t in dyn.window_edges()
+            )
+            graph_facts = sorted(
+                (e.src, e.dst, e.label) for e in dyn.graph.edges()
+            )
+            assert window_facts == graph_facts
+            # No orphan vertices survive eviction.
+            live = {t.src for t in dyn.window_edges()} | {
+                t.dst for t in dyn.window_edges()
+            }
+            assert set(dyn.graph.vertices()) == live
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        edges=st.lists(_timed_edge, max_size=30),
+        span=st.floats(min_value=0.5, max_value=10.0),
+        advances=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False), max_size=5
+        ),
+    )
+    def test_time_window_eviction_keeps_graph_and_indexes_in_sync(
+        self, edges, span, advances
+    ):
+        dyn = DynamicGraph(window=TimeWindow(span=span))
+        now = 0.0
+        for src, dst, label, delta in edges:
+            now += delta
+            dyn.add_edge(src, dst, label, timestamp=now)
+            dyn.graph.check_index_invariants()
+        for delta in advances:
+            now += delta
+            dyn.advance_time(now)
+            dyn.graph.check_index_invariants()
+            cutoff = now - span
+            assert all(t.timestamp >= cutoff for t in dyn.window_edges())
+            window_facts = sorted(
+                (t.src, t.dst, t.label) for t in dyn.window_edges()
+            )
+            graph_facts = sorted(
+                (e.src, e.dst, e.label) for e in dyn.graph.edges()
+            )
+            assert window_facts == graph_facts

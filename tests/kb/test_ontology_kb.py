@@ -174,3 +174,56 @@ class TestKnowledgeBase:
         index = kb.kb_alias_index()
         assert "phantom" not in index
         assert index.get("da-jiang innovations") == "DJI"
+
+
+class TestGraphViewMirror:
+    """The incrementally-maintained graph_view() must always equal a
+    fresh to_property_graph() materialisation."""
+
+    def _assert_mirror_matches_fresh(self, kb):
+        mirror = kb.graph_view()
+        fresh = kb.to_property_graph()
+        assert set(mirror.vertices()) == set(fresh.vertices())
+        assert sorted(
+            (e.src, e.label, e.dst) for e in mirror.edges()
+        ) == sorted((e.src, e.label, e.dst) for e in fresh.edges())
+        mirror.check_index_invariants()
+
+    def test_facts_added_after_first_view_appear(self):
+        kb = KnowledgeBase()
+        kb.add_fact("A", "likes", "B")
+        kb.graph_view()  # materialise, then mutate
+        kb.add_fact("B", "likes", "C")
+        kb.add_entity("C", "Company")
+        self._assert_mirror_matches_fresh(kb)
+        assert kb.graph_view().vertex_props("C")["type"] == "Company"
+
+    def test_confidence_upgrade_updates_edge_in_place(self):
+        kb = KnowledgeBase()
+        kb.add_fact("A", "likes", "B", confidence=0.4, curated=False)
+        view = kb.graph_view()
+        kb.add_fact("A", "likes", "B", confidence=0.9, curated=False)
+        (edge,) = view.edges_between("A", "B")
+        assert edge.props["confidence"] == pytest.approx(0.9)
+        assert view.num_edges == 1
+
+    def test_remove_fact_drops_edges_and_orphan_vertices(self):
+        kb = KnowledgeBase()
+        kb.add_fact("A", "likes", "B")
+        kb.add_fact("B", "likes", "C")
+        kb.graph_view()
+        version = kb.version
+        assert kb.remove_fact("A", "likes", "B")
+        assert kb.version > version
+        assert not kb.remove_fact("A", "likes", "B")  # already gone
+        self._assert_mirror_matches_fresh(kb)
+        assert not kb.graph_view().has_vertex("A")  # orphaned endpoint
+        assert kb.graph_view().has_vertex("B")      # still in a fact
+
+    def test_entities_of_type_uses_index(self):
+        kb = build_drone_kb()
+        before = kb.entities_of_type("Company")
+        kb.add_entity("NewCo", "Company")
+        after = kb.entities_of_type("Company")
+        assert after == before | {"NewCo"}
+        assert "DJI" in kb.entities_of_type("Organization")  # via taxonomy

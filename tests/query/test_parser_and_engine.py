@@ -202,6 +202,32 @@ class TestQueryEngine:
         assert result.kind == "pattern"
         assert result.result_count >= 1
 
+    def test_result_count_consistent_for_all_classes(self, engine):
+        """result_count must be populated from the payload for every
+        query class, never left at the dataclass default of 0."""
+        by_kind = {}
+        for text in [
+            "show trending patterns",
+            "tell me about DJI",
+            "what's new about DJI",
+            "how is GoPro related to DJI",
+            "why does Windermere use drones",
+            "match (?a:Company)-[partnerOf]->(?b:Company)",
+        ]:
+            result = engine.execute_text(text)
+            by_kind[result.kind] = result
+        assert by_kind["trending"].result_count == len(
+            by_kind["trending"].payload.closed_frequent
+        )
+        assert by_kind["entity"].result_count == len(
+            by_kind["entity"].payload.facts
+        )
+        for kind in ("entity-trend", "relationship", "explanatory", "pattern"):
+            assert by_kind[kind].result_count == len(by_kind[kind].payload)
+        # Non-degenerate: this fixture has data behind every class.
+        for kind in ("trending", "entity", "relationship", "explanatory", "pattern"):
+            assert by_kind[kind].result_count > 0, f"{kind} result_count is 0"
+
     def test_all_five_classes_covered(self, engine):
         kinds = set()
         for text in [

@@ -1,0 +1,205 @@
+"""Query-result cache: version-stamp invalidation and hit behaviour.
+
+The engine caches results keyed on ``(query, DynamicKnowledgeGraph
+version)``.  The contract under test:
+
+- repeated queries on an *unchanged* KG are served from the cache and
+  are payload-identical to the first execution;
+- any KG update (persisted fact, window add/evict) bumps the version
+  stamp, so the same query afterwards recomputes and reflects the
+  update;
+- trending queries are never cached (their payload carries stateful
+  transition deltas);
+- a cache-disabled engine returns the same results as a cache-enabled
+  one on an unchanged KG.
+"""
+
+import pytest
+
+from repro import Nous, NousConfig
+from repro.nlp.dates import parse_date
+from repro.query import QueryEngine
+
+
+def _fresh_nous() -> Nous:
+    nous = Nous(config=NousConfig(
+        window_size=100, min_support=2, lda_iterations=10, retrain_every=0
+    ))
+    nous.ingest(
+        "GoPro partnered with DJI in June 2015.",
+        doc_id="a", date=parse_date("2015-06-10"), source="wsj",
+    )
+    nous.ingest(
+        "Intel partnered with PrecisionHawk in July 2015.",
+        doc_id="b", date=parse_date("2015-07-02"), source="wsj",
+    )
+    return nous
+
+
+@pytest.fixture
+def nous():
+    return _fresh_nous()
+
+
+class TestCacheHits:
+    def test_repeat_query_on_unchanged_kg_hits_cache(self, nous):
+        engine = QueryEngine(nous)
+        first = engine.execute_text("tell me about DJI")
+        second = engine.execute_text("tell me about DJI")
+        assert not first.cached
+        assert second.cached
+        assert engine.cache_hits == 1
+        assert engine.cache_misses == 1
+        assert second.rendered == first.rendered
+        assert second.result_count == first.result_count
+        assert second.payload == first.payload  # reused, not recomputed
+        assert second.kg_version == first.kg_version
+
+    def test_hit_payload_is_mutation_guarded(self, nous):
+        engine = QueryEngine(nous)
+        text = "match (?a:Company)-[partnerOf]->(?b:Company)"
+        miss = engine.execute_text(text)
+        miss.payload.clear()  # caller abuses the miss result...
+        hit = engine.execute_text(text)
+        assert hit.cached and hit.payload, "cache aliased the miss payload"
+        hit.payload.clear()  # ...and the hit result...
+        again = engine.execute_text(text)
+        assert again.cached
+        assert again.result_count == len(again.payload) > 0  # ...cache intact
+
+    def test_hit_dataclass_payload_is_mutation_guarded(self, nous):
+        engine = QueryEngine(nous)
+        miss = engine.execute_text("tell me about DJI")
+        miss.payload.facts.clear()  # EntitySummary.facts is a list field
+        hit = engine.execute_text("tell me about DJI")
+        assert hit.cached
+        assert len(hit.payload.facts) == hit.result_count > 0
+        hit.payload.facts.clear()
+        again = engine.execute_text("tell me about DJI")
+        assert again.cached and len(again.payload.facts) == again.result_count
+
+    def test_all_cacheable_classes_hit(self, nous):
+        engine = QueryEngine(nous)
+        texts = [
+            "tell me about DJI",
+            "what's new about DJI",
+            "how is GoPro related to DJI",
+            "why does Windermere use drones",
+            "match (?a:Company)-[partnerOf]->(?b:Company)",
+        ]
+        firsts = [engine.execute_text(t) for t in texts]
+        seconds = [engine.execute_text(t) for t in texts]
+        assert all(not r.cached for r in firsts)
+        assert all(r.cached for r in seconds)
+        assert engine.cache_hits == len(texts)
+        for a, b in zip(firsts, seconds):
+            assert a.rendered == b.rendered
+            assert a.result_count == b.result_count
+
+    def test_trending_is_never_cached(self, nous):
+        engine = QueryEngine(nous)
+        first = engine.execute_text("show trending patterns")
+        second = engine.execute_text("show trending patterns")
+        assert not first.cached and not second.cached
+        assert engine.cache_hits == 0
+        # The second report has no transitions since the first consumed
+        # them — exactly why trending must bypass the cache.
+        assert second.payload.newly_frequent == []
+
+    def test_lru_bound_respected(self, nous):
+        engine = QueryEngine(nous, cache_size=2)
+        for mention in ["DJI", "GoPro", "Intel"]:
+            engine.execute_text(f"tell me about {mention}")
+        assert engine.cache_len == 2
+        # Oldest entry (DJI) was evicted -> re-executing misses.
+        result = engine.execute_text("tell me about DJI")
+        assert not result.cached
+
+
+class TestVersionInvalidation:
+    def test_kg_update_invalidates_and_returns_fresh_results(self, nous):
+        engine = QueryEngine(nous)
+        before = engine.execute_text("tell me about DJI")
+        assert engine.execute_text("tell me about DJI").cached
+
+        version_before = nous.dynamic.version
+        nous.ingest_facts([("DJI", "acquired", "GoPro")])
+        assert nous.dynamic.version > version_before
+
+        after = engine.execute_text("tell me about DJI")
+        assert not after.cached, "stale cache entry served after KG update"
+        assert after.result_count == before.result_count + 1
+        facts = {(s, p, o) for s, p, o, _conf, _cur in after.payload.facts}
+        assert ("DJI", "acquired", "GoPro") in facts
+
+    def test_window_only_change_invalidates_entity_trend(self, nous):
+        engine = QueryEngine(nous)
+        before = engine.execute_text("what's new about DJI")
+        assert engine.execute_text("what's new about DJI").cached
+        nous.ingest_facts([("DJI", "partnerOf", "Parrot")])
+        after = engine.execute_text("what's new about DJI")
+        assert not after.cached
+        assert after.result_count == before.result_count + 1
+
+    def test_ontology_and_alias_mutations_invalidate(self, nous):
+        engine = QueryEngine(nous)
+        text = "match (?a:Company)-[partnerOf]->(?b:Company)"
+        engine.execute_text(text)
+        assert engine.execute_text(text).cached
+        nous.kb.ontology.add_type("Conglomerate", parent="Company")
+        assert not engine.execute_text(text).cached, (
+            "taxonomy change served a stale cached result"
+        )
+        assert engine.execute_text(text).cached
+        nous.kb.aliases.add("Da Jiang", "DJI")
+        assert not engine.execute_text(text).cached, (
+            "alias change served a stale cached result"
+        )
+
+    def test_unknown_mention_query_caches_despite_entity_minting(self, nous):
+        """Linking an unknown mention mints an entity mid-dispatch; the
+        result must be cached under the post-dispatch version so the
+        repeat query still hits."""
+        engine = QueryEngine(nous)
+        first = engine.execute_text("tell me about Zorblatt Industries")
+        assert first.kg_version == nous.dynamic.version
+        second = engine.execute_text("tell me about Zorblatt Industries")
+        assert second.cached
+
+    def test_pattern_query_sees_update_through_shared_view(self, nous):
+        engine = QueryEngine(nous)
+        text = "match (?a:Company)-[acquired]->(?b:Company)"
+        before = engine.execute_text(text)
+        assert engine.execute_text(text).cached
+        nous.ingest_facts([("DJI", "acquired", "GoPro")])
+        after = engine.execute_text(text)
+        assert not after.cached
+        assert after.result_count == before.result_count + 1
+        assert {"a": "DJI", "b": "GoPro"} in after.payload
+
+
+class TestCacheDisabledEquivalence:
+    def test_disabled_engine_matches_enabled_engine(self, nous):
+        cached = QueryEngine(nous, enable_cache=True)
+        uncached = QueryEngine(nous, enable_cache=False)
+        texts = [
+            "tell me about DJI",
+            "how is GoPro related to DJI",
+            "match (?a:Company)-[partnerOf]->(?b:Company)",
+        ]
+        for text in texts:
+            for _round in range(2):
+                a = cached.execute_text(text)
+                b = uncached.execute_text(text)
+                assert a.rendered == b.rendered
+                assert a.result_count == b.result_count
+        assert uncached.cache_hits == 0
+        assert uncached.cache_len == 0
+        assert cached.cache_hits > 0
+
+    def test_clear_cache(self, nous):
+        engine = QueryEngine(nous)
+        engine.execute_text("tell me about DJI")
+        engine.clear_cache()
+        assert engine.cache_len == 0
+        assert not engine.execute_text("tell me about DJI").cached

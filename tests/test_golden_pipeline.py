@@ -1,0 +1,101 @@
+"""End-to-end golden regression test.
+
+Ingests a fixed seeded corpus (40 articles, seed 11) in a subprocess
+with ``PYTHONHASHSEED=0`` — hash iteration order can break ties in
+collective linking and beam search, so the pipeline is only bit-stable
+under a pinned hash seed — and compares the resulting metrics against
+pinned golden values: accepted-triple counts, trending output, and one
+explanatory path answer.
+
+If an index/batching/caching refactor changes any of these numbers, this
+test fails loudly instead of letting results drift silently.  When a
+change is *intended* (e.g. an extraction improvement), regenerate with::
+
+    PYTHONHASHSEED=0 PYTHONPATH=src python tests/golden_driver.py
+
+and update ``GOLDEN`` below, explaining the drift in the commit message.
+
+The driver also runs the same query set through a cache-enabled and a
+cache-disabled engine twice; ``cache_consistent`` pins that enabling the
+result cache does not change any answer.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+GOLDEN = {
+    "accepted_total": 83,
+    "rejected_confidence_total": 0,
+    "raw_triples_total": 228,
+    "num_facts": 194,
+    "num_entities": 136,
+    "window_edges": 83,
+    "closed_frequent_count": 25,
+    "top_patterns": [
+        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[acquiredFor]->(?2:Thing)|4",
+        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[raisedFunding]->(?2:Thing)|2",
+        "(?0:Company)-[acquired]->(?1:Company) (?1:Company)-[acquired]->(?2:Company)|3",
+        "(?0:Company)-[acquired]->(?1:Company) (?1:Company)-[fundedBy]->(?2:Company)|2",
+        "(?0:Company)-[acquired]->(?1:Company) (?1:Company)-[raisedFunding]->(?2:Thing)|3",
+    ],
+    "top_path_nodes": ["Windermere", "AirTech_2", "DJI", "Drone_Industry"],
+    "top_path_coherence": 0.208112,
+    "cache_consistent": True,
+}
+
+
+@pytest.fixture(scope="module")
+def golden_metrics():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    driver = os.path.join(repo_root, "tests", "golden_driver.py")
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"
+    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, driver],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"driver failed:\n{proc.stderr}"
+    return json.loads(proc.stdout)
+
+
+class TestGoldenPipeline:
+    def test_accepted_triple_counts_pinned(self, golden_metrics):
+        for key in (
+            "accepted_total",
+            "rejected_confidence_total",
+            "raw_triples_total",
+            "num_facts",
+            "num_entities",
+        ):
+            assert golden_metrics[key] == GOLDEN[key], (
+                f"{key}: got {golden_metrics[key]}, pinned {GOLDEN[key]}"
+            )
+
+    def test_trending_output_pinned(self, golden_metrics):
+        assert golden_metrics["window_edges"] == GOLDEN["window_edges"]
+        assert (
+            golden_metrics["closed_frequent_count"]
+            == GOLDEN["closed_frequent_count"]
+        )
+        assert golden_metrics["top_patterns"] == GOLDEN["top_patterns"]
+
+    def test_explanatory_path_answer_pinned(self, golden_metrics):
+        assert golden_metrics["top_path_nodes"] == GOLDEN["top_path_nodes"]
+        assert (
+            golden_metrics["top_path_coherence"]
+            == pytest.approx(GOLDEN["top_path_coherence"], abs=1e-6)
+        )
+
+    def test_cache_does_not_change_results(self, golden_metrics):
+        assert golden_metrics["cache_consistent"] is True
+        assert golden_metrics["cache_hits"] > 0
