@@ -1,16 +1,18 @@
 """Citation analytics from bibliography data (paper §3.1, domain 3).
 
 Bibliography databases are *structured*: facts enter the dynamic KG
-directly (``Nous.ingest_facts``) without the NLP stage, but flow through
-the same sliding window — so the streaming miner spots the late-breaking
-"knowledge graphs" citation burst, and path queries explain author
-relationships.
+directly (``NousService.ingest_facts``) without the NLP stage, but flow
+through the same sliding window — so the streaming miner spots the
+late-breaking "knowledge graphs" citation burst, and path queries
+explain author relationships.  Everything below speaks the service
+API's typed envelopes.
 
 Run:
     python examples/citation_analytics.py
 """
 
-from repro import Nous, NousConfig
+from repro import NousConfig, NousService, ServiceConfig
+from repro.api.wire import decode_payload
 from repro.data.citations import CitationWorld, build_citation_ontology
 from repro.kb.knowledge_base import KnowledgeBase
 
@@ -21,18 +23,23 @@ def main() -> None:
                           hot_topic="knowledge_graphs")
     batches = world.generate_batches(kb)
 
-    nous = Nous(
+    service = NousService(
         kb=kb,
         config=NousConfig(window_size=220, min_support=5, retrain_every=0,
                           lda_iterations=30, seed=37),
+        service_config=ServiceConfig(auto_start=False),
     )
 
     # Stream the bibliography in thirds and watch the trend form.
     third = len(batches) // 3
     for phase, start in enumerate([0, third, 2 * third]):
         for batch in batches[start : start + third]:
-            nous.ingest_facts(batch.facts, date=batch.date, source=batch.source)
-        report = nous.trending()
+            service.ingest_facts(
+                batch.facts, date=str(batch.date), source=batch.source
+            ).raise_for_error()
+        report = decode_payload(
+            "trending", service.query("show trending patterns").payload
+        )
         print(f"--- phase {phase + 1} (through {batches[min(start + third, len(batches)) - 1].date}), "
               f"window={report.window_edges} facts")
         for pattern, support in report.closed_frequent[:5]:
@@ -43,7 +50,7 @@ def main() -> None:
     # current window directly.
     from collections import Counter
     topic_counts = Counter()
-    for timed in nous.dynamic.window.window_edges():
+    for timed in service.nous.dynamic.window.window_edges():
         if timed.label == "hasTopic":
             topic_counts[timed.dst] += 1
     print("topic mix in the current window:")
@@ -51,11 +58,13 @@ def main() -> None:
         print(f"    {topic:28s} {count}")
     print()
 
-    # Explain a relationship across the co-authorship/citation graph.
+    # Explain a relationship across the co-authorship/citation graph —
+    # the "how is X related to Y" envelope, decoded back to RankedPaths.
     author_a, author_b = world.authors[0], world.authors[1]
     print(f"Q: how is {author_a} related to {author_b}?")
-    paths = nous.explain(author_a, author_b, k=2)
-    for i, path in enumerate(paths):
+    response = service.query(f"how is {author_a} related to {author_b}")
+    paths = decode_payload(response.kind, response.payload) if response.ok else []
+    for i, path in enumerate(paths[:2]):
         print(f"    {i + 1}. coherence={path.coherence:.3f}  {path.describe()}")
     if not paths:
         print("    (no path within hop budget)")

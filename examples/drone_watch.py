@@ -4,8 +4,11 @@ industry from streaming news.
 A security analyst wants to "reason about why a non-military
 organization such as Windermere may employ drones in their operations"
 (Figure 2), and a finance analyst tracks emerging manufacturers.  This
-example ingests the stream incrementally and interleaves questions with
-construction — the "dynamic" in dynamic knowledge graph.
+example streams articles through the service's ingestion queue and
+interleaves questions with construction — the "dynamic" in dynamic
+knowledge graph — while a **standing query** turns the trending view
+into a change feed: each phase prints the rows that appeared and
+disappeared instead of re-diffing reports by hand.
 
 Run:
     python examples/drone_watch.py
@@ -13,12 +16,13 @@ Run:
 
 from repro import (
     CorpusConfig,
-    Nous,
     NousConfig,
+    NousService,
     build_drone_kb,
     generate_corpus,
     generate_descriptions,
 )
+from repro.api.wire import decode_payload
 
 
 def main() -> None:
@@ -27,53 +31,54 @@ def main() -> None:
         kb, CorpusConfig(n_articles=180, seed=11, crawl_fraction=0.3)
     )
     generate_descriptions(kb, seed=11)
-    nous = Nous(kb=kb, config=NousConfig(window_size=250, min_support=3, seed=11))
 
-    # Stream in thirds; after each batch, look at what is trending now.
-    third = len(articles) // 3
-    for phase, start in enumerate([0, third, 2 * third]):
-        batch = articles[start : start + third]
-        for article in batch:
-            nous.ingest(
-                article.text,
-                doc_id=article.doc_id,
-                date=article.date,
-                source=article.source,
-            )
-        report = nous.trending()
-        first, last = batch[0].date, batch[-1].date
-        print(f"--- phase {phase + 1}: articles {start}..{start + len(batch)} "
-              f"({first} .. {last}), window={report.window_edges} facts")
-        for pattern, support in report.closed_frequent[:5]:
-            print(f"    support={support:3d}  {pattern.describe()}")
-        for pattern in report.newly_frequent[:3]:
-            print(f"    NEW: {pattern.describe()}")
-        for pattern, survivors in report.newly_infrequent[:3]:
-            print(f"    GONE: {pattern.describe()} "
-                  f"({len(survivors)} sub-patterns survive)")
+    with NousService(
+        kb=kb, config=NousConfig(window_size=250, min_support=3, seed=11)
+    ) as service:
+        # The analyst's always-on watch over what is trending.
+        watch = service.subscribe("show trending patterns")
+
+        # Stream in thirds through the queue; after each batch drains,
+        # the standing query has already been refreshed.
+        third = len(articles) // 3
+        for phase, start in enumerate([0, third, 2 * third]):
+            batch = articles[start : start + third]
+            service.submit_many(batch)
+            service.flush()
+            first, last = batch[0].date, batch[-1].date
+            print(f"--- phase {phase + 1}: articles {start}..{start + len(batch)} "
+                  f"({first} .. {last})")
+            for update in watch.poll():
+                for row in update.added[:4]:
+                    print(f"    + support={row['support']:3d}  {row['pattern']}")
+                for row in update.removed[:4]:
+                    print(f"    - {row['pattern']}")
+            print()
+
+        # The security analyst's question (Figure 2's caption) — a typed
+        # envelope whose payload survives process boundaries.
+        print("Q: why does Windermere use drones?")
+        response = service.query("why does Windermere use drones")
+        paths = decode_payload(response.kind, response.payload)
+        for i, path in enumerate(paths):
+            print(f"  {i + 1}. coherence={path.coherence:.3f}  {path.describe()}")
         print()
 
-    # The security analyst's question (Figure 2's caption).
-    print("Q: why does Windermere use drones?")
-    for i, path in enumerate(nous.explain("Windermere", "drones", k=3)):
-        print(f"  {i + 1}. coherence={path.coherence:.3f}  {path.describe()}")
-    print()
+        # The finance analyst: who is funding whom?
+        print("Q: tell me about DJI")
+        summary = decode_payload("entity", service.query("tell me about DJI").payload)
+        extracted = [f for f in summary.facts if not f[4]]
+        print(f"  {len(summary.facts)} facts ({len(extracted)} learned from news)")
+        for s, p, o, conf, _curated in extracted[:8]:
+            print(f"    ({s}, {p}, {o})  conf={conf:.2f}")
+        print()
 
-    # The finance analyst: who is funding whom?
-    print("Q: tell me about DJI")
-    summary = nous.entity_summary("DJI")
-    extracted = [f for f in summary.facts if not f[4]]
-    print(f"  {len(summary.facts)} facts ({len(extracted)} learned from news)")
-    for s, p, o, conf, _curated in extracted[:8]:
-        print(f"    ({s}, {p}, {o})  conf={conf:.2f}")
-    print()
-
-    # Source trust after the stream: the crawls should have drifted
-    # below the WSJ.
-    trust = nous.estimator.source_trust.known_sources()
-    print("source trust:")
-    for source, value in sorted(trust.items(), key=lambda kv: -kv[1]):
-        print(f"    {source:24s} {value:.3f}")
+        # Source trust after the stream: the crawls should have drifted
+        # below the WSJ.
+        trust = service.nous.estimator.source_trust.known_sources()
+        print("source trust:")
+        for source, value in sorted(trust.items(), key=lambda kv: -kv[1]):
+            print(f"    {source:24s} {value:.3f}")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,21 @@
 """Insider-threat detection from enterprise logs (paper §3.1, domain 2).
 
-Log events stream into the dynamic KG as structured triples.  During
-normal operation the window's frequent patterns are boring (users log
-into their own hosts).  When the planted exfiltration campaign starts,
+Log events stream into the dynamic KG as structured triples — through
+the service API's ``ingest_facts``, which bypasses NLP but still rides
+the sliding window.  A **standing trending query** plays the analyst's
+alert feed: during normal operation its deltas are boring (users log
+into their own hosts); when the planted exfiltration campaign starts,
 new patterns — privilege escalation plus sensitive-resource access and
-bulk downloads by the same user — cross the support threshold, and the
-trending report flags them the way a security analyst would want.
+bulk downloads by the same user — cross the support threshold and
+arrive as ``added`` rows, the way a security analyst would want to be
+paged.
 
 Run:
     python examples/insider_threat.py
 """
 
-from repro import Nous, NousConfig
+from repro import NousConfig, NousService, ServiceConfig
+from repro.api.wire import decode_payload
 from repro.data.logs import EnterpriseLogWorld, build_log_ontology
 from repro.kb.knowledge_base import KnowledgeBase
 
@@ -22,27 +26,35 @@ def main() -> None:
                                campaign_start=0.7, n_insiders=3)
     batches = world.generate_batches(kb)
 
-    nous = Nous(
+    service = NousService(
         kb=kb,
         config=NousConfig(window_size=400, min_support=4, retrain_every=0,
                           lda_iterations=20, seed=41),
+        service_config=ServiceConfig(auto_start=False),
     )
+    alerts = service.subscribe("show trending patterns")
 
-    # Stream day by day; snapshot the trending report weekly.
+    # Stream day by day; read the alert feed weekly.
     campaign_day = int(len(batches) * 0.7)
     for day, batch in enumerate(batches):
-        nous.ingest_facts(batch.facts, date=batch.date, source=batch.source)
+        service.ingest_facts(
+            batch.facts, date=str(batch.date), source=batch.source
+        ).raise_for_error()
         if day % 10 == 9 or day == campaign_day:
-            report = nous.trending()
             marker = "  <== campaign active" if day >= campaign_day else ""
             print(f"day {day + 1:3d} ({batch.date}){marker}")
-            for pattern in report.newly_frequent[:4]:
-                print(f"    NEW  {pattern.describe()}")
-            for pattern, _ in report.newly_infrequent[:2]:
-                print(f"    GONE {pattern.describe()}")
+            for update in alerts.poll():
+                for row in update.added[:4]:
+                    print(f"    NEW  {row['pattern']}")
+                for row in update.removed[:2]:
+                    print(f"    GONE {row['pattern']}")
     print()
 
-    report = nous.trending()
+    # End-of-stream report through the same envelope the web UI would
+    # consume; decoding restores real Pattern objects.
+    report = decode_payload(
+        "trending", service.query("show trending patterns").payload
+    )
     print("frequent patterns at end of stream:")
     suspicious = []
     for pattern, support in report.closed_frequent[:10]:
@@ -59,7 +71,7 @@ def main() -> None:
     # Who matches the top suspicious pattern?  Use the pattern matcher.
     if suspicious:
         from repro.query import PatternMatcher
-        graph = nous.dynamic.window.graph
+        graph = service.nous.dynamic.window.graph
         # materialise vertex types for the matcher
         for vid in graph.vertices():
             graph.set_vertex_prop(vid, "type", kb.entity_type(vid) or "Thing")

@@ -2,9 +2,12 @@
 
 The synthetic world model has three regimes: a funding boom, a
 deployment/partnership phase, and a consolidation phase (acquisitions +
-regulation).  Watching the closed frequent patterns per window shows
-patterns being born and dying as the market shifts — exactly the
-"patterns discovered from updates to the knowledge graph" of Figure 7.
+regulation).  A **standing trending query** on the service turns those
+regime shifts into a delta feed: after each window of articles drains
+from the ingestion queue, the subscription reports which closed
+frequent patterns were born and which died — exactly the "patterns
+discovered from updates to the knowledge graph" of Figure 7, consumed
+as an API instead of by diffing reports by hand.
 
 Run:
     python examples/market_trends.py
@@ -14,8 +17,9 @@ from collections import Counter
 
 from repro import (
     CorpusConfig,
-    Nous,
     NousConfig,
+    NousService,
+    ServiceConfig,
     build_drone_kb,
     generate_corpus,
 )
@@ -29,51 +33,42 @@ def main() -> None:
             n_articles=240, seed=3, crawl_fraction=0.0, n_extra_companies=16
         ),
     )
-    nous = Nous(
+    service = NousService(
         kb=kb,
         config=NousConfig(window_size=120, min_support=4, retrain_every=0, seed=3),
+        # Deterministic synchronous drains, one per stream window.
+        service_config=ServiceConfig(auto_start=False, max_batch=40),
     )
+    subscription = service.subscribe("show trending patterns")
 
     batch_size = 40
-    timeline = []
+    print("window-by-window trending deltas (Figure 7 reproduction)\n")
+    born_total: Counter = Counter()
+    died_total: Counter = Counter()
     for start in range(0, len(articles), batch_size):
         batch = articles[start : start + batch_size]
         mix = Counter(a.event_type for a in batch)
-        for article in batch:
-            nous.ingest(
-                article.text,
-                doc_id=article.doc_id,
-                date=article.date,
-                source=article.source,
-            )
-        report = nous.trending()
-        timeline.append((batch[-1].date, mix, report))
-
-    print("window-by-window trending patterns (Figure 7 reproduction)\n")
-    for date, mix, report in timeline:
+        service.submit_many(batch)
+        service.flush()
         top_events = ", ".join(f"{k}:{v}" for k, v in mix.most_common(3))
-        print(f"as of {date}  (event mix: {top_events})")
-        for pattern, support in report.closed_frequent[:4]:
-            print(f"   support={support:3d}  {pattern.describe()}")
-        for pattern in report.newly_frequent[:2]:
-            print(f"   NEW      {pattern.describe()}")
-        for pattern, survivors in report.newly_infrequent[:2]:
-            names = "; ".join(s.describe() for s in survivors[:2])
-            print(f"   EXPIRED  {pattern.describe()}"
-                  + (f"  -> still frequent: {names}" if names else ""))
+        print(f"as of {batch[-1].date}  (event mix: {top_events})")
+        for update in subscription.poll():
+            for row in update.added[:4]:
+                print(f"   + support={row['support']:3d}  {row['pattern']}")
+                born_total[row["pattern"]] += 1
+            for row in update.removed[:4]:
+                print(f"   - {row['pattern']}")
+                died_total[row["pattern"]] += 1
         print()
 
-    # Show the regime shift quantitatively: which single-edge patterns
-    # were frequent in the first vs the last window?
-    first_report = timeline[0][2]
-    last_report = timeline[-1][2]
-    first = {p.describe() for p, _ in first_report.closed_frequent if p.size == 1}
-    last = {p.describe() for p, _ in last_report.closed_frequent if p.size == 1}
-    print("patterns frequent early but gone late:")
-    for name in sorted(first - last):
+    # The regime shift, quantitatively: single-edge patterns that died
+    # along the way vs the ones still standing at the end.
+    final = {row["pattern"] for row in subscription.current_rows}
+    print("patterns that trended at some point but are gone now:")
+    for name in sorted(set(born_total) - final):
         print(f"   {name}")
-    print("patterns frequent late but not early:")
-    for name in sorted(last - first):
+    print("patterns still trending at the end:")
+    for name in sorted(final):
         print(f"   {name}")
 
 

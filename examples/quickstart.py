@@ -1,7 +1,9 @@
 """Quickstart: build a dynamic knowledge graph and query it.
 
-Five minutes with the public API — the whole NOUS loop:
-curated KB + streaming news -> dynamic KG -> queries.
+Five minutes with the public API — the whole NOUS loop through
+``NousService``, the versioned service facade:
+curated KB + streaming news -> async ingestion queue -> dynamic KG ->
+typed query envelopes -> a standing query watching the graph change.
 
 Run:
     python examples/quickstart.py
@@ -9,9 +11,8 @@ Run:
 
 from repro import (
     CorpusConfig,
-    Nous,
     NousConfig,
-    QueryEngine,
+    NousService,
     build_drone_kb,
     generate_corpus,
     generate_descriptions,
@@ -28,28 +29,47 @@ def main() -> None:
     articles = generate_corpus(kb, CorpusConfig(n_articles=100, seed=7))
     generate_descriptions(kb, seed=7)  # Wikipedia-page stand-ins for LDA
 
-    # 3. Build the system and ingest the stream.
-    nous = Nous(kb=kb, config=NousConfig(window_size=300, seed=7))
-    results = nous.ingest_corpus(articles)
-    accepted = sum(r.accepted for r in results)
-    print(f"ingested {len(articles)} articles, accepted {accepted} facts\n")
+    # 3. Build the service. The context manager owns the background
+    #    drainer that micro-batches queued documents into the amortised
+    #    ingest path.
+    with NousService(kb=kb, config=NousConfig(window_size=300, seed=7)) as service:
+        # A standing query: notified with added/removed rows whenever a
+        # drain changes what is trending.
+        watch = service.subscribe("show trending patterns")
 
-    # 4. Ask questions — all five query classes go through one engine.
-    engine = QueryEngine(nous)
-    for question in [
-        "tell me about DJI",
-        "show trending patterns",
-        "how is DJI related to Amazon",
-        "why does Windermere use drones",
-        "match (?a:Company)-[acquired]->(?b:Company)",
-    ]:
-        result = engine.execute_text(question)
-        print(f"=== {question}   [{result.kind}, {result.elapsed_ms:.1f} ms]")
-        print(result.rendered)
-        print()
+        # 4. Submit the stream. Each submit returns a ticket instantly;
+        #    flush() waits for the queue to drain.
+        tickets = service.submit_many(articles)
+        service.flush()
+        accepted = sum(
+            t.result().payload["accepted"] for t in tickets
+        )
+        print(f"ingested {len(articles)} articles, accepted {accepted} facts")
+        print(f"({service.batches_drained} micro-batches)\n")
 
-    # 5. Quality dashboard (the demo's statistics view).
-    print(nous.statistics().render())
+        # 5. Ask questions — all five query classes return the same
+        #    typed envelope (ok / kind / payload / rendered).
+        for question in [
+            "tell me about DJI",
+            "show trending patterns",
+            "how is DJI related to Amazon",
+            "why does Windermere use drones",
+            "match (?a:Company)-[acquired]->(?b:Company)",
+        ]:
+            response = service.query(question)
+            print(f"=== {question}   [{response.kind}, {response.elapsed_ms:.1f} ms]")
+            print(response.rendered)
+            print()
+
+        # 6. What changed while we streamed? The standing query saw the
+        #    patterns arrive.
+        updates = watch.poll()
+        added = sum(len(u.added) for u in updates)
+        print(f"standing query: {len(updates)} update(s), {added} pattern row(s) appeared\n")
+
+        # 7. Quality dashboard (the demo's statistics view) — also an
+        #    envelope; payload is wire-format JSON.
+        print(service.statistics().rendered)
 
 
 if __name__ == "__main__":

@@ -4,14 +4,19 @@ Shows the moving parts behind "why"-questions: the LDA topic space over
 entity documents, the coherence-guided beam search, and how its answers
 and search cost compare with unguided baselines.
 
+Construction goes through the service API's ingestion queue; the QA
+internals below then deliberately reach past the facade (``service.nous``)
+— this example exists to dissect what ``service.query("why ...")``
+does under the hood.
+
 Run:
     python examples/why_paths.py
 """
 
 from repro import (
     CorpusConfig,
-    Nous,
     NousConfig,
+    NousService,
     build_drone_kb,
     generate_corpus,
     generate_descriptions,
@@ -23,8 +28,13 @@ def main() -> None:
     kb = build_drone_kb()
     articles = generate_corpus(kb, CorpusConfig(n_articles=120, seed=19))
     generate_descriptions(kb, seed=19)
-    nous = Nous(kb=kb, config=NousConfig(n_topics=6, lda_iterations=80, seed=19))
-    nous.ingest_corpus(articles)
+    service = NousService(
+        kb=kb, config=NousConfig(n_topics=6, lda_iterations=80, seed=19)
+    )
+    service.submit_many(articles)
+    service.flush()
+    service.close()
+    nous = service.nous
 
     # Force the topic fit and show what LDA recovered.
     graph = nous._topic_annotated_graph()

@@ -3,19 +3,32 @@
 NOUS: Construction and Querying of Dynamic Knowledge Graphs
 (Choudhury et al., ICDE 2017, arXiv:1606.02314).
 
-Quickstart::
+Quickstart (the versioned service API is the supported entry point)::
 
-    from repro import Nous, build_drone_kb, generate_corpus, CorpusConfig
+    from repro import NousService, build_drone_kb, generate_corpus, CorpusConfig
 
     kb = build_drone_kb()
     articles = generate_corpus(kb, CorpusConfig(n_articles=100))
-    nous = Nous(kb=kb)
-    nous.ingest_corpus(articles)
-    print(nous.entity_summary("DJI").render())
-    for pattern, support in nous.trending().closed_frequent[:5]:
-        print(support, pattern.describe())
+    with NousService(kb=kb) as service:
+        service.submit_many(articles)   # async micro-batching queue
+        service.flush()
+        print(service.query("tell me about DJI").rendered)
+        print(service.query("show trending patterns").rendered)
 """
 
+from repro.api.envelopes import (
+    ApiError,
+    ApiResponse,
+    IngestRequest,
+    QueryRequest,
+)
+from repro.api.service import (
+    IngestTicket,
+    NousService,
+    ServiceConfig,
+    StandingQueryUpdate,
+    Subscription,
+)
 from repro.core.pipeline import IngestResult, Nous, NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
 from repro.data.corpus import CorpusConfig, generate_corpus, stream_corpus
@@ -33,6 +46,15 @@ __all__ = [
     "Nous",
     "NousConfig",
     "IngestResult",
+    "NousService",
+    "ServiceConfig",
+    "IngestTicket",
+    "Subscription",
+    "StandingQueryUpdate",
+    "ApiError",
+    "ApiResponse",
+    "IngestRequest",
+    "QueryRequest",
     "GraphStatistics",
     "compute_statistics",
     "KnowledgeBase",

@@ -1,0 +1,55 @@
+"""The versioned service API: the single supported entry point.
+
+The ad-hoc trio of :class:`~repro.core.pipeline.Nous` methods,
+:class:`~repro.query.engine.QueryEngine` and the argparse CLI is wrapped
+behind a stable request/response contract (paper §4: "query execution
+using both web and command line interface" over a *dynamic* KG):
+
+- **Typed envelopes** (:mod:`repro.api.envelopes`): frozen
+  :class:`IngestRequest` / :class:`QueryRequest` inputs and an
+  :class:`ApiResponse` output with a structured error taxonomy mapped
+  from the :class:`~repro.errors.ReproError` hierarchy.
+- **Wire codecs** (:mod:`repro.api.wire`): ``to_dict`` / ``from_dict``
+  JSON codecs for every query payload, so results survive process
+  boundaries.
+- **Service facade** (:mod:`repro.api.service`): :class:`NousService`
+  owns construction *and* querying, funnels single-document callers
+  through an async micro-batching ingestion queue (the amortised
+  ``ingest_batch`` hot path), and supports **standing queries** —
+  continuous queries re-evaluated after every drain that yield delta
+  results as the KG changes underneath them.
+"""
+
+from repro.api.envelopes import (
+    API_VERSION,
+    ApiError,
+    ApiResponse,
+    IngestRequest,
+    QueryRequest,
+    error_from_exception,
+)
+from repro.api.service import (
+    IngestTicket,
+    NousService,
+    ServiceConfig,
+    StandingQueryUpdate,
+    Subscription,
+)
+from repro.api.wire import decode_payload, delta_rows, encode_payload
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "ApiResponse",
+    "IngestRequest",
+    "QueryRequest",
+    "error_from_exception",
+    "NousService",
+    "ServiceConfig",
+    "IngestTicket",
+    "Subscription",
+    "StandingQueryUpdate",
+    "encode_payload",
+    "decode_payload",
+    "delta_rows",
+]

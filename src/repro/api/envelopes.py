@@ -1,0 +1,231 @@
+"""Typed request/response envelopes and the structured error taxonomy.
+
+Every request enters the service as a frozen dataclass and every answer
+leaves it as an :class:`ApiResponse`; both sides round-trip through
+plain JSON-compatible dicts (``to_dict`` / ``from_dict``), so the same
+contract serves in-process callers, the CLI's ``--json`` mode and any
+future HTTP adapter.
+
+Errors never escape as raw exceptions: :func:`error_from_exception`
+maps the :class:`~repro.errors.ReproError` hierarchy onto a stable,
+dotted error-code taxonomy (``query.parse``, ``qa``, ``config`` ...)
+carried inside the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    KBError,
+    LinkingError,
+    MiningError,
+    NLPError,
+    PatternError,
+    QAError,
+    QueryError,
+    QueryParseError,
+    ReproError,
+)
+
+API_VERSION = "1"
+
+# Most-derived classes first: the mapper walks this list and takes the
+# first match, so subclasses must precede their bases.
+_ERROR_TAXONOMY: tuple = (
+    (QueryParseError, "query.parse"),
+    (QueryError, "query"),
+    (PatternError, "mining.pattern"),
+    (MiningError, "mining"),
+    (QAError, "qa"),
+    (ConfigError, "config"),
+    (GraphError, "graph"),
+    (KBError, "kb"),
+    (NLPError, "nlp"),
+    (LinkingError, "linking"),
+    (ReproError, "internal"),
+)
+
+
+@dataclass(frozen=True)
+class ApiError:
+    """Structured error carried inside a failed :class:`ApiResponse`.
+
+    Attributes:
+        code: Stable dotted taxonomy code (``query.parse``, ``qa`` ...).
+        message: Human-readable description (the exception text).
+        exception: Name of the originating exception class.
+    """
+
+    code: str
+    message: str
+    exception: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "exception": self.exception,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ApiError":
+        return cls(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            exception=str(data.get("exception", "")),
+        )
+
+
+def error_from_exception(exc: BaseException) -> ApiError:
+    """Map an exception onto the structured taxonomy.
+
+    Every :class:`~repro.errors.ReproError` subclass gets a stable
+    subsystem code; anything else is ``internal``.
+    """
+    for exc_type, code in _ERROR_TAXONOMY:
+        if isinstance(exc, exc_type):
+            return ApiError(
+                code=code, message=str(exc), exception=type(exc).__name__
+            )
+    return ApiError(
+        code="internal", message=str(exc), exception=type(exc).__name__
+    )
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """One document submitted for ingestion.
+
+    Attributes:
+        text: Document body.
+        doc_id: Stable document id (empty: assigned by the caller's
+            convention, not by the service).
+        date: Publication date as a string (``"2015-06-10"``,
+            ``"June 2015"`` ... — anything
+            :func:`repro.nlp.dates.parse_date` accepts), or ``None``.
+        source: Provenance tag for trust tracking.
+    """
+
+    text: str
+    doc_id: str = ""
+    date: Optional[str] = None
+    source: str = "unknown"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "text": self.text,
+            "doc_id": self.doc_id,
+            "date": self.date,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IngestRequest":
+        date = data.get("date")
+        return cls(
+            text=str(data["text"]),
+            doc_id=str(data.get("doc_id", "")),
+            date=None if date is None else str(date),
+            source=str(data.get("source", "unknown")),
+        )
+
+    @classmethod
+    def from_article(cls, article: Any) -> "IngestRequest":
+        """Build a request from an ``Article``-like object
+        (``text`` / ``doc_id`` / ``date`` / ``source`` attributes)."""
+        date = getattr(article, "date", None)
+        return cls(
+            text=article.text,
+            doc_id=getattr(article, "doc_id", ""),
+            date=None if date is None else str(date),
+            source=getattr(article, "source", "unknown"),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One NL-like query string (Figure 5's five classes)."""
+
+    text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"text": self.text}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryRequest":
+        return cls(text=str(data["text"]))
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """Uniform response envelope for every service operation.
+
+    Attributes:
+        ok: ``False`` when ``error`` is set.
+        kind: Result kind — a query class (``"entity"``, ``"trending"``,
+            ...), ``"ingest"``, ``"statistics"`` or ``"error"``.
+        payload: Wire-format payload dict (see :mod:`repro.api.wire`);
+            ``None`` on error.
+        rendered: Plain-text rendering for terminal display.
+        error: Structured error when the operation failed.
+        elapsed_ms: Service-side execution time.
+        kg_version: Monotonic KG version stamp the result was computed
+            against (-1 when not applicable).
+        cached: True when served from the query-result cache.
+        api_version: Envelope schema version.
+    """
+
+    ok: bool
+    kind: str
+    payload: Optional[Dict[str, Any]] = None
+    rendered: str = ""
+    error: Optional[ApiError] = None
+    elapsed_ms: float = 0.0
+    kg_version: int = -1
+    cached: bool = False
+    api_version: str = API_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "kind": self.kind,
+            "payload": self.payload,
+            "rendered": self.rendered,
+            "error": None if self.error is None else self.error.to_dict(),
+            "elapsed_ms": self.elapsed_ms,
+            "kg_version": self.kg_version,
+            "cached": self.cached,
+            "api_version": self.api_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ApiResponse":
+        error = data.get("error")
+        payload = data.get("payload")
+        return cls(
+            ok=bool(data["ok"]),
+            kind=str(data["kind"]),
+            payload=None if payload is None else dict(payload),
+            rendered=str(data.get("rendered", "")),
+            error=None if error is None else ApiError.from_dict(error),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+            kg_version=int(data.get("kg_version", -1)),
+            cached=bool(data.get("cached", False)),
+            api_version=str(data.get("api_version", API_VERSION)),
+        )
+
+    @classmethod
+    def failure(cls, exc: BaseException, kind: str = "error") -> "ApiResponse":
+        """Wrap an exception as a failed envelope."""
+        return cls(ok=False, kind=kind, error=error_from_exception(exc))
+
+    def raise_for_error(self) -> "ApiResponse":
+        """Re-raise a failed envelope as :class:`ReproError`; returns
+        ``self`` unchanged when ``ok``."""
+        if self.error is not None:
+            raise ReproError(f"[{self.error.code}] {self.error.message}")
+        return self

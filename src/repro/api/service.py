@@ -1,0 +1,711 @@
+"""``NousService``: the service facade over construction and querying.
+
+Three responsibilities on top of the raw :class:`~repro.core.pipeline.Nous`
+/ :class:`~repro.query.engine.QueryEngine` pair:
+
+- **Envelope discipline** — every operation takes a typed request and
+  returns an :class:`~repro.api.envelopes.ApiResponse`; exceptions are
+  mapped onto the structured error taxonomy instead of escaping.
+- **Async ingestion queue** — :meth:`NousService.submit` enqueues one
+  document and returns an :class:`IngestTicket` immediately.  A drainer
+  micro-batches pending documents into ``Nous.ingest_batch`` under a
+  ``max_batch`` / ``max_delay`` backpressure policy, so single-document
+  callers transparently ride the ~3x amortised batch hot path whenever
+  there is concurrent traffic.
+- **Standing queries** — :meth:`NousService.subscribe` registers a
+  continuous query.  After every drain (or explicit refresh) each
+  subscription is re-evaluated iff the KG version stamp moved, and the
+  subscriber receives *delta* results: rows added and rows removed since
+  its last notification.  This makes change feeds — including rows that
+  vanish purely because their supporting window edges were evicted — a
+  first-class API instead of a cache-bypass special case.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.envelopes import (
+    ApiResponse,
+    IngestRequest,
+    QueryRequest,
+    error_from_exception,
+)
+from repro.api.wire import delta_rows, encode_payload
+from repro.core.pipeline import Nous, NousConfig
+from repro.core.statistics import compute_statistics
+from repro.errors import ConfigError, ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.dates import parse_date
+from repro.query.engine import QueryEngine
+from repro.query.model import Query, TrendingQuery
+from repro.query.parser import parse_query
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Queue and cache policy for :class:`NousService`.
+
+    Attributes:
+        max_batch: Upper bound on documents per drain (backpressure: a
+            full batch drains immediately).
+        max_delay: Seconds the drainer waits for a batch to fill before
+            draining a partial one; the latency bound for single
+            uncontended submissions.
+        auto_start: Start the background drainer thread.  When False the
+            queue only drains on explicit :meth:`NousService.flush` —
+            deterministic single-threaded mode for tests and drivers.
+        cache_size / enable_cache: Passed to the query-result cache.
+    """
+
+    max_batch: int = 32
+    max_delay: float = 0.05
+    auto_start: bool = True
+    cache_size: int = 256
+    enable_cache: bool = True
+
+    def validate(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if self.max_delay < 0.0:
+            raise ConfigError("max_delay must be >= 0")
+
+
+class IngestTicket:
+    """Handle to one queued document; fulfilled when its batch drains."""
+
+    def __init__(self, doc_id: str) -> None:
+        self.doc_id = doc_id
+        self._event = threading.Event()
+        self._response: Optional[ApiResponse] = None
+
+    def done(self) -> bool:
+        """True once the document's batch has been ingested."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ApiResponse:
+        """Block until the document is ingested; returns its envelope.
+
+        Raises:
+            ReproError: when the ticket is not fulfilled within
+                ``timeout`` seconds.
+        """
+        if not self._event.wait(timeout):
+            raise ReproError(
+                f"ingest ticket for {self.doc_id!r} not fulfilled "
+                f"within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _fulfill(self, response: ApiResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class StandingQueryUpdate:
+    """One delta notification from a standing query.
+
+    Attributes:
+        subscription_id: The originating subscription.
+        query_text: Normalized text of the standing query.
+        kg_version: KG version stamp the refresh evaluated against.
+        added: Rows present now but not at the last notification
+            (includes rows whose observable content changed).
+        removed: Rows present at the last notification but not now —
+            e.g. window rows whose supporting edges were evicted.
+    """
+
+    subscription_id: int
+    query_text: str
+    kg_version: int
+    added: Tuple[Dict[str, Any], ...] = ()
+    removed: Tuple[Dict[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subscription_id": self.subscription_id,
+            "query_text": self.query_text,
+            "kg_version": self.kg_version,
+            "added": [dict(r) for r in self.added],
+            "removed": [dict(r) for r in self.removed],
+        }
+
+
+class Subscription:
+    """A registered standing (continuous) query.
+
+    Updates accumulate on the subscription and are drained with
+    :meth:`poll`; an optional callback receives each update as it is
+    produced.  The registration-time result set is the baseline — the
+    first update describes changes *since subscribing*, not the initial
+    rows.
+    """
+
+    def __init__(
+        self,
+        sub_id: int,
+        query: Query,
+        rows: Dict[str, Dict[str, Any]],
+        kg_version: int,
+        callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+    ) -> None:
+        self.id = sub_id
+        self.query = query
+        self.active = True
+        #: Most recent evaluation/callback failure, if any (refreshes
+        #: never propagate subscriber errors into the ingestion path).
+        self.last_error: Optional[BaseException] = None
+        self._rows = rows
+        self._kg_version = kg_version
+        self._callback = callback
+        self._updates: Deque[StandingQueryUpdate] = deque()
+
+    @property
+    def query_text(self) -> str:
+        return self.query.text
+
+    @property
+    def current_rows(self) -> List[Dict[str, Any]]:
+        """The rows of the most recent evaluation."""
+        return [dict(r) for r in self._rows.values()]
+
+    def poll(self) -> List[StandingQueryUpdate]:
+        """Drain and return pending delta notifications, oldest first."""
+        updates: List[StandingQueryUpdate] = []
+        while self._updates:
+            updates.append(self._updates.popleft())
+        return updates
+
+    def _apply(
+        self, rows: Dict[str, Dict[str, Any]], kg_version: int
+    ) -> Optional[StandingQueryUpdate]:
+        """Diff a fresh evaluation against the last one; record and
+        return the update when anything changed."""
+        added = [
+            row
+            for key, row in rows.items()
+            if self._rows.get(key) != row
+        ]
+        removed = [
+            row for key, row in self._rows.items() if key not in rows
+        ]
+        self._rows = rows
+        self._kg_version = kg_version
+        if not added and not removed:
+            return None
+        update = StandingQueryUpdate(
+            subscription_id=self.id,
+            query_text=self.query.text,
+            kg_version=kg_version,
+            added=tuple(added),
+            removed=tuple(removed),
+        )
+        self._updates.append(update)
+        return update
+
+
+class NousService:
+    """The single supported entry point to a NOUS system.
+
+    Args:
+        nous: An existing system to wrap; built from ``kb`` / ``config``
+            when omitted.
+        kb: Starting curated KB (ignored when ``nous`` is given).
+        config: Pipeline settings (ignored when ``nous`` is given).
+        service_config: Queue/cache policy.
+    """
+
+    def __init__(
+        self,
+        nous: Optional[Nous] = None,
+        kb: Optional[KnowledgeBase] = None,
+        config: Optional[NousConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.service_config = service_config or ServiceConfig()
+        self.service_config.validate()
+        self.nous = nous if nous is not None else Nous(kb=kb, config=config)
+        self.engine = QueryEngine(
+            self.nous,
+            cache_size=self.service_config.cache_size,
+            enable_cache=self.service_config.enable_cache,
+        )
+        # One lock serialises every KG-touching operation (drains,
+        # queries, subscription refreshes); the queue has its own lock so
+        # submissions never wait behind an in-flight drain.
+        self._engine_lock = threading.RLock()
+        self._queue_lock = threading.Lock()
+        self._queue_changed = threading.Condition(self._queue_lock)
+        self._idle = threading.Condition(self._queue_lock)
+        self._pending: Deque[Tuple[IngestRequest, IngestTicket]] = deque()
+        self._first_pending_at = 0.0
+        self._draining = False
+        self._flush_requested = False
+        self._closed = False
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_subscription_id = 1
+        self.batches_drained = 0
+        self.documents_drained = 0
+        #: Standing-query evaluation/callback failures swallowed so far.
+        self.subscription_errors = 0
+        self._drainer: Optional[threading.Thread] = None
+        if self.service_config.auto_start:
+            self._drainer = threading.Thread(
+                target=self._drain_loop, name="nous-ingest-drainer", daemon=True
+            )
+            self._drainer.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "NousService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain outstanding work and stop the background thread."""
+        self.flush()
+        with self._queue_lock:
+            self._closed = True
+            self._queue_changed.notify_all()
+        if self._drainer is not None:
+            self._drainer.join(timeout=5.0)
+            self._drainer = None
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validated_date(request: IngestRequest) -> None:
+        """Reject unparseable date strings at submission time.
+
+        Silently ingesting a document whose date failed to parse would
+        corrupt stream ordering (the fact would take the +1 timestamp
+        fallback) — fail the request loudly instead.
+        """
+        if request.date is not None and parse_date(request.date) is None:
+            raise ConfigError(
+                f"unparseable date {request.date!r} on document "
+                f"{request.doc_id!r}"
+            )
+
+    def submit(
+        self, request: Union[IngestRequest, Any]
+    ) -> IngestTicket:
+        """Enqueue one document; returns immediately with a ticket.
+
+        Accepts an :class:`IngestRequest` or any ``Article``-like object
+        (``text`` / ``doc_id`` / ``date`` / ``source``).
+
+        Raises:
+            ConfigError: when the request carries a date string that
+                does not parse.
+        """
+        if not isinstance(request, IngestRequest):
+            request = IngestRequest.from_article(request)
+        self._validated_date(request)
+        ticket = IngestTicket(request.doc_id)
+        with self._queue_lock:
+            if self._closed:
+                raise ReproError("service is closed")
+            if not self._pending:
+                self._first_pending_at = time.monotonic()
+            self._pending.append((request, ticket))
+            self._queue_changed.notify_all()
+        return ticket
+
+    def submit_many(
+        self, requests: Sequence[Union[IngestRequest, Any]]
+    ) -> List[IngestTicket]:
+        """Enqueue a sequence of documents atomically (one ticket each).
+
+        The whole sequence lands in the queue before the drainer can
+        carve its next batch, so bulk submitters get maximal batches
+        instead of racing the drainer document by document.
+        """
+        normalized = [
+            request
+            if isinstance(request, IngestRequest)
+            else IngestRequest.from_article(request)
+            for request in requests
+        ]
+        for request in normalized:
+            self._validated_date(request)
+        tickets: List[IngestTicket] = []
+        with self._queue_lock:
+            if self._closed:
+                raise ReproError("service is closed")
+            for request in normalized:
+                if not self._pending:
+                    self._first_pending_at = time.monotonic()
+                ticket = IngestTicket(request.doc_id)
+                self._pending.append((request, ticket))
+                tickets.append(ticket)
+            self._queue_changed.notify_all()
+        return tickets
+
+    def ingest(
+        self,
+        request: Union[IngestRequest, Any],
+        timeout: Optional[float] = 60.0,
+    ) -> ApiResponse:
+        """Submit one document and block until it is ingested.
+
+        The document still travels through the micro-batching queue, so
+        concurrent callers share one amortised ``ingest_batch`` pass.
+        """
+        ticket = self.submit(request)
+        if self._drainer is None:
+            self.flush()
+        return ticket.result(timeout=timeout)
+
+    def ingest_facts(
+        self,
+        facts: Sequence[Tuple[str, str, str]],
+        date: Optional[str] = None,
+        source: str = "structured",
+        confidence: float = 0.9,
+    ) -> ApiResponse:
+        """Ingest structured ``(s, p, o)`` facts, bypassing NLP (§3.1's
+        log/bibliography domains).  Synchronous; standing queries are
+        refreshed before returning."""
+        start = time.perf_counter()
+        try:
+            parsed_date = None
+            if date is not None:
+                parsed_date = parse_date(date)
+                if parsed_date is None:
+                    raise ConfigError(f"unparseable date {date!r}")
+            with self._engine_lock:
+                accepted = self.nous.ingest_facts(
+                    facts, date=parsed_date, source=source,
+                    confidence=confidence,
+                )
+                version = self.nous.dynamic.version
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc, kind="ingest")
+        # The facts are committed: whatever happens to the standing
+        # queries now, the caller must see ok=True (a failure here would
+        # invite a double-ingesting retry).
+        self.refresh_subscriptions()
+        return ApiResponse(
+            ok=True,
+            kind="ingest",
+            payload={"accepted": accepted, "doc_id": "", "structured": True},
+            rendered=f"accepted {accepted} structured fact(s)",
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            kg_version=version,
+        )
+
+    @property
+    def pending_count(self) -> int:
+        """Documents enqueued but not yet drained."""
+        with self._queue_lock:
+            return len(self._pending)
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted document has been ingested.
+
+        With a running drainer this waits for the queue to empty
+        (asking the drainer to skip its batching delay); without one
+        (``auto_start=False``) it drains synchronously in the calling
+        thread, in ``max_batch``-sized chunks.
+        """
+        if self._drainer is None:
+            while True:
+                batch = self._take_batch()
+                if not batch:
+                    return
+                self._ingest_batch(batch)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._queue_lock:
+            self._flush_requested = True
+            self._queue_changed.notify_all()
+            try:
+                while self._pending or self._draining:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise ReproError("flush timed out")
+                    self._idle.wait(timeout=remaining)
+            finally:
+                # Always restore the batching delay — a timed-out flush
+                # must not leave the drainer in drain-immediately mode.
+                self._flush_requested = False
+
+    # ------------------------------------------------------------------
+    # the drainer
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> List[Tuple[IngestRequest, IngestTicket]]:
+        """Pop up to ``max_batch`` pending documents (no waiting)."""
+        with self._queue_lock:
+            batch: List[Tuple[IngestRequest, IngestTicket]] = []
+            while self._pending and len(batch) < self.service_config.max_batch:
+                batch.append(self._pending.popleft())
+            return batch
+
+    def _drain_loop(self) -> None:
+        cfg = self.service_config
+        while True:
+            with self._queue_lock:
+                while not self._pending and not self._closed:
+                    self._queue_changed.wait()
+                if not self._pending and self._closed:
+                    return
+                # Micro-batching: wait (bounded) for the batch to fill,
+                # unless a flush or shutdown wants the queue empty now.
+                deadline = self._first_pending_at + cfg.max_delay
+                while (
+                    len(self._pending) < cfg.max_batch
+                    and not self._flush_requested
+                    and not self._closed
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._queue_changed.wait(timeout=remaining)
+                batch = []
+                while self._pending and len(batch) < cfg.max_batch:
+                    batch.append(self._pending.popleft())
+                if self._pending:
+                    # Left-over documents start a fresh delay window.
+                    self._first_pending_at = time.monotonic()
+                self._draining = True
+            try:
+                self._ingest_batch(batch)
+            finally:
+                with self._queue_lock:
+                    self._draining = False
+                    if not self._pending:
+                        self._idle.notify_all()
+
+    def _ingest_batch(
+        self, batch: Sequence[Tuple[IngestRequest, IngestTicket]]
+    ) -> None:
+        """Run one micro-batch through ``ingest_batch``, fulfill its
+        tickets, then refresh standing queries.
+
+        The periodic confidence retrain is deferred while more documents
+        are already waiting: consecutive micro-batches of one busy
+        period share a single end-of-period retrain (exactly the
+        amortisation a direct whole-corpus ``ingest_batch`` performs),
+        instead of paying it once per drain.
+        """
+        if not batch:
+            return
+        articles = [
+            _QueuedArticle(request) for request, _ticket in batch
+        ]
+        try:
+            with self._engine_lock:
+                results = self.nous.ingest_batch(articles, defer_retrain=True)
+                if self.pending_count == 0:
+                    self.nous.retrain_if_due()
+                version = self.nous.dynamic.version
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            failure = ApiResponse.failure(exc, kind="ingest")
+            for _request, ticket in batch:
+                ticket._fulfill(failure)
+            return
+        for (request, ticket), result in zip(batch, results):
+            ticket._fulfill(
+                ApiResponse(
+                    ok=True,
+                    kind="ingest",
+                    payload=encode_payload("ingest", result),
+                    rendered=(
+                        f"{result.doc_id or '(no id)'}: accepted "
+                        f"{result.accepted}/{result.raw_triples} triples"
+                    ),
+                    kg_version=version,
+                )
+            )
+        self.batches_drained += 1
+        self.documents_drained += len(batch)
+        try:
+            self.refresh_subscriptions()
+        except Exception:  # noqa: BLE001 - drainer must survive anything
+            # Subscriber errors are already isolated inside
+            # refresh_subscriptions; this guards the drainer thread
+            # against unexpected internal failures (a dead drainer would
+            # hang every future submit/flush).
+            self.subscription_errors += 1
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, request: Union[str, QueryRequest]) -> ApiResponse:
+        """Execute one query; always returns an envelope (never raises
+        for :class:`ReproError` failures)."""
+        text = request.text if isinstance(request, QueryRequest) else request
+        try:
+            with self._engine_lock:
+                result = self.engine.execute_text(text)
+            payload = encode_payload(result.kind, result.payload)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc)
+        return ApiResponse(
+            ok=True,
+            kind=result.kind,
+            payload=payload,
+            rendered=result.rendered,
+            elapsed_ms=result.elapsed_ms,
+            kg_version=result.kg_version,
+            cached=result.cached,
+        )
+
+    def statistics(self) -> ApiResponse:
+        """Quality-dashboard statistics as an envelope (§4 feature 2)."""
+        start = time.perf_counter()
+        try:
+            with self._engine_lock:
+                stats = compute_statistics(self.nous.kb)
+                version = self.nous.dynamic.version
+            payload = encode_payload("statistics", stats)
+            rendered = stats.render()
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc, kind="statistics")
+        return ApiResponse(
+            ok=True,
+            kind="statistics",
+            payload=payload,
+            rendered=rendered,
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            kg_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query_text: str,
+        callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+    ) -> Subscription:
+        """Register a continuous query.
+
+        The query is evaluated once to establish a baseline; afterwards
+        every queue drain (and every explicit
+        :meth:`refresh_subscriptions`) re-evaluates it iff the KG
+        version stamp moved, delivering added/removed row deltas via
+        :meth:`Subscription.poll` and the optional ``callback``.
+
+        Raises:
+            ReproError: when the query cannot be parsed or does not
+                support row-level deltas.
+        """
+        query = parse_query(query_text)
+        with self._engine_lock:
+            rows, version = self._evaluate_rows(query)
+            subscription = Subscription(
+                self._next_subscription_id, query, rows, version, callback
+            )
+            self._next_subscription_id += 1
+            self._subscriptions[subscription.id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Deregister a standing query (idempotent)."""
+        with self._engine_lock:
+            self._subscriptions.pop(subscription.id, None)
+            subscription.active = False
+
+    def refresh_subscriptions(self) -> List[StandingQueryUpdate]:
+        """Re-evaluate every standing query against the current KG.
+
+        Subscriptions whose last evaluation already saw the current
+        version stamp are skipped — no observable change can have
+        happened.  Returns the updates produced by this refresh.
+
+        A failing evaluation or subscriber callback never propagates:
+        it is recorded on ``Subscription.last_error`` (and counted in
+        :attr:`subscription_errors`) and the refresh moves on — a broken
+        subscriber must not stall the ingestion queue.
+        """
+        updates: List[StandingQueryUpdate] = []
+        callbacks: List[Tuple[Subscription, StandingQueryUpdate]] = []
+        with self._engine_lock:
+            version = self.nous.dynamic.version
+            for subscription in self._subscriptions.values():
+                if subscription._kg_version == version:
+                    continue
+                try:
+                    rows, at_version = self._evaluate_rows(subscription.query)
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    subscription.last_error = exc
+                    self.subscription_errors += 1
+                    continue
+                update = subscription._apply(rows, at_version)
+                if update is not None:
+                    updates.append(update)
+                    if subscription._callback is not None:
+                        callbacks.append((subscription, update))
+        # Callbacks run outside the engine lock so they may query the
+        # service without deadlocking.
+        for subscription, update in callbacks:
+            try:
+                subscription._callback(update)  # type: ignore[misc]
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                subscription.last_error = exc
+                self.subscription_errors += 1
+        return updates
+
+    def _evaluate_rows(
+        self, query: Query
+    ) -> Tuple[Dict[str, Dict[str, Any]], int]:
+        """Evaluate one standing query into keyed rows.
+
+        Trending is evaluated from the miner's *pure* closed-frequent
+        view rather than through ``WindowReport``: the report's
+        newly-frequent/-infrequent transition state is consumed on read,
+        and standing queries must not steal those transitions from
+        interactive callers.  Every other kind rides the query engine
+        (and therefore the version-keyed result cache).
+        """
+        if isinstance(query, TrendingQuery):
+            closed = self.nous.dynamic.miner.closed_frequent_patterns()
+            return (
+                delta_rows("trending", closed),
+                self.nous.dynamic.version,
+            )
+        result = self.engine.execute(query)
+        return (
+            delta_rows(result.kind, result.payload),
+            result.kg_version,
+        )
+
+
+class _QueuedArticle:
+    """Adapter: an :class:`IngestRequest` with the ``Article`` attribute
+    surface that ``Nous.ingest_batch`` expects."""
+
+    __slots__ = ("text", "doc_id", "date", "source")
+
+    def __init__(self, request: IngestRequest) -> None:
+        self.text = request.text
+        self.doc_id = request.doc_id
+        self.date = (
+            parse_date(request.date) if request.date is not None else None
+        )
+        self.source = request.source

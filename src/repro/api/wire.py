@@ -1,0 +1,375 @@
+"""JSON wire codecs for every query payload.
+
+Each payload class that :class:`~repro.query.engine.QueryEngine` can
+produce — :class:`~repro.core.pipeline.EntitySummary`,
+:class:`~repro.mining.streaming.WindowReport`,
+:class:`~repro.qa.pathsearch.RankedPath` lists, entity-trend rows,
+pattern-match binding lists, :class:`~repro.core.statistics.GraphStatistics`
+and :class:`~repro.core.pipeline.IngestResult` — gets a ``to_dict`` /
+``from_dict`` pair built from JSON-safe primitives, with the round-trip
+property ``decode_payload(kind, encode_payload(kind, x)) == x``.
+
+:func:`delta_rows` flattens a payload into keyed rows; standing queries
+diff those row maps between evaluations to produce added/removed deltas.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.pipeline import EntitySummary, IngestResult
+from repro.core.statistics import GraphStatistics
+from repro.errors import QueryError
+from repro.graph.property_graph import Edge
+from repro.mining.patterns import Pattern, PatternEdge
+from repro.mining.streaming import WindowReport
+from repro.nlp.dates import SimpleDate
+from repro.qa.pathsearch import RankedPath
+
+# ---------------------------------------------------------------------------
+# leaf codecs
+# ---------------------------------------------------------------------------
+
+
+def date_to_wire(date: Optional[SimpleDate]) -> Optional[Dict[str, Any]]:
+    if date is None:
+        return None
+    return {"year": date.year, "month": date.month, "day": date.day}
+
+
+def date_from_wire(data: Optional[Mapping[str, Any]]) -> Optional[SimpleDate]:
+    if data is None:
+        return None
+    month = data.get("month")
+    day = data.get("day")
+    return SimpleDate(
+        year=int(data["year"]),
+        month=None if month is None else int(month),
+        day=None if day is None else int(day),
+    )
+
+
+def _prop_to_wire(value: Any) -> Any:
+    if isinstance(value, SimpleDate):
+        return {"__kind__": "date", "value": date_to_wire(value)}
+    return value
+
+
+def _prop_from_wire(value: Any) -> Any:
+    if isinstance(value, dict) and value.get("__kind__") == "date":
+        return date_from_wire(value["value"])
+    return value
+
+
+def edge_to_wire(edge: Edge) -> Dict[str, Any]:
+    return {
+        "eid": edge.eid,
+        "src": edge.src,
+        "dst": edge.dst,
+        "label": edge.label,
+        "props": {k: _prop_to_wire(v) for k, v in edge.props.items()},
+    }
+
+
+def edge_from_wire(data: Mapping[str, Any]) -> Edge:
+    return Edge(
+        eid=int(data["eid"]),
+        src=data["src"],
+        dst=data["dst"],
+        label=str(data["label"]),
+        props={k: _prop_from_wire(v) for k, v in dict(data["props"]).items()},
+    )
+
+
+def pattern_to_wire(pattern: Pattern) -> Dict[str, Any]:
+    return {
+        "edges": [
+            {
+                "src": e.src,
+                "dst": e.dst,
+                "src_label": e.src_label,
+                "dst_label": e.dst_label,
+                "predicate": e.predicate,
+            }
+            for e in pattern.edges
+        ]
+    }
+
+
+def pattern_from_wire(data: Mapping[str, Any]) -> Pattern:
+    return Pattern(
+        edges=tuple(
+            PatternEdge(
+                src=int(e["src"]),
+                dst=int(e["dst"]),
+                src_label=str(e["src_label"]),
+                dst_label=str(e["dst_label"]),
+                predicate=str(e["predicate"]),
+            )
+            for e in data["edges"]
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# payload codecs
+# ---------------------------------------------------------------------------
+
+
+def entity_summary_to_wire(summary: EntitySummary) -> Dict[str, Any]:
+    return {
+        "entity": summary.entity,
+        "entity_type": summary.entity_type,
+        "description": summary.description,
+        "facts": [list(fact) for fact in summary.facts],
+        "recent_dates": list(summary.recent_dates),
+        "neighbors": list(summary.neighbors),
+    }
+
+
+def entity_summary_from_wire(data: Mapping[str, Any]) -> EntitySummary:
+    return EntitySummary(
+        entity=str(data["entity"]),
+        entity_type=str(data["entity_type"]),
+        description=str(data["description"]),
+        facts=[
+            (str(s), str(p), str(o), float(conf), bool(curated))
+            for s, p, o, conf, curated in data["facts"]
+        ],
+        recent_dates=[str(d) for d in data["recent_dates"]],
+        neighbors=[str(n) for n in data["neighbors"]],
+    )
+
+
+def window_report_to_wire(report: WindowReport) -> Dict[str, Any]:
+    return {
+        "timestamp": report.timestamp,
+        "window_edges": report.window_edges,
+        "closed_frequent": [
+            {"pattern": pattern_to_wire(p), "support": s}
+            for p, s in report.closed_frequent
+        ],
+        "newly_frequent": [pattern_to_wire(p) for p in report.newly_frequent],
+        "newly_infrequent": [
+            {
+                "pattern": pattern_to_wire(p),
+                "survivors": [pattern_to_wire(s) for s in survivors],
+            }
+            for p, survivors in report.newly_infrequent
+        ],
+    }
+
+
+def window_report_from_wire(data: Mapping[str, Any]) -> WindowReport:
+    return WindowReport(
+        timestamp=float(data["timestamp"]),
+        window_edges=int(data["window_edges"]),
+        closed_frequent=[
+            (pattern_from_wire(row["pattern"]), int(row["support"]))
+            for row in data["closed_frequent"]
+        ],
+        newly_frequent=[pattern_from_wire(p) for p in data["newly_frequent"]],
+        newly_infrequent=[
+            (
+                pattern_from_wire(row["pattern"]),
+                [pattern_from_wire(s) for s in row["survivors"]],
+            )
+            for row in data["newly_infrequent"]
+        ],
+    )
+
+
+def ranked_path_to_wire(path: RankedPath) -> Dict[str, Any]:
+    return {
+        "nodes": list(path.nodes),
+        "edges": [edge_to_wire(e) for e in path.edges],
+        "coherence": path.coherence,
+        "target_divergence": path.target_divergence,
+    }
+
+
+def ranked_path_from_wire(data: Mapping[str, Any]) -> RankedPath:
+    return RankedPath(
+        nodes=list(data["nodes"]),
+        edges=[edge_from_wire(e) for e in data["edges"]],
+        coherence=float(data["coherence"]),
+        target_divergence=float(data["target_divergence"]),
+    )
+
+
+def trend_rows_to_wire(rows: Sequence[Tuple[Any, ...]]) -> List[List[Any]]:
+    return [list(row) for row in rows]
+
+
+def trend_rows_from_wire(data: Sequence[Sequence[Any]]) -> List[Tuple[Any, ...]]:
+    return [
+        (float(ts), str(s), str(p), str(o), float(conf))
+        for ts, s, p, o, conf in data
+    ]
+
+
+def statistics_to_wire(stats: GraphStatistics) -> Dict[str, Any]:
+    return {
+        "num_entities": stats.num_entities,
+        "num_facts": stats.num_facts,
+        "curated_facts": stats.curated_facts,
+        "extracted_facts": stats.extracted_facts,
+        "confidence_histogram": list(stats.confidence_histogram),
+        "facts_per_source": dict(stats.facts_per_source),
+        "facts_per_predicate": dict(stats.facts_per_predicate),
+        "entities_per_type": dict(stats.entities_per_type),
+        "mean_extracted_confidence": stats.mean_extracted_confidence,
+        "central_entities": [list(pair) for pair in stats.central_entities],
+    }
+
+
+def statistics_from_wire(data: Mapping[str, Any]) -> GraphStatistics:
+    return GraphStatistics(
+        num_entities=int(data["num_entities"]),
+        num_facts=int(data["num_facts"]),
+        curated_facts=int(data["curated_facts"]),
+        extracted_facts=int(data["extracted_facts"]),
+        confidence_histogram=[int(c) for c in data["confidence_histogram"]],
+        facts_per_source=dict(data["facts_per_source"]),
+        facts_per_predicate=dict(data["facts_per_predicate"]),
+        entities_per_type=dict(data["entities_per_type"]),
+        mean_extracted_confidence=float(data["mean_extracted_confidence"]),
+        central_entities=[
+            (str(e), float(r)) for e, r in data["central_entities"]
+        ],
+    )
+
+
+def ingest_result_to_wire(result: IngestResult) -> Dict[str, Any]:
+    return {
+        "doc_id": result.doc_id,
+        "raw_triples": result.raw_triples,
+        "accepted": result.accepted,
+        "rejected_mapping": dict(result.rejected_mapping),
+        "rejected_confidence": result.rejected_confidence,
+        "accepted_triples": [list(t) for t in result.accepted_triples],
+    }
+
+
+def ingest_result_from_wire(data: Mapping[str, Any]) -> IngestResult:
+    return IngestResult(
+        doc_id=str(data["doc_id"]),
+        raw_triples=int(data["raw_triples"]),
+        accepted=int(data["accepted"]),
+        rejected_mapping=Counter(dict(data["rejected_mapping"])),
+        rejected_confidence=int(data["rejected_confidence"]),
+        accepted_triples=[
+            (str(s), str(p), str(o), float(conf))
+            for s, p, o, conf in data["accepted_triples"]
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# kind dispatch
+# ---------------------------------------------------------------------------
+
+
+def encode_payload(kind: str, payload: Any) -> Dict[str, Any]:
+    """Encode a query/ingest payload as a JSON-safe dict, by result kind."""
+    if kind == "entity":
+        return entity_summary_to_wire(payload)
+    if kind == "trending":
+        return window_report_to_wire(payload)
+    if kind in ("relationship", "explanatory"):
+        return {"paths": [ranked_path_to_wire(p) for p in payload]}
+    if kind == "entity-trend":
+        return {"rows": trend_rows_to_wire(payload)}
+    if kind == "pattern":
+        return {"matches": [dict(m) for m in payload]}
+    if kind == "statistics":
+        return statistics_to_wire(payload)
+    if kind == "ingest":
+        return ingest_result_to_wire(payload)
+    raise QueryError(f"no wire codec for result kind {kind!r}")
+
+
+def decode_payload(kind: str, data: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`encode_payload`: wire dict -> payload object."""
+    if kind == "entity":
+        return entity_summary_from_wire(data)
+    if kind == "trending":
+        return window_report_from_wire(data)
+    if kind in ("relationship", "explanatory"):
+        return [ranked_path_from_wire(p) for p in data["paths"]]
+    if kind == "entity-trend":
+        return trend_rows_from_wire(data["rows"])
+    if kind == "pattern":
+        return [dict(m) for m in data["matches"]]
+    if kind == "statistics":
+        return statistics_from_wire(data)
+    if kind == "ingest":
+        return ingest_result_from_wire(data)
+    raise QueryError(f"no wire codec for result kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# standing-query rows
+# ---------------------------------------------------------------------------
+
+
+def _row_key(row: Mapping[str, Any]) -> str:
+    return json.dumps(row, sort_keys=True, default=str)
+
+
+def delta_rows(kind: str, payload: Any) -> Dict[str, Dict[str, Any]]:
+    """Flatten a payload into ``key -> row`` for standing-query diffing.
+
+    Keys are chosen so a row's *identity* survives refreshes while its
+    observable content is part of the row dict:
+
+    - ``trending``: keyed by the pattern's canonical description, so a
+      support change shows up as that row re-appearing in ``added`` with
+      the new support (upsert), not as an unrelated add/remove pair.
+    - path kinds: keyed by the node sequence.
+    - ``entity`` / ``entity-trend`` / ``pattern``: the row content is
+      its own identity (a fact either is in the result set or is not).
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    if kind == "trending":
+        for pattern, support in payload:
+            rows[pattern.describe()] = {
+                "pattern": pattern.describe(),
+                "support": support,
+            }
+    elif kind in ("relationship", "explanatory"):
+        for path in payload:
+            key = " -> ".join(str(n) for n in path.nodes)
+            rows[key] = {
+                "nodes": [str(n) for n in path.nodes],
+                "coherence": round(path.coherence, 6),
+            }
+    elif kind == "entity":
+        for s, p, o, conf, curated in payload.facts:
+            row = {
+                "subject": s,
+                "predicate": p,
+                "object": o,
+                "confidence": round(conf, 6),
+                "curated": curated,
+            }
+            rows[_row_key(row)] = row
+    elif kind == "entity-trend":
+        for ts, s, p, o, conf in payload:
+            row = {
+                "timestamp": ts,
+                "subject": s,
+                "predicate": p,
+                "object": o,
+                "confidence": round(conf, 6),
+            }
+            rows[_row_key(row)] = row
+    elif kind == "pattern":
+        for bindings in payload:
+            row = {str(k): str(v) for k, v in bindings.items()}
+            rows[_row_key(row)] = row
+    else:
+        raise QueryError(f"result kind {kind!r} does not support standing queries")
+    return rows

@@ -225,6 +225,16 @@ class Nous:
             self.mapper.linker.invalidate_cache()
             self._accepted_since_retrain = 0
 
+    def retrain_if_due(self) -> None:
+        """Run the periodic retrain now if its budget is reached.
+
+        Public hook for callers that deferred retraining across several
+        ``ingest_batch`` calls (``defer_retrain=True``) — e.g. the
+        service-layer ingestion queue retrains once per busy period,
+        when the queue goes idle, instead of once per micro-batch.
+        """
+        self._maybe_retrain()
+
     def ingest_corpus(self, articles: Sequence) -> List[IngestResult]:
         """Ingest a sequence of :class:`repro.data.articles.Article`."""
         return [
@@ -232,7 +242,9 @@ class Nous:
             for a in articles
         ]
 
-    def ingest_batch(self, articles: Sequence) -> List[IngestResult]:
+    def ingest_batch(
+        self, articles: Sequence, defer_retrain: bool = False
+    ) -> List[IngestResult]:
         """Ingest a batch of articles through the amortised hot path.
 
         Functionally equivalent to calling :meth:`ingest` per article,
@@ -256,6 +268,10 @@ class Nous:
             articles: :class:`repro.data.articles.Article`-like objects
                 (``text`` / ``doc_id`` / ``date`` / ``source``), in
                 stream (date) order.
+            defer_retrain: Skip the end-of-batch retrain check; the
+                caller promises to call :meth:`retrain_if_due` later
+                (used by the ingestion queue to amortise retraining
+                across consecutive micro-batches).
 
         Returns:
             One :class:`IngestResult` per article, in input order.
@@ -310,7 +326,8 @@ class Nous:
             self.documents_ingested += 1
 
         self.dynamic.accept_batch(accepted_facts)
-        self._maybe_retrain()
+        if not defer_retrain:
+            self._maybe_retrain()
         return results
 
     def ingest_facts(

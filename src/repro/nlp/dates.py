@@ -26,6 +26,7 @@ _MONTHS = {
 }
 
 _ISO_RE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_ISO_YM_RE = re.compile(r"^(\d{4})-(\d{1,2})$")
 _SLASH_RE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
 _YEAR_RE = re.compile(r"^(19|20)\d{2}$")
 
@@ -66,6 +67,14 @@ def parse_date(text: str) -> Optional[SimpleDate]:
     if match:
         y, m, d = (int(g) for g in match.groups())
         return _checked(y, m, d)
+    match = _ISO_YM_RE.match(text)
+    if match:
+        # Partial year-month form; ``str(SimpleDate)`` emits this, so
+        # wire envelopes round-trip partial dates.
+        y, m = (int(g) for g in match.groups())
+        if 1 <= m <= 12 and 1800 <= y <= 2200:
+            return SimpleDate(year=y, month=m)
+        return None
     match = _SLASH_RE.match(text)
     if match:
         m, d, y = (int(g) for g in match.groups())

@@ -13,6 +13,7 @@ translated to graph algorithms:
 
 from repro.query.model import (
     EntityQuery,
+    EntityTrendQuery,
     ExplanatoryQuery,
     PatternQuery,
     Query,
@@ -27,6 +28,7 @@ __all__ = [
     "Query",
     "TrendingQuery",
     "EntityQuery",
+    "EntityTrendQuery",
     "RelationshipQuery",
     "ExplanatoryQuery",
     "PatternQuery",

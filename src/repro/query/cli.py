@@ -1,58 +1,82 @@
 """Command-line interface (§4 demo feature 4: "Execute queries ... using
 both web and command line interface" — this is the command line half).
 
+The CLI is a thin adapter over :class:`repro.api.NousService` — the same
+versioned envelopes a web frontend would consume.  ``--json`` switches
+the rendering from plain text to the wire-format envelope, one JSON
+object per query, suitable for piping into other tools.
+
 Usage::
 
     nous demo                 # build the drone KG from a synthetic stream
     nous demo --articles 300  # bigger stream
     nous query "tell me about DJI"        (after demo, in one session: REPL)
+    nous query --json "tell me about DJI" # wire-format envelope
     nous repl                 # interactive query loop
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.core.pipeline import Nous, NousConfig
+from repro.api.service import NousService, ServiceConfig
+from repro.core.pipeline import NousConfig
 from repro.data.corpus import CorpusConfig, generate_corpus
 from repro.data.descriptions import generate_descriptions
-from repro.errors import ReproError
 from repro.kb.drone_kb import build_drone_kb
-from repro.query.engine import QueryEngine
 
 
-def build_demo_system(
+def build_demo_service(
     n_articles: int = 120, seed: int = 7, window_size: int = 400
-) -> Nous:
-    """Construct a Nous instance and ingest a synthetic news stream."""
+) -> NousService:
+    """Construct a service and ingest a synthetic news stream through
+    its micro-batching queue."""
     kb = build_drone_kb()
     articles = generate_corpus(
         kb, CorpusConfig(n_articles=n_articles, seed=seed)
     )
     generate_descriptions(kb, seed=seed)
-    nous = Nous(kb=kb, config=NousConfig(window_size=window_size, seed=seed))
-    nous.ingest_corpus(articles)
-    return nous
+    service = NousService(
+        kb=kb,
+        config=NousConfig(window_size=window_size, seed=seed),
+        # Synchronous drains: the CLI builds, then queries; no
+        # background thread needed for a one-shot process.
+        service_config=ServiceConfig(auto_start=False),
+    )
+    service.submit_many(articles)
+    service.flush()
+    return service
 
 
-def _run_queries(engine: QueryEngine, queries) -> int:
+def _run_queries(
+    service: NousService, queries: Sequence[str], as_json: bool = False
+) -> int:
     status = 0
     for text in queries:
-        try:
-            result = engine.execute_text(text)
-        except ReproError as error:
-            print(f"error: {error}", file=sys.stderr)
+        response = service.query(text)
+        if as_json:
+            print(json.dumps(response.to_dict(), sort_keys=True))
+            if not response.ok:
+                status = 1
+            continue
+        if not response.ok:
+            assert response.error is not None
+            print(
+                f"error [{response.error.code}]: {response.error.message}",
+                file=sys.stderr,
+            )
             status = 1
             continue
-        print(f"# {text}  [{result.kind}, {result.elapsed_ms:.1f} ms]")
-        print(result.rendered)
+        print(f"# {text}  [{response.kind}, {response.elapsed_ms:.1f} ms]")
+        print(response.rendered)
         print()
     return status
 
 
-def _repl(engine: QueryEngine) -> int:
+def _repl(service: NousService) -> int:
     print("NOUS query REPL. Empty line or Ctrl-D to exit.")
     print('Try: "tell me about DJI", "show trending patterns",')
     print('     "why does Windermere use drones",')
@@ -65,10 +89,10 @@ def _repl(engine: QueryEngine) -> int:
             return 0
         if not line:
             return 0
-        _run_queries(engine, [line])
+        _run_queries(service, [line])
 
 
-def main(argv: Optional[list] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         prog="nous",
@@ -83,11 +107,19 @@ def main(argv: Optional[list] = None) -> int:
         "--query", action="append", default=[],
         help="query to run after building (repeatable)",
     )
+    demo.add_argument(
+        "--json", action="store_true",
+        help="emit wire-format JSON envelopes instead of plain text",
+    )
 
     query = sub.add_parser("query", help="build demo KG then run queries")
     query.add_argument("text", nargs="+", help="query strings")
     query.add_argument("--articles", type=int, default=120)
     query.add_argument("--seed", type=int, default=7)
+    query.add_argument(
+        "--json", action="store_true",
+        help="emit wire-format JSON envelopes instead of plain text",
+    )
 
     repl = sub.add_parser("repl", help="interactive query loop on the demo KG")
     repl.add_argument("--articles", type=int, default=120)
@@ -99,18 +131,22 @@ def main(argv: Optional[list] = None) -> int:
         f"building demo knowledge graph ({args.articles} articles)...",
         file=sys.stderr,
     )
-    nous = build_demo_system(n_articles=args.articles, seed=args.seed)
-    engine = QueryEngine(nous)
+    service = build_demo_service(n_articles=args.articles, seed=args.seed)
 
     if args.command == "demo":
-        print(nous.statistics().render())
+        stats = service.statistics()
+        if args.json:
+            print(json.dumps(stats.to_dict(), sort_keys=True))
+        else:
+            print(stats.rendered)
         if args.query:
-            print()
-            return _run_queries(engine, args.query)
-        return 0
+            if not args.json:
+                print()
+            return _run_queries(service, args.query, as_json=args.json)
+        return 0 if stats.ok else 1
     if args.command == "query":
-        return _run_queries(engine, args.text)
-    return _repl(engine)
+        return _run_queries(service, args.text, as_json=args.json)
+    return _repl(service)
 
 
 if __name__ == "__main__":  # pragma: no cover

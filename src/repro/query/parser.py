@@ -91,27 +91,49 @@ _VERB_PREDICATES = {
 }
 
 
+def _normalize_mention(mention: str) -> str:
+    """Canonical form for captured entity mentions: lowercase, single
+    spaces.  Alias lookup is already case/whitespace-insensitive
+    (:func:`repro.kb.aliases.normalize_alias`), so linking is
+    unaffected."""
+    return " ".join(mention.split()).lower()
+
+
 def parse_query(text: str) -> Query:
     """Parse one query string into a :class:`Query` object.
+
+    The parse is **normalizing**: surface case and whitespace are
+    canonicalised (queries lowercased, runs of whitespace collapsed, and
+    captured mentions likewise), so textually-equivalent strings —
+    ``"Tell me about DJI"`` and ``"tell  me about dji"`` — produce
+    *equal* :class:`Query` objects and therefore share one query-result
+    cache entry.  Pattern text and explicit ``via <predicate>`` names
+    keep their case (predicates are camelCase ontology ids).
 
     Raises:
         QueryParseError: when no template matches.
     """
-    stripped = text.strip()
+    stripped = " ".join(text.split())
     if not stripped:
         raise QueryParseError(text, "empty query")
+    lowered = stripped.lower()
 
-    if _TRENDING_RE.match(stripped):
-        return TrendingQuery(text=stripped)
+    if _TRENDING_RE.match(lowered):
+        return TrendingQuery(text=lowered)
 
     for regex in _ENTITY_TREND_RES:
         match = regex.match(stripped)
         if match:
-            return EntityTrendQuery(text=stripped, entity=match.group("e").strip())
+            return EntityTrendQuery(
+                text=lowered, entity=_normalize_mention(match.group("e"))
+            )
 
     match = _PATTERN_RE.match(stripped)
     if match:
-        return PatternQuery(text=stripped, pattern_text=match.group("p").strip())
+        pattern_text = match.group("p").strip()
+        return PatternQuery(
+            text=f"match {pattern_text}", pattern_text=pattern_text
+        )
 
     for regex in _WHY_RES:
         match = regex.match(stripped)
@@ -122,9 +144,9 @@ def parse_query(text: str) -> Query:
                 normalize_relation(verb) if verb else "", None
             )
             return ExplanatoryQuery(
-                text=stripped,
-                source=groups["s"].strip(),
-                target=groups["t"].strip(),
+                text=lowered,
+                source=_normalize_mention(groups["s"]),
+                target=_normalize_mention(groups["t"]),
                 relationship=relationship,
             )
 
@@ -133,15 +155,18 @@ def parse_query(text: str) -> Query:
         if match:
             groups = match.groupdict()
             return RelationshipQuery(
-                text=stripped,
-                source=groups["s"].strip(),
-                target=groups["t"].strip(),
+                text=lowered,
+                source=_normalize_mention(groups["s"]),
+                target=_normalize_mention(groups["t"]),
+                # Case preserved: predicates are camelCase ontology ids.
                 relationship=groups.get("p"),
             )
 
     for regex in _ENTITY_RES:
         match = regex.match(stripped)
         if match:
-            return EntityQuery(text=stripped, entity=match.group("e").strip())
+            return EntityQuery(
+                text=lowered, entity=_normalize_mention(match.group("e"))
+            )
 
     raise QueryParseError(text, "no query template matched")

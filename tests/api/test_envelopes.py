@@ -1,0 +1,133 @@
+"""Typed envelopes: error taxonomy, immutability, dict round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    API_VERSION,
+    ApiError,
+    ApiResponse,
+    IngestRequest,
+    QueryRequest,
+    error_from_exception,
+)
+from repro.data.articles import Article
+from repro.errors import (
+    ConfigError,
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    GraphError,
+    KBError,
+    LinkingError,
+    MiningError,
+    NLPError,
+    PatternError,
+    QAError,
+    QueryError,
+    QueryParseError,
+    ReproError,
+    UnknownPredicateError,
+    UnknownTypeError,
+    VertexNotFoundError,
+)
+from repro.nlp.dates import SimpleDate
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("exc,code", [
+        (QueryParseError("x", "nope"), "query.parse"),
+        (QueryError("bad"), "query"),
+        (PatternError("bad"), "mining.pattern"),
+        (MiningError("bad"), "mining"),
+        (QAError("bad"), "qa"),
+        (ConfigError("bad"), "config"),
+        (GraphError("bad"), "graph"),
+        (VertexNotFoundError("v"), "graph"),
+        (EdgeNotFoundError(3), "graph"),
+        (DuplicateVertexError("v"), "graph"),
+        (KBError("bad"), "kb"),
+        (UnknownPredicateError("p"), "kb"),
+        (UnknownTypeError("T"), "kb"),
+        (NLPError("bad"), "nlp"),
+        (LinkingError("bad"), "linking"),
+        (ReproError("bad"), "internal"),
+        (ValueError("bad"), "internal"),
+    ])
+    def test_every_repro_error_maps_to_a_stable_code(self, exc, code):
+        error = error_from_exception(exc)
+        assert error.code == code
+        assert error.exception == type(exc).__name__
+        assert str(exc) in error.message
+
+    def test_subclass_precedes_base(self):
+        # QueryParseError is a QueryError; the taxonomy must pick the
+        # most specific code, not the base's.
+        assert error_from_exception(QueryParseError("q", "r")).code == "query.parse"
+
+    def test_error_round_trip(self):
+        error = error_from_exception(QAError("no path"))
+        assert ApiError.from_dict(error.to_dict()) == error
+
+
+class TestRequests:
+    def test_ingest_request_round_trip(self):
+        request = IngestRequest(
+            text="DJI acquired GoPro.", doc_id="d1",
+            date="2015-06-10", source="wsj",
+        )
+        assert IngestRequest.from_dict(request.to_dict()) == request
+
+    def test_ingest_request_from_article_stringifies_date(self):
+        article = Article(
+            doc_id="a", date=SimpleDate(2015, 6, 10), source="wsj",
+            title="t", text="body",
+        )
+        request = IngestRequest.from_article(article)
+        assert request.date == "2015-06-10"
+        assert request.doc_id == "a"
+        assert IngestRequest.from_dict(request.to_dict()) == request
+
+    def test_partial_date_survives_the_envelope(self):
+        # str(SimpleDate(2015, 6)) == "2015-06" must parse back.
+        from repro.nlp.dates import parse_date
+        assert parse_date(str(SimpleDate(2015, 6))) == SimpleDate(2015, 6)
+        assert parse_date(str(SimpleDate(2015))) == SimpleDate(2015)
+
+    def test_query_request_round_trip(self):
+        request = QueryRequest(text="tell me about DJI")
+        assert QueryRequest.from_dict(request.to_dict()) == request
+
+    def test_requests_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            QueryRequest(text="x").text = "y"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            IngestRequest(text="x").source = "y"
+
+
+class TestApiResponse:
+    def test_success_round_trip(self):
+        response = ApiResponse(
+            ok=True, kind="entity", payload={"entity": "DJI"},
+            rendered="DJI (Company)", elapsed_ms=1.5, kg_version=42,
+            cached=True,
+        )
+        assert ApiResponse.from_dict(response.to_dict()) == response
+        assert response.api_version == API_VERSION
+
+    def test_failure_round_trip(self):
+        response = ApiResponse.failure(QueryParseError("zz", "no template"))
+        assert not response.ok
+        assert response.error is not None
+        assert response.error.code == "query.parse"
+        assert ApiResponse.from_dict(response.to_dict()) == response
+
+    def test_raise_for_error(self):
+        ok = ApiResponse(ok=True, kind="entity", payload={})
+        assert ok.raise_for_error() is ok
+        with pytest.raises(ReproError, match=r"\[qa\]"):
+            ApiResponse.failure(QAError("no path")).raise_for_error()
+
+    def test_response_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ApiResponse(ok=True, kind="x").ok = False

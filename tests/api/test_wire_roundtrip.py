@@ -1,0 +1,131 @@
+"""The wire-codec round-trip property (ISSUE 2 acceptance criterion).
+
+For every query class: ``decode_payload(kind, encode_payload(kind, x))``
+must reproduce payload *equality*, and the encoded form must survive an
+actual JSON dump/load (process boundary).
+"""
+
+import json
+
+import pytest
+
+from repro.api.wire import (
+    date_from_wire,
+    date_to_wire,
+    decode_payload,
+    delta_rows,
+    edge_from_wire,
+    edge_to_wire,
+    encode_payload,
+)
+from repro.core.pipeline import IngestResult, Nous, NousConfig
+from repro.core.statistics import compute_statistics
+from repro.errors import QueryError
+from repro.graph.property_graph import Edge
+from repro.nlp.dates import SimpleDate, parse_date
+from repro.query import QueryEngine
+
+QUERY_TEXTS = [
+    "tell me about DJI",
+    "show trending patterns",
+    "what's new about DJI",
+    "how is GoPro related to DJI",
+    "why does Windermere use drones",
+    "match (?a:Company)-[partnerOf]->(?b:Company)",
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    nous = Nous(config=NousConfig(
+        window_size=100, min_support=2, lda_iterations=10, retrain_every=0
+    ))
+    nous.ingest(
+        "GoPro partnered with DJI in June 2015.",
+        doc_id="a", date=parse_date("2015-06-10"), source="wsj",
+    )
+    nous.ingest(
+        "Intel partnered with PrecisionHawk in July 2015.",
+        doc_id="b", date=parse_date("2015-07-02"), source="wsj",
+    )
+    nous.ingest(
+        "Amazon acquired Kiva Systems for $775 million in March 2012.",
+        doc_id="c", date=parse_date("2012-03-19"), source="wsj",
+    )
+    return QueryEngine(nous)
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("text", QUERY_TEXTS)
+    def test_query_payload_round_trips_through_json(self, engine, text):
+        result = engine.execute_text(text)
+        assert result.result_count > 0, f"degenerate fixture for {text!r}"
+        wire = encode_payload(result.kind, result.payload)
+        # Must survive a *real* process boundary, not just a dict copy.
+        over_the_wire = json.loads(json.dumps(wire, sort_keys=True))
+        decoded = decode_payload(result.kind, over_the_wire)
+        assert decoded == result.payload
+
+    def test_statistics_round_trips(self, engine):
+        stats = compute_statistics(engine.nous.kb)
+        wire = json.loads(json.dumps(encode_payload("statistics", stats)))
+        assert decode_payload("statistics", wire) == stats
+
+    def test_ingest_result_round_trips(self, engine):
+        result = engine.nous.ingest(
+            "Parrot partnered with GoPro in May 2016.",
+            doc_id="d", date=parse_date("2016-05-02"), source="wsj",
+        )
+        wire = json.loads(json.dumps(encode_payload("ingest", result)))
+        assert decode_payload("ingest", wire) == result
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(QueryError):
+            encode_payload("nonsense", object())
+        with pytest.raises(QueryError):
+            decode_payload("nonsense", {})
+
+
+class TestLeafCodecs:
+    @pytest.mark.parametrize("date", [
+        None,
+        SimpleDate(2015),
+        SimpleDate(2015, 6),
+        SimpleDate(2015, 6, 10),
+    ])
+    def test_dates(self, date):
+        assert date_from_wire(date_to_wire(date)) == date
+
+    def test_edge_props_with_simple_date(self):
+        edge = Edge(
+            eid=7, src="DJI", dst="GoPro", label="partnerOf",
+            props={
+                "confidence": 0.8,
+                "source": "wsj",
+                "curated": False,
+                "date": SimpleDate(2015, 6, 10),
+            },
+        )
+        wire = json.loads(json.dumps(edge_to_wire(edge)))
+        assert edge_from_wire(wire) == edge
+
+
+class TestDeltaRows:
+    def test_entity_trend_rows_are_keyed_and_stable(self, engine):
+        result = engine.execute_text("what's new about DJI")
+        rows = delta_rows("entity-trend", result.payload)
+        assert len(rows) == result.result_count
+        # Same payload -> identical keys (diffable across evaluations).
+        assert rows.keys() == delta_rows("entity-trend", result.payload).keys()
+
+    def test_trending_rows_keyed_by_pattern(self, engine):
+        report = engine.nous.trending()
+        rows = delta_rows("trending", report.closed_frequent)
+        assert len(rows) == len(report.closed_frequent)
+        for key, row in rows.items():
+            assert row["pattern"] == key
+            assert row["support"] >= 1
+
+    def test_unsupported_kind_rejected(self):
+        with pytest.raises(QueryError):
+            delta_rows("statistics", IngestResult(doc_id="x"))

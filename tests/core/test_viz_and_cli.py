@@ -1,7 +1,10 @@
 """Visualisation exports and the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import API_VERSION, ApiResponse
 from repro.core.viz import ego_subgraph, subgraph_to_dot, subgraph_to_text
 from repro.graph import PropertyGraph
 from repro.query import cli
@@ -102,7 +105,48 @@ class TestCli:
         assert status == 1
         err = capsys.readouterr().err
         assert "error" in err
+        assert "query.parse" in err  # structured taxonomy code surfaces
 
-    def test_build_demo_system_reusable(self):
-        nous = cli.build_demo_system(n_articles=10, seed=5)
-        assert nous.documents_ingested == 10
+    def test_query_json_emits_wire_envelope(self, capsys):
+        status = cli.main([
+            "query", "--json", "tell me about DJI",
+            "--articles", "12", "--seed", "3",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        envelope = json.loads(out.strip().splitlines()[-1])
+        assert envelope["ok"] is True
+        assert envelope["kind"] == "entity"
+        assert envelope["api_version"] == API_VERSION
+        assert envelope["payload"]["entity"] == "DJI"
+        # The envelope is a faithful ApiResponse wire form.
+        response = ApiResponse.from_dict(envelope)
+        assert response.ok and response.kind == "entity"
+
+    def test_query_json_error_envelope_and_exit_code(self, capsys):
+        status = cli.main([
+            "query", "--json", "gibberish blargh",
+            "--articles", "12", "--seed", "3",
+        ])
+        assert status == 1
+        out = capsys.readouterr().out
+        envelope = json.loads(out.strip().splitlines()[-1])
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "query.parse"
+        assert envelope["payload"] is None
+
+    def test_demo_json(self, capsys):
+        status = cli.main([
+            "demo", "--json", "--articles", "12", "--seed", "3",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        envelope = json.loads(out.strip().splitlines()[-1])
+        assert envelope["kind"] == "statistics"
+        assert envelope["payload"]["num_facts"] > 0
+
+    def test_build_demo_service_reusable(self):
+        service = cli.build_demo_service(n_articles=10, seed=5)
+        assert service.nous.documents_ingested == 10
+        assert service.pending_count == 0
+        assert service.query("tell me about DJI").ok

@@ -5,6 +5,13 @@ Run as a subprocess by ``tests/test_golden_pipeline.py`` with
 break ties in linking and beam search — is identical on every run.  Not
 a test module itself (pytest ignores the filename).
 
+Since ISSUE 2 the driver goes through :class:`repro.api.NousService`
+(the supported entry point) instead of raw ``Nous``: documents travel
+the ingestion queue (one deterministic synchronous drain covering the
+whole corpus), per-document metrics come from the *wire-format* ticket
+payloads, and query answers are read back through
+``decode_payload`` — so the golden values also pin the envelope codecs.
+
 Prints one JSON object on stdout.
 """
 
@@ -15,12 +22,14 @@ import sys
 
 from repro import (
     CorpusConfig,
-    Nous,
     NousConfig,
+    NousService,
+    ServiceConfig,
     build_drone_kb,
     generate_corpus,
     generate_descriptions,
 )
+from repro.api.wire import decode_payload
 from repro.query import QueryEngine
 
 GOLDEN_SEED = 11
@@ -35,13 +44,13 @@ QUERY_TEXTS = [
 ]
 
 
-def build_system() -> Nous:
+def build_service() -> tuple:
     kb = build_drone_kb()
     generate_descriptions(kb, seed=GOLDEN_SEED)
     articles = generate_corpus(
         kb, CorpusConfig(n_articles=N_ARTICLES, seed=GOLDEN_SEED)
     )
-    nous = Nous(
+    service = NousService(
         kb=kb,
         config=NousConfig(
             window_size=120,
@@ -50,47 +59,57 @@ def build_system() -> Nous:
             retrain_every=60,
             seed=GOLDEN_SEED,
         ),
+        # Deterministic single-threaded drains; one batch spans the
+        # whole corpus, so the run pins ``ingest_batch`` semantics.
+        service_config=ServiceConfig(auto_start=False, max_batch=N_ARTICLES),
     )
-    nous._ingest_results = nous.ingest_corpus(articles)  # type: ignore[attr-defined]
-    return nous
+    tickets = service.submit_many(articles)
+    service.flush()
+    return service, [t.result(timeout=0) for t in tickets]
 
 
 def main() -> None:
-    nous = build_system()
-    results = nous._ingest_results  # type: ignore[attr-defined]
+    service, ingest_envelopes = build_service()
+    assert all(env.ok for env in ingest_envelopes)
+    ingest_payloads = [env.payload for env in ingest_envelopes]
 
-    trending = nous.trending()
+    trending_envelope = service.query("show trending patterns")
+    trending = decode_payload("trending", trending_envelope.payload)
     top_patterns = sorted(
         f"{pattern.describe()}|{support}"
         for pattern, support in trending.closed_frequent
     )[:5]
 
-    paths = nous.explain("Windermere", "drones", k=3)
+    paths_envelope = service.query("why does Windermere use drones")
+    paths = decode_payload(paths_envelope.kind, paths_envelope.payload)
 
-    # Cache consistency: the same queries through a cache-enabled and a
-    # cache-disabled engine, twice each, must render identically.
-    cached_engine = QueryEngine(nous, enable_cache=True)
-    plain_engine = QueryEngine(nous, enable_cache=False)
+    # Cache consistency: the same queries through the (cache-enabled)
+    # service and a cache-disabled engine, twice each, must render
+    # identically.
+    plain_engine = QueryEngine(service.nous, enable_cache=False)
     cache_consistent = True
     for text in QUERY_TEXTS * 2:
-        a = cached_engine.execute_text(text)
+        a = service.query(text)
         b = plain_engine.execute_text(text)
-        if a.rendered != b.rendered or a.result_count != b.result_count:
+        if a.rendered != b.rendered or not a.ok:
             cache_consistent = False
 
     metrics = {
-        "accepted_total": sum(r.accepted for r in results),
-        "rejected_confidence_total": sum(r.rejected_confidence for r in results),
-        "raw_triples_total": sum(r.raw_triples for r in results),
-        "num_facts": nous.kb.num_facts,
-        "num_entities": len(nous.kb.entities()),
+        "accepted_total": sum(p["accepted"] for p in ingest_payloads),
+        "rejected_confidence_total": sum(
+            p["rejected_confidence"] for p in ingest_payloads
+        ),
+        "raw_triples_total": sum(p["raw_triples"] for p in ingest_payloads),
+        "num_facts": service.nous.kb.num_facts,
+        "num_entities": len(service.nous.kb.entities()),
         "window_edges": trending.window_edges,
         "closed_frequent_count": len(trending.closed_frequent),
         "top_patterns": top_patterns,
         "top_path_nodes": [str(n) for n in paths[0].nodes] if paths else [],
         "top_path_coherence": round(paths[0].coherence, 6) if paths else None,
         "cache_consistent": cache_consistent,
-        "cache_hits": cached_engine.cache_hits,
+        "cache_hits": service.engine.cache_hits,
+        "batches_drained": service.batches_drained,
     }
     json.dump(metrics, sys.stdout, sort_keys=True)
     sys.stdout.write("\n")

@@ -30,10 +30,12 @@ class TestParser:
         assert isinstance(parse_query(text), TrendingQuery)
 
     @pytest.mark.parametrize("text,entity", [
-        ("tell me about DJI", "DJI"),
-        ("Tell me about DJI?", "DJI"),
-        ("who is Frank Wang", "Frank Wang"),
-        ("summary of Parrot", "Parrot"),
+        # Mentions are normalized (case/whitespace) so equivalent query
+        # strings produce equal Query objects.
+        ("tell me about DJI", "dji"),
+        ("Tell me about DJI?", "dji"),
+        ("who is Frank Wang", "frank wang"),
+        ("summary of Parrot", "parrot"),
     ])
     def test_entity(self, text, entity):
         query = parse_query(text)
@@ -43,8 +45,8 @@ class TestParser:
     def test_relationship(self):
         query = parse_query("how is DJI related to Amazon?")
         assert isinstance(query, RelationshipQuery)
-        assert query.source == "DJI"
-        assert query.target == "Amazon"
+        assert query.source == "dji"
+        assert query.target == "amazon"
         assert query.relationship is None
 
     def test_relationship_with_predicate(self):
@@ -55,7 +57,7 @@ class TestParser:
     def test_explanatory_with_verb(self):
         query = parse_query("why does Windermere use drones?")
         assert isinstance(query, ExplanatoryQuery)
-        assert query.source == "Windermere"
+        assert query.source == "windermere"
         assert query.target == "drones"
         assert query.relationship == "usesTechnology"
 
@@ -77,6 +79,32 @@ class TestParser:
     def test_entity_does_not_swallow_why(self):
         # "what is trending" must parse as trending, not entity "trending"
         assert isinstance(parse_query("what is trending"), TrendingQuery)
+
+    def test_normalization_produces_equal_queries(self):
+        # Case/whitespace variants must collapse to one Query object so
+        # they share a single query-result cache slot.
+        assert parse_query("Tell me about DJI") == parse_query(
+            "tell  me about dji"
+        )
+        assert parse_query("SHOW TRENDING PATTERNS") == parse_query(
+            "show trending patterns"
+        )
+        assert parse_query("How is DJI  related to Amazon?") == parse_query(
+            "how is dji related to amazon?"
+        )
+
+    def test_normalization_preserves_predicate_case(self):
+        # 'via <predicate>' names camelCase ontology predicates; pattern
+        # text likewise keeps its case.
+        query = parse_query("Find path from DJI to Amazon via partnerOf")
+        assert isinstance(query, RelationshipQuery)
+        assert query.relationship == "partnerOf"
+        pattern = parse_query("Match (?a:Company)-[acquired]->(?b:Company)")
+        assert isinstance(pattern, PatternQuery)
+        assert pattern.pattern_text == "(?a:Company)-[acquired]->(?b:Company)"
+        assert pattern == parse_query(
+            "match  (?a:Company)-[acquired]->(?b:Company)"
+        )
 
 
 class TestParsePattern:

@@ -96,6 +96,19 @@ class TestCacheHits:
             assert a.rendered == b.rendered
             assert a.result_count == b.result_count
 
+    def test_textually_equivalent_queries_share_a_cache_slot(self, nous):
+        """parse_query normalizes case/whitespace, so surface variants
+        of one query are one cache entry (the normalization satellite's
+        regression)."""
+        engine = QueryEngine(nous)
+        first = engine.execute_text("Tell me about DJI")
+        second = engine.execute_text("tell  me about dji")
+        assert not first.cached
+        assert second.cached, "equivalent query text missed the cache"
+        assert engine.cache_len == 1
+        assert second.rendered == first.rendered
+        assert second.result_count == first.result_count
+
     def test_trending_is_never_cached(self, nous):
         engine = QueryEngine(nous)
         first = engine.execute_text("show trending patterns")
