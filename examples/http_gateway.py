@@ -1,0 +1,97 @@
+"""HTTP gateway end to end: server, client, and streaming push.
+
+One process plays both sides — a ``NousGateway`` serving a live service
+on an ephemeral port, and a ``ClientSession`` that talks to it exactly
+as a remote client would: ingest over the wire, query over the wire,
+and a standing query streamed back as NDJSON deltas while new articles
+change what the graph knows.
+
+Run:
+    python examples/http_gateway.py
+"""
+
+import threading
+
+from repro import (
+    CorpusConfig,
+    NousConfig,
+    NousService,
+    build_drone_kb,
+    generate_corpus,
+    generate_descriptions,
+)
+from repro.api.http import ClientSession, GatewayConfig, NousGateway
+
+
+def main() -> None:
+    # 1. A service with a bootstrapped KG (curated KB + a small
+    #    synthetic stream), plus its background micro-batch drainer.
+    kb = build_drone_kb()
+    articles = generate_corpus(kb, CorpusConfig(n_articles=60, seed=7))
+    generate_descriptions(kb, seed=7)
+    with NousService(kb=kb, config=NousConfig(window_size=300, seed=7)) as service:
+        service.submit_many(articles)
+        service.flush()
+
+        # 2. Put the gateway in front of it. port=0 picks a free port.
+        with NousGateway(service, GatewayConfig(port=0)) as gateway:
+            print(f"gateway listening on {gateway.url}\n")
+
+            with ClientSession(gateway.url) as client:
+                # 3. Liveness + queue state.
+                health = client.healthz()
+                print(
+                    f"healthz: {health['status']}, "
+                    f"kg_version={health['kg_version']}, "
+                    f"{health['documents_ingested']} documents ingested"
+                )
+
+                # 4. A standing query over the wire: acquisitions among
+                #    companies, streamed as added/removed deltas.
+                stream = client.subscribe(
+                    "match (?a:Company)-[acquired]->(?b:Company)",
+                    heartbeat=0.5,
+                )
+                frames = []
+                reader = threading.Thread(
+                    target=lambda: frames.extend(stream), daemon=True
+                )
+                reader.start()
+
+                # 5. Ingest news through the gateway; the subscriber
+                #    sees the graph change without re-polling.
+                for doc_id, text in [
+                    ("wire-1", "DJI acquired Parrot SA in June 2016."),
+                    ("wire-2", "Amazon acquired 3D Robotics in July 2016."),
+                ]:
+                    envelope = client.ingest(
+                        text, doc_id=doc_id, date="2016-06-10", source="wire"
+                    )
+                    print(f"ingested {doc_id}: {envelope.rendered}")
+
+                # 6. Query over the wire — same envelopes, same payloads
+                #    as in-process calls.
+                for question in [
+                    "tell me about DJI",
+                    "match (?a:Company)-[acquired]->(?b:Company)",
+                ]:
+                    response = client.query(question)
+                    print(f"\n=== {question}  [{response.kind}]")
+                    print(response.rendered)
+
+                # 7. What did the standing query push while we worked?
+                stream.close()
+                reader.join(timeout=5.0)
+                updates = [f for f in frames if f["event"] == "update"]
+                added = sum(len(u["added"]) for u in updates)
+                print(
+                    f"\nstanding query pushed {len(updates)} update frame(s), "
+                    f"{added} added row(s)"
+                )
+                for update in updates:
+                    for row in update["added"]:
+                        print(f"  + {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,17 @@
 """Setup shim for environments without PEP 517 wheel support."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="nous-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of NOUS: Construction and Querying of Dynamic "
+        "Knowledge Graphs (ICDE 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"], "repro.api": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["nous=repro.query.cli:main"]},
+)

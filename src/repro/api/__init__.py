@@ -18,6 +18,12 @@ using both web and command line interface" over a *dynamic* KG):
   ``ingest_batch`` hot path), and supports **standing queries** —
   continuous queries re-evaluated after every drain that yield delta
   results as the KG changes underneath them.
+- **HTTP gateway** (:mod:`repro.api.http`): ``NousGateway`` serves the
+  same envelopes over stdlib HTTP — ingest/query/stats endpoints plus
+  NDJSON streaming push for standing-query deltas — and
+  ``ClientSession`` consumes them with the same codecs (see
+  ``docs/API.md``).  Imported lazily; ``from repro.api.http import ...``
+  when you need the network half.
 """
 
 from repro.api.envelopes import (
@@ -27,6 +33,7 @@ from repro.api.envelopes import (
     IngestRequest,
     QueryRequest,
     error_from_exception,
+    normalize_error_message,
 )
 from repro.api.service import (
     IngestTicket,
@@ -44,6 +51,7 @@ __all__ = [
     "IngestRequest",
     "QueryRequest",
     "error_from_exception",
+    "normalize_error_message",
     "NousService",
     "ServiceConfig",
     "IngestTicket",

@@ -14,6 +14,7 @@ carried inside the envelope.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
@@ -80,19 +81,46 @@ class ApiError:
         )
 
 
+# Memory addresses make otherwise-identical errors compare unequal and
+# leak process internals onto the wire.
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]{4,}")
+
+
+def normalize_error_message(exc: BaseException) -> str:
+    """A stable, human-readable message for the wire.
+
+    Raw ``str(exc)`` is not wire-safe in every case: ``KeyError``
+    stringifies to the *repr* of its key (``"'text'"``), a bare
+    ``Exception()`` stringifies to nothing, and default object reprs
+    embed memory addresses that differ run to run.  Every
+    :class:`ApiError` message goes through this normalisation, so
+    clients always see ``code`` + a meaningful ``message``.
+    """
+    if isinstance(exc, KeyError) and exc.args:
+        message = f"missing key: {exc.args[0]}"
+    else:
+        message = str(exc).strip()
+    if not message:
+        message = type(exc).__name__
+    return _ADDRESS_RE.sub("0x…", message)
+
+
 def error_from_exception(exc: BaseException) -> ApiError:
     """Map an exception onto the structured taxonomy.
 
     Every :class:`~repro.errors.ReproError` subclass gets a stable
-    subsystem code; anything else is ``internal``.
+    subsystem code; anything else is ``internal``.  Messages are
+    normalised (:func:`normalize_error_message`) before they go over
+    the wire.
     """
+    message = normalize_error_message(exc)
     for exc_type, code in _ERROR_TAXONOMY:
         if isinstance(exc, exc_type):
             return ApiError(
-                code=code, message=str(exc), exception=type(exc).__name__
+                code=code, message=message, exception=type(exc).__name__
             )
     return ApiError(
-        code="internal", message=str(exc), exception=type(exc).__name__
+        code="internal", message=message, exception=type(exc).__name__
     )
 
 

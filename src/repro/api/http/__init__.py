@@ -1,0 +1,48 @@
+"""The HTTP gateway: the service's wire envelopes over the network.
+
+This package is the "web" half of the paper's §4 demo ("query execution
+using both web and command line interface"), built entirely on the
+stdlib (``http.server`` / ``http.client`` — no new dependencies):
+
+- :mod:`repro.api.http.server` — :class:`NousGateway`, a threaded HTTP
+  server exposing ``/v1/ingest``, ``/v1/query``, ``/v1/stats``,
+  ``/v1/healthz`` and the streaming ``/v1/subscribe`` endpoint over an
+  existing :class:`~repro.api.service.NousService`.
+- :mod:`repro.api.http.client` — :class:`ClientSession`, which
+  round-trips the same JSON codecs so remote results compare equal to
+  in-process ones.
+- :mod:`repro.api.http.protocol` — the shared contract: the
+  error-code→HTTP-status table and the NDJSON frame format of the
+  subscribe stream.
+
+Start one with ``nous serve`` or::
+
+    from repro.api.http import ClientSession, GatewayConfig, NousGateway
+
+    with NousGateway(service, GatewayConfig(port=8420)) as gateway:
+        with ClientSession(gateway.url) as client:
+            client.ingest("DJI acquired SkyPixel in March 2015.")
+            print(client.query("tell me about DJI").rendered)
+
+Endpoint-by-endpoint request/response examples are in ``docs/API.md``.
+"""
+
+from repro.api.http.client import ClientSession, SubscriptionStream
+from repro.api.http.protocol import (
+    HTTP_STATUS_BY_CODE,
+    NDJSON_CONTENT_TYPE,
+    gateway_error,
+    status_for_error,
+)
+from repro.api.http.server import GatewayConfig, NousGateway
+
+__all__ = [
+    "ClientSession",
+    "SubscriptionStream",
+    "GatewayConfig",
+    "NousGateway",
+    "HTTP_STATUS_BY_CODE",
+    "NDJSON_CONTENT_TYPE",
+    "gateway_error",
+    "status_for_error",
+]

@@ -1,0 +1,328 @@
+"""``ClientSession``: talk to a running gateway with the same codecs.
+
+The client round-trips the exact wire envelopes the in-process service
+uses — :meth:`ClientSession.query` returns an
+:class:`~repro.api.envelopes.ApiResponse` built with
+``ApiResponse.from_dict``, and :meth:`ClientSession.query_decoded`
+additionally runs the payload through
+:func:`~repro.api.wire.decode_payload`, so a remote result compares
+*equal* to the in-process object for every query payload type.  That
+property is what lets tests and examples swap a live server for the
+in-process service without changing a line.
+
+One keep-alive connection is reused per session (guarded by a lock, so
+a session may be shared across threads); :meth:`ClientSession.subscribe`
+opens a dedicated second connection for its NDJSON stream and yields
+one frame dict per line.  Everything is stdlib (``http.client``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
+from repro.api.wire import decode_payload
+from repro.errors import ConfigError, ReproError
+
+
+def _connect(
+    host: str, port: int, timeout: Optional[float]
+) -> http.client.HTTPConnection:
+    """An open connection with TCP_NODELAY set.
+
+    http.client writes request headers and body as separate sends; with
+    Nagle on, that write-write-read pattern stalls ~40ms per request on
+    the peer's delayed ACK — a flat tax that would dwarf most queries.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    conn.connect()
+    assert conn.sock is not None
+    conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return conn
+
+
+class ClientSession:
+    """A client for one gateway base URL (e.g. ``http://127.0.0.1:8420``).
+
+    Args:
+        base_url: ``http://host:port`` of a running gateway.
+        timeout: Socket timeout for plain requests (subscribe streams
+            take their own, since an idle stream legitimately blocks
+            between heartbeats).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ConfigError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One JSON round trip on the shared keep-alive connection.
+
+        A request whose *send* fails on a reused connection is retried
+        once on a fresh socket (the server closed an idle keep-alive
+        connection).  A lost *response* is only retried for GETs — the
+        server may already have processed the request, and re-sending a
+        POST could double-ingest.
+        """
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        with self._lock:
+            while True:
+                fresh = self._conn is None
+                if self._conn is None:
+                    self._conn = _connect(
+                        self._host, self._port, self._timeout
+                    )
+                try:
+                    self._conn.request(method, path, body=body, headers=headers)
+                except (http.client.HTTPException, OSError):
+                    # Send failed: the server cannot have processed a
+                    # complete request, so a retry on a fresh socket is
+                    # safe for any method (this covers the server
+                    # having closed an idle keep-alive connection).
+                    self._conn.close()
+                    self._conn = None
+                    if fresh:
+                        raise
+                    continue
+                try:
+                    response = self._conn.getresponse()
+                    status = response.status
+                    raw = response.read()
+                except (http.client.HTTPException, OSError):
+                    # The request reached the server but the response
+                    # did not come back.  Only idempotent methods may
+                    # retry — re-sending a POST here could double-ingest
+                    # a document the server already processed.
+                    self._conn.close()
+                    self._conn = None
+                    if fresh or method != "GET":
+                        raise
+                    continue
+                break
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"gateway returned a non-JSON body for {method} {path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"gateway returned a non-object body for {method} {path}"
+            )
+        return status, data
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def query(self, request: Union[str, QueryRequest]) -> ApiResponse:
+        """``POST /v1/query``; returns the decoded envelope (check
+        ``.ok`` / ``.error`` — failures do not raise)."""
+        if isinstance(request, str):
+            request = QueryRequest(text=request)
+        _status, data = self._request("POST", "/v1/query", request.to_dict())
+        return ApiResponse.from_dict(data)
+
+    def query_decoded(self, request: Union[str, QueryRequest]) -> Tuple[str, Any]:
+        """Query and decode the payload back into its payload object.
+
+        Returns ``(kind, payload)`` where ``payload`` compares equal to
+        what in-process ``NousService.query`` + ``decode_payload`` would
+        produce.
+
+        Raises:
+            ReproError: when the envelope carries an error.
+        """
+        envelope = self.query(request).raise_for_error()
+        assert envelope.payload is not None
+        return envelope.kind, decode_payload(envelope.kind, envelope.payload)
+
+    def ingest(
+        self,
+        request: Union[str, IngestRequest],
+        wait: bool = True,
+        **fields: Any,
+    ) -> ApiResponse:
+        """``POST /v1/ingest``.
+
+        Args:
+            request: An :class:`IngestRequest`, or the document text
+                (with ``doc_id`` / ``date`` / ``source`` as keyword
+                arguments).
+            wait: Block until the document's micro-batch drains and
+                return the ``ingest`` envelope; with ``wait=False`` the
+                202 ``ticket`` envelope is returned immediately (poll it
+                with :meth:`ticket`).
+        """
+        if isinstance(request, str):
+            request = IngestRequest(text=request, **fields)
+        elif fields:
+            raise ConfigError(
+                "keyword fields are only valid with a text-string request"
+            )
+        path = "/v1/ingest?wait=1" if wait else "/v1/ingest"
+        _status, data = self._request("POST", path, request.to_dict())
+        return ApiResponse.from_dict(data)
+
+    def submit(
+        self, request: Union[str, IngestRequest], **fields: Any
+    ) -> ApiResponse:
+        """Fire-and-poll ingestion: the 202 ``ticket`` envelope."""
+        return self.ingest(request, wait=False, **fields)
+
+    def ticket(self, ticket_id: int) -> ApiResponse:
+        """``GET /v1/ingest/<id>``: the ``ingest`` envelope once the
+        document drained, the ``ticket`` envelope while pending."""
+        _status, data = self._request("GET", f"/v1/ingest/{ticket_id}")
+        return ApiResponse.from_dict(data)
+
+    def statistics(self) -> ApiResponse:
+        """``GET /v1/stats``: the ``statistics`` envelope."""
+        _status, data = self._request("GET", "/v1/stats")
+        return ApiResponse.from_dict(data)
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /v1/healthz``: liveness + queue state (a plain dict)."""
+        _status, data = self._request("GET", "/v1/healthz")
+        return data
+
+    def subscribe(
+        self,
+        query_text: str,
+        heartbeat: Optional[float] = None,
+        max_seconds: Optional[float] = None,
+        max_updates: Optional[int] = None,
+        include_heartbeats: bool = False,
+        timeout: Optional[float] = None,
+    ) -> "SubscriptionStream":
+        """``GET /v1/subscribe?q=...``: a live NDJSON delta stream.
+
+        Returns a :class:`SubscriptionStream` — iterate it for frame
+        dicts (``subscribed`` first, then ``update`` / ``bye``;
+        ``heartbeat`` frames are filtered unless requested).  Closing
+        the stream disconnects, which detaches the server-side standing
+        query.
+
+        Raises:
+            ReproError: when the server rejects the subscription (e.g.
+                an unparseable query).
+        """
+        params: Dict[str, str] = {"q": query_text}
+        if heartbeat is not None:
+            params["heartbeat"] = str(heartbeat)
+        if max_seconds is not None:
+            params["max_seconds"] = str(max_seconds)
+        if max_updates is not None:
+            params["max_updates"] = str(max_updates)
+        path = "/v1/subscribe?" + urlencode(params, quote_via=quote)
+        return SubscriptionStream(
+            self._host, self._port, path, timeout, include_heartbeats
+        )
+
+
+class SubscriptionStream:
+    """Iterator over one subscribe stream's NDJSON frames.
+
+    Owns a dedicated connection: closing it (or leaving a ``with``
+    block) is the client-side disconnect the server detaches on.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        path: str,
+        timeout: Optional[float],
+        include_heartbeats: bool,
+    ) -> None:
+        self._include_heartbeats = include_heartbeats
+        self._conn = _connect(host, port, timeout)
+        self._closed = False
+        try:
+            self._conn.request("GET", path)
+            self._response = self._conn.getresponse()
+            if self._response.status != 200:
+                data = json.loads(self._response.read())
+                ApiResponse.from_dict(data).raise_for_error()
+                raise ReproError(
+                    f"subscribe rejected with HTTP {self._response.status}"
+                )
+        except BaseException:
+            self._conn.close()
+            self._closed = True
+            raise
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self
+
+    def __next__(self) -> Dict[str, Any]:
+        """The next frame; ``StopIteration`` on clean end of stream."""
+        while True:
+            if self._closed:
+                raise StopIteration
+            try:
+                line = self._response.readline()
+            except (OSError, ValueError, AttributeError, http.client.HTTPException):
+                # close() may race a blocked readline from another
+                # thread; whatever the stdlib raises on the yanked
+                # socket, the stream is simply over (the AttributeError
+                # is http.client reading through its now-None buffer).
+                self.close()
+                raise StopIteration from None
+            if not line:
+                self.close()
+                raise StopIteration
+            frame = json.loads(line)
+            if not isinstance(frame, dict):
+                raise ReproError("subscribe stream emitted a non-object frame")
+            if (
+                frame.get("event") == "heartbeat"
+                and not self._include_heartbeats
+            ):
+                continue
+            return frame
+
+    def close(self) -> None:
+        """Disconnect (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._conn.close()
+
+    def __enter__(self) -> "SubscriptionStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,120 @@
+"""The HTTP-level contract of the gateway (documented in ``docs/API.md``).
+
+Two things live here, shared by :mod:`repro.api.http.server` and
+:mod:`repro.api.http.client` so they cannot drift apart:
+
+- **Status mapping** — :data:`HTTP_STATUS_BY_CODE` maps every
+  :class:`~repro.api.envelopes.ApiError` taxonomy code (plus the
+  gateway's own ``http.*`` codes for transport-level failures) onto an
+  HTTP status; :func:`status_for_error` resolves unknown codes by
+  walking dotted prefixes (``query.parse`` -> ``query``) and defaults
+  to 500.
+- **NDJSON framing** — ``GET /v1/subscribe`` streams standing-query
+  deltas as newline-delimited JSON objects.  Every frame carries an
+  ``event`` field: ``subscribed`` (hello, first frame), ``update``
+  (a :class:`~repro.api.service.StandingQueryUpdate` wire dict),
+  ``heartbeat`` (keepalive while idle) and ``bye`` (clean end of
+  stream).  :func:`encode_frame` / the ``*_frame`` builders produce
+  them; the client parses one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.api.envelopes import ApiError, ApiResponse
+from repro.api.service import StandingQueryUpdate, Subscription
+
+#: Content type of the streaming subscribe endpoint.
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+#: HTTP status for every error-taxonomy code the gateway can emit.
+#: Service codes come from :data:`repro.api.envelopes._ERROR_TAXONOMY`;
+#: ``http.*`` codes are minted by the gateway itself before a request
+#: ever reaches the service.
+HTTP_STATUS_BY_CODE: Dict[str, int] = {
+    # service taxonomy ------------------------------------------------
+    "query.parse": 400,   # the query string does not parse
+    "query": 422,         # parsed but unanswerable (unknown entity ...)
+    "config": 400,        # bad request values (unparseable date ...)
+    "qa": 422,
+    "mining.pattern": 422,
+    "mining": 500,
+    "graph": 500,
+    "kb": 500,
+    "nlp": 500,
+    "linking": 500,
+    "internal": 500,
+    # gateway (transport) codes --------------------------------------
+    "http.bad_request": 400,        # missing/invalid fields or params
+    "http.bad_json": 400,           # body is not valid JSON
+    "http.not_found": 404,          # unknown route or ticket id
+    "http.method_not_allowed": 405,
+    "http.payload_too_large": 413,  # body exceeds max_body_bytes
+    "http.timeout": 504,            # ?wait=1 ingest missed its deadline
+    "http.unavailable": 503,        # gateway is shutting down
+}
+
+
+def status_for_error(code: str) -> int:
+    """Resolve an error-taxonomy code to an HTTP status.
+
+    Unknown codes fall back to their nearest dotted prefix (so a future
+    ``query.plan`` code would inherit ``query``'s 422), then to 500.
+    """
+    probe = code
+    while probe:
+        status = HTTP_STATUS_BY_CODE.get(probe)
+        if status is not None:
+            return status
+        if "." not in probe:
+            break
+        probe = probe.rsplit(".", 1)[0]
+    return 500
+
+
+def gateway_error(code: str, message: str) -> ApiResponse:
+    """A failed envelope minted by the gateway itself (no exception)."""
+    return ApiResponse(
+        ok=False, kind="error", error=ApiError(code=code, message=message)
+    )
+
+
+# ---------------------------------------------------------------------------
+# NDJSON frames
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """One NDJSON line: compact JSON, newline-terminated."""
+    return json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def hello_frame(subscription: Subscription, kg_version: int) -> Dict[str, Any]:
+    """First frame of every subscribe stream."""
+    return {
+        "event": "subscribed",
+        "subscription_id": subscription.id,
+        "query_text": subscription.query_text,
+        "kg_version": kg_version,
+        "baseline_rows": len(subscription.current_rows),
+    }
+
+
+def update_frame(update: StandingQueryUpdate) -> Dict[str, Any]:
+    """One standing-query delta."""
+    frame = update.to_dict()
+    frame["event"] = "update"
+    return frame
+
+
+def heartbeat_frame(kg_version: int, pending: int) -> Dict[str, Any]:
+    """Keepalive emitted while no deltas flow."""
+    return {"event": "heartbeat", "kg_version": kg_version, "pending": pending}
+
+
+def bye_frame(reason: str) -> Dict[str, Any]:
+    """Final frame of a cleanly-ended stream (``max_seconds`` /
+    ``max_updates`` reached, or the gateway is shutting down)."""
+    return {"event": "bye", "reason": reason}

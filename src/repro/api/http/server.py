@@ -1,0 +1,632 @@
+"""``NousGateway``: a threaded, stdlib-only HTTP server over the wire
+envelopes (documented endpoint-by-endpoint in ``docs/API.md``).
+
+Routes (all under ``/v1``, JSON in / JSON out, same envelopes as
+:class:`~repro.api.service.NousService`):
+
+- ``POST /v1/ingest`` — body is an
+  :class:`~repro.api.envelopes.IngestRequest` wire dict.  Returns 202
+  with a ``ticket`` envelope (the document is queued); ``?wait=1``
+  blocks until the micro-batch drains and returns the ``ingest``
+  envelope instead.
+- ``GET /v1/ingest/<ticket_id>`` — poll a ticket: 202 while pending,
+  the fulfilled ``ingest`` envelope once drained.
+- ``POST /v1/query`` — body is a ``QueryRequest`` wire dict; returns
+  the ``ApiResponse`` wire dict with the error taxonomy mapped to HTTP
+  statuses via :func:`~repro.api.http.protocol.status_for_error`.
+- ``GET /v1/stats`` — the ``statistics`` envelope (graph state).
+- ``GET /v1/healthz`` — liveness plus queue state (pending documents,
+  drains, subscriptions), a plain dict rather than an envelope.
+- ``GET /v1/subscribe?q=...`` — NDJSON stream of standing-query
+  added/removed deltas (chunked transfer, heartbeat keepalives; see
+  :mod:`repro.api.http.protocol` for the framing).
+
+Concurrency: requests are served by one thread per connection
+(:class:`http.server.ThreadingHTTPServer`); every KG-touching call
+funnels through ``NousService``'s engine lock, so N concurrent clients
+serialise without deadlocking the micro-batch drainer.  Subscribe
+streams never run on the drainer thread — the per-connection handler
+polls its subscription's delta queue (woken promptly by a callback), so
+a slow or dead client can never stall ingestion; a dead client is
+detached at its next frame or heartbeat write.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
+from repro.api.http.protocol import (
+    NDJSON_CONTENT_TYPE,
+    bye_frame,
+    encode_frame,
+    gateway_error,
+    heartbeat_frame,
+    hello_frame,
+    status_for_error,
+    update_frame,
+)
+from repro.api.service import IngestTicket, NousService, Subscription
+from repro.errors import ConfigError, ReproError
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Network and streaming policy for :class:`NousGateway`.
+
+    Attributes:
+        host: Interface to bind.
+        port: TCP port; 0 picks an ephemeral port (see
+            :attr:`NousGateway.port` for the bound value).
+        max_body_bytes: Hard cap on request bodies; larger requests are
+            rejected with 413 before the body is read.
+        heartbeat_interval: Seconds between keepalive frames on an idle
+            subscribe stream (also how quickly a dead subscriber is
+            detached when no deltas flow).
+        poll_interval: Upper bound on delta-delivery latency for
+            subscribe streams (the wake callback usually beats it).
+        wait_timeout: Deadline for ``?wait=1`` ingests; exceeded waits
+            return 504 (the document stays queued).
+        max_tickets: Tickets kept for ``GET /v1/ingest/<id>`` polling;
+            oldest are dropped beyond this.
+        idle_timeout: Socket timeout on keep-alive connections — a
+            client that vanishes without FIN/RST releases its handler
+            thread after this long instead of pinning it forever.
+        log_requests: Emit one stderr line per request (the default is
+            silent, which test suites appreciate).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_body_bytes: int = 1 << 20
+    heartbeat_interval: float = 10.0
+    poll_interval: float = 0.05
+    wait_timeout: float = 60.0
+    max_tickets: int = 1024
+    idle_timeout: float = 120.0
+    log_requests: bool = False
+
+    def validate(self) -> None:
+        if self.max_body_bytes < 1:
+            raise ConfigError("max_body_bytes must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be > 0")
+        if self.poll_interval <= 0:
+            raise ConfigError("poll_interval must be > 0")
+        if self.max_tickets < 1:
+            raise ConfigError("max_tickets must be >= 1")
+        if self.idle_timeout <= 0:
+            raise ConfigError("idle_timeout must be > 0")
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """One daemon thread per connection; never blocks shutdown on
+    still-streaming subscribers (they exit via the closing event)."""
+
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+    gateway: "NousGateway"
+
+
+class NousGateway:
+    """Serve a :class:`~repro.api.service.NousService` over HTTP.
+
+    The gateway is an *adapter*: it owns no KG state of its own, only a
+    bounded registry of pending ingest tickets.  The caller keeps
+    ownership of the service (the gateway never closes it).
+
+    Usage::
+
+        with NousGateway(service, GatewayConfig(port=8420)) as gateway:
+            print(gateway.url)   # e.g. http://127.0.0.1:8420
+            ...
+    """
+
+    def __init__(
+        self,
+        service: NousService,
+        config: Optional[GatewayConfig] = None,
+    ) -> None:
+        self.service = service
+        self.config = config or GatewayConfig()
+        self.config.validate()
+        self.closing = threading.Event()
+        self._ticket_lock = threading.Lock()
+        self._tickets: "OrderedDict[int, IngestTicket]" = OrderedDict()
+        self._next_ticket_id = 1
+        self._httpd = _GatewayHTTPServer(
+            (self.config.host, self.config.port), _GatewayHandler
+        )
+        self._httpd.gateway = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "NousGateway":
+        """Start serving on a background thread; returns ``self``."""
+        if self._thread is not None:
+            raise ReproError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="nous-http-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting requests and end every subscribe stream.
+
+        Idempotent, and safe on a never-started gateway; the wrapped
+        service is left running (the caller owns it).
+        """
+        self.closing.set()
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever(); calling it
+            # with no serve loop running would block forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "NousGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ticket registry
+    # ------------------------------------------------------------------
+    def _register_ticket(self, ticket: IngestTicket) -> int:
+        with self._ticket_lock:
+            ticket_id = self._next_ticket_id
+            self._next_ticket_id += 1
+            self._tickets[ticket_id] = ticket
+            while len(self._tickets) > self.config.max_tickets:
+                self._tickets.popitem(last=False)
+            return ticket_id
+
+    def _lookup_ticket(self, ticket_id: int) -> Optional[IngestTicket]:
+        with self._ticket_lock:
+            return self._tickets.get(ticket_id)
+
+    def _ticket_envelope(
+        self, ticket_id: int, ticket: IngestTicket
+    ) -> ApiResponse:
+        return ApiResponse(
+            ok=True,
+            kind="ticket",
+            payload={
+                "ticket_id": ticket_id,
+                "doc_id": ticket.doc_id,
+                "done": ticket.done(),
+                "href": f"/v1/ingest/{ticket_id}",
+            },
+            rendered=f"queued {ticket.doc_id or '(no id)'} as ticket {ticket_id}",
+        )
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/healthz`` payload: liveness plus queue state."""
+        service = self.service
+        return {
+            "ok": True,
+            "status": "closing" if self.closing.is_set() else "serving",
+            "kg_version": service.nous.dynamic.version,
+            "documents_ingested": service.nous.documents_ingested,
+            "pending": service.pending_count,
+            "batches_drained": service.batches_drained,
+            "documents_drained": service.documents_drained,
+            "subscriptions": service.subscription_count,
+            "subscription_errors": service.subscription_errors,
+        }
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routing and framing; all state lives on the gateway/service."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "nous-gateway/1"
+    # Headers and body go out as separate sends; with Nagle on, that
+    # write-write-read pattern stalls ~40ms per response on the client's
+    # delayed ACK — a flat tax that would dwarf most queries.
+    disable_nagle_algorithm = True
+    server: _GatewayHTTPServer
+
+    @property
+    def gateway(self) -> NousGateway:
+        return self.server.gateway
+
+    def setup(self) -> None:
+        # Bound every blocking socket operation: a client that vanishes
+        # without FIN/RST must not pin a keep-alive handler thread
+        # forever.  (Subscribe streams stay alive regardless — they
+        # only write, and each heartbeat write resets the clock.)
+        self.timeout = self.gateway.config.idle_timeout
+        super().setup()
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.gateway.config.log_requests:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_json(
+        self, status: int, body: Mapping[str, Any], extra_close: bool = False
+    ) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if extra_close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_envelope(self, envelope: ApiResponse) -> None:
+        if envelope.ok:
+            status = 202 if envelope.kind == "ticket" else 200
+        else:
+            assert envelope.error is not None
+            status = status_for_error(envelope.error.code)
+        self._send_json(status, envelope.to_dict())
+
+    def _send_gateway_error(
+        self, code: str, message: str, extra_close: bool = False
+    ) -> None:
+        envelope = gateway_error(code, message)
+        assert envelope.error is not None
+        self._send_json(
+            status_for_error(code), envelope.to_dict(), extra_close=extra_close
+        )
+
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        """Read and parse the request body; replies and returns ``None``
+        on any transport-level problem."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            # extra_close on the unread-body error paths: whatever the
+            # client actually sent stays in the socket and would be
+            # parsed as the next keep-alive request.
+            self._send_gateway_error(
+                "http.bad_request", "Content-Length header is required",
+                extra_close=True,
+            )
+            return None
+        try:
+            length = int(length_header)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # A negative length would turn rfile.read() into
+            # read-to-EOF and hang this handler thread on a keep-alive
+            # socket.
+            self._send_gateway_error(
+                "http.bad_request",
+                f"invalid Content-Length: {length_header}",
+                extra_close=True,
+            )
+            return None
+        limit = self.gateway.config.max_body_bytes
+        if length > limit:
+            # Reject before reading; the unread body forces this
+            # connection closed (keep-alive cannot resynchronise).
+            self._send_gateway_error(
+                "http.payload_too_large",
+                f"body of {length} bytes exceeds limit of {limit}",
+                extra_close=True,
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_gateway_error(
+                "http.bad_json", f"request body is not valid JSON: {exc}"
+            )
+            return None
+        if not isinstance(data, dict):
+            self._send_gateway_error(
+                "http.bad_json", "request body must be a JSON object"
+            )
+            return None
+        return data
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _refuse_if_closing(self) -> bool:
+        """In-flight keep-alive connections may still issue requests
+        while the gateway drains; answer 503 instead of a reset."""
+        if not self.gateway.closing.is_set():
+            return False
+        self._send_gateway_error(
+            "http.unavailable", "gateway is shutting down", extra_close=True
+        )
+        return True
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self._refuse_if_closing():
+            return
+        parts = urlsplit(self.path)
+        params = parse_qs(parts.query)
+        path = parts.path.rstrip("/") or "/"
+        if path == "/v1/healthz":
+            self._send_json(200, self.gateway.health())
+        elif path == "/v1/stats":
+            self._send_envelope(self.gateway.service.statistics())
+        elif path == "/v1/subscribe":
+            self._handle_subscribe(params)
+        elif path.startswith("/v1/ingest/"):
+            self._handle_ticket_poll(path[len("/v1/ingest/"):])
+        elif path in ("/v1/ingest", "/v1/query"):
+            self._send_gateway_error(
+                "http.method_not_allowed", f"{path} requires POST"
+            )
+        else:
+            self._send_gateway_error(
+                "http.not_found", f"no route for GET {path}"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self._refuse_if_closing():
+            return
+        parts = urlsplit(self.path)
+        params = parse_qs(parts.query)
+        path = parts.path.rstrip("/") or "/"
+        if path == "/v1/ingest":
+            self._handle_ingest(params)
+        elif path == "/v1/query":
+            self._handle_query()
+        elif path in ("/v1/stats", "/v1/healthz", "/v1/subscribe"):
+            # extra_close: the request body is never read on these
+            # paths; leaving it in the socket would desynchronise the
+            # next keep-alive request.
+            self._send_gateway_error(
+                "http.method_not_allowed", f"{path} requires GET",
+                extra_close=True,
+            )
+        else:
+            self._send_gateway_error(
+                "http.not_found", f"no route for POST {path}",
+                extra_close=True,
+            )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_query(self) -> None:
+        data = self._read_json_body()
+        if data is None:
+            return
+        try:
+            request = QueryRequest.from_dict(data)
+        except Exception:  # noqa: BLE001 - malformed wire dict
+            self._send_gateway_error(
+                "http.bad_request",
+                'body must be a QueryRequest wire dict: {"text": "..."}',
+            )
+            return
+        self._send_envelope(self.gateway.service.query(request))
+
+    def _handle_ingest(self, params: Dict[str, List[str]]) -> None:
+        data = self._read_json_body()
+        if data is None:
+            return
+        try:
+            request = IngestRequest.from_dict(data)
+        except Exception:  # noqa: BLE001 - malformed wire dict
+            self._send_gateway_error(
+                "http.bad_request",
+                "body must be an IngestRequest wire dict "
+                '({"text": "...", "doc_id": ..., "date": ..., "source": ...})',
+            )
+            return
+        service = self.gateway.service
+        try:
+            ticket = service.submit(request)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="ingest"))
+            return
+        if not service.draining_in_background:
+            # No background drainer on this service: drain inline so the
+            # ticket is always eventually fulfilled.
+            service.flush()
+        if _first(params, "wait") in _TRUTHY:
+            try:
+                envelope = ticket.result(
+                    timeout=self.gateway.config.wait_timeout
+                )
+            except ReproError:
+                self._send_gateway_error(
+                    "http.timeout",
+                    f"ingest of {request.doc_id!r} not drained within "
+                    f"{self.gateway.config.wait_timeout}s (still queued)",
+                )
+                return
+            self._send_envelope(envelope)
+            return
+        ticket_id = self.gateway._register_ticket(ticket)
+        self._send_envelope(self.gateway._ticket_envelope(ticket_id, ticket))
+
+    def _handle_ticket_poll(self, raw_id: str) -> None:
+        try:
+            ticket_id = int(raw_id)
+        except ValueError:
+            self._send_gateway_error(
+                "http.bad_request", f"ticket id must be an integer: {raw_id!r}"
+            )
+            return
+        ticket = self.gateway._lookup_ticket(ticket_id)
+        if ticket is None:
+            self._send_gateway_error(
+                "http.not_found", f"unknown ticket {ticket_id}"
+            )
+            return
+        if ticket.done():
+            self._send_envelope(ticket.result(timeout=0))
+        else:
+            self._send_envelope(
+                self.gateway._ticket_envelope(ticket_id, ticket)
+            )
+
+    # ------------------------------------------------------------------
+    # the subscribe stream
+    # ------------------------------------------------------------------
+    def _handle_subscribe(self, params: Dict[str, List[str]]) -> None:
+        query_text = _first(params, "q")
+        if query_text is None:
+            self._send_gateway_error(
+                "http.bad_request", "subscribe requires a ?q= query parameter"
+            )
+            return
+        config = self.gateway.config
+        try:
+            heartbeat = float(
+                _first(params, "heartbeat") or config.heartbeat_interval
+            )
+            max_seconds = float(_first(params, "max_seconds") or 0.0)
+            max_updates = int(_first(params, "max_updates") or 0)
+        except ValueError:
+            heartbeat = max_seconds = float("nan")
+            max_updates = 0
+        # inf/nan would silently disable the heartbeat (and with it
+        # dead-client detection) or make the max_seconds deadline
+        # unreachable — refuse them with the non-numeric values.
+        if not (math.isfinite(heartbeat) and math.isfinite(max_seconds)):
+            self._send_gateway_error(
+                "http.bad_request",
+                "heartbeat/max_seconds/max_updates must be finite numbers",
+            )
+            return
+        heartbeat = max(heartbeat, 0.01)
+        max_seconds = max(max_seconds, 0.0)
+        service = self.gateway.service
+        wake = threading.Event()
+        try:
+            subscription = service.subscribe(
+                query_text, callback=lambda _update: wake.set()
+            )
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc))
+            return
+        try:
+            self._stream_subscription(
+                subscription, wake, heartbeat, max_seconds, max_updates
+            )
+        finally:
+            # Whatever ended the stream — client disconnect, limits,
+            # shutdown — the subscription is detached so the drainer
+            # never evaluates for a dead consumer.
+            service.unsubscribe(subscription)
+            self.close_connection = True
+
+    def _stream_subscription(
+        self,
+        subscription: Subscription,
+        wake: threading.Event,
+        heartbeat: float,
+        max_seconds: float,
+        max_updates: int,
+    ) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        service = self.gateway.service
+        started = time.monotonic()
+        deadline = None if max_seconds <= 0 else started + max_seconds
+        if not self._send_chunk(
+            encode_frame(
+                hello_frame(subscription, service.nous.dynamic.version)
+            )
+        ):
+            return
+        last_sent = time.monotonic()
+        sent_updates = 0
+        reason = "shutdown"
+        while not self.gateway.closing.is_set():
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                reason = "max_seconds"
+                break
+            timeout = self.gateway.config.poll_interval
+            if deadline is not None:
+                timeout = min(timeout, max(deadline - now, 0.0))
+            wake.wait(timeout=timeout)
+            wake.clear()
+            updates = subscription.poll()
+            for update in updates:
+                if not self._send_chunk(encode_frame(update_frame(update))):
+                    return  # client went away mid-stream: detach
+                sent_updates += 1
+                if max_updates and sent_updates >= max_updates:
+                    reason = "max_updates"
+                    break
+            else:
+                now = time.monotonic()
+                if updates:
+                    last_sent = now
+                elif now - last_sent >= heartbeat:
+                    frame = heartbeat_frame(
+                        service.nous.dynamic.version, service.pending_count
+                    )
+                    if not self._send_chunk(encode_frame(frame)):
+                        return  # dead client detected by the keepalive
+                    last_sent = now
+                continue
+            break  # inner break (max_updates) falls through here
+        self._send_chunk(encode_frame(bye_frame(reason)))
+        try:
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except OSError:
+            pass
+
+    def _send_chunk(self, payload: bytes) -> bool:
+        """Write one chunked-transfer frame; False when the client is
+        gone (broken pipe / reset)."""
+        try:
+            self.wfile.write(
+                f"{len(payload):X}\r\n".encode("ascii") + payload + b"\r\n"
+            )
+            self.wfile.flush()
+            return True
+        except OSError:
+            return False
+
+
+def _first(params: Dict[str, List[str]], key: str) -> Optional[str]:
+    values = params.get(key)
+    if not values:
+        return None
+    return str(values[0])

@@ -421,6 +421,12 @@ class NousService:
         with self._queue_lock:
             return len(self._pending)
 
+    @property
+    def draining_in_background(self) -> bool:
+        """True when a background drainer thread owns the queue (adapters
+        without one — ``auto_start=False`` — must flush explicitly)."""
+        return self._drainer is not None
+
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted document has been ingested.
 
@@ -630,6 +636,16 @@ class NousService:
         with self._engine_lock:
             self._subscriptions.pop(subscription.id, None)
             subscription.active = False
+
+    @property
+    def subscription_count(self) -> int:
+        """Currently registered standing queries.
+
+        Deliberately lock-free (``len`` of a dict is atomic under the
+        GIL): health probes read this and must not block behind an
+        in-flight drain holding the engine lock.
+        """
+        return len(self._subscriptions)
 
     def refresh_subscriptions(self) -> List[StandingQueryUpdate]:
         """Re-evaluate every standing query against the current KG.

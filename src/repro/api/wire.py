@@ -315,8 +315,17 @@ def decode_payload(kind: str, data: Mapping[str, Any]) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def _row_key(row: Mapping[str, Any]) -> str:
+def row_key(row: Mapping[str, Any]) -> str:
+    """Canonical identity key for a standing-query row.
+
+    Public because delta consumers (tests, benchmarks, clients
+    replaying added/removed frames) must key rows exactly the way
+    :func:`delta_rows` does, or replay comparisons silently mis-pair.
+    """
     return json.dumps(row, sort_keys=True, default=str)
+
+
+_row_key = row_key
 
 
 def delta_rows(kind: str, payload: Any) -> Dict[str, Dict[str, Any]]:

@@ -1,10 +1,13 @@
 """Command-line interface (§4 demo feature 4: "Execute queries ... using
-both web and command line interface" — this is the command line half).
+both web and command line interface" — command line *and* the door to
+the web half: ``nous serve`` starts the HTTP gateway).
 
 The CLI is a thin adapter over :class:`repro.api.NousService` — the same
 versioned envelopes a web frontend would consume.  ``--json`` switches
 the rendering from plain text to the wire-format envelope, one JSON
-object per query, suitable for piping into other tools.
+object per query, suitable for piping into other tools.  ``--url``
+points ``query`` / ``ingest`` at a remote gateway instead of building a
+local demo KG.
 
 Usage::
 
@@ -13,6 +16,9 @@ Usage::
     nous query "tell me about DJI"        (after demo, in one session: REPL)
     nous query --json "tell me about DJI" # wire-format envelope
     nous repl                 # interactive query loop
+    nous serve --port 8420    # HTTP gateway over the demo KG
+    nous query --url http://127.0.0.1:8420 "tell me about DJI"
+    nous ingest --url http://127.0.0.1:8420 "DJI acquired SkyPixel."
 """
 
 from __future__ import annotations
@@ -20,8 +26,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import List, Optional, Protocol, Sequence
 
+from repro.api.envelopes import ApiResponse, IngestRequest
+from repro.api.http import ClientSession, GatewayConfig, NousGateway
 from repro.api.service import NousService, ServiceConfig
 from repro.core.pipeline import NousConfig
 from repro.data.corpus import CorpusConfig, generate_corpus
@@ -30,10 +39,18 @@ from repro.kb.drone_kb import build_drone_kb
 
 
 def build_demo_service(
-    n_articles: int = 120, seed: int = 7, window_size: int = 400
+    n_articles: int = 120,
+    seed: int = 7,
+    window_size: int = 400,
+    auto_start: bool = False,
 ) -> NousService:
     """Construct a service and ingest a synthetic news stream through
-    its micro-batching queue."""
+    its micro-batching queue.
+
+    ``auto_start=False`` (the default) drains synchronously — right for
+    one-shot build-then-query commands; ``nous serve`` passes ``True``
+    so live HTTP ingests keep micro-batching in the background.
+    """
     kb = build_drone_kb()
     articles = generate_corpus(
         kb, CorpusConfig(n_articles=n_articles, seed=seed)
@@ -42,17 +59,22 @@ def build_demo_service(
     service = NousService(
         kb=kb,
         config=NousConfig(window_size=window_size, seed=seed),
-        # Synchronous drains: the CLI builds, then queries; no
-        # background thread needed for a one-shot process.
-        service_config=ServiceConfig(auto_start=False),
+        service_config=ServiceConfig(auto_start=auto_start),
     )
     service.submit_many(articles)
     service.flush()
     return service
 
 
+class _QueryTarget(Protocol):
+    """What ``_run_queries`` needs: in-process ``NousService`` and the
+    remote ``ClientSession`` both provide it."""
+
+    def query(self, request: str) -> ApiResponse: ...
+
+
 def _run_queries(
-    service: NousService, queries: Sequence[str], as_json: bool = False
+    service: _QueryTarget, queries: Sequence[str], as_json: bool = False
 ) -> int:
     status = 0
     for text in queries:
@@ -112,7 +134,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="emit wire-format JSON envelopes instead of plain text",
     )
 
-    query = sub.add_parser("query", help="build demo KG then run queries")
+    query = sub.add_parser(
+        "query", help="run queries (local demo KG, or --url for a gateway)"
+    )
     query.add_argument("text", nargs="+", help="query strings")
     query.add_argument("--articles", type=int, default=120)
     query.add_argument("--seed", type=int, default=7)
@@ -120,18 +144,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", action="store_true",
         help="emit wire-format JSON envelopes instead of plain text",
     )
+    query.add_argument(
+        "--url", default=None,
+        help="query a running gateway (http://host:port) instead of "
+        "building a local demo KG",
+    )
 
     repl = sub.add_parser("repl", help="interactive query loop on the demo KG")
     repl.add_argument("--articles", type=int, default=120)
     repl.add_argument("--seed", type=int, default=7)
 
+    serve = sub.add_parser(
+        "serve", help="serve the demo KG over HTTP (see docs/API.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8420)
+    serve.add_argument("--articles", type=int, default=120)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--quiet", action="store_true", help="do not log requests to stderr"
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="send documents to a running gateway"
+    )
+    ingest.add_argument(
+        "text", nargs="+",
+        help="document texts (use - to read one document from stdin)",
+    )
+    ingest.add_argument("--url", required=True, help="gateway base URL")
+    ingest.add_argument("--doc-id", default="", help="document id")
+    ingest.add_argument("--date", default=None, help='e.g. "2015-06-10"')
+    ingest.add_argument("--source", default="cli", help="provenance tag")
+    ingest.add_argument(
+        "--no-wait", action="store_true",
+        help="return the 202 ticket instead of waiting for the drain",
+    )
+    ingest.add_argument(
+        "--json", action="store_true",
+        help="emit wire-format JSON envelopes instead of plain text",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "ingest":
+        return _remote_ingest(args)
+    if args.command == "query" and args.url is not None:
+        with ClientSession(args.url) as session:
+            return _run_queries(session, args.text, as_json=args.json)
 
     print(
         f"building demo knowledge graph ({args.articles} articles)...",
         file=sys.stderr,
     )
-    service = build_demo_service(n_articles=args.articles, seed=args.seed)
+    service = build_demo_service(
+        n_articles=args.articles,
+        seed=args.seed,
+        auto_start=args.command == "serve",
+    )
 
     if args.command == "demo":
         stats = service.statistics()
@@ -146,7 +216,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if stats.ok else 1
     if args.command == "query":
         return _run_queries(service, args.text, as_json=args.json)
+    if args.command == "serve":
+        return _serve(service, args)
     return _repl(service)
+
+
+def _remote_ingest(args: argparse.Namespace) -> int:
+    texts = [
+        sys.stdin.read() if text == "-" else text for text in args.text
+    ]
+    status = 0
+    with ClientSession(args.url) as session:
+        for i, text in enumerate(texts):
+            doc_id = args.doc_id
+            if doc_id and len(texts) > 1:
+                doc_id = f"{doc_id}-{i + 1}"
+            request = IngestRequest(
+                text=text, doc_id=doc_id, date=args.date, source=args.source
+            )
+            response = session.ingest(request, wait=not args.no_wait)
+            if args.json:
+                print(json.dumps(response.to_dict(), sort_keys=True))
+            elif response.ok:
+                print(response.rendered)
+            else:
+                assert response.error is not None
+                print(
+                    f"error [{response.error.code}]: "
+                    f"{response.error.message}",
+                    file=sys.stderr,
+                )
+            if not response.ok:
+                status = 1
+    return status
+
+
+def _serve(service: NousService, args: argparse.Namespace) -> int:
+    gateway = NousGateway(
+        service,
+        GatewayConfig(
+            host=args.host, port=args.port, log_requests=not args.quiet
+        ),
+    )
+    with service, gateway:
+        print(f"serving on {gateway.url} (Ctrl-C to stop)", file=sys.stderr)
+        try:
+            while True:
+                time.sleep(3600.0)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,7 @@ from repro.api import (
     IngestRequest,
     QueryRequest,
     error_from_exception,
+    normalize_error_message,
 )
 from repro.data.articles import Article
 from repro.errors import (
@@ -68,6 +69,44 @@ class TestErrorTaxonomy:
     def test_error_round_trip(self):
         error = error_from_exception(QAError("no path"))
         assert ApiError.from_dict(error.to_dict()) == error
+
+
+class TestMessageNormalization:
+    """ApiError payloads carry stable code/message fields — never raw
+    Python reprs — before they go over the wire."""
+
+    def test_key_error_message_is_not_the_key_repr(self):
+        # str(KeyError('text')) is "'text'" — the repr of the key.
+        error = error_from_exception(KeyError("text"))
+        assert error.code == "internal"
+        assert error.message == "missing key: text"
+        assert "'" not in error.message
+
+    def test_empty_exception_gets_class_name(self):
+        error = error_from_exception(RuntimeError())
+        assert error.message == "RuntimeError"
+
+    def test_memory_addresses_are_scrubbed(self):
+        class Opaque:
+            pass
+
+        exc = ValueError(f"cannot serialise {Opaque()!r}")
+        error = error_from_exception(exc)
+        assert "0x" not in error.message or "0x…" in error.message
+        assert " at 0x7" not in error.message
+        # Two occurrences normalise identically (stable message).
+        assert error.message == error_from_exception(
+            ValueError(f"cannot serialise {Opaque()!r}")
+        ).message
+
+    def test_repro_error_messages_pass_through(self):
+        assert normalize_error_message(QAError("no path")) == "no path"
+        assert normalize_error_message(
+            QueryParseError("zz", "no template")
+        ) == "cannot parse query 'zz': no template"
+
+    def test_whitespace_trimmed(self):
+        assert normalize_error_message(ValueError("  padded  ")) == "padded"
 
 
 class TestRequests:

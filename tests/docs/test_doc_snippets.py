@@ -1,0 +1,158 @@
+"""Docs stay honest: every fenced shell/python snippet in README.md and
+docs/API.md is smoke-run against a live ``nous serve`` instance.
+
+Conventions the docs follow:
+
+- ``bash`` blocks run under ``bash -euo pipefail``, ``python`` blocks
+  under ``python -c``, both from the repo root with ``src`` on
+  ``PYTHONPATH``.  Other fence languages (``json``, ``text``) are
+  illustrations, not programs.
+- A block preceded (within two lines) by ``<!-- docs-smoke: skip -->``
+  is not runnable in a sandbox (e.g. the foreground ``serve`` command
+  itself, or ``pip install``) and is skipped.
+- Snippets that talk to a server assume ``http://127.0.0.1:8420`` —
+  the port this harness serves the 12-article demo KG on.
+
+The error-code table in docs/API.md is additionally checked
+field-by-field against ``repro.api.http.HTTP_STATUS_BY_CODE``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api.http import HTTP_STATUS_BY_CODE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = ["README.md", "docs/API.md"]
+DOCS_PORT = 8420
+DOCS_URL = f"http://127.0.0.1:{DOCS_PORT}"
+SKIP_MARKER = "docs-smoke: skip"
+SNIPPET_TIMEOUT = 180.0
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def _extract_snippets(relpath):
+    """(relpath, lineno, lang, code) for every runnable fenced block."""
+    lines = (REPO_ROOT / relpath).read_text().splitlines()
+    snippets = []
+    in_fence = False
+    lang = ""
+    start = 0
+    buf = []
+    for i, line in enumerate(lines, start=1):
+        match = _FENCE_RE.match(line.strip())
+        if not in_fence and match:
+            in_fence, lang, start, buf = True, match.group(1).lower(), i, []
+        elif in_fence and line.strip() == "```":
+            in_fence = False
+            if lang in ("bash", "sh", "shell", "python", "py"):
+                preceding = lines[max(0, start - 3):start - 1]
+                skip = any(SKIP_MARKER in p for p in preceding)
+                if not skip:
+                    snippets.append((relpath, start, lang, "\n".join(buf)))
+        elif in_fence:
+            buf.append(line)
+    return snippets
+
+
+SNIPPETS = [s for path in DOC_FILES for s in _extract_snippets(path)]
+
+
+def _snippet_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """``nous serve`` on the port the docs hardcode."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.query.cli", "serve",
+            "--articles", "12", "--seed", "3",
+            "--port", str(DOCS_PORT), "--quiet",
+        ],
+        cwd=REPO_ROOT,
+        env=_snippet_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                stderr = proc.stderr.read().decode(errors="replace")
+                if "Address already in use" in stderr:
+                    pytest.skip(f"port {DOCS_PORT} is busy on this machine")
+                raise RuntimeError(f"nous serve died:\n{stderr}")
+            try:
+                with urllib.request.urlopen(
+                    f"{DOCS_URL}/v1/healthz", timeout=2.0
+                ) as response:
+                    if json.load(response).get("ok"):
+                        break
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.2)
+        else:
+            raise RuntimeError("nous serve never became healthy")
+        yield DOCS_URL
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15.0)
+
+
+@pytest.mark.parametrize(
+    "relpath,lineno,lang,code",
+    SNIPPETS,
+    ids=[f"{path}:{lineno}" for path, lineno, _lang, _code in SNIPPETS],
+)
+def test_snippet_runs(live_server, relpath, lineno, lang, code):
+    if lang in ("bash", "sh", "shell"):
+        argv = ["bash", "-euo", "pipefail", "-c", code]
+    else:
+        argv = [sys.executable, "-c", code]
+    result = subprocess.run(
+        argv,
+        cwd=REPO_ROOT,
+        env=_snippet_env(),
+        capture_output=True,
+        text=True,
+        timeout=SNIPPET_TIMEOUT,
+    )
+    assert result.returncode == 0, (
+        f"{relpath}:{lineno} ({lang}) exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+
+
+def test_docs_cover_both_files():
+    covered = {path for path, _l, _la, _c in SNIPPETS}
+    assert covered == set(DOC_FILES)
+
+
+def test_api_md_status_table_matches_code():
+    """The error-code table in docs/API.md is exactly
+    HTTP_STATUS_BY_CODE — neither side may drift."""
+    text = (REPO_ROOT / "docs/API.md").read_text()
+    rows = re.findall(r"^\| `([\w.]+)` \| (\d{3}) \|", text, re.MULTILINE)
+    documented = {code: int(status) for code, status in rows}
+    assert documented == HTTP_STATUS_BY_CODE
