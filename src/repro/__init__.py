@@ -22,6 +22,7 @@ from repro.api.envelopes import (
     IngestRequest,
     QueryRequest,
 )
+from repro.api.cluster import ShardedNousService
 from repro.api.service import (
     IngestTicket,
     NousService,
@@ -47,6 +48,7 @@ __all__ = [
     "NousConfig",
     "IngestResult",
     "NousService",
+    "ShardedNousService",
     "ServiceConfig",
     "IngestTicket",
     "Subscription",

@@ -26,6 +26,12 @@ using both web and command line interface" over a *dynamic* KG):
   when you need the network half.
 """
 
+from repro.api.base import ServiceLike, SubscriptionLike
+from repro.api.cluster import (
+    ClusterSubscription,
+    DocumentRouter,
+    ShardedNousService,
+)
 from repro.api.envelopes import (
     API_VERSION,
     ApiError,
@@ -40,9 +46,10 @@ from repro.api.service import (
     NousService,
     ServiceConfig,
     StandingQueryUpdate,
+    StreamView,
     Subscription,
 )
-from repro.api.wire import decode_payload, delta_rows, encode_payload
+from repro.api.wire import decode_payload, delta_rows, encode_payload, key_of_row
 
 __all__ = [
     "API_VERSION",
@@ -54,10 +61,17 @@ __all__ = [
     "normalize_error_message",
     "NousService",
     "ServiceConfig",
+    "ServiceLike",
+    "SubscriptionLike",
+    "ShardedNousService",
+    "ClusterSubscription",
+    "DocumentRouter",
     "IngestTicket",
     "Subscription",
     "StandingQueryUpdate",
+    "StreamView",
     "encode_payload",
     "decode_payload",
     "delta_rows",
+    "key_of_row",
 ]

@@ -1,0 +1,94 @@
+"""Structural interfaces shared by the service implementations.
+
+Two classes implement the NOUS service surface: the monolithic
+:class:`~repro.api.service.NousService` and the sharded
+:class:`~repro.api.cluster.ShardedNousService`.  Adapters that must work
+against either one — the HTTP gateway, the CLI — are typed against these
+:class:`~typing.Protocol` definitions instead of a concrete class, which
+is what makes ``nous serve --shards N`` a drop-in swap.
+
+The protocols are intentionally minimal: they name exactly the surface
+the adapters consume, not everything the implementations offer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Union
+
+from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.api.service import IngestTicket, StandingQueryUpdate
+
+
+class SubscriptionLike(Protocol):
+    """What delta consumers (the gateway's subscribe stream) need from a
+    standing-query registration, monolithic or fanned-out."""
+
+    id: int
+    active: bool
+    last_error: Optional[BaseException]
+
+    @property
+    def query_text(self) -> str: ...
+
+    @property
+    def current_rows(self) -> List[Dict[str, Any]]: ...
+
+    def poll(self) -> List["StandingQueryUpdate"]: ...
+
+
+class ServiceLike(Protocol):
+    """The service surface adapters may rely on.
+
+    ``kg_version`` abstracts over the monolith's single
+    ``DynamicKnowledgeGraph.version`` stamp and the cluster's composite
+    (summed) stamp; both are monotonic and move on every observable
+    change, which is all the freshness/caching contract requires.
+    """
+
+    def submit(self, request: Union[IngestRequest, Any]) -> "IngestTicket": ...
+
+    def submit_many(
+        self, requests: List[Any]
+    ) -> List["IngestTicket"]: ...
+
+    def query(self, request: Union[str, QueryRequest]) -> ApiResponse: ...
+
+    def statistics(self) -> ApiResponse: ...
+
+    def subscribe(
+        self,
+        query_text: str,
+        callback: Optional[Callable[["StandingQueryUpdate"], None]] = None,
+    ) -> SubscriptionLike: ...
+
+    def unsubscribe(self, subscription: Any) -> None: ...
+
+    def flush(self, timeout: Optional[float] = None) -> None: ...
+
+    def close(self) -> None: ...
+
+    @property
+    def kg_version(self) -> int: ...
+
+    @property
+    def documents_ingested(self) -> int: ...
+
+    @property
+    def pending_count(self) -> int: ...
+
+    @property
+    def draining_in_background(self) -> bool: ...
+
+    @property
+    def subscription_count(self) -> int: ...
+
+    @property
+    def batches_drained(self) -> int: ...
+
+    @property
+    def documents_drained(self) -> int: ...
+
+    @property
+    def subscription_errors(self) -> int: ...

@@ -1,0 +1,45 @@
+"""The sharded service cluster: partition-parallel NOUS.
+
+NOUS runs its graph distributed across Spark/GraphX executors; this
+package is the reproduction's service-level counterpart.  A
+:class:`ShardedNousService` hash-partitions incoming documents by their
+dominant entity (:class:`DocumentRouter`, over the same deterministic
+:class:`~repro.graph.partition.HashPartitioner` the property graph
+uses) across N independent :class:`~repro.api.service.NousService`
+shards, ingests in parallel (one micro-batch drainer per shard), and
+answers queries through a scatter-gather router with per-query-class
+merge semantics:
+
+=================  ===================================================
+query class        merge
+=================  ===================================================
+entity             union + dedupe facts (highest confidence wins)
+entity-trend       union + dedupe rows, newest first
+pattern            union + dedupe binding rows
+relationship /     top-k re-rank by coherence, dedupe by node sequence
+explanatory
+trending           per-shard window merge: full support tables summed,
+                   frequency/closedness recomputed on the merged table
+statistics         summation (replicated curated base counted once)
+=================  ===================================================
+
+The facade presents the monolith's exact envelopes and standing-query
+surface, so it drops in behind the HTTP gateway (``nous serve
+--shards N``).  Freshness is a **composite version stamp** — the tuple
+of shard KG versions (scalar form: the sum) — which the router's
+merged-result cache keys on.  Full contract: ``docs/SHARDING.md``.
+"""
+
+from repro.api.cluster.router import DocumentRouter
+from repro.api.cluster.service import (
+    ClusterSubscription,
+    ShardedNousService,
+    kind_of_query,
+)
+
+__all__ = [
+    "DocumentRouter",
+    "ShardedNousService",
+    "ClusterSubscription",
+    "kind_of_query",
+]

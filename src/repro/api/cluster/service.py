@@ -1,0 +1,951 @@
+"""``ShardedNousService``: N independent services behind one facade.
+
+The sharded service is the in-process model of the paper's distributed
+deployment: documents are hash-partitioned by dominant entity across N
+independent :class:`~repro.api.service.NousService` shards (each with
+its own pipeline, ingestion queue and drainer thread — ingestion
+proceeds in parallel), and queries are answered by a scatter-gather
+router that merges the partial answers with per-query-class semantics
+(see :mod:`repro.query.engine`'s ``merge_*`` functions and
+``docs/SHARDING.md``).
+
+The facade speaks exactly the monolith's contract — the same
+``IngestRequest`` / ``QueryRequest`` envelopes in, the same
+``ApiResponse`` out, the same standing-query surface — so it drops in
+behind :class:`~repro.api.http.NousGateway` (``nous serve --shards N``)
+with no adapter changes.  Freshness is carried by a **composite version
+stamp**: the tuple of shard KG versions (exposed as
+:attr:`ShardedNousService.shard_versions`), folded into the scalar
+``kg_version`` envelope field as its sum.  Each component is monotonic,
+so the sum is monotonic and moves whenever any shard changes — exactly
+the invariant the PR-1 query-result cache contract requires, and the
+router's own merged-result cache keys on the full tuple.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.api.envelopes import (
+    ApiResponse,
+    IngestRequest,
+    QueryRequest,
+)
+from repro.api.cluster.router import DocumentRouter
+from repro.api.service import (
+    IngestTicket,
+    NousService,
+    ServiceConfig,
+    StandingQueryUpdate,
+    StreamView,
+    Subscription,
+)
+from repro.api.wire import encode_payload, key_of_row
+from repro.core.pipeline import NousConfig
+from repro.core.statistics import GraphStatistics, compute_statistics
+from repro.errors import ConfigError, ReproError
+from repro.graph.partition import PartitionStats
+from repro.kb.drone_kb import build_drone_kb
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.mining.patterns import Pattern
+from repro.mining.support import closed_patterns
+from repro.query.engine import (
+    merge_entity_summaries,
+    merge_pattern_matches,
+    merge_ranked_paths,
+    merge_statistics,
+    merge_trend_rows,
+    merge_window_reports,
+    render_pattern_matches,
+    render_ranked_paths,
+    render_trend_rows,
+    render_window_report,
+)
+from repro.query.model import (
+    EntityQuery,
+    EntityTrendQuery,
+    ExplanatoryQuery,
+    PatternQuery,
+    Query,
+    RelationshipQuery,
+    TrendingQuery,
+)
+from repro.query.parser import parse_query
+
+_PATH_KINDS = ("relationship", "explanatory")
+
+
+def kind_of_query(query: Query) -> str:
+    """The result-kind name of a parsed query (mirrors the engine's
+    dispatch table)."""
+    if isinstance(query, TrendingQuery):
+        return "trending"
+    if isinstance(query, EntityTrendQuery):
+        return "entity-trend"
+    if isinstance(query, EntityQuery):
+        return "entity"
+    if isinstance(query, ExplanatoryQuery):
+        return "explanatory"
+    if isinstance(query, RelationshipQuery):
+        return "relationship"
+    if isinstance(query, PatternQuery):
+        return "pattern"
+    raise ReproError(  # pragma: no cover - future query classes
+        f"unsupported query type: {type(query).__name__}"
+    )
+
+
+class _ClusterTicket(IngestTicket):
+    """A shard ticket re-stamped with the cluster's composite version.
+
+    The wrapped shard fulfils the underlying ticket with its *local* KG
+    version; cluster callers reason about freshness in composite stamps,
+    so the envelope is re-stamped at read time (the composite stamp only
+    moves forward, so the value read is always >= the state that
+    included this document).
+    """
+
+    def __init__(
+        self, inner: IngestTicket, cluster: "ShardedNousService", shard: int
+    ) -> None:
+        super().__init__(inner.doc_id)
+        self._inner = inner
+        self._cluster = cluster
+        self.shard = shard
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def result(self, timeout: Optional[float] = None) -> ApiResponse:
+        response = self._inner.result(timeout=timeout)
+        if response.kg_version < 0:
+            return response
+        return replace(response, kg_version=self._cluster.kg_version)
+
+
+class ClusterSubscription:
+    """A standing query fanned out to every shard.
+
+    One shard subscription per shard acts as the *wake signal*; on every
+    shard delta the per-shard row maps are re-read from the shard
+    subscriptions' authoritative current rows (never rebuilt from the
+    delta itself — shard callbacks run outside the shard's engine lock,
+    so two concurrent refreshes could deliver their deltas out of
+    order; re-reading the latest evaluation is idempotent and converges
+    regardless of delivery order).  The merged row map is then
+    recomputed (union / support-sum / top-k depending on the query
+    class) and diffed against the last notified state, producing
+    cluster-level added/removed deltas stamped with the composite
+    version.  The interface matches the monolith's
+    :class:`~repro.api.service.Subscription` so gateway subscribe
+    streams work unchanged.
+    """
+
+    def __init__(
+        self,
+        cluster: "ShardedNousService",
+        sub_id: int,
+        query: Query,
+        callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+    ) -> None:
+        self.id = sub_id
+        self.query = query
+        self.kind = kind_of_query(query)
+        self.active = True
+        self.last_error: Optional[BaseException] = None
+        self._cluster = cluster
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._shard_subs: List[Optional[Subscription]] = [
+            None for _ in range(cluster.num_shards)
+        ]
+        self._shard_rows: List[Dict[str, Dict[str, Any]]] = [
+            {} for _ in range(cluster.num_shards)
+        ]
+        self._merged: Dict[str, Dict[str, Any]] = {}
+        self._updates: Deque[StandingQueryUpdate] = deque()
+        # While True (during subscribe()'s fan-out) shard deltas update
+        # the per-shard maps but emit nothing: they fold into the
+        # baseline, which is fixed when the fan-out completes.
+        self._baselining = True
+
+    @property
+    def query_text(self) -> str:
+        return self.query.text
+
+    @property
+    def current_rows(self) -> List[Dict[str, Any]]:
+        """The merged rows of the most recent evaluation."""
+        with self._lock:
+            return [dict(r) for r in self._merged.values()]
+
+    def poll(self) -> List[StandingQueryUpdate]:
+        """Drain and return pending merged deltas, oldest first."""
+        updates: List[StandingQueryUpdate] = []
+        with self._lock:
+            while self._updates:
+                updates.append(self._updates.popleft())
+        return updates
+
+    # ------------------------------------------------------------------
+    def _attach(self, shard: int, subscription: Subscription) -> None:
+        """Adopt a shard subscription's baseline rows."""
+        with self._lock:
+            self._shard_subs[shard] = subscription
+            self._shard_rows[shard] = {
+                key_of_row(self.kind, row): row
+                for row in subscription.current_rows
+            }
+
+    def _finish_baseline(self) -> None:
+        with self._lock:
+            self._merged = self._merge_rows()
+            self._baselining = False
+
+    def _on_shard_update(self, shard: int, update: StandingQueryUpdate) -> None:
+        """React to one shard delta: re-read that shard's authoritative
+        rows and emit the merged delta, if any."""
+        emitted: Optional[StandingQueryUpdate] = None
+        with self._lock:
+            shard_sub = self._shard_subs[shard]
+            if shard_sub is not None:
+                self._shard_rows[shard] = {
+                    key_of_row(self.kind, row): row
+                    for row in shard_sub.current_rows
+                }
+            else:
+                # Mid-fan-out (before _attach): fold the delta into the
+                # provisional map; _attach overwrites it with the
+                # subscription's current rows anyway.
+                rows = self._shard_rows[shard]
+                for row in update.removed:
+                    rows.pop(key_of_row(self.kind, row), None)
+                for row in update.added:
+                    rows[key_of_row(self.kind, row)] = dict(row)
+            if not self._baselining:
+                emitted = self._diff_and_record()
+        if emitted is not None:
+            self._cluster._record_update(emitted)
+            if self._callback is not None:
+                try:
+                    self._callback(emitted)
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    self.last_error = exc
+                    self._cluster.cluster_subscription_errors += 1
+
+    def _diff_and_record(self) -> Optional[StandingQueryUpdate]:
+        merged = self._merge_rows()
+        added = [
+            row for key, row in merged.items() if self._merged.get(key) != row
+        ]
+        removed = [
+            row for key, row in self._merged.items() if key not in merged
+        ]
+        self._merged = merged
+        if not added and not removed:
+            return None
+        update = StandingQueryUpdate(
+            subscription_id=self.id,
+            query_text=self.query.text,
+            kg_version=self._cluster.kg_version,
+            added=tuple(added),
+            removed=tuple(removed),
+        )
+        self._updates.append(update)
+        return update
+
+    def _merge_rows(self) -> Dict[str, Dict[str, Any]]:
+        """Merge the per-shard row maps with the class's semantics.
+
+        Trending rows are recomputed from the shards' *full* support
+        tables — summing only the per-shard closed-frequent rows would
+        miss patterns that are sub-threshold everywhere but frequent in
+        the union, and would never recompute closedness; this keeps
+        standing trending answers identical to the interactive merged
+        query.  Path rows keep the best (lowest-divergence) copy per
+        route and apply the same top-k as the interactive merge; entity
+        rows dedupe by fact identity keeping the highest confidence;
+        every other class is a union of identical rows.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        if self.kind == "trending":
+            # Serial gather on purpose: this can run on a scatter-pool
+            # thread (refresh_subscriptions), where submitting more
+            # work to the same bounded pool could deadlock.
+            supports: Dict[Pattern, int] = {}
+            min_support = 1
+            for shard in self._cluster.shards:
+                view = shard.stream_view()
+                min_support = view.min_support
+                for pattern, support in view.supports.items():
+                    supports[pattern] = supports.get(pattern, 0) + support
+            for pattern, support in closed_patterns(supports, min_support):
+                merged[pattern.describe()] = {
+                    "pattern": pattern.describe(),
+                    "support": support,
+                }
+        elif self.kind == "entity":
+            best: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+            for rows in self._shard_rows:
+                for row in rows.values():
+                    identity = (
+                        row["subject"],
+                        row["predicate"],
+                        row["object"],
+                        row["curated"],
+                    )
+                    kept = best.get(identity)
+                    if kept is None or row["confidence"] > kept["confidence"]:
+                        best[identity] = dict(row)
+            for row in best.values():
+                merged[key_of_row(self.kind, row)] = row
+        elif self.kind in _PATH_KINDS:
+            # Coherence is a divergence: lower is better, both for the
+            # winning duplicate and for the top-k cut.
+            for rows in self._shard_rows:
+                for key, row in rows.items():
+                    kept = merged.get(key)
+                    if kept is None or row["coherence"] < kept["coherence"]:
+                        merged[key] = dict(row)
+            top = sorted(
+                merged.items(),
+                key=lambda kv: (float(kv[1]["coherence"]), len(kv[1]["nodes"])),
+            )[: self._cluster.path_k]
+            merged = dict(top)
+        else:
+            for rows in self._shard_rows:
+                for key, row in rows.items():
+                    merged.setdefault(key, dict(row))
+        return merged
+
+
+class ShardedNousService:
+    """Hash-partitioned cluster of ``NousService`` shards, one facade.
+
+    Args:
+        kb_factory: Zero-argument callable producing a *fresh* curated
+            KB.  Called once per shard plus once for the router's
+            read-only reference copy — shards mutate their KBs
+            independently, so they cannot share one instance.
+        num_shards: Number of shards (>= 1).
+        config: Pipeline settings, applied to every shard.
+        service_config: Queue/cache policy, applied to every shard; its
+            cache settings also size the router's merged-result cache.
+        path_k: Top-k for the path-search merge (the monolith's answer
+            size).
+    """
+
+    def __init__(
+        self,
+        kb_factory: Optional[Callable[[], KnowledgeBase]] = None,
+        num_shards: int = 2,
+        config: Optional[NousConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        path_k: int = 3,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.path_k = path_k
+        factory = kb_factory if kb_factory is not None else build_drone_kb
+        self.service_config = service_config or ServiceConfig()
+        self.service_config.validate()
+        self._reference_kb = factory()
+        self.router = DocumentRouter(self._reference_kb, num_shards)
+        self.shards: List[NousService] = [
+            NousService(
+                kb=factory(),
+                config=config,
+                service_config=self.service_config,
+            )
+            for _ in range(num_shards)
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="nous-scatter"
+        )
+        self._closed = False
+        self._route_lock = threading.Lock()
+        self.documents_routed: List[int] = [0] * num_shards
+        # Merged-result cache keyed on (query, composite version tuple).
+        self._cache_enabled = (
+            self.service_config.enable_cache and self.service_config.cache_size > 0
+        )
+        self._cache_lock = threading.Lock()
+        self._cache: "OrderedDict[Query, Tuple[Tuple[int, ...], ApiResponse]]"
+        self._cache = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Router-level trending transition state (the shards' miner
+        # transition state is never consumed by cluster queries).
+        self._trending_lock = threading.Lock()
+        self._previous_frequent: Set[Pattern] = set()
+        self._subs_lock = threading.Lock()
+        self._subscriptions: Dict[int, ClusterSubscription] = {}
+        self._next_subscription_id = 1
+        self._collectors: List[List[StandingQueryUpdate]] = []
+        self.cluster_subscription_errors = 0
+        self._curated_stats: Optional[GraphStatistics] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedNousService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain and stop every shard, then the scatter pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+        self._executor.shutdown(wait=True)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # versions
+    # ------------------------------------------------------------------
+    @property
+    def shard_versions(self) -> Tuple[int, ...]:
+        """The composite version stamp: one monotonic KG version per
+        shard.  Two stamps are comparable component-wise; any observable
+        cluster change moves at least one component forward."""
+        return tuple(shard.kg_version for shard in self.shards)
+
+    @property
+    def kg_version(self) -> int:
+        """Scalar form of the composite stamp (the component sum).
+
+        Monotonic because every component is monotonic, and it moves
+        whenever any component moves — sufficient for the freshness and
+        cache-invalidation contract envelopes carry.
+        """
+        return sum(self.shard_versions)
+
+    # ------------------------------------------------------------------
+    # scatter plumbing
+    # ------------------------------------------------------------------
+    def _gather(
+        self, call: Callable[[NousService], Any]
+    ) -> List[Tuple[Any, Optional[BaseException]]]:
+        """Run ``call`` against every shard concurrently; returns one
+        ``(result, error)`` pair per shard, in shard order."""
+        futures = [
+            self._executor.submit(call, shard) for shard in self.shards
+        ]
+        out: List[Tuple[Any, Optional[BaseException]]] = []
+        for future in futures:
+            try:
+                out.append((future.result(), None))
+            except Exception as exc:  # noqa: BLE001 - per-shard boundary
+                out.append((None, exc))
+        return out
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def submit(self, request: Union[IngestRequest, Any]) -> IngestTicket:
+        """Route one document to its shard's queue; returns a ticket."""
+        if not isinstance(request, IngestRequest):
+            request = IngestRequest.from_article(request)
+        shard_index, _entity = self.router.shard_for_document(
+            request.text, request.doc_id
+        )
+        ticket = self.shards[shard_index].submit(request)
+        with self._route_lock:
+            self.documents_routed[shard_index] += 1
+        return _ClusterTicket(ticket, self, shard_index)
+
+    def submit_many(
+        self, requests: Sequence[Union[IngestRequest, Any]]
+    ) -> List[IngestTicket]:
+        """Route a batch: per-shard sub-batches are enqueued atomically
+        (maximal micro-batches per shard), tickets return in input
+        order."""
+        normalized = [
+            request
+            if isinstance(request, IngestRequest)
+            else IngestRequest.from_article(request)
+            for request in requests
+        ]
+        per_shard: Dict[int, List[Tuple[int, IngestRequest]]] = {}
+        for position, request in enumerate(normalized):
+            shard_index, _entity = self.router.shard_for_document(
+                request.text, request.doc_id
+            )
+            per_shard.setdefault(shard_index, []).append((position, request))
+        tickets: List[Optional[IngestTicket]] = [None] * len(normalized)
+        for shard_index, members in per_shard.items():
+            shard_tickets = self.shards[shard_index].submit_many(
+                [request for _position, request in members]
+            )
+            with self._route_lock:
+                self.documents_routed[shard_index] += len(members)
+            for (position, _request), ticket in zip(members, shard_tickets):
+                tickets[position] = _ClusterTicket(ticket, self, shard_index)
+        return [ticket for ticket in tickets if ticket is not None]
+
+    def ingest(
+        self,
+        request: Union[IngestRequest, Any],
+        timeout: Optional[float] = 60.0,
+    ) -> ApiResponse:
+        """Submit one document and block until its shard ingested it."""
+        ticket = self.submit(request)
+        if not self.draining_in_background:
+            self.flush()
+        return ticket.result(timeout=timeout)
+
+    def ingest_facts(
+        self,
+        facts: Sequence[Tuple[str, str, str]],
+        date: Optional[str] = None,
+        source: str = "structured",
+        confidence: float = 0.9,
+    ) -> ApiResponse:
+        """Ingest structured facts, each routed to its subject's home
+        shard; shards ingest their slices in parallel."""
+        start = time.perf_counter()
+        per_shard: Dict[int, List[Tuple[str, str, str]]] = {}
+        for fact in facts:
+            per_shard.setdefault(
+                self.router.shard_for_entity(fact[0]), []
+            ).append(fact)
+        futures = [
+            self._executor.submit(
+                self.shards[shard_index].ingest_facts,
+                slice_,
+                date,
+                source,
+                confidence,
+            )
+            for shard_index, slice_ in per_shard.items()
+        ]
+        accepted = 0
+        for future in futures:
+            response = future.result()
+            if not response.ok:
+                return response
+            assert response.payload is not None
+            accepted += int(response.payload["accepted"])
+        return ApiResponse(
+            ok=True,
+            kind="ingest",
+            payload={"accepted": accepted, "doc_id": "", "structured": True},
+            rendered=f"accepted {accepted} structured fact(s)",
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            kg_version=self.kg_version,
+        )
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every shard's queue is drained."""
+        for shard in self.shards:
+            shard.flush(timeout=timeout)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(shard.pending_count for shard in self.shards)
+
+    @property
+    def draining_in_background(self) -> bool:
+        return self.shards[0].draining_in_background
+
+    @property
+    def batches_drained(self) -> int:
+        return sum(shard.batches_drained for shard in self.shards)
+
+    @property
+    def documents_drained(self) -> int:
+        return sum(shard.documents_drained for shard in self.shards)
+
+    @property
+    def documents_ingested(self) -> int:
+        return sum(shard.documents_ingested for shard in self.shards)
+
+    @property
+    def subscription_errors(self) -> int:
+        return (
+            sum(shard.subscription_errors for shard in self.shards)
+            + self.cluster_subscription_errors
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, request: Union[str, QueryRequest]) -> ApiResponse:
+        """Scatter one query to every shard and merge the answers."""
+        start = time.perf_counter()
+        text = request.text if isinstance(request, QueryRequest) else request
+        try:
+            query = parse_query(text)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc)
+        if isinstance(query, TrendingQuery):
+            # Never cached (transition deltas are consumed on read).
+            try:
+                payload, rendered, version = self._merged_trending()
+            except Exception as exc:  # noqa: BLE001 - envelope boundary
+                return ApiResponse.failure(exc)
+            return ApiResponse(
+                ok=True,
+                kind="trending",
+                payload=payload,
+                rendered=rendered,
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                kg_version=version,
+            )
+        pre_versions = self.shard_versions
+        hit = self._cache_get(query, pre_versions)
+        if hit is not None:
+            return replace(
+                hit,
+                cached=True,
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            )
+        try:
+            kind, payload, rendered = self._scatter_query(query)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc)
+        post_versions = self.shard_versions
+        envelope = ApiResponse(
+            ok=True,
+            kind=kind,
+            payload=payload,
+            rendered=rendered,
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            kg_version=sum(post_versions),
+        )
+        # Queries may themselves move shard versions (linking can mint an
+        # entity for an unknown mention), and concurrent ingestion may
+        # land mid-scatter; cache only results whose composite stamp was
+        # stable across the scatter, so a stale merge is never stored
+        # under a fresh stamp.
+        if pre_versions == post_versions:
+            self._cache_put(query, post_versions, envelope)
+        return envelope
+
+    def _scatter_query(
+        self, query: Query
+    ) -> Tuple[str, Dict[str, Any], str]:
+        """Execute one non-trending query on every shard and merge."""
+        kind = kind_of_query(query)
+        gathered = self._gather(lambda shard: shard.execute_query(query))
+        results = [result for result, error in gathered if error is None]
+        errors = [error for _result, error in gathered if error is not None]
+        if kind in _PATH_KINDS:
+            # Partial tolerance: path search legitimately fails on a
+            # shard whose graph lacks a vertex; merge the successes.
+            if not results:
+                assert errors
+                raise errors[0]
+            merged_paths = merge_ranked_paths(
+                [r.payload for r in results], k=self.path_k
+            )
+            note = self._relaxation_note(results)
+            return (
+                kind,
+                encode_payload(kind, merged_paths),
+                render_ranked_paths(merged_paths, note=note),
+            )
+        if errors:
+            raise errors[0]
+        if kind == "entity":
+            summary = merge_entity_summaries([r.payload for r in results])
+            return kind, encode_payload(kind, summary), summary.render()
+        if kind == "entity-trend":
+            rows = merge_trend_rows([r.payload for r in results])
+            assert isinstance(query, EntityTrendQuery)
+            return (
+                kind,
+                encode_payload(kind, rows),
+                render_trend_rows(query.entity, rows),
+            )
+        assert kind == "pattern"
+        matches = merge_pattern_matches([r.payload for r in results])
+        return (
+            kind,
+            encode_payload(kind, matches),
+            render_pattern_matches(matches),
+        )
+
+    @staticmethod
+    def _relaxation_note(results: Sequence[Any]) -> Optional[str]:
+        """Reproduce the engine's relaxed-predicate note iff *every*
+        shard relaxed (if any shard found a via-path, the merged answer
+        contains it and the note would be wrong)."""
+        first_lines = [r.rendered.splitlines()[0] for r in results if r.rendered]
+        if first_lines and all(
+            line.startswith("(no path via") for line in first_lines
+        ):
+            return first_lines[0]
+        return None
+
+    def _merged_trending(self) -> Tuple[Dict[str, Any], str, int]:
+        """Per-shard window merge: sum the full support tables, then
+        recompute frequency/closedness and the router-level transition
+        events."""
+        with self._trending_lock:
+            gathered = self._gather(lambda shard: shard.stream_view())
+            views: List[StreamView] = []
+            for view, error in gathered:
+                if error is not None:
+                    raise error
+                views.append(view)
+            report, frequent_now = merge_window_reports(
+                [view.supports for view in views],
+                min_support=views[0].min_support,
+                previous_frequent=self._previous_frequent,
+                window_edges=sum(view.window_edges for view in views),
+                timestamp=max(view.last_timestamp for view in views),
+            )
+            self._previous_frequent = frequent_now
+            version = sum(view.kg_version for view in views)
+        return (
+            encode_payload("trending", report),
+            render_window_report(report),
+            version,
+        )
+
+    def statistics(self) -> ApiResponse:
+        """Summation-merged quality statistics, plus cluster placement
+        info (shard loads, edge cut) under the ``cluster`` payload key."""
+        start = time.perf_counter()
+        try:
+            gathered = self._gather(lambda shard: shard.graph_statistics())
+            shard_stats: List[GraphStatistics] = []
+            for stats, error in gathered:
+                if error is not None:
+                    raise error
+                shard_stats.append(stats)
+            merged = merge_statistics(shard_stats, self._curated_statistics())
+            payload = encode_payload("statistics", merged)
+            payload["cluster"] = self.cluster_info()
+            rendered = merged.render()
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            return ApiResponse.failure(exc, kind="statistics")
+        return ApiResponse(
+            ok=True,
+            kind="statistics",
+            payload=payload,
+            rendered=rendered,
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            kg_version=self.kg_version,
+        )
+
+    def _curated_statistics(self) -> GraphStatistics:
+        """Statistics of the pristine reference KB (computed once; the
+        reference is never mutated)."""
+        if self._curated_stats is None:
+            self._curated_stats = compute_statistics(
+                self._reference_kb, top_central=0
+            )
+        return self._curated_stats
+
+    # ------------------------------------------------------------------
+    # placement accounting
+    # ------------------------------------------------------------------
+    def partition_stats(self) -> PartitionStats:
+        """GraphX-style placement quality of the *extracted* graph.
+
+        Entities are homed by the router's hash partitioner; an
+        extracted fact is a cut edge when its endpoints' home shards
+        differ (the communication-cost proxy for a cross-shard join).
+        Edges are counted where they were ingested, vertices at their
+        home shard.
+        """
+        n = self.num_shards
+        vertex_home: Dict[str, int] = {}
+        edge_counts = [0] * n
+        cut = 0
+        for shard_index, shard in enumerate(self.shards):
+            for subject, _predicate, object_ in shard.extracted_fact_keys():
+                edge_counts[shard_index] += 1
+                src_home = vertex_home.setdefault(
+                    subject, self.router.shard_for_entity(subject)
+                )
+                dst_home = vertex_home.setdefault(
+                    object_, self.router.shard_for_entity(object_)
+                )
+                if src_home != dst_home:
+                    cut += 1
+        vertex_counts = [0] * n
+        for home in vertex_home.values():
+            vertex_counts[home] += 1
+        return PartitionStats(
+            vertex_counts=vertex_counts, edge_counts=edge_counts, cut_edges=cut
+        )
+
+    def cluster_info(self) -> Dict[str, Any]:
+        """Cluster block of the ``/v1/stats`` payload."""
+        with self._route_lock:
+            routed = list(self.documents_routed)
+        return {
+            "shards": self.num_shards,
+            "shard_versions": list(self.shard_versions),
+            "documents_routed": routed,
+            "documents_ingested": [
+                shard.documents_ingested for shard in self.shards
+            ],
+            "partition": self.partition_stats().to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # merged-result cache
+    # ------------------------------------------------------------------
+    def _cache_get(
+        self, query: Query, versions: Tuple[int, ...]
+    ) -> Optional[ApiResponse]:
+        if not self._cache_enabled:
+            return None
+        with self._cache_lock:
+            entry = self._cache.get(query)
+            if entry is None or entry[0] != versions:
+                return None
+            self._cache.move_to_end(query)
+            self.cache_hits += 1
+            hit = entry[1]
+            # Hand out an independent payload dict: envelope payloads are
+            # JSON-safe by construction, and a caller mutating its copy
+            # must not poison the cache.
+            payload = None
+            if hit.payload is not None:
+                payload = _copy_jsonlike(hit.payload)
+            return replace(hit, payload=payload)
+
+    def _cache_put(
+        self,
+        query: Query,
+        versions: Tuple[int, ...],
+        envelope: ApiResponse,
+    ) -> None:
+        if not self._cache_enabled:
+            return
+        with self._cache_lock:
+            self.cache_misses += 1
+            stored = envelope
+            if envelope.payload is not None:
+                stored = replace(
+                    envelope, payload=_copy_jsonlike(envelope.payload)
+                )
+            self._cache[query] = (versions, stored)
+            self._cache.move_to_end(query)
+            while len(self._cache) > self.service_config.cache_size:
+                self._cache.popitem(last=False)
+
+    @property
+    def cache_len(self) -> int:
+        with self._cache_lock:
+            return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query_text: str,
+        callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+    ) -> ClusterSubscription:
+        """Register a continuous query on every shard.
+
+        The merged result set at registration time is the baseline —
+        shard deltas arriving mid-fan-out fold into it rather than
+        producing spurious first notifications.
+        """
+        query = parse_query(query_text)
+        with self._subs_lock:
+            subscription = ClusterSubscription(
+                self, self._next_subscription_id, query, callback
+            )
+            self._next_subscription_id += 1
+        attached: List[Tuple[NousService, Subscription]] = []
+        try:
+            for shard_index, shard in enumerate(self.shards):
+                shard_sub = shard.subscribe(
+                    query_text,
+                    callback=(
+                        lambda update, index=shard_index: (
+                            subscription._on_shard_update(index, update)
+                        )
+                    ),
+                    # Full-support shard rows for trending: the merged
+                    # closed set can change on sub-threshold support
+                    # movement a shard's closed view never surfaces, so
+                    # the shard-side change signal must cover the full
+                    # table (merged rows are recomputed in _merge_rows).
+                    trending_full_view=(subscription.kind == "trending"),
+                )
+                attached.append((shard, shard_sub))
+                subscription._attach(shard_index, shard_sub)
+        except Exception:
+            for shard, shard_sub in attached:
+                shard.unsubscribe(shard_sub)
+            raise
+        subscription._finish_baseline()
+        with self._subs_lock:
+            self._subscriptions[subscription.id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription: ClusterSubscription) -> None:
+        """Deregister on every shard (idempotent)."""
+        with self._subs_lock:
+            self._subscriptions.pop(subscription.id, None)
+        for shard, shard_sub in zip(self.shards, subscription._shard_subs):
+            if shard_sub is not None:
+                shard.unsubscribe(shard_sub)
+        subscription.active = False
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def refresh_subscriptions(self) -> List[StandingQueryUpdate]:
+        """Scatter a refresh to every shard; returns the merged cluster
+        deltas emitted while the refresh ran."""
+        collector: List[StandingQueryUpdate] = []
+        with self._subs_lock:
+            self._collectors.append(collector)
+        try:
+            for _result, error in self._gather(
+                lambda shard: shard.refresh_subscriptions()
+            ):
+                if error is not None:
+                    raise error
+        finally:
+            with self._subs_lock:
+                self._collectors.remove(collector)
+        return collector
+
+    def _record_update(self, update: StandingQueryUpdate) -> None:
+        with self._subs_lock:
+            for collector in self._collectors:
+                collector.append(update)
+
+
+def _copy_jsonlike(value: Any) -> Any:
+    """Deep-copy a JSON-safe structure (dicts/lists/scalars)."""
+    if isinstance(value, dict):
+        return {key: _copy_jsonlike(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_jsonlike(item) for item in value]
+    return value

@@ -23,8 +23,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Mapping
 
+from repro.api.base import SubscriptionLike
 from repro.api.envelopes import ApiError, ApiResponse
-from repro.api.service import StandingQueryUpdate, Subscription
+from repro.api.service import StandingQueryUpdate
 
 #: Content type of the streaming subscribe endpoint.
 NDJSON_CONTENT_TYPE = "application/x-ndjson"
@@ -91,7 +92,9 @@ def encode_frame(frame: Mapping[str, Any]) -> bytes:
     return json.dumps(frame, sort_keys=True).encode("utf-8") + b"\n"
 
 
-def hello_frame(subscription: Subscription, kg_version: int) -> Dict[str, Any]:
+def hello_frame(
+    subscription: SubscriptionLike, kg_version: int
+) -> Dict[str, Any]:
     """First frame of every subscribe stream."""
     return {
         "event": "subscribed",

@@ -43,6 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.api.base import ServiceLike, SubscriptionLike
 from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
 from repro.api.http.protocol import (
     NDJSON_CONTENT_TYPE,
@@ -54,7 +55,7 @@ from repro.api.http.protocol import (
     status_for_error,
     update_frame,
 )
-from repro.api.service import IngestTicket, NousService, Subscription
+from repro.api.service import IngestTicket
 from repro.errors import ConfigError, ReproError
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -120,11 +121,15 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
 
 
 class NousGateway:
-    """Serve a :class:`~repro.api.service.NousService` over HTTP.
+    """Serve a NOUS service over HTTP.
 
     The gateway is an *adapter*: it owns no KG state of its own, only a
-    bounded registry of pending ingest tickets.  The caller keeps
-    ownership of the service (the gateway never closes it).
+    bounded registry of pending ingest tickets.  It is typed against
+    :class:`~repro.api.base.ServiceLike`, so a monolithic
+    :class:`~repro.api.service.NousService` and a
+    :class:`~repro.api.cluster.ShardedNousService` are interchangeable
+    behind it (``nous serve --shards N``).  The caller keeps ownership
+    of the service (the gateway never closes it).
 
     Usage::
 
@@ -135,7 +140,7 @@ class NousGateway:
 
     def __init__(
         self,
-        service: NousService,
+        service: ServiceLike,
         config: Optional[GatewayConfig] = None,
     ) -> None:
         self.service = service
@@ -238,8 +243,8 @@ class NousGateway:
         return {
             "ok": True,
             "status": "closing" if self.closing.is_set() else "serving",
-            "kg_version": service.nous.dynamic.version,
-            "documents_ingested": service.nous.documents_ingested,
+            "kg_version": service.kg_version,
+            "documents_ingested": service.documents_ingested,
             "pending": service.pending_count,
             "batches_drained": service.batches_drained,
             "documents_drained": service.documents_drained,
@@ -551,7 +556,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _stream_subscription(
         self,
-        subscription: Subscription,
+        subscription: SubscriptionLike,
         wake: threading.Event,
         heartbeat: float,
         max_seconds: float,
@@ -566,9 +571,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         started = time.monotonic()
         deadline = None if max_seconds <= 0 else started + max_seconds
         if not self._send_chunk(
-            encode_frame(
-                hello_frame(subscription, service.nous.dynamic.version)
-            )
+            encode_frame(hello_frame(subscription, service.kg_version))
         ):
             return
         last_sent = time.monotonic()
@@ -598,7 +601,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     last_sent = now
                 elif now - last_sent >= heartbeat:
                     frame = heartbeat_frame(
-                        service.nous.dynamic.version, service.pending_count
+                        service.kg_version, service.pending_count
                     )
                     if not self._send_chunk(encode_frame(frame)):
                         return  # dead client detected by the keepalive

@@ -47,11 +47,12 @@ from repro.api.envelopes import (
 )
 from repro.api.wire import delta_rows, encode_payload
 from repro.core.pipeline import Nous, NousConfig
-from repro.core.statistics import compute_statistics
+from repro.core.statistics import GraphStatistics, compute_statistics
 from repro.errors import ConfigError, ReproError
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.mining.patterns import Pattern
 from repro.nlp.dates import parse_date
-from repro.query.engine import QueryEngine
+from repro.query.engine import QueryEngine, QueryResult
 from repro.query.model import Query, TrendingQuery
 from repro.query.parser import parse_query
 
@@ -164,10 +165,14 @@ class Subscription:
         rows: Dict[str, Dict[str, Any]],
         kg_version: int,
         callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+        trending_full_view: bool = False,
     ) -> None:
         self.id = sub_id
         self.query = query
         self.active = True
+        #: Trending rows cover the miner's full support table instead of
+        #: its closed-frequent slice (see :meth:`NousService.subscribe`).
+        self.trending_full_view = trending_full_view
         #: Most recent evaluation/callback failure, if any (refreshes
         #: never propagate subscriber errors into the ingestion path).
         self.last_error: Optional[BaseException] = None
@@ -218,6 +223,25 @@ class Subscription:
         )
         self._updates.append(update)
         return update
+
+
+@dataclass(frozen=True)
+class StreamView:
+    """A consistent snapshot of one service's streaming (window) state.
+
+    Scatter-gather trending assembly reads this from every shard: the
+    *full* pattern-support table (not just the closed-frequent slice —
+    a pattern infrequent on every shard can still be frequent after the
+    supports are summed), plus the window size and stream clock needed
+    to build a merged :class:`~repro.mining.streaming.WindowReport`.
+    Reading supports never consumes the miner's transition state.
+    """
+
+    supports: Dict[Pattern, int]
+    min_support: int
+    window_edges: int
+    last_timestamp: float
+    kg_version: int
 
 
 class NousService:
@@ -422,6 +446,22 @@ class NousService:
             return len(self._pending)
 
     @property
+    def kg_version(self) -> int:
+        """The monotonic KG version stamp (see
+        :attr:`~repro.core.dynamic_kg.DynamicKnowledgeGraph.version`).
+
+        Lock-free: the stamp is advisory freshness information for
+        health probes and heartbeats, which must not queue behind an
+        in-flight drain.
+        """
+        return self.nous.dynamic.version
+
+    @property
+    def documents_ingested(self) -> int:
+        """Documents fully processed by the pipeline so far."""
+        return self.nous.documents_ingested
+
+    @property
     def draining_in_background(self) -> bool:
         """True when a background drainer thread owns the queue (adapters
         without one — ``auto_start=False`` — must flush explicitly)."""
@@ -602,12 +642,62 @@ class NousService:
         )
 
     # ------------------------------------------------------------------
+    # scatter-gather hooks (consumed by repro.api.cluster)
+    # ------------------------------------------------------------------
+    def execute_query(self, query: Query) -> QueryResult:
+        """Execute one parsed query under the engine lock, returning the
+        engine's rich :class:`~repro.query.engine.QueryResult` (payload
+        objects, not wire dicts).
+
+        This is the scatter half of the cluster's scatter-gather router:
+        merge-aware assembly needs the payload *objects* (summaries,
+        ranked paths, reports) rather than their encoded form.
+        """
+        with self._engine_lock:
+            return self.engine.execute(query)
+
+    def stream_view(self) -> StreamView:
+        """Snapshot the full pattern-support table and stream clock.
+
+        Unlike a trending query this never consumes the miner's
+        newly-frequent/-infrequent transition state, so gathering shard
+        views for a merged report leaves every shard's interactive
+        trending output untouched.
+        """
+        with self._engine_lock:
+            miner = self.nous.dynamic.miner
+            return StreamView(
+                supports=dict(miner.supports()),
+                min_support=miner.min_support,
+                window_edges=miner.window_size,
+                last_timestamp=self.nous.last_timestamp,
+                kg_version=self.nous.dynamic.version,
+            )
+
+    def graph_statistics(self) -> GraphStatistics:
+        """Compute the quality statistics *object* under the engine lock
+        (the envelope-returning :meth:`statistics` encodes this)."""
+        with self._engine_lock:
+            return compute_statistics(self.nous.kb)
+
+    def extracted_fact_keys(self) -> List[Tuple[str, str, str]]:
+        """``(subject, predicate, object)`` keys of every extracted
+        (non-curated) fact, for the cluster's placement accounting."""
+        with self._engine_lock:
+            return [
+                (triple.subject, triple.predicate, triple.object)
+                for triple in self.nous.kb.store
+                if not triple.curated
+            ]
+
+    # ------------------------------------------------------------------
     # standing queries
     # ------------------------------------------------------------------
     def subscribe(
         self,
         query_text: str,
         callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+        trending_full_view: bool = False,
     ) -> Subscription:
         """Register a continuous query.
 
@@ -617,15 +707,32 @@ class NousService:
         version stamp moved, delivering added/removed row deltas via
         :meth:`Subscription.poll` and the optional ``callback``.
 
+        Args:
+            trending_full_view: For trending queries, produce rows over
+                the miner's *full* support table instead of its
+                closed-frequent slice.  Sub-threshold support movement
+                then yields deltas too — the change signal a
+                scatter-gather router needs, since a pattern invisible
+                in every shard's closed view can still be frequent in
+                the merged counts.  Default off: ordinary subscribers
+                keep the monolith's closed-frequent row contract.
+
         Raises:
             ReproError: when the query cannot be parsed or does not
                 support row-level deltas.
         """
         query = parse_query(query_text)
         with self._engine_lock:
-            rows, version = self._evaluate_rows(query)
+            rows, version = self._evaluate_rows(
+                query, trending_full_view=trending_full_view
+            )
             subscription = Subscription(
-                self._next_subscription_id, query, rows, version, callback
+                self._next_subscription_id,
+                query,
+                rows,
+                version,
+                callback,
+                trending_full_view=trending_full_view,
             )
             self._next_subscription_id += 1
             self._subscriptions[subscription.id] = subscription
@@ -667,7 +774,10 @@ class NousService:
                 if subscription._kg_version == version:
                     continue
                 try:
-                    rows, at_version = self._evaluate_rows(subscription.query)
+                    rows, at_version = self._evaluate_rows(
+                        subscription.query,
+                        trending_full_view=subscription.trending_full_view,
+                    )
                 except Exception as exc:  # noqa: BLE001 - isolation boundary
                     subscription.last_error = exc
                     self.subscription_errors += 1
@@ -688,21 +798,27 @@ class NousService:
         return updates
 
     def _evaluate_rows(
-        self, query: Query
+        self, query: Query, trending_full_view: bool = False
     ) -> Tuple[Dict[str, Dict[str, Any]], int]:
         """Evaluate one standing query into keyed rows.
 
         Trending is evaluated from the miner's *pure* closed-frequent
-        view rather than through ``WindowReport``: the report's
-        newly-frequent/-infrequent transition state is consumed on read,
-        and standing queries must not steal those transitions from
-        interactive callers.  Every other kind rides the query engine
-        (and therefore the version-keyed result cache).
+        view (or the full support table, see
+        :meth:`subscribe` ``trending_full_view``) rather than through
+        ``WindowReport``: the report's newly-frequent/-infrequent
+        transition state is consumed on read, and standing queries must
+        not steal those transitions from interactive callers.  Every
+        other kind rides the query engine (and therefore the
+        version-keyed result cache).
         """
         if isinstance(query, TrendingQuery):
-            closed = self.nous.dynamic.miner.closed_frequent_patterns()
+            miner = self.nous.dynamic.miner
+            if trending_full_view:
+                view = sorted(miner.supports().items(), key=lambda kv: kv[1])
+            else:
+                view = miner.closed_frequent_patterns()
             return (
-                delta_rows("trending", closed),
+                delta_rows("trending", view),
                 self.nous.dynamic.version,
             )
         result = self.engine.execute(query)

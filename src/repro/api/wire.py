@@ -328,6 +328,23 @@ def row_key(row: Mapping[str, Any]) -> str:
 _row_key = row_key
 
 
+def key_of_row(kind: str, row: Mapping[str, Any]) -> str:
+    """Reconstruct the :func:`delta_rows` identity key from a row dict.
+
+    Delta consumers that re-key rows they received over the wire —
+    replaying added/removed frames, or merging per-shard row maps in the
+    scatter-gather router — must reproduce the exact keying
+    :func:`delta_rows` used, including the kinds whose key is *not* the
+    row content (trending rows are keyed by pattern so support changes
+    upsert; path rows by node sequence so coherence changes upsert).
+    """
+    if kind == "trending":
+        return str(row["pattern"])
+    if kind in ("relationship", "explanatory"):
+        return " -> ".join(str(n) for n in row["nodes"])
+    return row_key(row)
+
+
 def delta_rows(kind: str, payload: Any) -> Dict[str, Dict[str, Any]]:
     """Flatten a payload into ``key -> row`` for standing-query diffing.
 

@@ -376,6 +376,11 @@ class Nous:
             self.dynamic.accept_fact(mapped, confidence, timestamp)
         return len(facts)
 
+    @property
+    def last_timestamp(self) -> float:
+        """Current stream clock (timestamp of the newest accepted fact)."""
+        return self._last_timestamp
+
     def _timestamp_for(self, date: Optional[SimpleDate]) -> float:
         if date is not None:
             ts = float(date.ordinal())

@@ -19,7 +19,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def _stable_hash(value: Hashable) -> int:
     """Deterministic hash across processes (``hash()`` is salted for str)."""
-    if isinstance(value, int):
+    # bool is an int subclass: without this check True/False would fall
+    # into the integer fast path and collapse onto partitions 1/0
+    # regardless of content; hash their text form instead.
+    if isinstance(value, int) and not isinstance(value, bool):
         return value
     text = value if isinstance(value, str) else repr(value)
     # FNV-1a, 64-bit: simple, fast, deterministic.
@@ -68,14 +71,34 @@ class PartitionStats:
         total = self.total_edges
         return self.cut_edges / total if total else 0.0
 
+    @staticmethod
+    def _balance(counts: List[int]) -> float:
+        """Max/mean load ratio; 1.0 is perfectly balanced."""
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
     @property
     def vertex_balance(self) -> float:
         """Max/mean vertex load ratio; 1.0 is perfectly balanced."""
-        nonzero = [c for c in self.vertex_counts]
-        if not nonzero or sum(nonzero) == 0:
-            return 1.0
-        mean = sum(nonzero) / len(nonzero)
-        return max(nonzero) / mean if mean else 1.0
+        return self._balance(self.vertex_counts)
+
+    @property
+    def edge_balance(self) -> float:
+        """Max/mean edge load ratio; 1.0 is perfectly balanced."""
+        return self._balance(self.edge_counts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering for wire payloads and benchmark reports."""
+        return {
+            "vertex_counts": list(self.vertex_counts),
+            "edge_counts": list(self.edge_counts),
+            "cut_edges": self.cut_edges,
+            "cut_fraction": round(self.cut_fraction, 6),
+            "vertex_balance": round(self.vertex_balance, 6),
+            "edge_balance": round(self.edge_balance, 6),
+        }
 
 
 def compute_partition_stats(graph: "PropertyGraph") -> PartitionStats:

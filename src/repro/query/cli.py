@@ -24,11 +24,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import sys
 import time
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Tuple
 
+from repro.api.base import ServiceLike
+from repro.api.cluster import ShardedNousService
 from repro.api.envelopes import ApiResponse, IngestRequest
 from repro.api.http import ClientSession, GatewayConfig, NousGateway
 from repro.api.service import NousService, ServiceConfig
@@ -36,6 +39,22 @@ from repro.core.pipeline import NousConfig
 from repro.data.corpus import CorpusConfig, generate_corpus
 from repro.data.descriptions import generate_descriptions
 from repro.kb.drone_kb import build_drone_kb
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def _demo_world(n_articles: int, seed: int) -> Tuple[KnowledgeBase, list]:
+    """The demo's curated world: drone KB extended in place by the
+    corpus generator's synthetic entities, plus seeded descriptions.
+
+    Deterministic for fixed arguments, so a sharded demo calls it once
+    per shard to obtain identical-but-independent curated bases.
+    """
+    kb = build_drone_kb()
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=n_articles, seed=seed)
+    )
+    generate_descriptions(kb, seed=seed)
+    return kb, articles
 
 
 def build_demo_service(
@@ -43,24 +62,36 @@ def build_demo_service(
     seed: int = 7,
     window_size: int = 400,
     auto_start: bool = False,
-) -> NousService:
+    shards: int = 1,
+) -> ServiceLike:
     """Construct a service and ingest a synthetic news stream through
     its micro-batching queue.
 
     ``auto_start=False`` (the default) drains synchronously — right for
     one-shot build-then-query commands; ``nous serve`` passes ``True``
     so live HTTP ingests keep micro-batching in the background.
+    ``shards > 1`` builds a :class:`ShardedNousService` instead of a
+    monolith — same envelopes, hash-partitioned ingestion and
+    scatter-gather querying (see docs/SHARDING.md).
     """
-    kb = build_drone_kb()
-    articles = generate_corpus(
-        kb, CorpusConfig(n_articles=n_articles, seed=seed)
-    )
-    generate_descriptions(kb, seed=seed)
-    service = NousService(
-        kb=kb,
-        config=NousConfig(window_size=window_size, seed=seed),
-        service_config=ServiceConfig(auto_start=auto_start),
-    )
+    kb, articles = _demo_world(n_articles, seed)
+    config = NousConfig(window_size=window_size, seed=seed)
+    service_config = ServiceConfig(auto_start=auto_start)
+    service: ServiceLike
+    if shards > 1:
+        # One deep copy per shard (plus the router's reference) instead
+        # of regenerating the deterministic world N+1 times; `kb` is
+        # pristine until submit_many below, so every copy is identical.
+        service = ShardedNousService(
+            kb_factory=lambda: copy.deepcopy(kb),
+            num_shards=shards,
+            config=config,
+            service_config=service_config,
+        )
+    else:
+        service = NousService(
+            kb=kb, config=config, service_config=service_config
+        )
     service.submit_many(articles)
     service.flush()
     return service
@@ -162,6 +193,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--articles", type=int, default=120)
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument(
+        "--shards", type=int, default=1,
+        help="serve a sharded cluster of N services instead of a "
+        "monolith (hash-partitioned ingestion, scatter-gather queries; "
+        "see docs/SHARDING.md)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="do not log requests to stderr"
     )
 
@@ -193,14 +230,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         with ClientSession(args.url) as session:
             return _run_queries(session, args.text, as_json=args.json)
 
+    shards = getattr(args, "shards", 1)
     print(
-        f"building demo knowledge graph ({args.articles} articles)...",
+        f"building demo knowledge graph ({args.articles} articles"
+        + (f", {shards} shards" if shards > 1 else "")
+        + ")...",
         file=sys.stderr,
     )
     service = build_demo_service(
         n_articles=args.articles,
         seed=args.seed,
         auto_start=args.command == "serve",
+        shards=shards,
     )
 
     if args.command == "demo":
@@ -251,7 +292,7 @@ def _remote_ingest(args: argparse.Namespace) -> int:
     return status
 
 
-def _serve(service: NousService, args: argparse.Namespace) -> int:
+def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
     gateway = NousGateway(
         service,
         GatewayConfig(

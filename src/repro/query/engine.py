@@ -18,10 +18,15 @@ import dataclasses
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.pipeline import Nous
+from repro.core.pipeline import EntitySummary, Nous
+from repro.core.statistics import GraphStatistics
 from repro.errors import QueryError
+from repro.mining.patterns import Pattern
+from repro.mining.streaming import WindowReport
+from repro.mining.support import closed_patterns
+from repro.qa.pathsearch import RankedPath
 from repro.query.model import (
     EntityQuery,
     EntityTrendQuery,
@@ -172,38 +177,21 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _trending(self, query: TrendingQuery) -> QueryResult:
         report = self.nous.trending()
-        lines = [f"window edges: {report.window_edges}", "closed frequent patterns:"]
-        for pattern, support in report.closed_frequent[:15]:
-            lines.append(f"  support={support:3d}  {pattern.describe()}")
-        if report.newly_frequent:
-            lines.append("newly frequent:")
-            for pattern in report.newly_frequent[:10]:
-                lines.append(f"  + {pattern.describe()}")
-        if report.newly_infrequent:
-            lines.append("no longer frequent (with surviving sub-patterns):")
-            for pattern, survivors in report.newly_infrequent[:10]:
-                lines.append(f"  - {pattern.describe()}  -> {len(survivors)} survivors")
         return QueryResult(
             query=query,
             kind="trending",
             payload=report,
-            rendered="\n".join(lines),
+            rendered=render_window_report(report),
             result_count=len(report.closed_frequent),
         )
 
     def _entity_trend(self, query: EntityTrendQuery) -> QueryResult:
         rows = self.nous.entity_trend(query.entity)
-        if rows:
-            lines = [f"recent facts about {query.entity}:"]
-            for _ts, s, p, o, conf in rows:
-                lines.append(f"  ({s}, {p}, {o})  conf={conf:.2f}")
-        else:
-            lines = [f"nothing new about {query.entity} in the current window"]
         return QueryResult(
             query=query,
             kind="entity-trend",
             payload=rows,
-            rendered="\n".join(lines),
+            rendered=render_trend_rows(query.entity, rows),
             result_count=len(rows),
         )
 
@@ -227,22 +215,16 @@ class QueryEngine:
             # fall back to unconstrained explanation rather than nothing.
             paths = self.nous.explain(query.source, query.target, k=3)
             relaxed = True
-        if paths:
-            lines = [
-                f"{i + 1}. coherence={p.coherence:.3f}  {p.describe()}"
-                for i, p in enumerate(paths)
-            ]
-            if relaxed:
-                lines.insert(
-                    0, f"(no path via '{relationship}'; showing unconstrained paths)"
-                )
-        else:
-            lines = ["no connecting path found"]
+        note = (
+            f"(no path via '{relationship}'; showing unconstrained paths)"
+            if relaxed and paths
+            else None
+        )
         return QueryResult(
             query=query,
             kind=kind,
             payload=paths,
-            rendered="\n".join(lines),
+            rendered=render_ranked_paths(paths, note=note),
             result_count=len(paths),
         )
 
@@ -252,14 +234,300 @@ class QueryEngine:
         graph = self.nous.dynamic.graph_view()
         matcher = PatternMatcher(graph, ontology=self.nous.kb.ontology)
         matches = matcher.match(pattern, limit=50)
-        lines = [f"{len(matches)} match(es):"]
-        for bindings in matches[:20]:
-            rendered = ", ".join(f"?{k}={v}" for k, v in sorted(bindings.items()))
-            lines.append(f"  {rendered}")
         return QueryResult(
             query=query,
             kind="pattern",
             payload=matches,
-            rendered="\n".join(lines),
+            rendered=render_pattern_matches(matches),
             result_count=len(matches),
         )
+
+
+# ---------------------------------------------------------------------------
+# shared renderers
+# ---------------------------------------------------------------------------
+# The monolithic engine and the sharded scatter-gather router must render
+# payloads identically — a cluster of one shard answering byte-for-byte
+# like a single service is the base case the equivalence suite pins — so
+# the plain-text rendering lives here, outside both.
+
+
+def render_window_report(report: WindowReport) -> str:
+    """Plain-text rendering of a trending report."""
+    lines = [f"window edges: {report.window_edges}", "closed frequent patterns:"]
+    for pattern, support in report.closed_frequent[:15]:
+        lines.append(f"  support={support:3d}  {pattern.describe()}")
+    if report.newly_frequent:
+        lines.append("newly frequent:")
+        for pattern in report.newly_frequent[:10]:
+            lines.append(f"  + {pattern.describe()}")
+    if report.newly_infrequent:
+        lines.append("no longer frequent (with surviving sub-patterns):")
+        for pattern, survivors in report.newly_infrequent[:10]:
+            lines.append(f"  - {pattern.describe()}  -> {len(survivors)} survivors")
+    return "\n".join(lines)
+
+
+def render_trend_rows(entity: str, rows: Sequence[Tuple]) -> str:
+    """Plain-text rendering of "what's new about X" rows."""
+    if not rows:
+        return f"nothing new about {entity} in the current window"
+    lines = [f"recent facts about {entity}:"]
+    for _ts, s, p, o, conf in rows:
+        lines.append(f"  ({s}, {p}, {o})  conf={conf:.2f}")
+    return "\n".join(lines)
+
+
+def render_ranked_paths(
+    paths: Sequence[RankedPath], note: Optional[str] = None
+) -> str:
+    """Plain-text rendering of coherence-ranked path answers."""
+    if not paths:
+        return "no connecting path found"
+    lines = [
+        f"{i + 1}. coherence={p.coherence:.3f}  {p.describe()}"
+        for i, p in enumerate(paths)
+    ]
+    if note:
+        lines.insert(0, note)
+    return "\n".join(lines)
+
+
+def render_pattern_matches(matches: Sequence[Dict[str, Any]]) -> str:
+    """Plain-text rendering of pattern-match binding rows."""
+    lines = [f"{len(matches)} match(es):"]
+    for bindings in matches[:20]:
+        rendered = ", ".join(f"?{k}={v}" for k, v in sorted(bindings.items()))
+        lines.append(f"  {rendered}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scatter-gather merges
+# ---------------------------------------------------------------------------
+# Per-query-class result assembly for a sharded deployment: each shard
+# answers over its own slice of the KG (curated base replicated, extracted
+# facts partitioned) and the router combines the partial answers.  These
+# are pure functions of the partial results so they can be property-tested
+# without a cluster.  The merge semantics per class:
+#
+# - entity / entity-trend / pattern: union + dedupe (a fact/row either is
+#   in the merged answer or is not; identical rows from several shards
+#   collapse, confidence ties keep the highest-confidence copy);
+# - relationship / explanatory: top-k re-rank — paths found by any shard,
+#   deduplicated by node sequence, re-ranked by coherence;
+# - trending: per-shard window merge — the *full* support tables are
+#   summed per pattern, then frequency and closedness are recomputed on
+#   the merged counts (a pattern below threshold on every shard can be
+#   frequent in the union);
+# - statistics: summation, with the replicated curated base counted once.
+
+
+def merge_entity_summaries(summaries: Sequence[EntitySummary]) -> EntitySummary:
+    """Union + dedupe entity summaries from several shards.
+
+    Facts are keyed by ``(subject, predicate, object, curated)``; the
+    highest-confidence copy wins (shards that saw the fact extracted
+    more recently re-score it).  The final ordering matches the
+    monolith's: stable sort by ``(-confidence, predicate)``.
+    """
+    if not summaries:
+        raise QueryError("cannot merge zero entity summaries")
+    first = summaries[0]
+    best: "OrderedDict[Tuple[str, str, str, bool], Tuple[str, str, str, float, bool]]"
+    best = OrderedDict()
+    dates: List[str] = []
+    neighbors: Set[str] = set()
+    description = ""
+    entity_type = ""
+    for summary in summaries:
+        for fact in summary.facts:
+            s, p, o, conf, curated = fact
+            key = (s, p, o, curated)
+            kept = best.get(key)
+            if kept is None or conf > kept[3]:
+                best[key] = fact
+        dates.extend(summary.recent_dates)
+        neighbors.update(summary.neighbors)
+        if not description and summary.description:
+            description = summary.description
+        if entity_type in ("", "Thing") and summary.entity_type:
+            entity_type = summary.entity_type
+    facts = sorted(best.values(), key=lambda f: (-f[3], f[1]))
+    return EntitySummary(
+        entity=first.entity,
+        entity_type=entity_type or "Thing",
+        description=description,
+        facts=facts,
+        recent_dates=sorted(set(dates), reverse=True),
+        neighbors=sorted(neighbors),
+    )
+
+
+def merge_ranked_paths(
+    path_lists: Sequence[Sequence[RankedPath]], k: int = 3
+) -> List[RankedPath]:
+    """Top-k re-rank of per-shard path answers.
+
+    Paths are deduplicated by node sequence (the best — lowest-
+    divergence — copy wins; coherence may differ slightly where shards
+    fitted topics over different minted-entity sets) and the survivors
+    re-ranked by the search's own key: ascending ``(coherence,
+    length)`` — coherence is a divergence, lower is better.  The sort
+    is stable, so a single-shard cluster preserves its shard's ordering
+    exactly.
+    """
+    # Identity is the full route — nodes AND edge labels/directions
+    # (``describe()`` renders exactly that): distinct predicates over
+    # the same node sequence are distinct answers, as in the monolith.
+    seen: "OrderedDict[str, RankedPath]" = OrderedDict()
+    for paths in path_lists:
+        for path in paths:
+            key = path.describe()
+            kept = seen.get(key)
+            if kept is None or path.coherence < kept.coherence:
+                seen[key] = path
+    ranked = sorted(seen.values(), key=lambda p: (p.coherence, p.length))
+    return ranked[:k]
+
+
+def merge_trend_rows(
+    row_lists: Sequence[Sequence[Tuple]], limit: int = 20
+) -> List[Tuple]:
+    """Union + dedupe entity-trend rows, newest first."""
+    merged: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+    for rows in row_lists:
+        for row in rows:
+            merged.setdefault(tuple(row), row)
+    ordered = sorted(merged.values(), key=lambda r: -r[0])
+    return ordered[:limit]
+
+
+def merge_pattern_matches(
+    match_lists: Sequence[Sequence[Dict[str, Any]]], limit: int = 50
+) -> List[Dict[str, Any]]:
+    """Union + dedupe pattern-match binding rows.
+
+    Shard order is preserved (first occurrence wins), which keeps a
+    single-shard cluster identical to its shard and makes multi-shard
+    output deterministic given deterministic shards.
+    """
+    merged: "OrderedDict[Tuple[Tuple[str, str], ...], Dict[str, Any]]" = OrderedDict()
+    for matches in match_lists:
+        for bindings in matches:
+            key = tuple(sorted((str(k), str(v)) for k, v in bindings.items()))
+            merged.setdefault(key, bindings)
+    return list(merged.values())[:limit]
+
+
+def merge_window_reports(
+    supports_per_shard: Sequence[Mapping[Pattern, int]],
+    min_support: int,
+    previous_frequent: Set[Pattern],
+    window_edges: int,
+    timestamp: float,
+) -> Tuple[WindowReport, Set[Pattern]]:
+    """Assemble a merged trending report from per-shard support tables.
+
+    Supports are summed per pattern across shards, then frequency and
+    closedness are recomputed on the merged table — which is why the
+    shards expose their *full* support tables, not just the closed
+    frequent slice.  Transition events (newly frequent / newly
+    infrequent with surviving sub-patterns) are computed against
+    ``previous_frequent``, the router's own last-report state — shard
+    miners' transition state is never consumed.
+
+    Summed MNI support is exact when every embedding (and node binding)
+    of a pattern lives on one shard, and a lower bound otherwise
+    (embeddings spanning shards are invisible to both); see
+    docs/SHARDING.md.
+
+    Returns:
+        ``(report, frequent_now)`` — callers store ``frequent_now`` as
+        the next call's ``previous_frequent``.
+    """
+    from repro.mining.patterns import sub_patterns
+
+    merged: Dict[Pattern, int] = {}
+    for supports in supports_per_shard:
+        for pattern, support in supports.items():
+            merged[pattern] = merged.get(pattern, 0) + support
+    frequent_now = {p for p, s in merged.items() if s >= min_support}
+    newly_frequent = sorted(
+        frequent_now - previous_frequent, key=lambda p: p.edges
+    )
+    newly_infrequent: List[Tuple[Pattern, List[Pattern]]] = []
+    for lost in sorted(previous_frequent - frequent_now, key=lambda p: p.edges):
+        survivors = [sub for sub in sub_patterns(lost) if sub in frequent_now]
+        newly_infrequent.append((lost, survivors))
+    report = WindowReport(
+        timestamp=timestamp,
+        closed_frequent=closed_patterns(merged, min_support),
+        newly_frequent=newly_frequent,
+        newly_infrequent=newly_infrequent,
+        window_edges=window_edges,
+    )
+    return report, frequent_now
+
+
+def merge_statistics(
+    shard_stats: Sequence[GraphStatistics],
+    curated: GraphStatistics,
+    top_central: int = 8,
+) -> GraphStatistics:
+    """Summation merge of per-shard quality statistics.
+
+    Every shard's KB contains the replicated curated base plus its own
+    extracted slice, so sums over shards count the curated part once per
+    shard; subtracting ``curated`` (the statistics of the pristine
+    reference KB) ``N - 1`` times restores single-counting.  Entity
+    counts merge the same way — entities minted by several shards for
+    the same mention are double-counted, a documented approximation.
+    PageRank centralities cannot be summed; the merge keeps the maximum
+    rank a shard assigned to each entity and re-ranks.
+    """
+    n = len(shard_stats)
+    if n == 0:
+        raise QueryError("cannot merge zero statistics payloads")
+
+    def _over(value_of: Any) -> int:
+        return sum(int(value_of(s)) for s in shard_stats) - (n - 1) * int(
+            value_of(curated)
+        )
+
+    merged = GraphStatistics(
+        num_entities=_over(lambda s: s.num_entities),
+        num_facts=_over(lambda s: s.num_facts),
+        curated_facts=curated.curated_facts,
+        extracted_facts=sum(s.extracted_facts for s in shard_stats),
+    )
+    merged.confidence_histogram = [
+        sum(s.confidence_histogram[i] for s in shard_stats)
+        - (n - 1) * curated.confidence_histogram[i]
+        for i in range(len(curated.confidence_histogram))
+    ]
+    for table in ("facts_per_source", "facts_per_predicate", "entities_per_type"):
+        counts: Dict[str, int] = {}
+        for stats in shard_stats:
+            for key, count in getattr(stats, table).items():
+                counts[key] = counts.get(key, 0) + count
+        for key, count in getattr(curated, table).items():
+            counts[key] = counts.get(key, 0) - (n - 1) * count
+        setattr(merged, table, {k: c for k, c in counts.items() if c > 0})
+    total_extracted = merged.extracted_facts
+    if total_extracted:
+        merged.mean_extracted_confidence = (
+            sum(
+                s.mean_extracted_confidence * s.extracted_facts
+                for s in shard_stats
+            )
+            / total_extracted
+        )
+    central: Dict[str, float] = {}
+    for stats in shard_stats:
+        for entity, rank in stats.central_entities:
+            central[entity] = max(central.get(entity, 0.0), rank)
+    merged.central_entities = sorted(
+        central.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:top_central]
+    return merged

@@ -34,7 +34,7 @@ import pytest
 from repro.api.http import HTTP_STATUS_BY_CODE
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-DOC_FILES = ["README.md", "docs/API.md"]
+DOC_FILES = ["README.md", "docs/API.md", "docs/SHARDING.md"]
 DOCS_PORT = 8420
 DOCS_URL = f"http://127.0.0.1:{DOCS_PORT}"
 SKIP_MARKER = "docs-smoke: skip"
@@ -144,7 +144,7 @@ def test_snippet_runs(live_server, relpath, lineno, lang, code):
     )
 
 
-def test_docs_cover_both_files():
+def test_docs_cover_every_file():
     covered = {path for path, _l, _la, _c in SNIPPETS}
     assert covered == set(DOC_FILES)
 

@@ -12,6 +12,12 @@ whole corpus), per-document metrics come from the *wire-format* ticket
 payloads, and query answers are read back through
 ``decode_payload`` — so the golden values also pin the envelope codecs.
 
+Since ISSUE 4 the same corpus is additionally ingested through a
+three-shard :class:`repro.api.ShardedNousService` and the *merged*
+scatter-gather answers are pinned under the ``sharded`` key — document
+routing, per-query-class merge assembly and the composite version stamp
+are all locked by golden values.
+
 Prints one JSON object on stdout.
 """
 
@@ -25,6 +31,7 @@ from repro import (
     NousConfig,
     NousService,
     ServiceConfig,
+    ShardedNousService,
     build_drone_kb,
     generate_corpus,
     generate_descriptions,
@@ -34,6 +41,7 @@ from repro.query import QueryEngine
 
 GOLDEN_SEED = 11
 N_ARTICLES = 40
+N_SHARDS = 3
 
 QUERY_TEXTS = [
     "tell me about DJI",
@@ -44,21 +52,39 @@ QUERY_TEXTS = [
 ]
 
 
-def build_service() -> tuple:
+def golden_kb_and_articles() -> tuple:
+    """The seeded world: drone KB + descriptions, extended in place by
+    the corpus generator's synthetic entities.  Deterministic for a
+    fixed seed, so calling it once per shard yields identical curated
+    bases (shards must not share one mutable KB instance)."""
     kb = build_drone_kb()
     generate_descriptions(kb, seed=GOLDEN_SEED)
     articles = generate_corpus(
         kb, CorpusConfig(n_articles=N_ARTICLES, seed=GOLDEN_SEED)
     )
+    return kb, articles
+
+
+def golden_kb():
+    kb, _articles = golden_kb_and_articles()
+    return kb
+
+
+def golden_config() -> NousConfig:
+    return NousConfig(
+        window_size=120,
+        min_support=2,
+        lda_iterations=20,
+        retrain_every=60,
+        seed=GOLDEN_SEED,
+    )
+
+
+def build_service() -> tuple:
+    kb, articles = golden_kb_and_articles()
     service = NousService(
         kb=kb,
-        config=NousConfig(
-            window_size=120,
-            min_support=2,
-            lda_iterations=20,
-            retrain_every=60,
-            seed=GOLDEN_SEED,
-        ),
+        config=golden_config(),
         # Deterministic single-threaded drains; one batch spans the
         # whole corpus, so the run pins ``ingest_batch`` semantics.
         service_config=ServiceConfig(auto_start=False, max_batch=N_ARTICLES),
@@ -66,6 +92,71 @@ def build_service() -> tuple:
     tickets = service.submit_many(articles)
     service.flush()
     return service, [t.result(timeout=0) for t in tickets]
+
+
+def build_sharded_service() -> tuple:
+    _kb, articles = golden_kb_and_articles()
+    service = ShardedNousService(
+        kb_factory=golden_kb,
+        num_shards=N_SHARDS,
+        config=golden_config(),
+        service_config=ServiceConfig(auto_start=False, max_batch=N_ARTICLES),
+    )
+    tickets = service.submit_many(articles)
+    service.flush()
+    return service, [t.result(timeout=0) for t in tickets]
+
+
+def sharded_metrics() -> dict:
+    """Pin the merged (scatter-gather) pipeline at N_SHARDS shards."""
+    service, envelopes = build_sharded_service()
+    assert all(env.ok for env in envelopes)
+
+    trending_envelope = service.query("show trending patterns")
+    trending = decode_payload("trending", trending_envelope.payload)
+    top_patterns = sorted(
+        f"{pattern.describe()}|{support}"
+        for pattern, support in trending.closed_frequent
+    )[:5]
+
+    paths_envelope = service.query("why does Windermere use drones")
+    paths = decode_payload(paths_envelope.kind, paths_envelope.payload)
+
+    # Merged-result cache consistency: every query answered twice must
+    # render identically (second answers come from the composite-version
+    # cache) and report ok.
+    cache_consistent = True
+    first_rendered = {}
+    for text in QUERY_TEXTS * 2:
+        response = service.query(text)
+        if not response.ok:
+            cache_consistent = False
+            continue
+        if text not in first_rendered:
+            first_rendered[text] = response.rendered
+        elif first_rendered[text] != response.rendered:
+            cache_consistent = False
+
+    stats_payload = service.statistics().payload
+    cluster = stats_payload["cluster"]
+    metrics = {
+        "accepted_total": sum(
+            env.payload["accepted"] for env in envelopes
+        ),
+        "documents_routed": cluster["documents_routed"],
+        "num_facts": stats_payload["num_facts"],
+        "num_entities": stats_payload["num_entities"],
+        "window_edges": trending.window_edges,
+        "closed_frequent_count": len(trending.closed_frequent),
+        "top_patterns": top_patterns,
+        "top_path_nodes": [str(n) for n in paths[0].nodes] if paths else [],
+        "top_path_coherence": round(paths[0].coherence, 6) if paths else None,
+        "cut_edges": cluster["partition"]["cut_edges"],
+        "cache_consistent": cache_consistent,
+        "cache_hits": service.cache_hits,
+    }
+    service.close()
+    return metrics
 
 
 def main() -> None:
@@ -110,6 +201,7 @@ def main() -> None:
         "cache_consistent": cache_consistent,
         "cache_hits": service.engine.cache_hits,
         "batches_drained": service.batches_drained,
+        "sharded": sharded_metrics(),
     }
     json.dump(metrics, sys.stdout, sort_keys=True)
     sys.stdout.write("\n")

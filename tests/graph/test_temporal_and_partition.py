@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigError
 from repro.graph import CountWindow, DynamicGraph, HashPartitioner, TimeWindow
-from repro.graph.partition import compute_partition_stats
+from repro.graph.partition import _stable_hash, compute_partition_stats
 from repro.graph.property_graph import PropertyGraph
 
 
@@ -23,6 +23,23 @@ class TestHashPartitioner:
     def test_invalid_count(self):
         with pytest.raises(ConfigError):
             HashPartitioner(0)
+
+    def test_bool_keys_hash_by_content_not_int_value(self):
+        # Regression: bool is an int subclass, so True/False used to take
+        # the integer fast path and collapse onto partitions 1/0 for
+        # every shard count — ignoring the hashing scheme entirely.
+        assert _stable_hash(True) == _stable_hash("True")
+        assert _stable_hash(False) == _stable_hash("False")
+        assert _stable_hash(True) != 1
+        assert _stable_hash(False) != 0
+        p = HashPartitioner(8)
+        for key in (True, False):
+            assert 0 <= p.partition(key) < 8
+            assert p.partition(key) == p.partition(key)
+
+    def test_int_fast_path_untouched(self):
+        assert _stable_hash(7) == 7
+        assert _stable_hash(0) == 0
 
     @given(st.lists(st.text(min_size=1, max_size=12), min_size=50, max_size=50, unique=True))
     @settings(max_examples=10, deadline=None)
@@ -50,6 +67,19 @@ class TestPartitionStats:
         stats = compute_partition_stats(PropertyGraph(num_partitions=3))
         assert stats.cut_fraction == 0.0
         assert stats.vertex_balance == 1.0
+        assert stats.edge_balance == 1.0
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        g = PropertyGraph(num_partitions=2)
+        g.add_edge("a", "b", "e")
+        g.add_edge("b", "c", "e")
+        data = compute_partition_stats(g).to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["cut_edges"] + sum(data["edge_counts"]) >= 2
+        assert data["vertex_balance"] >= 1.0
+        assert data["edge_balance"] >= 1.0
 
 
 class TestCountWindow:

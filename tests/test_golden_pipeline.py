@@ -54,6 +54,33 @@ GOLDEN = {
     "cache_consistent": True,
 }
 
+# ISSUE 4: the same corpus through a 3-shard ShardedNousService — pins
+# document routing, every per-query-class merge, and the composite-
+# version merged-result cache.  Totals that must be partition-invariant
+# (accepted documents, merged fact count, window size) equal the
+# monolith's; closed-frequent counts and supports may differ where
+# pattern embeddings span shards (documented in docs/SHARDING.md), and
+# num_entities counts per-shard minted duplicates.
+GOLDEN_SHARDED = {
+    "accepted_total": 83,
+    "documents_routed": [9, 17, 14],
+    "num_facts": 194,
+    "num_entities": 155,
+    "window_edges": 83,
+    "closed_frequent_count": 26,
+    "top_patterns": [
+        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[acquiredFor]->(?2:Thing)|4",
+        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[fundedBy]->(?2:Company)|2",
+        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[raisedFunding]->(?2:Thing)|2",
+        "(?0:Company)-[acquired]->(?1:Company) (?1:Company)-[acquired]->(?2:Company)|2",
+        "(?0:Company)-[acquired]->(?1:Company)|6",
+    ],
+    "top_path_nodes": ["Windermere", "AirTech_2", "DJI", "Drone_Industry"],
+    "top_path_coherence": 0.473563,
+    "cut_edges": 25,
+    "cache_consistent": True,
+}
+
 
 @pytest.fixture(scope="module")
 def golden_metrics():
@@ -110,3 +137,43 @@ class TestGoldenPipeline:
     def test_queue_drained_in_one_deterministic_batch(self, golden_metrics):
         # The driver pins the service path: whole corpus, one drain.
         assert golden_metrics["batches_drained"] == 1
+
+
+class TestGoldenShardedPipeline:
+    """The N=3 scatter-gather pipeline, pinned output by output."""
+
+    def test_routing_and_totals_pinned(self, golden_metrics):
+        sharded = golden_metrics["sharded"]
+        for key in ("accepted_total", "documents_routed", "num_facts",
+                    "num_entities", "window_edges", "cut_edges"):
+            assert sharded[key] == GOLDEN_SHARDED[key], (
+                f"{key}: got {sharded[key]}, pinned {GOLDEN_SHARDED[key]}"
+            )
+
+    def test_partition_invariant_totals_match_monolith(self, golden_metrics):
+        # Documents accepted, merged fact count and total window size
+        # must not depend on how the corpus was partitioned.
+        sharded = golden_metrics["sharded"]
+        assert sharded["accepted_total"] == golden_metrics["accepted_total"]
+        assert sharded["num_facts"] == golden_metrics["num_facts"]
+        assert sharded["window_edges"] == golden_metrics["window_edges"]
+
+    def test_merged_trending_pinned(self, golden_metrics):
+        sharded = golden_metrics["sharded"]
+        assert (
+            sharded["closed_frequent_count"]
+            == GOLDEN_SHARDED["closed_frequent_count"]
+        )
+        assert sharded["top_patterns"] == GOLDEN_SHARDED["top_patterns"]
+
+    def test_merged_path_answer_pinned(self, golden_metrics):
+        sharded = golden_metrics["sharded"]
+        assert sharded["top_path_nodes"] == GOLDEN_SHARDED["top_path_nodes"]
+        assert sharded["top_path_coherence"] == pytest.approx(
+            GOLDEN_SHARDED["top_path_coherence"], abs=1e-6
+        )
+
+    def test_merged_cache_consistent(self, golden_metrics):
+        sharded = golden_metrics["sharded"]
+        assert sharded["cache_consistent"] is True
+        assert sharded["cache_hits"] > 0
