@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import os
 import time
+
+from conftest import record_bench
 from typing import Dict, Hashable, List, Tuple
 
 from repro import (
@@ -123,6 +125,14 @@ def test_batched_ingestion_speedup():
         f"\ningestion ({N_ARTICLES} articles): sequential {t_sequential * 1000:.0f} ms"
         f"  batched {t_batched * 1000:.0f} ms  speedup {speedup:.1f}x"
     )
+    record_bench(
+        "batch_ingest",
+        articles=N_ARTICLES,
+        sequential_s=round(t_sequential, 4),
+        batched_s=round(t_batched, 4),
+        speedup=round(speedup, 3),
+        gate=SPEEDUP_GATE,
+    )
 
     # Equivalence of outcomes, not just speed.
     assert len(results_bat) == len(results_seq)
@@ -174,6 +184,13 @@ def test_indexed_pattern_query_speedup():
         f"\npattern queries ({rounds}x{len(patterns)}): seed {t_seed * 1000:.0f} ms"
         f"  indexed {t_indexed * 1000:.0f} ms  speedup {speedup:.1f}x"
     )
+    record_bench(
+        "indexed_pattern_query",
+        seed_s=round(t_seed, 4),
+        indexed_s=round(t_indexed, 4),
+        speedup=round(speedup, 3),
+        gate=SPEEDUP_GATE,
+    )
     assert indexed_counts == seed_counts, "indexed path changed results"
     assert any(count > 0 for count in indexed_counts)
     assert speedup >= SPEEDUP_GATE, f"indexed pattern lookups only {speedup:.2f}x faster"
@@ -206,6 +223,13 @@ def test_query_result_cache_speedup():
     print(
         f"\nquery cache ({len(texts)} queries): cold {t_cold * 1000:.1f} ms"
         f"  warm {t_warm_per_round * 1000:.1f} ms/round  speedup {speedup:.1f}x"
+    )
+    record_bench(
+        "query_result_cache",
+        cold_s=round(t_cold, 4),
+        warm_per_round_s=round(t_warm_per_round, 4),
+        speedup=round(speedup, 3),
+        gate=SPEEDUP_GATE,
     )
     assert all(not r.cached for r in cold)
     assert all(r.cached for r in warm)

@@ -33,6 +33,8 @@ from repro import (
 from repro.api.http import ClientSession, GatewayConfig, NousGateway
 from repro.api.wire import decode_payload, delta_rows, row_key
 
+from conftest import record_bench
+
 SEED = 7
 N_ARTICLES = 120
 # Shared CI runners are noisy; CI relaxes via env var.
@@ -105,6 +107,13 @@ def test_http_query_p50_within_gate_of_in_process():
             f"\nquery p50 ({len(QUERIES)} distinct queries, cache off): "
             f"in-process {p50_local * 1000:.2f} ms  "
             f"http {p50_http * 1000:.2f} ms  ({ratio:.2f}x)"
+        )
+        record_bench(
+            "http_gateway",
+            p50_in_process_s=round(p50_local, 5),
+            p50_http_s=round(p50_http, 5),
+            ratio=round(ratio, 3),
+            gate=HTTP_LATENCY_GATE,
         )
         assert ratio <= HTTP_LATENCY_GATE, (
             f"HTTP p50 {ratio:.2f}x in-process "
@@ -245,6 +254,15 @@ def test_concurrent_load_with_streaming_subscribers():
             f"{total_frames} NDJSON frames across {len(streams)} "
             f"subscribers, {len(expected) - len(baseline)} pattern rows "
             f"appeared under load"
+        )
+        record_bench(
+            "http_gateway_concurrency",
+            clients=N_CLIENTS,
+            rounds=ROUNDS,
+            elapsed_s=round(elapsed, 3),
+            batches_drained=service.batches_drained,
+            ndjson_frames=total_frames,
+            subscribers=len(streams),
         )
         assert service.subscription_count == 0  # all detached cleanly
     finally:

@@ -20,6 +20,8 @@ from __future__ import annotations
 import os
 import time
 
+from conftest import record_bench
+
 from repro import (
     CorpusConfig,
     Nous,
@@ -107,6 +109,18 @@ def test_queue_within_gate_of_direct_batch_and_faster_than_seed():
         f"(overhead vs batch {overhead:.2f}x, speedup vs seq {speedup:.1f}x, "
         f"{service.batches_drained} drains)"
     )
+    record_bench(
+        "service_queue",
+        articles=N_ARTICLES,
+        sequential_s=round(t_seq, 4),
+        direct_batch_s=round(t_direct, 4),
+        queue_s=round(t_queue, 4),
+        overhead_vs_batch=round(overhead, 3),
+        speedup_vs_sequential=round(speedup, 3),
+        batches_drained=service.batches_drained,
+        overhead_gate=QUEUE_OVERHEAD_GATE,
+        speedup_gate=SPEEDUP_GATE,
+    )
 
     # Equivalence of outcomes, not just speed.
     assert all(env.ok for env in envelopes)
@@ -156,6 +170,9 @@ def test_single_document_latency_bounded_by_max_delay():
         service.close()
     assert response.ok
     print(f"\nsingle-document queue latency: {latency * 1000:.0f} ms")
+    record_bench(
+        "service_queue_latency", single_doc_latency_s=round(latency, 4)
+    )
     # Generous bound: batching delay + one tiny drain; catches
     # regressions where a lone document waits for a batch that never
     # fills (or a forgotten flush path).

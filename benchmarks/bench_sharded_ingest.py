@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 import time
 
+from conftest import record_bench
+
 from repro import (
     CorpusConfig,
     Nous,
@@ -130,6 +132,21 @@ def test_sharded_ingest_speedup():
         f"({stats.cut_fraction:.2f}), "
         f"vertex balance {stats.vertex_balance:.2f}, "
         f"edge balance {stats.edge_balance:.2f}"
+    )
+    record_bench(
+        "sharded_ingest",
+        articles=N_ARTICLES,
+        shards=N_SHARDS,
+        single_s=round(t_single, 4),
+        sharded_s=round(t_sharded, 4),
+        speedup=round(speedup, 3),
+        gate=SHARDED_GATE,
+        documents_per_shard=routed,
+        cut_edges=stats.cut_edges,
+        total_edges=stats.total_edges,
+        cut_fraction=round(stats.cut_fraction, 4),
+        vertex_balance=round(stats.vertex_balance, 4),
+        edge_balance=round(stats.edge_balance, 4),
     )
 
     # equivalence: partitioning must not change what was accepted

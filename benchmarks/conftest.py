@@ -2,9 +2,20 @@
 
 Expensive artifacts (built systems, corpora) are session-scoped so each
 bench module measures only its own experiment.
+
+This module also owns the **benchmark trajectory artifacts**: every
+bench calls :func:`record_bench` with its measured numbers, which lands
+one ``BENCH_<name>.json`` file per bench in ``$BENCH_ARTIFACT_DIR``
+(default: the working directory).  CI uploads those files from every
+bench smoke step (``actions/upload-artifact``), so the perf trajectory
+is recorded per commit instead of scrolling away in logs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -19,6 +30,29 @@ from repro import (
 
 BENCH_SEED = 7
 BENCH_ARTICLES = 120
+
+#: Where record_bench writes its JSON files.
+BENCH_ARTIFACT_ENV = "BENCH_ARTIFACT_DIR"
+
+
+def record_bench(name: str, **metrics):
+    """Write one bench's measured numbers to ``BENCH_<name>.json``.
+
+    Called by the bench itself right after it prints its report —
+    *before* its gates assert, so a failing gate still leaves the
+    measurement on disk for the trajectory.  Values must be JSON-safe
+    (numbers, strings, lists, dicts).
+    """
+    directory = os.environ.get(BENCH_ARTIFACT_ENV, ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    payload = {"bench": name, "recorded_unix": round(time.time(), 3)}
+    payload.update(metrics)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -13,12 +13,26 @@ the adapters consume, not everything the implementations offer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.api.service import IngestTicket, StandingQueryUpdate
+    from repro.api.service import IngestTicket, StandingQueryUpdate, StreamView
+    from repro.core.statistics import GraphStatistics
+    from repro.query.engine import QueryResult
+    from repro.query.model import Query
 
 
 class SubscriptionLike(Protocol):
@@ -34,6 +48,9 @@ class SubscriptionLike(Protocol):
 
     @property
     def current_rows(self) -> List[Dict[str, Any]]: ...
+
+    @property
+    def last_kg_version(self) -> int: ...
 
     def poll(self) -> List["StandingQueryUpdate"]: ...
 
@@ -61,6 +78,7 @@ class ServiceLike(Protocol):
         self,
         query_text: str,
         callback: Optional[Callable[["StandingQueryUpdate"], None]] = None,
+        trending_full_view: bool = False,
     ) -> SubscriptionLike: ...
 
     def unsubscribe(self, subscription: Any) -> None: ...
@@ -92,3 +110,43 @@ class ServiceLike(Protocol):
 
     @property
     def subscription_errors(self) -> int: ...
+
+
+class ShardLike(ServiceLike, Protocol):
+    """The *shard-internal* surface the scatter-gather router consumes.
+
+    On top of the adapter-facing :class:`ServiceLike` contract, the
+    router needs the merge-aware hooks — payload *objects* rather than
+    encoded envelopes, the miner's full support table, placement
+    accounting, and full-view trending subscriptions.  Two classes
+    implement it: the in-process :class:`~repro.api.service.NousService`
+    and the wire-speaking
+    :class:`~repro.api.cluster.RemoteShardClient` (one ``nous serve``
+    worker subprocess per shard), which is what makes
+    ``--shard-mode process`` a drop-in swap inside
+    :class:`~repro.api.cluster.ShardedNousService`.
+    """
+
+    def ingest_facts(
+        self,
+        facts: Sequence[Tuple[str, str, str]],
+        date: Optional[str] = None,
+        source: str = "structured",
+        confidence: float = 0.9,
+    ) -> ApiResponse: ...
+
+    def execute_query(self, query: "Query") -> "QueryResult": ...
+
+    def stream_view(self) -> "StreamView": ...
+
+    def graph_statistics(self) -> "GraphStatistics": ...
+
+    def extracted_fact_keys(self) -> List[Tuple[str, str, str]]: ...
+
+    def refresh_subscriptions(self) -> List["StandingQueryUpdate"]: ...
+
+    @property
+    def alive(self) -> bool: ...
+
+    @property
+    def kg_version_hint(self) -> int: ...

@@ -30,6 +30,16 @@ of shard KG versions (scalar form: the sum) — which the router's
 merged-result cache keys on.  Full contract: ``docs/SHARDING.md``.
 """
 
+from repro.api.cluster.process import (
+    ShardProcess,
+    ShardProcessManager,
+    resolve_kb_spec,
+)
+from repro.api.cluster.remote import (
+    RemoteIngestTicket,
+    RemoteShardClient,
+    RemoteSubscription,
+)
 from repro.api.cluster.router import DocumentRouter
 from repro.api.cluster.service import (
     ClusterSubscription,
@@ -41,5 +51,11 @@ __all__ = [
     "DocumentRouter",
     "ShardedNousService",
     "ClusterSubscription",
+    "ShardProcess",
+    "ShardProcessManager",
+    "RemoteIngestTicket",
+    "RemoteShardClient",
+    "RemoteSubscription",
     "kind_of_query",
+    "resolve_kb_spec",
 ]

@@ -1,0 +1,398 @@
+"""``ShardProcessManager``: spawn and supervise ``nous serve`` workers.
+
+Process-shard mode runs every shard as its own interpreter — the first
+configuration in this reproduction where construction genuinely escapes
+the GIL, matching the paper's deployment of construction/querying
+across distributed workers.  Each worker is a stock ``nous serve``
+gateway over a monolithic :class:`~repro.api.service.NousService`; the
+parent speaks the ordinary PR-2/PR-3 wire envelopes to it (see
+:mod:`repro.api.cluster.remote`), so a worker is indistinguishable from
+any other NOUS deployment.
+
+Lifecycle contract:
+
+- **Startup** is announce-then-health-check: the worker prints one JSON
+  line (``{"event": "serving", "url": ..., "port": ..., "pid": ...}``)
+  to stdout once its gateway is bound (``--announce``), and the manager
+  then polls ``GET /v1/healthz`` until the worker answers ``ok``.
+  A worker that dies first (e.g. a port collision), never announces, or
+  never turns healthy within ``startup_timeout`` fails the whole
+  cluster start with a structured
+  :class:`~repro.errors.ClusterError` carrying the worker's stderr
+  tail; already-started siblings are torn down.
+- **Shutdown** is terminate-then-kill with a bounded wait, registered
+  with :mod:`atexit` as well, so no ``nous serve`` worker outlives the
+  parent even when callers forget :meth:`ShardProcessManager.stop`.
+- **Crash detection** is :meth:`poll` / :attr:`ShardProcess.alive`; the
+  remote client consults it to turn a connection error into a
+  structured dead-shard report.
+
+The worker KB is named by a **spec string** (:func:`resolve_kb_spec`)
+rather than a callable, because a ``kb_factory`` closure cannot cross a
+process boundary: ``"empty"``, ``"drone"``, or
+``"world:<articles>:<seed>"`` (the deterministic demo world).  The
+parent resolves the same spec locally for the router's reference copy,
+so routing and the workers agree on the curated base.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict
+from typing import IO, Any, Dict, List, Optional, Sequence
+
+from repro.api.http.client import ClientSession
+from repro.api.service import ServiceConfig
+from repro.core.pipeline import NousConfig
+from repro.errors import ClusterError, ConfigError
+from repro.kb.drone_kb import build_drone_kb
+from repro.kb.knowledge_base import KnowledgeBase
+
+#: Specs a worker (and the router's reference copy) can build by name.
+KB_SPECS = ("empty", "drone", "world:<articles>:<seed>")
+
+
+def resolve_kb_spec(spec: str) -> KnowledgeBase:
+    """Build the curated KB a spec string names.
+
+    Deterministic for a fixed spec: the parent's reference copy and
+    every worker's base are identical without shipping objects over the
+    process boundary.
+    """
+    if spec == "empty":
+        return KnowledgeBase()
+    if spec == "drone":
+        return build_drone_kb()
+    if spec.startswith("world:"):
+        from repro.data.corpus import CorpusConfig, generate_corpus
+        from repro.data.descriptions import generate_descriptions
+
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"world spec must be world:<articles>:<seed>, got {spec!r}"
+            )
+        try:
+            n_articles, seed = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise ConfigError(
+                f"world spec must carry integers, got {spec!r}"
+            ) from None
+        kb = build_drone_kb()
+        # The generator extends the KB with the synthetic world; the
+        # articles themselves are discarded — they enter through the
+        # router, not pre-loaded per shard.
+        generate_corpus(kb, CorpusConfig(n_articles=n_articles, seed=seed))
+        generate_descriptions(kb, seed=seed)
+        return kb
+    raise ConfigError(
+        f"unknown kb spec {spec!r} (expected one of {', '.join(KB_SPECS)})"
+    )
+
+
+class ShardProcess:
+    """One supervised ``nous serve`` worker."""
+
+    def __init__(
+        self,
+        index: int,
+        process: "subprocess.Popen[bytes]",
+        stderr_file: IO[bytes],
+    ) -> None:
+        self.index = index
+        self.process = process
+        self.url = ""
+        self.port = 0
+        self._stderr_file = stderr_file
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return self.process.poll()
+
+    def stderr_tail(self, max_bytes: int = 4096) -> str:
+        """The last ``max_bytes`` of the worker's stderr, for crash
+        reports (best effort; the file may still be open for writing)."""
+        try:
+            self._stderr_file.flush()
+            self._stderr_file.seek(0, os.SEEK_END)
+            size = self._stderr_file.tell()
+            self._stderr_file.seek(max(0, size - max_bytes))
+            return self._stderr_file.read().decode("utf-8", errors="replace")
+        except (OSError, ValueError):
+            return ""
+
+    def describe(self) -> str:
+        state = (
+            "alive"
+            if self.alive
+            else f"exited with code {self.returncode}"
+        )
+        return f"shard {self.index} (pid {self.pid}, {self.url or 'no url'}, {state})"
+
+    def _close_files(self) -> None:
+        for stream in (self.process.stdout, self._stderr_file):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+class ShardProcessManager:
+    """Spawn, health-check and reap one worker subprocess per shard.
+
+    Args:
+        num_shards: Workers to run.
+        kb_spec: Curated-base spec every worker builds
+            (:func:`resolve_kb_spec`).
+        config: Pipeline settings, serialized to every worker.
+        service_config: Queue policy, serialized to every worker
+            (``auto_start`` is forced on — a live server must drain in
+            the background).
+        host: Interface the workers bind.
+        ports: Explicit per-shard ports (default: ephemeral, the
+            workers announce what the OS assigned).
+        startup_timeout: Deadline for announce + first healthy probe,
+            per worker.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        kb_spec: str,
+        config: Optional[NousConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        ports: Optional[Sequence[int]] = None,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if ports is not None and len(ports) != num_shards:
+            raise ConfigError(
+                f"ports must name one port per shard "
+                f"({len(ports)} for {num_shards} shards)"
+            )
+        resolve_kb_spec(kb_spec)  # fail fast on a bad spec
+        self.num_shards = num_shards
+        self.kb_spec = kb_spec
+        self.config = config
+        self.service_config = service_config
+        self.host = host
+        self.ports = list(ports) if ports is not None else [0] * num_shards
+        self.startup_timeout = startup_timeout
+        self.workers: List[ShardProcess] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardProcessManager":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "ShardProcessManager":
+        """Spawn every worker; returns once all are announced and
+        healthy.  Any failure tears down the already-started workers
+        and raises :class:`~repro.errors.ClusterError`."""
+        if self.workers:
+            raise ClusterError("shard processes already started")
+        self._stopped = False
+        atexit.register(self._atexit_stop)
+        try:
+            for index in range(self.num_shards):
+                self.workers.append(self._spawn(index))
+            for worker in self.workers:
+                self._await_ready(worker)
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Terminate every worker (idempotent): SIGTERM, a bounded
+        wait, then SIGKILL for stragglers — no orphaned ``nous serve``
+        may outlive the manager."""
+        if self._stopped:
+            return
+        self._stopped = True
+        atexit.unregister(self._atexit_stop)
+        for worker in self.workers:
+            if worker.alive:
+                worker.process.terminate()
+        deadline = time.monotonic() + 10.0
+        for worker in self.workers:
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                worker.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.process.kill()
+                try:
+                    worker.process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+            worker._close_files()
+
+    def _atexit_stop(self) -> None:  # pragma: no cover - interpreter exit
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def poll(self, index: int) -> Optional[int]:
+        """The worker's exit code, or ``None`` while it runs."""
+        return self.workers[index].returncode
+
+    def dead_shards(self) -> List[int]:
+        """Indices of workers that are no longer running."""
+        return [w.index for w in self.workers if not w.alive]
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def _worker_argv(self, index: int) -> List[str]:
+        argv = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.query.cli",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(self.ports[index]),
+            "--kb",
+            self.kb_spec,
+            "--quiet",
+            "--announce",
+        ]
+        if self.config is not None:
+            argv += ["--config-json", json.dumps(asdict(self.config))]
+        service_overrides = self._service_overrides()
+        if service_overrides:
+            argv += ["--service-json", json.dumps(service_overrides)]
+        return argv
+
+    def _service_overrides(self) -> Dict[str, Any]:
+        if self.service_config is None:
+            return {}
+        overrides = asdict(self.service_config)
+        # A worker must always drain in the background: the parent's
+        # auto_start=False (deterministic local mode) is an in-process
+        # convention that cannot cross the wire — explicit flushes go
+        # through POST /v1/shard/flush instead.
+        overrides.pop("auto_start", None)
+        return overrides
+
+    @staticmethod
+    def _worker_env() -> Dict[str, str]:
+        env = dict(os.environ)
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        # Workers are deterministic by default: an unpinned (or
+        # explicitly "random") worker would draw its own hash seed,
+        # making every run's iteration orders unique.  A parent that
+        # pins PYTHONHASHSEED to a number propagates its value (the CI
+        # shards jobs and the golden driver pin 0); note a parent
+        # running under hash *randomisation* still hashes differently
+        # than its pinned workers — cross-interpreter byte-identity
+        # needs both sides pinned.
+        if env.get("PYTHONHASHSEED", "random") == "random":
+            env["PYTHONHASHSEED"] = "0"
+        return env
+
+    def _spawn(self, index: int) -> ShardProcess:
+        stderr_file = tempfile.TemporaryFile(prefix=f"nous-shard-{index}-")
+        process = subprocess.Popen(
+            self._worker_argv(index),
+            stdout=subprocess.PIPE,
+            stderr=stderr_file,
+            env=self._worker_env(),
+        )
+        return ShardProcess(index, process, stderr_file)
+
+    def _await_ready(self, worker: ShardProcess) -> None:
+        deadline = time.monotonic() + self.startup_timeout
+        announce = self._read_announce(worker, deadline)
+        worker.url = str(announce["url"])
+        worker.port = int(announce["port"])
+        with ClientSession(worker.url, timeout=5.0) as probe:
+            while True:
+                if not worker.alive:
+                    raise ClusterError(
+                        f"{worker.describe()} died before turning healthy: "
+                        f"{worker.stderr_tail()}"
+                    )
+                try:
+                    if probe.healthz().get("ok"):
+                        return
+                except Exception:  # noqa: BLE001 - probe retries below
+                    pass
+                if time.monotonic() >= deadline:
+                    raise ClusterError(
+                        f"{worker.describe()} never answered /v1/healthz "
+                        f"within {self.startup_timeout}s"
+                    )
+                time.sleep(0.05)
+
+    def _read_announce(
+        self, worker: ShardProcess, deadline: float
+    ) -> Dict[str, Any]:
+        """One JSON line from the worker's stdout, under a deadline.
+
+        The blocking ``readline`` runs on a helper thread so a silent
+        worker cannot hang cluster startup; on timeout or early exit
+        the worker's stderr tail rides the error (this is where a port
+        collision's ``Address already in use`` surfaces).
+        """
+        stdout = worker.process.stdout
+        assert stdout is not None
+        result: List[bytes] = []
+
+        def _read() -> None:
+            result.append(stdout.readline())
+
+        reader = threading.Thread(target=_read, daemon=True)
+        reader.start()
+        reader.join(timeout=max(deadline - time.monotonic(), 0.0))
+        line = result[0] if result else b""
+        if reader.is_alive() or not line.strip():
+            detail = worker.stderr_tail()
+            raise ClusterError(
+                f"{worker.describe()} did not announce within "
+                f"{self.startup_timeout}s"
+                + (f": {detail}" if detail else "")
+            )
+        try:
+            announce = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(
+                f"{worker.describe()} announced garbage: {line!r} ({exc})"
+            ) from exc
+        if not isinstance(announce, dict) or "url" not in announce:
+            raise ClusterError(
+                f"{worker.describe()} announced an invalid payload: {announce!r}"
+            )
+        return announce

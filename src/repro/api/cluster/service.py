@@ -42,11 +42,14 @@ from typing import (
     Union,
 )
 
+from repro.api.base import ShardLike, SubscriptionLike
 from repro.api.envelopes import (
     ApiResponse,
     IngestRequest,
     QueryRequest,
 )
+from repro.api.cluster.process import ShardProcessManager, resolve_kb_spec
+from repro.api.cluster.remote import RemoteShardClient
 from repro.api.cluster.router import DocumentRouter
 from repro.api.service import (
     IngestTicket,
@@ -54,7 +57,6 @@ from repro.api.service import (
     ServiceConfig,
     StandingQueryUpdate,
     StreamView,
-    Subscription,
 )
 from repro.api.wire import encode_payload, key_of_row
 from repro.core.pipeline import NousConfig
@@ -163,16 +165,19 @@ class ClusterSubscription:
         sub_id: int,
         query: Query,
         callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+        trending_full_view: bool = False,
     ) -> None:
         self.id = sub_id
         self.query = query
         self.kind = kind_of_query(query)
         self.active = True
+        self.trending_full_view = trending_full_view
         self.last_error: Optional[BaseException] = None
         self._cluster = cluster
         self._callback = callback
         self._lock = threading.Lock()
-        self._shard_subs: List[Optional[Subscription]] = [
+        self._last_version = -1
+        self._shard_subs: List[Optional[SubscriptionLike]] = [
             None for _ in range(cluster.num_shards)
         ]
         self._shard_rows: List[Dict[str, Dict[str, Any]]] = [
@@ -195,6 +200,13 @@ class ClusterSubscription:
         with self._lock:
             return [dict(r) for r in self._merged.values()]
 
+    @property
+    def last_kg_version(self) -> int:
+        """Composite stamp of the last notified merged state (the
+        baseline stamp until the first cluster-level delta)."""
+        with self._lock:
+            return self._last_version
+
     def poll(self) -> List[StandingQueryUpdate]:
         """Drain and return pending merged deltas, oldest first."""
         updates: List[StandingQueryUpdate] = []
@@ -204,7 +216,7 @@ class ClusterSubscription:
         return updates
 
     # ------------------------------------------------------------------
-    def _attach(self, shard: int, subscription: Subscription) -> None:
+    def _attach(self, shard: int, subscription: SubscriptionLike) -> None:
         """Adopt a shard subscription's baseline rows."""
         with self._lock:
             self._shard_subs[shard] = subscription
@@ -217,6 +229,7 @@ class ClusterSubscription:
         with self._lock:
             self._merged = self._merge_rows()
             self._baselining = False
+            self._last_version = self._cluster.kg_version_hint
 
     def _on_shard_update(self, shard: int, update: StandingQueryUpdate) -> None:
         """React to one shard delta: re-read that shard's authoritative
@@ -260,10 +273,12 @@ class ClusterSubscription:
         self._merged = merged
         if not added and not removed:
             return None
+        version = max(self._cluster.kg_version_hint, self._last_version)
+        self._last_version = version
         update = StandingQueryUpdate(
             subscription_id=self.id,
             query_text=self.query.text,
-            kg_version=self._cluster.kg_version,
+            kg_version=version,
             added=tuple(added),
             removed=tuple(removed),
         )
@@ -295,7 +310,11 @@ class ClusterSubscription:
                 min_support = view.min_support
                 for pattern, support in view.supports.items():
                     supports[pattern] = supports.get(pattern, 0) + support
-            for pattern, support in closed_patterns(supports, min_support):
+            if self.trending_full_view:
+                rows_view = sorted(supports.items(), key=lambda kv: kv[1])
+            else:
+                rows_view = list(closed_patterns(supports, min_support))
+            for pattern, support in rows_view:
                 merged[pattern.describe()] = {
                     "pattern": pattern.describe(),
                     "support": support,
@@ -336,19 +355,49 @@ class ClusterSubscription:
 
 
 class ShardedNousService:
-    """Hash-partitioned cluster of ``NousService`` shards, one facade.
+    """Hash-partitioned cluster of NOUS shards, one facade.
+
+    Shards come in two flavours behind the same
+    :class:`~repro.api.base.ShardLike` surface — the router, merges,
+    composite stamps, caching and standing-query fan-out are identical
+    for both:
+
+    - ``shard_mode="local"`` (default): N in-process
+      :class:`~repro.api.service.NousService` instances, one drainer
+      thread each.
+    - ``shard_mode="process"``: N ``nous serve`` worker subprocesses
+      (spawned and supervised by
+      :class:`~repro.api.cluster.process.ShardProcessManager`), spoken
+      to over the ordinary wire envelopes by
+      :class:`~repro.api.cluster.remote.RemoteShardClient` — real
+      parallelism across interpreters, not just drainer threads.
 
     Args:
         kb_factory: Zero-argument callable producing a *fresh* curated
             KB.  Called once per shard plus once for the router's
             read-only reference copy — shards mutate their KBs
-            independently, so they cannot share one instance.
+            independently, so they cannot share one instance.  Local
+            mode only (a closure cannot cross a process boundary).
         num_shards: Number of shards (>= 1).
         config: Pipeline settings, applied to every shard.
         service_config: Queue/cache policy, applied to every shard; its
             cache settings also size the router's merged-result cache.
         path_k: Top-k for the path-search merge (the monolith's answer
             size).
+        shard_mode: ``"local"`` or ``"process"``.
+        kb_spec: Named curated-base spec
+            (:func:`~repro.api.cluster.process.resolve_kb_spec`) —
+            required in process mode (workers rebuild it themselves),
+            accepted in local mode as a ``kb_factory`` shorthand.
+        router_kb: A pre-built, *pristine* copy of what ``kb_spec``
+            resolves to, used as the router's read-only reference —
+            lets a caller that already built the world (the demo CLI)
+            skip one redundant resolution.  The caller guarantees
+            equivalence with the spec and never mutates it.
+        worker_ports: Explicit worker ports (process mode; default
+            ephemeral).
+        worker_startup_timeout: Per-worker announce+health deadline
+            (process mode).
     """
 
     def __init__(
@@ -358,23 +407,67 @@ class ShardedNousService:
         config: Optional[NousConfig] = None,
         service_config: Optional[ServiceConfig] = None,
         path_k: int = 3,
+        shard_mode: str = "local",
+        kb_spec: Optional[str] = None,
+        router_kb: Optional[KnowledgeBase] = None,
+        worker_ports: Optional[Sequence[int]] = None,
+        worker_startup_timeout: float = 60.0,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if shard_mode not in ("local", "process"):
+            raise ConfigError(
+                f"shard_mode must be 'local' or 'process', got {shard_mode!r}"
+            )
         self.path_k = path_k
-        factory = kb_factory if kb_factory is not None else build_drone_kb
+        self.shard_mode = shard_mode
+        self.kb_spec = kb_spec
         self.service_config = service_config or ServiceConfig()
         self.service_config.validate()
-        self._reference_kb = factory()
-        self.router = DocumentRouter(self._reference_kb, num_shards)
-        self.shards: List[NousService] = [
-            NousService(
-                kb=factory(),
-                config=config,
-                service_config=self.service_config,
+        self._manager: Optional[ShardProcessManager] = None
+        self.shards: List[ShardLike]
+        if shard_mode == "process":
+            if kb_factory is not None:
+                raise ConfigError(
+                    "process shards take kb_spec, not kb_factory (a "
+                    "closure cannot cross the process boundary)"
+                )
+            if kb_spec is None:
+                raise ConfigError("process shards require a kb_spec")
+            self._reference_kb = (
+                router_kb if router_kb is not None else resolve_kb_spec(kb_spec)
             )
-            for _ in range(num_shards)
-        ]
+            self._manager = ShardProcessManager(
+                num_shards,
+                kb_spec,
+                config=config,
+                service_config=service_config,
+                ports=worker_ports,
+                startup_timeout=worker_startup_timeout,
+            )
+            self._manager.start()
+            self.shards = [
+                RemoteShardClient(worker) for worker in self._manager.workers
+            ]
+        else:
+            factory: Callable[[], KnowledgeBase]
+            if kb_factory is not None:
+                factory = kb_factory
+            elif kb_spec is not None:
+                spec = kb_spec
+                factory = lambda: resolve_kb_spec(spec)  # noqa: E731
+            else:
+                factory = build_drone_kb
+            self._reference_kb = factory()
+            self.shards = [
+                NousService(
+                    kb=factory(),
+                    config=config,
+                    service_config=self.service_config,
+                )
+                for _ in range(num_shards)
+            ]
+        self.router = DocumentRouter(self._reference_kb, num_shards)
         self._executor = ThreadPoolExecutor(
             max_workers=num_shards, thread_name_prefix="nous-scatter"
         )
@@ -411,17 +504,30 @@ class ShardedNousService:
         self.close()
 
     def close(self) -> None:
-        """Drain and stop every shard, then the scatter pool."""
+        """Drain and stop every shard (terminating worker subprocesses
+        in process mode), then the scatter pool."""
         if self._closed:
             return
         self._closed = True
         for shard in self.shards:
-            shard.close()
+            try:
+                shard.close()
+            except Exception:  # noqa: BLE001 - a dead shard must not
+                pass           # block the rest of the teardown
+        if self._manager is not None:
+            self._manager.stop()
         self._executor.shutdown(wait=True)
 
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    def dead_shards(self) -> List[int]:
+        """Indices of shards that are no longer alive (a crashed worker
+        in process mode; always empty for local shards)."""
+        return [
+            index for index, shard in enumerate(self.shards) if not shard.alive
+        ]
 
     # ------------------------------------------------------------------
     # versions
@@ -443,11 +549,21 @@ class ShardedNousService:
         """
         return sum(self.shard_versions)
 
+    @property
+    def kg_version_hint(self) -> int:
+        """Cheap scalar stamp for per-delta stamping: sums each shard's
+        last *observed* version instead of performing a fresh read per
+        shard (in process mode a fresh read is one HTTP round trip per
+        shard — too expensive inside a subscription's merge lock).
+        Monotonic for the same reason as :attr:`kg_version`; may lag it
+        briefly, which the per-subscription stamp floor absorbs."""
+        return sum(shard.kg_version_hint for shard in self.shards)
+
     # ------------------------------------------------------------------
     # scatter plumbing
     # ------------------------------------------------------------------
     def _gather(
-        self, call: Callable[[NousService], Any]
+        self, call: Callable[[ShardLike], Any]
     ) -> List[Tuple[Any, Optional[BaseException]]]:
         """Run ``call`` against every shard concurrently; returns one
         ``(result, error)`` pair per shard, in shard order."""
@@ -544,7 +660,12 @@ class ShardedNousService:
         ]
         accepted = 0
         for future in futures:
-            response = future.result()
+            try:
+                response = future.result()
+            except Exception as exc:  # noqa: BLE001 - envelope boundary
+                # A shard failing as a unit (dead worker) surfaces the
+                # same way a shard-level failure envelope does.
+                return ApiResponse.failure(exc, kind="ingest")
             if not response.ok:
                 return response
             assert response.payload is not None
@@ -779,6 +900,11 @@ class ShardedNousService:
         edge_counts = [0] * n
         cut = 0
         for shard_index, shard in enumerate(self.shards):
+            if not shard.alive:
+                # A crashed worker has no placement to report; the
+                # survivors' accounting stays available (its index is
+                # called out by ``dead_shards`` in ``cluster_info``).
+                continue
             for subject, _predicate, object_ in shard.extracted_fact_keys():
                 edge_counts[shard_index] += 1
                 src_home = vertex_home.setdefault(
@@ -800,15 +926,27 @@ class ShardedNousService:
         """Cluster block of the ``/v1/stats`` payload."""
         with self._route_lock:
             routed = list(self.documents_routed)
-        return {
+        ingested: List[Optional[int]] = []
+        for shard in self.shards:
+            try:
+                ingested.append(shard.documents_ingested)
+            except Exception:  # noqa: BLE001 - dead shard: report None
+                ingested.append(None)
+        info = {
             "shards": self.num_shards,
+            "shard_mode": self.shard_mode,
             "shard_versions": list(self.shard_versions),
             "documents_routed": routed,
-            "documents_ingested": [
-                shard.documents_ingested for shard in self.shards
-            ],
+            "documents_ingested": ingested,
+            "dead_shards": self.dead_shards(),
             "partition": self.partition_stats().to_dict(),
         }
+        if self._manager is not None:
+            info["workers"] = [
+                {"pid": worker.pid, "url": worker.url, "alive": worker.alive}
+                for worker in self._manager.workers
+            ]
+        return info
 
     # ------------------------------------------------------------------
     # merged-result cache
@@ -865,20 +1003,34 @@ class ShardedNousService:
         self,
         query_text: str,
         callback: Optional[Callable[[StandingQueryUpdate], None]] = None,
+        trending_full_view: bool = False,
     ) -> ClusterSubscription:
         """Register a continuous query on every shard.
 
         The merged result set at registration time is the baseline —
         shard deltas arriving mid-fan-out fold into it rather than
         producing spurious first notifications.
+
+        Args:
+            trending_full_view: Expose merged trending rows over the
+                summed *full* support table instead of its
+                closed-frequent slice (the monolith's
+                ``trending_full_view`` contract, cluster edition).
+                Shard-side subscriptions always use the full view for
+                trending regardless — that is the wake-signal the
+                merge needs.
         """
         query = parse_query(query_text)
         with self._subs_lock:
             subscription = ClusterSubscription(
-                self, self._next_subscription_id, query, callback
+                self,
+                self._next_subscription_id,
+                query,
+                callback,
+                trending_full_view=trending_full_view,
             )
             self._next_subscription_id += 1
-        attached: List[Tuple[NousService, Subscription]] = []
+        attached: List[Tuple[ShardLike, SubscriptionLike]] = []
         try:
             for shard_index, shard in enumerate(self.shards):
                 shard_sub = shard.subscribe(

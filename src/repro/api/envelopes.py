@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Type
 
+import repro.errors as errors_module
 from repro.errors import (
+    ClusterError,
     ConfigError,
     GraphError,
     KBError,
@@ -42,6 +44,7 @@ _ERROR_TAXONOMY: tuple = (
     (PatternError, "mining.pattern"),
     (MiningError, "mining"),
     (QAError, "qa"),
+    (ClusterError, "cluster"),
     (ConfigError, "config"),
     (GraphError, "graph"),
     (KBError, "kb"),
@@ -122,6 +125,34 @@ def error_from_exception(exc: BaseException) -> ApiError:
     return ApiError(
         code="internal", message=message, exception=type(exc).__name__
     )
+
+
+def exception_from_error(error: ApiError) -> ReproError:
+    """Reconstruct an exception from an :class:`ApiError` received over
+    the wire (the inverse a remote-shard client needs: re-raising a
+    worker's error locally must round-trip back into the *same* code,
+    message and exception name when it reaches the next envelope
+    boundary).
+
+    The originating class is looked up by its recorded name in
+    :mod:`repro.errors`; unknown names fall back to the taxonomy class
+    for the code, then to :class:`~repro.errors.ReproError`.  The
+    instance is built via ``__new__`` because several subclasses take
+    structured constructor arguments that did not travel on the wire.
+    """
+    candidate = getattr(errors_module, error.exception, None)
+    cls: Type[ReproError] = ReproError
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        cls = candidate
+    else:
+        for exc_type, code in _ERROR_TAXONOMY:
+            if code == error.code:
+                cls = exc_type
+                break
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, error.message)
+    assert isinstance(exc, ReproError)
+    return exc
 
 
 @dataclass(frozen=True)

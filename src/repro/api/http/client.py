@@ -133,6 +133,20 @@ class ClientSession:
             )
         return status, data
 
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One raw JSON round trip — ``(status, body)``.
+
+        Public for callers that speak endpoints beyond the standard
+        surface (the cluster's remote-shard client uses it for the
+        ``/v1/shard/*`` introspection routes).
+        """
+        return self._request(method, path, payload)
+
     def close(self) -> None:
         with self._lock:
             if self._conn is not None:
@@ -227,6 +241,8 @@ class ClientSession:
         max_updates: Optional[int] = None,
         include_heartbeats: bool = False,
         timeout: Optional[float] = None,
+        snapshot: bool = False,
+        trending_full_view: bool = False,
     ) -> "SubscriptionStream":
         """``GET /v1/subscribe?q=...``: a live NDJSON delta stream.
 
@@ -235,6 +251,15 @@ class ClientSession:
         ``heartbeat`` frames are filtered unless requested).  Closing
         the stream disconnects, which detaches the server-side standing
         query.
+
+        Args:
+            snapshot: Ask the hello frame to carry the baseline rows
+                and their version (``?snapshot=1``) — what a consumer
+                folding deltas into an authoritative row map needs.
+            trending_full_view: Register the server-side trending
+                subscription over the miner's full support table
+                (``?full=1``; see
+                :meth:`repro.api.service.NousService.subscribe`).
 
         Raises:
             ReproError: when the server rejects the subscription (e.g.
@@ -247,6 +272,10 @@ class ClientSession:
             params["max_seconds"] = str(max_seconds)
         if max_updates is not None:
             params["max_updates"] = str(max_updates)
+        if snapshot:
+            params["snapshot"] = "1"
+        if trending_full_view:
+            params["full"] = "1"
         path = "/v1/subscribe?" + urlencode(params, quote_via=quote)
         return SubscriptionStream(
             self._host, self._port, path, timeout, include_heartbeats

@@ -40,6 +40,7 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "query": 422,         # parsed but unanswerable (unknown entity ...)
     "config": 400,        # bad request values (unparseable date ...)
     "qa": 422,
+    "cluster": 502,       # a shard worker died or stopped answering
     "mining.pattern": 422,
     "mining": 500,
     "graph": 500,
@@ -93,16 +94,29 @@ def encode_frame(frame: Mapping[str, Any]) -> bytes:
 
 
 def hello_frame(
-    subscription: SubscriptionLike, kg_version: int
+    subscription: SubscriptionLike, kg_version: int, snapshot: bool = False
 ) -> Dict[str, Any]:
-    """First frame of every subscribe stream."""
-    return {
+    """First frame of every subscribe stream.
+
+    With ``snapshot`` (the ``?snapshot=1`` subscribe parameter) the
+    frame additionally carries the baseline itself: the subscription's
+    current ``rows`` and the ``baseline_version`` they were evaluated
+    at.  A remote delta consumer — the cluster's
+    :class:`~repro.api.cluster.RemoteShardClient` — needs both to fold
+    subsequent added/removed frames into an authoritative row map
+    without a second query racing the stream.
+    """
+    frame = {
         "event": "subscribed",
         "subscription_id": subscription.id,
         "query_text": subscription.query_text,
         "kg_version": kg_version,
         "baseline_rows": len(subscription.current_rows),
     }
+    if snapshot:
+        frame["rows"] = list(subscription.current_rows)
+        frame["baseline_version"] = subscription.last_kg_version
+    return frame
 
 
 def update_frame(update: StandingQueryUpdate) -> Dict[str, Any]:

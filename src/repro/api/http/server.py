@@ -56,6 +56,7 @@ from repro.api.http.protocol import (
     update_frame,
 )
 from repro.api.service import IngestTicket
+from repro.api.wire import pattern_to_wire
 from repro.errors import ConfigError, ReproError
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
@@ -82,7 +83,10 @@ class GatewayConfig:
             oldest are dropped beyond this.
         idle_timeout: Socket timeout on keep-alive connections — a
             client that vanishes without FIN/RST releases its handler
-            thread after this long instead of pinning it forever.
+            thread after this long instead of pinning it forever.  Must
+            exceed ``heartbeat_interval``: long-lived shard connections
+            (the cluster's remote-shard streams) rely on each heartbeat
+            write landing before the idle deadline ever fires.
         log_requests: Emit one stderr line per request (the default is
             silent, which test suites appreciate).
     """
@@ -108,6 +112,16 @@ class GatewayConfig:
             raise ConfigError("max_tickets must be >= 1")
         if self.idle_timeout <= 0:
             raise ConfigError("idle_timeout must be > 0")
+        if self.heartbeat_interval >= self.idle_timeout:
+            # A stream that only heartbeats every `heartbeat_interval`
+            # seconds would trip the socket's idle deadline in between:
+            # every quiet long-lived connection (remote shards, slow
+            # subscribers) would be torn down by its own keepalive
+            # schedule.
+            raise ConfigError(
+                f"heartbeat_interval ({self.heartbeat_interval}) must beat "
+                f"idle_timeout ({self.idle_timeout})"
+            )
 
 
 class _GatewayHTTPServer(ThreadingHTTPServer):
@@ -214,6 +228,12 @@ class NousGateway:
             ticket_id = self._next_ticket_id
             self._next_ticket_id += 1
             self._tickets[ticket_id] = ticket
+            # Oldest-first eviction.  Deliberately no done()-preference
+            # scan: for a process-shard cluster done() is a blocking
+            # HTTP poll (and can raise for a dead worker), which must
+            # never run under the registry lock.  A single batch can no
+            # longer invalidate itself — /v1/shard/submit refuses
+            # batches larger than max_tickets up front.
             while len(self._tickets) > self.config.max_tickets:
                 self._tickets.popitem(last=False)
             return ticket_id
@@ -392,6 +412,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._handle_subscribe(params)
         elif path.startswith("/v1/ingest/"):
             self._handle_ticket_poll(path[len("/v1/ingest/"):])
+        elif path.startswith("/v1/shard/"):
+            self._handle_shard("GET", path[len("/v1/shard/"):])
         elif path in ("/v1/ingest", "/v1/query"):
             self._send_gateway_error(
                 "http.method_not_allowed", f"{path} requires POST"
@@ -411,6 +433,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._handle_ingest(params)
         elif path == "/v1/query":
             self._handle_query()
+        elif path.startswith("/v1/shard/"):
+            self._handle_shard("POST", path[len("/v1/shard/"):])
         elif path in ("/v1/stats", "/v1/healthz", "/v1/subscribe"):
             # extra_close: the request body is never read on these
             # paths; leaving it in the socket would desynchronise the
@@ -504,6 +528,210 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
 
     # ------------------------------------------------------------------
+    # shard introspection/control routes (consumed by RemoteShardClient)
+    # ------------------------------------------------------------------
+    _SHARD_ROUTES = {
+        "stream_view": "GET",
+        "extracted_facts": "GET",
+        "submit": "POST",
+        "flush": "POST",
+        "ingest_facts": "POST",
+        "refresh": "POST",
+    }
+
+    def _handle_shard(self, method: str, route: str) -> None:
+        """``/v1/shard/<route>``: the service surface a scatter-gather
+        router needs beyond the public envelopes (full support tables,
+        atomic batch submission, placement accounting, explicit flush /
+        refresh).  Served whenever the wrapped service exposes the hook
+        — a monolithic ``NousService`` worker does; routes a fronted
+        service lacks answer 404."""
+        expected = self._SHARD_ROUTES.get(route)
+        if expected is None:
+            self._send_gateway_error(
+                "http.not_found", f"no shard route {route!r}",
+                extra_close=(method == "POST"),
+            )
+            return
+        if method != expected:
+            self._send_gateway_error(
+                "http.method_not_allowed",
+                f"/v1/shard/{route} requires {expected}",
+                extra_close=(method == "POST"),
+            )
+            return
+        handler = getattr(self, f"_shard_{route}")
+        if method == "GET":
+            handler()
+            return
+        data = self._read_json_body()
+        if data is None:
+            return
+        handler(data)
+
+    def _shard_hook(self, name: str) -> Optional[Any]:
+        hook = getattr(self.gateway.service, name, None)
+        if hook is None:
+            self._send_gateway_error(
+                "http.not_found",
+                f"the served service does not expose {name!r}",
+            )
+        return hook
+
+    def _shard_stream_view(self) -> None:
+        hook = self._shard_hook("stream_view")
+        if hook is None:
+            return
+        view = hook()
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "supports": [
+                    [pattern_to_wire(pattern), support]
+                    for pattern, support in view.supports.items()
+                ],
+                "min_support": view.min_support,
+                "window_edges": view.window_edges,
+                "last_timestamp": view.last_timestamp,
+                "kg_version": view.kg_version,
+            },
+        )
+
+    def _shard_extracted_facts(self) -> None:
+        hook = self._shard_hook("extracted_fact_keys")
+        if hook is None:
+            return
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "facts": [list(key) for key in hook()],
+                "kg_version": self.gateway.service.kg_version,
+            },
+        )
+
+    def _shard_submit(self, data: Dict[str, Any]) -> None:
+        """Atomic batch submission: the whole document list lands in the
+        queue before the drainer carves its next batch — the wire form
+        of ``submit_many``, which single-document POSTs cannot emulate
+        (the drainer could slice a half-arrived batch, changing
+        collective-linking co-location)."""
+        documents = data.get("documents")
+        if not isinstance(documents, list):
+            self._send_gateway_error(
+                "http.bad_request",
+                'body must be {"documents": [IngestRequest wire dicts]}',
+            )
+            return
+        try:
+            requests = [IngestRequest.from_dict(doc) for doc in documents]
+        except Exception:  # noqa: BLE001 - malformed wire dict
+            self._send_gateway_error(
+                "http.bad_request",
+                "every document must be an IngestRequest wire dict",
+            )
+            return
+        if len(requests) > self.gateway.config.max_tickets:
+            # More tickets than the registry can hold would silently
+            # invalidate the batch's own earliest tickets; refuse
+            # loudly so the caller splits the batch (or serves with a
+            # larger max_tickets).
+            self._send_gateway_error(
+                "http.payload_too_large",
+                f"batch of {len(requests)} documents exceeds the ticket "
+                f"registry capacity of {self.gateway.config.max_tickets}; "
+                "split the batch or raise GatewayConfig.max_tickets",
+            )
+            return
+        service = self.gateway.service
+        try:
+            tickets = service.submit_many(requests)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="ingest"))
+            return
+        if not service.draining_in_background:
+            service.flush()
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "tickets": [
+                    {
+                        "ticket_id": self.gateway._register_ticket(ticket),
+                        "doc_id": ticket.doc_id,
+                    }
+                    for ticket in tickets
+                ],
+            },
+        )
+
+    def _shard_flush(self, data: Dict[str, Any]) -> None:
+        timeout = data.get("timeout")
+        try:
+            self.gateway.service.flush(
+                timeout=None if timeout is None else float(timeout)
+            )
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="flush"))
+            return
+        self._send_json(
+            200, {"ok": True, "kg_version": self.gateway.service.kg_version}
+        )
+
+    def _shard_ingest_facts(self, data: Dict[str, Any]) -> None:
+        hook = self._shard_hook("ingest_facts")
+        if hook is None:
+            return
+        facts = data.get("facts")
+        date = data.get("date")
+        if not isinstance(facts, list):
+            self._send_gateway_error(
+                "http.bad_request",
+                'body must be {"facts": [[s, p, o], ...], ...}',
+            )
+            return
+        try:
+            triples = [(str(s), str(p), str(o)) for s, p, o in facts]
+            confidence = float(data.get("confidence", 0.9))
+        except (TypeError, ValueError):
+            # A fact that is not an (s, p, o) triple, or a non-numeric
+            # confidence: a malformed body must answer 400, not crash
+            # the handler thread.
+            self._send_gateway_error(
+                "http.bad_request",
+                'body must be {"facts": [[s, p, o], ...], "date": ..., '
+                '"source": ..., "confidence": <number>}',
+            )
+            return
+        self._send_envelope(
+            hook(
+                triples,
+                date=None if date is None else str(date),
+                source=str(data.get("source", "structured")),
+                confidence=confidence,
+            )
+        )
+
+    def _shard_refresh(self, data: Dict[str, Any]) -> None:
+        hook = self._shard_hook("refresh_subscriptions")
+        if hook is None:
+            return
+        try:
+            updates = hook()
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="refresh"))
+            return
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "updates": [update.to_dict() for update in updates],
+                "kg_version": self.gateway.service.kg_version,
+            },
+        )
+
+    # ------------------------------------------------------------------
     # the subscribe stream
     # ------------------------------------------------------------------
     def _handle_subscribe(self, params: Dict[str, List[str]]) -> None:
@@ -534,18 +762,23 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return
         heartbeat = max(heartbeat, 0.01)
         max_seconds = max(max_seconds, 0.0)
+        snapshot = _first(params, "snapshot") in _TRUTHY
+        full_view = _first(params, "full") in _TRUTHY
         service = self.gateway.service
         wake = threading.Event()
         try:
             subscription = service.subscribe(
-                query_text, callback=lambda _update: wake.set()
+                query_text,
+                callback=lambda _update: wake.set(),
+                trending_full_view=full_view,
             )
         except Exception as exc:  # noqa: BLE001 - envelope boundary
             self._send_envelope(ApiResponse.failure(exc))
             return
         try:
             self._stream_subscription(
-                subscription, wake, heartbeat, max_seconds, max_updates
+                subscription, wake, heartbeat, max_seconds, max_updates,
+                snapshot=snapshot,
             )
         finally:
             # Whatever ended the stream — client disconnect, limits,
@@ -561,6 +794,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         heartbeat: float,
         max_seconds: float,
         max_updates: int,
+        snapshot: bool = False,
     ) -> None:
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
@@ -570,8 +804,20 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         service = self.gateway.service
         started = time.monotonic()
         deadline = None if max_seconds <= 0 else started + max_seconds
+        # Per-stream monotonic stamp floor.  Update stamps are read when
+        # a delta is *created*, heartbeat stamps when a frame is *sent*;
+        # a delta created concurrently with a heartbeat read can carry
+        # the older stamp yet hit the wire later.  The window is
+        # microscopic for an in-process version read but real for a
+        # cluster whose composite stamp is assembled from per-shard
+        # reads (milliseconds over the wire in process mode), so the
+        # documented per-stream monotonicity is enforced here, by
+        # construction, with a floor clamp.
+        stamp_floor = service.kg_version
         if not self._send_chunk(
-            encode_frame(hello_frame(subscription, service.kg_version))
+            encode_frame(
+                hello_frame(subscription, stamp_floor, snapshot=snapshot)
+            )
         ):
             return
         last_sent = time.monotonic()
@@ -589,7 +835,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             wake.clear()
             updates = subscription.poll()
             for update in updates:
-                if not self._send_chunk(encode_frame(update_frame(update))):
+                frame = update_frame(update)
+                stamp_floor = max(stamp_floor, update.kg_version)
+                frame["kg_version"] = stamp_floor
+                if not self._send_chunk(encode_frame(frame)):
                     return  # client went away mid-stream: detach
                 sent_updates += 1
                 if max_updates and sent_updates >= max_updates:
@@ -600,8 +849,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 if updates:
                     last_sent = now
                 elif now - last_sent >= heartbeat:
+                    stamp_floor = max(stamp_floor, service.kg_version)
                     frame = heartbeat_frame(
-                        service.kg_version, service.pending_count
+                        stamp_floor, service.pending_count
                     )
                     if not self._send_chunk(encode_frame(frame)):
                         return  # dead client detected by the keepalive

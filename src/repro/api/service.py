@@ -190,6 +190,12 @@ class Subscription:
         """The rows of the most recent evaluation."""
         return [dict(r) for r in self._rows.values()]
 
+    @property
+    def last_kg_version(self) -> int:
+        """KG version stamp the current rows were evaluated at (the
+        baseline version until the first delta)."""
+        return self._kg_version
+
     def poll(self) -> List[StandingQueryUpdate]:
         """Drain and return pending delta notifications, oldest first."""
         updates: List[StandingQueryUpdate] = []
@@ -457,6 +463,13 @@ class NousService:
         return self.nous.dynamic.version
 
     @property
+    def kg_version_hint(self) -> int:
+        """Cheapest available version stamp (exact for an in-process
+        shard; a remote shard returns its last-read health value so
+        per-delta stamping never blocks on a wire round trip)."""
+        return self.nous.dynamic.version
+
+    @property
     def documents_ingested(self) -> int:
         """Documents fully processed by the pipeline so far."""
         return self.nous.documents_ingested
@@ -466,6 +479,12 @@ class NousService:
         """True when a background drainer thread owns the queue (adapters
         without one — ``auto_start=False`` — must flush explicitly)."""
         return self._drainer is not None
+
+    @property
+    def alive(self) -> bool:
+        """An in-process shard is alive for as long as it exists (the
+        process-mode counterpart reports its worker's liveness)."""
+        return True
 
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted document has been ingested.

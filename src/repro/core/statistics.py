@@ -54,13 +54,17 @@ class GraphStatistics:
             bar = "#" * int(round(30 * count / peak))
             lines.append(f"  [{i/10:.1f}-{(i+1)/10:.1f}) {count:6d} {bar}")
         lines.append("top predicates:")
+        # Ties break by name, not dict insertion order: the rendering
+        # must be identical whether the statistics object was computed
+        # in-process or decoded from a wire payload whose JSON transport
+        # re-ordered the tables.
         for predicate, count in sorted(
-            self.facts_per_predicate.items(), key=lambda kv: -kv[1]
+            self.facts_per_predicate.items(), key=lambda kv: (-kv[1], kv[0])
         )[:10]:
             lines.append(f"  {predicate:24s} {count}")
         lines.append("sources:")
         for source, count in sorted(
-            self.facts_per_source.items(), key=lambda kv: -kv[1]
+            self.facts_per_source.items(), key=lambda kv: (-kv[1], kv[0])
         ):
             lines.append(f"  {source:24s} {count}")
         if self.central_entities:

@@ -95,3 +95,10 @@ class QueryParseError(QueryError):
 
 class ConfigError(ReproError):
     """Invalid configuration value supplied to a component."""
+
+
+class ClusterError(ReproError):
+    """A shard of a sharded/process cluster failed as a *unit*: a worker
+    subprocess died, never became healthy, or stopped answering its
+    gateway — as opposed to an ordinary query/ingest error a healthy
+    shard returned."""

@@ -26,6 +26,8 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import os
+import signal
 import sys
 import time
 from typing import List, Optional, Protocol, Sequence, Tuple
@@ -63,6 +65,7 @@ def build_demo_service(
     window_size: int = 400,
     auto_start: bool = False,
     shards: int = 1,
+    shard_mode: str = "local",
 ) -> ServiceLike:
     """Construct a service and ingest a synthetic news stream through
     its micro-batching queue.
@@ -72,13 +75,30 @@ def build_demo_service(
     so live HTTP ingests keep micro-batching in the background.
     ``shards > 1`` builds a :class:`ShardedNousService` instead of a
     monolith — same envelopes, hash-partitioned ingestion and
-    scatter-gather querying (see docs/SHARDING.md).
+    scatter-gather querying (see docs/SHARDING.md).  With
+    ``shard_mode="process"`` each shard is a supervised ``nous serve``
+    worker subprocess (real multi-core parallelism); the workers
+    rebuild the deterministic demo world from its spec instead of
+    receiving a copy.
     """
     kb, articles = _demo_world(n_articles, seed)
     config = NousConfig(window_size=window_size, seed=seed)
     service_config = ServiceConfig(auto_start=auto_start)
     service: ServiceLike
-    if shards > 1:
+    if shards > 1 and shard_mode == "process":
+        # `kb` is exactly what the spec resolves to and stays pristine
+        # (articles enter through the router below), so it serves as
+        # the router reference instead of resolving the world a second
+        # time in this process.
+        service = ShardedNousService(
+            num_shards=shards,
+            config=config,
+            service_config=service_config,
+            shard_mode="process",
+            kb_spec=f"world:{n_articles}:{seed}",
+            router_kb=kb,
+        )
+    elif shards > 1:
         # One deep copy per shard (plus the router's reference) instead
         # of regenerating the deterministic world N+1 times; `kb` is
         # pristine until submit_many below, so every copy is identical.
@@ -95,6 +115,32 @@ def build_demo_service(
     service.submit_many(articles)
     service.flush()
     return service
+
+
+def build_worker_service(
+    kb_spec: str,
+    config_json: Optional[str] = None,
+    service_json: Optional[str] = None,
+) -> NousService:
+    """Construct a bare shard-worker service: the named curated base,
+    no pre-ingested corpus, background drainer on (a live server must
+    drain without explicit flushes — parents flush over
+    ``POST /v1/shard/flush``)."""
+    from repro.api.cluster.process import resolve_kb_spec
+
+    config = (
+        NousConfig(**json.loads(config_json))
+        if config_json
+        else NousConfig()
+    )
+    overrides = json.loads(service_json) if service_json else {}
+    overrides["auto_start"] = True
+    service_config = ServiceConfig(**overrides)
+    return NousService(
+        kb=resolve_kb_spec(kb_spec),
+        config=config,
+        service_config=service_config,
+    )
 
 
 class _QueryTarget(Protocol):
@@ -199,6 +245,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "see docs/SHARDING.md)",
     )
     serve.add_argument(
+        "--shard-mode", choices=("local", "process"), default="local",
+        help="with --shards N: run shards in-process ('local') or as "
+        "one supervised `nous serve` worker subprocess each "
+        "('process'; see docs/SHARDING.md)",
+    )
+    serve.add_argument(
+        "--kb", default="demo", metavar="SPEC",
+        help="what to serve: 'demo' (default: demo world + synthetic "
+        "corpus), or a bare curated base with no corpus — 'empty', "
+        "'drone', 'world:<articles>:<seed>' (shard-worker mode)",
+    )
+    serve.add_argument(
+        "--config-json", default=None, metavar="JSON",
+        help="NousConfig overrides for --kb worker mode "
+        '(e.g. \'{"window_size": 200, "seed": 7}\')',
+    )
+    serve.add_argument(
+        "--service-json", default=None, metavar="JSON",
+        help="ServiceConfig overrides for --kb worker mode "
+        '(e.g. \'{"max_batch": 1}\'; auto_start is forced on)',
+    )
+    serve.add_argument(
+        "--announce", action="store_true",
+        help="print one JSON line to stdout once the gateway is bound "
+        "(machine-readable startup handshake for supervisors)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="do not log requests to stderr"
     )
 
@@ -230,10 +303,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         with ClientSession(args.url) as session:
             return _run_queries(session, args.text, as_json=args.json)
 
+    if args.command == "serve" and args.kb != "demo":
+        # Shard-worker mode: a bare service over a named curated base,
+        # no demo corpus (supervisors ingest through the gateway).
+        # Worker mode serves exactly one monolith, so cluster/demo
+        # flags must not be silently swallowed.
+        if args.shards != 1 or args.shard_mode != "local":
+            parser.error(
+                "--kb worker mode serves a single monolithic service; "
+                "--shards/--shard-mode only apply to --kb demo"
+            )
+        return _serve(
+            build_worker_service(
+                args.kb, args.config_json, args.service_json
+            ),
+            args,
+        )
+
     shards = getattr(args, "shards", 1)
+    shard_mode = getattr(args, "shard_mode", "local")
     print(
         f"building demo knowledge graph ({args.articles} articles"
-        + (f", {shards} shards" if shards > 1 else "")
+        + (
+            f", {shards} {shard_mode} shards" if shards > 1 else ""
+        )
         + ")...",
         file=sys.stderr,
     )
@@ -242,6 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         auto_start=args.command == "serve",
         shards=shards,
+        shard_mode=shard_mode,
     )
 
     if args.command == "demo":
@@ -293,6 +387,12 @@ def _remote_ingest(args: argparse.Namespace) -> int:
 
 
 def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
+    # SIGTERM must unwind like Ctrl-C, not hard-kill: the context
+    # managers below own real resources (a process-shard service owns
+    # worker subprocesses), and the default SIGTERM action would orphan
+    # them.  Supervisors (including ShardProcessManager itself) stop
+    # servers with SIGTERM.
+    signal.signal(signal.SIGTERM, lambda _signum, _frame: sys.exit(0))
     gateway = NousGateway(
         service,
         GatewayConfig(
@@ -300,6 +400,21 @@ def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
         ),
     )
     with service, gateway:
+        if getattr(args, "announce", False):
+            # One machine-readable line on stdout: the startup
+            # handshake ShardProcessManager waits for (ephemeral ports
+            # are only knowable after bind).
+            print(
+                json.dumps(
+                    {
+                        "event": "serving",
+                        "url": gateway.url,
+                        "port": gateway.port,
+                        "pid": os.getpid(),
+                    }
+                ),
+                flush=True,
+            )
         print(f"serving on {gateway.url} (Ctrl-C to stop)", file=sys.stderr)
         try:
             while True:

@@ -27,7 +27,6 @@ from repro import (
     NousConfig,
     ServiceConfig,
     ShardedNousService,
-    build_drone_kb,
 )
 from repro.api.http import ClientSession, GatewayConfig, NousGateway
 from repro.api.wire import key_of_row
@@ -106,16 +105,21 @@ class _Subscriber(threading.Thread):
         return versions[-1] if versions else -1
 
 
-@pytest.fixture(scope="module")
-def stressed():
-    """Run the whole stress scenario once; tests assert over its log."""
+@pytest.fixture(scope="module", params=["local", "process"])
+def stressed(request):
+    """Run the whole stress scenario once per shard mode; tests assert
+    over its log.  The process run pins the same distributed-correctness
+    claims across real process boundaries: deltas hop worker NDJSON
+    stream -> cluster merge -> gateway NDJSON stream and must still
+    replay exactly."""
     cluster = ShardedNousService(
-        kb_factory=build_drone_kb,
         num_shards=N_SHARDS,
         config=NousConfig(
             window_size=60, min_support=2, lda_iterations=8, seed=5
         ),
         service_config=ServiceConfig(max_batch=8, max_delay=0.02),
+        shard_mode=request.param,
+        kb_spec="drone",
     )
     gateway = NousGateway(cluster, GatewayConfig(port=0))
     gateway.start()

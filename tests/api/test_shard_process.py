@@ -1,0 +1,334 @@
+"""Subprocess-shard lifecycle: supervision, crash surfacing, cleanup.
+
+The process-shard cluster owns real child processes, so its failure
+modes are a superset of the in-process cluster's.  Pinned here:
+
+- **Crash mid-flight** — killing a worker turns subsequent operations
+  against it into a *structured* ``ClusterError`` (``cluster`` taxonomy
+  code on the envelope) naming the shard and its exit, while the router
+  keeps answering what it can: path queries merge the surviving shards,
+  ``cluster_info``/``dead_shards`` report the casualty, and advisory
+  reads (composite stamp) degrade to the last healthy value instead of
+  exploding health endpoints.
+- **Startup paths** — a worker that cannot bind its port (collision) or
+  never announces fails ``start()`` with a structured error carrying
+  the worker's stderr, and the half-started siblings are reaped.
+- **No orphans** — after ``close()``/``stop()`` (and the startup
+  failure paths) every spawned ``nous serve`` process is dead and
+  reaped; nothing outlives the test session.
+- **Keep-alive policy** — the gateway refuses configurations whose
+  heartbeat cannot beat the idle deadline (a quiet stream must never be
+  torn down by its own keepalive schedule), and the shard stream's
+  heartbeat respects the default deadline.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro import IngestRequest, NousConfig, ServiceConfig, ShardedNousService
+from repro.api.cluster import ShardProcessManager
+from repro.api.cluster.remote import SHARD_STREAM_HEARTBEAT
+from repro.api.envelopes import (
+    ApiError,
+    error_from_exception,
+    exception_from_error,
+)
+from repro.api.http import GatewayConfig, status_for_error
+from repro.errors import ClusterError, ConfigError, QAError, ReproError
+
+CONFIG = NousConfig(window_size=100, min_support=2, lda_iterations=5, seed=3)
+
+
+def _worker_pids(cluster):
+    return [worker.pid for worker in cluster._manager.workers]
+
+
+def _assert_all_reaped(pids_or_manager):
+    workers = (
+        pids_or_manager.workers
+        if isinstance(pids_or_manager, ShardProcessManager)
+        else None
+    )
+    assert workers is not None
+    for worker in workers:
+        assert worker.returncode is not None, (
+            f"worker pid {worker.pid} leaked past shutdown"
+        )
+
+
+class TestCrashDetection:
+    @pytest.fixture()
+    def cluster(self):
+        cluster = ShardedNousService(
+            num_shards=2,
+            config=CONFIG,
+            service_config=ServiceConfig(auto_start=False),
+            shard_mode="process",
+            kb_spec="empty",
+        )
+        yield cluster
+        cluster.close()
+
+    def _kill_shard(self, cluster, index):
+        worker = cluster._manager.workers[index]
+        worker.process.kill()
+        worker.process.wait(timeout=10)
+        assert not cluster.shards[index].alive
+
+    def test_crash_mid_ingest_surfaces_structured_error(self, cluster):
+        assert cluster.ingest_facts(
+            [("HubA", "linksTo", "SpokeA")], date="2015-06-01"
+        ).ok
+        self._kill_shard(cluster, 0)
+        # find a fact routed to the dead shard
+        subject = next(
+            f"Entity{i}"
+            for i in range(64)
+            if cluster.router.shard_for_entity(f"Entity{i}") == 0
+        )
+        response = cluster.ingest_facts([(subject, "linksTo", "X")])
+        assert not response.ok
+        assert response.error.code == "cluster"
+        assert "shard 0" in response.error.message
+        assert "exited" in response.error.message
+        assert status_for_error(response.error.code) == 502
+
+    def test_crash_surfaces_on_query_and_router_reports_dead_shard(
+        self, cluster
+    ):
+        # home two connected facts on shard 1 so path answers survive
+        subject = next(
+            f"Hub{i}"
+            for i in range(64)
+            if cluster.router.shard_for_entity(f"Hub{i}") == 1
+        )
+        assert cluster.ingest_facts(
+            [(subject, "linksTo", "Leaf"), ("Leaf", "linksTo", "Deep")],
+            date="2015-06-01",
+        ).ok
+        self._kill_shard(cluster, 0)
+
+        # non-path query classes need every shard: structured failure
+        response = cluster.query(f"tell me about {subject}")
+        assert not response.ok
+        assert response.error.code == "cluster"
+
+        # path queries exclude the dead shard and merge the survivors
+        path = cluster.query(f"how is {subject} related to Deep")
+        assert path.ok, path.error
+        assert path.payload["paths"]
+
+        # the router reports the casualty
+        assert cluster.dead_shards() == [0]
+        info = cluster.cluster_info()
+        assert info["dead_shards"] == [0]
+        # the dead shard's counters freeze at the last healthy reading
+        assert info["documents_ingested"][0] is not None
+        assert info["workers"][0]["alive"] is False
+        # surviving shards' placement is still accounted
+        assert sum(info["partition"]["edge_counts"]) >= 2
+
+    def test_advisory_reads_degrade_instead_of_raising(self, cluster):
+        assert cluster.ingest_facts(
+            [("HubA", "linksTo", "SpokeA")], date="2015-06-01"
+        ).ok
+        before = cluster.kg_version
+        assert before > 0
+        self._kill_shard(cluster, 0)
+        # composite stamp freezes the dead component (monotonicity for
+        # heartbeats/health) rather than raising
+        assert cluster.kg_version == before
+        assert cluster.shard_versions == tuple(
+            shard.kg_version for shard in cluster.shards
+        )
+
+    def test_ingest_to_dead_shard_raises_structured_error(self, cluster):
+        self._kill_shard(cluster, 1)
+        doc_id = next(
+            f"doc-{i}"
+            for i in range(64)
+            if cluster.router.shard_for_document("no known mention", f"doc-{i}")[0]
+            == 1
+        )
+        with pytest.raises(ClusterError, match="shard 1"):
+            cluster.submit_many(
+                [IngestRequest(text="no known mention", doc_id=doc_id)]
+            )
+
+
+class TestStartupPaths:
+    def test_port_collision_fails_start_with_stderr_detail(self):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            manager = ShardProcessManager(
+                1, "empty", config=CONFIG, ports=[port], startup_timeout=30.0
+            )
+            with pytest.raises(ClusterError) as excinfo:
+                manager.start()
+            message = str(excinfo.value)
+            assert "shard 0" in message
+            assert "Address already in use" in message
+            _assert_all_reaped(manager)
+        finally:
+            blocker.close()
+
+    def test_startup_timeout_kills_worker(self):
+        manager = ShardProcessManager(
+            1, "empty", config=CONFIG, startup_timeout=0.01
+        )
+        with pytest.raises(ClusterError, match="did not announce"):
+            manager.start()
+        _assert_all_reaped(manager)
+
+    def test_bad_kb_spec_fails_fast(self):
+        with pytest.raises(ConfigError, match="unknown kb spec"):
+            ShardProcessManager(1, "no-such-spec")
+        with pytest.raises(ConfigError):
+            ShardedNousService(shard_mode="process", kb_spec=None)
+        with pytest.raises(ConfigError):
+            ShardedNousService(
+                shard_mode="process", kb_spec="empty", kb_factory=dict
+            )
+
+    def test_no_orphans_after_close(self):
+        cluster = ShardedNousService(
+            num_shards=2,
+            config=CONFIG,
+            service_config=ServiceConfig(auto_start=False),
+            shard_mode="process",
+            kb_spec="empty",
+        )
+        manager = cluster._manager
+        pids = _worker_pids(cluster)
+        assert len(pids) == 2
+        assert all(worker.alive for worker in manager.workers)
+        cluster.close()
+        _assert_all_reaped(manager)
+        # close() is idempotent, stop() too
+        cluster.close()
+        manager.stop()
+
+
+class TestErrorRoundTrip:
+    """``exception_from_error`` must invert ``error_from_exception`` —
+    what makes remote-shard error envelopes byte-identical to local
+    ones."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            QAError("no topic path found"),
+            ClusterError("shard 1 (pid 42) exited with code -9"),
+            ReproError("plain failure"),
+        ],
+    )
+    def test_round_trip_preserves_code_message_exception(self, exc):
+        error = error_from_exception(exc)
+        rebuilt = exception_from_error(error)
+        assert type(rebuilt) is type(exc)
+        assert error_from_exception(rebuilt) == error
+
+    def test_unknown_exception_name_falls_back_to_taxonomy(self):
+        error = ApiError(code="qa", message="gone", exception="NotAClass")
+        rebuilt = exception_from_error(error)
+        assert isinstance(rebuilt, QAError)
+        assert str(rebuilt) == "gone"
+
+    def test_unknown_code_falls_back_to_repro_error(self):
+        error = ApiError(code="http.not_found", message="nope", exception="")
+        rebuilt = exception_from_error(error)
+        assert type(rebuilt) is ReproError
+
+
+class TestShardRouteValidation:
+    """Malformed ``/v1/shard/*`` bodies must answer structured 400s,
+    never crash the handler thread (which would drop the connection
+    with no response at all)."""
+
+    @pytest.fixture()
+    def gateway_client(self):
+        from repro import NousService
+        from repro.api.http import ClientSession, GatewayConfig, NousGateway
+        from repro.kb.knowledge_base import KnowledgeBase
+
+        service = NousService(
+            kb=KnowledgeBase(),
+            config=CONFIG,
+            service_config=ServiceConfig(auto_start=False),
+        )
+        gateway = NousGateway(service, GatewayConfig(port=0)).start()
+        with ClientSession(gateway.url) as client:
+            yield client
+        gateway.close()
+        service.close()
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"facts": [["only", "two"]]},
+            {"facts": [None]},
+            {"facts": "not-a-list"},
+            {"facts": [["s", "p", "o"]], "confidence": "high"},
+            {},
+        ],
+    )
+    def test_malformed_ingest_facts_is_400(self, gateway_client, body):
+        status, data = gateway_client.request(
+            "POST", "/v1/shard/ingest_facts", body
+        )
+        assert status == 400
+        assert data["error"]["code"] == "http.bad_request"
+
+    def test_well_formed_ingest_facts_succeeds(self, gateway_client):
+        status, data = gateway_client.request(
+            "POST",
+            "/v1/shard/ingest_facts",
+            {"facts": [["HubA", "linksTo", "SpokeA"]], "date": "2015-06-01"},
+        )
+        assert status == 200
+        assert data["ok"] and data["payload"]["accepted"] == 1
+
+    def test_malformed_submit_is_400(self, gateway_client):
+        status, data = gateway_client.request(
+            "POST", "/v1/shard/submit", {"documents": "nope"}
+        )
+        assert status == 400
+        assert data["error"]["code"] == "http.bad_request"
+
+    def test_oversized_submit_batch_is_413(self, gateway_client):
+        documents = [
+            {"text": "tiny", "doc_id": f"d{i}"} for i in range(1025)
+        ]
+        status, data = gateway_client.request(
+            "POST", "/v1/shard/submit", {"documents": documents}
+        )
+        assert status == 413
+        assert data["error"]["code"] == "http.payload_too_large"
+
+
+class TestKeepAlivePolicy:
+    """Long-lived shard connections: the heartbeat must beat the idle
+    deadline, or the stream's own keepalive schedule kills it."""
+
+    def test_heartbeat_must_beat_idle_timeout(self):
+        with pytest.raises(ConfigError, match="heartbeat_interval"):
+            GatewayConfig(heartbeat_interval=5.0, idle_timeout=4.0).validate()
+        with pytest.raises(ConfigError, match="heartbeat_interval"):
+            GatewayConfig(
+                heartbeat_interval=10.0, idle_timeout=10.0
+            ).validate()
+        GatewayConfig(heartbeat_interval=5.0, idle_timeout=120.0).validate()
+
+    def test_default_config_is_self_consistent(self):
+        config = GatewayConfig()
+        config.validate()
+        assert config.heartbeat_interval < config.idle_timeout
+
+    def test_shard_stream_heartbeat_beats_default_idle_deadline(self):
+        assert SHARD_STREAM_HEARTBEAT < GatewayConfig().idle_timeout
