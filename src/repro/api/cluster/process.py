@@ -169,6 +169,11 @@ class ShardProcessManager:
             workers announce what the OS assigned).
         startup_timeout: Deadline for announce + first healthy probe,
             per worker.
+        data_dir: Durability root.  When set, worker *i* runs with
+            ``--data-dir <data_dir>/shard-<i>``: every accepted
+            micro-batch is WAL-logged before acknowledgment, and a
+            respawned worker replays snapshot + WAL from the same
+            directory back to its exact pre-crash state.
     """
 
     def __init__(
@@ -180,6 +185,7 @@ class ShardProcessManager:
         host: str = "127.0.0.1",
         ports: Optional[Sequence[int]] = None,
         startup_timeout: float = 60.0,
+        data_dir: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -196,6 +202,7 @@ class ShardProcessManager:
         self.host = host
         self.ports = list(ports) if ports is not None else [0] * num_shards
         self.startup_timeout = startup_timeout
+        self.data_dir = data_dir
         self.workers: List[ShardProcess] = []
         self._stopped = False
 
@@ -264,6 +271,43 @@ class ShardProcessManager:
         """Indices of workers that are no longer running."""
         return [w.index for w in self.workers if not w.alive]
 
+    def respawn(self, index: int) -> ShardProcess:
+        """Replace a dead worker with a fresh one on the same port.
+
+        The new worker binds the old worker's announced port (so
+        already-handed-out URLs stay valid) and — when the manager runs
+        with a ``data_dir`` — recovers that shard's snapshot + WAL
+        before its gateway accepts traffic, returning to the exact
+        pre-crash state.  Raises :class:`~repro.errors.ClusterError`
+        when the old worker is still alive, or when the replacement
+        fails to come up (the replacement is reaped in that case and
+        the dead worker stays in place).
+        """
+        old = self.workers[index]
+        if old.alive:
+            raise ClusterError(
+                f"{old.describe()}: refusing to respawn a live worker"
+            )
+        if old.port:
+            # Pin the replacement to the announced port even when the
+            # original was ephemeral (ports[index] == 0).
+            self.ports[index] = old.port
+        replacement = self._spawn(index)
+        try:
+            self._await_ready(replacement)
+        except BaseException:
+            if replacement.alive:
+                replacement.process.kill()
+                try:
+                    replacement.process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+            replacement._close_files()
+            raise
+        old._close_files()
+        self.workers[index] = replacement
+        return replacement
+
     # ------------------------------------------------------------------
     # spawning
     # ------------------------------------------------------------------
@@ -283,6 +327,11 @@ class ShardProcessManager:
             "--quiet",
             "--announce",
         ]
+        if self.data_dir is not None:
+            argv += [
+                "--data-dir",
+                os.path.join(self.data_dir, f"shard-{index}"),
+            ]
         if self.config is not None:
             argv += ["--config-json", json.dumps(asdict(self.config))]
         service_overrides = self._service_overrides()

@@ -244,6 +244,7 @@ class RemoteShardClient:
     def __init__(self, worker: ShardProcess, timeout: float = 120.0) -> None:
         self.worker = worker
         self.url = worker.url
+        self._timeout = timeout
         self._session = ClientSession(worker.url, timeout=timeout)
         self._subs_lock = threading.Lock()
         self._subs: Dict[int, RemoteSubscription] = {}
@@ -487,6 +488,38 @@ class RemoteShardClient:
         _status, data = self._call("GET", "/v1/shard/extracted_facts")
         body = self._checked(_status, data)
         return [(str(s), str(p), str(o)) for s, p, o in body["facts"]]
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Ask the worker to write a full snapshot; returns its KG
+        version at snapshot time.  Raises the worker's ``StorageError``
+        when it runs without a data directory."""
+        _status, data = self._call("POST", "/v1/shard/snapshot", {})
+        body = self._checked(_status, data)
+        return int(body["kg_version"])
+
+    def rebind(self, worker: ShardProcess) -> None:
+        """Point this client at a respawned worker process.
+
+        Drops every local subscription mirror (their streams died with
+        the old process — the cluster layer re-subscribes through the
+        ordinary ``subscribe`` path) and opens a fresh session against
+        the replacement's URL.  The stale health cache is cleared so
+        the next stamp read observes the recovered worker, not the
+        corpse.
+        """
+        with self._subs_lock:
+            subscriptions = list(self._subs.values())
+            self._subs.clear()
+        for subscription in subscriptions:
+            subscription.close()
+        self._session.close()
+        self.worker = worker
+        self.url = worker.url
+        self._session = ClientSession(worker.url, timeout=self._timeout)
+        self._last_health = None
 
     # ------------------------------------------------------------------
     # standing queries

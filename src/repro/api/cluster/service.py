@@ -24,6 +24,7 @@ router's own merged-result cache keys on the full tuple.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -61,7 +62,7 @@ from repro.api.service import (
 from repro.api.wire import encode_payload, key_of_row
 from repro.core.pipeline import NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
-from repro.errors import ConfigError, ReproError
+from repro.errors import ClusterError, ConfigError, ReproError
 from repro.graph.partition import PartitionStats
 from repro.kb.drone_kb import build_drone_kb
 from repro.kb.knowledge_base import KnowledgeBase
@@ -398,6 +399,18 @@ class ShardedNousService:
             ephemeral).
         worker_startup_timeout: Per-worker announce+health deadline
             (process mode).
+        data_dir: Durability root.  When set, shard *i* persists into
+            ``<data_dir>/shard-<i>`` (snapshot + fsynced WAL) and cold
+            starts recover from it.  In process mode it also arms the
+            supervisor: a crashed worker is respawned on its old port
+            and replays back to the exact pre-crash composite stamp
+            instead of freezing the cluster (the default, data-less
+            behaviour remains freeze-and-report).
+        max_restarts: Per-shard respawn budget (process mode, with
+            ``data_dir``); once exhausted, dead-shard errors surface
+            again.
+        restart_backoff: Base delay before a respawn, doubled per prior
+            restart of the same shard.
     """
 
     def __init__(
@@ -412,6 +425,9 @@ class ShardedNousService:
         router_kb: Optional[KnowledgeBase] = None,
         worker_ports: Optional[Sequence[int]] = None,
         worker_startup_timeout: float = 60.0,
+        data_dir: Optional[str] = None,
+        max_restarts: int = 3,
+        restart_backoff: float = 0.1,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -419,9 +435,22 @@ class ShardedNousService:
             raise ConfigError(
                 f"shard_mode must be 'local' or 'process', got {shard_mode!r}"
             )
+        if max_restarts < 0:
+            raise ConfigError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if restart_backoff < 0:
+            raise ConfigError(
+                f"restart_backoff must be >= 0, got {restart_backoff}"
+            )
         self.path_k = path_k
         self.shard_mode = shard_mode
         self.kb_spec = kb_spec
+        self.data_dir = data_dir
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.shard_restarts: List[int] = [0] * num_shards
+        self._recover_lock = threading.Lock()
         self.service_config = service_config or ServiceConfig()
         self.service_config.validate()
         self._manager: Optional[ShardProcessManager] = None
@@ -444,6 +473,7 @@ class ShardedNousService:
                 service_config=service_config,
                 ports=worker_ports,
                 startup_timeout=worker_startup_timeout,
+                data_dir=data_dir,
             )
             self._manager.start()
             self.shards = [
@@ -464,8 +494,13 @@ class ShardedNousService:
                     kb=factory(),
                     config=config,
                     service_config=self.service_config,
+                    data_dir=(
+                        None
+                        if data_dir is None
+                        else os.path.join(data_dir, f"shard-{index}")
+                    ),
                 )
-                for _ in range(num_shards)
+                for index in range(num_shards)
             ]
         self.router = DocumentRouter(self._reference_kb, num_shards)
         self._executor = ThreadPoolExecutor(
@@ -530,6 +565,108 @@ class ShardedNousService:
         ]
 
     # ------------------------------------------------------------------
+    # durability / recovery
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, ...]:
+        """Write a full snapshot on every shard (scatter); returns the
+        per-shard KG versions at snapshot time.  Requires ``data_dir``
+        — shards without storage raise ``StorageError``."""
+        self._maybe_recover()
+        versions: List[int] = []
+        for result, error in self._gather(lambda shard: shard.snapshot()):
+            if error is not None:
+                raise error
+            versions.append(int(result))
+        return tuple(versions)
+
+    def _maybe_recover(self) -> None:
+        """Entry gate on every operation path: with durability armed,
+        respawn dead workers before touching the shard set.  Without a
+        ``data_dir`` this is a no-op, preserving the freeze-and-report
+        contract (dead shards surface as structured ClusterErrors)."""
+        if self.data_dir is None or self._manager is None:
+            return
+        if self.dead_shards():
+            self.recover_dead_shards()
+
+    def recover_dead_shards(self) -> List[int]:
+        """Respawn every dead worker and replay it back to its exact
+        pre-crash state (snapshot + WAL from its shard data directory).
+
+        Per dead shard: back off (doubling with each prior restart of
+        that shard), respawn on the old port, rebind the remote client,
+        and re-register every cluster standing query on the recovered
+        worker.  Returns the indices recovered.  Raises
+        :class:`~repro.errors.ClusterError` once a shard's
+        ``max_restarts`` budget is exhausted — the cluster then degrades
+        to the ordinary dead-shard reporting.
+        """
+        if self._manager is None:
+            return []
+        with self._recover_lock:
+            recovered: List[int] = []
+            for index in self.dead_shards():
+                used = self.shard_restarts[index]
+                if used >= self.max_restarts:
+                    raise ClusterError(
+                        f"shard {index} exhausted its restart budget "
+                        f"({self.max_restarts}); staying down"
+                    )
+                if self.restart_backoff > 0:
+                    time.sleep(self.restart_backoff * (2 ** used))
+                worker = self._manager.respawn(index)
+                self.shard_restarts[index] = used + 1
+                shard = self.shards[index]
+                assert isinstance(shard, RemoteShardClient)
+                shard.rebind(worker)
+                self._resubscribe_shard(index)
+                recovered.append(index)
+            return recovered
+
+    def _resubscribe_shard(self, index: int) -> None:
+        """Re-register every cluster standing query on a recovered
+        worker (its subscription registry died with the old process),
+        then re-diff: the replayed worker's rows normally match the
+        pre-crash mirror exactly, so this emits nothing — but any
+        divergence surfaces as an ordinary merged delta instead of
+        silently stale rows."""
+        with self._subs_lock:
+            subscriptions = list(self._subscriptions.values())
+        shard = self.shards[index]
+        for subscription in subscriptions:
+            shard_sub = shard.subscribe(
+                subscription.query_text,
+                callback=(
+                    lambda update, _index=index, _sub=subscription: (
+                        _sub._on_shard_update(_index, update)
+                    )
+                ),
+                trending_full_view=(subscription.kind == "trending"),
+            )
+            subscription._attach(index, shard_sub)
+            subscription._on_shard_update(
+                index,
+                StandingQueryUpdate(
+                    subscription_id=subscription.id,
+                    query_text=subscription.query_text,
+                    kg_version=self.kg_version_hint,
+                    added=(),
+                    removed=(),
+                ),
+            )
+
+    def restart_shard(self, index: int, timeout: float = 10.0) -> None:
+        """Fault-injection hook: SIGKILL one worker mid-flight, then
+        run the ordinary recovery path.  Process mode only."""
+        if self._manager is None:
+            raise ClusterError("restart_shard requires process shards")
+        worker = self._manager.workers[index]
+        if worker.alive:
+            worker.process.kill()
+            worker.process.wait(timeout=timeout)
+        self.recover_dead_shards()
+
+    # ------------------------------------------------------------------
     # versions
     # ------------------------------------------------------------------
     @property
@@ -583,6 +720,7 @@ class ShardedNousService:
     # ------------------------------------------------------------------
     def submit(self, request: Union[IngestRequest, Any]) -> IngestTicket:
         """Route one document to its shard's queue; returns a ticket."""
+        self._maybe_recover()
         if not isinstance(request, IngestRequest):
             request = IngestRequest.from_article(request)
         shard_index, _entity = self.router.shard_for_document(
@@ -599,6 +737,7 @@ class ShardedNousService:
         """Route a batch: per-shard sub-batches are enqueued atomically
         (maximal micro-batches per shard), tickets return in input
         order."""
+        self._maybe_recover()
         normalized = [
             request
             if isinstance(request, IngestRequest)
@@ -642,6 +781,7 @@ class ShardedNousService:
     ) -> ApiResponse:
         """Ingest structured facts, each routed to its subject's home
         shard; shards ingest their slices in parallel."""
+        self._maybe_recover()
         start = time.perf_counter()
         per_shard: Dict[int, List[Tuple[str, str, str]]] = {}
         for fact in facts:
@@ -681,6 +821,7 @@ class ShardedNousService:
 
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until every shard's queue is drained."""
+        self._maybe_recover()
         for shard in self.shards:
             shard.flush(timeout=timeout)
 
@@ -716,6 +857,7 @@ class ShardedNousService:
     # ------------------------------------------------------------------
     def query(self, request: Union[str, QueryRequest]) -> ApiResponse:
         """Scatter one query to every shard and merge the answers."""
+        self._maybe_recover()
         start = time.perf_counter()
         text = request.text if isinstance(request, QueryRequest) else request
         try:
@@ -851,6 +993,7 @@ class ShardedNousService:
     def statistics(self) -> ApiResponse:
         """Summation-merged quality statistics, plus cluster placement
         info (shard loads, edge cut) under the ``cluster`` payload key."""
+        self._maybe_recover()
         start = time.perf_counter()
         try:
             gathered = self._gather(lambda shard: shard.graph_statistics())
@@ -939,6 +1082,7 @@ class ShardedNousService:
             "documents_routed": routed,
             "documents_ingested": ingested,
             "dead_shards": self.dead_shards(),
+            "shard_restarts": list(self.shard_restarts),
             "partition": self.partition_stats().to_dict(),
         }
         if self._manager is not None:

@@ -32,6 +32,7 @@ from repro.errors import (
     QueryError,
     QueryParseError,
     ReproError,
+    StorageError,
 )
 
 API_VERSION = "1"
@@ -50,6 +51,7 @@ _ERROR_TAXONOMY: tuple = (
     (KBError, "kb"),
     (NLPError, "nlp"),
     (LinkingError, "linking"),
+    (StorageError, "storage"),
     (ReproError, "internal"),
 )
 

@@ -47,6 +47,7 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "kb": 500,
     "nlp": 500,
     "linking": 500,
+    "storage": 500,       # snapshot/WAL write or recovery-replay failure
     "internal": 500,
     # gateway (transport) codes --------------------------------------
     "http.bad_request": 400,        # missing/invalid fields or params

@@ -537,6 +537,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         "flush": "POST",
         "ingest_facts": "POST",
         "refresh": "POST",
+        "snapshot": "POST",
     }
 
     def _handle_shard(self, method: str, route: str) -> None:
@@ -678,6 +679,25 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self._send_json(
             200, {"ok": True, "kg_version": self.gateway.service.kg_version}
         )
+
+    def _shard_snapshot(self, data: Dict[str, Any]) -> None:
+        """Force a full on-disk snapshot (requires the service to run
+        with a data directory; a storage-less worker answers the
+        ``storage`` failure envelope)."""
+        hook = self._shard_hook("snapshot")
+        if hook is None:
+            return
+        try:
+            version = hook()
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="snapshot"))
+            return
+        # A monolith answers its scalar stamp; a fronted sharded
+        # service answers the per-shard tuple — fold to the composite.
+        scalar = (
+            sum(version) if isinstance(version, (tuple, list)) else int(version)
+        )
+        self._send_json(200, {"ok": True, "kg_version": scalar})
 
     def _shard_ingest_facts(self, data: Dict[str, Any]) -> None:
         hook = self._shard_hook("ingest_facts")

@@ -26,12 +26,14 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
     Deque,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -48,13 +50,20 @@ from repro.api.envelopes import (
 from repro.api.wire import delta_rows, encode_payload
 from repro.core.pipeline import Nous, NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, StorageError
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.mining.patterns import Pattern
 from repro.nlp.dates import parse_date
 from repro.query.engine import QueryEngine, QueryResult
 from repro.query.model import Query, TrendingQuery
 from repro.query.parser import parse_query
+from repro.storage import (
+    JsonLinesBackend,
+    record_ingest,
+    replay_record,
+    restore_nous,
+    snapshot_nous,
+)
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,9 @@ class ServiceConfig:
             queue only drains on explicit :meth:`NousService.flush` —
             deterministic single-threaded mode for tests and drivers.
         cache_size / enable_cache: Passed to the query-result cache.
+        snapshot_every: With a ``data_dir``, write a full snapshot after
+            this many drained micro-batches (0 disables periodic
+            snapshots; :meth:`NousService.snapshot` remains available).
     """
 
     max_batch: int = 32
@@ -78,12 +90,15 @@ class ServiceConfig:
     auto_start: bool = True
     cache_size: int = 256
     enable_cache: bool = True
+    snapshot_every: int = 0
 
     def validate(self) -> None:
         if self.max_batch < 1:
             raise ConfigError("max_batch must be >= 1")
         if self.max_delay < 0.0:
             raise ConfigError("max_delay must be >= 0")
+        if self.snapshot_every < 0:
+            raise ConfigError("snapshot_every must be >= 0")
 
 
 class IngestTicket:
@@ -259,6 +274,14 @@ class NousService:
         kb: Starting curated KB (ignored when ``nous`` is given).
         config: Pipeline settings (ignored when ``nous`` is given).
         service_config: Queue/cache policy.
+        data_dir: Enable the durability layer: own this directory
+            through a :class:`~repro.storage.JsonLinesBackend`, append a
+            WAL record per accepted ingest call, and — before the
+            drainer starts — recover whatever snapshot/WAL state the
+            directory already holds (cold start).  The engine passed in
+            (or built from ``kb``/``config``) must be freshly
+            constructed from the same curated KB the persisted state
+            grew from.
     """
 
     def __init__(
@@ -267,10 +290,18 @@ class NousService:
         kb: Optional[KnowledgeBase] = None,
         config: Optional[NousConfig] = None,
         service_config: Optional[ServiceConfig] = None,
+        data_dir: Optional[str] = None,
     ) -> None:
         self.service_config = service_config or ServiceConfig()
         self.service_config.validate()
         self.nous = nous if nous is not None else Nous(kb=kb, config=config)
+        self.data_dir = data_dir
+        self._storage = (
+            JsonLinesBackend(data_dir) if data_dir is not None else None
+        )
+        self._wal_records = 0
+        self._batches_since_snapshot = 0
+        self._recording = False
         self.engine = QueryEngine(
             self.nous,
             cache_size=self.service_config.cache_size,
@@ -295,6 +326,8 @@ class NousService:
         #: Standing-query evaluation/callback failures swallowed so far.
         self.subscription_errors = 0
         self._drainer: Optional[threading.Thread] = None
+        if self._storage is not None:
+            self.recover()
         if self.service_config.auto_start:
             self._drainer = threading.Thread(
                 target=self._drain_loop, name="nous-ingest-drainer", daemon=True
@@ -319,6 +352,139 @@ class NousService:
         if self._drainer is not None:
             self._drainer.join(timeout=5.0)
             self._drainer = None
+        if self._storage is not None:
+            self._storage.close()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Write a full engine+service snapshot to the data directory.
+
+        The snapshot records how many WAL records its state already
+        covers, so recovery replays only the suffix; the WAL itself is
+        left in place — a later recovery that finds the snapshot
+        missing or corrupt degrades to a full-WAL replay instead of
+        losing data.
+
+        Returns:
+            The composite KG version stamp the snapshot captured.
+
+        Raises:
+            StorageError: without a ``data_dir``, or when the write
+                fails.
+        """
+        if self._storage is None:
+            raise StorageError("snapshot() needs a data_dir")
+        with self._engine_lock:
+            state = {
+                "engine": snapshot_nous(self.nous),
+                "service": {
+                    "batches_drained": self.batches_drained,
+                    "documents_drained": self.documents_drained,
+                },
+                "wal_covered": self._wal_records,
+            }
+            self._storage.write_snapshot(state)
+            self._batches_since_snapshot = 0
+            return self.nous.dynamic.version
+
+    def recover(self) -> int:
+        """Rebuild state from the data directory onto the fresh engine.
+
+        Restores the last good snapshot (if any), then replays the WAL
+        records the snapshot does not cover.  A missing or corrupt
+        snapshot degrades to replaying the full WAL from the engine's
+        constructed state; a torn WAL tail ends the replay at the last
+        intact record.  Runs automatically during construction when a
+        ``data_dir`` is configured.
+
+        Returns:
+            Number of WAL records replayed.
+
+        Raises:
+            StorageError: without a ``data_dir``, or when the engine has
+                already ingested (recovery only targets a fresh engine).
+        """
+        if self._storage is None:
+            raise StorageError("recover() needs a data_dir")
+        with self._engine_lock:
+            if (
+                self.nous.dynamic.facts_streamed
+                or self.nous.dynamic.window.total_added
+            ):
+                raise StorageError(
+                    "recover() targets a fresh engine; this one already "
+                    "ingested (replaying on top would double-apply)"
+                )
+            records = self._storage.read_wal()
+            self._wal_records = len(records)
+            state = self._storage.read_snapshot()
+            covered = 0
+            if state is not None:
+                covered = min(int(state.get("wal_covered", 0)), len(records))
+                restore_nous(self.nous, state["engine"])
+                service_state = state.get("service", {})
+                self.batches_drained = service_state.get("batches_drained", 0)
+                self.documents_drained = service_state.get(
+                    "documents_drained", 0
+                )
+            for record in records[covered:]:
+                replay_record(self.nous, record)
+                service_state = record.get("service")
+                if service_state is not None:
+                    self.batches_drained = service_state["batches_drained"]
+                    self.documents_drained = service_state[
+                        "documents_drained"
+                    ]
+            return len(records) - covered
+
+    def _append_wal(self, record: Dict[str, Any]) -> None:
+        """Durably append one effect record (caller holds the engine
+        lock, so WAL order always matches effect order)."""
+        assert self._storage is not None
+        record["service"] = {
+            "batches_drained": self.batches_drained,
+            "documents_drained": self.documents_drained,
+        }
+        self._storage.append_wal(record)
+        self._wal_records += 1
+
+    @contextmanager
+    def _durable_engine_lock(self) -> Iterator[None]:
+        """The engine lock, plus WAL capture for *query-path* mutations.
+
+        Query execution is not read-only: entity linking may mint an
+        entity for an unknown mention, moving the KG version.  Durable
+        mode records the guarded block's effects and appends a WAL
+        record iff the version stamp moved, so a recovered engine
+        reaches the exact pre-crash stamp even when queries (or
+        standing-query refreshes) interleaved with ingestion.
+        """
+        with self._engine_lock:
+            if self._storage is None or self._recording:
+                yield
+                return
+            before = self.nous.dynamic.version
+            self._recording = True
+            try:
+                with record_ingest(self.nous) as recorder:
+                    try:
+                        yield
+                    except BaseException:
+                        # A query can fail *after* linking minted an
+                        # entity (e.g. no path between the endpoints);
+                        # the mint is real engine state and must be as
+                        # durable as the failure envelope is visible.
+                        recorder.finish()
+                        raise
+            finally:
+                self._recording = False
+                if (
+                    recorder.record is not None
+                    and self.nous.dynamic.version != before
+                ):
+                    self._append_wal(recorder.record)
 
     # ------------------------------------------------------------------
     # ingestion
@@ -425,10 +591,19 @@ class NousService:
                 if parsed_date is None:
                     raise ConfigError(f"unparseable date {date!r}")
             with self._engine_lock:
-                accepted = self.nous.ingest_facts(
-                    facts, date=parsed_date, source=source,
-                    confidence=confidence,
-                )
+                if self._storage is not None:
+                    with record_ingest(self.nous) as recorder:
+                        accepted = self.nous.ingest_facts(
+                            facts, date=parsed_date, source=source,
+                            confidence=confidence,
+                        )
+                    assert recorder.record is not None
+                    self._append_wal(recorder.record)
+                else:
+                    accepted = self.nous.ingest_facts(
+                        facts, date=parsed_date, source=source,
+                        confidence=confidence,
+                    )
                 version = self.nous.dynamic.version
         except Exception as exc:  # noqa: BLE001 - envelope boundary
             return ApiResponse.failure(exc, kind="ingest")
@@ -584,9 +759,28 @@ class NousService:
         ]
         try:
             with self._engine_lock:
-                results = self.nous.ingest_batch(articles, defer_retrain=True)
-                if self.pending_count == 0:
-                    self.nous.retrain_if_due()
+                if self._storage is not None:
+                    # Record the batch's effects and append them to the
+                    # WAL *before* any ticket is fulfilled: a fulfilled
+                    # ticket is a durability acknowledgment.
+                    with record_ingest(self.nous) as recorder:
+                        results = self.nous.ingest_batch(
+                            articles, defer_retrain=True
+                        )
+                        if self.pending_count == 0:
+                            self.nous.retrain_if_due()
+                    self.batches_drained += 1
+                    self.documents_drained += len(batch)
+                    assert recorder.record is not None
+                    self._append_wal(recorder.record)
+                else:
+                    results = self.nous.ingest_batch(
+                        articles, defer_retrain=True
+                    )
+                    if self.pending_count == 0:
+                        self.nous.retrain_if_due()
+                    self.batches_drained += 1
+                    self.documents_drained += len(batch)
                 version = self.nous.dynamic.version
         except Exception as exc:  # noqa: BLE001 - envelope boundary
             failure = ApiResponse.failure(exc, kind="ingest")
@@ -606,8 +800,14 @@ class NousService:
                     kg_version=version,
                 )
             )
-        self.batches_drained += 1
-        self.documents_drained += len(batch)
+        self._batches_since_snapshot += 1
+        if (
+            self._storage is not None
+            and self.service_config.snapshot_every
+            and self._batches_since_snapshot
+            >= self.service_config.snapshot_every
+        ):
+            self.snapshot()
         try:
             self.refresh_subscriptions()
         except Exception:  # noqa: BLE001 - drainer must survive anything
@@ -625,7 +825,7 @@ class NousService:
         for :class:`ReproError` failures)."""
         text = request.text if isinstance(request, QueryRequest) else request
         try:
-            with self._engine_lock:
+            with self._durable_engine_lock():
                 result = self.engine.execute_text(text)
             payload = encode_payload(result.kind, result.payload)
         except Exception as exc:  # noqa: BLE001 - envelope boundary
@@ -672,7 +872,7 @@ class NousService:
         merge-aware assembly needs the payload *objects* (summaries,
         ranked paths, reports) rather than their encoded form.
         """
-        with self._engine_lock:
+        with self._durable_engine_lock():
             return self.engine.execute(query)
 
     def stream_view(self) -> StreamView:
@@ -741,7 +941,7 @@ class NousService:
                 support row-level deltas.
         """
         query = parse_query(query_text)
-        with self._engine_lock:
+        with self._durable_engine_lock():
             rows, version = self._evaluate_rows(
                 query, trending_full_view=trending_full_view
             )
@@ -787,7 +987,7 @@ class NousService:
         """
         updates: List[StandingQueryUpdate] = []
         callbacks: List[Tuple[Subscription, StandingQueryUpdate]] = []
-        with self._engine_lock:
+        with self._durable_engine_lock():
             version = self.nous.dynamic.version
             for subscription in self._subscriptions.values():
                 if subscription._kg_version == version:

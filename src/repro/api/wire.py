@@ -23,6 +23,8 @@ from repro.core.pipeline import EntitySummary, IngestResult
 from repro.core.statistics import GraphStatistics
 from repro.errors import QueryError
 from repro.graph.property_graph import Edge
+from repro.graph.temporal import TimedEdge
+from repro.kb.triples import Triple
 from repro.mining.patterns import Pattern, PatternEdge
 from repro.mining.streaming import WindowReport
 from repro.nlp.dates import SimpleDate
@@ -110,6 +112,54 @@ def pattern_from_wire(data: Mapping[str, Any]) -> Pattern:
             )
             for e in data["edges"]
         )
+    )
+
+
+def triple_to_wire(triple: Triple) -> Dict[str, Any]:
+    """A full KB fact, provenance included (snapshot/WAL state codec)."""
+    return {
+        "s": triple.subject,
+        "p": triple.predicate,
+        "o": triple.object,
+        "confidence": triple.confidence,
+        "source": triple.source,
+        "date": date_to_wire(triple.date),
+        "curated": triple.curated,
+    }
+
+
+def triple_from_wire(data: Mapping[str, Any]) -> Triple:
+    return Triple(
+        subject=str(data["s"]),
+        predicate=str(data["p"]),
+        object=str(data["o"]),
+        confidence=float(data["confidence"]),
+        source=str(data["source"]),
+        date=date_from_wire(data["date"]),
+        curated=bool(data["curated"]),
+    )
+
+
+def timed_edge_to_wire(edge: TimedEdge) -> Dict[str, Any]:
+    """A sliding-window stream edge (snapshot/WAL state codec)."""
+    return {
+        "src": edge.src,
+        "dst": edge.dst,
+        "label": edge.label,
+        "timestamp": edge.timestamp,
+        "props": [[key, _prop_to_wire(value)] for key, value in edge.props],
+    }
+
+
+def timed_edge_from_wire(data: Mapping[str, Any]) -> TimedEdge:
+    return TimedEdge(
+        src=data["src"],
+        dst=data["dst"],
+        label=str(data["label"]),
+        timestamp=float(data["timestamp"]),
+        props=tuple(
+            (str(key), _prop_from_wire(value)) for key, value in data["props"]
+        ),
     )
 
 

@@ -102,3 +102,12 @@ class ClusterError(ReproError):
     subprocess died, never became healthy, or stopped answering its
     gateway — as opposed to an ordinary query/ingest error a healthy
     shard returned."""
+
+
+class StorageError(ReproError):
+    """The durability layer failed: a snapshot could not be written or
+    read back, the write-ahead log could not be appended/fsynced, or a
+    recovery replay met state it cannot apply.  Torn WAL tails and
+    corrupt snapshots are *not* errors — recovery degrades through them
+    by design — so this class marks the failures that genuinely lose
+    the durability guarantee (e.g. an unwritable data directory)."""

@@ -66,6 +66,7 @@ def build_demo_service(
     auto_start: bool = False,
     shards: int = 1,
     shard_mode: str = "local",
+    data_dir: Optional[str] = None,
 ) -> ServiceLike:
     """Construct a service and ingest a synthetic news stream through
     its micro-batching queue.
@@ -80,6 +81,11 @@ def build_demo_service(
     worker subprocess (real multi-core parallelism); the workers
     rebuild the deterministic demo world from its spec instead of
     receiving a copy.
+
+    With ``data_dir`` the service is durable (snapshot + WAL under the
+    directory; see docs/PERSISTENCE.md) and *cold starts from disk*:
+    when recovery restored any ingested state, the demo corpus is not
+    re-ingested on top of it.
     """
     kb, articles = _demo_world(n_articles, seed)
     config = NousConfig(window_size=window_size, seed=seed)
@@ -97,6 +103,7 @@ def build_demo_service(
             shard_mode="process",
             kb_spec=f"world:{n_articles}:{seed}",
             router_kb=kb,
+            data_dir=data_dir,
         )
     elif shards > 1:
         # One deep copy per shard (plus the router's reference) instead
@@ -107,13 +114,20 @@ def build_demo_service(
             num_shards=shards,
             config=config,
             service_config=service_config,
+            data_dir=data_dir,
         )
     else:
         service = NousService(
-            kb=kb, config=config, service_config=service_config
+            kb=kb,
+            config=config,
+            service_config=service_config,
+            data_dir=data_dir,
         )
-    service.submit_many(articles)
-    service.flush()
+    if service.documents_ingested == 0:
+        # Fresh state only: a durable cold start already recovered the
+        # corpus (and everything after it) from snapshot + WAL.
+        service.submit_many(articles)
+        service.flush()
     return service
 
 
@@ -121,11 +135,14 @@ def build_worker_service(
     kb_spec: str,
     config_json: Optional[str] = None,
     service_json: Optional[str] = None,
+    data_dir: Optional[str] = None,
 ) -> NousService:
     """Construct a bare shard-worker service: the named curated base,
     no pre-ingested corpus, background drainer on (a live server must
     drain without explicit flushes — parents flush over
-    ``POST /v1/shard/flush``)."""
+    ``POST /v1/shard/flush``).  With ``data_dir`` the worker is durable
+    and recovers snapshot + WAL before the gateway binds, so a
+    respawned worker answers from its exact pre-crash state."""
     from repro.api.cluster.process import resolve_kb_spec
 
     config = (
@@ -140,6 +157,7 @@ def build_worker_service(
         kb=resolve_kb_spec(kb_spec),
         config=config,
         service_config=service_config,
+        data_dir=data_dir,
     )
 
 
@@ -267,6 +285,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         '(e.g. \'{"max_batch": 1}\'; auto_start is forced on)',
     )
     serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable mode: snapshot + write-ahead log under DIR; a "
+        "restart recovers the exact pre-shutdown state (with --shards "
+        "N each shard persists under DIR/shard-<i>; see "
+        "docs/PERSISTENCE.md)",
+    )
+    serve.add_argument(
         "--announce", action="store_true",
         help="print one JSON line to stdout once the gateway is bound "
         "(machine-readable startup handshake for supervisors)",
@@ -315,7 +340,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return _serve(
             build_worker_service(
-                args.kb, args.config_json, args.service_json
+                args.kb,
+                args.config_json,
+                args.service_json,
+                data_dir=args.data_dir,
             ),
             args,
         )
@@ -336,6 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         auto_start=args.command == "serve",
         shards=shards,
         shard_mode=shard_mode,
+        data_dir=getattr(args, "data_dir", None),
     )
 
     if args.command == "demo":

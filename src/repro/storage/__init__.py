@@ -1,0 +1,40 @@
+"""Durability layer: shard snapshots + write-ahead log (docs/PERSISTENCE.md).
+
+A :class:`~repro.api.service.NousService` constructed with a
+``data_dir`` owns one :class:`StorageBackend` (JSON-lines by default)
+and uses it in two coordinated ways:
+
+- **snapshots** — a periodic full serialisation of the engine state
+  (:func:`snapshot_nous` / :func:`restore_nous`), written atomically and
+  checksummed, so a cold start resumes from the last snapshot instead of
+  re-running NLP extraction over the whole history;
+- **WAL** — one structured effect record per accepted ingest micro-batch
+  (:func:`record_ingest` / :func:`replay_record`), fsynced at the
+  micro-batch boundary, replayed on recovery to roll the snapshot
+  forward to the exact pre-crash composite version stamp.
+
+The split keeps policy out of the backend: backends move bytes, the
+snapshot module understands engine state, and the service decides *when*
+to snapshot/append.
+"""
+
+from repro.storage.backend import SNAPSHOT_FORMAT, StorageBackend
+from repro.storage.jsonl import JsonLinesBackend
+from repro.storage.snapshot import (
+    IngestRecorder,
+    record_ingest,
+    replay_record,
+    restore_nous,
+    snapshot_nous,
+)
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "StorageBackend",
+    "JsonLinesBackend",
+    "IngestRecorder",
+    "record_ingest",
+    "replay_record",
+    "restore_nous",
+    "snapshot_nous",
+]

@@ -138,6 +138,11 @@ class TestGoldenPipeline:
         # The driver pins the service path: whole corpus, one drain.
         assert golden_metrics["batches_drained"] == 1
 
+    def test_cold_start_matches_uninterrupted_run(self, golden_metrics):
+        # ISSUE 6: half the corpus, snapshot, restart from disk, rest of
+        # the corpus — byte-identical to a service that never stopped.
+        assert golden_metrics["cold_start_consistent"] is True
+
 
 class TestGoldenShardedPipeline:
     """The N=3 scatter-gather pipeline, pinned output by output."""
