@@ -1,0 +1,157 @@
+"""DISTRIBUTED COMPUTE: boundary exchange vs shipping the partitions.
+
+The superstep protocol's reason to exist, priced in bytes on the wire.
+A coherent cross-shard path search runs as BSP frontier expansion: one
+``expand`` round per hop, each shard answering with only the *owned*
+edges incident to the frontier, so every merged-graph edge crosses the
+wire at most once per search.  The alternative — what a router without
+the protocol would do — is ``ship_everything``: pull every shard's full
+partition and rebuild the merged graph centrally, paying for the
+replicated curated base once **per shard**.
+
+Gates (both measured through the same :class:`ComputeStats` byte
+accounting the ``/v1/stats`` counters use):
+
+1. The BSP search moves fewer bytes than ship-everything at N=2 *and*
+   N=4.
+2. The margin **widens** from N=2 to N=4: replication cost scales with
+   the cluster, boundary exchange does not.
+
+The run also reports the distributed PageRank job's bytes at both
+widths (no gate — analytics rounds ship ``{vertex: score}`` maps whose
+size tracks iteration count, not partition size).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import record_bench
+
+from repro import NousConfig, ServiceConfig, ShardedNousService
+from repro.compute import (
+    ComputeCoordinator,
+    ComputeStats,
+    DistributedPathSearch,
+)
+
+N_SMALL = 2
+N_LARGE = 4
+N_NODES = 120
+SOURCE, TARGET = "Node_A", "Node_D"
+# Shared CI runners are noisy, but bytes-on-wire is deterministic; the
+# env override exists only for ad-hoc experimentation.
+MARGIN_GATE = float(os.environ.get("BENCH_COMPUTE_MARGIN_GATE", "1.0"))
+
+CONFIG = NousConfig(
+    window_size=10_000, min_support=2, lda_iterations=10,
+    retrain_every=0, seed=7, max_hops=4, beam_width=8,
+)
+
+_DIGIT_NAMES = "ABCDEFGHIJ"
+
+
+def _node(i: int) -> str:
+    # Letter names keep the LDA tokenizer fed (digit-bearing tokens are
+    # dropped): 0 -> Node_A, 17 -> Node_B_H, ...
+    return "Node_" + "_".join(_DIGIT_NAMES[int(d)] for d in str(i))
+
+
+def _facts():
+    """A deterministic ring + chord graph over ``N_NODES`` entities:
+    distinct subjects scatter the edges across shards, the chords give
+    the frontier real branching to expand."""
+    facts = []
+    for i in range(N_NODES):
+        facts.append((_node(i), "linksTo", _node((i + 1) % N_NODES)))
+        facts.append((_node(i), "jumpsTo", _node((i * 7 + 3) % N_NODES)))
+    return facts
+
+
+def _measure(num_shards):
+    cluster = ShardedNousService(
+        num_shards=num_shards,
+        config=CONFIG,
+        service_config=ServiceConfig(auto_start=False),
+        kb_spec="drone",  # replicated curated base: the shipping cost
+    )
+    try:
+        assert cluster.ingest_facts(_facts(), date="2015-06-01").ok
+
+        # Private stats per measurement: the cluster's own shared
+        # counters must not leak unrelated traffic into the comparison.
+        bsp_stats = ComputeStats()
+        search = DistributedPathSearch(
+            ComputeCoordinator(cluster.shards, stats=bsp_stats),
+            n_topics=CONFIG.n_topics,
+            lda_iterations=CONFIG.lda_iterations,
+            seed=CONFIG.seed,
+            max_hops=CONFIG.max_hops,
+            beam_width=CONFIG.beam_width,
+        )
+        paths = search.top_k_paths(SOURCE, TARGET, k=3)
+        bsp = bsp_stats.to_dict()
+
+        ship_stats = ComputeStats()
+        ComputeCoordinator(cluster.shards, stats=ship_stats).ship_everything()
+        ship = ship_stats.to_dict()
+
+        pr_stats = ComputeStats()
+        ComputeCoordinator(cluster.shards, stats=pr_stats).pagerank()
+        pr = pr_stats.to_dict()
+    finally:
+        cluster.close()
+    assert paths, "bench fixture lost its route"
+    return {
+        "shards": num_shards,
+        "bsp_bytes": bsp["cross_shard_bytes"],
+        "bsp_supersteps": bsp["supersteps"],
+        "bsp_messages": bsp["messages"],
+        "ship_bytes": ship["cross_shard_bytes"],
+        "pagerank_bytes": pr["cross_shard_bytes"],
+        "pagerank_supersteps": pr["supersteps"],
+        "margin": ship["cross_shard_bytes"] / bsp["cross_shard_bytes"],
+    }
+
+
+def test_boundary_exchange_beats_shipping_everything():
+    small = _measure(N_SMALL)
+    large = _measure(N_LARGE)
+
+    for run in (small, large):
+        print(
+            f"\nN={run['shards']}: path-search BSP "
+            f"{run['bsp_bytes']:,} bytes over {run['bsp_supersteps']} "
+            f"supersteps ({run['bsp_messages']} boundary messages) vs "
+            f"ship-everything {run['ship_bytes']:,} bytes "
+            f"-> margin {run['margin']:.2f}x"
+        )
+        print(
+            f"      pagerank job: {run['pagerank_bytes']:,} bytes over "
+            f"{run['pagerank_supersteps']} supersteps"
+        )
+    widening = large["margin"] / small["margin"]
+    print(f"margin widening N={N_SMALL} -> N={N_LARGE}: {widening:.3f}x")
+
+    record_bench(
+        "compute",
+        nodes=N_NODES,
+        facts=2 * N_NODES,
+        small=small,
+        large=large,
+        margin_widening=round(widening, 4),
+    )
+
+    # Gate 1: the protocol beats shipping the partitions at both widths.
+    assert small["bsp_bytes"] < small["ship_bytes"], small
+    assert large["bsp_bytes"] < large["ship_bytes"], large
+    # Gate 2: the margin widens as the cluster grows — replication cost
+    # scales with N, boundary exchange does not.
+    assert large["margin"] > small["margin"] * MARGIN_GATE, (
+        f"margin did not widen: N={N_SMALL} {small['margin']:.2f}x vs "
+        f"N={N_LARGE} {large['margin']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    test_boundary_exchange_beats_shipping_everything()

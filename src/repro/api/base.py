@@ -145,6 +145,8 @@ class ShardLike(ServiceLike, Protocol):
 
     def refresh_subscriptions(self) -> List["StandingQueryUpdate"]: ...
 
+    def compute_step(self, request: Dict[str, Any]) -> Dict[str, Any]: ...
+
     @property
     def alive(self) -> bool: ...
 

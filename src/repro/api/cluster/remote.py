@@ -490,6 +490,24 @@ class RemoteShardClient:
         return [(str(s), str(p), str(o)) for s, p, o in body["facts"]]
 
     # ------------------------------------------------------------------
+    # distributed compute
+    # ------------------------------------------------------------------
+    def compute_step(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one stateless compute superstep on the worker.
+
+        The request/response are the :mod:`repro.compute.protocol` wire
+        envelopes; a dead or unreachable worker surfaces the same
+        structured :class:`ClusterError` as every other shard call, so
+        the coordinator's recover-and-retry loop can treat local and
+        remote shards identically.
+        """
+        _status, data = self._call("POST", "/v1/shard/compute", request)
+        body = self._checked(_status, data)
+        result = body["result"]
+        assert isinstance(result, dict)
+        return result
+
+    # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
     def snapshot(self) -> int:

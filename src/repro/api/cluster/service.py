@@ -60,30 +60,49 @@ from repro.api.service import (
     StreamView,
 )
 from repro.api.wire import encode_payload, key_of_row
+from repro.compute.coordinator import ComputeCoordinator, ComputeStats
+from repro.compute.pathsearch import DistributedPathSearch
 from repro.core.pipeline import NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
-from repro.errors import ClusterError, ConfigError, ReproError
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    QAError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
 from repro.graph.partition import PartitionStats
 from repro.kb.drone_kb import build_drone_kb
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.mining.patterns import Pattern
 from repro.mining.support import closed_patterns
+from repro.qa.pathsearch import RankedPath
 from repro.query.engine import (
+    centrality_payload,
+    components_payload,
     merge_entity_summaries,
     merge_pattern_matches,
     merge_ranked_paths,
     merge_statistics,
     merge_trend_rows,
     merge_window_reports,
+    pagerank_payload,
+    render_centrality,
+    render_components,
+    render_pagerank,
     render_pattern_matches,
     render_ranked_paths,
     render_trend_rows,
     render_window_report,
 )
 from repro.query.model import (
+    CentralityQuery,
+    ComponentsQuery,
     EntityQuery,
     EntityTrendQuery,
     ExplanatoryQuery,
+    PageRankQuery,
     PatternQuery,
     Query,
     RelationshipQuery,
@@ -92,6 +111,7 @@ from repro.query.model import (
 from repro.query.parser import parse_query
 
 _PATH_KINDS = ("relationship", "explanatory")
+_ANALYTICS_KINDS = ("pagerank", "components", "centrality")
 
 
 def kind_of_query(query: Query) -> str:
@@ -109,6 +129,12 @@ def kind_of_query(query: Query) -> str:
         return "relationship"
     if isinstance(query, PatternQuery):
         return "pattern"
+    if isinstance(query, PageRankQuery):
+        return "pagerank"
+    if isinstance(query, ComponentsQuery):
+        return "components"
+    if isinstance(query, CentralityQuery):
+        return "centrality"
     raise ReproError(  # pragma: no cover - future query classes
         f"unsupported query type: {type(query).__name__}"
     )
@@ -528,6 +554,13 @@ class ShardedNousService:
         self._collectors: List[List[StandingQueryUpdate]] = []
         self.cluster_subscription_errors = 0
         self._curated_stats: Optional[GraphStatistics] = None
+        # Distributed compute: counters shared by every coordinator this
+        # cluster creates, plus one lazily-built path search (it carries
+        # the LDA topics cache, keyed on the composite version stamp).
+        self._nous_config = config or NousConfig()
+        self._compute_stats = ComputeStats()
+        self._compute_lock = threading.Lock()
+        self._path_search: Optional[DistributedPathSearch] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -913,6 +946,12 @@ class ShardedNousService:
     ) -> Tuple[str, Dict[str, Any], str]:
         """Execute one non-trending query on every shard and merge."""
         kind = kind_of_query(query)
+        if kind in _ANALYTICS_KINDS:
+            # No per-shard merge can reproduce a global fixpoint (a
+            # shard's local pagerank is not a partial answer), so the
+            # analytics classes bypass the scatter and run as
+            # distributed superstep jobs over the merged graph.
+            return self._analytics_query(query, kind)
         gathered = self._gather(lambda shard: shard.execute_query(query))
         results = [result for result, error in gathered if error is None]
         errors = [error for _result, error in gathered if error is not None]
@@ -922,10 +961,21 @@ class ShardedNousService:
             if not results:
                 assert errors
                 raise errors[0]
-            merged_paths = merge_ranked_paths(
-                [r.payload for r in results], k=self.path_k
-            )
+            path_lists = [r.payload for r in results]
             note = self._relaxation_note(results)
+            if self.num_shards > 1:
+                # Augment with the coherent cross-shard search: routes
+                # whose edges live on different shards are invisible to
+                # every per-shard search, so the distributed frontier
+                # expansion is the only way they reach the merge.
+                distributed, constrained = self._distributed_paths(query)
+                if distributed:
+                    path_lists = path_lists + [distributed]
+                    if constrained:
+                        # A cross-shard via-path exists after all; the
+                        # all-shards-relaxed note would now be wrong.
+                        note = None
+            merged_paths = merge_ranked_paths(path_lists, k=self.path_k)
             return (
                 kind,
                 encode_payload(kind, merged_paths),
@@ -951,6 +1001,120 @@ class ShardedNousService:
             encode_payload(kind, matches),
             render_pattern_matches(matches),
         )
+
+    # ------------------------------------------------------------------
+    # distributed compute
+    # ------------------------------------------------------------------
+    def compute_coordinator(
+        self, on_round: Optional[Callable[[int], None]] = None
+    ) -> ComputeCoordinator:
+        """A superstep coordinator over this cluster's shards.
+
+        Coordinators share the cluster's scatter pool and compute
+        counters.  With durability armed (``data_dir`` + process
+        shards) the coordinator self-heals a dead worker and re-runs
+        the failed round — steps are stateless, so the retry is exact;
+        otherwise a mid-superstep death surfaces as the structured
+        :class:`ClusterError` instead of hanging the job.
+        """
+        recover: Optional[Callable[[], None]] = None
+        if self.data_dir is not None and self._manager is not None:
+            recover = self._compute_recover
+        return ComputeCoordinator(
+            self.shards,
+            executor=self._executor,
+            recover=recover,
+            on_round=on_round,
+            stats=self._compute_stats,
+        )
+
+    def _compute_recover(self) -> None:
+        """Self-heal hook handed to coordinators (durable mode only)."""
+        self.recover_dead_shards()
+
+    def _distributed_path_search(self) -> DistributedPathSearch:
+        """The cluster's coherent cross-shard path search (lazy; reused
+        so its topic fit is cached across queries on the composite
+        version stamp).  Search settings mirror the shards' own
+        :class:`NousConfig`, which is what makes its coherence scores
+        comparable with — and mergeable into — the per-shard answers."""
+        with self._compute_lock:
+            if self._path_search is None:
+                config = self._nous_config
+                self._path_search = DistributedPathSearch(
+                    self.compute_coordinator(),
+                    n_topics=config.n_topics,
+                    lda_iterations=config.lda_iterations,
+                    seed=config.seed,
+                    max_hops=config.max_hops,
+                    beam_width=config.beam_width,
+                )
+            return self._path_search
+
+    def _distributed_paths(
+        self, query: Query
+    ) -> Tuple[List[RankedPath], bool]:
+        """Cross-shard routes for one path query, or ``[]`` on failure.
+
+        Returns ``(paths, constrained)`` — ``constrained`` is True when
+        the paths satisfy the query's ``via`` predicate.  Failures
+        degrade to the per-shard merge (the same partial tolerance the
+        scatter applies): a dead shard without self-heal, an endpoint
+        absent from the merged graph, or a degenerate source==target
+        resolution must not take down an answerable query.
+        """
+        relationship = getattr(query, "relationship", None)
+        try:
+            search = self._distributed_path_search()
+            source = search.resolve(getattr(query, "source"))
+            target = search.resolve(getattr(query, "target"))
+            if source == target:
+                return [], False
+            paths = search.top_k_paths(
+                source, target, k=self.path_k, relationship=relationship
+            )
+            if paths:
+                return paths, relationship is not None
+            if relationship is not None:
+                # Mirror the engine's relaxation: the predicate is a
+                # preference, not a hard gate.
+                return (
+                    search.top_k_paths(source, target, k=self.path_k),
+                    False,
+                )
+            return [], False
+        except (ClusterError, VertexNotFoundError, QAError):
+            return [], False
+
+    def _analytics_query(
+        self, query: Query, kind: str
+    ) -> Tuple[str, Dict[str, Any], str]:
+        """Run one analytics query class as a distributed compute job."""
+        coordinator = self.compute_coordinator()
+        if kind == "pagerank":
+            assert isinstance(query, PageRankQuery)
+            ranks = coordinator.pagerank()
+            payload = pagerank_payload(ranks, top=query.top)
+            return kind, encode_payload(kind, payload), render_pagerank(payload)
+        if kind == "components":
+            labels = coordinator.components()
+            payload = components_payload(labels)
+            return (
+                kind,
+                encode_payload(kind, payload),
+                render_components(payload),
+            )
+        assert isinstance(query, CentralityQuery)
+        if query.metric != "degree":
+            raise QueryError(
+                f"unsupported centrality metric {query.metric!r}"
+            )
+        scores = {
+            vertex: float(degree)
+            for vertex, degree in coordinator.degree_centrality().items()
+        }
+        payload = centrality_payload(scores, metric=query.metric, top=query.top)
+        return kind, encode_payload(kind, payload), render_centrality(payload)
 
     @staticmethod
     def _relaxation_note(results: Sequence[Any]) -> Optional[str]:
@@ -1084,6 +1248,7 @@ class ShardedNousService:
             "dead_shards": self.dead_shards(),
             "shard_restarts": list(self.shard_restarts),
             "partition": self.partition_stats().to_dict(),
+            "compute": self._compute_stats.to_dict(),
         }
         if self._manager is not None:
             info["workers"] = [

@@ -538,6 +538,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         "ingest_facts": "POST",
         "refresh": "POST",
         "snapshot": "POST",
+        "compute": "POST",
     }
 
     def _handle_shard(self, method: str, route: str) -> None:
@@ -698,6 +699,22 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             sum(version) if isinstance(version, (tuple, list)) else int(version)
         )
         self._send_json(200, {"ok": True, "kg_version": scalar})
+
+    def _shard_compute(self, data: Dict[str, Any]) -> None:
+        """One distributed-compute superstep: the body is a
+        :class:`~repro.compute.protocol.ComputeRequest` wire dict and
+        the answer wraps the shard's ``ComputeResponse`` verbatim.
+        Steps are stateless, so a recovered worker can re-run any round
+        the dead one never answered."""
+        hook = self._shard_hook("compute_step")
+        if hook is None:
+            return
+        try:
+            result = hook(data)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            self._send_envelope(ApiResponse.failure(exc, kind="compute"))
+            return
+        self._send_json(200, {"ok": True, "result": result})
 
     def _shard_ingest_facts(self, data: Dict[str, Any]) -> None:
         hook = self._shard_hook("ingest_facts")

@@ -48,6 +48,7 @@ from repro.api.envelopes import (
     error_from_exception,
 )
 from repro.api.wire import delta_rows, encode_payload
+from repro.compute.shardstep import ComputeStepExecutor
 from repro.core.pipeline import Nous, NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
 from repro.errors import ConfigError, ReproError, StorageError
@@ -321,6 +322,7 @@ class NousService:
         self._closed = False
         self._subscriptions: Dict[int, Subscription] = {}
         self._next_subscription_id = 1
+        self._compute_executor: Optional[ComputeStepExecutor] = None
         self.batches_drained = 0
         self.documents_drained = 0
         #: Standing-query evaluation/callback failures swallowed so far.
@@ -908,6 +910,22 @@ class NousService:
                 for triple in self.nous.kb.store
                 if not triple.curated
             ]
+
+    def compute_step(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one stateless compute superstep over this shard's partition.
+
+        The distributed-compute scatter hook (``POST /v1/shard/compute``
+        on a worker): the coordinator sends a
+        :class:`~repro.compute.protocol.ComputeRequest` in wire form and
+        gets the wire-form response back.  Runs under the durable engine
+        lock because the ``resolve`` op drives the entity linker, which
+        may mint entities (a WAL-worthy mutation); the graph-scan ops
+        are pure reads and the durable wrapper is a no-op for them.
+        """
+        with self._durable_engine_lock():
+            if self._compute_executor is None:
+                self._compute_executor = ComputeStepExecutor(self.nous)
+            return self._compute_executor.execute(request)
 
     # ------------------------------------------------------------------
     # standing queries

@@ -19,6 +19,7 @@ import json
 from collections import Counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.compute.protocol import ComputeRequest, ComputeResponse
 from repro.core.pipeline import EntitySummary, IngestResult
 from repro.core.statistics import GraphStatistics
 from repro.errors import QueryError
@@ -318,6 +319,73 @@ def ingest_result_from_wire(data: Mapping[str, Any]) -> IngestResult:
 
 
 # ---------------------------------------------------------------------------
+# compute envelopes (the /v1/shard/compute superstep protocol)
+# ---------------------------------------------------------------------------
+
+
+def compute_request_to_wire(request: ComputeRequest) -> Dict[str, Any]:
+    """JSON-safe form of one superstep request."""
+    return request.to_wire()
+
+
+def compute_request_from_wire(data: Mapping[str, Any]) -> ComputeRequest:
+    return ComputeRequest.from_wire(data)
+
+
+def compute_response_to_wire(response: ComputeResponse) -> Dict[str, Any]:
+    """JSON-safe form of one superstep response."""
+    return response.to_wire()
+
+
+def compute_response_from_wire(data: Mapping[str, Any]) -> ComputeResponse:
+    return ComputeResponse.from_wire(data)
+
+
+# ---------------------------------------------------------------------------
+# analytics payloads
+# ---------------------------------------------------------------------------
+
+
+def pagerank_to_wire(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """``{"ranks": [[entity, score], ...], "num_vertices": n}`` —
+    scores are pre-rounded by the engine so both sides compare equal."""
+    return {
+        "ranks": [[str(e), float(s)] for e, s in payload["ranks"]],
+        "num_vertices": int(payload["num_vertices"]),
+    }
+
+
+def pagerank_from_wire(data: Mapping[str, Any]) -> Dict[str, Any]:
+    return pagerank_to_wire(data)
+
+
+def components_to_wire(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """``{"components": [[member, ...], ...], "num_components": n}``."""
+    return {
+        "components": [
+            [str(m) for m in members] for members in payload["components"]
+        ],
+        "num_components": int(payload["num_components"]),
+    }
+
+
+def components_from_wire(data: Mapping[str, Any]) -> Dict[str, Any]:
+    return components_to_wire(data)
+
+
+def centrality_to_wire(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """``{"metric": name, "ranks": [[entity, score], ...]}``."""
+    return {
+        "metric": str(payload["metric"]),
+        "ranks": [[str(e), float(s)] for e, s in payload["ranks"]],
+    }
+
+
+def centrality_from_wire(data: Mapping[str, Any]) -> Dict[str, Any]:
+    return centrality_to_wire(data)
+
+
+# ---------------------------------------------------------------------------
 # kind dispatch
 # ---------------------------------------------------------------------------
 
@@ -338,6 +406,12 @@ def encode_payload(kind: str, payload: Any) -> Dict[str, Any]:
         return statistics_to_wire(payload)
     if kind == "ingest":
         return ingest_result_to_wire(payload)
+    if kind == "pagerank":
+        return pagerank_to_wire(payload)
+    if kind == "components":
+        return components_to_wire(payload)
+    if kind == "centrality":
+        return centrality_to_wire(payload)
     raise QueryError(f"no wire codec for result kind {kind!r}")
 
 
@@ -357,6 +431,12 @@ def decode_payload(kind: str, data: Mapping[str, Any]) -> Any:
         return statistics_from_wire(data)
     if kind == "ingest":
         return ingest_result_from_wire(data)
+    if kind == "pagerank":
+        return pagerank_from_wire(data)
+    if kind == "components":
+        return components_from_wire(data)
+    if kind == "centrality":
+        return centrality_from_wire(data)
     raise QueryError(f"no wire codec for result kind {kind!r}")
 
 

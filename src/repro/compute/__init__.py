@@ -1,0 +1,39 @@
+"""Distributed superstep compute over the shard wire surface.
+
+NOUS runs its graph workloads — coherence-guided path search and
+streaming analytics — on a distributed graph engine (Spark/GraphX).
+This package lifts the seed's single-process vertex-centric engine
+(:mod:`repro.graph.pregel`) to the shard cluster as a bulk-synchronous
+protocol:
+
+- :mod:`repro.compute.protocol` — the compute envelope types shipped
+  over ``POST /v1/shard/compute`` and the edge-ownership rule that
+  makes the union of per-shard answers exactly one copy of the merged
+  graph.
+- :mod:`repro.compute.shardstep` — the shard-side executor: one
+  stateless superstep per request over the shard's KG partition.
+- :mod:`repro.compute.coordinator` — the router-side coordinator: runs
+  rounds across all shards (PageRank, connected components, degree
+  centrality) and exchanges only frontier/boundary-vertex messages.
+- :mod:`repro.compute.pathsearch` — coherent cross-shard path search:
+  distributed frontier expansion feeding the existing memoised
+  :class:`~repro.qa.pathsearch.CoherentPathSearch` scoring.
+
+Layering: this package sits *below* ``repro.api`` (the service facade
+and cluster import it, never the reverse) and *above* the graph/qa/kb
+layers it computes over.
+"""
+
+from repro.compute.coordinator import ComputeCoordinator, ComputeStats
+from repro.compute.pathsearch import DistributedPathSearch
+from repro.compute.protocol import ComputeRequest, ComputeResponse
+from repro.compute.shardstep import ComputeStepExecutor
+
+__all__ = [
+    "ComputeCoordinator",
+    "ComputeStats",
+    "ComputeRequest",
+    "ComputeResponse",
+    "ComputeStepExecutor",
+    "DistributedPathSearch",
+]

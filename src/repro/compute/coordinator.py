@@ -1,0 +1,461 @@
+"""Router-side coordinator for bulk-synchronous compute over shards.
+
+The coordinator generalises :func:`repro.graph.pregel.pregel` to a
+cluster: vertex state lives here, the per-partition edge scans run on
+the shards (one :class:`~repro.compute.protocol.ComputeRequest` per
+shard per superstep), and only frontier/boundary-vertex messages cross
+the wire each round.  Analytics jobs (PageRank, connected components,
+degree centrality) mirror the single-graph reference implementations in
+:mod:`repro.graph.algorithms` exactly, so a cluster of N shards and a
+monolith holding the same facts agree on results.
+
+Failure semantics (dead worker mid-superstep): every shard call that
+raises :class:`~repro.errors.ClusterError` first invokes the optional
+``recover`` hook (the cluster's ``data_dir`` self-heal) and retries the
+step once — safe because steps are stateless — and otherwise propagates
+the structured error instead of hanging the round.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.compute.protocol import (
+    OP_CONTRIB,
+    OP_DEGREES,
+    OP_EDGE_DUMP,
+    OP_EXPAND,
+    OP_GRAPH_INFO,
+    OP_MIN_LABELS,
+    OP_RESOLVE,
+    ComputeRequest,
+    ComputeResponse,
+    disown_sets,
+)
+from repro.errors import ClusterError
+from repro.graph.algorithms import _order_key
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard (typing only):
+    # repro.compute sits below repro.api; the ShardLike protocol is a
+    # structural type, so importing it at runtime would invert the
+    # layering (repro.api.__init__ pulls in the whole service stack).
+    from repro.api.base import ShardLike
+
+
+class ComputeStats:
+    """Cross-job communication counters, surfaced under ``/v1/stats``.
+
+    Shared by every coordinator a cluster creates; all mutation goes
+    through the record methods, which lock, so concurrent jobs cannot
+    tear the counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.jobs = 0
+        self.supersteps = 0
+        self.messages = 0
+        self.cross_shard_bytes = 0
+        self.path_searches = 0
+        self.last_messages_per_step: List[int] = []
+
+    def start_job(self) -> None:
+        with self._lock:
+            self.jobs += 1
+            self.last_messages_per_step = []
+
+    def record_round(self, messages: int, nbytes: int) -> None:
+        with self._lock:
+            self.supersteps += 1
+            self.messages += messages
+            self.cross_shard_bytes += nbytes
+            self.last_messages_per_step.append(messages)
+
+    def record_step(self, messages: int, nbytes: int) -> None:
+        """A single out-of-round exchange (e.g. mention resolution)."""
+        with self._lock:
+            self.messages += messages
+            self.cross_shard_bytes += nbytes
+
+    def record_path_search(self) -> None:
+        with self._lock:
+            self.path_searches += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "jobs": self.jobs,
+                "supersteps": self.supersteps,
+                "messages": self.messages,
+                "cross_shard_bytes": self.cross_shard_bytes,
+                "path_searches": self.path_searches,
+                "last_messages_per_step": list(self.last_messages_per_step),
+            }
+
+
+@dataclass(frozen=True)
+class ClusterGraphInfo:
+    """Round-0 census of the merged graph.
+
+    Attributes:
+        vertices: Sorted union of every shard's graph vertices.
+        disown: Per-shard duplicate-extraction disown lists (wire form).
+        documents: Entity -> description over the union of shard KBs
+            (first non-empty description by shard order; empty unless
+            requested with ``documents=True``).
+        kg_versions: Per-shard KG version stamps at census time — the
+            compute analogue of the composite cache stamp.
+    """
+
+    vertices: List[str]
+    disown: List[List[List[str]]]
+    documents: Dict[str, str]
+    kg_versions: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ClusterDegrees:
+    """Owned degree census (analytics jobs only).
+
+    Attributes:
+        out_deg / deg: Merged-graph out-degree / total degree per vertex.
+        srcs_by_shard: Vertices with >= 1 owned out-edge, per shard —
+            the only vertices whose rank shares that shard needs.
+        incident_by_shard: Vertices with >= 1 owned incident edge, per
+            shard — the only labels that shard needs.
+    """
+
+    out_deg: Dict[str, int]
+    deg: Dict[str, int]
+    srcs_by_shard: List[List[str]]
+    incident_by_shard: List[List[str]]
+
+
+class ComputeCoordinator:
+    """Drive bulk-synchronous compute jobs across a shard cluster.
+
+    Args:
+        shards: The shard surfaces (in-process services or remote
+            clients); indexed by position.
+        executor: Optional pool for fanning one round out concurrently;
+            rounds run sequentially when omitted.
+        recover: Optional self-heal hook invoked when a shard call
+            raises :class:`ClusterError`; after it returns the step is
+            retried once.  Without a hook the error propagates.
+        on_round: Test/observability hook called with the job-local
+            round ordinal after every completed round (the
+            fault-injection seam for killing workers *between* rounds).
+        stats: Shared counters; a private instance when omitted.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence["ShardLike"],
+        executor: Optional[ThreadPoolExecutor] = None,
+        recover: Optional[Callable[[], None]] = None,
+        on_round: Optional[Callable[[int], None]] = None,
+        stats: Optional[ComputeStats] = None,
+    ) -> None:
+        self.shards = list(shards)
+        self.num_shards = len(self.shards)
+        self.executor = executor
+        self.recover = recover
+        self.on_round = on_round
+        self.stats = stats if stats is not None else ComputeStats()
+        self._recover_lock = threading.Lock()
+        self._job_round = 0
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+    def _step(
+        self, index: int, op: str, params: Dict[str, Any]
+    ) -> Tuple[ComputeResponse, int]:
+        """One stateless shard call; returns (response, bytes on wire).
+
+        On :class:`ClusterError` the recover hook (when present) runs
+        once and the call is retried; a second failure propagates.
+        """
+        request = ComputeRequest(
+            op=op, shard=index, num_shards=self.num_shards, params=params
+        ).to_wire()
+        try:
+            raw = self.shards[index].compute_step(request)
+        except ClusterError:
+            if self.recover is None:
+                raise
+            with self._recover_lock:
+                self.recover()
+            raw = self.shards[index].compute_step(request)
+        nbytes = len(json.dumps(request, sort_keys=True)) + len(
+            json.dumps(raw, sort_keys=True)
+        )
+        return ComputeResponse.from_wire(raw), nbytes
+
+    @staticmethod
+    def _message_count(
+        op: str, params: Dict[str, Any], result: Dict[str, Any]
+    ) -> int:
+        """Boundary messages exchanged by one step (request + response)."""
+        if op == OP_CONTRIB:
+            return len(params.get("shares", {})) + len(result.get("contrib", {}))
+        if op == OP_MIN_LABELS:
+            return len(params.get("labels", {})) + len(result.get("messages", {}))
+        if op == OP_EXPAND:
+            return len(params.get("vertices", [])) + len(result.get("edges", []))
+        if op in (OP_GRAPH_INFO, OP_DEGREES, OP_EDGE_DUMP):
+            return sum(
+                len(value) for value in result.values() if isinstance(value, list)
+            )
+        return len(result.get("entities", []))
+
+    def _round(
+        self, op: str, params_by_shard: Dict[int, Dict[str, Any]]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Run one superstep across the addressed shards (a barrier)."""
+        indices = sorted(params_by_shard)
+        if self.executor is not None and len(indices) > 1:
+            futures = {
+                index: self.executor.submit(
+                    self._step, index, op, params_by_shard[index]
+                )
+                for index in indices
+            }
+            raw = {index: future.result() for index, future in futures.items()}
+        else:
+            raw = {
+                index: self._step(index, op, params_by_shard[index])
+                for index in indices
+            }
+        messages = 0
+        nbytes = 0
+        results: Dict[int, Dict[str, Any]] = {}
+        for index in indices:
+            response, step_bytes = raw[index]
+            nbytes += step_bytes
+            messages += self._message_count(
+                op, params_by_shard[index], response.result
+            )
+            results[index] = response.result
+        self.stats.record_round(messages, nbytes)
+        self._job_round += 1
+        if self.on_round is not None:
+            self.on_round(self._job_round)
+        return results
+
+    def begin_job(self) -> None:
+        """Mark the start of one compute job (resets round-local state)."""
+        self.stats.start_job()
+        self._job_round = 0
+
+    # ------------------------------------------------------------------
+    # census rounds
+    # ------------------------------------------------------------------
+    def graph_info(self, documents: bool = False) -> ClusterGraphInfo:
+        """Round 0: union vertex set, duplicate disowns, optional docs."""
+        params = {"documents": documents}
+        results = self._round(
+            OP_GRAPH_INFO, {i: dict(params) for i in range(self.num_shards)}
+        )
+        vertices: Set[str] = set()
+        extracted: List[List[Tuple[str, str, str]]] = []
+        docs: Dict[str, str] = {}
+        for index in range(self.num_shards):
+            result = results[index]
+            vertices.update(result["vertices"])
+            extracted.append(
+                [(str(s), str(p), str(o)) for s, p, o in result["extracted"]]
+            )
+            for entity, description in result.get("entities", []):
+                if entity not in docs or not docs[entity]:
+                    docs[str(entity)] = str(description)
+        kg_versions = tuple(
+            shard.kg_version_hint for shard in self.shards
+        )
+        return ClusterGraphInfo(
+            vertices=sorted(vertices),
+            disown=disown_sets(extracted),
+            documents=docs,
+            kg_versions=kg_versions,
+        )
+
+    def degrees(self, info: ClusterGraphInfo) -> ClusterDegrees:
+        """Round 1 (analytics): owned-degree census under the disowns."""
+        results = self._round(
+            OP_DEGREES,
+            {
+                i: {"disown": info.disown[i]}
+                for i in range(self.num_shards)
+            },
+        )
+        out_deg: Dict[str, int] = {}
+        deg: Dict[str, int] = {}
+        srcs: List[List[str]] = []
+        incident: List[List[str]] = []
+        for index in range(self.num_shards):
+            result = results[index]
+            for vertex, count in result["out_deg"].items():
+                out_deg[vertex] = out_deg.get(vertex, 0) + int(count)
+            for vertex, count in result["deg"].items():
+                deg[vertex] = deg.get(vertex, 0) + int(count)
+            srcs.append([str(v) for v in result["srcs"]])
+            incident.append([str(v) for v in result["incident"]])
+        return ClusterDegrees(
+            out_deg=out_deg,
+            deg=deg,
+            srcs_by_shard=srcs,
+            incident_by_shard=incident,
+        )
+
+    def resolve(self, mentions: Sequence[str]) -> List[str]:
+        """Link mentions on the first answering shard's linker."""
+        last_error: Optional[ClusterError] = None
+        for index in range(self.num_shards):
+            try:
+                response, nbytes = self._step(
+                    index, OP_RESOLVE, {"mentions": list(mentions)}
+                )
+            except ClusterError as exc:
+                last_error = exc
+                continue
+            self.stats.record_step(len(mentions), nbytes)
+            return [str(e) for e in response.result["entities"]]
+        if last_error is not None:
+            raise last_error
+        raise ClusterError("no shards available to resolve mentions")
+
+    # ------------------------------------------------------------------
+    # analytics jobs (mirror repro.graph.algorithms exactly)
+    # ------------------------------------------------------------------
+    def pagerank(
+        self,
+        damping: float = 0.85,
+        max_iterations: int = 30,
+        tol: float = 1.0e-6,
+    ) -> Dict[str, float]:
+        """Distributed power-iteration PageRank over the merged graph.
+
+        Same formula, dangling handling, convergence test and defaults
+        as :func:`repro.graph.algorithms.pagerank`; per-edge rank shares
+        are summed on the owning shards, only ``{src: share}`` /
+        ``{dst: contribution}`` maps cross the wire.
+        """
+        self.begin_job()
+        info = self.graph_info()
+        census = self.degrees(info)
+        vertices = info.vertices
+        n = len(vertices)
+        if n == 0:
+            return {}
+        ranks = {vertex: 1.0 / n for vertex in vertices}
+        out_deg = {vertex: census.out_deg.get(vertex, 0) for vertex in vertices}
+        for _ in range(max_iterations):
+            contrib = {vertex: 0.0 for vertex in vertices}
+            dangling = 0.0
+            shares: Dict[str, float] = {}
+            for vertex, rank in ranks.items():
+                if out_deg[vertex] == 0:
+                    dangling += rank
+                else:
+                    shares[vertex] = rank / out_deg[vertex]
+            params_by_shard: Dict[int, Dict[str, Any]] = {}
+            for index in range(self.num_shards):
+                shard_shares = {
+                    vertex: shares[vertex]
+                    for vertex in census.srcs_by_shard[index]
+                    if vertex in shares
+                }
+                if shard_shares:
+                    params_by_shard[index] = {
+                        "shares": shard_shares,
+                        "disown": info.disown[index],
+                    }
+            if params_by_shard:
+                results = self._round(OP_CONTRIB, params_by_shard)
+                for index in sorted(results):
+                    for dst, value in results[index]["contrib"].items():
+                        contrib[dst] += float(value)
+            base = (1.0 - damping) / n + damping * dangling / n
+            new_ranks = {
+                vertex: base + damping * contrib[vertex] for vertex in vertices
+            }
+            delta = sum(abs(new_ranks[v] - ranks[v]) for v in vertices)
+            ranks = new_ranks
+            if delta < tol:
+                break
+        return ranks
+
+    def components(self) -> Dict[str, str]:
+        """Distributed min-label connected components (direction ignored).
+
+        Converges to the same fixed point as
+        :func:`repro.graph.algorithms.connected_components`: every
+        vertex labelled with its weak component's minimum vertex id.
+        """
+        self.begin_job()
+        info = self.graph_info()
+        census = self.degrees(info)
+        labels = {vertex: vertex for vertex in info.vertices}
+        for _ in range(max(len(labels), 1)):
+            params_by_shard = {
+                index: {
+                    "labels": {
+                        vertex: labels[vertex]
+                        for vertex in census.incident_by_shard[index]
+                    },
+                    "disown": info.disown[index],
+                }
+                for index in range(self.num_shards)
+                if census.incident_by_shard[index]
+            }
+            if not params_by_shard:
+                break
+            results = self._round(OP_MIN_LABELS, params_by_shard)
+            changed = False
+            for index in sorted(results):
+                for vertex, label in results[index]["messages"].items():
+                    if _order_key(label) < _order_key(labels[vertex]):
+                        labels[vertex] = str(label)
+                        changed = True
+            if not changed:
+                break
+        return labels
+
+    def degree_centrality(self) -> Dict[str, int]:
+        """Merged-graph total degree per vertex (owned counts summed)."""
+        self.begin_job()
+        info = self.graph_info()
+        census = self.degrees(info)
+        return {
+            vertex: census.deg.get(vertex, 0) for vertex in info.vertices
+        }
+
+    # ------------------------------------------------------------------
+    # baseline (benchmark only)
+    # ------------------------------------------------------------------
+    def ship_everything(self) -> Dict[int, Dict[str, Any]]:
+        """The no-protocol baseline: pull every shard's full partition.
+
+        Exists so ``benchmarks/bench_compute.py`` can price what a
+        router would pay to rebuild the merged graph centrally; the
+        bytes land in the same stats counters as real jobs when this
+        coordinator's stats object is private to the measurement.
+        """
+        self.begin_job()
+        return self._round(
+            OP_EDGE_DUMP, {i: {} for i in range(self.num_shards)}
+        )

@@ -1,0 +1,243 @@
+"""Compute envelope types and the edge-ownership rule.
+
+One superstep of distributed graph compute is a single stateless
+request/response pair: the coordinator sends a :class:`ComputeRequest`
+(op name, the target shard's index and the cluster width, plus
+op-specific params) and the shard answers with a
+:class:`ComputeResponse`.  Shards keep **no job state** between steps —
+every request carries everything the step needs — which is what makes a
+crashed-and-recovered worker able to re-run any round verbatim.
+
+Ops (``params`` / ``result`` contracts, all JSON-safe):
+
+========== ============================================ =========================================
+op         params                                       result
+========== ============================================ =========================================
+graph_info ``documents`` (bool)                         ``vertices``, ``extracted`` fact keys,
+                                                        ``entities`` ([id, description], when
+                                                        ``documents``)
+degrees    ``disown``                                   owned ``out_deg`` / ``deg`` per vertex,
+                                                        ``incident`` / ``srcs`` vertex lists
+expand     ``vertices``, ``skip``, ``disown``           owned ``edges`` incident to the frontier
+contrib    ``shares`` (src -> rank share), ``disown``   summed ``contrib`` per destination
+min_labels ``labels`` (vertex -> label), ``disown``     min-neighbour-label ``messages``
+resolve    ``mentions``                                 linked ``entities``
+edge_dump  (none)                                       the shard's **entire** local graph — the
+                                                        ship-everything baseline the benchmark
+                                                        compares against
+========== ============================================ =========================================
+
+**Edge ownership.**  Curated facts are replicated into every shard's KB,
+so a naive union of per-shard answers would count each curated edge N
+times.  Ownership assigns every merged-graph edge to exactly one shard:
+a curated edge belongs to ``stable_hash("s|p|o") % num_shards`` —
+computable locally with zero exchange — and an extracted edge belongs to
+the shard that extracted it, unless its key appears in the request's
+``disown`` list (the coordinator detects cross-shard extraction
+duplicates from ``graph_info`` and keeps the lowest shard index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.graph.partition import _stable_hash
+from repro.graph.property_graph import Edge
+from repro.nlp.dates import SimpleDate, parse_date
+
+OP_GRAPH_INFO = "graph_info"
+OP_DEGREES = "degrees"
+OP_EXPAND = "expand"
+OP_CONTRIB = "contrib"
+OP_MIN_LABELS = "min_labels"
+OP_RESOLVE = "resolve"
+OP_EDGE_DUMP = "edge_dump"
+
+COMPUTE_OPS = (
+    OP_GRAPH_INFO,
+    OP_DEGREES,
+    OP_EXPAND,
+    OP_CONTRIB,
+    OP_MIN_LABELS,
+    OP_RESOLVE,
+    OP_EDGE_DUMP,
+)
+
+FactKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class ComputeRequest:
+    """One superstep request addressed to one shard.
+
+    Attributes:
+        op: One of :data:`COMPUTE_OPS`.
+        shard: Index of the addressed shard in ``[0, num_shards)``.
+        num_shards: Cluster width (the modulus of the ownership rule).
+        params: Op-specific JSON-safe parameters.
+    """
+
+    op: str
+    shard: int
+    num_shards: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "shard": self.shard,
+            "num_shards": self.num_shards,
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def from_wire(data: Mapping[str, Any]) -> "ComputeRequest":
+        op = str(data["op"])
+        if op not in COMPUTE_OPS:
+            raise ConfigError(f"unknown compute op {op!r}")
+        shard = int(data["shard"])
+        num_shards = int(data["num_shards"])
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0 <= shard < num_shards:
+            raise ConfigError(
+                f"shard index {shard} out of range for {num_shards} shards"
+            )
+        return ComputeRequest(
+            op=op,
+            shard=shard,
+            num_shards=num_shards,
+            params=dict(data.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class ComputeResponse:
+    """One shard's answer to one superstep request.
+
+    Attributes:
+        op: Echo of the request op.
+        shard: Echo of the addressed shard index.
+        kg_version: The shard's KG version stamp at answer time.
+        result: Op-specific JSON-safe result.
+    """
+
+    op: str
+    shard: int
+    kg_version: int
+    result: Dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "shard": self.shard,
+            "kg_version": self.kg_version,
+            "result": dict(self.result),
+        }
+
+    @staticmethod
+    def from_wire(data: Mapping[str, Any]) -> "ComputeResponse":
+        op = str(data["op"])
+        if op not in COMPUTE_OPS:
+            raise ConfigError(f"unknown compute op {op!r}")
+        return ComputeResponse(
+            op=op,
+            shard=int(data["shard"]),
+            kg_version=int(data["kg_version"]),
+            result=dict(data.get("result") or {}),
+        )
+
+
+# ---------------------------------------------------------------------------
+# edge ownership
+# ---------------------------------------------------------------------------
+
+
+def edge_key(edge: Edge) -> FactKey:
+    """The cross-shard identity of a KG edge: ``(src, label, dst)``."""
+    return (str(edge.src), edge.label, str(edge.dst))
+
+
+def owns_edge(
+    edge: Edge, shard: int, num_shards: int, disown: FrozenSet[FactKey]
+) -> bool:
+    """Whether ``shard`` is the unique owner of ``edge`` in the merged graph.
+
+    Curated edges (replicated everywhere) hash to one owner; extracted
+    edges are owned where they were extracted unless the coordinator
+    disowned this copy as a cross-shard duplicate.
+    """
+    key = edge_key(edge)
+    if edge.props.get("curated"):
+        return _stable_hash("|".join(key)) % num_shards == shard
+    return key not in disown
+
+
+def disown_sets(
+    extracted_by_shard: List[List[FactKey]],
+) -> List[List[List[str]]]:
+    """Duplicate-extraction disown lists, one per shard.
+
+    A fact key extracted on several shards is owned by the lowest shard
+    index that has it; every other holder must skip its copy.  Returned
+    in wire form (lists, sorted) so the coordinator can embed them in
+    request params verbatim.
+    """
+    first_owner: Dict[FactKey, int] = {}
+    for index, keys in enumerate(extracted_by_shard):
+        for key in keys:
+            first_owner.setdefault(key, index)
+    out: List[List[List[str]]] = []
+    for index, keys in enumerate(extracted_by_shard):
+        dup = sorted({key for key in keys if first_owner[key] != index})
+        out.append([list(key) for key in dup])
+    return out
+
+
+def disown_param(disown: Optional[List[List[str]]]) -> FrozenSet[FactKey]:
+    """Parse a request's ``disown`` param into a key set."""
+    return frozenset(
+        (str(item[0]), str(item[1]), str(item[2])) for item in (disown or [])
+    )
+
+
+# ---------------------------------------------------------------------------
+# edge payloads (compute sits below repro.api, so it carries its own
+# minimal edge codec; dates use the same SimpleDate string form the KB
+# parses)
+# ---------------------------------------------------------------------------
+
+
+def edge_payload(edge: Edge) -> Dict[str, Any]:
+    """JSON-safe form of a KG edge for ``expand`` / ``edge_dump`` results."""
+    props = dict(edge.props)
+    date = props.get("date")
+    if isinstance(date, SimpleDate):
+        props["date"] = str(date)
+    return {
+        "src": str(edge.src),
+        "dst": str(edge.dst),
+        "label": edge.label,
+        "props": props,
+    }
+
+
+def edge_from_payload(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Decode an :func:`edge_payload` dict (date parsed back).
+
+    Returns the plain ``{src, dst, label, props}`` dict the coordinator
+    feeds to :meth:`PropertyGraph.add_edge` — edge ids are graph-local
+    and assigned on insertion.
+    """
+    props = dict(data["props"])
+    date = props.get("date")
+    if isinstance(date, str):
+        props["date"] = parse_date(date)
+    return {
+        "src": str(data["src"]),
+        "dst": str(data["dst"]),
+        "label": str(data["label"]),
+        "props": props,
+    }

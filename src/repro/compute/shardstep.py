@@ -1,0 +1,237 @@
+"""Shard-side superstep executor.
+
+One :class:`ComputeStepExecutor` lives on each shard's service facade
+(:meth:`repro.api.service.NousService.compute_step` delegates here,
+under the shard's engine lock).  Every request is a complete, stateless
+superstep: the executor materialises the shard's KG partition as a
+property graph (cached on the KB's monotonic version stamp, like the
+topic-annotated QA graph), applies the edge-ownership rule from
+:mod:`repro.compute.protocol`, and answers with only the boundary data
+the coordinator asked for — never job state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.compute.protocol import (
+    OP_CONTRIB,
+    OP_DEGREES,
+    OP_EDGE_DUMP,
+    OP_EXPAND,
+    OP_GRAPH_INFO,
+    OP_MIN_LABELS,
+    OP_RESOLVE,
+    ComputeRequest,
+    ComputeResponse,
+    disown_param,
+    edge_payload,
+    owns_edge,
+)
+from repro.core.pipeline import Nous
+from repro.errors import ConfigError
+from repro.graph.algorithms import _order_key
+from repro.graph.property_graph import Edge, PropertyGraph
+
+
+class ComputeStepExecutor:
+    """Execute stateless compute supersteps over one shard's partition.
+
+    Args:
+        nous: The shard's engine.  The caller (the service facade) is
+            responsible for holding the engine lock around
+            :meth:`execute`; the executor itself does no locking.
+    """
+
+    def __init__(self, nous: Nous) -> None:
+        self._nous = nous
+        self._graph: Optional[PropertyGraph] = None
+        self._graph_kb_version = -1
+
+    # ------------------------------------------------------------------
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one superstep and return the wire-form response.
+
+        Raises:
+            ConfigError: on an unknown op or malformed envelope.
+        """
+        req = ComputeRequest.from_wire(request)
+        handlers = {
+            OP_GRAPH_INFO: self._graph_info,
+            OP_DEGREES: self._degrees,
+            OP_EXPAND: self._expand,
+            OP_CONTRIB: self._contrib,
+            OP_MIN_LABELS: self._min_labels,
+            OP_RESOLVE: self._resolve,
+            OP_EDGE_DUMP: self._edge_dump,
+        }
+        handler = handlers.get(req.op)
+        if handler is None:  # pragma: no cover - from_wire already gates
+            raise ConfigError(f"unknown compute op {req.op!r}")
+        result = handler(req)
+        return ComputeResponse(
+            op=req.op,
+            shard=req.shard,
+            kg_version=self._nous.dynamic.version,
+            result=result,
+        ).to_wire()
+
+    # ------------------------------------------------------------------
+    def _partition_graph(self) -> PropertyGraph:
+        """The shard KB as a property graph, cached on ``kb.version``."""
+        if (
+            self._graph is not None
+            and self._graph_kb_version == self._nous.kb.version
+        ):
+            return self._graph
+        self._graph = self._nous.kb.to_property_graph()
+        self._graph_kb_version = self._nous.kb.version
+        return self._graph
+
+    def _owned_edges(self, req: ComputeRequest) -> List[Edge]:
+        """Edges of the local partition this shard owns in the merged graph."""
+        disown = disown_param(req.params.get("disown"))
+        graph = self._partition_graph()
+        return [
+            edge
+            for edge in graph.edges()
+            if owns_edge(edge, req.shard, req.num_shards, disown)
+        ]
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def _graph_info(self, req: ComputeRequest) -> Dict[str, Any]:
+        graph = self._partition_graph()
+        result: Dict[str, Any] = {
+            "vertices": sorted(str(v) for v in graph.vertices()),
+            "extracted": [
+                list(key) for key in sorted(self._extracted_keys())
+            ],
+        }
+        if req.params.get("documents"):
+            kb = self._nous.kb
+            result["entities"] = [
+                [entity, kb.description(entity)]
+                for entity in sorted(kb.entities())
+            ]
+        return result
+
+    def _extracted_keys(self) -> List[Tuple[str, str, str]]:
+        return [
+            (triple.subject, triple.predicate, triple.object)
+            for triple in self._nous.kb.store
+            if not triple.curated
+        ]
+
+    def _degrees(self, req: ComputeRequest) -> Dict[str, Any]:
+        out_deg: Dict[str, int] = {}
+        deg: Dict[str, int] = {}
+        for edge in self._owned_edges(req):
+            src, dst = str(edge.src), str(edge.dst)
+            out_deg[src] = out_deg.get(src, 0) + 1
+            deg[src] = deg.get(src, 0) + 1
+            deg[dst] = deg.get(dst, 0) + 1
+        return {
+            "out_deg": dict(sorted(out_deg.items())),
+            "deg": dict(sorted(deg.items())),
+            "srcs": sorted(out_deg),
+            "incident": sorted(deg),
+        }
+
+    def _expand(self, req: ComputeRequest) -> Dict[str, Any]:
+        """Owned edges incident to the requested frontier vertices.
+
+        Edges whose *other* endpoint is in ``skip`` (a vertex the
+        coordinator already expanded) were shipped by this same owner in
+        an earlier round and are omitted, so every merged-graph edge
+        crosses the wire exactly once per search.
+        """
+        frontier = [str(v) for v in req.params.get("vertices", [])]
+        skip = frozenset(str(v) for v in req.params.get("skip", []))
+        disown = disown_param(req.params.get("disown"))
+        graph = self._partition_graph()
+        seen_eids: Set[int] = set()
+        edges: List[Edge] = []
+        for vertex in frontier:
+            if not graph.has_vertex(vertex):
+                continue
+            for edge in graph.incident_edges(vertex):
+                if edge.eid in seen_eids:
+                    continue
+                if not owns_edge(edge, req.shard, req.num_shards, disown):
+                    continue
+                if str(edge.other(vertex)) in skip:
+                    continue
+                seen_eids.add(edge.eid)
+                edges.append(edge)
+        edges.sort(key=lambda e: (str(e.src), e.label, str(e.dst)))
+        return {"edges": [edge_payload(e) for e in edges]}
+
+    def _contrib(self, req: ComputeRequest) -> Dict[str, Any]:
+        """One PageRank superstep: sum incoming rank shares per
+        destination over this shard's owned out-edges."""
+        shares = req.params.get("shares", {})
+        disown = disown_param(req.params.get("disown"))
+        graph = self._partition_graph()
+        contrib: Dict[str, float] = {}
+        for src in sorted(shares):
+            if not graph.has_vertex(src):
+                continue
+            share = float(shares[src])
+            for edge in graph.out_edges(src):
+                if not owns_edge(edge, req.shard, req.num_shards, disown):
+                    continue
+                dst = str(edge.dst)
+                contrib[dst] = contrib.get(dst, 0.0) + share
+        return {"contrib": dict(sorted(contrib.items()))}
+
+    def _min_labels(self, req: ComputeRequest) -> Dict[str, Any]:
+        """One connected-components superstep: min-label messages over
+        this shard's owned edges (direction ignored)."""
+        labels = {str(v): str(lbl) for v, lbl in req.params.get("labels", {}).items()}
+        disown = disown_param(req.params.get("disown"))
+        messages: Dict[str, str] = {}
+
+        def offer(target: str, label: str) -> None:
+            current = messages.get(target)
+            if current is None or _order_key(label) < _order_key(current):
+                messages[target] = label
+
+        for edge in self._owned_edges(req):
+            src, dst = str(edge.src), str(edge.dst)
+            src_label = labels.get(src, src)
+            dst_label = labels.get(dst, dst)
+            if _order_key(src_label) < _order_key(dst_label):
+                offer(dst, src_label)
+            elif _order_key(dst_label) < _order_key(src_label):
+                offer(src, dst_label)
+        return {"messages": dict(sorted(messages.items()))}
+
+    def _resolve(self, req: ComputeRequest) -> Dict[str, Any]:
+        """Link mentions onto KB entities with this shard's linker."""
+        linker = self._nous.mapper.linker
+        return {
+            "entities": [
+                linker.link(str(m)).entity
+                for m in req.params.get("mentions", [])
+            ]
+        }
+
+    def _edge_dump(self, req: ComputeRequest) -> Dict[str, Any]:
+        """The ship-everything baseline: the *entire* local partition,
+        ownership ignored — what a router would have to pull from every
+        shard to rebuild the merged graph centrally."""
+        graph = self._partition_graph()
+        kb = self._nous.kb
+        edges = sorted(
+            graph.edges(), key=lambda e: (str(e.src), e.label, str(e.dst))
+        )
+        return {
+            "vertices": sorted(str(v) for v in graph.vertices()),
+            "entities": [
+                [entity, kb.description(entity)]
+                for entity in sorted(kb.entities())
+            ],
+            "edges": [edge_payload(e) for e in edges],
+        }

@@ -58,6 +58,7 @@ def aggregate_messages(
     send: SendFn,
     merge: MergeFn,
     states: Optional[Dict[VertexId, State]] = None,
+    check_commutative: bool = False,
 ) -> Dict[VertexId, Message]:
     """Run one send/merge round over every edge of ``graph``.
 
@@ -69,10 +70,19 @@ def aggregate_messages(
             the same vertex.
         states: Optional vertex-state map handed to ``send``; missing
             vertices see ``None``.
+        check_commutative: Verify ``merge(a, b) == merge(b, a)`` at every
+            combine and raise :class:`~repro.errors.ConfigError` on the
+            first violation.  Merge order over a partitioned graph is an
+            implementation detail, so a non-commutative combiner is a
+            silent-corruption bug; enable this in tests.
 
     Returns:
         Map from vertex id to its merged message (vertices that received
         no message are absent).
+
+    Raises:
+        ConfigError: when ``check_commutative`` is set and ``merge`` is
+            observed to be order-dependent.
     """
     states = states or {}
     inbox: Dict[VertexId, Message] = {}
@@ -81,7 +91,13 @@ def aggregate_messages(
         dst_state = states.get(edge.dst)
         for target, message in send(edge, src_state, dst_state):
             if target in inbox:
-                inbox[target] = merge(inbox[target], message)
+                merged = merge(inbox[target], message)
+                if check_commutative and merged != merge(message, inbox[target]):
+                    raise ConfigError(
+                        "aggregate_messages merge function is not commutative: "
+                        f"merge(a, b) != merge(b, a) for messages to {target!r}"
+                    )
+                inbox[target] = merged
             else:
                 inbox[target] = message
     return inbox
@@ -145,7 +161,11 @@ def pregel(
                 continue
             for target, message in send(edge, states.get(edge.src), states.get(edge.dst)):
                 message_count += 1
-                if graph.partition_of_vertex(edge.src) != graph.partition_of_vertex(
+                # The sender is the endpoint *other than* the target: a
+                # message to dst travels from src and vice versa.  (A
+                # message to a third-party vertex is attributed to src.)
+                sender = edge.other(target) if target in (edge.src, edge.dst) else edge.src
+                if graph.partition_of_vertex(sender) != graph.partition_of_vertex(
                     target
                 ):
                     cross_count += 1

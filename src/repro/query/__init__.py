@@ -9,12 +9,22 @@ translated to graph algorithms:
 4. **Explanatory** — "why does X use drones" → constrained path search.
 5. **Pattern** — "match (?a:Company)-[acquired]->(?b:Company)" →
    subgraph pattern matching.
+
+Plus the whole-graph analytics classes (distributed superstep jobs on a
+sharded deployment):
+
+6. **PageRank** — "pagerank top 10" → power-iteration importance.
+7. **Components** — "connected components" → weak-component census.
+8. **Centrality** — "degree centrality" → degree ranking.
 """
 
 from repro.query.model import (
+    CentralityQuery,
+    ComponentsQuery,
     EntityQuery,
     EntityTrendQuery,
     ExplanatoryQuery,
+    PageRankQuery,
     PatternQuery,
     Query,
     RelationshipQuery,
@@ -32,6 +42,9 @@ __all__ = [
     "RelationshipQuery",
     "ExplanatoryQuery",
     "PatternQuery",
+    "PageRankQuery",
+    "ComponentsQuery",
+    "CentralityQuery",
     "parse_query",
     "parse_pattern",
     "PatternMatcher",

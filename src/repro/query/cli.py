@@ -197,7 +197,9 @@ def _repl(service: NousService) -> int:
     print("NOUS query REPL. Empty line or Ctrl-D to exit.")
     print('Try: "tell me about DJI", "show trending patterns",')
     print('     "why does Windermere use drones",')
-    print('     "match (?a:Company)-[acquired]->(?b:Company)"')
+    print('     "match (?a:Company)-[acquired]->(?b:Company)",')
+    print('     "pagerank top 10", "connected components",')
+    print('     "degree centrality"')
     while True:
         try:
             line = input("nous> ").strip()

@@ -26,11 +26,15 @@ from repro.errors import QueryError
 from repro.mining.patterns import Pattern
 from repro.mining.streaming import WindowReport
 from repro.mining.support import closed_patterns
+from repro.graph.algorithms import connected_components, pagerank
 from repro.qa.pathsearch import RankedPath
 from repro.query.model import (
+    CentralityQuery,
+    ComponentsQuery,
     EntityQuery,
     EntityTrendQuery,
     ExplanatoryQuery,
+    PageRankQuery,
     PatternQuery,
     Query,
     RelationshipQuery,
@@ -170,6 +174,12 @@ class QueryEngine:
             return self._paths(query, query.relationship, kind="relationship")
         if isinstance(query, PatternQuery):
             return self._pattern(query)
+        if isinstance(query, PageRankQuery):
+            return self._pagerank(query)
+        if isinstance(query, ComponentsQuery):
+            return self._components(query)
+        if isinstance(query, CentralityQuery):
+            return self._centrality(query)
         raise QueryError(  # pragma: no cover - future query classes
             f"unsupported query type: {type(query).__name__}"
         )
@@ -226,6 +236,54 @@ class QueryEngine:
             payload=paths,
             rendered=render_ranked_paths(paths, note=note),
             result_count=len(paths),
+        )
+
+    def _analytics_graph(self) -> Any:
+        """The merged KG as a property graph for whole-graph analytics
+        (the same materialisation the distributed coordinator unions
+        from shard partitions, so both sides rank identical graphs)."""
+        return self.nous.kb.to_property_graph()
+
+    def _pagerank(self, query: PageRankQuery) -> QueryResult:
+        graph = self._analytics_graph()
+        ranks = pagerank(graph)
+        payload = pagerank_payload(
+            {str(v): score for v, score in ranks.items()}, top=query.top
+        )
+        return QueryResult(
+            query=query,
+            kind="pagerank",
+            payload=payload,
+            rendered=render_pagerank(payload),
+            result_count=len(payload["ranks"]),
+        )
+
+    def _components(self, query: ComponentsQuery) -> QueryResult:
+        graph = self._analytics_graph()
+        labels = connected_components(graph)
+        payload = components_payload(
+            {str(v): str(label) for v, label in labels.items()}
+        )
+        return QueryResult(
+            query=query,
+            kind="components",
+            payload=payload,
+            rendered=render_components(payload),
+            result_count=payload["num_components"],
+        )
+
+    def _centrality(self, query: CentralityQuery) -> QueryResult:
+        if query.metric != "degree":
+            raise QueryError(f"unsupported centrality metric {query.metric!r}")
+        graph = self._analytics_graph()
+        degrees = {str(v): float(graph.degree(v)) for v in graph.vertices()}
+        payload = centrality_payload(degrees, metric=query.metric, top=query.top)
+        return QueryResult(
+            query=query,
+            kind="centrality",
+            payload=payload,
+            rendered=render_centrality(payload),
+            result_count=len(payload["ranks"]),
         )
 
     def _pattern(self, query: PatternQuery) -> QueryResult:
@@ -299,6 +357,93 @@ def render_pattern_matches(matches: Sequence[Dict[str, Any]]) -> str:
     for bindings in matches[:20]:
         rendered = ", ".join(f"?{k}={v}" for k, v in sorted(bindings.items()))
         lines.append(f"  {rendered}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# analytics payloads
+# ---------------------------------------------------------------------------
+# Both the monolith engine and the distributed compute coordinator build
+# analytics answers from a plain ``entity -> value`` map; the payload
+# builders canonicalise them (scores rounded so float summation order
+# cannot leak into equality, deterministic ordering) so the two sides
+# produce *equal* payloads over the same merged graph.
+
+#: Rounding applied to analytics scores before they enter a payload;
+#: 9 decimals is far above pagerank's 1e-6 convergence tolerance and far
+#: below the ~1e-15 noise of summing shard contributions in a different
+#: order than the monolith's edge loop.
+ANALYTICS_SCORE_DECIMALS = 9
+
+
+def pagerank_payload(
+    ranks: Mapping[str, float], top: int = 10
+) -> Dict[str, Any]:
+    """Canonical pagerank payload: top-N ``[entity, score]`` rows."""
+    rows = sorted(
+        ((e, round(s, ANALYTICS_SCORE_DECIMALS)) for e, s in ranks.items()),
+        key=lambda row: (-row[1], row[0]),
+    )
+    return {
+        "ranks": [[e, s] for e, s in rows[: max(top, 0)]],
+        "num_vertices": len(ranks),
+    }
+
+
+def components_payload(labels: Mapping[str, str]) -> Dict[str, Any]:
+    """Canonical component census: member lists sorted inside, largest
+    (then lexicographically first) component first."""
+    groups: Dict[str, List[str]] = {}
+    for vertex, label in labels.items():
+        groups.setdefault(label, []).append(vertex)
+    components = sorted(
+        (sorted(members) for members in groups.values()),
+        key=lambda members: (-len(members), members[0]),
+    )
+    return {"components": components, "num_components": len(components)}
+
+
+def centrality_payload(
+    scores: Mapping[str, float], metric: str = "degree", top: int = 10
+) -> Dict[str, Any]:
+    """Canonical centrality payload: top-N ``[entity, score]`` rows."""
+    rows = sorted(
+        ((e, round(s, ANALYTICS_SCORE_DECIMALS)) for e, s in scores.items()),
+        key=lambda row: (-row[1], row[0]),
+    )
+    return {"metric": metric, "ranks": [[e, s] for e, s in rows[: max(top, 0)]]}
+
+
+def render_pagerank(payload: Mapping[str, Any]) -> str:
+    """Plain-text rendering of a pagerank ranking."""
+    if not payload["ranks"]:
+        return "graph is empty; no pagerank to compute"
+    lines = [f"pagerank over {payload['num_vertices']} vertices:"]
+    for i, (entity, score) in enumerate(payload["ranks"]):
+        lines.append(f"{i + 1:3d}. {score:.6f}  {entity}")
+    return "\n".join(lines)
+
+
+def render_components(payload: Mapping[str, Any]) -> str:
+    """Plain-text rendering of a component census."""
+    components = payload["components"]
+    if not components:
+        return "graph is empty; no components"
+    lines = [f"{payload['num_components']} connected component(s):"]
+    for i, members in enumerate(components[:10]):
+        preview = ", ".join(members[:6])
+        more = f", ... (+{len(members) - 6})" if len(members) > 6 else ""
+        lines.append(f"{i + 1:3d}. size={len(members):4d}  {preview}{more}")
+    return "\n".join(lines)
+
+
+def render_centrality(payload: Mapping[str, Any]) -> str:
+    """Plain-text rendering of a centrality ranking."""
+    if not payload["ranks"]:
+        return "graph is empty; no centrality to compute"
+    lines = [f"{payload['metric']} centrality:"]
+    for i, (entity, score) in enumerate(payload["ranks"]):
+        lines.append(f"{i + 1:3d}. {score:g}  {entity}")
     return "\n".join(lines)
 
 

@@ -1,4 +1,4 @@
-"""Query dataclasses: the five classes of Figure 5."""
+"""Query dataclasses: the five classes of Figure 5, plus analytics."""
 
 from __future__ import annotations
 
@@ -56,3 +56,23 @@ class EntityTrendQuery(Query):
     (the Trending tab of Figure 6's interface, scoped to an entity)."""
 
     entity: str = ""
+
+
+@dataclass(frozen=True)
+class PageRankQuery(Query):
+    """"show pagerank [top N]" — whole-graph PageRank ranking."""
+
+    top: int = 10
+
+
+@dataclass(frozen=True)
+class ComponentsQuery(Query):
+    """"connected components" — component census of the merged graph."""
+
+
+@dataclass(frozen=True)
+class CentralityQuery(Query):
+    """"degree centrality [top N]" — degree-based centrality ranking."""
+
+    metric: str = "degree"
+    top: int = 10

@@ -14,9 +14,12 @@ from typing import Optional
 from repro.errors import QueryParseError
 from repro.linking.predicate_mapping import normalize_relation
 from repro.query.model import (
+    CentralityQuery,
+    ComponentsQuery,
     EntityQuery,
     EntityTrendQuery,
     ExplanatoryQuery,
+    PageRankQuery,
     PatternQuery,
     Query,
     RelationshipQuery,
@@ -28,6 +31,29 @@ _TRENDING_RE = re.compile(
     r"|^show\s+trending.*$|^what\s+is\s+trending\??$",
     re.IGNORECASE,
 )
+
+# Analytics templates run before the catch-all entity templates, or
+# "what is pagerank" would parse as an entity summary of "pagerank".
+_PAGERANK_RE = re.compile(
+    r"^(show\s+|compute\s+|what\s+is\s+)?page\s?rank"
+    r"(\s+top\s+(?P<n>\d+))?\??$",
+    re.IGNORECASE,
+)
+
+_COMPONENTS_RE = re.compile(
+    r"^(show\s+|find\s+|list\s+)?connected\s+components\??$", re.IGNORECASE
+)
+
+_CENTRALITY_RES = [
+    re.compile(
+        r"^(show\s+|compute\s+)?degree\s+centrality(\s+top\s+(?P<n>\d+))?\??$",
+        re.IGNORECASE,
+    ),
+    re.compile(
+        r"^(show\s+)?most\s+connected\s+entities(\s+top\s+(?P<n>\d+))?\??$",
+        re.IGNORECASE,
+    ),
+]
 
 _ENTITY_RES = [
     re.compile(r"^tell\s+me\s+about\s+(?P<e>.+?)\??$", re.IGNORECASE),
@@ -120,6 +146,20 @@ def parse_query(text: str) -> Query:
 
     if _TRENDING_RE.match(lowered):
         return TrendingQuery(text=lowered)
+
+    match = _PAGERANK_RE.match(stripped)
+    if match:
+        top = int(match.group("n")) if match.group("n") else 10
+        return PageRankQuery(text=lowered, top=top)
+
+    if _COMPONENTS_RE.match(lowered):
+        return ComponentsQuery(text=lowered)
+
+    for regex in _CENTRALITY_RES:
+        match = regex.match(stripped)
+        if match:
+            top = int(match.group("n")) if match.group("n") else 10
+            return CentralityQuery(text=lowered, metric="degree", top=top)
 
     for regex in _ENTITY_TREND_RES:
         match = regex.match(stripped)

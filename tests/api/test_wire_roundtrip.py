@@ -12,6 +12,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api.wire import (
+    compute_request_from_wire,
+    compute_request_to_wire,
+    compute_response_from_wire,
+    compute_response_to_wire,
     date_from_wire,
     date_to_wire,
     decode_payload,
@@ -24,6 +28,7 @@ from repro.api.wire import (
     triple_from_wire,
     triple_to_wire,
 )
+from repro.compute.protocol import COMPUTE_OPS, ComputeRequest, ComputeResponse
 from repro.core.pipeline import IngestResult, Nous, NousConfig
 from repro.core.statistics import compute_statistics
 from repro.errors import QueryError
@@ -41,6 +46,9 @@ QUERY_TEXTS = [
     "how is GoPro related to DJI",
     "why does Windermere use drones",
     "match (?a:Company)-[partnerOf]->(?b:Company)",
+    "pagerank top 5",
+    "connected components",
+    "degree centrality top 5",
 ]
 
 
@@ -259,6 +267,118 @@ class TestSnapshotRestoreEquivalence:
         assert json.dumps(
             snapshot_nous(restored.nous), sort_keys=True
         ) == json.dumps(snapshot_nous(engine.nous), sort_keys=True)
+
+
+_json_params = st.dictionaries(
+    _identifiers,
+    st.one_of(st.integers(-1000, 1000), _identifiers, st.booleans()),
+    max_size=4,
+)
+
+
+class TestComputeEnvelopeCodecs:
+    """Compute envelopes cross the ``/v1/shard/compute`` wire; both
+    directions must survive a real JSON boundary for arbitrary params."""
+
+    @_PROPERTY_SETTINGS
+    @given(
+        op=st.sampled_from(COMPUTE_OPS),
+        num_shards=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+        params=_json_params,
+    )
+    def test_request_round_trips(self, op, num_shards, data, params):
+        shard = data.draw(st.integers(min_value=0, max_value=num_shards - 1))
+        request = ComputeRequest(
+            op=op, shard=shard, num_shards=num_shards, params=params
+        )
+        wire = json.loads(
+            json.dumps(compute_request_to_wire(request), sort_keys=True)
+        )
+        assert compute_request_from_wire(wire) == request
+
+    @_PROPERTY_SETTINGS
+    @given(
+        op=st.sampled_from(COMPUTE_OPS),
+        shard=st.integers(min_value=0, max_value=7),
+        kg_version=st.integers(min_value=0, max_value=2**31),
+        result=_json_params,
+    )
+    def test_response_round_trips(self, op, shard, kg_version, result):
+        response = ComputeResponse(
+            op=op, shard=shard, kg_version=kg_version, result=result
+        )
+        wire = json.loads(
+            json.dumps(compute_response_to_wire(response), sort_keys=True)
+        )
+        assert compute_response_from_wire(wire) == response
+
+
+_scores = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False
+).map(lambda s: round(s, 9))
+
+
+class TestAnalyticsPayloadCodecs:
+    """The three analytics payload kinds, beyond the fixture-driven
+    query round trips above: arbitrary pre-rounded rankings survive the
+    boundary, and the wire form is pinned (plain lists, no tuples)."""
+
+    @_PROPERTY_SETTINGS
+    @given(
+        ranks=st.lists(
+            st.tuples(_identifiers, _scores),
+            max_size=6,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_pagerank_round_trips(self, ranks):
+        payload = {
+            "ranks": [[e, s] for e, s in ranks],
+            "num_vertices": len(ranks),
+        }
+        wire = json.loads(
+            json.dumps(encode_payload("pagerank", payload), sort_keys=True)
+        )
+        assert decode_payload("pagerank", wire) == payload
+
+    @_PROPERTY_SETTINGS
+    @given(
+        components=st.lists(
+            st.lists(_identifiers, min_size=1, max_size=4, unique=True),
+            max_size=4,
+        )
+    )
+    def test_components_round_trips(self, components):
+        payload = {
+            "components": components,
+            "num_components": len(components),
+        }
+        wire = json.loads(
+            json.dumps(encode_payload("components", payload), sort_keys=True)
+        )
+        assert decode_payload("components", wire) == payload
+
+    @_PROPERTY_SETTINGS
+    @given(
+        ranks=st.lists(
+            st.tuples(_identifiers, _scores),
+            max_size=6,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_centrality_round_trips(self, ranks):
+        payload = {"metric": "degree", "ranks": [[e, s] for e, s in ranks]}
+        wire = json.loads(
+            json.dumps(encode_payload("centrality", payload), sort_keys=True)
+        )
+        assert decode_payload("centrality", wire) == payload
+
+    def test_wire_form_pinned(self):
+        payload = {"ranks": [["DJI", 0.25]], "num_vertices": 3}
+        assert encode_payload("pagerank", payload) == payload
+        census = {"components": [["A", "B"], ["C"]], "num_components": 2}
+        assert encode_payload("components", census) == census
 
 
 class TestDeltaRows:

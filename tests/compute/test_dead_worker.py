@@ -1,0 +1,162 @@
+"""Dead workers mid-superstep: structured failure or self-heal.
+
+A compute job is a sequence of stateless rounds, so a worker SIGKILLed
+*between* rounds (the coordinator's ``on_round`` hook is exactly that
+seam) exercises the failure contract:
+
+- **Without durability** (no ``data_dir``): the next step's
+  :class:`ClusterError` propagates as-is — a structured, catchable
+  error, never a hang or a silently partial answer.  The cluster's
+  *query* surface degrades the same way the scatter does: the path
+  augmentation is dropped, the merged per-shard answer still returns.
+- **With durability**: the coordinator's recover hook respawns the
+  worker (snapshot + WAL replay restores the exact pre-crash
+  partition), re-runs the failed round verbatim, and the job completes
+  with the same result an unharmed cluster produces.
+
+Process shards only (there is no process to kill in local mode); the
+suite skips without a pinned ``PYTHONHASHSEED`` like every
+cross-interpreter fixture (the CI compute job pins 0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import NousConfig, ServiceConfig
+from repro.api.cluster.service import ShardedNousService
+from repro.errors import ClusterError
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("PYTHONHASHSEED", "random") == "random",
+    reason="worker subprocesses need a pinned PYTHONHASHSEED "
+    "(the CI compute job pins 0)",
+)
+
+FACTS = [
+    ("Alpha", "relA", "Bravo"),
+    ("Bravo", "relA", "Charlie"),
+    ("Charlie", "relA", "Delta"),
+    ("Delta", "relB", "Alpha"),
+]
+
+
+def _config() -> NousConfig:
+    return NousConfig(
+        window_size=100, min_support=2, lda_iterations=10,
+        retrain_every=0, seed=3, max_hops=3, beam_width=16,
+    )
+
+
+def _cluster(data_dir=None) -> ShardedNousService:
+    kwargs = {}
+    if data_dir is not None:
+        kwargs = {"data_dir": data_dir, "restart_backoff": 0.05}
+    cluster = ShardedNousService(
+        num_shards=2,
+        config=_config(),
+        service_config=ServiceConfig(auto_start=False, max_batch=1),
+        shard_mode="process",
+        kb_spec="empty",
+        **kwargs,
+    )
+    assert cluster.ingest_facts(FACTS, date="2015-06-01").ok
+    return cluster
+
+
+def _kill_after_round(cluster, round_ordinal=1):
+    """An ``on_round`` hook that SIGKILLs worker 0 once, between rounds."""
+    state = {"fired": False}
+
+    def hook(completed_round):
+        if completed_round == round_ordinal and not state["fired"]:
+            state["fired"] = True
+            worker = cluster._manager.workers[0]
+            worker.process.kill()
+            worker.process.wait(timeout=10)
+
+    return hook, state
+
+
+class TestDeadWorkerWithoutDurability:
+    def test_job_raises_structured_cluster_error(self):
+        cluster = _cluster()
+        try:
+            hook, state = _kill_after_round(cluster)
+            coordinator = cluster.compute_coordinator(on_round=hook)
+            assert coordinator.recover is None  # no data_dir, no heal
+            with pytest.raises(ClusterError):
+                coordinator.pagerank()
+            assert state["fired"]
+            assert 0 in cluster.dead_shards()
+        finally:
+            cluster.close()
+
+    def test_path_query_degrades_to_per_shard_merge(self):
+        cluster = _cluster()
+        try:
+            # Warm nothing: kill a worker outright, then ask a path
+            # question.  The scatter's partial tolerance answers from
+            # the survivor and the distributed augmentation (which
+            # cannot run without shard 0) degrades silently.
+            worker = cluster._manager.workers[0]
+            worker.process.kill()
+            worker.process.wait(timeout=10)
+            envelope = cluster.query("why is Charlie related to Delta")
+            assert envelope.ok
+        finally:
+            cluster.close()
+
+
+class TestDeadWorkerWithDurability:
+    def test_job_self_heals_and_completes(self, tmp_path):
+        reference_cluster = _cluster()
+        try:
+            reference = reference_cluster.compute_coordinator().pagerank()
+        finally:
+            reference_cluster.close()
+
+        cluster = _cluster(data_dir=str(tmp_path / "cluster"))
+        try:
+            hook, state = _kill_after_round(cluster)
+            coordinator = cluster.compute_coordinator(on_round=hook)
+            assert coordinator.recover is not None
+            ranks = coordinator.pagerank()
+            assert state["fired"], "fault was never injected"
+            # The respawned worker replayed its WAL and the re-run round
+            # answered identically: the healed job equals the unharmed one.
+            assert set(ranks) == set(reference)
+            for vertex, score in reference.items():
+                assert ranks[vertex] == pytest.approx(score, abs=1e-9)
+            assert cluster.dead_shards() == []
+            assert cluster.cluster_info()["shard_restarts"][0] == 1
+        finally:
+            cluster.close()
+
+    def test_distributed_path_search_survives_mid_search_kill(self, tmp_path):
+        cluster = _cluster(data_dir=str(tmp_path / "cluster"))
+        try:
+            hook, state = _kill_after_round(cluster, round_ordinal=2)
+            coordinator = cluster.compute_coordinator(on_round=hook)
+            from repro.compute import DistributedPathSearch
+
+            config = _config()
+            search = DistributedPathSearch(
+                coordinator,
+                n_topics=config.n_topics,
+                lda_iterations=config.lda_iterations,
+                seed=config.seed,
+                max_hops=config.max_hops,
+                beam_width=config.beam_width,
+            )
+            paths = search.top_k_paths("Alpha", "Delta", k=3)
+            assert state["fired"], "fault was never injected"
+            assert paths
+            assert [str(n) for n in paths[0].nodes] == [
+                "Alpha", "Bravo", "Charlie", "Delta",
+            ]
+            assert cluster.dead_shards() == []
+        finally:
+            cluster.close()

@@ -1,0 +1,338 @@
+"""Compute protocol units: envelopes, edge ownership, the shard executor.
+
+Three layers, no cluster required:
+
+- **Envelope codecs** — :class:`ComputeRequest` / :class:`ComputeResponse`
+  wire forms are pinned and round-trip; malformed envelopes raise the
+  structured :class:`ConfigError` instead of half-parsing.
+- **Edge ownership** — the rule that makes a union of per-shard answers
+  exactly one copy of the merged graph: curated edges hash to a single
+  owner, extracted edges are owned where extracted unless disowned, and
+  :func:`disown_sets` keeps exactly one owner per duplicated key.
+- **Shard executor** — every op of :class:`ComputeStepExecutor` against
+  a real single-shard engine, checked against the graph it scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NousConfig, NousService, ServiceConfig
+from repro.compute import ComputeStats
+from repro.compute.protocol import (
+    COMPUTE_OPS,
+    ComputeRequest,
+    ComputeResponse,
+    disown_param,
+    disown_sets,
+    edge_from_payload,
+    edge_payload,
+    owns_edge,
+)
+from repro.errors import ConfigError
+from repro.graph.property_graph import PropertyGraph
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.nlp.dates import SimpleDate
+
+FACTS = [
+    ("Alpha", "acquired", "Beta"),
+    ("Beta", "acquired", "Gamma"),
+    ("Gamma", "partnerOf", "Delta"),
+    ("Delta", "acquired", "Alpha"),
+]
+
+
+# ---------------------------------------------------------------------------
+# envelope codecs
+# ---------------------------------------------------------------------------
+
+class TestEnvelopeCodecs:
+    def test_request_wire_form_pinned(self):
+        request = ComputeRequest(
+            op="expand", shard=1, num_shards=3,
+            params={"vertices": ["A"], "skip": []},
+        )
+        assert request.to_wire() == {
+            "op": "expand",
+            "shard": 1,
+            "num_shards": 3,
+            "params": {"vertices": ["A"], "skip": []},
+        }
+        assert ComputeRequest.from_wire(request.to_wire()) == request
+
+    def test_response_wire_form_pinned(self):
+        response = ComputeResponse(
+            op="degrees", shard=0, kg_version=7,
+            result={"out_deg": {"A": 2}},
+        )
+        assert response.to_wire() == {
+            "op": "degrees",
+            "shard": 0,
+            "kg_version": 7,
+            "result": {"out_deg": {"A": 2}},
+        }
+        assert ComputeResponse.from_wire(response.to_wire()) == response
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        op=st.sampled_from(COMPUTE_OPS),
+        num_shards=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.integers(), st.text(max_size=8), st.booleans()),
+            max_size=4,
+        ),
+    )
+    def test_request_roundtrip(self, op, num_shards, data, params):
+        shard = data.draw(st.integers(min_value=0, max_value=num_shards - 1))
+        request = ComputeRequest(
+            op=op, shard=shard, num_shards=num_shards, params=params
+        )
+        assert ComputeRequest.from_wire(request.to_wire()) == request
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError, match="unknown compute op"):
+            ComputeRequest.from_wire(
+                {"op": "shuffle", "shard": 0, "num_shards": 1}
+            )
+        with pytest.raises(ConfigError, match="unknown compute op"):
+            ComputeResponse.from_wire(
+                {"op": "shuffle", "shard": 0, "kg_version": 0}
+            )
+
+    def test_shard_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            ComputeRequest.from_wire(
+                {"op": "expand", "shard": 3, "num_shards": 3}
+            )
+
+    def test_nonpositive_cluster_width_rejected(self):
+        with pytest.raises(ConfigError, match="num_shards"):
+            ComputeRequest.from_wire(
+                {"op": "expand", "shard": 0, "num_shards": 0}
+            )
+
+
+# ---------------------------------------------------------------------------
+# edge ownership
+# ---------------------------------------------------------------------------
+
+def _two_edge_graph():
+    graph = PropertyGraph()
+    graph.add_edge("A", "B", "rel", curated=True)
+    graph.add_edge("B", "C", "rel")
+    curated, extracted = list(graph.edges())
+    if not curated.props.get("curated"):
+        curated, extracted = extracted, curated
+    return curated, extracted
+
+
+class TestEdgeOwnership:
+    @settings(max_examples=30, deadline=None)
+    @given(num_shards=st.integers(min_value=1, max_value=6))
+    def test_curated_edge_has_exactly_one_owner(self, num_shards):
+        curated, _ = _two_edge_graph()
+        owners = [
+            shard
+            for shard in range(num_shards)
+            if owns_edge(curated, shard, num_shards, frozenset())
+        ]
+        assert len(owners) == 1
+
+    def test_extracted_edge_owned_where_extracted_unless_disowned(self):
+        _, extracted = _two_edge_graph()
+        # Local copy, no disown: every holder owns its own extraction.
+        assert owns_edge(extracted, 0, 3, frozenset())
+        assert owns_edge(extracted, 2, 3, frozenset())
+        # Disowned as a cross-shard duplicate: the copy is skipped.
+        assert not owns_edge(extracted, 2, 3, frozenset({("B", "rel", "C")}))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        holders=st.lists(
+            st.lists(st.integers(min_value=0, max_value=9), max_size=6),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_disown_sets_leave_exactly_one_owner_per_key(self, holders):
+        keys_by_shard = [
+            [(f"E{i}", "rel", f"F{i}") for i in sorted(set(shard_keys))]
+            for shard_keys in holders
+        ]
+        disown = disown_sets(keys_by_shard)
+        owned = []
+        for index, keys in enumerate(keys_by_shard):
+            skip = disown_param(disown[index])
+            owned.extend(key for key in keys if key not in skip)
+        all_keys = {key for keys in keys_by_shard for key in keys}
+        # Exactly one surviving copy per distinct key, on the lowest
+        # shard index that holds it.
+        assert sorted(owned) == sorted(all_keys)
+        for index, keys in enumerate(keys_by_shard):
+            for key in keys:
+                first = min(
+                    i for i, ks in enumerate(keys_by_shard) if key in ks
+                )
+                assert (key in disown_param(disown[index])) == (index != first)
+
+    def test_edge_payload_roundtrips_dates(self):
+        graph = PropertyGraph()
+        graph.add_edge(
+            "A", "B", "acquired",
+            date=SimpleDate(2015, 6, 1), confidence=0.75,
+        )
+        edge = list(graph.edges())[0]
+        payload = edge_payload(edge)
+        assert payload["props"]["date"] == "2015-06-01"
+        decoded = edge_from_payload(payload)
+        assert decoded["src"] == "A" and decoded["dst"] == "B"
+        assert decoded["props"]["date"] == SimpleDate(2015, 6, 1)
+        assert decoded["props"]["confidence"] == 0.75
+
+
+# ---------------------------------------------------------------------------
+# stats counters
+# ---------------------------------------------------------------------------
+
+class TestComputeStats:
+    def test_counters_accumulate_and_jobs_reset_step_trace(self):
+        stats = ComputeStats()
+        stats.start_job()
+        stats.record_round(messages=5, nbytes=100)
+        stats.record_round(messages=2, nbytes=40)
+        stats.record_step(messages=1, nbytes=10)
+        stats.record_path_search()
+        snapshot = stats.to_dict()
+        assert snapshot == {
+            "jobs": 1,
+            "supersteps": 2,
+            "messages": 8,
+            "cross_shard_bytes": 150,
+            "path_searches": 1,
+            "last_messages_per_step": [5, 2],
+        }
+        stats.start_job()
+        assert stats.to_dict()["last_messages_per_step"] == []
+        # Cumulative counters survive the job boundary.
+        assert stats.to_dict()["supersteps"] == 2
+        assert stats.to_dict()["jobs"] == 2
+
+
+# ---------------------------------------------------------------------------
+# shard executor ops
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def shard():
+    service = NousService(
+        kb=KnowledgeBase(),
+        config=NousConfig(
+            window_size=100, min_support=2, lda_iterations=10,
+            retrain_every=0, seed=3,
+        ),
+        service_config=ServiceConfig(auto_start=False),
+    )
+    assert service.ingest_facts(FACTS, date="2015-06-01").ok
+    yield service
+    service.close()
+
+
+def _step(shard, op, params=None, num_shards=1, index=0):
+    response = shard.compute_step(
+        ComputeRequest(
+            op=op, shard=index, num_shards=num_shards, params=params or {}
+        ).to_wire()
+    )
+    return ComputeResponse.from_wire(response)
+
+
+class TestExecutorOps:
+    def test_graph_info_lists_vertices_and_extracted_keys(self, shard):
+        response = _step(shard, "graph_info")
+        assert response.result["vertices"] == sorted(
+            {s for s, _p, _o in FACTS} | {o for _s, _p, o in FACTS}
+        )
+        assert {
+            tuple(key) for key in response.result["extracted"]
+        } == set(FACTS)
+        assert "entities" not in response.result
+        assert response.kg_version == shard.kg_version
+
+    def test_graph_info_documents_flag_ships_descriptions(self, shard):
+        response = _step(shard, "graph_info", {"documents": True})
+        entities = dict(
+            (entity, description)
+            for entity, description in response.result["entities"]
+        )
+        assert set(entities) >= {s for s, _p, _o in FACTS}
+
+    def test_degrees_match_the_partition_graph(self, shard):
+        graph = shard.nous.kb.to_property_graph()
+        response = _step(shard, "degrees")
+        assert response.result["out_deg"] == {
+            str(v): graph.out_degree(v)
+            for v in graph.vertices()
+            if graph.out_degree(v)
+        }
+        assert response.result["deg"] == {
+            str(v): graph.degree(v) for v in graph.vertices()
+        }
+        assert response.result["srcs"] == sorted(response.result["out_deg"])
+        assert response.result["incident"] == sorted(response.result["deg"])
+
+    def test_expand_returns_incident_edges_once(self, shard):
+        response = _step(shard, "expand", {"vertices": ["Alpha"]})
+        keys = [
+            (e["src"], e["label"], e["dst"]) for e in response.result["edges"]
+        ]
+        assert keys == [
+            ("Alpha", "acquired", "Beta"),
+            ("Delta", "acquired", "Alpha"),
+        ]
+        # A frontier listing both endpoints must not duplicate the edge.
+        both = _step(shard, "expand", {"vertices": ["Alpha", "Beta"]})
+        assert len(both.result["edges"]) == len(
+            {(e["src"], e["label"], e["dst"]) for e in both.result["edges"]}
+        )
+
+    def test_expand_skip_omits_already_shipped_edges(self, shard):
+        response = _step(
+            shard, "expand", {"vertices": ["Beta"], "skip": ["Alpha"]}
+        )
+        keys = {
+            (e["src"], e["label"], e["dst"]) for e in response.result["edges"]
+        }
+        assert keys == {("Beta", "acquired", "Gamma")}
+
+    def test_contrib_sums_shares_over_out_edges(self, shard):
+        response = _step(
+            shard, "contrib", {"shares": {"Alpha": 0.5, "Gamma": 0.25}}
+        )
+        assert response.result["contrib"] == {"Beta": 0.5, "Delta": 0.25}
+
+    def test_min_labels_offer_component_minimum(self, shard):
+        labels = {v: v for v in ("Alpha", "Beta", "Gamma", "Delta")}
+        response = _step(shard, "min_labels", {"labels": labels})
+        # Every neighbour of Alpha (the cycle's minimum) is offered it.
+        assert response.result["messages"]["Beta"] == "Alpha"
+        assert response.result["messages"]["Delta"] == "Alpha"
+
+    def test_resolve_links_exact_mentions(self, shard):
+        response = _step(shard, "resolve", {"mentions": ["Alpha", "Beta"]})
+        assert response.result["entities"] == ["Alpha", "Beta"]
+
+    def test_edge_dump_ships_the_whole_partition(self, shard):
+        graph = shard.nous.kb.to_property_graph()
+        response = _step(shard, "edge_dump")
+        assert len(response.result["edges"]) == graph.num_edges
+        assert response.result["vertices"] == sorted(
+            str(v) for v in graph.vertices()
+        )
+
+    def test_malformed_request_raises_config_error(self, shard):
+        with pytest.raises(ConfigError):
+            shard.compute_step({"op": "nope", "shard": 0, "num_shards": 1})

@@ -34,7 +34,13 @@ import pytest
 from repro.api.http import HTTP_STATUS_BY_CODE
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-DOC_FILES = ["README.md", "docs/API.md", "docs/SHARDING.md", "docs/PERSISTENCE.md"]
+DOC_FILES = [
+    "README.md",
+    "docs/API.md",
+    "docs/SHARDING.md",
+    "docs/PERSISTENCE.md",
+    "docs/COMPUTE.md",
+]
 DOCS_PORT = 8420
 DOCS_URL = f"http://127.0.0.1:{DOCS_PORT}"
 SKIP_MARKER = "docs-smoke: skip"

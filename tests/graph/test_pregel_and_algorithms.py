@@ -17,6 +17,7 @@ from repro.graph import (
     triangle_count,
 )
 from repro.errors import ConfigError, VertexNotFoundError
+from repro.graph.partition import HashPartitioner
 
 
 def chain_graph(n):
@@ -140,6 +141,115 @@ class TestPregel:
         assert len(result.messages_per_step) == result.supersteps
         assert all(count >= 1 for count in result.messages_per_step)
         assert len(result.cross_partition_messages) == result.supersteps
+
+
+class TestPregelEdgeCases:
+    def test_cross_partition_attributed_to_actual_sender(self):
+        # A message addressed to edge.src travels *from* dst: the
+        # cross-partition counter must compare the partitions of dst
+        # (the sender) and src (the target), not src against itself —
+        # which would count zero for every reverse-direction message.
+        partitioner = HashPartitioner(2)
+        a = next(i for i in range(100) if partitioner.partition(i) == 0)
+        b = next(i for i in range(100) if partitioner.partition(i) == 1)
+        g = PropertyGraph(num_partitions=2)
+        g.add_edge(a, b, "e")
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0,
+            vertex_program=lambda v, s, m: s,
+            send=lambda e, s, d: [(e.src, 1)],
+            merge=lambda x, y: x + y,
+            max_iterations=1,
+        )
+        assert result.messages_per_step == [1]
+        assert result.cross_partition_messages == [1]
+
+    def test_same_partition_reverse_message_not_cross(self):
+        partitioner = HashPartitioner(2)
+        same = [i for i in range(100) if partitioner.partition(i) == 0][:2]
+        g = PropertyGraph(num_partitions=2)
+        g.add_edge(same[0], same[1], "e")
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0,
+            vertex_program=lambda v, s, m: s,
+            send=lambda e, s, d: [(e.src, 1)],
+            merge=lambda x, y: x + y,
+            max_iterations=1,
+        )
+        assert result.cross_partition_messages == [0]
+
+    def test_max_iterations_hit_reports_not_converged(self):
+        g = chain_graph(3)
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0,
+            # State always changes and messages always flow: the run
+            # can only stop by exhausting its iteration budget.
+            vertex_program=lambda v, s, m: s + m,
+            send=lambda e, s, d: [(e.dst, 1)],
+            merge=lambda x, y: x + y,
+            max_iterations=3,
+        )
+        assert result.supersteps == 3
+        assert not result.converged
+
+    def test_empty_graph(self):
+        result = pregel(
+            PropertyGraph(),
+            initial_state=lambda v, p: 0,
+            vertex_program=lambda v, s, m: s,
+            send=lambda e, s, d: [(e.dst, 1)],
+            merge=min,
+        )
+        assert result.states == {}
+        assert result.supersteps == 0
+        assert result.converged
+
+    def test_message_to_unknown_vertex_is_dropped(self):
+        g = chain_graph(2)
+        result = pregel(
+            g,
+            initial_state=lambda v, p: 0,
+            vertex_program=lambda v, s, m: s,
+            send=lambda e, s, d: [("ghost", 1)],
+            merge=lambda x, y: x + y,
+            max_iterations=1,
+        )
+        # The message is generated (and counted) but there is no state
+        # for its target: it is dropped, not KeyError'd into the run.
+        assert result.messages_per_step == [1]
+        assert "ghost" not in result.states
+        assert result.states == {0: 0, 1: 0}
+
+    def test_non_commutative_merge_guard(self):
+        g = chain_graph(3)
+
+        def send_two(edge, src_state, dst_state):
+            # Distinct messages to one target: merge order observable.
+            yield (1, edge.src)
+
+        with pytest.raises(ConfigError, match="not commutative"):
+            aggregate_messages(
+                g,
+                send=send_two,
+                merge=lambda x, y: x - y,
+                check_commutative=True,
+            )
+        # Unchecked, the misuse silently produces *an* answer — the
+        # guard exists precisely because this does not raise:
+        assert aggregate_messages(g, send=send_two, merge=lambda x, y: x - y)
+
+    def test_commutative_merge_passes_guard(self):
+        g = chain_graph(4)
+        inbox = aggregate_messages(
+            g,
+            send=lambda e, s, d: [(e.dst, 1)],
+            merge=lambda x, y: x + y,
+            check_commutative=True,
+        )
+        assert inbox == {1: 1, 2: 1, 3: 1}
 
 
 class TestConnectedComponents:

@@ -7,8 +7,11 @@ from repro.errors import QueryParseError
 from repro.kb import build_drone_kb
 from repro.nlp.dates import parse_date
 from repro.query import (
+    CentralityQuery,
+    ComponentsQuery,
     EntityQuery,
     ExplanatoryQuery,
+    PageRankQuery,
     PatternQuery,
     PatternMatcher,
     QueryEngine,
@@ -70,6 +73,42 @@ class TestParser:
         query = parse_query("match (?a:Company)-[acquired]->(?b:Company)")
         assert isinstance(query, PatternQuery)
         assert query.pattern_text.startswith("(?a")
+
+    @pytest.mark.parametrize("text,top", [
+        ("pagerank", 10),
+        ("page rank", 10),
+        ("show pagerank top 5", 5),
+        ("compute pagerank top 25", 25),
+    ])
+    def test_pagerank(self, text, top):
+        query = parse_query(text)
+        assert isinstance(query, PageRankQuery)
+        assert query.top == top
+
+    @pytest.mark.parametrize("text", [
+        "connected components",
+        "show connected components",
+        "find connected components?",
+    ])
+    def test_components(self, text):
+        assert isinstance(parse_query(text), ComponentsQuery)
+
+    @pytest.mark.parametrize("text,top", [
+        ("degree centrality", 10),
+        ("show degree centrality top 3", 3),
+        ("most connected entities", 10),
+        ("most connected entities top 7", 7),
+    ])
+    def test_centrality(self, text, top):
+        query = parse_query(text)
+        assert isinstance(query, CentralityQuery)
+        assert query.metric == "degree"
+        assert query.top == top
+
+    def test_analytics_do_not_parse_as_entity_queries(self):
+        # "what is pagerank" would be swallowed by the catch-all entity
+        # templates if the analytics templates ran after them.
+        assert isinstance(parse_query("What is PageRank?"), PageRankQuery)
 
     @pytest.mark.parametrize("bad", ["", "   ", "fnord gleep", "42"])
     def test_unparseable(self, bad):
@@ -229,6 +268,34 @@ class TestQueryEngine:
         )
         assert result.kind == "pattern"
         assert result.result_count >= 1
+
+    def test_pagerank_query(self, engine):
+        result = engine.execute_text("pagerank top 5")
+        assert result.kind == "pagerank"
+        assert 0 < result.result_count <= 5
+        ranks = result.payload["ranks"]
+        # Descending scores, and the census covers the whole graph.
+        assert ranks == sorted(ranks, key=lambda row: (-row[1], row[0]))
+        assert result.payload["num_vertices"] >= len(ranks)
+        assert "pagerank over" in result.rendered
+
+    def test_components_query(self, engine):
+        result = engine.execute_text("connected components")
+        assert result.kind == "components"
+        census = result.payload["components"]
+        assert result.result_count == len(census) > 0
+        # Largest component first, members sorted, none shared.
+        sizes = [len(members) for members in census]
+        assert sizes == sorted(sizes, reverse=True)
+        all_members = [m for members in census for m in members]
+        assert len(all_members) == len(set(all_members))
+
+    def test_centrality_query(self, engine):
+        result = engine.execute_text("degree centrality top 5")
+        assert result.kind == "centrality"
+        assert result.payload["metric"] == "degree"
+        assert 0 < result.result_count <= 5
+        assert "degree centrality" in result.rendered
 
     def test_result_count_consistent_for_all_classes(self, engine):
         """result_count must be populated from the payload for every
