@@ -1,7 +1,6 @@
 """BATCH: batched ingestion + incremental indexes vs the seed hot path.
 
-Three experiments on the synthetic world corpus, each asserting the >=2x
-speedup this PR claims:
+Four experiments on the synthetic world corpus:
 
 1. **Batched ingestion** — ``Nous.ingest_batch`` (one collective linking
    pass, one end-of-batch retrain, doomed window facts skip the miner)
@@ -13,6 +12,10 @@ speedup this PR claims:
    candidate predicate.
 3. **Query-result cache** — repeated queries on an unchanged KG served
    from the version-stamped cache against recomputation.
+4. **Parallel extraction** (ISSUE 8) — ``extract_workers=4`` fanning the
+   NLP stage across a spawn pool vs the serial batch path.  Byte-equal
+   results always; the >=2x docs/sec gate only binds where >= 4 cores
+   exist to win (single-core hosts gate pool *overhead* instead).
 """
 
 from __future__ import annotations
@@ -39,6 +42,23 @@ N_ARTICLES = 120
 # CI smoke step relaxes the gate via this env var (result-equivalence
 # checks stay strict there); local/nightly runs keep the full 2.0.
 SPEEDUP_GATE = float(os.environ.get("BENCH_SPEEDUP_GATE", "2.0"))
+_CORES = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+EXTRACT_WORKERS = 4
+# Fanning the *extraction stage* across 4 processes must be >= 2x
+# docs/sec where 4 cores exist (the stage is what parallelises; the
+# end-to-end batch keeps its serial linking/mining share and is
+# recorded ungated).  A single-core host cannot show any speedup — four
+# workers time-slice one core and every chunk round-trips a pickle —
+# so the gate there only bounds gross pathology.
+PARALLEL_GATE = float(
+    os.environ.get(
+        "BENCH_PARALLEL_GATE", "2.0" if _CORES >= EXTRACT_WORKERS else "0.1"
+    )
+)
 CONFIG = dict(
     window_size=100,
     min_support=2,
@@ -194,6 +214,91 @@ def test_indexed_pattern_query_speedup():
     assert indexed_counts == seed_counts, "indexed path changed results"
     assert any(count > 0 for count in indexed_counts)
     assert speedup >= SPEEDUP_GATE, f"indexed pattern lookups only {speedup:.2f}x faster"
+
+
+def test_parallel_extraction_docs_per_sec():
+    rounds = 3
+
+    # -- stage throughput: the same _extract_batch seam both paths use.
+    kb, articles = _fresh_corpus()
+    serial_nous = Nous(kb=kb, config=NousConfig(**CONFIG))
+    t_serial = min(
+        _timed(lambda: serial_nous._extract_batch(articles))
+        for _ in range(rounds)
+    )
+
+    kb_pool, articles_pool = _fresh_corpus()
+    pooled_nous = Nous(
+        kb=kb_pool,
+        config=NousConfig(extract_workers=EXTRACT_WORKERS, **CONFIG),
+    )
+    # Spawn + per-worker pipeline build is a one-time cost paid at
+    # service start, not per batch: warm the pool before the clock.
+    pooled_nous._extract_batch(articles_pool[:EXTRACT_WORKERS])
+    t_pool = min(
+        _timed(lambda: pooled_nous._extract_batch(articles_pool))
+        for _ in range(rounds)
+    )
+
+    docs_serial = N_ARTICLES / t_serial
+    docs_pool = N_ARTICLES / t_pool
+    speedup = docs_pool / docs_serial
+
+    # -- end-to-end: full batches through both engines, byte-compared.
+    t0 = time.perf_counter()
+    results_serial = serial_nous.ingest_batch(articles)
+    e2e_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    results_pool = pooled_nous.ingest_batch(articles_pool)
+    e2e_pool = time.perf_counter() - t0
+
+    print(
+        f"\nparallel extraction ({N_ARTICLES} articles, "
+        f"{EXTRACT_WORKERS} workers, {_CORES} core(s)):\n"
+        f"stage      serial {docs_serial:.0f} docs/s  "
+        f"pooled {docs_pool:.0f} docs/s  speedup {speedup:.2f}x "
+        f"(gate {PARALLEL_GATE}x)\n"
+        f"end-to-end serial {N_ARTICLES / e2e_serial:.0f} docs/s  "
+        f"pooled {N_ARTICLES / e2e_pool:.0f} docs/s"
+    )
+    record_bench(
+        "parallel_extraction",
+        articles=N_ARTICLES,
+        extract_workers=EXTRACT_WORKERS,
+        cores=_CORES,
+        stage_serial_s=round(t_serial, 4),
+        stage_pooled_s=round(t_pool, 4),
+        stage_serial_docs_per_s=round(docs_serial, 2),
+        stage_pooled_docs_per_s=round(docs_pool, 2),
+        e2e_serial_docs_per_s=round(N_ARTICLES / e2e_serial, 2),
+        e2e_pooled_docs_per_s=round(N_ARTICLES / e2e_pool, 2),
+        speedup=round(speedup, 3),
+        gate=PARALLEL_GATE,
+    )
+
+    # Byte-identity is the contract, not approximate equivalence: the
+    # pool only changes *where* extraction ran, never what it returned.
+    assert [
+        (r.doc_id, r.raw_triples, r.accepted, r.rejected_confidence)
+        for r in results_pool
+    ] == [
+        (r.doc_id, r.raw_triples, r.accepted, r.rejected_confidence)
+        for r in results_serial
+    ]
+    assert pooled_nous.kb.num_facts == serial_nous.kb.num_facts
+    assert pooled_nous.kb.version == serial_nous.kb.version
+    pooled_nous.close()
+
+    assert speedup >= PARALLEL_GATE, (
+        f"pooled extraction {speedup:.2f}x serial docs/sec "
+        f"(gate {PARALLEL_GATE}x on {_CORES} core(s))"
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
 
 
 def test_query_result_cache_speedup():

@@ -22,6 +22,7 @@ import repro.errors as errors_module
 from repro.errors import (
     ClusterError,
     ConfigError,
+    ExtractionError,
     GraphError,
     KBError,
     LinkingError,
@@ -49,6 +50,7 @@ _ERROR_TAXONOMY: tuple = (
     (ConfigError, "config"),
     (GraphError, "graph"),
     (KBError, "kb"),
+    (ExtractionError, "nlp.extraction"),
     (NLPError, "nlp"),
     (LinkingError, "linking"),
     (StorageError, "storage"),

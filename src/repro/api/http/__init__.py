@@ -29,11 +29,16 @@ Endpoint-by-endpoint request/response examples are in ``docs/API.md``.
 
 from repro.api.http.client import ClientSession, SubscriptionStream
 from repro.api.http.protocol import (
+    GZIP_MIN_BYTES,
     HTTP_STATUS_BY_CODE,
     NDJSON_CONTENT_TYPE,
+    accepts_gzip,
     gateway_error,
+    gunzip_bytes,
+    gzip_bytes,
     status_for_error,
 )
+from repro.api.http.qcache import SharedQueryCache
 from repro.api.http.server import GatewayConfig, NousGateway
 
 __all__ = [
@@ -41,8 +46,13 @@ __all__ = [
     "SubscriptionStream",
     "GatewayConfig",
     "NousGateway",
+    "SharedQueryCache",
+    "GZIP_MIN_BYTES",
     "HTTP_STATUS_BY_CODE",
     "NDJSON_CONTENT_TYPE",
+    "accepts_gzip",
     "gateway_error",
+    "gunzip_bytes",
+    "gzip_bytes",
     "status_for_error",
 ]

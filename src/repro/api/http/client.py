@@ -14,6 +14,15 @@ One keep-alive connection is reused per session (guarded by a lock, so
 a session may be shared across threads); :meth:`ClientSession.subscribe`
 opens a dedicated second connection for its NDJSON stream and yields
 one frame dict per line.  Everything is stdlib (``http.client``).
+
+Bulk payloads travel compressed when both sides agree (see
+``docs/PERFORMANCE.md``): the session advertises ``Accept-Encoding:
+gzip`` and inflates compressed responses, gzips request bodies past
+:data:`~repro.api.http.protocol.GZIP_MIN_BYTES`, and revalidates
+``GET /v1/stats`` with ``If-None-Match`` so an unchanged graph costs a
+304 instead of a statistics recomputation.  ``compress=False`` turns
+all of it off — the negotiation-matrix tests pair each client mode
+against each server mode and demand identical decoded envelopes.
 """
 
 from __future__ import annotations
@@ -22,10 +31,12 @@ import http.client
 import json
 import socket
 import threading
+import zlib
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 from urllib.parse import quote, urlencode, urlsplit
 
 from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
+from repro.api.http.protocol import GZIP_MIN_BYTES, gunzip_bytes, gzip_bytes
 from repro.api.wire import decode_payload
 from repro.errors import ConfigError, ReproError
 
@@ -54,9 +65,14 @@ class ClientSession:
         timeout: Socket timeout for plain requests (subscribe streams
             take their own, since an idle stream legitimately blocks
             between heartbeats).
+        compress: Negotiate gzip both ways (advertise
+            ``Accept-Encoding: gzip``, compress bulk request bodies).
+            ``False`` forces identity encoding end to end.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, compress: bool = True
+    ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme != "http" or not parts.hostname:
             raise ConfigError(
@@ -65,8 +81,13 @@ class ClientSession:
         self._host = parts.hostname
         self._port = parts.port or 80
         self._timeout = timeout
+        self._compress = compress
         self._lock = threading.Lock()
         self._conn: Optional[http.client.HTTPConnection] = None
+        # /v1/stats revalidation state: the last ETag the gateway
+        # stamped and the envelope it validated, replayed on a 304.
+        self._stats_etag: Optional[str] = None
+        self._stats_cache: Optional[ApiResponse] = None
 
     # ------------------------------------------------------------------
     # transport
@@ -76,17 +97,30 @@ class ClientSession:
         method: str,
         path: str,
         payload: Optional[Mapping[str, Any]] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """One JSON round trip on the shared keep-alive connection.
 
-        A request whose *send* fails on a reused connection is retried
-        once on a fresh socket (the server closed an idle keep-alive
-        connection).  A lost *response* is only retried for GETs — the
-        server may already have processed the request, and re-sending a
-        POST could double-ingest.
+        Returns ``(status, body, response-headers)``.  A request whose
+        *send* fails on a reused connection is retried once on a fresh
+        socket (the server closed an idle keep-alive connection).  A
+        lost *response* is only retried for GETs — the server may
+        already have processed the request, and re-sending a POST could
+        double-ingest.
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
+        headers: Dict[str, str] = {}
+        if body:
+            headers["Content-Type"] = "application/json"
+            if self._compress and len(body) >= GZIP_MIN_BYTES:
+                compressed = gzip_bytes(body)
+                if len(compressed) < len(body):
+                    body = compressed
+                    headers["Content-Encoding"] = "gzip"
+        if self._compress:
+            headers["Accept-Encoding"] = "gzip"
+        if extra_headers:
+            headers.update(extra_headers)
         with self._lock:
             while True:
                 fresh = self._conn is None
@@ -110,6 +144,10 @@ class ClientSession:
                     response = self._conn.getresponse()
                     status = response.status
                     raw = response.read()
+                    response_headers = dict(response.headers.items())
+                    encoding = (
+                        response.getheader("Content-Encoding") or ""
+                    ).lower()
                 except (http.client.HTTPException, OSError):
                     # The request reached the server but the response
                     # did not come back.  Only idempotent methods may
@@ -121,6 +159,17 @@ class ClientSession:
                         raise
                     continue
                 break
+        if encoding == "gzip":
+            try:
+                raw = gunzip_bytes(raw)
+            except (EOFError, OSError, zlib.error) as exc:
+                raise ReproError(
+                    f"gateway sent an undecodable gzip body for "
+                    f"{method} {path}: {exc}"
+                ) from exc
+        if status == 304 and not raw:
+            # Conditional GET validated: there is legitimately no body.
+            return status, {}, response_headers
         try:
             data = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -131,7 +180,7 @@ class ClientSession:
             raise ReproError(
                 f"gateway returned a non-object body for {method} {path}"
             )
-        return status, data
+        return status, data, response_headers
 
     def request(
         self,
@@ -145,7 +194,8 @@ class ClientSession:
         surface (the cluster's remote-shard client uses it for the
         ``/v1/shard/*`` introspection routes).
         """
-        return self._request(method, path, payload)
+        status, data, _headers = self._request(method, path, payload)
+        return status, data
 
     def close(self) -> None:
         with self._lock:
@@ -167,7 +217,9 @@ class ClientSession:
         ``.ok`` / ``.error`` — failures do not raise)."""
         if isinstance(request, str):
             request = QueryRequest(text=request)
-        _status, data = self._request("POST", "/v1/query", request.to_dict())
+        _status, data, _headers = self._request(
+            "POST", "/v1/query", request.to_dict()
+        )
         return ApiResponse.from_dict(data)
 
     def query_decoded(self, request: Union[str, QueryRequest]) -> Tuple[str, Any]:
@@ -208,7 +260,7 @@ class ClientSession:
                 "keyword fields are only valid with a text-string request"
             )
         path = "/v1/ingest?wait=1" if wait else "/v1/ingest"
-        _status, data = self._request("POST", path, request.to_dict())
+        _status, data, _headers = self._request("POST", path, request.to_dict())
         return ApiResponse.from_dict(data)
 
     def submit(
@@ -220,17 +272,36 @@ class ClientSession:
     def ticket(self, ticket_id: int) -> ApiResponse:
         """``GET /v1/ingest/<id>``: the ``ingest`` envelope once the
         document drained, the ``ticket`` envelope while pending."""
-        _status, data = self._request("GET", f"/v1/ingest/{ticket_id}")
+        _status, data, _headers = self._request("GET", f"/v1/ingest/{ticket_id}")
         return ApiResponse.from_dict(data)
 
     def statistics(self) -> ApiResponse:
-        """``GET /v1/stats``: the ``statistics`` envelope."""
-        _status, data = self._request("GET", "/v1/stats")
-        return ApiResponse.from_dict(data)
+        """``GET /v1/stats``: the ``statistics`` envelope.
+
+        The session revalidates with ``If-None-Match``: once a
+        statistics envelope has been fetched, later calls send the
+        gateway's ETag and replay the cached envelope on a 304 — the
+        gateway skips recomputing statistics entirely when the
+        composite stamp has not moved.
+        """
+        conditional: Optional[Dict[str, str]] = None
+        if self._stats_etag is not None and self._stats_cache is not None:
+            conditional = {"If-None-Match": self._stats_etag}
+        status, data, headers = self._request(
+            "GET", "/v1/stats", extra_headers=conditional
+        )
+        if status == 304 and self._stats_cache is not None:
+            return self._stats_cache
+        envelope = ApiResponse.from_dict(data)
+        etag = headers.get("ETag")
+        if envelope.ok and etag:
+            self._stats_etag = etag
+            self._stats_cache = envelope
+        return envelope
 
     def healthz(self) -> Dict[str, Any]:
         """``GET /v1/healthz``: liveness + queue state (a plain dict)."""
-        _status, data = self._request("GET", "/v1/healthz")
+        _status, data, _headers = self._request("GET", "/v1/healthz")
         return data
 
     def subscribe(
@@ -278,7 +349,12 @@ class ClientSession:
             params["full"] = "1"
         path = "/v1/subscribe?" + urlencode(params, quote_via=quote)
         return SubscriptionStream(
-            self._host, self._port, path, timeout, include_heartbeats
+            self._host,
+            self._port,
+            path,
+            timeout,
+            include_heartbeats,
+            compress=self._compress,
         )
 
 
@@ -296,19 +372,31 @@ class SubscriptionStream:
         path: str,
         timeout: Optional[float],
         include_heartbeats: bool,
+        compress: bool = True,
     ) -> None:
         self._include_heartbeats = include_heartbeats
         self._conn = _connect(host, port, timeout)
         self._closed = False
+        self._decompressor: Optional["zlib._Decompress"] = None
+        self._buffer = b""
         try:
-            self._conn.request("GET", path)
+            headers = {"Accept-Encoding": "gzip"} if compress else {}
+            self._conn.request("GET", path, headers=headers)
             self._response = self._conn.getresponse()
+            encoding = (
+                self._response.getheader("Content-Encoding") or ""
+            ).lower()
             if self._response.status != 200:
-                data = json.loads(self._response.read())
+                raw = self._response.read()
+                if encoding == "gzip":
+                    raw = gunzip_bytes(raw)
+                data = json.loads(raw)
                 ApiResponse.from_dict(data).raise_for_error()
                 raise ReproError(
                     f"subscribe rejected with HTTP {self._response.status}"
                 )
+            if encoding == "gzip":
+                self._decompressor = zlib.decompressobj(31)
         except BaseException:
             self._conn.close()
             self._closed = True
@@ -317,14 +405,43 @@ class SubscriptionStream:
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return self
 
+    def _read_frame_line(self) -> bytes:
+        """One NDJSON line off the wire, inflating when negotiated.
+
+        The compressed path cannot use ``readline`` (newlines in the
+        deflate stream are meaningless); instead ``read1`` takes
+        whatever bytes are available — each frame is sync-flushed by
+        the server, so a full line is decodable the moment its chunk
+        arrives — and lines are split out of the inflated buffer.
+        """
+        if self._decompressor is None:
+            return bytes(self._response.readline())
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[: newline + 1]
+                self._buffer = self._buffer[newline + 1:]
+                return line
+            chunk = self._response.read1(65536)
+            if not chunk:
+                line, self._buffer = self._buffer, b""
+                return line  # EOF: empty bytes ends the stream
+            self._buffer += self._decompressor.decompress(chunk)
+
     def __next__(self) -> Dict[str, Any]:
         """The next frame; ``StopIteration`` on clean end of stream."""
         while True:
             if self._closed:
                 raise StopIteration
             try:
-                line = self._response.readline()
-            except (OSError, ValueError, AttributeError, http.client.HTTPException):
+                line = self._read_frame_line()
+            except (
+                OSError,
+                ValueError,
+                AttributeError,
+                zlib.error,
+                http.client.HTTPException,
+            ):
                 # close() may race a blocked readline from another
                 # thread; whatever the stdlib raises on the yanked
                 # socket, the stream is simply over (the AttributeError

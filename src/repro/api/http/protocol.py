@@ -16,12 +16,24 @@ Two things live here, shared by :mod:`repro.api.http.server` and
   ``heartbeat`` (keepalive while idle) and ``bye`` (clean end of
   stream).  :func:`encode_frame` / the ``*_frame`` builders produce
   them; the client parses one JSON object per line.
+- **Compression negotiation** — bodies travel gzip-compressed when
+  both sides agree (documented in ``docs/PERFORMANCE.md``).  Responses:
+  a request whose ``Accept-Encoding`` admits gzip
+  (:func:`accepts_gzip`) gets bodies of
+  :attr:`~repro.api.http.server.GatewayConfig.gzip_min_bytes` bytes or
+  more compressed (:func:`gzip_bytes`, deterministic — ``mtime=0``).
+  Requests: a client may send ``Content-Encoding: gzip``; the server
+  inflates with :func:`gunzip_bytes`, whose ``limit`` re-applies
+  ``max_body_bytes`` *after* decompression so a tiny bomb cannot smuggle
+  an oversized body past the pre-read length check.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
-from typing import Any, Dict, Mapping
+import zlib
+from typing import Any, Dict, Mapping, Optional
 
 from repro.api.base import SubscriptionLike
 from repro.api.envelopes import ApiError, ApiResponse
@@ -46,6 +58,7 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "graph": 500,
     "kb": 500,
     "nlp": 500,
+    "nlp.extraction": 500,  # extraction pool worker died twice; batch aborted
     "linking": 500,
     "storage": 500,       # snapshot/WAL write or recovery-replay failure
     "internal": 500,
@@ -82,6 +95,66 @@ def gateway_error(code: str, message: str) -> ApiResponse:
     return ApiResponse(
         ok=False, kind="error", error=ApiError(code=code, message=message)
     )
+
+
+# ---------------------------------------------------------------------------
+# gzip negotiation
+# ---------------------------------------------------------------------------
+
+#: Response bodies below this many bytes are never worth compressing
+#: (the gzip header + deflate framing would eat the saving); the
+#: server-side threshold is configurable via ``GatewayConfig``, this is
+#: the shared default the client mirrors for request bodies.
+GZIP_MIN_BYTES = 512
+
+
+def accepts_gzip(header: Optional[str]) -> bool:
+    """Whether an ``Accept-Encoding`` header value admits gzip.
+
+    Token scan over the comma-separated clauses: ``gzip`` (or ``x-gzip``
+    or ``*``) accepts unless its q-value is 0.  Absent header means
+    identity only — the conservative reading, since every body is
+    intelligible uncompressed.
+    """
+    if not header:
+        return False
+    for clause in header.split(","):
+        token, _, param = clause.strip().partition(";")
+        if token.strip().lower() not in ("gzip", "x-gzip", "*"):
+            continue
+        param = param.strip().lower()
+        if param.startswith("q="):
+            try:
+                return float(param[2:]) > 0.0
+            except ValueError:
+                return False
+        return True
+    return False
+
+
+def gzip_bytes(data: bytes, level: int = 6) -> bytes:
+    """Deterministically gzip ``data`` (``mtime=0``: same bytes in,
+    same bytes out — wire-level tests and caches rely on it)."""
+    return gzip.compress(data, compresslevel=level, mtime=0)
+
+
+def gunzip_bytes(data: bytes, limit: Optional[int] = None) -> bytes:
+    """Inflate a gzip body, refusing to grow past ``limit`` bytes.
+
+    Raises:
+        ValueError: The decompressed body would exceed ``limit`` — the
+            caller's post-decompression 413 guard.
+        zlib.error: ``data`` is not valid gzip.
+    """
+    if limit is None:
+        return gzip.decompress(data)
+    decompressor = zlib.decompressobj(wbits=31)
+    out = decompressor.decompress(data, limit + 1)
+    if len(out) > limit or decompressor.unconsumed_tail:
+        raise ValueError(
+            f"decompressed body exceeds the limit of {limit} bytes"
+        )
+    return out
 
 
 # ---------------------------------------------------------------------------

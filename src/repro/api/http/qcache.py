@@ -1,0 +1,147 @@
+"""Cross-process query-result cache keyed on the composite KG stamp.
+
+The engine already carries a per-process result cache
+(:mod:`repro.query.engine`); this one lives at the *gateway* so several
+gateway replicas fronting the same cluster share hits through a common
+directory.  The contract mirrors the engine cache's:
+
+- the key is ``(query text, wire-format composite stamp)`` — any
+  accepted fact, minted entity or window eviction bumps the stamp, so a
+  stale entry can never be served for fresh state;
+- entries are stored under the stamp the *response* reports
+  (``envelope.kg_version``), not the stamp read before execution — a
+  query that mints an entity mid-execution moves the stamp, and caching
+  under the pre-read value would serve the minted world for the
+  unminted key;
+- trending queries are never cached (their evaluation consumes miner
+  transition state), which the gateway enforces before calling
+  :meth:`SharedQueryCache.put`.
+
+Writes are atomic (``tmp`` + ``os.replace``) so replicas racing on one
+directory can only ever observe complete entries; a malformed or
+half-pruned file reads as a miss.  Eviction is oldest-mtime-first once
+``max_entries`` is exceeded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["SharedQueryCache"]
+
+
+class SharedQueryCache:
+    """A directory of cached ``(status, envelope-dict)`` query results.
+
+    Args:
+        directory: Cache directory, created if missing.  Point several
+            gateways at the same path to share hits across processes.
+        max_entries: Best-effort cap on stored entries; the writer
+            prunes oldest-first past it.
+    """
+
+    def __init__(self, directory: str, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigError("shared cache max_entries must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self, query_text: str, kg_version: int
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The cached ``(status, body)`` for this text at this stamp, or
+        ``None``.  Any read problem — missing, torn by a concurrent
+        prune, malformed — is a miss, never an error."""
+        path = self._path(query_text, kg_version)
+        try:
+            entry = json.loads(path.read_text("utf-8"))
+            status = int(entry["status"])
+            body = entry["body"]
+            if not isinstance(body, dict):
+                raise ValueError("cache body must be an object")
+        except (OSError, ValueError, KeyError, TypeError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return status, body
+
+    def put(
+        self,
+        query_text: str,
+        kg_version: int,
+        status: int,
+        body: Dict[str, Any],
+    ) -> None:
+        """Store a result; atomic, so concurrent readers in other
+        gateway processes see either nothing or the whole entry."""
+        path = self._path(query_text, kg_version)
+        payload = json.dumps(
+            {"status": status, "body": body}, sort_keys=True
+        )
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(payload, "utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or vanished cache directory degrades to
+            # cache-off; queries must keep answering.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        self._prune()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (this process) plus current entry count."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        return {"hits": hits, "misses": misses, "entries": len(self._entries())}
+
+    # ------------------------------------------------------------------
+    def _path(self, query_text: str, kg_version: int) -> Path:
+        digest = hashlib.sha256(
+            f"{kg_version}|{query_text}".encode("utf-8")
+        ).hexdigest()
+        return self.directory / f"q-{digest}.json"
+
+    def _entries(self) -> "list[Path]":
+        try:
+            return [
+                p for p in self.directory.iterdir()
+                if p.name.startswith("q-") and p.suffix == ".json"
+            ]
+        except OSError:
+            return []
+
+    def _prune(self) -> None:
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        entries.sort(key=mtime)
+        for stale in entries[: len(entries) - self.max_entries]:
+            try:
+                stale.unlink(missing_ok=True)
+            except OSError:
+                pass

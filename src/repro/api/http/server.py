@@ -37,6 +37,7 @@ import json
 import math
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -46,18 +47,25 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api.base import ServiceLike, SubscriptionLike
 from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
 from repro.api.http.protocol import (
+    GZIP_MIN_BYTES,
     NDJSON_CONTENT_TYPE,
+    accepts_gzip,
     bye_frame,
     encode_frame,
     gateway_error,
+    gunzip_bytes,
+    gzip_bytes,
     heartbeat_frame,
     hello_frame,
     status_for_error,
     update_frame,
 )
+from repro.api.http.qcache import SharedQueryCache
 from repro.api.service import IngestTicket
 from repro.api.wire import pattern_to_wire
 from repro.errors import ConfigError, ReproError
+from repro.query.model import TrendingQuery
+from repro.query.parser import parse_query
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
@@ -89,6 +97,18 @@ class GatewayConfig:
             write landing before the idle deadline ever fires.
         log_requests: Emit one stderr line per request (the default is
             silent, which test suites appreciate).
+        gzip_min_bytes: Response bodies at least this large are gzipped
+            when the request's ``Accept-Encoding`` admits it (subscribe
+            streams compress per-frame regardless of size once the
+            client advertises gzip).  Small bodies always go identity —
+            the gzip framing would outweigh the saving.
+        shared_cache_dir: When set, cache query results in this
+            directory keyed on (query text, composite KG stamp), so
+            gateway replicas pointed at the same directory share hits
+            (see ``docs/PERFORMANCE.md``).  ``None`` (default) disables
+            the shared cache; the engine's in-process cache still runs.
+        shared_cache_entries: Entry cap for the shared cache directory
+            (oldest-first eviction).
     """
 
     host: str = "127.0.0.1"
@@ -100,10 +120,17 @@ class GatewayConfig:
     max_tickets: int = 1024
     idle_timeout: float = 120.0
     log_requests: bool = False
+    gzip_min_bytes: int = GZIP_MIN_BYTES
+    shared_cache_dir: Optional[str] = None
+    shared_cache_entries: int = 256
 
     def validate(self) -> None:
         if self.max_body_bytes < 1:
             raise ConfigError("max_body_bytes must be >= 1")
+        if self.gzip_min_bytes < 1:
+            raise ConfigError("gzip_min_bytes must be >= 1")
+        if self.shared_cache_entries < 1:
+            raise ConfigError("shared_cache_entries must be >= 1")
         if self.heartbeat_interval <= 0:
             raise ConfigError("heartbeat_interval must be > 0")
         if self.poll_interval <= 0:
@@ -160,6 +187,14 @@ class NousGateway:
         self.service = service
         self.config = config or GatewayConfig()
         self.config.validate()
+        self.shared_cache: Optional[SharedQueryCache] = (
+            SharedQueryCache(
+                self.config.shared_cache_dir,
+                max_entries=self.config.shared_cache_entries,
+            )
+            if self.config.shared_cache_dir
+            else None
+        )
         self.closing = threading.Event()
         self._ticket_lock = threading.Lock()
         self._tickets: "OrderedDict[int, IngestTicket]" = OrderedDict()
@@ -260,7 +295,7 @@ class NousGateway:
     def health(self) -> Dict[str, Any]:
         """The ``/v1/healthz`` payload: liveness plus queue state."""
         service = self.service
-        return {
+        payload = {
             "ok": True,
             "status": "closing" if self.closing.is_set() else "serving",
             "kg_version": service.kg_version,
@@ -271,6 +306,9 @@ class NousGateway:
             "subscriptions": service.subscription_count,
             "subscription_errors": service.subscription_errors,
         }
+        if self.shared_cache is not None:
+            payload["shared_cache"] = self.shared_cache.stats()
+        return payload
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -283,6 +321,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # delayed ACK — a flat tax that would dwarf most queries.
     disable_nagle_algorithm = True
     server: _GatewayHTTPServer
+    # Set per subscribe stream when the client accepts gzip; None means
+    # frames go out uncompressed.
+    _stream_compressor: Optional["zlib._Compress"] = None
 
     @property
     def gateway(self) -> NousGateway:
@@ -304,11 +345,28 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # plumbing
     # ------------------------------------------------------------------
     def _send_json(
-        self, status: int, body: Mapping[str, Any], extra_close: bool = False
+        self,
+        status: int,
+        body: Mapping[str, Any],
+        extra_close: bool = False,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
+        encoding = None
+        if len(data) >= self.gateway.config.gzip_min_bytes and accepts_gzip(
+            self.headers.get("Accept-Encoding")
+        ):
+            data = gzip_bytes(data)
+            encoding = "gzip"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        # Negotiated representation: caches must key on Accept-Encoding.
+        self.send_header("Vary", "Accept-Encoding")
+        if encoding is not None:
+            self.send_header("Content-Encoding", encoding)
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.send_header("Content-Length", str(len(data)))
         if extra_close:
             self.send_header("Connection", "close")
@@ -316,13 +374,17 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_envelope(self, envelope: ApiResponse) -> None:
+    def _send_envelope(
+        self,
+        envelope: ApiResponse,
+        extra_headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if envelope.ok:
             status = 202 if envelope.kind == "ticket" else 200
         else:
             assert envelope.error is not None
             status = status_for_error(envelope.error.code)
-        self._send_json(status, envelope.to_dict())
+        self._send_json(status, envelope.to_dict(), extra_headers=extra_headers)
 
     def _send_gateway_error(
         self, code: str, message: str, extra_close: bool = False
@@ -371,6 +433,32 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
             return None
         raw = self.rfile.read(length)
+        encoding = (self.headers.get("Content-Encoding") or "identity").strip().lower()
+        if encoding == "gzip":
+            try:
+                # Re-apply the body cap *after* decompression: the
+                # pre-read check above only saw the compressed length,
+                # and a small gzip body can inflate arbitrarily.
+                raw = gunzip_bytes(raw, limit=limit)
+            except ValueError:
+                self._send_gateway_error(
+                    "http.payload_too_large",
+                    f"decompressed body exceeds limit of {limit} bytes",
+                )
+                return None
+            except zlib.error as exc:
+                self._send_gateway_error(
+                    "http.bad_request",
+                    f"Content-Encoding is gzip but the body is not: {exc}",
+                )
+                return None
+        elif encoding != "identity":
+            self._send_gateway_error(
+                "http.bad_request",
+                f"unsupported Content-Encoding: {encoding!r} "
+                "(gzip and identity are supported)",
+            )
+            return None
         try:
             data = json.loads(raw)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -407,7 +495,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if path == "/v1/healthz":
             self._send_json(200, self.gateway.health())
         elif path == "/v1/stats":
-            self._send_envelope(self.gateway.service.statistics())
+            self._handle_stats()
         elif path == "/v1/subscribe":
             self._handle_subscribe(params)
         elif path.startswith("/v1/ingest/"):
@@ -452,6 +540,34 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
+    @staticmethod
+    def _etag_for(kg_version: int) -> str:
+        """The ``/v1/stats`` validator: the composite KG stamp.  Any
+        accepted fact, minted entity or window eviction moves it, so it
+        is exactly the statistics payload's freshness key."""
+        return f'"kg-{kg_version}"'
+
+    def _handle_stats(self) -> None:
+        service = self.gateway.service
+        etag = self._etag_for(service.kg_version)
+        if self.headers.get("If-None-Match", "").strip() == etag:
+            # The stamp pre-check costs one version read — the whole
+            # statistics computation is skipped on a conditional hit.
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.send_header("Vary", "Accept-Encoding")
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        envelope = service.statistics()
+        headers: Dict[str, str] = {}
+        if envelope.ok and envelope.kg_version >= 0:
+            # Stamp the ETag from the envelope itself (not the pre-read
+            # version): statistics and validator must describe the same
+            # state even if an ingest landed in between.
+            headers["ETag"] = self._etag_for(envelope.kg_version)
+        self._send_envelope(envelope, extra_headers=headers)
+
     def _handle_query(self) -> None:
         data = self._read_json_body()
         if data is None:
@@ -464,7 +580,37 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 'body must be a QueryRequest wire dict: {"text": "..."}',
             )
             return
-        self._send_envelope(self.gateway.service.query(request))
+        cache = self.gateway.shared_cache
+        if cache is not None:
+            hit = cache.get(request.text, self.gateway.service.kg_version)
+            if hit is not None:
+                status, body = hit
+                self._send_json(status, body)
+                return
+        envelope = self.gateway.service.query(request)
+        if (
+            cache is not None
+            and envelope.ok
+            and envelope.kg_version >= 0
+            and self._query_cacheable(request.text)
+        ):
+            # Keyed under the stamp the envelope reports — a query that
+            # minted an entity moved the stamp mid-execution, and its
+            # result describes the *minted* world.
+            cache.put(
+                request.text, envelope.kg_version, 200, envelope.to_dict()
+            )
+        self._send_envelope(envelope)
+
+    @staticmethod
+    def _query_cacheable(text: str) -> bool:
+        """Mirror of the engine cache's rule: trending evaluation
+        consumes miner transition state, so its results are not pure
+        functions of the stamp and must never be shared."""
+        try:
+            return not isinstance(parse_query(text), TrendingQuery)
+        except ReproError:
+            return False
 
     def _handle_ingest(self, params: Dict[str, List[str]]) -> None:
         data = self._read_json_body()
@@ -833,9 +979,24 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         max_updates: int,
         snapshot: bool = False,
     ) -> None:
+        # Per-frame gzip when the subscriber advertises it: each frame
+        # is deflate-compressed and sync-flushed into its own chunk, so
+        # delivery latency is unchanged while trending full-view frames
+        # (whole support tables) shrink several-fold.  One compressor
+        # spans the stream — later frames deflate against earlier ones,
+        # which is where most of the win on repetitive frames comes from.
+        compressor = (
+            zlib.compressobj(6, zlib.DEFLATED, 31)
+            if accepts_gzip(self.headers.get("Accept-Encoding"))
+            else None
+        )
+        self._stream_compressor = compressor
         self.send_response(200)
         self.send_header("Content-Type", NDJSON_CONTENT_TYPE)
         self.send_header("Cache-Control", "no-store")
+        if compressor is not None:
+            self.send_header("Content-Encoding", "gzip")
+            self.send_header("Vary", "Accept-Encoding")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
         service = self.gateway.service
@@ -897,6 +1058,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             break  # inner break (max_updates) falls through here
         self._send_chunk(encode_frame(bye_frame(reason)))
         try:
+            if self._stream_compressor is not None:
+                # Close the gzip member so the client's decompressor sees
+                # a complete stream (sync-flushed frames are already
+                # self-contained, so truncation on error paths is benign).
+                tail = self._stream_compressor.flush(zlib.Z_FINISH)
+                if tail:
+                    self.wfile.write(
+                        f"{len(tail):X}\r\n".encode("ascii") + tail + b"\r\n"
+                    )
             self.wfile.write(b"0\r\n\r\n")
             self.wfile.flush()
         except OSError:
@@ -905,6 +1075,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def _send_chunk(self, payload: bytes) -> bool:
         """Write one chunked-transfer frame; False when the client is
         gone (broken pipe / reset)."""
+        compressor = self._stream_compressor
+        if compressor is not None:
+            # Sync-flush so the frame is decodable the moment the chunk
+            # lands — no buffering latency added by compression.
+            payload = compressor.compress(payload) + compressor.flush(
+                zlib.Z_SYNC_FLUSH
+            )
+            if not payload:
+                return True
         try:
             self.wfile.write(
                 f"{len(payload):X}\r\n".encode("ascii") + payload + b"\r\n"

@@ -356,6 +356,8 @@ class NousService:
             self._drainer = None
         if self._storage is not None:
             self._storage.close()
+        # Release the engine's extraction pool (no-op when serial).
+        self.nous.close()
 
     # ------------------------------------------------------------------
     # durability

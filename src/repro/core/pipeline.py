@@ -29,6 +29,11 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.linking.mapper import MappedTriple, RejectedTriple, TripleMapper
 from repro.mining.streaming import WindowReport
 from repro.nlp.dates import SimpleDate
+from repro.nlp.parallel import (
+    ExtractionJob,
+    ParallelExtractor,
+    PipelineSpec,
+)
 from repro.nlp.pipeline import NlpPipeline, RawTriple
 from repro.qa.lda import LdaModel, LdaTopics
 from repro.qa.pathsearch import CoherentPathSearch, RankedPath
@@ -48,6 +53,11 @@ class NousConfig:
         n_topics / lda_iterations: LDA settings for the QA topic space.
         max_hops / beam_width: Path-search settings.
         seed: Master seed for the stochastic components.
+        extract_workers: NLP extraction process-pool size for
+            :meth:`Nous.ingest_batch`; 1 (the default) extracts serially
+            in-process.  Output is byte-identical either way — the pool
+            only parallelises the per-document extraction stage ahead of
+            the collective linking pass.
     """
 
     window_size: int = 500
@@ -60,12 +70,15 @@ class NousConfig:
     max_hops: int = 4
     beam_width: int = 8
     seed: int = 29
+    extract_workers: int = 1
 
     def validate(self) -> None:
         if self.window_size < 1:
             raise ConfigError("window_size must be >= 1")
         if not 0.0 <= self.accept_threshold <= 1.0:
             raise ConfigError("accept_threshold must be in [0, 1]")
+        if self.extract_workers < 1:
+            raise ConfigError("extract_workers must be >= 1")
 
 
 @dataclass
@@ -144,6 +157,8 @@ class Nous:
         # Raw extraction buffer feeding §3.3's semi-supervised pattern
         # expansion (bounded: only recent evidence matters).
         self._raw_buffer: Deque[RawTriple] = deque(maxlen=2000)
+        # Lazily-spawned extraction pool (extract_workers > 1 only).
+        self._extractor: Optional[ParallelExtractor] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -260,9 +275,13 @@ class Nous:
           their add/remove embedding updates are exact no-ops (see
           :meth:`DynamicKnowledgeGraph.accept_batch`).
 
-        NLP extraction still runs per document; acceptance gating, trust
-        updates and stream timestamps follow the same order as the
-        sequential path.
+        NLP extraction still happens per document — serially in-process,
+        or fanned across a process pool when
+        :attr:`NousConfig.extract_workers` > 1 (documents are
+        independent until linking, and pool results are re-ordered to
+        submission order, so output is byte-identical either way);
+        acceptance gating, trust updates and stream timestamps follow
+        the same order as the sequential path.
 
         Args:
             articles: :class:`repro.data.articles.Article`-like objects
@@ -276,26 +295,19 @@ class Nous:
         Returns:
             One :class:`IngestResult` per article, in input order.
         """
+        articles = list(articles)
+        extracted = self._extract_batch(articles)
+
         results: List[IngestResult] = []
         doc_triples: List[List[RawTriple]] = []
         doc_contexts: List[Optional[List[str]]] = []
-        for article in articles:
+        for article, (triples, context_words) in zip(articles, extracted):
             result = IngestResult(doc_id=article.doc_id)
-            document = self.nlp.process(
-                article.text,
-                doc_id=article.doc_id,
-                doc_date=article.date,
-                source=article.source,
-            )
-            result.raw_triples = len(document.triples)
+            result.raw_triples = len(triples)
             results.append(result)
-            doc_triples.append(list(document.triples))
-            doc_contexts.append(
-                [w for s in document.sentences for w in s.sentence.words()]
-                if document.triples
-                else None
-            )
-            self._raw_buffer.extend(document.triples)
+            doc_triples.append(list(triples))
+            doc_contexts.append(context_words)
+            self._raw_buffer.extend(triples)
 
         mapped_per_doc = self.mapper.map_batch(doc_triples, doc_contexts)
 
@@ -329,6 +341,65 @@ class Nous:
         if not defer_retrain:
             self._maybe_retrain()
         return results
+
+    # ------------------------------------------------------------------
+    # extraction seam (serial / process pool)
+    # ------------------------------------------------------------------
+    def _extract_batch(
+        self, articles: Sequence
+    ) -> List[Tuple[List[RawTriple], Optional[List[str]]]]:
+        """Extract every article: ``(triples, context_words-or-None)``
+        per document, in input order.
+
+        This is the single seam both the serial and the pooled path go
+        through — the durability recorder wraps it to count extracted
+        raws, and fanning out across ``extract_workers`` processes
+        happens entirely inside it.
+        """
+        if self.config.extract_workers > 1 and len(articles) > 1:
+            jobs = [
+                ExtractionJob(
+                    text=a.text, doc_id=a.doc_id, date=a.date, source=a.source
+                )
+                for a in articles
+            ]
+            extracted = self._ensure_extractor().extract_many(jobs)
+            return [(doc.triples, doc.context_words) for doc in extracted]
+        out: List[Tuple[List[RawTriple], Optional[List[str]]]] = []
+        for article in articles:
+            document = self.nlp.process(
+                article.text,
+                doc_id=article.doc_id,
+                doc_date=article.date,
+                source=article.source,
+            )
+            out.append(
+                (
+                    document.triples,
+                    [w for s in document.sentences for w in s.sentence.words()]
+                    if document.triples
+                    else None,
+                )
+            )
+        return out
+
+    def _ensure_extractor(self) -> ParallelExtractor:
+        if self._extractor is None:
+            self._extractor = ParallelExtractor(
+                PipelineSpec.from_pipeline(self.nlp),
+                workers=self.config.extract_workers,
+            )
+        return self._extractor
+
+    def close(self) -> None:
+        """Release owned process resources (the extraction pool).
+
+        Safe to call repeatedly; a later ``ingest_batch`` respawns the
+        pool on demand.
+        """
+        if self._extractor is not None:
+            self._extractor.close()
+            self._extractor = None
 
     def ingest_facts(
         self,

@@ -64,6 +64,36 @@ class NLPError(ReproError):
     """Base class for NLP-pipeline errors."""
 
 
+class ExtractionError(NLPError):
+    """Parallel extraction could not complete a batch: a pool worker
+    died (OOM-killed, segfaulted, or externally SIGKILLed) and the
+    one-shot pool respawn died again.  The batch is abandoned *before*
+    any linking or KG mutation, so the engine state is untouched.
+
+    Attributes:
+        doc_index: Submission-order index of the first document whose
+            result was lost when the pool broke.
+        doc_id: Its document id (may be empty).
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        doc_index: int = -1,
+        doc_id: str = "",
+    ) -> None:
+        if message is None:
+            where = f" (doc_id={doc_id!r})" if doc_id else ""
+            message = (
+                "extraction pool worker died while processing document "
+                f"index {doc_index}{where}; pool was respawned once and "
+                "broke again — batch aborted, no state applied"
+            )
+        super().__init__(message)
+        self.doc_index = doc_index
+        self.doc_id = doc_id
+
+
 class LinkingError(ReproError):
     """Base class for entity-linking / predicate-mapping errors."""
 

@@ -1,0 +1,265 @@
+"""Process-pool parallel NLP extraction (paper §3.5 scalability).
+
+Documents are independent until the collective linking pass: the
+pipeline components hold only construction-time state (lexicon,
+gazetteer, frame lexicon) and the coreference resolver is created per
+document, so extracting N documents concurrently and re-ordering the
+results to submission order is byte-identical to the serial loop.
+
+:class:`ParallelExtractor` owns a ``ProcessPoolExecutor`` whose workers
+each build one :class:`~repro.nlp.pipeline.NlpPipeline` from a
+picklable :class:`PipelineSpec` at initialization and reuse it for
+every document.  The pool uses the *spawn* start context: the engine
+runs inside services with live drainer/gateway threads, and forking a
+threaded process is undefined behaviour.
+
+Failure semantics: a worker death (OOM kill, segfault) breaks the whole
+pool.  Extraction is pure — no engine state has been touched — so the
+executor rebuilds the pool and retries the batch once; if the pool
+breaks again it raises :class:`~repro.errors.ExtractionError` naming
+the first document whose result was lost, and the caller's batch fails
+atomically.
+"""
+
+from __future__ import annotations
+
+import importlib
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, ExtractionError
+from repro.nlp.dates import SimpleDate
+from repro.nlp.pipeline import NlpPipeline, RawTriple
+
+__all__ = [
+    "ExtractedDocument",
+    "ExtractionJob",
+    "ParallelExtractor",
+    "PipelineSpec",
+]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Everything needed to rebuild an ``NlpPipeline`` in a worker.
+
+    The gazetteer / alias maps are plain ``str -> str`` dicts (KB
+    snapshots), so the spec pickles cheaply and the rebuilt pipeline is
+    configured identically to the parent's.
+
+    ``fault_hook`` is a test-only seam: a ``"module:attribute"`` dotted
+    name resolved inside each worker and called with every
+    :class:`ExtractionJob` before extraction — fault-injection tests
+    use it to kill a worker mid-batch deterministically.  Production
+    code never sets it.
+    """
+
+    gazetteer: Dict[str, str]
+    kb_aliases: Dict[str, str]
+    use_srl: bool = True
+    use_coref: bool = True
+    min_confidence: float = 0.0
+    fault_hook: Optional[str] = None
+
+    @classmethod
+    def from_pipeline(cls, pipeline: NlpPipeline) -> "PipelineSpec":
+        """Capture a live pipeline's configuration."""
+        return cls(
+            gazetteer=dict(pipeline.ner.gazetteer),
+            kb_aliases=dict(pipeline.ner.kb_aliases),
+            use_srl=pipeline.srl is not None,
+            use_coref=pipeline.use_coref,
+            min_confidence=pipeline.min_confidence,
+        )
+
+    def build(self) -> NlpPipeline:
+        """Construct the pipeline this spec describes."""
+        return NlpPipeline(
+            gazetteer=dict(self.gazetteer),
+            kb_aliases=dict(self.kb_aliases),
+            use_srl=self.use_srl,
+            use_coref=self.use_coref,
+            min_confidence=self.min_confidence,
+        )
+
+
+@dataclass(frozen=True)
+class ExtractionJob:
+    """One document submitted for extraction."""
+
+    text: str
+    doc_id: str = ""
+    date: Optional[SimpleDate] = None
+    source: str = ""
+
+
+@dataclass
+class ExtractedDocument:
+    """Extraction output for one document, in submission order.
+
+    ``context_words`` is ``None`` for triple-less documents — exactly
+    the shape :meth:`repro.core.pipeline.Nous.ingest_batch` feeds the
+    collective linking pass, so the parallel and serial paths assemble
+    identical linking inputs.
+    """
+
+    doc_id: str
+    triples: List[RawTriple]
+    context_words: Optional[List[str]]
+
+
+# ----------------------------------------------------------------------
+# Worker-side state: one pipeline per process, built by the initializer
+# and reused for every job the worker handles.
+# ----------------------------------------------------------------------
+_worker_pipeline: Optional[NlpPipeline] = None
+_worker_hook: Optional[Callable[[ExtractionJob], None]] = None
+
+
+def _resolve_hook(dotted: Optional[str]) -> Optional[Callable[[ExtractionJob], None]]:
+    if not dotted:
+        return None
+    module_name, _, attribute = dotted.partition(":")
+    if not module_name or not attribute:
+        raise ConfigError(f"fault_hook must be 'module:attribute', got {dotted!r}")
+    hook = getattr(importlib.import_module(module_name), attribute)
+    if not callable(hook):
+        raise ConfigError(f"fault_hook {dotted!r} is not callable")
+    return hook  # type: ignore[no-any-return]
+
+
+def _worker_init(spec: PipelineSpec) -> None:
+    global _worker_pipeline, _worker_hook
+    _worker_pipeline = spec.build()
+    _worker_hook = _resolve_hook(spec.fault_hook)
+
+
+def _extract_one(job: ExtractionJob) -> ExtractedDocument:
+    pipeline = _worker_pipeline
+    if pipeline is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("extraction worker used before initialization")
+    if _worker_hook is not None:
+        _worker_hook(job)
+    document = pipeline.process(
+        job.text, doc_id=job.doc_id, doc_date=job.date, source=job.source
+    )
+    context: Optional[List[str]] = (
+        [w for s in document.sentences for w in s.sentence.words()]
+        if document.triples
+        else None
+    )
+    return ExtractedDocument(
+        doc_id=job.doc_id, triples=document.triples, context_words=context
+    )
+
+
+def _extract_chunk(jobs: Sequence[ExtractionJob]) -> List[ExtractedDocument]:
+    """One IPC round trip extracts a whole slice of the batch — the
+    per-job submit/pickle overhead would otherwise rival the extraction
+    itself on short documents."""
+    return [_extract_one(job) for job in jobs]
+
+
+class _PoolBroken(Exception):
+    """Internal: the pool broke at submission-order index ``index``."""
+
+    def __init__(self, index: int, job: ExtractionJob, cause: BaseException) -> None:
+        super().__init__(f"pool broke at document index {index}")
+        self.index = index
+        self.job = job
+        self.cause = cause
+
+
+class ParallelExtractor:
+    """A reusable process pool extracting documents in submission order.
+
+    Args:
+        spec: Pipeline configuration replicated into every worker.
+        workers: Pool size (>= 1).
+        mp_context: Multiprocessing start method; *spawn* by default
+            because the parent may hold live threads.
+    """
+
+    def __init__(
+        self, spec: PipelineSpec, workers: int, mp_context: str = "spawn"
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"extraction pool needs workers >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def extract_many(self, jobs: Sequence[ExtractionJob]) -> List[ExtractedDocument]:
+        """Extract every job, results in submission order.
+
+        A broken pool (worker death) is respawned and the whole batch
+        retried once — extraction is pure, so the retry is safe.  A
+        second break raises :class:`~repro.errors.ExtractionError`.
+        """
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        try:
+            return self._run(job_list)
+        except _PoolBroken:
+            self.close()  # discard the broken pool; retry on a fresh one
+        try:
+            return self._run(job_list)
+        except _PoolBroken as broken:
+            self.close()
+            raise ExtractionError(
+                doc_index=broken.index, doc_id=broken.job.doc_id
+            ) from broken.cause
+
+    def _run(self, jobs: List[ExtractionJob]) -> List[ExtractedDocument]:
+        pool = self._ensure_pool()
+        # Chunked fan-out: ~4 chunks per worker balances load (chunks
+        # vary in cost) against IPC round trips (each costs a pickle of
+        # jobs out and triples back).
+        size = max(1, -(-len(jobs) // (self.workers * 4)))
+        chunks = [jobs[i : i + size] for i in range(0, len(jobs), size)]
+        starts = [i for i in range(0, len(jobs), size)]
+        futures: List[Future[List[ExtractedDocument]]] = []
+        try:
+            for chunk in chunks:
+                futures.append(pool.submit(_extract_chunk, chunk))
+        except (BrokenExecutor, RuntimeError) as exc:
+            # submit() itself fails once the pool has broken
+            start = starts[len(futures)]
+            raise _PoolBroken(start, jobs[start], exc)
+        results: List[ExtractedDocument] = []
+        for index, future in enumerate(futures):
+            try:
+                results.extend(future.result())
+            except BrokenExecutor as exc:
+                # The chunk died somewhere; name its first document
+                # (the first result that was certainly lost).
+                start = starts[index]
+                raise _PoolBroken(start, jobs[start], exc)
+        return results
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(self._mp_context),
+                initializer=_worker_init,
+                initargs=(self.spec,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; the next batch lazily respawns it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExtractor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -30,6 +30,7 @@ import os
 import signal
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 from repro.api.base import ServiceLike
@@ -67,6 +68,7 @@ def build_demo_service(
     shards: int = 1,
     shard_mode: str = "local",
     data_dir: Optional[str] = None,
+    extract_workers: int = 1,
 ) -> ServiceLike:
     """Construct a service and ingest a synthetic news stream through
     its micro-batching queue.
@@ -88,7 +90,9 @@ def build_demo_service(
     re-ingested on top of it.
     """
     kb, articles = _demo_world(n_articles, seed)
-    config = NousConfig(window_size=window_size, seed=seed)
+    config = NousConfig(
+        window_size=window_size, seed=seed, extract_workers=extract_workers
+    )
     service_config = ServiceConfig(auto_start=auto_start)
     service: ServiceLike
     if shards > 1 and shard_mode == "process":
@@ -136,6 +140,7 @@ def build_worker_service(
     config_json: Optional[str] = None,
     service_json: Optional[str] = None,
     data_dir: Optional[str] = None,
+    extract_workers: Optional[int] = None,
 ) -> NousService:
     """Construct a bare shard-worker service: the named curated base,
     no pre-ingested corpus, background drainer on (a live server must
@@ -150,6 +155,10 @@ def build_worker_service(
         if config_json
         else NousConfig()
     )
+    if extract_workers is not None:
+        # The CLI flag wins over a --config-json value (a supervisor
+        # that wants per-worker pools just bakes it into the JSON).
+        config = replace(config, extract_workers=extract_workers)
     overrides = json.loads(service_json) if service_json else {}
     overrides["auto_start"] = True
     service_config = ServiceConfig(**overrides)
@@ -294,6 +303,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "docs/PERSISTENCE.md)",
     )
     serve.add_argument(
+        "--extract-workers", type=int, default=None, metavar="N",
+        help="NLP extraction process-pool size per service (default 1: "
+        "serial in-process extraction; output is byte-identical either "
+        "way — see docs/PERFORMANCE.md). With --shards N --shard-mode "
+        "process every worker gets its own pool (shards x extractors "
+        "processes)",
+    )
+    serve.add_argument(
+        "--shared-cache-dir", default=None, metavar="DIR",
+        help="directory for the cross-process query-result cache keyed "
+        "on the composite KG stamp; gateway replicas pointed at the "
+        "same DIR share hits (see docs/PERFORMANCE.md)",
+    )
+    serve.add_argument(
         "--announce", action="store_true",
         help="print one JSON line to stdout once the gateway is bound "
         "(machine-readable startup handshake for supervisors)",
@@ -346,6 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.config_json,
                 args.service_json,
                 data_dir=args.data_dir,
+                extract_workers=args.extract_workers,
             ),
             args,
         )
@@ -367,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         shards=shards,
         shard_mode=shard_mode,
         data_dir=getattr(args, "data_dir", None),
+        extract_workers=getattr(args, "extract_workers", None) or 1,
     )
 
     if args.command == "demo":
@@ -427,7 +452,10 @@ def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
     gateway = NousGateway(
         service,
         GatewayConfig(
-            host=args.host, port=args.port, log_requests=not args.quiet
+            host=args.host,
+            port=args.port,
+            log_requests=not args.quiet,
+            shared_cache_dir=getattr(args, "shared_cache_dir", None),
         ),
     )
     with service, gateway:

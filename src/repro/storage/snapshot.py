@@ -548,6 +548,7 @@ def record_ingest(nous: Nous) -> Iterator[IngestRecorder]:
     orig_batch = dynamic.accept_batch
     orig_fact = dynamic.accept_fact
     orig_process = nlp.process
+    orig_extract_batch = nous._extract_batch
     orig_retrain = estimator.retrain
 
     def accept_batch(facts):
@@ -559,9 +560,24 @@ def record_ingest(nous: Nous) -> Iterator[IngestRecorder]:
         return orig_fact(mapped, confidence, timestamp)
 
     def process(*args, **kwargs):
+        # The streaming (one-document) path: count as it extracts.
         document = orig_process(*args, **kwargs)
         recorder._on_extract(len(document.triples))
         return document
+
+    def extract_batch(articles):
+        # The batch path goes through Nous._extract_batch — serially it
+        # calls the patched nlp.process per document (counted above), so
+        # only the pooled branch must be counted here.  Temporarily
+        # restoring the original keeps the count single-sourced.
+        nlp.process = orig_process  # type: ignore[method-assign]
+        try:
+            extracted = orig_extract_batch(articles)
+        finally:
+            nlp.process = process  # type: ignore[method-assign]
+        for triples, _context in extracted:
+            recorder._on_extract(len(triples))
+        return extracted
 
     def retrain(triples):
         # Recorded as an ordered event: a mid-call retrain refits from
@@ -573,6 +589,7 @@ def record_ingest(nous: Nous) -> Iterator[IngestRecorder]:
     dynamic.accept_batch = accept_batch  # type: ignore[method-assign]
     dynamic.accept_fact = accept_fact  # type: ignore[method-assign]
     nlp.process = process  # type: ignore[method-assign]
+    nous._extract_batch = extract_batch  # type: ignore[method-assign]
     estimator.retrain = retrain  # type: ignore[method-assign]
     try:
         yield recorder
@@ -581,6 +598,7 @@ def record_ingest(nous: Nous) -> Iterator[IngestRecorder]:
         del dynamic.accept_batch
         del dynamic.accept_fact
         del nlp.process
+        del nous._extract_batch
         del estimator.retrain
 
 

@@ -1,0 +1,433 @@
+"""Wire compression, conditional GET and the shared query cache (ISSUE 8).
+
+Property tests for the leaner wire: gzip round-trip identity for every
+payload codec the gateway serves, the client/server negotiation matrix
+(every combination of gzip/identity must decode to the same envelopes),
+the decompression-bomb guard (a tiny compressed body may not smuggle an
+oversized payload past ``max_body_bytes``), ``ETag`` / ``If-None-Match``
+semantics on ``/v1/stats``, and the cross-replica shared query cache.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CorpusConfig,
+    NousConfig,
+    NousService,
+    build_drone_kb,
+    generate_corpus,
+    generate_descriptions,
+)
+from repro.api.http import (
+    ClientSession,
+    GatewayConfig,
+    NousGateway,
+    SharedQueryCache,
+    accepts_gzip,
+    gunzip_bytes,
+    gzip_bytes,
+)
+from repro.api.wire import decode_payload
+
+SEED = 3
+N_ARTICLES = 12
+
+#: One query per wire payload codec the query surface can emit.
+CODEC_QUERIES = [
+    ("entity", "tell me about DJI"),
+    ("relationship", "how is GoPro related to DJI"),
+    ("explanatory", "why does Windermere use drones"),
+    ("pattern", "match (?a:Company)-[acquired]->(?b:Company)"),
+    ("trending", "show trending patterns"),
+    ("entity-trend", "what's new about DJI"),
+]
+
+
+@pytest.fixture(scope="module")
+def service():
+    kb = build_drone_kb()
+    articles = generate_corpus(
+        kb, CorpusConfig(n_articles=N_ARTICLES, seed=SEED)
+    )
+    generate_descriptions(kb, seed=SEED)
+    with NousService(
+        kb=kb, config=NousConfig(window_size=400, seed=SEED)
+    ) as svc:
+        svc.submit_many(articles)
+        svc.flush()
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def gzip_gateway(service):
+    # gzip_min_bytes=1: every non-empty body compresses once the client
+    # agrees, so the negotiation itself is what the tests observe.
+    config = GatewayConfig(max_body_bytes=64 * 1024, gzip_min_bytes=1)
+    with NousGateway(service, config) as gw:
+        yield gw
+
+
+@pytest.fixture(scope="module")
+def identity_gateway(service):
+    # A threshold no body reaches: the server never compresses, which
+    # is the "server: identity" column of the negotiation matrix.
+    config = GatewayConfig(
+        max_body_bytes=64 * 1024, gzip_min_bytes=1 << 30
+    )
+    with NousGateway(service, config) as gw:
+        yield gw
+
+
+def _raw(gateway, method, path, body=None, headers=None):
+    """One raw request; returns (status, headers-dict, raw-bytes)."""
+    conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30.0)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.headers.items()), response.read()
+    finally:
+        conn.close()
+
+
+class TestGzipHelpers:
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_identity(self, data):
+        assert gunzip_bytes(gzip_bytes(data)) == data
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=30, deadline=None)
+    def test_compression_is_deterministic(self, data):
+        # mtime is pinned to 0, so equal input bytes give equal output
+        # bytes — caches and byte-level wire tests depend on this.
+        assert gzip_bytes(data) == gzip_bytes(data)
+
+    @given(st.binary(min_size=1, max_size=2048))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_is_exact(self, data):
+        compressed = gzip_bytes(data)
+        assert gunzip_bytes(compressed, limit=len(data)) == data
+        with pytest.raises(ValueError):
+            gunzip_bytes(compressed, limit=len(data) - 1)
+
+    @pytest.mark.parametrize(
+        "header,expected",
+        [
+            (None, False),
+            ("", False),
+            ("identity", False),
+            ("gzip", True),
+            ("x-gzip", True),
+            ("*", True),
+            ("deflate, gzip;q=0.5", True),
+            ("gzip;q=0", False),
+            ("gzip;q=junk", False),
+            ("GZIP", True),
+            ("identity;q=1, gzip;q=0.001", True),
+        ],
+    )
+    def test_accept_encoding_matrix(self, header, expected):
+        assert accepts_gzip(header) is expected
+
+
+class TestPayloadCodecRoundTrips:
+    @pytest.mark.parametrize("kind,text", CODEC_QUERIES)
+    def test_every_codec_survives_gzip(self, service, kind, text):
+        envelope = service.query(text)
+        assert envelope.ok, f"{text!r} failed: {envelope.error}"
+        assert envelope.kind == kind
+        wire = json.dumps(envelope.to_dict(), sort_keys=True).encode("utf-8")
+        assert gunzip_bytes(gzip_bytes(wire)) == wire
+        # ... and the inflated bytes still decode to an equal payload.
+        body = json.loads(gunzip_bytes(gzip_bytes(wire)))
+        assert decode_payload(kind, body["payload"]) == decode_payload(
+            kind, envelope.payload
+        )
+
+    def test_statistics_codec_survives_gzip(self, service):
+        envelope = service.statistics()
+        wire = json.dumps(envelope.to_dict(), sort_keys=True).encode("utf-8")
+        body = json.loads(gunzip_bytes(gzip_bytes(wire)))
+        assert decode_payload("statistics", body["payload"]) == decode_payload(
+            "statistics", envelope.payload
+        )
+
+
+class TestNegotiationMatrix:
+    @pytest.mark.parametrize("server_gzip", [True, False])
+    @pytest.mark.parametrize("client_gzip", [True, False])
+    def test_all_four_modes_decode_identically(
+        self, gzip_gateway, identity_gateway, service, server_gzip, client_gzip
+    ):
+        gateway = gzip_gateway if server_gzip else identity_gateway
+        reference = service.query("tell me about DJI").to_dict()
+        with ClientSession(
+            gateway.url, timeout=30.0, compress=client_gzip
+        ) as session:
+            envelope = session.query("tell me about DJI")
+        remote = envelope.to_dict()
+        # The stamp is read per-request; everything else must be equal.
+        assert remote["payload"] == reference["payload"]
+        assert remote["rendered"] == reference["rendered"]
+        assert remote["ok"] and remote["kind"] == reference["kind"]
+
+    def test_body_compressed_only_when_negotiated(self, gzip_gateway):
+        payload = json.dumps({"text": "tell me about DJI"})
+        status, headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/query",
+            body=payload,
+            headers={
+                "Content-Type": "application/json",
+                "Accept-Encoding": "gzip",
+            },
+        )
+        assert status == 200
+        assert headers.get("Content-Encoding") == "gzip"
+        assert headers.get("Vary") == "Accept-Encoding"
+        assert json.loads(gunzip_bytes(raw))["ok"] is True
+
+        status, headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/query",
+            body=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 200
+        assert "Content-Encoding" not in headers
+        assert headers.get("Vary") == "Accept-Encoding"
+        assert json.loads(raw)["ok"] is True
+
+    def test_identity_server_never_compresses(self, identity_gateway):
+        status, headers, raw = _raw(
+            identity_gateway,
+            "GET",
+            "/v1/stats",
+            headers={"Accept-Encoding": "gzip"},
+        )
+        assert status == 200
+        assert "Content-Encoding" not in headers
+        assert json.loads(raw)["ok"] is True
+
+
+class TestRequestDecompression:
+    def test_gzipped_request_body_accepted(self, gzip_gateway):
+        text = "DJI announced a new drone platform. " * 40
+        body = gzip_bytes(
+            json.dumps({"text": text, "doc_id": "gz-doc-1"}).encode("utf-8")
+        )
+        status, _headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/ingest?wait=1",
+            body=body,
+            headers={
+                "Content-Type": "application/json",
+                "Content-Encoding": "gzip",
+            },
+        )
+        assert status == 200
+        data = json.loads(raw)
+        assert data["ok"] is True
+        assert data["payload"]["doc_id"] == "gz-doc-1"
+
+    def test_decompression_bomb_is_rejected_with_413(self, gzip_gateway):
+        # ~2.5 MB of JSON squeezes under the 64 KiB pre-read length
+        # check; the post-decompression guard must still refuse it.
+        huge = json.dumps({"text": "a" * (2_500_000)}).encode("utf-8")
+        bomb = gzip_bytes(huge)
+        assert len(bomb) < gzip_gateway.config.max_body_bytes
+        status, _headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/query",
+            body=bomb,
+            headers={
+                "Content-Type": "application/json",
+                "Content-Encoding": "gzip",
+            },
+        )
+        assert status == 413
+        assert json.loads(raw)["error"]["code"] == "http.payload_too_large"
+
+    def test_invalid_gzip_body_is_a_400(self, gzip_gateway):
+        status, _headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/query",
+            body=b"\x1f\x8bnot actually gzip",
+            headers={
+                "Content-Type": "application/json",
+                "Content-Encoding": "gzip",
+            },
+        )
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "http.bad_request"
+
+    def test_unsupported_content_encoding_is_a_400(self, gzip_gateway):
+        status, _headers, raw = _raw(
+            gzip_gateway,
+            "POST",
+            "/v1/query",
+            body=json.dumps({"text": "tell me about DJI"}),
+            headers={
+                "Content-Type": "application/json",
+                "Content-Encoding": "br",
+            },
+        )
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "http.bad_request"
+
+
+class TestStatsEtag:
+    def test_fresh_response_carries_the_stamp_etag(
+        self, gzip_gateway, service
+    ):
+        status, headers, raw = _raw(gzip_gateway, "GET", "/v1/stats")
+        assert status == 200
+        assert headers.get("ETag") == f'"kg-{service.kg_version}"'
+        assert json.loads(raw)["ok"] is True
+
+    def test_matching_validator_gets_an_empty_304(
+        self, gzip_gateway, service
+    ):
+        etag = f'"kg-{service.kg_version}"'
+        status, headers, raw = _raw(
+            gzip_gateway, "GET", "/v1/stats",
+            headers={"If-None-Match": etag},
+        )
+        assert status == 304
+        assert raw == b""
+        assert headers.get("ETag") == etag
+        assert headers.get("Content-Length") == "0"
+
+    def test_stale_validator_gets_a_fresh_body(self, gzip_gateway, service):
+        status, headers, raw = _raw(
+            gzip_gateway, "GET", "/v1/stats",
+            headers={"If-None-Match": '"kg-im-out-of-date"'},
+        )
+        assert status == 200
+        assert headers.get("ETag") == f'"kg-{service.kg_version}"'
+        assert json.loads(raw)["ok"] is True
+
+    def test_client_session_revalidates_transparently(
+        self, gzip_gateway, service
+    ):
+        with ClientSession(gzip_gateway.url, timeout=30.0) as session:
+            first = session.statistics()
+            second = session.statistics()  # served via If-None-Match/304
+        assert first.ok and second.ok
+        assert second.to_dict() == first.to_dict()
+        assert decode_payload("statistics", second.payload) == decode_payload(
+            "statistics", service.statistics().payload
+        )
+
+
+class TestSharedQueryCache:
+    def test_unit_round_trip_and_stamp_isolation(self, tmp_path):
+        cache = SharedQueryCache(str(tmp_path))
+        assert cache.get("tell me about DJI", 7) is None
+        cache.put("tell me about DJI", 7, 200, {"ok": True, "kind": "entity"})
+        assert cache.get("tell me about DJI", 7) == (
+            200,
+            {"ok": True, "kind": "entity"},
+        )
+        # A moved stamp must miss: stale state may never be served.
+        assert cache.get("tell me about DJI", 8) is None
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 2
+
+    def test_malformed_entry_reads_as_miss(self, tmp_path):
+        cache = SharedQueryCache(str(tmp_path))
+        cache.put("q", 1, 200, {"ok": True})
+        path = cache._path("q", 1)
+        path.write_text("{not json", "utf-8")
+        assert cache.get("q", 1) is None
+
+    def test_prunes_oldest_past_max_entries(self, tmp_path):
+        cache = SharedQueryCache(str(tmp_path), max_entries=3)
+        for i in range(6):
+            cache.put(f"q{i}", 1, 200, {"i": i})
+        assert cache.stats()["entries"] <= 3
+
+    def test_replicas_share_hits_through_one_directory(
+        self, service, tmp_path
+    ):
+        cache_dir = str(tmp_path / "shared")
+        config_a = GatewayConfig(shared_cache_dir=cache_dir)
+        config_b = GatewayConfig(shared_cache_dir=cache_dir)
+        with NousGateway(service, config_a) as gw_a:
+            with NousGateway(service, config_b) as gw_b:
+                with ClientSession(gw_a.url, timeout=30.0) as session_a:
+                    first = session_a.query("tell me about DJI")
+                with ClientSession(gw_b.url, timeout=30.0) as session_b:
+                    second = session_b.query("tell me about DJI")
+                    health = session_b.healthz()
+        assert first.ok and second.ok
+        assert second.payload == first.payload
+        # Replica B answered from the entry replica A stored.
+        assert health["shared_cache"]["hits"] >= 1
+        assert health["shared_cache"]["entries"] >= 1
+
+    def test_trending_is_never_cached(self, service, tmp_path):
+        cache_dir = str(tmp_path / "trending")
+        config = GatewayConfig(shared_cache_dir=cache_dir)
+        with NousGateway(service, config) as gw:
+            with ClientSession(gw.url, timeout=30.0) as session:
+                assert session.query("show trending patterns").ok
+                health = session.healthz()
+        # Trending evaluation consumes miner state — the engine refuses
+        # to cache it, and the gateway must follow the same rule.
+        assert health["shared_cache"]["entries"] == 0
+
+
+class TestSubscribeStreamGzip:
+    def test_gzipped_and_plain_streams_carry_the_same_frames(
+        self, gzip_gateway
+    ):
+        with ClientSession(gzip_gateway.url, timeout=30.0) as session:
+            with session.subscribe(
+                "match (?a:Company)-[acquired]->(?b:Company)",
+                max_seconds=0.5,
+            ) as stream:
+                assert stream._decompressor is not None
+                compressed_frames = list(stream)
+        with ClientSession(
+            gzip_gateway.url, timeout=30.0, compress=False
+        ) as session:
+            with session.subscribe(
+                "match (?a:Company)-[acquired]->(?b:Company)",
+                max_seconds=0.5,
+            ) as stream:
+                assert stream._decompressor is None
+                plain_frames = list(stream)
+
+        def strip(frames):
+            return [
+                {k: v for k, v in frame.items() if k != "subscription_id"}
+                for frame in frames
+            ]
+
+        assert strip(compressed_frames) == strip(plain_frames)
+        assert compressed_frames[0]["event"] == "subscribed"
+        assert compressed_frames[-1]["event"] == "bye"
+
+    def test_snapshot_hello_survives_compression(self, gzip_gateway):
+        with ClientSession(gzip_gateway.url, timeout=30.0) as session:
+            with session.subscribe(
+                "match (?a:Company)-[acquired]->(?b:Company)",
+                snapshot=True,
+                max_seconds=0.5,
+            ) as stream:
+                hello = next(iter(stream))
+        assert hello["event"] == "subscribed"
+        assert "rows" in hello and "baseline_version" in hello

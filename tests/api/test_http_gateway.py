@@ -276,7 +276,7 @@ class TestErrorPaths:
         # A session-level client transparently reconnects and stays
         # coherent after hitting such an error.
         with ClientSession(gateway.url, timeout=30.0) as session:
-            status, data = session._request("POST", "/v1/nope", {"x": 1})
+            status, data = session.request("POST", "/v1/nope", {"x": 1})
             assert status == 404
             assert session.query("tell me about DJI").ok
 

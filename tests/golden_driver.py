@@ -24,11 +24,22 @@ corpus, a snapshot, a cold start from disk, then the rest — the
 indistinguishable from one that never stopped.
 
 Prints one JSON object on stdout.
+
+Two environment knobs parameterize the run (both used by
+``tests/nlp/test_parallel_extraction.py`` to pin that the process-pool
+extraction path is byte-identical to the serial one):
+
+- ``NOUS_GOLDEN_EXTRACT_WORKERS`` — ``extract_workers`` for every
+  service the driver builds (default 1, the serial path).
+- ``NOUS_GOLDEN_SCOPE=mono`` — emit only the monolithic-service
+  metrics, skipping the sharded and cold-start sections (a cheaper run
+  for A/B comparisons that only vary extraction parallelism).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 from repro import (
@@ -82,6 +93,9 @@ def golden_config() -> NousConfig:
         lda_iterations=20,
         retrain_every=60,
         seed=GOLDEN_SEED,
+        extract_workers=int(
+            os.environ.get("NOUS_GOLDEN_EXTRACT_WORKERS", "1")
+        ),
     )
 
 
@@ -276,9 +290,11 @@ def main() -> None:
         "cache_consistent": cache_consistent,
         "cache_hits": service.engine.cache_hits,
         "batches_drained": service.batches_drained,
-        "sharded": sharded_metrics(),
-        "cold_start_consistent": cold_start_consistent(),
     }
+    if os.environ.get("NOUS_GOLDEN_SCOPE", "full") != "mono":
+        metrics["sharded"] = sharded_metrics()
+        metrics["cold_start_consistent"] = cold_start_consistent()
+    service.close()
     json.dump(metrics, sys.stdout, sort_keys=True)
     sys.stdout.write("\n")
 

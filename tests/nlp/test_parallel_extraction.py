@@ -1,0 +1,346 @@
+"""Parallel extraction equivalence and fault-injection suite (ISSUE 8).
+
+The process-pool extraction path (:mod:`repro.nlp.parallel`) claims
+byte-identity with the serial loop: same triples, same order, same
+confidences, same linking inputs, for any worker count.  This module
+pins that claim three ways —
+
+- **property-based**: hypothesis-chosen corpus slices through pools of
+  1, 2 and 4 workers against the serial pipeline oracle;
+- **engine-level**: two ``Nous`` instances (serial vs pooled) fed the
+  same batch must agree on every accepted fact, entity and the KG
+  version stamp;
+- **golden**: the ISSUE-2 golden driver re-run with
+  ``NOUS_GOLDEN_EXTRACT_WORKERS=2`` must print byte-identical metrics
+  to the serial run under ``PYTHONHASHSEED=0``.
+
+It also pins the failure contract: a worker killed mid-batch is
+respawned and the batch completes identically, a pool that breaks twice
+raises a structured :class:`~repro.errors.ExtractionError` (never a raw
+``BrokenProcessPool``) naming the lost document, and a failed batch
+leaves *no* partial KB state behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CorpusConfig,
+    NousConfig,
+    build_drone_kb,
+    generate_corpus,
+    generate_descriptions,
+)
+from repro.api.envelopes import error_from_exception, exception_from_error
+from repro.core.pipeline import Nous
+from repro.errors import ConfigError, ExtractionError
+from repro.nlp.parallel import (
+    ExtractionJob,
+    ParallelExtractor,
+    PipelineSpec,
+)
+
+SEED = 7
+N_ARTICLES = 18
+
+
+def make_world():
+    """A fresh seeded KB + corpus (the generator extends the KB in
+    place, so anything that ingests needs its own copy)."""
+    kb = build_drone_kb()
+    generate_descriptions(kb, seed=SEED)
+    articles = generate_corpus(kb, CorpusConfig(n_articles=N_ARTICLES, seed=SEED))
+    return kb, articles
+
+
+def jobs_for(articles):
+    return [
+        ExtractionJob(
+            text=a.text, doc_id=a.doc_id, date=a.date, source=a.source
+        )
+        for a in articles
+    ]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world()
+
+
+@pytest.fixture(scope="module")
+def serial_nous(world):
+    kb, _articles = world
+    nous = Nous(kb=kb, config=NousConfig(seed=SEED))
+    yield nous
+    nous.close()
+
+
+@pytest.fixture(scope="module")
+def serial_reference(world, serial_nous):
+    """``(triples, context_words)`` per article from the serial oracle
+    — exactly what ``Nous._extract_batch`` feeds collective linking."""
+    _kb, articles = world
+    return serial_nous._extract_batch(articles)
+
+
+@pytest.fixture(scope="module")
+def pools(serial_nous):
+    """One long-lived extraction pool per worker count, so hypothesis
+    examples pay spawn cost once, not per example."""
+    spec = PipelineSpec.from_pipeline(serial_nous.nlp)
+    cache = {}
+
+    def get(workers: int) -> ParallelExtractor:
+        if workers not in cache:
+            cache[workers] = ParallelExtractor(spec, workers=workers)
+        return cache[workers]
+
+    yield get
+    for pool in cache.values():
+        pool.close()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_full_corpus_identical_across_worker_counts(
+        self, world, serial_reference, pools, workers
+    ):
+        _kb, articles = world
+        extracted = pools(workers).extract_many(jobs_for(articles))
+        assert [doc.doc_id for doc in extracted] == [
+            a.doc_id for a in articles
+        ], "results must come back in submission order"
+        for doc, (triples, context) in zip(extracted, serial_reference):
+            assert doc.triples == triples  # dataclass equality: every
+            assert doc.context_words == context  # field incl. confidence
+
+    def test_confidences_exactly_equal(self, world, serial_reference, pools):
+        _kb, articles = world
+        extracted = pools(2).extract_many(jobs_for(articles))
+        parallel_conf = [
+            t.confidence for doc in extracted for t in doc.triples
+        ]
+        serial_conf = [
+            t.confidence for triples, _ in serial_reference for t in triples
+        ]
+        # Float equality on purpose: same code, same inputs, same
+        # arithmetic — any drift means the paths diverged.
+        assert parallel_conf == serial_conf
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_any_slice_any_pool_matches_serial(
+        self, world, serial_reference, pools, data
+    ):
+        _kb, articles = world
+        workers = data.draw(st.sampled_from([1, 2, 4]), label="workers")
+        indices = data.draw(
+            st.lists(
+                st.integers(0, len(articles) - 1),
+                min_size=2,
+                max_size=6,
+                unique=True,
+            ),
+            label="article indices",
+        )
+        subset = [articles[i] for i in indices]
+        extracted = pools(workers).extract_many(jobs_for(subset))
+        expected = [serial_reference[i] for i in indices]
+        assert [
+            (doc.triples, doc.context_words) for doc in extracted
+        ] == expected
+
+    def test_empty_batch(self, pools):
+        assert pools(2).extract_many([]) == []
+
+
+class TestNousEquivalence:
+    def test_ingest_batch_identical_serial_vs_pooled(self):
+        kb_a, articles_a = make_world()
+        kb_b, articles_b = make_world()
+        serial = Nous(kb=kb_a, config=NousConfig(seed=SEED))
+        pooled = Nous(
+            kb=kb_b, config=NousConfig(seed=SEED, extract_workers=3)
+        )
+        try:
+            results_a = serial.ingest_batch(articles_a)
+            results_b = pooled.ingest_batch(articles_b)
+            assert [
+                (r.doc_id, r.raw_triples, r.accepted, r.rejected_confidence)
+                for r in results_a
+            ] == [
+                (r.doc_id, r.raw_triples, r.accepted, r.rejected_confidence)
+                for r in results_b
+            ]
+            assert serial.kb.num_facts == pooled.kb.num_facts
+            assert serial.kb.version == pooled.kb.version
+            assert len(serial.kb.entities()) == len(pooled.kb.entities())
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_extract_workers_validated(self):
+        with pytest.raises(ConfigError):
+            NousConfig(extract_workers=0).validate()
+        kb, _articles = make_world()
+        with pytest.raises(ConfigError):
+            ParallelExtractor(
+                PipelineSpec(gazetteer={}, kb_aliases={}), workers=0
+            )
+
+
+HOOK_MODULE = '''\
+"""Fault hooks injected into extraction workers (written by the test)."""
+import os
+import signal
+
+SENTINEL = {sentinel!r}
+
+
+def kill_once(job):
+    # Exactly one worker consumes the sentinel (unlink is atomic) and
+    # dies; every other call is a no-op, so the respawned pool's retry
+    # completes.
+    try:
+        os.unlink(SENTINEL)
+    except FileNotFoundError:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def kill_always(job):
+    if job.doc_id == {victim!r}:
+        os.kill(os.getpid(), signal.SIGKILL)
+'''
+
+
+@pytest.fixture
+def fault_hooks(tmp_path, monkeypatch):
+    """Write the hook module where spawn workers can import it (spawn
+    propagates ``sys.path``) and return the armed sentinel path."""
+    sentinel = tmp_path / "kill-sentinel"
+    sentinel.write_text("armed")
+    module = tmp_path / "nous_test_fault_hooks.py"
+    module.write_text(
+        HOOK_MODULE.format(sentinel=str(sentinel), victim="wsj-000001")
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    return sentinel
+
+
+class TestPoolFaults:
+    def test_worker_killed_mid_batch_respawns_and_completes(
+        self, world, serial_reference, serial_nous, fault_hooks
+    ):
+        _kb, articles = world
+        spec = replace(
+            PipelineSpec.from_pipeline(serial_nous.nlp),
+            fault_hook="nous_test_fault_hooks:kill_once",
+        )
+        with ParallelExtractor(spec, workers=2) as extractor:
+            extracted = extractor.extract_many(jobs_for(articles))
+        assert not fault_hooks.exists(), "the kill sentinel was consumed"
+        assert [
+            (doc.triples, doc.context_words) for doc in extracted
+        ] == list(serial_reference), (
+            "after a respawn the batch must still be byte-identical"
+        )
+
+    def test_pool_broken_twice_raises_structured_error(
+        self, world, serial_nous, fault_hooks
+    ):
+        _kb, articles = world
+        spec = replace(
+            PipelineSpec.from_pipeline(serial_nous.nlp),
+            fault_hook="nous_test_fault_hooks:kill_always",
+        )
+        with ParallelExtractor(spec, workers=2) as extractor:
+            with pytest.raises(ExtractionError) as excinfo:
+                extractor.extract_many(jobs_for(articles))
+        # Structured, not a raw BrokenProcessPool: the error names the
+        # first document whose result was lost.
+        assert excinfo.value.doc_index >= 0
+        assert "batch aborted" in str(excinfo.value)
+
+    def test_failed_batch_leaves_no_partial_kb_state(self, fault_hooks):
+        kb, articles = make_world()
+        nous = Nous(kb=kb, config=NousConfig(seed=SEED, extract_workers=2))
+        try:
+            extractor = nous._ensure_extractor()
+            extractor.spec = replace(
+                extractor.spec,
+                fault_hook="nous_test_fault_hooks:kill_always",
+            )
+            before = (
+                nous.kb.num_facts,
+                nous.kb.version,
+                len(nous.kb.entities()),
+                nous.documents_ingested,
+                len(nous._raw_buffer),
+            )
+            with pytest.raises(ExtractionError):
+                nous.ingest_batch(articles)
+            after = (
+                nous.kb.num_facts,
+                nous.kb.version,
+                len(nous.kb.entities()),
+                nous.documents_ingested,
+                len(nous._raw_buffer),
+            )
+            assert after == before, "a failed batch must be atomic"
+            # Disarm the hook: the same engine must then ingest the very
+            # same batch successfully (fresh pool, clean spec).
+            nous.close()
+            nous._ensure_extractor()  # rebuilds from the pipeline,
+            results = nous.ingest_batch(articles)  # hook-free spec
+            assert sum(r.accepted for r in results) > 0
+        finally:
+            nous.close()
+
+    def test_extraction_error_round_trips_the_wire_taxonomy(self):
+        error = error_from_exception(ExtractionError(doc_index=3, doc_id="d3"))
+        assert error.code == "nlp.extraction"
+        rebuilt = exception_from_error(error)
+        assert isinstance(rebuilt, ExtractionError)
+        assert "index 3" in str(rebuilt)
+
+
+def _run_golden_driver(extract_workers: int) -> dict:
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "0"
+    env["PYTHONPATH"] = os.path.join(repo_root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["NOUS_GOLDEN_SCOPE"] = "mono"
+    env["NOUS_GOLDEN_EXTRACT_WORKERS"] = str(extract_workers)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(repo_root, "tests", "golden_driver.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"driver failed:\n{proc.stderr}"
+    return json.loads(proc.stdout)
+
+
+class TestGoldenFingerprint:
+    def test_pooled_golden_run_matches_serial_fingerprint(self):
+        # The strongest statement available: the whole golden pipeline
+        # (extraction, linking, mining, query answers, cache behaviour)
+        # prints byte-identical metrics with the pool on.
+        serial = _run_golden_driver(1)
+        pooled = _run_golden_driver(2)
+        assert pooled == serial
