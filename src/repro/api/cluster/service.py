@@ -57,10 +57,10 @@ from repro.api.service import (
     NousService,
     ServiceConfig,
     StandingQueryUpdate,
-    StreamView,
 )
 from repro.api.wire import encode_payload, key_of_row
 from repro.compute.coordinator import ComputeCoordinator, ComputeStats
+from repro.compute.mining import DistributedMiner, MiningOutcome
 from repro.compute.pathsearch import DistributedPathSearch
 from repro.core.pipeline import NousConfig
 from repro.core.statistics import GraphStatistics, compute_statistics
@@ -79,6 +79,7 @@ from repro.mining.patterns import Pattern
 from repro.mining.support import closed_patterns
 from repro.qa.pathsearch import RankedPath
 from repro.query.engine import (
+    assemble_window_report,
     centrality_payload,
     components_payload,
     merge_entity_summaries,
@@ -86,7 +87,6 @@ from repro.query.engine import (
     merge_ranked_paths,
     merge_statistics,
     merge_trend_rows,
-    merge_window_reports,
     pagerank_payload,
     render_centrality,
     render_components,
@@ -315,28 +315,26 @@ class ClusterSubscription:
     def _merge_rows(self) -> Dict[str, Dict[str, Any]]:
         """Merge the per-shard row maps with the class's semantics.
 
-        Trending rows are recomputed from the shards' *full* support
-        tables — summing only the per-shard closed-frequent rows would
-        miss patterns that are sub-threshold everywhere but frequent in
-        the union, and would never recompute closedness; this keeps
-        standing trending answers identical to the interactive merged
-        query.  Path rows keep the best (lowest-divergence) copy per
+        Trending rows are recomputed from the cluster's distributed
+        embedding enumeration — merging only the per-shard
+        closed-frequent rows would miss patterns that are sub-threshold
+        everywhere but frequent in the union, would never recompute
+        closedness, and would never see embeddings that span a shard
+        boundary; this keeps standing trending answers identical to the
+        interactive merged query.  Path rows keep the best (lowest-divergence) copy per
         route and apply the same top-k as the interactive merge; entity
         rows dedupe by fact identity keeping the highest confidence;
         every other class is a union of identical rows.
         """
         merged: Dict[str, Dict[str, Any]] = {}
         if self.kind == "trending":
-            # Serial gather on purpose: this can run on a scatter-pool
-            # thread (refresh_subscriptions), where submitting more
-            # work to the same bounded pool could deadlock.
-            supports: Dict[Pattern, int] = {}
-            min_support = 1
-            for shard in self._cluster.shards:
-                view = shard.stream_view()
-                min_support = view.min_support
-                for pattern, support in view.supports.items():
-                    supports[pattern] = supports.get(pattern, 0) + support
+            # Serial coordinator on purpose: this can run on a
+            # scatter-pool thread (refresh_subscriptions), where
+            # submitting more work to the same bounded pool could
+            # deadlock.
+            outcome = self._cluster.distributed_supports(serial=True)
+            supports: Dict[Pattern, int] = outcome.supports
+            min_support = outcome.min_support
             if self.trending_full_view:
                 rows_view = sorted(supports.items(), key=lambda kv: kv[1])
             else:
@@ -1006,7 +1004,9 @@ class ShardedNousService:
     # distributed compute
     # ------------------------------------------------------------------
     def compute_coordinator(
-        self, on_round: Optional[Callable[[int], None]] = None
+        self,
+        on_round: Optional[Callable[[int], None]] = None,
+        serial: bool = False,
     ) -> ComputeCoordinator:
         """A superstep coordinator over this cluster's shards.
 
@@ -1016,17 +1016,34 @@ class ShardedNousService:
         the failed round — steps are stateless, so the retry is exact;
         otherwise a mid-superstep death surfaces as the structured
         :class:`ClusterError` instead of hanging the job.
+
+        ``serial=True`` drops the shared scatter pool so rounds run
+        sequentially on the calling thread — required on code paths
+        that may themselves run on a scatter-pool thread (subscription
+        refresh), where submitting more work to the same bounded pool
+        could deadlock.
         """
         recover: Optional[Callable[[], None]] = None
         if self.data_dir is not None and self._manager is not None:
             recover = self._compute_recover
         return ComputeCoordinator(
             self.shards,
-            executor=self._executor,
+            executor=None if serial else self._executor,
             recover=recover,
             on_round=on_round,
             stats=self._compute_stats,
         )
+
+    def distributed_supports(
+        self,
+        on_round: Optional[Callable[[int], None]] = None,
+        serial: bool = False,
+    ) -> MiningOutcome:
+        """Exact union-window pattern supports via the distributed
+        embedding enumeration (one ``mine_embeddings`` compute job)."""
+        return DistributedMiner(
+            self.compute_coordinator(on_round=on_round, serial=serial)
+        ).mine()
 
     def _compute_recover(self) -> None:
         """Self-heal hook handed to coordinators (durable mode only)."""
@@ -1129,25 +1146,21 @@ class ShardedNousService:
         return None
 
     def _merged_trending(self) -> Tuple[Dict[str, Any], str, int]:
-        """Per-shard window merge: sum the full support tables, then
-        recompute frequency/closedness and the router-level transition
-        events."""
+        """Distributed-enumeration window merge: run one
+        ``mine_embeddings`` compute job for the exact union supports
+        (embeddings spanning shard boundaries included), then recompute
+        frequency/closedness and the router-level transition events."""
         with self._trending_lock:
-            gathered = self._gather(lambda shard: shard.stream_view())
-            views: List[StreamView] = []
-            for view, error in gathered:
-                if error is not None:
-                    raise error
-                views.append(view)
-            report, frequent_now = merge_window_reports(
-                [view.supports for view in views],
-                min_support=views[0].min_support,
+            outcome = self.distributed_supports()
+            report, frequent_now = assemble_window_report(
+                outcome.supports,
+                min_support=outcome.min_support,
                 previous_frequent=self._previous_frequent,
-                window_edges=sum(view.window_edges for view in views),
-                timestamp=max(view.last_timestamp for view in views),
+                window_edges=outcome.window_edges,
+                timestamp=outcome.last_timestamp,
             )
             self._previous_frequent = frequent_now
-            version = sum(view.kg_version for view in views)
+            version = sum(outcome.kg_versions)
         return (
             encode_payload("trending", report),
             render_window_report(report),

@@ -18,6 +18,10 @@ protocol:
 - :mod:`repro.compute.pathsearch` — coherent cross-shard path search:
   distributed frontier expansion feeding the existing memoised
   :class:`~repro.qa.pathsearch.CoherentPathSearch` scoring.
+- :mod:`repro.compute.mining` — exact cross-shard pattern mining: the
+  ``mine_embeddings`` job unions per-shard MNI state and enumerates the
+  embeddings that span shard boundaries, so merged trending supports
+  match a monolith exactly at any N.
 
 Layering: this package sits *below* ``repro.api`` (the service facade
 and cluster import it, never the reverse) and *above* the graph/qa/kb
@@ -25,6 +29,7 @@ layers it computes over.
 """
 
 from repro.compute.coordinator import ComputeCoordinator, ComputeStats
+from repro.compute.mining import DistributedMiner, MiningOutcome
 from repro.compute.pathsearch import DistributedPathSearch
 from repro.compute.protocol import ComputeRequest, ComputeResponse
 from repro.compute.shardstep import ComputeStepExecutor
@@ -35,5 +40,7 @@ __all__ = [
     "ComputeRequest",
     "ComputeResponse",
     "ComputeStepExecutor",
+    "DistributedMiner",
     "DistributedPathSearch",
+    "MiningOutcome",
 ]

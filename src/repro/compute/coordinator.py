@@ -41,6 +41,7 @@ from repro.compute.protocol import (
     OP_EXPAND,
     OP_GRAPH_INFO,
     OP_MIN_LABELS,
+    OP_MINE_EMBEDDINGS,
     OP_RESOLVE,
     ComputeRequest,
     ComputeResponse,
@@ -178,6 +179,7 @@ class ComputeCoordinator:
         self.stats = stats if stats is not None else ComputeStats()
         self._recover_lock = threading.Lock()
         self._job_round = 0
+        self._round_kg_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # wire plumbing
@@ -217,6 +219,16 @@ class ComputeCoordinator:
             return len(params.get("labels", {})) + len(result.get("messages", {}))
         if op == OP_EXPAND:
             return len(params.get("vertices", [])) + len(result.get("edges", []))
+        if op == OP_MINE_EMBEDDINGS:
+            return (
+                len(params.get("boundary", []))
+                + len(params.get("vertices", []))
+                + sum(
+                    len(value)
+                    for value in result.values()
+                    if isinstance(value, list)
+                )
+            )
         if op in (OP_GRAPH_INFO, OP_DEGREES, OP_EDGE_DUMP):
             return sum(
                 len(value) for value in result.values() if isinstance(value, list)
@@ -251,6 +263,7 @@ class ComputeCoordinator:
                 op, params_by_shard[index], response.result
             )
             results[index] = response.result
+            self._round_kg_versions[index] = response.kg_version
         self.stats.record_round(messages, nbytes)
         self._job_round += 1
         if self.on_round is not None:
@@ -261,6 +274,14 @@ class ComputeCoordinator:
         """Mark the start of one compute job (resets round-local state)."""
         self.stats.start_job()
         self._job_round = 0
+        self._round_kg_versions = {}
+
+    def round_kg_versions(self) -> Dict[int, int]:
+        """Per-shard KG version stamps echoed by the rounds of the
+        current job (each shard's latest answer wins) — lets a job-level
+        result carry the same composite stamp a direct engine-lock read
+        would have produced."""
+        return dict(self._round_kg_versions)
 
     # ------------------------------------------------------------------
     # census rounds

@@ -1,0 +1,333 @@
+"""Distributed exact pattern mining over the shard cluster.
+
+The scatter merge sums per-shard MNI support tables, which is exact only
+while every embedding of a pattern lives on one shard — an embedding
+whose edges were extracted on *different* shards is invisible to every
+local miner, so merged trending reports silently undercount as the
+cluster grows.  :class:`DistributedMiner` closes that gap with a
+bulk-synchronous ``mine_embeddings`` job:
+
+1. **census** — each shard reports its window vertex set and miner
+   settings.  A vertex on >= 2 shards is a *boundary* vertex: only
+   there can a cross-shard embedding connect.
+2. **local** — each shard ships its aggregate support state (embedding
+   counts + per-variable distinct vertex images, maintained
+   incrementally by :class:`~repro.mining.streaming.StreamingPatternMiner`;
+   every pure-local embedding is already counted exactly once) plus the
+   window edges incident to the boundary, tagged with shard-local edge
+   ids.
+3. **expand** — rounds to a fixpoint: the coordinator grows partial
+   cross-shard embeddings from the pooled edges and requests exactly
+   the frontier vertices whose local continuations it still needs;
+   ``skip`` lists of already-shipped edge ids keep every window edge
+   crossing the wire at most once per job.
+4. **enumerate + merge** — connected pooled subsets with edges from
+   >= 2 shards (distinct facts, <= ``max_edges``) are the mixed
+   embeddings; each is counted exactly once here and never by a shard.
+   Per-pattern variable images are unioned across shards and the mixed
+   pass, so ``min`` over variables of the union sizes is the monolith's
+   MNI support — exact, not a lower bound.
+
+Every embedding of the union window is either pure-local (all edges on
+the shard that extracted them — window edges are never replicated) or
+mixed, so the two sources partition the embedding set: supports *and*
+embedding counts match a monolith holding the same window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.compute.coordinator import ComputeCoordinator
+from repro.compute.protocol import (
+    MINE_PHASE_CENSUS,
+    MINE_PHASE_EXPAND,
+    MINE_PHASE_LOCAL,
+    OP_MINE_EMBEDDINGS,
+    instance_edge_from_payload,
+    support_entry_from_payload,
+)
+from repro.errors import ClusterError
+from repro.mining.patterns import InstanceEdge, Pattern, canonicalize
+
+# A pooled window edge is identified by (shard index, shard-local edge
+# id) — unique across the job because each shard's miner ids are unique
+# within its window.
+PoolKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MiningOutcome:
+    """The merged result of one distributed enumeration job.
+
+    Attributes:
+        supports: Exact MNI support per pattern over the union window.
+        embeddings: Exact embedding count per pattern (every embedding
+            counted by exactly one source: its home shard or the mixed
+            pass).
+        min_support: The shards' shared frequency threshold.
+        window_edges: Total edges across the shard windows.
+        last_timestamp: Max stream clock across shards.
+        kg_versions: Per-shard KG version stamps echoed by the job's
+            rounds (the composite stamp for the merged report).
+    """
+
+    supports: Dict[Pattern, int]
+    embeddings: Dict[Pattern, int]
+    min_support: int
+    window_edges: int
+    last_timestamp: float
+    kg_versions: Tuple[int, ...]
+
+
+class DistributedMiner:
+    """Run the exact cross-shard embedding enumeration as one job.
+
+    Args:
+        coordinator: The superstep coordinator to drive.  Rounds are
+            stateless, so the coordinator's recover-and-retry semantics
+            (durable clusters self-heal a dead worker and re-run the
+            round verbatim) apply unchanged.
+    """
+
+    def __init__(self, coordinator: ComputeCoordinator) -> None:
+        self.coordinator = coordinator
+
+    # ------------------------------------------------------------------
+    def mine(self) -> MiningOutcome:
+        """Execute census/local/expand rounds and merge exact supports."""
+        coord = self.coordinator
+        num_shards = coord.num_shards
+        if num_shards == 0:
+            raise ClusterError("cannot mine over zero shards")
+        coord.begin_job()
+
+        census = coord._round(
+            OP_MINE_EMBEDDINGS,
+            {i: {"phase": MINE_PHASE_CENSUS} for i in range(num_shards)},
+        )
+        vertex_sets: List[Set[str]] = [
+            {str(v) for v in census[i]["vertices"]} for i in range(num_shards)
+        ]
+        min_support = int(census[0]["min_support"])
+        max_edges = int(census[0]["max_edges"])
+        window_edges = sum(int(census[i]["window_edges"]) for i in range(num_shards))
+        last_timestamp = max(
+            float(census[i]["last_timestamp"]) for i in range(num_shards)
+        )
+
+        owners: Dict[str, int] = {}
+        boundary: Set[str] = set()
+        for vertices in vertex_sets:
+            for vertex in vertices:
+                owners[vertex] = owners.get(vertex, 0) + 1
+                if owners[vertex] >= 2:
+                    boundary.add(vertex)
+
+        local = coord._round(
+            OP_MINE_EMBEDDINGS,
+            {
+                i: {
+                    "phase": MINE_PHASE_LOCAL,
+                    "boundary": sorted(boundary & vertex_sets[i]),
+                }
+                for i in range(num_shards)
+            },
+        )
+
+        # Union of per-shard aggregate state: embedding counts sum, and
+        # variable images union (cross-shard copies of one fact bind the
+        # same vertices, so set union is MNI-neutral by construction).
+        embeddings: Dict[Pattern, int] = {}
+        images: Dict[Pattern, Dict[int, Set[str]]] = {}
+        pool: Dict[PoolKey, InstanceEdge] = {}
+        shipped: List[Set[int]] = [set() for _ in range(num_shards)]
+        for index in range(num_shards):
+            for entry in local[index]["patterns"]:
+                pattern, count, entry_images = support_entry_from_payload(entry)
+                embeddings[pattern] = embeddings.get(pattern, 0) + count
+                target = images.setdefault(pattern, {})
+                for var, nodes in entry_images.items():
+                    target.setdefault(var, set()).update(nodes)
+            for payload in local[index]["edges"]:
+                eid, edge = instance_edge_from_payload(payload)
+                pool[(index, eid)] = edge
+                shipped[index].add(eid)
+
+        self._expand_to_fixpoint(
+            pool, shipped, vertex_sets, boundary, max_edges
+        )
+
+        # Mixed embeddings: connected pooled subsets spanning >= 2
+        # shards.  Pure-local subsets also appear in the pool (boundary
+        # edges of one shard connect to each other too) but their home
+        # miner already counted them, so the span filter is what makes
+        # the partition exact.
+        incident, fact_of = _pool_indexes(pool)
+        for subset in _connected_subsets(pool, incident, fact_of, max_edges):
+            if len({key[0] for key in subset}) < 2:
+                continue
+            edges = [pool[key] for key in sorted(subset)]
+            pattern, mapping = canonicalize(edges)
+            embeddings[pattern] = embeddings.get(pattern, 0) + 1
+            target = images.setdefault(pattern, {})
+            for node, var in mapping.items():
+                target.setdefault(var, set()).add(str(node))
+
+        supports: Dict[Pattern, int] = {}
+        for pattern, count in embeddings.items():
+            if count <= 0:
+                continue
+            variables = pattern.variables()
+            if not variables:
+                continue
+            pattern_images = images.get(pattern, {})
+            supports[pattern] = min(
+                len(pattern_images.get(var, ())) for var in variables
+            )
+
+        versions = coord.round_kg_versions()
+        return MiningOutcome(
+            supports=supports,
+            embeddings=embeddings,
+            min_support=min_support,
+            window_edges=window_edges,
+            last_timestamp=last_timestamp,
+            kg_versions=tuple(
+                versions.get(i, 0) for i in range(num_shards)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _expand_to_fixpoint(
+        self,
+        pool: Dict[PoolKey, InstanceEdge],
+        shipped: List[Set[int]],
+        vertex_sets: List[Set[str]],
+        boundary: Set[str],
+        max_edges: int,
+    ) -> None:
+        """Fetch the intra-shard continuations mixed embeddings need.
+
+        A mixed subset may contain edges not incident to any boundary
+        vertex (e.g. ``A-B, B-C`` on shard 0 with ``C-D`` on shard 1:
+        only ``C`` is boundary, yet ``A-B`` participates).  Each round
+        requests, per shard, the non-boundary vertices of partial pooled
+        subsets that already contain another shard's edge and can still
+        grow — every edge incident to a boundary vertex was shipped in
+        the local round, so boundary vertices are never re-requested.
+        Terminates in at most ``max_edges`` rounds (a growable partial
+        subset gains one hop per round).
+        """
+        requested: List[Set[str]] = [set() for _ in range(len(vertex_sets))]
+        for _ in range(max_edges):
+            incident, fact_of = _pool_indexes(pool)
+            partials: List[Tuple[FrozenSet[PoolKey], Set[str]]] = []
+            for subset in _connected_subsets(
+                pool, incident, fact_of, max_edges - 1
+            ):
+                nodes: Set[str] = set()
+                for key in subset:
+                    edge = pool[key]
+                    nodes.add(str(edge.src))
+                    nodes.add(str(edge.dst))
+                partials.append((subset, nodes))
+            params_by_shard: Dict[int, Dict[str, Any]] = {}
+            for index in range(len(vertex_sets)):
+                frontier: Set[str] = set()
+                for subset, nodes in partials:
+                    if all(key[0] == index for key in subset):
+                        continue
+                    for node in nodes:
+                        if node in boundary or node in requested[index]:
+                            continue
+                        if node in vertex_sets[index]:
+                            frontier.add(node)
+                if frontier:
+                    params_by_shard[index] = {
+                        "phase": MINE_PHASE_EXPAND,
+                        "vertices": sorted(frontier),
+                        "skip": sorted(shipped[index]),
+                    }
+            if not params_by_shard:
+                return
+            results = self.coordinator._round(
+                OP_MINE_EMBEDDINGS, params_by_shard
+            )
+            grew = False
+            for index, result in results.items():
+                requested[index].update(params_by_shard[index]["vertices"])
+                for payload in result["edges"]:
+                    eid, edge = instance_edge_from_payload(payload)
+                    pool[(index, eid)] = edge
+                    shipped[index].add(eid)
+                    grew = True
+            if not grew:
+                return
+
+
+# ---------------------------------------------------------------------------
+# pooled-subset enumeration (coordinator side)
+# ---------------------------------------------------------------------------
+
+
+def _pool_indexes(
+    pool: Dict[PoolKey, InstanceEdge],
+) -> Tuple[Dict[str, List[PoolKey]], Dict[PoolKey, Tuple[str, str, str]]]:
+    """Incidence and fact-identity indexes over the pooled edges."""
+    incident: Dict[str, List[PoolKey]] = {}
+    fact_of: Dict[PoolKey, Tuple[str, str, str]] = {}
+    for key in sorted(pool):
+        edge = pool[key]
+        incident.setdefault(str(edge.src), []).append(key)
+        if str(edge.dst) != str(edge.src):
+            incident.setdefault(str(edge.dst), []).append(key)
+        fact_of[key] = (str(edge.src), str(edge.dst), edge.predicate)
+    return incident, fact_of
+
+
+def _connected_subsets(
+    pool: Dict[PoolKey, InstanceEdge],
+    incident: Dict[str, List[PoolKey]],
+    fact_of: Dict[PoolKey, Tuple[str, str, str]],
+    max_size: int,
+) -> Iterator[FrozenSet[PoolKey]]:
+    """All connected subsets of pooled edges with <= ``max_size`` edges.
+
+    Each subset is yielded exactly once (its minimum key acts as the
+    seed; extensions only use larger keys).  The distinct-fact rule of
+    :meth:`StreamingPatternMiner._connected_subsets` is replicated: two
+    window instances of the same ``(s, p, o)`` never pair up, so the
+    mixed enumeration obeys the same embedding definition as the local
+    miners.
+    """
+    if max_size < 1:
+        return
+    for seed in sorted(pool):
+        seed_edge = pool[seed]
+        start = frozenset([seed])
+        seen: Set[FrozenSet[PoolKey]] = {start}
+        stack: List[Tuple[FrozenSet[PoolKey], Set[str]]] = [
+            (start, {str(seed_edge.src), str(seed_edge.dst)})
+        ]
+        while stack:
+            subset, nodes = stack.pop()
+            yield subset
+            if len(subset) >= max_size:
+                continue
+            facts = {fact_of[key] for key in subset}
+            for node in nodes:
+                for key in incident.get(node, ()):
+                    if key <= seed or key in subset:
+                        continue
+                    if fact_of[key] in facts:
+                        continue
+                    extended = subset | {key}
+                    if extended in seen:
+                        continue
+                    seen.add(extended)
+                    edge = pool[key]
+                    stack.append(
+                        (extended, nodes | {str(edge.src), str(edge.dst)})
+                    )

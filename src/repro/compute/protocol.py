@@ -10,22 +10,36 @@ crashed-and-recovered worker able to re-run any round verbatim.
 
 Ops (``params`` / ``result`` contracts, all JSON-safe):
 
-========== ============================================ =========================================
-op         params                                       result
-========== ============================================ =========================================
-graph_info ``documents`` (bool)                         ``vertices``, ``extracted`` fact keys,
-                                                        ``entities`` ([id, description], when
-                                                        ``documents``)
-degrees    ``disown``                                   owned ``out_deg`` / ``deg`` per vertex,
-                                                        ``incident`` / ``srcs`` vertex lists
-expand     ``vertices``, ``skip``, ``disown``           owned ``edges`` incident to the frontier
-contrib    ``shares`` (src -> rank share), ``disown``   summed ``contrib`` per destination
-min_labels ``labels`` (vertex -> label), ``disown``     min-neighbour-label ``messages``
-resolve    ``mentions``                                 linked ``entities``
-edge_dump  (none)                                       the shard's **entire** local graph — the
-                                                        ship-everything baseline the benchmark
-                                                        compares against
-========== ============================================ =========================================
+=============== ============================================ =========================================
+op              params                                       result
+=============== ============================================ =========================================
+graph_info      ``documents`` (bool)                         ``vertices``, ``extracted`` fact keys,
+                                                             ``entities`` ([id, description], when
+                                                             ``documents``)
+degrees         ``disown``                                   owned ``out_deg`` / ``deg`` per vertex,
+                                                             ``incident`` / ``srcs`` vertex lists
+expand          ``vertices``, ``skip``, ``disown``           owned ``edges`` incident to the frontier
+contrib         ``shares`` (src -> rank share), ``disown``   summed ``contrib`` per destination
+min_labels      ``labels`` (vertex -> label), ``disown``     min-neighbour-label ``messages``
+resolve         ``mentions``                                 linked ``entities``
+edge_dump       (none)                                       the shard's **entire** local graph — the
+                                                             ship-everything baseline the benchmark
+                                                             compares against
+mine_embeddings ``phase`` = ``census``                       window ``vertices``, miner settings
+                                                             (``min_support``, ``max_edges``),
+                                                             ``window_edges``, ``last_timestamp``
+mine_embeddings ``phase`` = ``local``, ``boundary``          aggregate per-pattern ``patterns``
+                                                             (pattern, embedding count, var images)
+                                                             + window ``edges`` incident to the
+                                                             boundary vertices
+mine_embeddings ``phase`` = ``expand``, ``vertices``,        window ``edges`` incident to the
+                ``skip`` (shipped edge ids)                  frontier, each shipped at most once
+=============== ============================================ =========================================
+
+Window edges are extracted-only and never replicated (each instance
+lives on exactly the shard that ingested it), so ``mine_embeddings``
+needs no ownership/disown machinery: the union of per-shard windows
+*is* the merged window.
 
 **Edge ownership.**  Curated facts are replicated into every shard's KB,
 so a naive union of per-shard answers would count each curated edge N
@@ -40,11 +54,12 @@ duplicates from ``graph_info`` and keeps the lowest shard index).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.graph.partition import _stable_hash
 from repro.graph.property_graph import Edge
+from repro.mining.patterns import InstanceEdge, Pattern, PatternEdge
 from repro.nlp.dates import SimpleDate, parse_date
 
 OP_GRAPH_INFO = "graph_info"
@@ -54,6 +69,7 @@ OP_CONTRIB = "contrib"
 OP_MIN_LABELS = "min_labels"
 OP_RESOLVE = "resolve"
 OP_EDGE_DUMP = "edge_dump"
+OP_MINE_EMBEDDINGS = "mine_embeddings"
 
 COMPUTE_OPS = (
     OP_GRAPH_INFO,
@@ -63,7 +79,14 @@ COMPUTE_OPS = (
     OP_MIN_LABELS,
     OP_RESOLVE,
     OP_EDGE_DUMP,
+    OP_MINE_EMBEDDINGS,
 )
+
+MINE_PHASE_CENSUS = "census"
+MINE_PHASE_LOCAL = "local"
+MINE_PHASE_EXPAND = "expand"
+
+MINE_PHASES = (MINE_PHASE_CENSUS, MINE_PHASE_LOCAL, MINE_PHASE_EXPAND)
 
 FactKey = Tuple[str, str, str]
 
@@ -241,3 +264,97 @@ def edge_from_payload(data: Mapping[str, Any]) -> Dict[str, Any]:
         "label": str(data["label"]),
         "props": props,
     }
+
+
+# ---------------------------------------------------------------------------
+# mining payloads: typed window instance edges, canonical patterns and
+# per-pattern aggregate support state (mine_embeddings op).  Same layering
+# rule as the edge codec — repro.api's pattern wire form lives above this
+# package, so the compute protocol carries its own.
+# ---------------------------------------------------------------------------
+
+
+def instance_edge_payload(eid: int, edge: InstanceEdge) -> Dict[str, Any]:
+    """JSON-safe form of one window instance edge, tagged with the
+    shard-local edge id that makes ``skip`` lists exact across rounds."""
+    return {
+        "eid": int(eid),
+        "src": str(edge.src),
+        "dst": str(edge.dst),
+        "src_label": edge.src_label,
+        "dst_label": edge.dst_label,
+        "predicate": edge.predicate,
+    }
+
+
+def instance_edge_from_payload(
+    data: Mapping[str, Any]
+) -> Tuple[int, InstanceEdge]:
+    """Decode an :func:`instance_edge_payload` dict."""
+    return int(data["eid"]), InstanceEdge(
+        src=str(data["src"]),
+        dst=str(data["dst"]),
+        src_label=str(data["src_label"]),
+        dst_label=str(data["dst_label"]),
+        predicate=str(data["predicate"]),
+    )
+
+
+def pattern_payload(pattern: Pattern) -> List[List[Any]]:
+    """Canonical pattern as a list of ``[src, dst, src_label, dst_label,
+    predicate]`` rows — edge order preserved (it *is* the canonical
+    form, so re-sorting on decode would be a bug)."""
+    return [
+        [e.src, e.dst, e.src_label, e.dst_label, e.predicate]
+        for e in pattern.edges
+    ]
+
+
+def pattern_from_payload(rows: Sequence[Sequence[Any]]) -> Pattern:
+    """Decode a :func:`pattern_payload` list back to the canonical form."""
+    return Pattern(
+        edges=tuple(
+            PatternEdge(
+                src=int(row[0]),
+                dst=int(row[1]),
+                src_label=str(row[2]),
+                dst_label=str(row[3]),
+                predicate=str(row[4]),
+            )
+            for row in rows
+        )
+    )
+
+
+def support_entry_payload(
+    pattern: Pattern, embeddings: int, images: Mapping[int, Sequence[Any]]
+) -> Dict[str, Any]:
+    """One pattern's aggregate support state for the ``local`` phase.
+
+    ``images`` maps canonical variables to the distinct vertices bound
+    there (JSON objects key on strings, so variables stringify on the
+    wire and parse back in :func:`support_entry_from_payload`).
+    """
+    return {
+        "pattern": pattern_payload(pattern),
+        "embeddings": int(embeddings),
+        "images": {
+            str(var): [str(node) for node in images[var]]
+            for var in sorted(images)
+        },
+    }
+
+
+def support_entry_from_payload(
+    data: Mapping[str, Any]
+) -> Tuple[Pattern, int, Dict[int, List[str]]]:
+    """Decode a :func:`support_entry_payload` dict."""
+    images = {
+        int(var): [str(node) for node in nodes]
+        for var, nodes in dict(data["images"]).items()
+    }
+    return (
+        pattern_from_payload(data["pattern"]),
+        int(data["embeddings"]),
+        images,
+    )

@@ -15,18 +15,24 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.compute.protocol import (
+    MINE_PHASE_CENSUS,
+    MINE_PHASE_EXPAND,
+    MINE_PHASE_LOCAL,
     OP_CONTRIB,
     OP_DEGREES,
     OP_EDGE_DUMP,
     OP_EXPAND,
     OP_GRAPH_INFO,
     OP_MIN_LABELS,
+    OP_MINE_EMBEDDINGS,
     OP_RESOLVE,
     ComputeRequest,
     ComputeResponse,
     disown_param,
     edge_payload,
+    instance_edge_payload,
     owns_edge,
+    support_entry_payload,
 )
 from repro.core.pipeline import Nous
 from repro.errors import ConfigError
@@ -64,6 +70,7 @@ class ComputeStepExecutor:
             OP_MIN_LABELS: self._min_labels,
             OP_RESOLVE: self._resolve,
             OP_EDGE_DUMP: self._edge_dump,
+            OP_MINE_EMBEDDINGS: self._mine_embeddings,
         }
         handler = handlers.get(req.op)
         if handler is None:  # pragma: no cover - from_wire already gates
@@ -217,6 +224,62 @@ class ComputeStepExecutor:
                 for m in req.params.get("mentions", [])
             ]
         }
+
+    def _mine_embeddings(self, req: ComputeRequest) -> Dict[str, Any]:
+        """One phase of the distributed embedding enumeration.
+
+        Window edges are extracted on exactly one shard and never
+        replicated, so unlike the graph ops there is no ownership rule
+        to apply: this shard's window *is* its owned slice of the merged
+        window.  All three phases are pure reads of the miner's
+        incrementally-maintained state — no re-enumeration happens here.
+
+        ``census``: the window's vertex set plus the miner settings the
+        coordinator needs to plan the job.
+
+        ``local``: the aggregate per-pattern support state (embedding
+        counts + per-variable distinct vertex images — every embedding
+        whose edges all live here, already counted exactly once by this
+        miner) and the window edges incident to the coordinator's
+        ``boundary`` vertices, each tagged with its shard-local edge id.
+
+        ``expand``: window edges incident to the requested frontier
+        ``vertices`` whose ids are not in ``skip`` — the ids shipped in
+        earlier rounds — so each window edge crosses the wire at most
+        once per job.
+        """
+        miner = self._nous.dynamic.miner
+        phase = str(req.params.get("phase", ""))
+        if phase == MINE_PHASE_CENSUS:
+            return {
+                "vertices": [str(v) for v in miner.window_vertices()],
+                "min_support": miner.min_support,
+                "max_edges": miner.max_edges,
+                "window_edges": miner.window_size,
+                "last_timestamp": float(self._nous.last_timestamp),
+            }
+        if phase == MINE_PHASE_LOCAL:
+            boundary = [str(v) for v in req.params.get("boundary", [])]
+            return {
+                "patterns": [
+                    support_entry_payload(pattern, count, images)
+                    for pattern, count, images in miner.support_state()
+                ],
+                "edges": [
+                    instance_edge_payload(eid, edge)
+                    for eid, edge in miner.incident_instances(boundary)
+                ],
+            }
+        if phase == MINE_PHASE_EXPAND:
+            frontier = [str(v) for v in req.params.get("vertices", [])]
+            skip = frozenset(int(e) for e in req.params.get("skip", []))
+            return {
+                "edges": [
+                    instance_edge_payload(eid, edge)
+                    for eid, edge in miner.incident_instances(frontier, skip)
+                ]
+            }
+        raise ConfigError(f"unknown mine_embeddings phase {phase!r}")
 
     def _edge_dump(self, req: ComputeRequest) -> Dict[str, Any]:
         """The ship-everything baseline: the *entire* local partition,

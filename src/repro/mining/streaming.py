@@ -18,7 +18,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import (
+    Container,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ConfigError
 from repro.mining.patterns import (
@@ -141,6 +151,55 @@ class StreamingPatternMiner:
     def closed_frequent_patterns(self) -> List[Tuple[Pattern, int]]:
         """Closed frequent patterns of the current window."""
         return closed_patterns(self.supports(), self.min_support)
+
+    def window_vertices(self) -> List[Hashable]:
+        """Vertices touched by at least one window edge, sorted by repr.
+
+        The distributed miner's census: two shards sharing a window
+        vertex may hold edges of the same cross-shard embedding.
+        """
+        return sorted(self._incident, key=repr)
+
+    def incident_instances(
+        self, vertices: Iterable[Hashable], skip: Container[int] = ()
+    ) -> List[Tuple[int, InstanceEdge]]:
+        """Window edges incident to any of ``vertices``, with their ids.
+
+        Edges whose id is in ``skip`` (already shipped to a coordinator
+        in an earlier round) are omitted, so each window edge crosses
+        the wire at most once per distributed enumeration.
+        """
+        out: Dict[int, InstanceEdge] = {}
+        for vertex in vertices:
+            for eid in self._incident.get(vertex, ()):
+                if eid in skip or eid in out:
+                    continue
+                out[eid] = self._edges[eid]
+        return sorted(out.items())
+
+    def support_state(
+        self,
+    ) -> List[Tuple[Pattern, int, Dict[int, List[Hashable]]]]:
+        """Per-pattern aggregate state: ``(pattern, embeddings, images)``.
+
+        ``images`` maps each canonical variable to the distinct vertices
+        bound there across this miner's live embeddings — exactly the
+        data a coordinator needs to union per-shard MNI state without
+        re-enumerating local embeddings.  Sorted by pattern for
+        deterministic wire order.
+        """
+        out: List[Tuple[Pattern, int, Dict[int, List[Hashable]]]] = []
+        for pattern, stats in self._stats.items():
+            if stats.embedding_count <= 0:
+                continue
+            images = {
+                var: sorted(counter, key=repr)
+                for var, counter in stats.var_images.items()
+                if counter
+            }
+            out.append((pattern, stats.embedding_count, images))
+        out.sort(key=lambda item: item[0].edges)
+        return out
 
     def report(self, timestamp: float = 0.0) -> WindowReport:
         """Snapshot with frequency-transition events since the last call."""

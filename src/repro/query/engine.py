@@ -577,15 +577,47 @@ def merge_window_reports(
     Supports are summed per pattern across shards, then frequency and
     closedness are recomputed on the merged table — which is why the
     shards expose their *full* support tables, not just the closed
-    frequent slice.  Transition events (newly frequent / newly
-    infrequent with surviving sub-patterns) are computed against
-    ``previous_frequent``, the router's own last-report state — shard
-    miners' transition state is never consumed.
+    frequent slice.
 
     Summed MNI support is exact when every embedding (and node binding)
     of a pattern lives on one shard, and a lower bound otherwise
-    (embeddings spanning shards are invisible to both); see
-    docs/SHARDING.md.
+    (embeddings spanning shards are invisible to it) — which is why the
+    sharded cluster's trending path feeds
+    :func:`assemble_window_report` with the exact union supports from
+    :class:`repro.compute.mining.DistributedMiner` instead of calling
+    this merge; see docs/SHARDING.md.
+
+    Returns:
+        ``(report, frequent_now)`` — callers store ``frequent_now`` as
+        the next call's ``previous_frequent``.
+    """
+    merged: Dict[Pattern, int] = {}
+    for supports in supports_per_shard:
+        for pattern, support in supports.items():
+            merged[pattern] = merged.get(pattern, 0) + support
+    return assemble_window_report(
+        merged,
+        min_support=min_support,
+        previous_frequent=previous_frequent,
+        window_edges=window_edges,
+        timestamp=timestamp,
+    )
+
+
+def assemble_window_report(
+    merged: Mapping[Pattern, int],
+    min_support: int,
+    previous_frequent: Set[Pattern],
+    window_edges: int,
+    timestamp: float,
+) -> Tuple[WindowReport, Set[Pattern]]:
+    """Build a trending report from an already-merged support table.
+
+    Frequency and closedness are recomputed on the merged table;
+    transition events (newly frequent / newly infrequent with surviving
+    sub-patterns) are computed against ``previous_frequent``, the
+    caller's own last-report state — shard miners' transition state is
+    never consumed.
 
     Returns:
         ``(report, frequent_now)`` — callers store ``frequent_now`` as
@@ -593,10 +625,6 @@ def merge_window_reports(
     """
     from repro.mining.patterns import sub_patterns
 
-    merged: Dict[Pattern, int] = {}
-    for supports in supports_per_shard:
-        for pattern, support in supports.items():
-            merged[pattern] = merged.get(pattern, 0) + support
     frequent_now = {p for p, s in merged.items() if s >= min_support}
     newly_frequent = sorted(
         frequent_now - previous_frequent, key=lambda p: p.edges

@@ -657,3 +657,128 @@ class TestRestartMidStream:
         finally:
             reference.close()
             restarted.close()
+
+
+# ---------------------------------------------------------------------------
+# boundary-straddling embeddings: the regression summation could not see
+# ---------------------------------------------------------------------------
+
+class TestBoundaryStraddlingTrending:
+    """Red-first regression for cross-shard pattern embeddings (ISSUE 9).
+
+    Two funding stars whose hub chains split across shards at ``N=2``
+    (``alpha``/``beta``/``delta`` route to shard 1; ``omega``/``gamma``/
+    ``pi`` to shard 0): the ``funds+advises`` pattern through ``omega``
+    and the ``funds+funds`` pair through ``pi`` have embeddings whose
+    edges live on *different* shards, invisible to every per-shard
+    miner.  The retired merge — summing per-shard MNI support tables —
+    both missed those embeddings and summed per-shard minima instead of
+    taking the minimum over unioned node images, so it disagreed with
+    the monolith in each direction.  The first test keeps the red pin
+    alive as a strict inequality (if it ever passes, the corpus stopped
+    straddling and the suite lost its teeth); the second pins the
+    distributed enumeration to the exact monolith value.
+    """
+
+    _FACTS = [
+        ("alpha", "funds", "omega"),
+        ("beta", "funds", "omega"),
+        ("omega", "advises", "zed"),
+        ("gamma", "funds", "pi"),
+        ("delta", "funds", "pi"),
+        ("pi", "advises", "ku"),
+    ]
+
+    def _monolith(self):
+        mono = NousService(
+            kb=KnowledgeBase(),
+            config=_structured_config(),
+            service_config=_service_config(),
+        )
+        assert mono.ingest_facts(self._FACTS, date="2015-06-01").ok
+        return mono
+
+    def _cluster(self, shard_mode):
+        cluster = _make_cluster(
+            shard_mode, "empty", 2, _structured_config(), _service_config()
+        )
+        assert cluster.ingest_facts(self._FACTS, date="2015-06-01").ok
+        return cluster
+
+    @staticmethod
+    def _summed_supports(cluster):
+        """The retired merge, reproduced: per-shard MNI supports (each
+        shard's minimum over its *own* variable images) summed across
+        shards — exactly what ``merge_window_reports`` consumed before
+        the distributed enumeration replaced it."""
+        from repro.compute.protocol import (
+            MINE_PHASE_LOCAL,
+            OP_MINE_EMBEDDINGS,
+            support_entry_from_payload,
+        )
+
+        coord = cluster.compute_coordinator()
+        coord.begin_job()
+        local = coord._round(
+            OP_MINE_EMBEDDINGS,
+            {
+                i: {"phase": MINE_PHASE_LOCAL, "boundary": []}
+                for i in range(coord.num_shards)
+            },
+        )
+        summed = {}
+        for index in range(coord.num_shards):
+            for entry in local[index]["patterns"]:
+                pattern, _count, images = support_entry_from_payload(entry)
+                support = min(
+                    len(images[var]) for var in pattern.variables()
+                )
+                summed[pattern] = summed.get(pattern, 0) + support
+        return summed
+
+    @staticmethod
+    def _exact_supports(mono):
+        return {
+            pattern: min(len(images[var]) for var in pattern.variables())
+            for pattern, _count, images
+            in mono.nous.dynamic.miner.support_state()
+        }
+
+    def test_summed_merge_disagrees_on_this_corpus(self):
+        mono = self._monolith()
+        cluster = self._cluster("local")
+        try:
+            homes = {
+                cluster.router.shard_for_entity(s)
+                for s, _p, _o in self._FACTS
+            }
+            assert len(homes) == 2, "fixture no longer spans shards"
+            exact = self._exact_supports(mono)
+            summed = self._summed_supports(cluster)
+            assert summed != exact
+            # At least one multi-edge pattern is undercounted: its
+            # straddling embeddings were invisible to both shards.
+            assert any(
+                summed.get(pattern, 0) < support
+                for pattern, support in exact.items()
+                if len(pattern.edges) > 1
+            )
+        finally:
+            mono.close()
+            cluster.close()
+
+    @pytest.mark.parametrize("shard_mode", SHARD_MODES)
+    def test_trending_equals_monolith_exactly(self, shard_mode):
+        _require_pinned_hashseed(shard_mode)
+        mono = self._monolith()
+        cluster = self._cluster(shard_mode)
+        try:
+            expected = mono.query("show trending patterns")
+            actual = cluster.query("show trending patterns")
+            assert actual.ok and expected.ok
+            assert _trending_set(actual) == _trending_set(expected)
+            assert actual.payload == expected.payload
+            assert actual.rendered == expected.rendered
+        finally:
+            mono.close()
+            cluster.close()

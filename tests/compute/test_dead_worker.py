@@ -81,6 +81,22 @@ def _kill_after_round(cluster, round_ordinal=1):
 
 
 class TestDeadWorkerWithoutDurability:
+    def test_mining_job_raises_structured_cluster_error(self):
+        # Kill between the census and local rounds of the distributed
+        # embedding enumeration: the trending path must fail with a
+        # structured error, never a hang or a silent partial support
+        # table (a partial table would quietly undercount — the exact
+        # failure mode this subsystem replaced).
+        cluster = _cluster()
+        try:
+            hook, state = _kill_after_round(cluster)
+            with pytest.raises(ClusterError):
+                cluster.distributed_supports(on_round=hook)
+            assert state["fired"]
+            assert 0 in cluster.dead_shards()
+        finally:
+            cluster.close()
+
     def test_job_raises_structured_cluster_error(self):
         cluster = _cluster()
         try:
@@ -130,6 +146,30 @@ class TestDeadWorkerWithDurability:
             assert set(ranks) == set(reference)
             for vertex, score in reference.items():
                 assert ranks[vertex] == pytest.approx(score, abs=1e-9)
+            assert cluster.dead_shards() == []
+            assert cluster.cluster_info()["shard_restarts"][0] == 1
+        finally:
+            cluster.close()
+
+    def test_mining_job_self_heals_and_stays_exact(self, tmp_path):
+        reference_cluster = _cluster()
+        try:
+            reference = reference_cluster.distributed_supports()
+        finally:
+            reference_cluster.close()
+
+        cluster = _cluster(data_dir=str(tmp_path / "cluster"))
+        try:
+            hook, state = _kill_after_round(cluster)
+            outcome = cluster.distributed_supports(on_round=hook)
+            assert state["fired"], "fault was never injected"
+            # The respawned worker replayed its WAL (window state
+            # included) and the re-run round answered identically: the
+            # healed enumeration equals the unharmed one, support for
+            # support and embedding count for embedding count.
+            assert outcome.supports == reference.supports
+            assert outcome.embeddings == reference.embeddings
+            assert outcome.window_edges == reference.window_edges
             assert cluster.dead_shards() == []
             assert cluster.cluster_info()["shard_restarts"][0] == 1
         finally:

@@ -1,0 +1,318 @@
+"""Distributed pattern mining vs the monolith: the exactness contract.
+
+:class:`DistributedMiner` must agree with a single
+:class:`~repro.mining.streaming.StreamingPatternMiner` holding the same
+union window, for any partitioning:
+
+- **Support equivalence** — exact MNI supports *and* embedding counts
+  per pattern, N ∈ {1..4} local and N ∈ {2..3} process (hypothesis
+  corpora whose subjects route to different shards, so embeddings
+  genuinely straddle boundaries — the regime the old support-table
+  summation got wrong in both directions).
+- **Ownership property** — every union-window embedding is counted by
+  exactly one source: summed per-shard local counts never exceed the
+  monolith's, and the mixed-enumeration pass supplies precisely the
+  difference.
+- **Trending query surface** — ``show trending patterns`` envelopes are
+  payload-identical to the monolith's across two successive windows, so
+  the transition classes (rising / falling / stable) that compare
+  against the previous report agree too.
+- **Expand-phase depth** — at ``max_pattern_edges=3`` a mixed embedding
+  can contain an edge *not* incident to any boundary vertex; those need
+  the expand rounds, which the default 2-edge regime never runs.
+
+Process-mode runs cover the ``/v1/shard/compute`` wire route end to
+end; they need ``PYTHONHASHSEED`` pinned (the CI compute job pins 0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import NousConfig, NousService, ServiceConfig
+from repro.api.cluster.service import ShardedNousService
+from repro.compute import DistributedMiner
+from repro.compute.protocol import (
+    MINE_PHASE_CENSUS,
+    MINE_PHASE_LOCAL,
+    OP_MINE_EMBEDDINGS,
+    support_entry_from_payload,
+)
+from repro.errors import ClusterError
+from repro.kb.knowledge_base import KnowledgeBase
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_PROCESS_SETTINGS = settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _require_pinned_hashseed():
+    if os.environ.get("PYTHONHASHSEED", "random") == "random":
+        pytest.skip(
+            "cross-interpreter identity comparisons need PYTHONHASHSEED set"
+        )
+
+
+_ENTITIES = [
+    "Alpha", "Bravo", "Charlie", "Delta",
+    "Echo", "Foxtrot", "Golf", "Hotel",
+]
+_PREDICATES = ["funds", "advises"]
+
+#: Two parallel hub structures: distinct subjects route the funding
+#: edges to different shards while both point at one hub, so the
+#: 2-edge patterns through the hubs straddle shard boundaries and the
+#: per-hub images (Alpha+Bravo, Charlie+Delta) push supports to the
+#: min_support=2 threshold only when images union correctly.
+_BACKBONE = [
+    ("Alpha", "funds", "Golf"),
+    ("Bravo", "funds", "Golf"),
+    ("Golf", "advises", "Echo"),
+    ("Charlie", "funds", "Hotel"),
+    ("Delta", "funds", "Hotel"),
+    ("Hotel", "advises", "Foxtrot"),
+]
+
+mining_corpus = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_ENTITIES) - 1),
+        st.integers(min_value=0, max_value=len(_ENTITIES) - 1),
+        st.integers(min_value=0, max_value=len(_PREDICATES) - 1),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def _facts(edges):
+    facts = list(_BACKBONE)
+    for s, o, p in edges:
+        if s == o:
+            continue
+        facts.append((_ENTITIES[s], _PREDICATES[p], _ENTITIES[o]))
+    return facts
+
+
+def _config(max_pattern_edges=2) -> NousConfig:
+    return NousConfig(
+        window_size=10_000, min_support=2, lda_iterations=10,
+        retrain_every=0, seed=3, max_pattern_edges=max_pattern_edges,
+    )
+
+
+def _monolith(facts, config) -> NousService:
+    service = NousService(
+        kb=KnowledgeBase(),
+        config=config,
+        service_config=ServiceConfig(auto_start=False),
+    )
+    assert service.ingest_facts(facts, date="2015-06-01").ok
+    return service
+
+
+def _cluster(facts, num_shards, shard_mode="local",
+             config=None) -> ShardedNousService:
+    cluster = ShardedNousService(
+        num_shards=num_shards,
+        config=config or _config(),
+        service_config=ServiceConfig(auto_start=False),
+        shard_mode=shard_mode,
+        kb_spec="empty",
+    )
+    assert cluster.ingest_facts(facts, date="2015-06-01").ok
+    return cluster
+
+
+def _reference_tables(mono: NousService):
+    """The monolith miner's exact per-pattern supports and counts."""
+    supports, counts = {}, {}
+    for pattern, count, images in mono.nous.dynamic.miner.support_state():
+        counts[pattern] = count
+        supports[pattern] = min(
+            len(images[var]) for var in pattern.variables()
+        )
+    return supports, counts
+
+
+def _local_counts(cluster: ShardedNousService):
+    """Summed per-shard embedding counts, straight off the wire (an
+    empty boundary ships no edges — just the aggregate tables)."""
+    coord = cluster.compute_coordinator()
+    coord.begin_job()
+    num_shards = coord.num_shards
+    local = coord._round(
+        OP_MINE_EMBEDDINGS,
+        {
+            i: {"phase": MINE_PHASE_LOCAL, "boundary": []}
+            for i in range(num_shards)
+        },
+    )
+    counts = {}
+    for index in range(num_shards):
+        for entry in local[index]["patterns"]:
+            pattern, count, _images = support_entry_from_payload(entry)
+            counts[pattern] = counts.get(pattern, 0) + count
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# support + embedding-count equivalence
+# ---------------------------------------------------------------------------
+
+class TestMiningEquivalence:
+    @_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=1, max_value=4))
+    def test_supports_match_monolith(self, edges, num_shards):
+        self._check(edges, num_shards, "local", max_pattern_edges=2)
+
+    @_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=2, max_value=4))
+    def test_supports_match_monolith_three_edge_patterns(
+        self, edges, num_shards
+    ):
+        # max_edges=3: mixed embeddings can include edges away from the
+        # boundary, so this regime exercises the expand rounds.
+        self._check(edges, num_shards, "local", max_pattern_edges=3)
+
+    @_PROCESS_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=2, max_value=3))
+    def test_supports_match_monolith_process_shards(self, edges, num_shards):
+        _require_pinned_hashseed()
+        self._check(edges, num_shards, "process", max_pattern_edges=2)
+
+    def _check(self, edges, num_shards, shard_mode, max_pattern_edges):
+        facts = _facts(edges)
+        config = _config(max_pattern_edges)
+        mono = _monolith(facts, config)
+        cluster = _cluster(facts, num_shards, shard_mode, config)
+        try:
+            supports, counts = _reference_tables(mono)
+            outcome = cluster.distributed_supports()
+            assert outcome.supports == supports
+            assert outcome.embeddings == counts
+            assert outcome.min_support == config.min_support
+            assert outcome.window_edges == len(facts)
+        finally:
+            mono.close()
+            cluster.close()
+
+    def test_zero_shards_rejected(self):
+        cluster = _cluster(list(_BACKBONE), 2)
+        try:
+            coordinator = cluster.compute_coordinator()
+            coordinator.num_shards = 0
+            with pytest.raises(ClusterError, match="zero shards"):
+                DistributedMiner(coordinator).mine()
+        finally:
+            cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# ownership: every embedding counted by exactly one source
+# ---------------------------------------------------------------------------
+
+class TestEmbeddingOwnership:
+    @_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=2, max_value=4))
+    def test_local_plus_mixed_partitions_the_embedding_set(
+        self, edges, num_shards
+    ):
+        facts = _facts(edges)
+        config = _config()
+        mono = _monolith(facts, config)
+        cluster = _cluster(facts, num_shards, config=config)
+        try:
+            _supports, mono_counts = _reference_tables(mono)
+            local_counts = _local_counts(cluster)
+            outcome = cluster.distributed_supports()
+            # No shard double-counts: summed local counts never exceed
+            # the monolith's, and the mixed pass supplies exactly the
+            # rest — together, exactly-once per embedding.
+            for pattern, total in mono_counts.items():
+                assert local_counts.get(pattern, 0) <= total, pattern
+            assert outcome.embeddings == mono_counts
+        finally:
+            mono.close()
+            cluster.close()
+
+    def test_straddling_fixture_needs_the_mixed_pass(self):
+        # Pin that the backbone really exercises the cross-shard path
+        # at N=3 (Delta routes away from the other subjects): some
+        # embedding is invisible to every local miner.
+        facts = list(_BACKBONE)
+        config = _config()
+        mono = _monolith(facts, config)
+        cluster = _cluster(facts, 3, config=config)
+        try:
+            homes = {cluster.router.shard_for_entity(s) for s, _p, _o in facts}
+            assert len(homes) > 1, "fixture no longer spans shards"
+            _supports, mono_counts = _reference_tables(mono)
+            local_counts = _local_counts(cluster)
+            assert sum(local_counts.values()) < sum(mono_counts.values()), (
+                "no embedding straddles shards; the fixture lost its point"
+            )
+            assert cluster.distributed_supports().embeddings == mono_counts
+        finally:
+            mono.close()
+            cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# trending query surface across windows (transition classes included)
+# ---------------------------------------------------------------------------
+
+_FOLLOW_UP = [
+    ("Echo", "funds", "Golf"),
+    ("Foxtrot", "funds", "Hotel"),
+]
+
+
+class TestTrendingSurfaceEquivalence:
+    @_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=1, max_value=4))
+    def test_trending_payloads_identical_across_windows(
+        self, edges, num_shards
+    ):
+        self._check(edges, num_shards, "local")
+
+    @_PROCESS_SETTINGS
+    @given(edges=mining_corpus, num_shards=st.integers(min_value=2, max_value=3))
+    def test_trending_payloads_identical_process_shards(
+        self, edges, num_shards
+    ):
+        _require_pinned_hashseed()
+        self._check(edges, num_shards, "process")
+
+    def _check(self, edges, num_shards, shard_mode):
+        facts = _facts(edges)
+        mono = _monolith(facts, _config())
+        cluster = _cluster(facts, num_shards, shard_mode)
+        try:
+            # First window, then a second after more facts: the second
+            # report's rising/falling/stable classes compare against the
+            # first, so equality here pins the transition state too.
+            for extra in (None, _FOLLOW_UP):
+                if extra is not None:
+                    assert mono.ingest_facts(extra, date="2015-06-02").ok
+                    assert cluster.ingest_facts(extra, date="2015-06-02").ok
+                expected = mono.query("show trending patterns")
+                actual = cluster.query("show trending patterns")
+                assert actual.ok and expected.ok
+                assert actual.kind == expected.kind
+                assert actual.payload == expected.payload
+                assert actual.rendered == expected.rendered
+        finally:
+            mono.close()
+            cluster.close()

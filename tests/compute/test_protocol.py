@@ -23,17 +23,25 @@ from repro import NousConfig, NousService, ServiceConfig
 from repro.compute import ComputeStats
 from repro.compute.protocol import (
     COMPUTE_OPS,
+    MINE_PHASES,
     ComputeRequest,
     ComputeResponse,
     disown_param,
     disown_sets,
     edge_from_payload,
     edge_payload,
+    instance_edge_from_payload,
+    instance_edge_payload,
     owns_edge,
+    pattern_from_payload,
+    pattern_payload,
+    support_entry_from_payload,
+    support_entry_payload,
 )
 from repro.errors import ConfigError
 from repro.graph.property_graph import PropertyGraph
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.mining.patterns import InstanceEdge, Pattern, PatternEdge
 from repro.nlp.dates import SimpleDate
 
 FACTS = [
@@ -195,6 +203,112 @@ class TestEdgeOwnership:
 
 
 # ---------------------------------------------------------------------------
+# mining payloads (mine_embeddings op)
+# ---------------------------------------------------------------------------
+
+_node_text = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N")),
+    min_size=1, max_size=8,
+)
+
+_instance_edges = st.builds(
+    InstanceEdge,
+    src=_node_text, dst=_node_text,
+    src_label=_node_text, dst_label=_node_text,
+    predicate=_node_text,
+)
+
+_patterns = st.lists(
+    st.builds(
+        PatternEdge,
+        src=st.integers(min_value=0, max_value=3),
+        dst=st.integers(min_value=0, max_value=3),
+        src_label=_node_text, dst_label=_node_text,
+        predicate=_node_text,
+    ),
+    min_size=1, max_size=3,
+).map(lambda edges: Pattern(edges=tuple(edges)))
+
+
+class TestMiningCodecs:
+    def test_instance_edge_wire_form_pinned(self):
+        edge = InstanceEdge(
+            src="Alpha", dst="Beta",
+            src_label="Company", dst_label="Company",
+            predicate="acquired",
+        )
+        assert instance_edge_payload(7, edge) == {
+            "eid": 7,
+            "src": "Alpha",
+            "dst": "Beta",
+            "src_label": "Company",
+            "dst_label": "Company",
+            "predicate": "acquired",
+        }
+
+    @settings(max_examples=50, deadline=None)
+    @given(eid=st.integers(min_value=0, max_value=10_000),
+           edge=_instance_edges)
+    def test_instance_edge_roundtrip(self, eid, edge):
+        payload = instance_edge_payload(eid, edge)
+        assert instance_edge_from_payload(payload) == (eid, edge)
+
+    def test_pattern_wire_form_preserves_canonical_edge_order(self):
+        # The row order IS the canonical form — a codec that re-sorted
+        # on decode would silently merge distinct patterns.
+        pattern = Pattern(edges=(
+            PatternEdge(src=0, dst=1, src_label="Company",
+                        dst_label="Company", predicate="acquired"),
+            PatternEdge(src=1, dst=2, src_label="Company",
+                        dst_label="Thing", predicate="raisedFunding"),
+        ))
+        assert pattern_payload(pattern) == [
+            [0, 1, "Company", "Company", "acquired"],
+            [1, 2, "Company", "Thing", "raisedFunding"],
+        ]
+        assert pattern_from_payload(pattern_payload(pattern)) == pattern
+
+    @settings(max_examples=50, deadline=None)
+    @given(pattern=_patterns)
+    def test_pattern_roundtrip(self, pattern):
+        assert pattern_from_payload(pattern_payload(pattern)) == pattern
+
+    def test_support_entry_wire_form_pinned(self):
+        pattern = Pattern(edges=(
+            PatternEdge(src=0, dst=1, src_label="Company",
+                        dst_label="Company", predicate="acquired"),
+        ))
+        payload = support_entry_payload(
+            pattern, 3, {1: ["Beta", "Gamma"], 0: ["Alpha"]}
+        )
+        # Variables stringify (JSON object keys) and sort; node order
+        # within an image is preserved.
+        assert payload == {
+            "pattern": [[0, 1, "Company", "Company", "acquired"]],
+            "embeddings": 3,
+            "images": {"0": ["Alpha"], "1": ["Beta", "Gamma"]},
+        }
+        assert support_entry_from_payload(payload) == (
+            pattern, 3, {0: ["Alpha"], 1: ["Beta", "Gamma"]},
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pattern=_patterns,
+        embeddings=st.integers(min_value=0, max_value=100),
+        images=st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            st.lists(_node_text, min_size=1, max_size=4, unique=True),
+            max_size=4,
+        ),
+    )
+    def test_support_entry_roundtrip(self, pattern, embeddings, images):
+        payload = support_entry_payload(pattern, embeddings, images)
+        decoded = support_entry_from_payload(payload)
+        assert decoded == (pattern, embeddings, images)
+
+
+# ---------------------------------------------------------------------------
 # stats counters
 # ---------------------------------------------------------------------------
 
@@ -336,3 +450,69 @@ class TestExecutorOps:
     def test_malformed_request_raises_config_error(self, shard):
         with pytest.raises(ConfigError):
             shard.compute_step({"op": "nope", "shard": 0, "num_shards": 1})
+
+
+class TestMineEmbeddingsOp:
+    """The three phases of ``mine_embeddings`` against a real shard."""
+
+    def test_census_reports_window_and_miner_settings(self, shard):
+        miner = shard.nous.dynamic.miner
+        response = _step(shard, "mine_embeddings", {"phase": "census"})
+        assert response.result == {
+            "vertices": ["Alpha", "Beta", "Delta", "Gamma"],
+            "min_support": 2,
+            "max_edges": miner.max_edges,
+            "window_edges": len(FACTS),
+            "last_timestamp": float(shard.nous.last_timestamp),
+        }
+        assert response.kg_version == shard.kg_version
+
+    def test_local_ships_support_state_and_boundary_edges(self, shard):
+        miner = shard.nous.dynamic.miner
+        response = _step(
+            shard, "mine_embeddings",
+            {"phase": "local", "boundary": ["Alpha"]},
+        )
+        # Aggregate support state: exactly the miner's, via the codec.
+        assert response.result["patterns"] == [
+            support_entry_payload(pattern, count, images)
+            for pattern, count, images in miner.support_state()
+        ]
+        assert response.result["patterns"], "window should have patterns"
+        # Boundary edges: the window instances incident to Alpha, each
+        # tagged with a distinct shard-local edge id.
+        shipped = [
+            instance_edge_from_payload(p) for p in response.result["edges"]
+        ]
+        assert {
+            (e.src, e.predicate, e.dst) for _eid, e in shipped
+        } == {("Alpha", "acquired", "Beta"), ("Delta", "acquired", "Alpha")}
+        assert len({eid for eid, _e in shipped}) == len(shipped)
+
+    def test_local_with_empty_boundary_ships_no_edges(self, shard):
+        response = _step(
+            shard, "mine_embeddings", {"phase": "local", "boundary": []}
+        )
+        assert response.result["edges"] == []
+
+    def test_expand_skip_keeps_each_edge_on_the_wire_once(self, shard):
+        local = _step(
+            shard, "mine_embeddings",
+            {"phase": "local", "boundary": ["Alpha"]},
+        )
+        shipped = [e["eid"] for e in local.result["edges"]]
+        response = _step(
+            shard, "mine_embeddings",
+            {"phase": "expand", "vertices": ["Beta"], "skip": shipped},
+        )
+        keys = {
+            (e["src"], e["predicate"], e["dst"])
+            for e in response.result["edges"]
+        }
+        # Alpha-acquired->Beta is incident to Beta but already shipped.
+        assert keys == {("Beta", "acquired", "Gamma")}
+
+    def test_phases_constant_matches_executor(self, shard):
+        assert MINE_PHASES == ("census", "local", "expand")
+        with pytest.raises(ConfigError, match="mine_embeddings phase"):
+            _step(shard, "mine_embeddings", {"phase": "bogus"})

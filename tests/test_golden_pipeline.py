@@ -58,23 +58,21 @@ GOLDEN = {
 # document routing, every per-query-class merge, and the composite-
 # version merged-result cache.  Totals that must be partition-invariant
 # (accepted documents, merged fact count, window size) equal the
-# monolith's; closed-frequent counts and supports may differ where
-# pattern embeddings span shards (documented in docs/SHARDING.md), and
-# num_entities counts per-shard minted duplicates.
+# monolith's; num_entities counts per-shard minted duplicates.
+# ISSUE 9: trending moved from support-table summation to the
+# distributed embedding enumeration, so the merged closed-frequent
+# output now equals the monolith's exactly (pre-PR-9 the summation pin
+# was 26 patterns with drifted supports — embeddings spanning shard
+# boundaries were invisible and per-shard MNI minima summed instead of
+# unioning node images).
 GOLDEN_SHARDED = {
     "accepted_total": 83,
     "documents_routed": [9, 17, 14],
     "num_facts": 194,
     "num_entities": 155,
     "window_edges": 83,
-    "closed_frequent_count": 26,
-    "top_patterns": [
-        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[acquiredFor]->(?2:Thing)|4",
-        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[fundedBy]->(?2:Company)|2",
-        "(?0:Company)-[acquired]->(?1:Company) (?0:Company)-[raisedFunding]->(?2:Thing)|2",
-        "(?0:Company)-[acquired]->(?1:Company) (?1:Company)-[acquired]->(?2:Company)|2",
-        "(?0:Company)-[acquired]->(?1:Company)|6",
-    ],
+    "closed_frequent_count": GOLDEN["closed_frequent_count"],
+    "top_patterns": GOLDEN["top_patterns"],
     "top_path_nodes": ["Windermere", "AirTech_2", "DJI", "Drone_Industry"],
     # Equals the monolith's coherence for the same route: the
     # distributed cross-shard path search fits topics over the union
