@@ -1,0 +1,129 @@
+"""TENANCY: multi-tenant gateway overhead.
+
+ISSUE 10's acceptance gate: **per-tenant query p50 through a gateway
+hosting T=4 tenants must stay within ``BENCH_TENANCY_GATE`` (default
+1.5x) of the same query mix against a single-tenant gateway** — the
+tenant route tree, registry lookup and per-tenant cache keying must
+not tax the serving path.
+
+Both phases run the identical protocol: feed each tenant the same
+document schedule, then issue the query mix once per tenant over a
+keep-alive session (cache misses — real query compute), round-robin
+across tenants in the multi-tenant phase so every sample interleaves
+registry lookups.  A second (cache-hit) pass is recorded too: with the
+compute amortised away it isolates pure routing + transport overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.api.envelopes import IngestRequest
+from repro.api.http import ClientSession, NousGateway
+from repro.api.tenancy import TenantRegistry, TenantSpec
+
+from conftest import record_bench
+
+# Shared CI runners are noisy; CI relaxes via env var.
+TENANCY_GATE = float(os.environ.get("BENCH_TENANCY_GATE", "1.5"))
+N_TENANTS = 4
+
+_PAIRS = [
+    ("DJI", "Amazon"), ("DJI", "GoPro"), ("Amazon", "Google"),
+    ("GoPro", "Qualcomm"), ("DJI", "Google"), ("Amazon", "GoPro"),
+    ("Qualcomm", "DJI"), ("Google", "GoPro"), ("Amazon", "Qualcomm"),
+    ("DJI", "Intel"), ("Google", "Qualcomm"), ("Intel", "Amazon"),
+]
+QUERIES = (
+    [f"how is {a} related to {b}" for a, b in _PAIRS]
+    + [f"tell me about {e}" for e in ("DJI", "Amazon", "GoPro", "Google")]
+    + [f"what's new with {e}" for e in ("DJI", "Amazon")]
+    + ["match (?a:Company)-[acquired]->(?b:Company)"]
+)
+
+DOCS = [
+    ("DJI acquired Parrot SA in June 2016.", "bench-1"),
+    ("Amazon uses drones for package delivery.", "bench-2"),
+    ("GoPro acquired Parrot SA in August 2017.", "bench-3"),
+    ("Walmart uses drones for inventory.", "bench-4"),
+]
+
+
+def _feed(service) -> None:
+    for text, doc_id in DOCS:
+        service.submit(IngestRequest(text=text, doc_id=doc_id, source="bench"))
+        service.flush()
+
+
+def _measure(session: ClientSession) -> list:
+    samples = []
+    for text in QUERIES:
+        t0 = time.perf_counter()
+        assert session.query(text).ok
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def test_per_tenant_query_p50_within_gate_of_single_tenant():
+    # Phase A: one tenant behind the gateway — the reference p50.
+    with TenantRegistry(specs=(TenantSpec(name="default"),)) as registry:
+        _feed(registry.default)
+        with NousGateway(registry) as gateway:
+            with ClientSession(gateway.url, timeout=60.0) as session:
+                single_miss = _measure(session)  # cache misses: query compute
+                single_hit = _measure(session)   # cache hits: routing+wire
+    p50_single = statistics.median(single_miss)
+    p50_single_hit = statistics.median(single_hit)
+
+    # Phase B: four tenants, same schedule each, the query mix issued
+    # round-robin so consecutive samples cross tenant namespaces.
+    names = ["default"] + [f"t-{i}" for i in range(1, N_TENANTS)]
+    specs = tuple(TenantSpec(name=name) for name in names)
+    miss: dict = {name: [] for name in names}
+    hit: dict = {name: [] for name in names}
+    with TenantRegistry(specs=specs) as registry:
+        for name in names:
+            _feed(registry.get(name))
+        with NousGateway(registry) as gateway:
+            sessions = {
+                name: ClientSession(gateway.url, tenant=name, timeout=60.0)
+                for name in names
+            }
+            try:
+                for samples in (miss, hit):
+                    for text in QUERIES:
+                        for name in names:
+                            t0 = time.perf_counter()
+                            assert sessions[name].query(text).ok
+                            samples[name].append(time.perf_counter() - t0)
+            finally:
+                for session in sessions.values():
+                    session.close()
+
+    p50s = {name: statistics.median(miss[name]) for name in names}
+    p50s_hit = {name: statistics.median(hit[name]) for name in names}
+    worst = max(p50s.values())
+    ratio = worst / p50_single
+    print(
+        f"\ntenant query p50 ({len(QUERIES)} distinct queries): "
+        f"single-tenant {p50_single * 1000:.2f} ms  "
+        f"worst of T={N_TENANTS} {worst * 1000:.2f} ms  ({ratio:.2f}x); "
+        f"cache-hit pass: single {p50_single_hit * 1000:.2f} ms  "
+        f"worst {max(p50s_hit.values()) * 1000:.2f} ms"
+    )
+    record_bench(
+        "tenancy",
+        tenants=N_TENANTS,
+        p50_single_s=round(p50_single, 5),
+        p50_single_hit_s=round(p50_single_hit, 5),
+        p50_per_tenant_s={n: round(v, 5) for n, v in p50s.items()},
+        p50_per_tenant_hit_s={n: round(v, 5) for n, v in p50s_hit.items()},
+        worst_ratio=round(ratio, 3),
+        gate=TENANCY_GATE,
+    )
+    assert ratio <= TENANCY_GATE, (
+        f"worst per-tenant p50 {ratio:.2f}x single-tenant "
+        f"(gate {TENANCY_GATE}x)"
+    )

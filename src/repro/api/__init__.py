@@ -24,9 +24,20 @@ using both web and command line interface" over a *dynamic* KG):
   ``ClientSession`` consumes them with the same codecs (see
   ``docs/API.md``).  Imported lazily; ``from repro.api.http import ...``
   when you need the network half.
+- **Multi-tenant namespaces** (:mod:`repro.api.tenancy`):
+  :class:`TenantRegistry` maps tenant ids to isolated services behind
+  one gateway — per-tenant KGs, quotas and data directories (see
+  ``docs/TENANCY.md``).
 """
 
-from repro.api.base import ServiceLike, SubscriptionLike
+from repro.api.base import (
+    ServiceCore,
+    ServiceLike,
+    ServiceTelemetry,
+    ShardLike,
+    SubscriptionLike,
+    TenantRegistryLike,
+)
 from repro.api.cluster import (
     ClusterSubscription,
     DocumentRouter,
@@ -49,6 +60,7 @@ from repro.api.service import (
     StreamView,
     Subscription,
 )
+from repro.api.tenancy import DEFAULT_TENANT, TenantRegistry, TenantSpec
 from repro.api.wire import decode_payload, delta_rows, encode_payload, key_of_row
 
 __all__ = [
@@ -61,8 +73,15 @@ __all__ = [
     "normalize_error_message",
     "NousService",
     "ServiceConfig",
+    "ServiceCore",
     "ServiceLike",
+    "ServiceTelemetry",
+    "ShardLike",
     "SubscriptionLike",
+    "TenantRegistryLike",
+    "DEFAULT_TENANT",
+    "TenantRegistry",
+    "TenantSpec",
     "ShardedNousService",
     "ClusterSubscription",
     "DocumentRouter",

@@ -3,9 +3,25 @@
 Two classes implement the NOUS service surface: the monolithic
 :class:`~repro.api.service.NousService` and the sharded
 :class:`~repro.api.cluster.ShardedNousService`.  Adapters that must work
-against either one — the HTTP gateway, the CLI — are typed against these
-:class:`~typing.Protocol` definitions instead of a concrete class, which
-is what makes ``nous serve --shards N`` a drop-in swap.
+against either one — the HTTP gateway, the CLI, the tenant registry —
+are typed against these :class:`~typing.Protocol` definitions instead of
+a concrete class, which is what makes ``nous serve --shards N`` a
+drop-in swap.
+
+The surface is layered so each consumer can name exactly what it needs:
+
+- :class:`ServiceCore` — the serve surface proper: ingest, query,
+  statistics, standing queries, flush/close, and the ``kg_version``
+  freshness stamp.  What a request handler touches.
+- :class:`ServiceTelemetry` — the introspection counters health
+  endpoints and dashboards read.  No KG access, no mutation.
+- :class:`ServiceLike` — core + telemetry: the full adapter contract
+  (the name every existing adapter is typed against).
+- :class:`ShardLike` — the *shard-internal* extension the
+  scatter-gather router consumes on top of ``ServiceLike``.
+- :class:`TenantRegistryLike` — tenant id → service resolution for a
+  multi-tenant gateway (implemented by
+  :class:`~repro.api.tenancy.TenantRegistry`).
 
 The protocols are intentionally minimal: they name exactly the surface
 the adapters consume, not everything the implementations offer.
@@ -30,6 +46,7 @@ from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.api.service import IngestTicket, StandingQueryUpdate, StreamView
+    from repro.api.tenancy import TenantSpec
     from repro.core.statistics import GraphStatistics
     from repro.query.engine import QueryResult
     from repro.query.model import Query
@@ -37,11 +54,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 class SubscriptionLike(Protocol):
     """What delta consumers (the gateway's subscribe stream) need from a
-    standing-query registration, monolithic or fanned-out."""
+    standing-query registration, monolithic or fanned-out.
+
+    Implementations also carry ``active`` / ``last_error`` bookkeeping,
+    but no protocol-typed consumer reads them, so they are deliberately
+    *not* part of the contract.
+    """
 
     id: int
-    active: bool
-    last_error: Optional[BaseException]
 
     @property
     def query_text(self) -> str: ...
@@ -55,8 +75,8 @@ class SubscriptionLike(Protocol):
     def poll(self) -> List["StandingQueryUpdate"]: ...
 
 
-class ServiceLike(Protocol):
-    """The service surface adapters may rely on.
+class ServiceCore(Protocol):
+    """The serve surface proper: what a request handler calls.
 
     ``kg_version`` abstracts over the monolith's single
     ``DynamicKnowledgeGraph.version`` stamp and the cluster's composite
@@ -90,6 +110,12 @@ class ServiceLike(Protocol):
     @property
     def kg_version(self) -> int: ...
 
+
+class ServiceTelemetry(Protocol):
+    """Read-only queue/stream counters: the ``/v1/healthz`` payload and
+    anything else a dashboard polls.  Every member is a property — this
+    surface can never mutate the service."""
+
     @property
     def documents_ingested(self) -> int: ...
 
@@ -110,6 +136,15 @@ class ServiceLike(Protocol):
 
     @property
     def subscription_errors(self) -> int: ...
+
+
+class ServiceLike(ServiceCore, ServiceTelemetry, Protocol):
+    """The full adapter contract: serve surface plus telemetry.
+
+    This is the name adapters are typed against; the split bases exist
+    so narrower consumers (a health poller, a pure query client) can
+    depend on exactly the slice they touch.
+    """
 
 
 class ShardLike(ServiceLike, Protocol):
@@ -152,3 +187,29 @@ class ShardLike(ServiceLike, Protocol):
 
     @property
     def kg_version_hint(self) -> int: ...
+
+
+class TenantRegistryLike(Protocol):
+    """Tenant id → service resolution, as the gateway consumes it.
+
+    Implemented by :class:`~repro.api.tenancy.TenantRegistry`; the
+    gateway is typed against this protocol so a deployment may swap in
+    its own resolution strategy (a remote control plane, a fixed map)
+    without touching the HTTP layer.
+    """
+
+    def get(self, name: str) -> ServiceLike: ...
+
+    def spec(self, name: str) -> "TenantSpec": ...
+
+    def tenant_names(self) -> List[str]: ...
+
+    def describe(self) -> List[Dict[str, Any]]: ...
+
+    def create(self, spec: "TenantSpec") -> Dict[str, Any]: ...
+
+    def delete(self, name: str, drain: bool = True) -> Dict[str, Any]: ...
+
+    def ensure_subscription_capacity(self, name: str) -> None: ...
+
+    def close(self) -> None: ...

@@ -58,7 +58,7 @@ from repro.api.service import (
     ServiceConfig,
     StandingQueryUpdate,
 )
-from repro.api.wire import encode_payload, key_of_row
+from repro.api.wire import encode_payload, key_of_row, kind_of_query
 from repro.compute.coordinator import ComputeCoordinator, ComputeStats
 from repro.compute.mining import DistributedMiner, MiningOutcome
 from repro.compute.pathsearch import DistributedPathSearch
@@ -98,14 +98,9 @@ from repro.query.engine import (
 )
 from repro.query.model import (
     CentralityQuery,
-    ComponentsQuery,
-    EntityQuery,
     EntityTrendQuery,
-    ExplanatoryQuery,
     PageRankQuery,
-    PatternQuery,
     Query,
-    RelationshipQuery,
     TrendingQuery,
 )
 from repro.query.parser import parse_query
@@ -114,30 +109,10 @@ _PATH_KINDS = ("relationship", "explanatory")
 _ANALYTICS_KINDS = ("pagerank", "components", "centrality")
 
 
-def kind_of_query(query: Query) -> str:
-    """The result-kind name of a parsed query (mirrors the engine's
-    dispatch table)."""
-    if isinstance(query, TrendingQuery):
-        return "trending"
-    if isinstance(query, EntityTrendQuery):
-        return "entity-trend"
-    if isinstance(query, EntityQuery):
-        return "entity"
-    if isinstance(query, ExplanatoryQuery):
-        return "explanatory"
-    if isinstance(query, RelationshipQuery):
-        return "relationship"
-    if isinstance(query, PatternQuery):
-        return "pattern"
-    if isinstance(query, PageRankQuery):
-        return "pagerank"
-    if isinstance(query, ComponentsQuery):
-        return "components"
-    if isinstance(query, CentralityQuery):
-        return "centrality"
-    raise ReproError(  # pragma: no cover - future query classes
-        f"unsupported query type: {type(query).__name__}"
-    )
+# kind_of_query is re-exported above (imported from repro.api.wire):
+# the kind dispatch lives with the wire codecs so non-cluster consumers
+# — the gateway's delta-coalescing streams — can key rows without
+# importing the cluster package.
 
 
 class _ClusterTicket(IngestTicket):
@@ -435,6 +410,10 @@ class ShardedNousService:
             again.
         restart_backoff: Base delay before a respawn, doubled per prior
             restart of the same shard.
+        executor: Scatter thread pool to *borrow* instead of owning one
+            sized ``num_shards``.  The tenant registry passes a single
+            shared pool here so N tenants' clusters draw from one
+            process-wide budget; borrowed pools survive ``close()``.
     """
 
     def __init__(
@@ -452,6 +431,7 @@ class ShardedNousService:
         data_dir: Optional[str] = None,
         max_restarts: int = 3,
         restart_backoff: float = 0.1,
+        executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -527,7 +507,12 @@ class ShardedNousService:
                 for index in range(num_shards)
             ]
         self.router = DocumentRouter(self._reference_kb, num_shards)
-        self._executor = ThreadPoolExecutor(
+        # A caller may inject a shared scatter pool (the tenant registry
+        # does: every tenant's cluster draws from one process-wide
+        # thread budget instead of num_shards threads each).  Injected
+        # pools are borrowed — close() leaves them running.
+        self._owns_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
             max_workers=num_shards, thread_name_prefix="nous-scatter"
         )
         self._closed = False
@@ -582,7 +567,8 @@ class ShardedNousService:
                 pass           # block the rest of the teardown
         if self._manager is not None:
             self._manager.stop()
-        self._executor.shutdown(wait=True)
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
 
     @property
     def num_shards(self) -> int:

@@ -34,6 +34,10 @@ from repro.errors import (
     QueryParseError,
     ReproError,
     StorageError,
+    TenancyError,
+    TenantExistsError,
+    TenantQuotaError,
+    UnknownTenantError,
 )
 
 API_VERSION = "1"
@@ -54,6 +58,10 @@ _ERROR_TAXONOMY: tuple = (
     (NLPError, "nlp"),
     (LinkingError, "linking"),
     (StorageError, "storage"),
+    (UnknownTenantError, "tenancy.unknown"),
+    (TenantExistsError, "tenancy.exists"),
+    (TenantQuotaError, "tenancy.quota"),
+    (TenancyError, "tenancy"),
     (ReproError, "internal"),
 )
 

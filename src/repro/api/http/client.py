@@ -68,10 +68,18 @@ class ClientSession:
         compress: Negotiate gzip both ways (advertise
             ``Accept-Encoding: gzip``, compress bulk request bodies).
             ``False`` forces identity encoding end to end.
+        tenant: Address this tenant's namespace: every endpoint method
+            goes through the ``/v1/t/<tenant>/...`` route tree.  The
+            default ``None`` keeps the legacy un-prefixed paths, which
+            the gateway resolves to its ``default`` tenant.
     """
 
     def __init__(
-        self, base_url: str, timeout: float = 30.0, compress: bool = True
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        compress: bool = True,
+        tenant: Optional[str] = None,
     ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme != "http" or not parts.hostname:
@@ -82,6 +90,14 @@ class ClientSession:
         self._port = parts.port or 80
         self._timeout = timeout
         self._compress = compress
+        self.tenant = tenant
+        # The path prefix every endpoint method routes through; the
+        # tenant id is percent-escaped so a malformed name reaches the
+        # gateway's validator as one path segment (and answers 404)
+        # instead of silently splitting the route.
+        self._base = (
+            "/v1" if tenant is None else f"/v1/t/{quote(tenant, safe='')}"
+        )
         self._lock = threading.Lock()
         self._conn: Optional[http.client.HTTPConnection] = None
         # /v1/stats revalidation state: the last ETag the gateway
@@ -218,7 +234,7 @@ class ClientSession:
         if isinstance(request, str):
             request = QueryRequest(text=request)
         _status, data, _headers = self._request(
-            "POST", "/v1/query", request.to_dict()
+            "POST", f"{self._base}/query", request.to_dict()
         )
         return ApiResponse.from_dict(data)
 
@@ -259,7 +275,7 @@ class ClientSession:
             raise ConfigError(
                 "keyword fields are only valid with a text-string request"
             )
-        path = "/v1/ingest?wait=1" if wait else "/v1/ingest"
+        path = f"{self._base}/ingest?wait=1" if wait else f"{self._base}/ingest"
         _status, data, _headers = self._request("POST", path, request.to_dict())
         return ApiResponse.from_dict(data)
 
@@ -272,7 +288,9 @@ class ClientSession:
     def ticket(self, ticket_id: int) -> ApiResponse:
         """``GET /v1/ingest/<id>``: the ``ingest`` envelope once the
         document drained, the ``ticket`` envelope while pending."""
-        _status, data, _headers = self._request("GET", f"/v1/ingest/{ticket_id}")
+        _status, data, _headers = self._request(
+            "GET", f"{self._base}/ingest/{ticket_id}"
+        )
         return ApiResponse.from_dict(data)
 
     def statistics(self) -> ApiResponse:
@@ -288,7 +306,7 @@ class ClientSession:
         if self._stats_etag is not None and self._stats_cache is not None:
             conditional = {"If-None-Match": self._stats_etag}
         status, data, headers = self._request(
-            "GET", "/v1/stats", extra_headers=conditional
+            "GET", f"{self._base}/stats", extra_headers=conditional
         )
         if status == 304 and self._stats_cache is not None:
             return self._stats_cache
@@ -301,7 +319,48 @@ class ClientSession:
 
     def healthz(self) -> Dict[str, Any]:
         """``GET /v1/healthz``: liveness + queue state (a plain dict)."""
-        _status, data, _headers = self._request("GET", "/v1/healthz")
+        _status, data, _headers = self._request("GET", f"{self._base}/healthz")
+        return data
+
+    # ------------------------------------------------------------------
+    # tenant administration (always un-prefixed: the admin surface
+    # operates on the registry, not on one tenant's namespace)
+    # ------------------------------------------------------------------
+    def tenants(self) -> Dict[str, Any]:
+        """``GET /v1/tenants``: every registered tenant (spec plus live
+        state for tenants whose service has been built)."""
+        _status, data, _headers = self._request("GET", "/v1/tenants")
+        return data
+
+    def create_tenant(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/tenants``: register a tenant from a spec wire dict
+        (or a ``TenantSpec`` — anything with ``to_dict``).
+
+        Raises:
+            ReproError: ``tenancy.exists`` when the name is taken,
+                ``tenancy`` when the spec is malformed.
+        """
+        to_dict = getattr(spec, "to_dict", None)
+        payload = dict(to_dict()) if callable(to_dict) else dict(spec)
+        status, data, _headers = self._request("POST", "/v1/tenants", payload)
+        if status >= 400:
+            ApiResponse.from_dict(data).raise_for_error()
+        return data
+
+    def delete_tenant(self, name: str, drain: bool = True) -> Dict[str, Any]:
+        """``DELETE /v1/tenants/<name>``: unregister a tenant, draining
+        and closing its service (``drain=False`` skips the flush).
+
+        Raises:
+            ReproError: ``tenancy.unknown`` for a missing tenant,
+                ``tenancy`` for an attempt to delete ``default``.
+        """
+        suffix = "" if drain else "?drain=0"
+        status, data, _headers = self._request(
+            "DELETE", f"/v1/tenants/{quote(name, safe='')}{suffix}"
+        )
+        if status >= 400:
+            ApiResponse.from_dict(data).raise_for_error()
         return data
 
     def subscribe(
@@ -314,6 +373,8 @@ class ClientSession:
         timeout: Optional[float] = None,
         snapshot: bool = False,
         trending_full_view: bool = False,
+        min_interval: Optional[float] = None,
+        max_rate: Optional[float] = None,
     ) -> "SubscriptionStream":
         """``GET /v1/subscribe?q=...``: a live NDJSON delta stream.
 
@@ -331,6 +392,11 @@ class ClientSession:
                 subscription over the miner's full support table
                 (``?full=1``; see
                 :meth:`repro.api.service.NousService.subscribe`).
+            min_interval: Throttle: at most one update frame per this
+                many seconds; deltas inside a window are coalesced into
+                one *net* added/removed diff.
+            max_rate: Throttle spelled as frames/second (composes with
+                ``min_interval``: the stricter of the two wins).
 
         Raises:
             ReproError: when the server rejects the subscription (e.g.
@@ -347,7 +413,11 @@ class ClientSession:
             params["snapshot"] = "1"
         if trending_full_view:
             params["full"] = "1"
-        path = "/v1/subscribe?" + urlencode(params, quote_via=quote)
+        if min_interval is not None:
+            params["min_interval"] = str(min_interval)
+        if max_rate is not None:
+            params["max_rate"] = str(max_rate)
+        path = f"{self._base}/subscribe?" + urlencode(params, quote_via=quote)
         return SubscriptionStream(
             self._host,
             self._port,

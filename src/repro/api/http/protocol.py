@@ -61,6 +61,10 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "nlp.extraction": 500,  # extraction pool worker died twice; batch aborted
     "linking": 500,
     "storage": 500,       # snapshot/WAL write or recovery-replay failure
+    "tenancy": 400,       # bad tenant name or malformed tenant spec
+    "tenancy.unknown": 404,  # request named a tenant the registry lacks
+    "tenancy.exists": 409,   # tenant created twice
+    "tenancy.quota": 429,    # tenant is over its standing-query budget
     "internal": 500,
     # gateway (transport) codes --------------------------------------
     "http.bad_request": 400,        # missing/invalid fields or params

@@ -5,9 +5,10 @@ The engine already carries a per-process result cache
 gateway replicas fronting the same cluster share hits through a common
 directory.  The contract mirrors the engine cache's:
 
-- the key is ``(query text, wire-format composite stamp)`` — any
-  accepted fact, minted entity or window eviction bumps the stamp, so a
-  stale entry can never be served for fresh state;
+- the key is ``(tenant, query text, wire-format composite stamp)`` —
+  any accepted fact, minted entity or window eviction bumps the stamp,
+  so a stale entry can never be served for fresh state, and the tenant
+  namespace keeps co-resident KGs from sharing entries;
 - entries are stored under the stamp the *response* reports
   (``envelope.kg_version``), not the stamp read before execution — a
   query that mints an entity mid-execution moves the stamp, and caching
@@ -59,12 +60,13 @@ class SharedQueryCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, query_text: str, kg_version: int
+        self, query_text: str, kg_version: int, tenant: str = ""
     ) -> Optional[Tuple[int, Dict[str, Any]]]:
-        """The cached ``(status, body)`` for this text at this stamp, or
-        ``None``.  Any read problem — missing, torn by a concurrent
-        prune, malformed — is a miss, never an error."""
-        path = self._path(query_text, kg_version)
+        """The cached ``(status, body)`` for this text at this stamp in
+        this tenant's namespace, or ``None``.  Any read problem —
+        missing, torn by a concurrent prune, malformed — is a miss,
+        never an error."""
+        path = self._path(query_text, kg_version, tenant)
         try:
             entry = json.loads(path.read_text("utf-8"))
             status = int(entry["status"])
@@ -85,10 +87,11 @@ class SharedQueryCache:
         kg_version: int,
         status: int,
         body: Dict[str, Any],
+        tenant: str = "",
     ) -> None:
         """Store a result; atomic, so concurrent readers in other
         gateway processes see either nothing or the whole entry."""
-        path = self._path(query_text, kg_version)
+        path = self._path(query_text, kg_version, tenant)
         payload = json.dumps(
             {"status": status, "body": body}, sort_keys=True
         )
@@ -113,9 +116,14 @@ class SharedQueryCache:
         return {"hits": hits, "misses": misses, "entries": len(self._entries())}
 
     # ------------------------------------------------------------------
-    def _path(self, query_text: str, kg_version: int) -> Path:
+    def _path(self, query_text: str, kg_version: int, tenant: str = "") -> Path:
+        # The tenant namespace is folded into the digest: two tenants at
+        # the same composite stamp can never validate each other's
+        # results through a shared cache directory.  The empty-string
+        # default keeps single-service (non-tenant) callers on the
+        # legacy key shape.
         digest = hashlib.sha256(
-            f"{kg_version}|{query_text}".encode("utf-8")
+            f"{tenant}|{kg_version}|{query_text}".encode("utf-8")
         ).hexdigest()
         return self.directory / f"q-{digest}.json"
 

@@ -1,8 +1,12 @@
 """``NousGateway``: a threaded, stdlib-only HTTP server over the wire
 envelopes (documented endpoint-by-endpoint in ``docs/API.md``).
 
-Routes (all under ``/v1``, JSON in / JSON out, same envelopes as
-:class:`~repro.api.service.NousService`):
+Routes are declared in a **route table** (method, pattern, handler) and
+matched with path captures — see :data:`_ROUTES`.  Every serving route
+is registered twice: un-prefixed (``/v1/...``, resolving to the
+``default`` tenant, or the ``X-Nous-Tenant`` header when present) and
+tenant-scoped (``/v1/t/<tenant>/...``); the path segment wins over the
+header (precedence documented in ``docs/TENANCY.md``).
 
 - ``POST /v1/ingest`` — body is an
   :class:`~repro.api.envelopes.IngestRequest` wire dict.  Returns 202
@@ -10,16 +14,26 @@ Routes (all under ``/v1``, JSON in / JSON out, same envelopes as
   blocks until the micro-batch drains and returns the ``ingest``
   envelope instead.
 - ``GET /v1/ingest/<ticket_id>`` — poll a ticket: 202 while pending,
-  the fulfilled ``ingest`` envelope once drained.
+  the fulfilled ``ingest`` envelope once drained.  Tickets are
+  tenant-scoped: tenant *a* cannot poll tenant *b*'s ticket.
 - ``POST /v1/query`` — body is a ``QueryRequest`` wire dict; returns
   the ``ApiResponse`` wire dict with the error taxonomy mapped to HTTP
   statuses via :func:`~repro.api.http.protocol.status_for_error`.
-- ``GET /v1/stats`` — the ``statistics`` envelope (graph state).
+- ``GET /v1/stats`` — the ``statistics`` envelope (graph state); the
+  ``ETag`` validator is tenant-distinct (``"kg-<tenant>-<version>"``).
 - ``GET /v1/healthz`` — liveness plus queue state (pending documents,
   drains, subscriptions), a plain dict rather than an envelope.
 - ``GET /v1/subscribe?q=...`` — NDJSON stream of standing-query
   added/removed deltas (chunked transfer, heartbeat keepalives; see
-  :mod:`repro.api.http.protocol` for the framing).
+  :mod:`repro.api.http.protocol` for the framing).  ``min_interval`` /
+  ``max_rate`` throttle the stream: intermediate deltas are coalesced
+  into one *net* added/removed diff per interval.
+- ``GET/POST/DELETE /v1/tenants[/<name>]`` — the tenant admin surface
+  (list / create / delete-with-drain); see ``docs/TENANCY.md``.
+
+A request to a known path with the wrong verb answers **405** with an
+``Allow`` header naming the verbs the path serves; unknown paths answer
+404.
 
 Concurrency: requests are served by one thread per connection
 (:class:`http.server.ThreadingHTTPServer`); every KG-touching call
@@ -35,16 +49,17 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 import time
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union, cast
 from urllib.parse import parse_qs, urlsplit
 
-from repro.api.base import ServiceLike, SubscriptionLike
+from repro.api.base import ServiceLike, SubscriptionLike, TenantRegistryLike
 from repro.api.envelopes import ApiResponse, IngestRequest, QueryRequest
 from repro.api.http.protocol import (
     GZIP_MIN_BYTES,
@@ -61,13 +76,18 @@ from repro.api.http.protocol import (
     update_frame,
 )
 from repro.api.http.qcache import SharedQueryCache
-from repro.api.service import IngestTicket
-from repro.api.wire import pattern_to_wire
+from repro.api.service import IngestTicket, StandingQueryUpdate
+from repro.api.tenancy import DEFAULT_TENANT, TenantRegistry, TenantSpec
+from repro.api.wire import key_of_row, kind_of_query, pattern_to_wire
 from repro.errors import ConfigError, ReproError
 from repro.query.model import TrendingQuery
 from repro.query.parser import parse_query
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Header alias for the tenant on un-prefixed routes; the
+#: ``/v1/t/<tenant>/...`` path segment takes precedence over it.
+TENANT_HEADER = "X-Nous-Tenant"
 
 
 @dataclass(frozen=True)
@@ -103,10 +123,11 @@ class GatewayConfig:
             client advertises gzip).  Small bodies always go identity —
             the gzip framing would outweigh the saving.
         shared_cache_dir: When set, cache query results in this
-            directory keyed on (query text, composite KG stamp), so
-            gateway replicas pointed at the same directory share hits
-            (see ``docs/PERFORMANCE.md``).  ``None`` (default) disables
-            the shared cache; the engine's in-process cache still runs.
+            directory keyed on (tenant, query text, composite KG
+            stamp), so gateway replicas pointed at the same directory
+            share hits (see ``docs/PERFORMANCE.md``).  ``None``
+            (default) disables the shared cache; the engine's
+            in-process cache still runs.
         shared_cache_entries: Entry cap for the shared cache directory
             (oldest-first eviction).
     """
@@ -151,6 +172,137 @@ class GatewayConfig:
             )
 
 
+# ---------------------------------------------------------------------------
+# the route table
+# ---------------------------------------------------------------------------
+
+
+def _compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """``/v1/t/<tenant>/ingest/<ticket_id>`` → anchored regex with one
+    named group per ``<capture>`` (captures never span ``/``)."""
+    parts: List[str] = []
+    for segment in pattern.split("/"):
+        if segment.startswith("<") and segment.endswith(">"):
+            parts.append(f"(?P<{segment[1:-1]}>[^/]+)")
+        else:
+            parts.append(re.escape(segment))
+    return re.compile("^" + "/".join(parts) + "$")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One row of the gateway's route table.
+
+    Attributes:
+        method: HTTP verb this row serves.
+        pattern: Path pattern; ``<name>`` segments capture.
+        handler: ``_GatewayHandler`` method name, called as
+            ``handler(captures, params)``.
+        needs_service: Resolve the request's tenant to a live service
+            before dispatch (admin routes operate on the registry
+            itself and skip it).
+        defaults: Static captures merged under the matched ones (how
+            the literal ``/v1/shard/flush`` row tells the shared shard
+            handler which hook it is).
+    """
+
+    method: str
+    pattern: str
+    handler: str
+    needs_service: bool = True
+    defaults: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def regex(self) -> "re.Pattern[str]":
+        return _compile_pattern(self.pattern)
+
+
+#: ``/v1/shard/<name>`` hooks and their verbs (consumed by
+#: :class:`~repro.api.cluster.RemoteShardClient`).
+_SHARD_ROUTES = {
+    "stream_view": "GET",
+    "extracted_facts": "GET",
+    "submit": "POST",
+    "flush": "POST",
+    "ingest_facts": "POST",
+    "refresh": "POST",
+    "snapshot": "POST",
+    "compute": "POST",
+}
+
+
+def _build_routes() -> Tuple[Route, ...]:
+    routes: List[Route] = []
+
+    def serve(method: str, suffix: str, handler: str) -> None:
+        # Twice per route: legacy (header/default tenant) and
+        # tenant-scoped path tree.
+        routes.append(Route(method, f"/v1{suffix}", handler))
+        routes.append(Route(method, f"/v1/t/<tenant>{suffix}", handler))
+
+    serve("GET", "/healthz", "_route_healthz")
+    serve("GET", "/stats", "_route_stats")
+    serve("GET", "/subscribe", "_route_subscribe")
+    serve("POST", "/ingest", "_route_ingest")
+    serve("GET", "/ingest/<ticket_id>", "_route_ticket_poll")
+    serve("POST", "/query", "_route_query")
+    for name, method in _SHARD_ROUTES.items():
+        serve(method, f"/shard/{name}", "_route_shard")
+        # Rebind the defaults on the two rows just appended.
+        for index in (-2, -1):
+            routes[index] = Route(
+                method,
+                routes[index].pattern,
+                "_route_shard",
+                defaults={"shard_route": name},
+            )
+    routes.append(
+        Route("GET", "/v1/tenants", "_route_tenants_list", needs_service=False)
+    )
+    routes.append(
+        Route(
+            "POST", "/v1/tenants", "_route_tenants_create", needs_service=False
+        )
+    )
+    routes.append(
+        Route(
+            "DELETE",
+            "/v1/tenants/<name>",
+            "_route_tenants_delete",
+            needs_service=False,
+        )
+    )
+    return tuple(routes)
+
+
+_ROUTES: Tuple[Route, ...] = _build_routes()
+# Compiled once; Route.regex recompiles per access, so the dispatcher
+# uses this parallel list instead.
+_COMPILED_ROUTES: Tuple[Tuple["re.Pattern[str]", Route], ...] = tuple(
+    (route.regex, route) for route in _ROUTES
+)
+
+
+def _resolve_route(
+    method: str, path: str
+) -> Tuple[Optional[Route], Dict[str, str], Set[str]]:
+    """``(route, captures, allowed)``: the matching row for this verb,
+    or ``(None, {}, verbs-that-would-match)`` — an empty ``allowed`` set
+    means the *path* is unknown (404), a non-empty one means the verb is
+    wrong (405 with ``Allow``)."""
+    allowed: Set[str] = set()
+    for regex, route in _COMPILED_ROUTES:
+        match = regex.match(path)
+        if match is None:
+            continue
+        if route.method == method:
+            captures = dict(route.defaults)
+            captures.update(cast(Dict[str, str], match.groupdict()))
+            return route, captures, allowed
+        allowed.add(route.method)
+    return None, {}, allowed
+
+
 class _GatewayHTTPServer(ThreadingHTTPServer):
     """One daemon thread per connection; never blocks shutdown on
     still-streaming subscribers (they exit via the closing event)."""
@@ -162,15 +314,20 @@ class _GatewayHTTPServer(ThreadingHTTPServer):
 
 
 class NousGateway:
-    """Serve a NOUS service over HTTP.
+    """Serve one NOUS service — or a whole tenant registry — over HTTP.
 
     The gateway is an *adapter*: it owns no KG state of its own, only a
     bounded registry of pending ingest tickets.  It is typed against
-    :class:`~repro.api.base.ServiceLike`, so a monolithic
-    :class:`~repro.api.service.NousService` and a
-    :class:`~repro.api.cluster.ShardedNousService` are interchangeable
-    behind it (``nous serve --shards N``).  The caller keeps ownership
-    of the service (the gateway never closes it).
+    :class:`~repro.api.base.ServiceLike` /
+    :class:`~repro.api.base.TenantRegistryLike`, so a monolithic
+    :class:`~repro.api.service.NousService`, a
+    :class:`~repro.api.cluster.ShardedNousService` and a multi-tenant
+    :class:`~repro.api.tenancy.TenantRegistry` are interchangeable
+    behind it (``nous serve --shards N`` / ``--tenants spec.json``).
+    The caller keeps ownership of what it passed in: a bare service is
+    never closed by the gateway, and neither is a caller-built registry
+    (tenants the gateway's *own* internal registry created through the
+    admin surface are closed on :meth:`close`).
 
     Usage::
 
@@ -181,10 +338,22 @@ class NousGateway:
 
     def __init__(
         self,
-        service: ServiceLike,
+        service: Union[ServiceLike, TenantRegistryLike],
         config: Optional[GatewayConfig] = None,
     ) -> None:
-        self.service = service
+        if isinstance(service, TenantRegistry):
+            self.registry: TenantRegistryLike = service
+            self._owns_registry = False
+        elif hasattr(service, "query"):
+            # A bare service: wrap it as the default tenant of an
+            # internal registry (the service itself stays caller-owned).
+            self.registry = TenantRegistry(
+                default_service=cast(ServiceLike, service)
+            )
+            self._owns_registry = True
+        else:
+            self.registry = cast(TenantRegistryLike, service)
+            self._owns_registry = False
         self.config = config or GatewayConfig()
         self.config.validate()
         self.shared_cache: Optional[SharedQueryCache] = (
@@ -197,7 +366,9 @@ class NousGateway:
         )
         self.closing = threading.Event()
         self._ticket_lock = threading.Lock()
-        self._tickets: "OrderedDict[int, IngestTicket]" = OrderedDict()
+        self._tickets: "OrderedDict[int, Tuple[str, IngestTicket]]" = (
+            OrderedDict()
+        )
         self._next_ticket_id = 1
         self._httpd = _GatewayHTTPServer(
             (self.config.host, self.config.port), _GatewayHandler
@@ -208,6 +379,12 @@ class NousGateway:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def service(self) -> ServiceLike:
+        """The ``default`` tenant's service (what legacy un-prefixed
+        routes serve)."""
+        return self.registry.get(DEFAULT_TENANT)
+
     @property
     def host(self) -> str:
         return str(self._httpd.server_address[0])
@@ -237,7 +414,9 @@ class NousGateway:
         """Stop accepting requests and end every subscribe stream.
 
         Idempotent, and safe on a never-started gateway; the wrapped
-        service is left running (the caller owns it).
+        service is left running (the caller owns it).  Tenants created
+        through the admin surface of a gateway-internal registry *are*
+        closed — nothing else references them.
         """
         self.closing.set()
         if self._thread is not None:
@@ -248,6 +427,10 @@ class NousGateway:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self._owns_registry:
+            # Closes registry-*built* services only; the injected
+            # default service is borrowed and stays up.
+            self.registry.close()
 
     def __enter__(self) -> "NousGateway":
         return self.start()
@@ -258,11 +441,11 @@ class NousGateway:
     # ------------------------------------------------------------------
     # ticket registry
     # ------------------------------------------------------------------
-    def _register_ticket(self, ticket: IngestTicket) -> int:
+    def _register_ticket(self, ticket: IngestTicket, tenant: str) -> int:
         with self._ticket_lock:
             ticket_id = self._next_ticket_id
             self._next_ticket_id += 1
-            self._tickets[ticket_id] = ticket
+            self._tickets[ticket_id] = (tenant, ticket)
             # Oldest-first eviction.  Deliberately no done()-preference
             # scan: for a process-shard cluster done() is a blocking
             # HTTP poll (and can raise for a dead worker), which must
@@ -273,13 +456,22 @@ class NousGateway:
                 self._tickets.popitem(last=False)
             return ticket_id
 
-    def _lookup_ticket(self, ticket_id: int) -> Optional[IngestTicket]:
+    def _lookup_ticket(
+        self, ticket_id: int, tenant: str
+    ) -> Optional[IngestTicket]:
+        """The ticket, when it exists *and* belongs to this tenant —
+        a foreign tenant's ticket id answers like an unknown one, so
+        ids never leak ingest state across namespaces."""
         with self._ticket_lock:
-            return self._tickets.get(ticket_id)
+            entry = self._tickets.get(ticket_id)
+        if entry is None or entry[0] != tenant:
+            return None
+        return entry[1]
 
     def _ticket_envelope(
-        self, ticket_id: int, ticket: IngestTicket
+        self, ticket_id: int, ticket: IngestTicket, tenant: str
     ) -> ApiResponse:
+        prefix = "" if tenant == DEFAULT_TENANT else f"/t/{tenant}"
         return ApiResponse(
             ok=True,
             kind="ticket",
@@ -287,17 +479,19 @@ class NousGateway:
                 "ticket_id": ticket_id,
                 "doc_id": ticket.doc_id,
                 "done": ticket.done(),
-                "href": f"/v1/ingest/{ticket_id}",
+                "href": f"/v1{prefix}/ingest/{ticket_id}",
             },
             rendered=f"queued {ticket.doc_id or '(no id)'} as ticket {ticket_id}",
         )
 
-    def health(self) -> Dict[str, Any]:
-        """The ``/v1/healthz`` payload: liveness plus queue state."""
-        service = self.service
+    def health(self, tenant: str = DEFAULT_TENANT) -> Dict[str, Any]:
+        """The ``/v1/healthz`` payload: liveness plus queue state for
+        one tenant's service."""
+        service = self.registry.get(tenant)
         payload = {
             "ok": True,
             "status": "closing" if self.closing.is_set() else "serving",
+            "tenant": tenant,
             "kg_version": service.kg_version,
             "documents_ingested": service.documents_ingested,
             "pending": service.pending_count,
@@ -324,10 +518,18 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # Set per subscribe stream when the client accepts gzip; None means
     # frames go out uncompressed.
     _stream_compressor: Optional["zlib._Compress"] = None
+    # Resolved per request by _dispatch.
+    _tenant: str = DEFAULT_TENANT
+    _service: Optional[ServiceLike] = None
 
     @property
     def gateway(self) -> NousGateway:
         return self.server.gateway
+
+    @property
+    def service(self) -> ServiceLike:
+        assert self._service is not None  # set by _dispatch
+        return self._service
 
     def setup(self) -> None:
         # Bound every blocking socket operation: a client that vanishes
@@ -378,21 +580,36 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self,
         envelope: ApiResponse,
         extra_headers: Optional[Mapping[str, str]] = None,
+        extra_close: bool = False,
+        status: Optional[int] = None,
     ) -> None:
-        if envelope.ok:
-            status = 202 if envelope.kind == "ticket" else 200
-        else:
-            assert envelope.error is not None
-            status = status_for_error(envelope.error.code)
-        self._send_json(status, envelope.to_dict(), extra_headers=extra_headers)
+        if status is None:
+            if envelope.ok:
+                status = 202 if envelope.kind == "ticket" else 200
+            else:
+                assert envelope.error is not None
+                status = status_for_error(envelope.error.code)
+        self._send_json(
+            status,
+            envelope.to_dict(),
+            extra_headers=extra_headers,
+            extra_close=extra_close,
+        )
 
     def _send_gateway_error(
-        self, code: str, message: str, extra_close: bool = False
+        self,
+        code: str,
+        message: str,
+        extra_close: bool = False,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> None:
         envelope = gateway_error(code, message)
         assert envelope.error is not None
         self._send_json(
-            status_for_error(code), envelope.to_dict(), extra_close=extra_close
+            status_for_error(code),
+            envelope.to_dict(),
+            extra_close=extra_close,
+            extra_headers=extra_headers,
         )
 
     def _read_json_body(self) -> Optional[Dict[str, Any]]:
@@ -487,69 +704,84 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         return True
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self._refuse_if_closing():
-            return
-        parts = urlsplit(self.path)
-        params = parse_qs(parts.query)
-        path = parts.path.rstrip("/") or "/"
-        if path == "/v1/healthz":
-            self._send_json(200, self.gateway.health())
-        elif path == "/v1/stats":
-            self._handle_stats()
-        elif path == "/v1/subscribe":
-            self._handle_subscribe(params)
-        elif path.startswith("/v1/ingest/"):
-            self._handle_ticket_poll(path[len("/v1/ingest/"):])
-        elif path.startswith("/v1/shard/"):
-            self._handle_shard("GET", path[len("/v1/shard/"):])
-        elif path in ("/v1/ingest", "/v1/query"):
-            self._send_gateway_error(
-                "http.method_not_allowed", f"{path} requires POST"
-            )
-        else:
-            self._send_gateway_error(
-                "http.not_found", f"no route for GET {path}"
-            )
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        """Route-table dispatch: resolve the row, the tenant, and the
+        tenant's service, then call the row's handler."""
         if self._refuse_if_closing():
             return
         parts = urlsplit(self.path)
         params = parse_qs(parts.query)
         path = parts.path.rstrip("/") or "/"
-        if path == "/v1/ingest":
-            self._handle_ingest(params)
-        elif path == "/v1/query":
-            self._handle_query()
-        elif path.startswith("/v1/shard/"):
-            self._handle_shard("POST", path[len("/v1/shard/"):])
-        elif path in ("/v1/stats", "/v1/healthz", "/v1/subscribe"):
-            # extra_close: the request body is never read on these
-            # paths; leaving it in the socket would desynchronise the
-            # next keep-alive request.
-            self._send_gateway_error(
-                "http.method_not_allowed", f"{path} requires GET",
-                extra_close=True,
-            )
-        else:
-            self._send_gateway_error(
-                "http.not_found", f"no route for POST {path}",
-                extra_close=True,
-            )
+        route, captures, allowed = _resolve_route(method, path)
+        # Non-GET error paths may leave an unread body in the socket;
+        # closing keeps the next keep-alive request parseable.
+        body_unread = method != "GET"
+        if route is None:
+            if allowed:
+                verbs = ", ".join(sorted(allowed))
+                self._send_gateway_error(
+                    "http.method_not_allowed",
+                    f"{path} requires {verbs}",
+                    extra_close=body_unread,
+                    extra_headers={"Allow": verbs},
+                )
+            else:
+                self._send_gateway_error(
+                    "http.not_found",
+                    f"no route for {method} {path}",
+                    extra_close=body_unread,
+                )
+            return
+        # Tenant precedence: path capture beats the header alias beats
+        # the default (documented in docs/TENANCY.md).
+        tenant = captures.pop("tenant", None)
+        if tenant is None:
+            header = self.headers.get(TENANT_HEADER)
+            tenant = (header or "").strip() or DEFAULT_TENANT
+        self._tenant = tenant
+        self._service = None
+        if route.needs_service:
+            try:
+                self._service = self.gateway.registry.get(tenant)
+            except ReproError as exc:
+                # tenancy.unknown → 404 with the structured envelope.
+                self._send_envelope(
+                    ApiResponse.failure(exc), extra_close=body_unread
+                )
+                return
+        handler = getattr(self, route.handler)
+        handler(captures, params)
 
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
     @staticmethod
-    def _etag_for(kg_version: int) -> str:
-        """The ``/v1/stats`` validator: the composite KG stamp.  Any
-        accepted fact, minted entity or window eviction moves it, so it
-        is exactly the statistics payload's freshness key."""
-        return f'"kg-{kg_version}"'
+    def _etag_for(tenant: str, kg_version: int) -> str:
+        """The ``/v1/stats`` validator: tenant id + composite KG stamp.
+        Any accepted fact, minted entity or window eviction moves the
+        stamp, so it is exactly the statistics payload's freshness key —
+        and the tenant id keeps two tenants at the same stamp from
+        validating each other's cached stats through a shared proxy."""
+        return f'"kg-{tenant}-{kg_version}"'
 
-    def _handle_stats(self) -> None:
-        service = self.gateway.service
-        etag = self._etag_for(service.kg_version)
+    def _route_healthz(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        self._send_json(200, self.gateway.health(self._tenant))
+
+    def _route_stats(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        service = self.service
+        etag = self._etag_for(self._tenant, service.kg_version)
         if self.headers.get("If-None-Match", "").strip() == etag:
             # The stamp pre-check costs one version read — the whole
             # statistics computation is skipped on a conditional hit.
@@ -565,10 +797,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             # Stamp the ETag from the envelope itself (not the pre-read
             # version): statistics and validator must describe the same
             # state even if an ingest landed in between.
-            headers["ETag"] = self._etag_for(envelope.kg_version)
+            headers["ETag"] = self._etag_for(self._tenant, envelope.kg_version)
         self._send_envelope(envelope, extra_headers=headers)
 
-    def _handle_query(self) -> None:
+    def _route_query(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
         data = self._read_json_body()
         if data is None:
             return
@@ -582,12 +816,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return
         cache = self.gateway.shared_cache
         if cache is not None:
-            hit = cache.get(request.text, self.gateway.service.kg_version)
+            hit = cache.get(
+                request.text, self.service.kg_version, tenant=self._tenant
+            )
             if hit is not None:
                 status, body = hit
                 self._send_json(status, body)
                 return
-        envelope = self.gateway.service.query(request)
+        envelope = self.service.query(request)
         if (
             cache is not None
             and envelope.ok
@@ -598,7 +834,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             # minted an entity moved the stamp mid-execution, and its
             # result describes the *minted* world.
             cache.put(
-                request.text, envelope.kg_version, 200, envelope.to_dict()
+                request.text,
+                envelope.kg_version,
+                200,
+                envelope.to_dict(),
+                tenant=self._tenant,
             )
         self._send_envelope(envelope)
 
@@ -612,7 +852,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         except ReproError:
             return False
 
-    def _handle_ingest(self, params: Dict[str, List[str]]) -> None:
+    def _route_ingest(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
         data = self._read_json_body()
         if data is None:
             return
@@ -625,7 +867,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 '({"text": "...", "doc_id": ..., "date": ..., "source": ...})',
             )
             return
-        service = self.gateway.service
+        service = self.service
         try:
             ticket = service.submit(request)
         except Exception as exc:  # noqa: BLE001 - envelope boundary
@@ -649,10 +891,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 return
             self._send_envelope(envelope)
             return
-        ticket_id = self.gateway._register_ticket(ticket)
-        self._send_envelope(self.gateway._ticket_envelope(ticket_id, ticket))
+        ticket_id = self.gateway._register_ticket(ticket, self._tenant)
+        self._send_envelope(
+            self.gateway._ticket_envelope(ticket_id, ticket, self._tenant)
+        )
 
-    def _handle_ticket_poll(self, raw_id: str) -> None:
+    def _route_ticket_poll(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        raw_id = captures["ticket_id"]
         try:
             ticket_id = int(raw_id)
         except ValueError:
@@ -660,7 +907,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 "http.bad_request", f"ticket id must be an integer: {raw_id!r}"
             )
             return
-        ticket = self.gateway._lookup_ticket(ticket_id)
+        ticket = self.gateway._lookup_ticket(ticket_id, self._tenant)
         if ticket is None:
             self._send_gateway_error(
                 "http.not_found", f"unknown ticket {ticket_id}"
@@ -670,46 +917,66 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send_envelope(ticket.result(timeout=0))
         else:
             self._send_envelope(
-                self.gateway._ticket_envelope(ticket_id, ticket)
+                self.gateway._ticket_envelope(ticket_id, ticket, self._tenant)
             )
+
+    # ------------------------------------------------------------------
+    # tenant admin surface
+    # ------------------------------------------------------------------
+    def _route_tenants_list(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "default": DEFAULT_TENANT,
+                "tenants": self.gateway.registry.describe(),
+            },
+        )
+
+    def _route_tenants_create(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        data = self._read_json_body()
+        if data is None:
+            return
+        try:
+            spec = TenantSpec.from_dict(data)
+            info = self.gateway.registry.create(spec)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            # tenancy → 400, tenancy.exists → 409.
+            self._send_envelope(ApiResponse.failure(exc))
+            return
+        self._send_json(201, {"ok": True, "tenant": info})
+
+    def _route_tenants_delete(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
+        drain = (_first(params, "drain") or "1") in _TRUTHY
+        try:
+            result = self.gateway.registry.delete(captures["name"], drain=drain)
+        except Exception as exc:  # noqa: BLE001 - envelope boundary
+            # tenancy.unknown → 404, deleting 'default' → tenancy 400.
+            self._send_envelope(ApiResponse.failure(exc))
+            return
+        self._send_json(200, {"ok": True, **result})
 
     # ------------------------------------------------------------------
     # shard introspection/control routes (consumed by RemoteShardClient)
     # ------------------------------------------------------------------
-    _SHARD_ROUTES = {
-        "stream_view": "GET",
-        "extracted_facts": "GET",
-        "submit": "POST",
-        "flush": "POST",
-        "ingest_facts": "POST",
-        "refresh": "POST",
-        "snapshot": "POST",
-        "compute": "POST",
-    }
-
-    def _handle_shard(self, method: str, route: str) -> None:
+    def _route_shard(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
         """``/v1/shard/<route>``: the service surface a scatter-gather
         router needs beyond the public envelopes (full support tables,
         atomic batch submission, placement accounting, explicit flush /
-        refresh).  Served whenever the wrapped service exposes the hook
+        refresh).  Served whenever the resolved service exposes the hook
         — a monolithic ``NousService`` worker does; routes a fronted
         service lacks answer 404."""
-        expected = self._SHARD_ROUTES.get(route)
-        if expected is None:
-            self._send_gateway_error(
-                "http.not_found", f"no shard route {route!r}",
-                extra_close=(method == "POST"),
-            )
-            return
-        if method != expected:
-            self._send_gateway_error(
-                "http.method_not_allowed",
-                f"/v1/shard/{route} requires {expected}",
-                extra_close=(method == "POST"),
-            )
-            return
+        route = captures["shard_route"]
         handler = getattr(self, f"_shard_{route}")
-        if method == "GET":
+        if _SHARD_ROUTES[route] == "GET":
             handler()
             return
         data = self._read_json_body()
@@ -718,7 +985,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         handler(data)
 
     def _shard_hook(self, name: str) -> Optional[Any]:
-        hook = getattr(self.gateway.service, name, None)
+        hook = getattr(self.service, name, None)
         if hook is None:
             self._send_gateway_error(
                 "http.not_found",
@@ -755,7 +1022,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             {
                 "ok": True,
                 "facts": [list(key) for key in hook()],
-                "kg_version": self.gateway.service.kg_version,
+                "kg_version": self.service.kg_version,
             },
         )
 
@@ -792,7 +1059,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 "split the batch or raise GatewayConfig.max_tickets",
             )
             return
-        service = self.gateway.service
+        service = self.service
         try:
             tickets = service.submit_many(requests)
         except Exception as exc:  # noqa: BLE001 - envelope boundary
@@ -806,7 +1073,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 "ok": True,
                 "tickets": [
                     {
-                        "ticket_id": self.gateway._register_ticket(ticket),
+                        "ticket_id": self.gateway._register_ticket(
+                            ticket, self._tenant
+                        ),
                         "doc_id": ticket.doc_id,
                     }
                     for ticket in tickets
@@ -817,14 +1086,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def _shard_flush(self, data: Dict[str, Any]) -> None:
         timeout = data.get("timeout")
         try:
-            self.gateway.service.flush(
+            self.service.flush(
                 timeout=None if timeout is None else float(timeout)
             )
         except Exception as exc:  # noqa: BLE001 - envelope boundary
             self._send_envelope(ApiResponse.failure(exc, kind="flush"))
             return
         self._send_json(
-            200, {"ok": True, "kg_version": self.gateway.service.kg_version}
+            200, {"ok": True, "kg_version": self.service.kg_version}
         )
 
     def _shard_snapshot(self, data: Dict[str, Any]) -> None:
@@ -910,14 +1179,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             {
                 "ok": True,
                 "updates": [update.to_dict() for update in updates],
-                "kg_version": self.gateway.service.kg_version,
+                "kg_version": self.service.kg_version,
             },
         )
 
     # ------------------------------------------------------------------
     # the subscribe stream
     # ------------------------------------------------------------------
-    def _handle_subscribe(self, params: Dict[str, List[str]]) -> None:
+    def _route_subscribe(
+        self, captures: Dict[str, str], params: Dict[str, List[str]]
+    ) -> None:
         query_text = _first(params, "q")
         if query_text is None:
             self._send_gateway_error(
@@ -931,25 +1202,49 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
             max_seconds = float(_first(params, "max_seconds") or 0.0)
             max_updates = int(_first(params, "max_updates") or 0)
+            min_interval = float(_first(params, "min_interval") or 0.0)
+            max_rate = float(_first(params, "max_rate") or 0.0)
         except ValueError:
-            heartbeat = max_seconds = float("nan")
+            heartbeat = max_seconds = min_interval = max_rate = float("nan")
             max_updates = 0
         # inf/nan would silently disable the heartbeat (and with it
         # dead-client detection) or make the max_seconds deadline
         # unreachable — refuse them with the non-numeric values.
-        if not (math.isfinite(heartbeat) and math.isfinite(max_seconds)):
+        if not all(
+            math.isfinite(value)
+            for value in (heartbeat, max_seconds, min_interval, max_rate)
+        ):
             self._send_gateway_error(
                 "http.bad_request",
-                "heartbeat/max_seconds/max_updates must be finite numbers",
+                "heartbeat/max_seconds/max_updates/min_interval/max_rate "
+                "must be finite numbers",
             )
             return
         heartbeat = max(heartbeat, 0.01)
         max_seconds = max(max_seconds, 0.0)
+        # The two throttle spellings compose to one coalescing window:
+        # at most one update frame per `throttle` seconds.
+        throttle = max(min_interval, 0.0)
+        if max_rate > 0:
+            throttle = max(throttle, 1.0 / max_rate)
         snapshot = _first(params, "snapshot") in _TRUTHY
         full_view = _first(params, "full") in _TRUTHY
-        service = self.gateway.service
+        service = self.service
+        row_kind: Optional[str] = None
+        if throttle > 0:
+            try:
+                # Net-diff coalescing re-keys rows exactly the way
+                # delta_rows did; the kind picks the keying rule.
+                row_kind = kind_of_query(parse_query(query_text))
+            except ReproError as exc:
+                self._send_envelope(ApiResponse.failure(exc))
+                return
         wake = threading.Event()
         try:
+            # Quota *before* registration: an over-budget tenant's
+            # subscribe answers the structured 429 without ever touching
+            # the service.
+            self.gateway.registry.ensure_subscription_capacity(self._tenant)
             subscription = service.subscribe(
                 query_text,
                 callback=lambda _update: wake.set(),
@@ -961,7 +1256,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         try:
             self._stream_subscription(
                 subscription, wake, heartbeat, max_seconds, max_updates,
-                snapshot=snapshot,
+                snapshot=snapshot, throttle=throttle, row_kind=row_kind,
             )
         finally:
             # Whatever ended the stream — client disconnect, limits,
@@ -978,6 +1273,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         max_seconds: float,
         max_updates: int,
         snapshot: bool = False,
+        throttle: float = 0.0,
+        row_kind: Optional[str] = None,
     ) -> None:
         # Per-frame gzip when the subscriber advertises it: each frame
         # is deflate-compressed and sync-flushed into its own chunk, so
@@ -999,7 +1296,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self.send_header("Vary", "Accept-Encoding")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
-        service = self.gateway.service
+        service = self.service
         started = time.monotonic()
         deadline = None if max_seconds <= 0 else started + max_seconds
         # Per-stream monotonic stamp floor.  Update stamps are read when
@@ -1018,9 +1315,67 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
         ):
             return
+        # Throttled streams coalesce: instead of forwarding every
+        # update, remember the row map as of the last *sent* frame and,
+        # once per `throttle` window, emit the net added/removed diff
+        # against the subscription's current rows.  An add that was
+        # undone within the window nets to nothing and never hits the
+        # wire.
+        coalesce = throttle > 0 and row_kind is not None
+        sent_rows: Dict[str, Dict[str, Any]] = {}
+        if coalesce:
+            kind = row_kind or ""
+            sent_rows = {
+                key_of_row(kind, row): dict(row)
+                for row in subscription.current_rows
+            }
+        dirty = False
+        pending_stamp = stamp_floor
+        last_update_sent = started
         last_sent = time.monotonic()
         sent_updates = 0
         reason = "shutdown"
+
+        def flush_coalesced(now: float) -> Tuple[bool, bool]:
+            """Emit the net diff since the last sent frame.  Returns
+            ``(client alive, hit max_updates)``."""
+            nonlocal sent_rows, dirty, stamp_floor
+            nonlocal last_update_sent, last_sent, sent_updates
+            kind = row_kind or ""
+            now_rows = {
+                key_of_row(kind, row): dict(row)
+                for row in subscription.current_rows
+            }
+            added = tuple(
+                row
+                for key, row in now_rows.items()
+                if sent_rows.get(key) != row
+            )
+            removed = tuple(
+                row for key, row in sent_rows.items() if key not in now_rows
+            )
+            sent_rows = now_rows
+            dirty = False
+            last_update_sent = now
+            if not added and not removed:
+                # The window's deltas net to zero: nothing to say.
+                return True, False
+            stamp_floor = max(stamp_floor, pending_stamp)
+            frame = update_frame(
+                StandingQueryUpdate(
+                    subscription_id=subscription.id,
+                    query_text=subscription.query_text,
+                    kg_version=stamp_floor,
+                    added=added,
+                    removed=removed,
+                )
+            )
+            if not self._send_chunk(encode_frame(frame)):
+                return False, False
+            last_sent = now
+            sent_updates += 1
+            return True, bool(max_updates and sent_updates >= max_updates)
+
         while not self.gateway.closing.is_set():
             now = time.monotonic()
             if deadline is not None and now >= deadline:
@@ -1032,6 +1387,30 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             wake.wait(timeout=timeout)
             wake.clear()
             updates = subscription.poll()
+            if coalesce:
+                if updates:
+                    dirty = True
+                    pending_stamp = max(
+                        pending_stamp,
+                        max(update.kg_version for update in updates),
+                    )
+                now = time.monotonic()
+                if dirty and now - last_update_sent >= throttle:
+                    alive, limit_hit = flush_coalesced(now)
+                    if not alive:
+                        return  # client went away mid-stream: detach
+                    if limit_hit:
+                        reason = "max_updates"
+                        break
+                if now - last_sent >= heartbeat:
+                    stamp_floor = max(stamp_floor, service.kg_version)
+                    frame = heartbeat_frame(
+                        stamp_floor, service.pending_count
+                    )
+                    if not self._send_chunk(encode_frame(frame)):
+                        return  # dead client detected by the keepalive
+                    last_sent = now
+                continue
             for update in updates:
                 frame = update_frame(update)
                 stamp_floor = max(stamp_floor, update.kg_version)
@@ -1056,6 +1435,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     last_sent = now
                 continue
             break  # inner break (max_updates) falls through here
+        if coalesce and dirty and reason != "max_updates":
+            # The stream is ending inside a throttle window: deliver the
+            # tail as one last net diff rather than dropping it.
+            alive, _limit = flush_coalesced(time.monotonic())
+            if not alive:
+                return
         self._send_chunk(encode_frame(bye_frame(reason)))
         try:
             if self._stream_compressor is not None:

@@ -30,6 +30,46 @@ from repro.mining.patterns import Pattern, PatternEdge
 from repro.mining.streaming import WindowReport
 from repro.nlp.dates import SimpleDate
 from repro.qa.pathsearch import RankedPath
+from repro.query.model import (
+    CentralityQuery,
+    ComponentsQuery,
+    EntityQuery,
+    EntityTrendQuery,
+    ExplanatoryQuery,
+    PageRankQuery,
+    PatternQuery,
+    Query,
+    RelationshipQuery,
+    TrendingQuery,
+)
+
+
+def kind_of_query(query: Query) -> str:
+    """The result-kind name of a parsed query (mirrors the engine's
+    dispatch table).  Lives with the codecs because every consumer that
+    keys or decodes rows by kind — the scatter-gather router, the
+    gateway's delta-coalescing streams — resolves it from here."""
+    if isinstance(query, TrendingQuery):
+        return "trending"
+    if isinstance(query, EntityTrendQuery):
+        return "entity-trend"
+    if isinstance(query, EntityQuery):
+        return "entity"
+    if isinstance(query, ExplanatoryQuery):
+        return "explanatory"
+    if isinstance(query, RelationshipQuery):
+        return "relationship"
+    if isinstance(query, PatternQuery):
+        return "pattern"
+    if isinstance(query, PageRankQuery):
+        return "pagerank"
+    if isinstance(query, ComponentsQuery):
+        return "components"
+    if isinstance(query, CentralityQuery):
+        return "centrality"
+    raise QueryError(  # pragma: no cover - future query classes
+        f"unsupported query type: {type(query).__name__}"
+    )
 
 # ---------------------------------------------------------------------------
 # leaf codecs

@@ -134,6 +134,47 @@ class ClusterError(ReproError):
     shard returned."""
 
 
+class TenancyError(ReproError):
+    """Base class for multi-tenant namespace errors: bad tenant names,
+    malformed tenant specs, or registry operations that cannot apply
+    (deleting the ``default`` tenant a gateway's legacy routes resolve
+    to)."""
+
+
+class UnknownTenantError(TenancyError):
+    """A request named a tenant the registry does not know."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown tenant: {name!r}")
+        self.name = name
+
+
+class TenantExistsError(TenancyError):
+    """A tenant was created twice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"tenant already exists: {name!r}")
+        self.name = name
+
+
+class TenantQuotaError(TenancyError):
+    """A tenant hit one of its fairness quotas (standing-query slots).
+
+    Maps to HTTP 429 on the gateway — the request is well-formed and the
+    tenant exists; it is simply over its budget *right now*, so clients
+    may retry after releasing or waiting out existing subscriptions.
+    """
+
+    def __init__(self, name: str, quota: int, in_use: int) -> None:
+        super().__init__(
+            f"tenant {name!r} is at its standing-query quota "
+            f"({in_use}/{quota} subscriptions in use)"
+        )
+        self.name = name
+        self.quota = quota
+        self.in_use = in_use
+
+
 class StorageError(ReproError):
     """The durability layer failed: a snapshot could not be written or
     read back, the write-ahead log could not be appended/fsynced, or a

@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import copy
 import json
 import os
@@ -38,7 +39,13 @@ from repro.api.cluster import ShardedNousService
 from repro.api.envelopes import ApiResponse, IngestRequest
 from repro.api.http import ClientSession, GatewayConfig, NousGateway
 from repro.api.service import NousService, ServiceConfig
+from repro.api.tenancy import (
+    DEFAULT_SCATTER_BUDGET,
+    TenantRegistry,
+    TenantSpec,
+)
 from repro.core.pipeline import NousConfig
+from repro.errors import ConfigError
 from repro.data.corpus import CorpusConfig, generate_corpus
 from repro.data.descriptions import generate_descriptions
 from repro.kb.drone_kb import build_drone_kb
@@ -255,6 +262,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="query a running gateway (http://host:port) instead of "
         "building a local demo KG",
     )
+    query.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="with --url: address this tenant's namespace "
+        "(/v1/t/<NAME>/...; see docs/TENANCY.md)",
+    )
 
     repl = sub.add_parser("repl", help="interactive query loop on the demo KG")
     repl.add_argument("--articles", type=int, default=120)
@@ -317,6 +329,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "same DIR share hits (see docs/PERFORMANCE.md)",
     )
     serve.add_argument(
+        "--tenants", default=None, metavar="FILE",
+        help="multi-tenant mode: JSON file of tenant specs "
+        '(a list, or {"tenants": [...], "scatter_budget": N}); each '
+        "tenant serves its own isolated KG under /v1/t/<name>/... while "
+        "the demo service answers the default tenant (docs/TENANCY.md)",
+    )
+    serve.add_argument(
         "--announce", action="store_true",
         help="print one JSON line to stdout once the gateway is bound "
         "(machine-readable startup handshake for supervisors)",
@@ -333,6 +352,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="document texts (use - to read one document from stdin)",
     )
     ingest.add_argument("--url", required=True, help="gateway base URL")
+    ingest.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="address this tenant's namespace (/v1/t/<NAME>/...; see "
+        "docs/TENANCY.md)",
+    )
     ingest.add_argument("--doc-id", default="", help="document id")
     ingest.add_argument("--date", default=None, help='e.g. "2015-06-10"')
     ingest.add_argument("--source", default="cli", help="provenance tag")
@@ -350,8 +374,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ingest":
         return _remote_ingest(args)
     if args.command == "query" and args.url is not None:
-        with ClientSession(args.url) as session:
+        with ClientSession(args.url, tenant=args.tenant) as session:
             return _run_queries(session, args.text, as_json=args.json)
+    if args.command == "query" and args.tenant is not None:
+        parser.error("--tenant requires --url (tenants live on a gateway)")
 
     if args.command == "serve" and args.kb != "demo":
         # Shard-worker mode: a bare service over a named curated base,
@@ -417,7 +443,7 @@ def _remote_ingest(args: argparse.Namespace) -> int:
         sys.stdin.read() if text == "-" else text for text in args.text
     ]
     status = 0
-    with ClientSession(args.url) as session:
+    with ClientSession(args.url, tenant=args.tenant) as session:
         for i, text in enumerate(texts):
             doc_id = args.doc_id
             if doc_id and len(texts) > 1:
@@ -442,6 +468,35 @@ def _remote_ingest(args: argparse.Namespace) -> int:
     return status
 
 
+def _load_tenant_registry(
+    path: str, default_service: ServiceLike, data_dir: Optional[str]
+) -> TenantRegistry:
+    """A registry from a ``--tenants`` spec file: a JSON list of tenant
+    spec dicts, or ``{"tenants": [...], "scatter_budget": N}``.  The
+    demo/worker service answers the ``default`` tenant; each listed
+    tenant is built lazily on first request."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    budget = DEFAULT_SCATTER_BUDGET
+    if isinstance(data, dict):
+        entries = data.get("tenants", [])
+        budget = int(data.get("scatter_budget", DEFAULT_SCATTER_BUDGET))
+    elif isinstance(data, list):
+        entries = data
+    else:
+        raise ConfigError(
+            f"{path}: a tenants file is a JSON list of tenant specs or "
+            '{"tenants": [...]}'
+        )
+    specs = tuple(TenantSpec.from_dict(entry) for entry in entries)
+    return TenantRegistry(
+        default_service=default_service,
+        specs=specs,
+        data_dir=data_dir,
+        scatter_budget=budget,
+    )
+
+
 def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
     # SIGTERM must unwind like Ctrl-C, not hard-kill: the context
     # managers below own real resources (a process-shard service owns
@@ -449,8 +504,14 @@ def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
     # them.  Supervisors (including ShardProcessManager itself) stop
     # servers with SIGTERM.
     signal.signal(signal.SIGTERM, lambda _signum, _frame: sys.exit(0))
+    registry: Optional[TenantRegistry] = None
+    tenants_file = getattr(args, "tenants", None)
+    if tenants_file:
+        registry = _load_tenant_registry(
+            tenants_file, service, getattr(args, "data_dir", None)
+        )
     gateway = NousGateway(
-        service,
+        registry if registry is not None else service,
         GatewayConfig(
             host=args.host,
             port=args.port,
@@ -458,7 +519,15 @@ def _serve(service: ServiceLike, args: argparse.Namespace) -> int:
             shared_cache_dir=getattr(args, "shared_cache_dir", None),
         ),
     )
-    with service, gateway:
+    with contextlib.ExitStack() as stack:
+        # Teardown order (reverse of entry): gateway stops serving
+        # first, then the registry closes the tenants it built, then
+        # the default service — which the registry only borrowed —
+        # shuts down.
+        stack.enter_context(service)
+        if registry is not None:
+            stack.enter_context(registry)
+        stack.enter_context(gateway)
         if getattr(args, "announce", False):
             # One machine-readable line on stdout: the startup
             # handshake ShardProcessManager waits for (ephemeral ports

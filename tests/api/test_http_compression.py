@@ -294,13 +294,13 @@ class TestStatsEtag:
     ):
         status, headers, raw = _raw(gzip_gateway, "GET", "/v1/stats")
         assert status == 200
-        assert headers.get("ETag") == f'"kg-{service.kg_version}"'
+        assert headers.get("ETag") == f'"kg-default-{service.kg_version}"'
         assert json.loads(raw)["ok"] is True
 
     def test_matching_validator_gets_an_empty_304(
         self, gzip_gateway, service
     ):
-        etag = f'"kg-{service.kg_version}"'
+        etag = f'"kg-default-{service.kg_version}"'
         status, headers, raw = _raw(
             gzip_gateway, "GET", "/v1/stats",
             headers={"If-None-Match": etag},
@@ -316,7 +316,7 @@ class TestStatsEtag:
             headers={"If-None-Match": '"kg-im-out-of-date"'},
         )
         assert status == 200
-        assert headers.get("ETag") == f'"kg-{service.kg_version}"'
+        assert headers.get("ETag") == f'"kg-default-{service.kg_version}"'
         assert json.loads(raw)["ok"] is True
 
     def test_client_session_revalidates_transparently(

@@ -1,0 +1,569 @@
+"""Multi-tenant namespaces: spec/registry units, the tenant route tree,
+header-vs-path precedence, quotas, throttled streams, ETag isolation and
+the admin surface (the contract documented in docs/TENANCY.md)."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api.base import ServiceLike, TenantRegistryLike
+from repro.api.http import ClientSession, GatewayConfig, NousGateway
+from repro.api.service import NousService, ServiceConfig
+from repro.api.tenancy import (
+    DEFAULT_TENANT,
+    TenantRegistry,
+    TenantSpec,
+    validate_tenant_name,
+)
+from repro.core.pipeline import NousConfig
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    TenancyError,
+    TenantExistsError,
+    TenantQuotaError,
+    UnknownTenantError,
+)
+from repro.kb.drone_kb import build_drone_kb
+
+from test_http_gateway import _raw_request, _wait_until  # noqa: E402
+
+PATTERN = "match (?a:Company)-[acquired]->(?b:Company)"
+ACQUISITION = "DJI acquired Parrot SA in June 2016."
+
+
+def _drone_service() -> NousService:
+    return NousService(
+        kb=build_drone_kb(),
+        config=NousConfig(window_size=400, seed=7),
+        service_config=ServiceConfig(auto_start=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def registry():
+    with TenantRegistry(
+        default_service=_drone_service(),
+        specs=(
+            TenantSpec(name="alpha"),
+            TenantSpec(name="beta"),
+            TenantSpec(name="q1", max_subscriptions=1),
+        ),
+    ) as reg:
+        yield reg
+        # The borrowed default is the module's to close.
+        reg.default.close()
+
+
+@pytest.fixture(scope="module")
+def gateway(registry):
+    with NousGateway(
+        registry, GatewayConfig(heartbeat_interval=0.2)
+    ) as gw:
+        yield gw
+
+
+# ---------------------------------------------------------------------------
+# TenantSpec / names
+# ---------------------------------------------------------------------------
+class TestTenantSpec:
+    def test_wire_round_trip(self):
+        spec = TenantSpec(name="acme", max_subscriptions=3, seed=11)
+        assert TenantSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        # A typo'd quota key must never silently mean "unlimited".
+        with pytest.raises(TenancyError, match="max_subs"):
+            TenantSpec.from_dict({"name": "acme", "max_subs": 3})
+
+    def test_name_required(self):
+        with pytest.raises(TenancyError, match="name"):
+            TenantSpec.from_dict({})
+
+    @pytest.mark.parametrize(
+        "bad", ["", "UPPER", "-leading", "a/b", "a b", "x" * 65]
+    )
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(TenancyError, match="invalid tenant name"):
+            TenantSpec(name=bad).validate()
+
+    @pytest.mark.parametrize("good", ["a", "acme", "a-b_c.d", "t42"])
+    def test_good_names_accepted(self, good):
+        assert validate_tenant_name(good) == good
+
+    def test_bad_shards_and_quota_rejected(self):
+        with pytest.raises(TenancyError, match="shards"):
+            TenantSpec(name="a", shards=0).validate()
+        with pytest.raises(TenancyError, match="max_subscriptions"):
+            TenantSpec(name="a", max_subscriptions=-1).validate()
+        with pytest.raises(TenancyError, match="shard_mode"):
+            TenantSpec(name="a", shard_mode="quantum").validate()
+
+    def test_malformed_values_are_tenancy_errors(self):
+        with pytest.raises(TenancyError, match="malformed"):
+            TenantSpec.from_dict({"name": "a", "shards": "many"})
+
+
+# ---------------------------------------------------------------------------
+# TenantRegistry (unit, no HTTP)
+# ---------------------------------------------------------------------------
+class TestTenantRegistry:
+    def test_requires_a_default(self):
+        with pytest.raises(ConfigError, match="default"):
+            TenantRegistry(specs=(TenantSpec(name="only"),))
+
+    def test_default_spec_satisfies_requirement(self, tmp_path):
+        with TenantRegistry(
+            specs=(TenantSpec(name=DEFAULT_TENANT, kb="empty"),),
+            data_dir=str(tmp_path),
+        ) as reg:
+            assert reg.default.kg_version >= 0
+
+    def test_lazy_build_and_describe(self):
+        with TenantRegistry(
+            default_service=_drone_service(),
+            specs=(TenantSpec(name="lazy", kb="empty"),),
+        ) as reg:
+            infos = {info["name"]: info for info in reg.describe()}
+            assert infos["lazy"]["live"] is False
+            assert infos[DEFAULT_TENANT]["live"] is True
+            reg.get("lazy")
+            infos = {info["name"]: info for info in reg.describe()}
+            assert infos["lazy"]["live"] is True
+            assert "kg_version" in infos["lazy"]
+            reg.default.close()
+
+    def test_unknown_tenant(self):
+        with TenantRegistry(default_service=_drone_service()) as reg:
+            with pytest.raises(UnknownTenantError, match="nope"):
+                reg.get("nope")
+            with pytest.raises(UnknownTenantError):
+                reg.spec("nope")
+            reg.default.close()
+
+    def test_create_delete_lifecycle(self):
+        with TenantRegistry(default_service=_drone_service()) as reg:
+            info = reg.create(TenantSpec(name="new", kb="empty"))
+            assert info["live"] is False
+            with pytest.raises(TenantExistsError, match="new"):
+                reg.create(TenantSpec(name="new"))
+            service = reg.get("new")
+            assert service.kg_version >= 0
+            result = reg.delete("new")
+            assert result["deleted"] and result["drained"]
+            with pytest.raises(UnknownTenantError):
+                reg.get("new")
+            with pytest.raises(TenancyError, match="default"):
+                reg.delete(DEFAULT_TENANT)
+            with pytest.raises(UnknownTenantError):
+                reg.delete("never-was")
+            reg.default.close()
+
+    def test_close_spares_the_borrowed_default(self):
+        default = _drone_service()
+        reg = TenantRegistry(
+            default_service=default, specs=(TenantSpec(name="own", kb="empty"),)
+        )
+        owned = reg.get("own")
+        reg.close()
+        # Registry-built services are closed (a closed service refuses
+        # ingestion), the injected one is not.
+        assert default.query("tell me about DJI").ok
+        from repro.api.envelopes import IngestRequest
+
+        with pytest.raises(ReproError, match="closed"):
+            owned.submit(IngestRequest(text="DJI acquired GoPro."))
+        default.close()
+        # close() is idempotent.
+        reg.close()
+
+    def test_closed_registry_refuses_resolution(self):
+        reg = TenantRegistry(default_service=_drone_service())
+        default = reg.default
+        reg.close()
+        with pytest.raises(TenancyError, match="closed"):
+            reg.get(DEFAULT_TENANT)
+        default.close()
+
+    def test_per_tenant_data_dir_subtree(self, tmp_path):
+        with TenantRegistry(
+            default_service=_drone_service(),
+            specs=(TenantSpec(name="durable", kb="empty"),),
+            data_dir=str(tmp_path),
+        ) as reg:
+            reg.get("durable")
+            assert os.path.isdir(tmp_path / "tenant-durable")
+            reg.default.close()
+
+    def test_quota_enforcement(self):
+        with TenantRegistry(
+            default_service=_drone_service(),
+            specs=(TenantSpec(name="tight", kb="empty", max_subscriptions=1),),
+        ) as reg:
+            reg.ensure_subscription_capacity("tight")  # 0/1: fine
+            sub = reg.get("tight").subscribe("show trending patterns")
+            with pytest.raises(TenantQuotaError, match="1/1"):
+                reg.ensure_subscription_capacity("tight")
+            reg.get("tight").unsubscribe(sub)
+            reg.ensure_subscription_capacity("tight")
+            # The default tenant has no quota: always admissible.
+            reg.ensure_subscription_capacity(DEFAULT_TENANT)
+            reg.default.close()
+
+    def test_satisfies_the_registry_protocol(self, registry):
+        reg: TenantRegistryLike = registry
+        service: ServiceLike = reg.get(DEFAULT_TENANT)
+        assert service.kg_version >= 0
+
+
+# ---------------------------------------------------------------------------
+# the tenant route tree
+# ---------------------------------------------------------------------------
+class TestTenantRoutes:
+    def test_legacy_routes_answer_the_default_tenant(self, gateway):
+        status, body = _raw_request(gateway, "GET", "/v1/healthz")
+        assert status == 200
+        assert body["tenant"] == DEFAULT_TENANT
+
+    def test_path_scoped_routes(self, gateway):
+        status, body = _raw_request(gateway, "GET", "/v1/t/alpha/healthz")
+        assert status == 200
+        assert body["tenant"] == "alpha"
+
+    def test_header_alias(self, gateway):
+        status, body = _raw_request(
+            gateway, "GET", "/v1/healthz",
+            headers={"X-Nous-Tenant": "beta"},
+        )
+        assert status == 200
+        assert body["tenant"] == "beta"
+
+    def test_path_beats_header(self, gateway):
+        status, body = _raw_request(
+            gateway, "GET", "/v1/t/alpha/healthz",
+            headers={"X-Nous-Tenant": "beta"},
+        )
+        assert status == 200
+        assert body["tenant"] == "alpha"
+
+    def test_unknown_tenant_is_a_structured_404(self, gateway):
+        status, body = _raw_request(gateway, "GET", "/v1/t/ghost/healthz")
+        assert status == 404
+        assert body["error"]["code"] == "tenancy.unknown"
+        status, body = _raw_request(
+            gateway, "GET", "/v1/stats", headers={"X-Nous-Tenant": "ghost"}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "tenancy.unknown"
+
+    def test_unknown_route_is_still_a_404(self, gateway):
+        status, body = _raw_request(gateway, "GET", "/v1/t/alpha/nope")
+        assert status == 404
+        assert body["error"]["code"] == "http.not_found"
+
+    def test_wrong_method_is_405_with_allow(self, gateway):
+        status, body = _raw_request(gateway, "GET", "/v1/query")
+        assert status == 405
+        assert body["error"]["code"] == "http.method_not_allowed"
+        # The Allow header names the verbs the path does serve.
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            gateway.host, gateway.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", "/v1/t/alpha/query")
+            response = conn.getresponse()
+            assert response.status == 405
+            assert response.getheader("Allow") == "POST"
+            response.read()
+            conn.request("DELETE", "/v1/stats")
+            response = conn.getresponse()
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET"
+            response.read()
+        finally:
+            conn.close()
+
+    def test_tenant_client_session_round_trip(self, gateway, registry):
+        with ClientSession(gateway.url, tenant="alpha") as session:
+            before = registry.get("alpha").documents_ingested
+            default_before = registry.default.documents_ingested
+            envelope = session.ingest(
+                ACQUISITION, doc_id="alpha-1", date="2016-06-10", source="t"
+            )
+            assert envelope.ok and envelope.kind == "ingest"
+            assert registry.get("alpha").documents_ingested == before + 1
+            # Zero bleed into the default namespace.
+            assert registry.default.documents_ingested == default_before
+            result = session.query(PATTERN).raise_for_error()
+            assert result.kg_version == registry.get("alpha").kg_version
+
+    def test_tickets_are_tenant_scoped(self, gateway):
+        with ClientSession(gateway.url, tenant="beta") as session:
+            ticket = session.submit(ACQUISITION, doc_id="beta-t1")
+            assert ticket.kind == "ticket"
+            ticket_id = ticket.payload["ticket_id"]
+            # The href routes back through the tenant's own tree.
+            assert ticket.payload["href"] == f"/v1/t/beta/ingest/{ticket_id}"
+            assert _wait_until(
+                lambda: session.ticket(ticket_id).kind == "ingest",
+                timeout=30.0,
+            )
+        # A foreign tenant polling the same id sees nothing: ticket ids
+        # never leak ingest state across namespaces.
+        status, body = _raw_request(
+            gateway, "GET", f"/v1/t/alpha/ingest/{ticket_id}"
+        )
+        assert status == 404
+        status, body = _raw_request(gateway, "GET", f"/v1/ingest/{ticket_id}")
+        assert status == 404
+        assert body["error"]["code"] == "http.not_found"
+
+
+class TestEtagIsolation:
+    def test_etag_embeds_the_tenant(self, gateway, registry):
+        status, body = _raw_request(gateway, "GET", "/v1/t/q1/healthz")
+        assert status == 200
+        version = body["kg_version"]
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            gateway.host, gateway.port, timeout=30.0
+        )
+        try:
+            conn.request("GET", "/v1/t/q1/stats")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("ETag") == f'"kg-q1-{version}"'
+        finally:
+            conn.close()
+
+    def test_same_stamp_different_tenant_never_validates(
+        self, gateway, registry
+    ):
+        # Regression: the pre-tenancy validator was `"kg-<version>"`,
+        # so two tenants at the same composite stamp would 304-validate
+        # each other's cached statistics through a shared proxy.  Build
+        # a fresh pair of never-touched tenants so the stamps coincide.
+        registry.create(TenantSpec(name="twin-a", kb="empty"))
+        registry.create(TenantSpec(name="twin-b", kb="empty"))
+        try:
+            assert (
+                registry.get("twin-a").kg_version
+                == registry.get("twin-b").kg_version
+            )
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                gateway.host, gateway.port, timeout=30.0
+            )
+            try:
+                conn.request("GET", "/v1/t/twin-a/stats")
+                response = conn.getresponse()
+                response.read()
+                etag_a = response.getheader("ETag")
+                assert etag_a is not None
+                # twin-a's validator against twin-b's stats: same stamp,
+                # different tenant — must answer a full 200, never 304.
+                conn.request(
+                    "GET", "/v1/t/twin-b/stats",
+                    headers={"If-None-Match": etag_a},
+                )
+                response = conn.getresponse()
+                body = response.read()
+                assert response.status == 200
+                assert json.loads(body)["ok"] is True
+                assert response.getheader("ETag") != etag_a
+            finally:
+                conn.close()
+        finally:
+            registry.delete("twin-a")
+            registry.delete("twin-b")
+
+
+# ---------------------------------------------------------------------------
+# per-tenant fairness: quotas and throttled streams
+# ---------------------------------------------------------------------------
+class TestQuota:
+    def test_subscribe_past_quota_is_a_structured_429(self, gateway):
+        with ClientSession(gateway.url, tenant="q1") as session:
+            stream = session.subscribe(
+                "show trending patterns", heartbeat=0.1, timeout=30.0
+            )
+            try:
+                assert next(stream)["event"] == "subscribed"
+                with pytest.raises(ReproError, match="quota"):
+                    session.subscribe(
+                        "show trending patterns", timeout=30.0
+                    )
+                # The wire status is 429 with the structured code.
+                status, body = _raw_request(
+                    gateway, "GET", "/v1/t/q1/subscribe?q=show+trending+patterns"
+                )
+                assert status == 429
+                assert body["error"]["code"] == "tenancy.quota"
+            finally:
+                stream.close()
+        # Capacity frees once the stream detaches.
+        assert _wait_until(
+            lambda: _raw_request(gateway, "GET", "/v1/t/q1/healthz")[1][
+                "subscriptions"
+            ]
+            == 0,
+            timeout=10.0,
+        )
+
+
+class TestThrottledStream:
+    def test_min_interval_coalesces_to_one_net_diff(self, gateway, registry):
+        """With a throttle window wider than the stream's lifetime,
+        every intermediate delta coalesces into the single net diff the
+        final flush emits before ``bye``."""
+        with ClientSession(gateway.url, tenant="alpha") as session:
+            frames = []
+            stream = session.subscribe(
+                PATTERN,
+                heartbeat=5.0,
+                max_seconds=6.0,
+                min_interval=60.0,
+                timeout=30.0,
+            )
+
+            def reader():
+                for frame in stream:
+                    frames.append(frame)
+
+            thread = threading.Thread(target=reader, daemon=True)
+            thread.start()
+            assert _wait_until(lambda: len(frames) >= 1)
+            assert frames[0]["event"] == "subscribed"
+            # Two separate drains → two raw deltas server-side.
+            session.ingest(
+                "GoPro acquired Parrot SA in August 2017.", doc_id="th-1"
+            )
+            session.ingest(
+                "DJI acquired GoPro in March 2018.", doc_id="th-2"
+            )
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        updates = [f for f in frames if f["event"] == "update"]
+        assert frames[-1]["event"] == "bye"
+        # The two drains coalesced into exactly one net update frame.
+        assert len(updates) == 1
+        added_text = json.dumps(updates[0]["added"])
+        assert "GoPro" in added_text
+
+    def test_max_rate_param_is_accepted(self, gateway):
+        with ClientSession(gateway.url) as session:
+            with session.subscribe(
+                "show trending patterns",
+                max_rate=100,
+                max_seconds=0.2,
+                timeout=30.0,
+            ) as stream:
+                frames = list(stream)
+        assert frames[0]["event"] == "subscribed"
+        assert frames[-1]["event"] == "bye"
+
+    def test_non_finite_throttle_rejected(self, gateway):
+        status, body = _raw_request(
+            gateway, "GET", "/v1/subscribe?q=show+trending+patterns&min_interval=inf"
+        )
+        assert status == 400
+        assert body["error"]["code"] == "http.bad_request"
+
+
+# ---------------------------------------------------------------------------
+# the admin surface
+# ---------------------------------------------------------------------------
+class TestAdminSurface:
+    def test_list_create_delete_round_trip(self, gateway):
+        with ClientSession(gateway.url) as session:
+            listing = session.tenants()
+            assert listing["default"] == DEFAULT_TENANT
+            names = {info["name"] for info in listing["tenants"]}
+            assert {"default", "alpha", "beta", "q1"} <= names
+
+            created = session.create_tenant(
+                {"name": "adhoc", "kb": "empty", "max_subscriptions": 2}
+            )
+            assert created["ok"] is True
+            assert created["tenant"]["live"] is False
+
+            # The new namespace serves immediately (built on first use).
+            status, body = _raw_request(
+                gateway, "GET", "/v1/t/adhoc/healthz"
+            )
+            assert status == 200 and body["tenant"] == "adhoc"
+
+            with pytest.raises(ReproError, match="already"):
+                session.create_tenant({"name": "adhoc"})
+
+            gone = session.delete_tenant("adhoc")
+            assert gone["deleted"] is True
+            status, body = _raw_request(gateway, "GET", "/v1/t/adhoc/healthz")
+            assert status == 404
+            assert body["error"]["code"] == "tenancy.unknown"
+
+    def test_create_malformed_spec_is_a_400(self, gateway):
+        status, body = _raw_request(
+            gateway, "POST", "/v1/tenants",
+            body=json.dumps({"name": "BAD NAME"}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "tenancy"
+
+    def test_create_duplicate_is_a_409(self, gateway):
+        status, body = _raw_request(
+            gateway, "POST", "/v1/tenants",
+            body=json.dumps({"name": "alpha"}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 409
+        assert body["error"]["code"] == "tenancy.exists"
+
+    def test_delete_default_is_refused(self, gateway):
+        status, body = _raw_request(gateway, "DELETE", "/v1/tenants/default")
+        assert status == 400
+        assert body["error"]["code"] == "tenancy"
+
+    def test_delete_unknown_is_a_404(self, gateway):
+        status, body = _raw_request(gateway, "DELETE", "/v1/tenants/ghost")
+        assert status == 404
+        assert body["error"]["code"] == "tenancy.unknown"
+
+
+# ---------------------------------------------------------------------------
+# gateway ownership and legacy construction
+# ---------------------------------------------------------------------------
+class TestGatewayOwnership:
+    def test_bare_service_still_works_and_stays_open(self):
+        service = _drone_service()
+        with NousGateway(service) as gw:
+            status, body = _raw_request(gw, "GET", "/v1/healthz")
+            assert status == 200 and body["tenant"] == DEFAULT_TENANT
+            # Admin-created tenants work on a bare-service gateway too.
+            status, _ = _raw_request(
+                gw, "POST", "/v1/tenants",
+                body=json.dumps({"name": "pop-up", "kb": "empty"}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert status == 201
+            status, body = _raw_request(gw, "GET", "/v1/t/pop-up/healthz")
+            assert status == 200
+        # Gateway close closed its internal registry (and the pop-up
+        # tenant with it) but never the caller's service.
+        assert service.query("tell me about DJI").ok
+        service.close()
+
+    def test_gateway_service_property_is_the_default_tenant(
+        self, gateway, registry
+    ):
+        assert gateway.service is registry.default

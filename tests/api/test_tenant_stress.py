@@ -1,0 +1,226 @@
+"""Mixed-tenant stress: concurrent ingest + query + subscribers across
+three tenants behind one gateway, asserting
+
+- **zero cross-tenant delta leakage** — each tenant's subscriber
+  replays to exactly the row set a dedicated monolith fed the same
+  documents produces (any leaked foreign delta would desynchronise the
+  replay);
+- **per-tenant stamp monotonicity** — every stream's ``kg_version``
+  sequence is non-decreasing;
+- **per-tenant envelope equality** — query envelopes served through the
+  tenant route tree equal a dedicated monolith's, field for field.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.envelopes import IngestRequest
+from repro.api.http import ClientSession, GatewayConfig, NousGateway
+from repro.api.service import NousService, ServiceConfig
+from repro.api.tenancy import TenantRegistry, TenantSpec
+from repro.api.wire import row_key
+from repro.core.pipeline import NousConfig
+from repro.kb.drone_kb import build_drone_kb
+
+PATTERN = "match (?a:Company)-[acquired]->(?b:Company)"
+QUERIES = [
+    "tell me about DJI",
+    PATTERN,
+    "how is DJI related to Amazon",
+]
+
+TENANTS = ["t-red", "t-green", "t-blue"]
+
+# Distinct document schedules per tenant, all over drone-KB companies
+# so extraction lands pattern rows deterministically.
+DOCS = {
+    "t-red": [
+        ("DJI acquired Parrot SA in June 2016.", "red-1"),
+        ("GoPro acquired Parrot SA in August 2017.", "red-2"),
+        ("Amazon uses drones for package delivery.", "red-3"),
+        ("DJI acquired GoPro in March 2018.", "red-4"),
+    ],
+    "t-green": [
+        ("Amazon acquired Parrot SA in January 2015.", "green-1"),
+        ("Amazon tests drone delivery over Cambridge.", "green-2"),
+        ("GoPro acquired DJI in October 2019.", "green-3"),
+        ("Parrot SA develops agricultural drones.", "green-4"),
+    ],
+    "t-blue": [
+        ("Walmart uses drones for inventory.", "blue-1"),
+        ("Walmart acquired Parrot SA in May 2020.", "blue-2"),
+        ("DJI acquired Amazon in April 2021.", "blue-3"),
+        ("GoPro ships a new drone camera.", "blue-4"),
+    ],
+}
+
+
+def _build_monolith() -> NousService:
+    """Exactly what TenantRegistry builds for a default ``kb='drone'``
+    spec: same KB, same config, background drainer on."""
+    return NousService(
+        kb=build_drone_kb(),
+        config=NousConfig(window_size=400, seed=7),
+        service_config=ServiceConfig(auto_start=True, max_batch=32),
+    )
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    registry = TenantRegistry(
+        default_service=_build_monolith(),
+        specs=tuple(TenantSpec(name=name) for name in TENANTS),
+    )
+    with registry:
+        with NousGateway(registry, GatewayConfig(heartbeat_interval=0.2)) as gw:
+            yield gw
+        registry.default.close()
+
+
+@pytest.fixture(scope="module")
+def monoliths():
+    """One dedicated reference service per tenant, fed the same
+    documents in the same order (each fully drained before the next,
+    mirroring the gateway's ``?wait=1`` schedule)."""
+    services = {}
+    for name in TENANTS:
+        service = _build_monolith()
+        for text, doc_id in DOCS[name]:
+            service.submit(IngestRequest(text=text, doc_id=doc_id, source="stress"))
+            service.flush()
+        services[name] = service
+    yield services
+    for service in services.values():
+        service.close()
+
+
+class TestMixedTenantStress:
+    def test_concurrent_tenants_stay_isolated(self, gateway, monoliths):
+        results: dict = {name: {} for name in TENANTS}
+        errors: list = []
+        barrier = threading.Barrier(len(TENANTS))
+
+        def tenant_worker(name: str) -> None:
+            try:
+                with ClientSession(gateway.url, tenant=name) as session:
+                    # Subscriber first: its replayed deltas must account
+                    # for every document this tenant ingests.
+                    stream = session.subscribe(
+                        PATTERN, heartbeat=0.1, snapshot=True, timeout=30.0
+                    )
+                    frames: list = []
+                    reader = threading.Thread(
+                        target=lambda: frames.extend(stream), daemon=True
+                    )
+                    reader.start()
+                    barrier.wait(timeout=30.0)
+                    for text, doc_id in DOCS[name]:
+                        envelope = session.ingest(
+                            text, doc_id=doc_id, source="stress"
+                        )
+                        assert envelope.ok, envelope.to_dict()
+                        # Interleave queries with the ingests.
+                        assert session.query(QUERIES[0]).ok
+                    # Collect the tail deltas, then disconnect.
+                    deadline_rows = monolith_rows(monoliths[name])
+                    _wait_for_replay(frames, deadline_rows)
+                    stream.close()
+                    reader.join(timeout=10.0)
+                    results[name]["frames"] = frames
+                    results[name]["final"] = {
+                        q: session.query(q).to_dict() for q in QUERIES
+                    }
+                    results[name]["health"] = session.healthz()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((name, repr(exc)))
+
+        threads = [
+            threading.Thread(target=tenant_worker, args=(name,), daemon=True)
+            for name in TENANTS
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180.0)
+        assert not errors, errors
+
+        for name in TENANTS:
+            frames = results[name]["frames"]
+            monolith = monoliths[name]
+
+            # Per-tenant stamp monotonicity across the whole stream.
+            stamps = [
+                frame["kg_version"]
+                for frame in frames
+                if "kg_version" in frame
+            ]
+            assert stamps == sorted(stamps), (name, stamps)
+
+            # Zero cross-tenant delta leakage: replaying this stream's
+            # deltas over its snapshot baseline reproduces exactly the
+            # dedicated monolith's row set (row keys are canonical row
+            # content, so key equality is content equality).
+            replayed = _replay(frames)
+            assert set(replayed) == set(monolith_rows(monolith)), name
+
+            # The tenant ingested its documents and nobody else's.
+            assert results[name]["health"]["documents_ingested"] == len(
+                DOCS[name]
+            )
+            assert results[name]["health"]["tenant"] == name
+
+    def test_envelopes_equal_a_dedicated_monolith(self, gateway, monoliths):
+        for name in TENANTS:
+            local_versions = set()
+            with ClientSession(gateway.url, tenant=name) as session:
+                for text in QUERIES:
+                    remote = session.query(text).to_dict()
+                    local = monoliths[name].query(text).to_dict()
+                    # elapsed_ms is wall-clock and `cached` depends on
+                    # how often this exact service answered the text;
+                    # everything observable must match a dedicated
+                    # service byte for byte.
+                    for transient in ("elapsed_ms", "cached"):
+                        remote.pop(transient)
+                        local.pop(transient)
+                    assert remote == local, (name, text)
+                    local_versions.add(local["kg_version"])
+            # Same documents, same order, same composite stamp.
+            assert len(local_versions) == 1
+
+
+def monolith_rows(service: NousService) -> dict:
+    """The reference row set: a fresh evaluation of the standing
+    pattern on the dedicated monolith."""
+    from repro.api.wire import decode_payload, delta_rows
+
+    envelope = service.query(PATTERN).raise_for_error()
+    return delta_rows("pattern", decode_payload("pattern", envelope.payload))
+
+
+def _replay(frames: list) -> dict:
+    rows: dict = {}
+    for frame in frames:
+        if frame["event"] == "subscribed":
+            for row in frame.get("rows") or []:
+                rows[row_key(row)] = row
+        if frame["event"] != "update":
+            continue
+        for row in frame["removed"]:
+            rows.pop(row_key(row), None)
+        for row in frame["added"]:
+            rows[row_key(row)] = row
+    return {key: row for key, row in rows.items()}
+
+
+def _wait_for_replay(frames: list, expected: dict, timeout: float = 30.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if set(_replay(frames)) == set(expected):
+            return
+        time.sleep(0.05)

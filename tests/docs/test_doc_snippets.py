@@ -41,6 +41,7 @@ DOC_FILES = [
     "docs/PERSISTENCE.md",
     "docs/COMPUTE.md",
     "docs/PERFORMANCE.md",
+    "docs/TENANCY.md",
 ]
 DOCS_PORT = 8420
 DOCS_URL = f"http://127.0.0.1:{DOCS_PORT}"
